@@ -1,0 +1,66 @@
+// Ablation: Eq. 1 bucketing resolution.
+//
+// "The term 'resolution' ... can range from 0.05 to 1" (Sec. III-A). Finer
+// resolution shrinks buckets (less pairwise work, more parallelism) but
+// risks splitting true clusters across buckets. This bench sweeps the
+// resolution on real synthetic data (quality + bucket stats) and on the
+// modelled PXD000561 run (cluster time).
+#include <iostream>
+
+#include "core/spechd.hpp"
+#include "fpga/dataflow.hpp"
+#include "metrics/quality.hpp"
+#include "ms/synthetic.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+spechd::ms::labelled_dataset make_dataset() {
+  spechd::ms::synthetic_config c;
+  c.peptide_count = 100;
+  c.spectra_per_peptide_mean = 7.0;
+  c.precursor_mz_sigma_ppm = 15.0;  // precursor jitter stresses bucketing
+  c.seed = 909;
+  return spechd::ms::generate_dataset(c);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spechd;
+  using text_table = spechd::text_table;
+
+  const auto data = make_dataset();
+  std::vector<std::int32_t> truth;
+  truth.reserve(data.spectra.size());
+  for (const auto& s : data.spectra) truth.push_back(s.label);
+
+  text_table table("Ablation — bucketing resolution (Eq. 1)");
+  table.set_header({"resolution", "buckets", "largest", "clustered ratio", "ICR",
+                    "modelled cluster time PXD000561 (s)"});
+
+  for (const double res : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
+    core::spechd_config config;
+    config.preprocess.bucketing.resolution = res;
+    const auto result = core::spechd_pipeline(config).run(data.spectra);
+    const auto q = metrics::evaluate_clustering(truth, result.clustering);
+
+    fpga::spechd_hw_config hw;
+    hw.bucket_resolution = res;
+    const auto run = fpga::model_spechd_run(ms::paper_datasets()[4], hw);
+
+    // Bucket stats from the actual pipeline.
+    auto batch = preprocess::run_preprocessing(data.spectra, config.preprocess);
+    const auto st = preprocess::summarize(batch.buckets);
+
+    table.add_row({text_table::num(res, 2), text_table::num(st.bucket_count),
+                   text_table::num(st.largest), text_table::num(q.clustered_ratio, 3),
+                   text_table::num(q.incorrect_ratio, 4),
+                   text_table::num(run.time.cluster, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: coarser resolution -> fewer, larger buckets -> superlinear\n"
+               "growth in modelled clustering time; quality stays flat until the\n"
+               "resolution is fine enough to split precursor-jittered replicates.\n";
+  return 0;
+}

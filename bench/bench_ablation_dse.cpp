@@ -1,0 +1,62 @@
+// Ablation: design-space exploration (Sec. III-A / IV).
+//
+// Sweeps cluster-kernel count, encoder count, bucketing resolution, P2P
+// on/off and D_hv on the largest paper dataset, reporting end-to-end time,
+// energy and EDP — the exploration that selected the paper's
+// 1-encoder/5-cluster-kernel P2P configuration.
+#include <iostream>
+
+#include "fpga/dse.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spechd;
+  using namespace spechd::fpga;
+  using text_table = spechd::text_table;
+
+  const auto ds = ms::paper_datasets()[4];  // PXD000561
+
+  dse_sweep sweep;
+  sweep.cluster_kernels = {1, 2, 4, 5, 8};
+  sweep.encoder_kernels = {1, 2};
+  sweep.resolutions = {0.05, 0.08, 0.2};
+  sweep.p2p = {true, false};
+  sweep.dims = {2048};
+
+  const auto points = explore(ds, {}, sweep);
+
+  text_table table("DSE — PXD000561, sorted by energy-delay product (top 15)");
+  table.set_header({"cluster CUs", "encoders", "resolution", "P2P", "end-to-end (s)",
+                    "cluster (s)", "energy (kJ)", "EDP", "fits HBM", "fabric util"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(15, points.size()); ++i) {
+    const auto& p = points[i];
+    table.add_row({text_table::num(std::size_t{p.cluster_kernels}),
+                   text_table::num(std::size_t{p.encoder_kernels}),
+                   text_table::num(p.bucket_resolution, 2), p.p2p ? "yes" : "no",
+                   text_table::num(p.end_to_end_s, 1), text_table::num(p.cluster_s, 1),
+                   text_table::num(p.energy_j / 1e3, 2),
+                   text_table::num(p.edp() / 1e3, 1), p.fits_hbm ? "yes" : "no",
+                   text_table::num(p.fabric_utilisation, 2) +
+                       (p.fits_fabric ? "" : " (!)")});
+  }
+  table.print(std::cout);
+
+  // Kernel-scaling curve at the paper's configuration.
+  text_table scaling("Cluster-kernel scaling (resolution 0.08, P2P on)");
+  scaling.set_header({"kernels", "cluster time (s)", "speedup vs 1"});
+  double base = 0.0;
+  for (const unsigned k : {1U, 2U, 4U, 5U, 8U}) {
+    spechd_hw_config hw;
+    hw.cluster_kernels = k;
+    const auto run = model_spechd_run(ds, hw);
+    if (k == 1) base = run.time.cluster;
+    scaling.add_row({text_table::num(std::size_t{k}), text_table::num(run.time.cluster, 1),
+                     text_table::num(base / run.time.cluster, 2)});
+  }
+  std::cout << '\n';
+  scaling.print(std::cout);
+  std::cout << "\nExpected: near-linear scaling to 5 kernels (bucket-level\n"
+               "parallelism), diminishing beyond as the largest buckets dominate;\n"
+               "P2P strictly better than host-staged transfers.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: bitonic top-k selector vs heap selection (Sec. III-A).
+//
+// On the FPGA the bitonic network wins by being branch-free and spatially
+// pipelined; on a CPU the heap is faster. This bench quantifies the CPU
+// cost of the faithful model and prints the comparator/stage counts that
+// drive the hardware cost model.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "preprocess/topk.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spechd;
+
+ms::spectrum random_spectrum(std::size_t peaks, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  ms::spectrum s;
+  for (std::size_t i = 0; i < peaks; ++i) {
+    s.peaks.push_back({rng.uniform(100.0, 1900.0),
+                       static_cast<float>(rng.uniform(1.0, 1000.0))});
+  }
+  ms::sort_peaks(s);
+  return s;
+}
+
+void bm_heap_topk(benchmark::State& state) {
+  const auto base = random_spectrum(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto s = base;
+    preprocess::heap_topk(s, 50);
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+void bm_bitonic_topk(benchmark::State& state) {
+  const auto base = random_spectrum(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto s = base;
+    preprocess::bitonic_topk(s, 50);
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+BENCHMARK(bm_heap_topk)->Arg(200)->Arg(1000)->Arg(4000);
+BENCHMARK(bm_bitonic_topk)->Arg(200)->Arg(1000)->Arg(4000);
+
+void print_network_stats() {
+  text_table table("Bitonic network cost (drives the MSAS/FPGA model)");
+  table.set_header({"peaks", "padded n", "stages", "comparators"});
+  for (const std::size_t n : {128U, 424U, 1097U, 1894U, 4096U}) {
+    const auto st = preprocess::bitonic_network_stats(n);
+    table.add_row({text_table::num(n), text_table::num(st.padded_n),
+                   text_table::num(st.stages), text_table::num(st.comparators)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_network_stats();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

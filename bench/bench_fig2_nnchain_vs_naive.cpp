@@ -1,0 +1,78 @@
+// Fig. 2: Comparison between Naive and NN-chain HAC.
+//
+// Measures wall-clock of both algorithms over growing problem sizes with
+// google-benchmark, and prints the operation-count comparison that explains
+// the gap (naive rescans the whole matrix after every merge; NN-chain does
+// amortised O(n) work per merge).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "cluster/naive_hac.hpp"
+#include "cluster/nn_chain.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+spechd::hdc::distance_matrix_f32 random_matrix(std::size_t n, std::uint64_t seed) {
+  spechd::xoshiro256ss rng(seed);
+  spechd::hdc::distance_matrix_f32 m(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = static_cast<float>(rng.uniform(0.01, 1.0));
+    }
+  }
+  return m;
+}
+
+void bm_nn_chain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 42);
+  for (auto _ : state) {
+    auto result = spechd::cluster::nn_chain_hac(m, spechd::cluster::linkage::complete);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void bm_naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 42);
+  for (auto _ : state) {
+    auto result = spechd::cluster::naive_hac(m, spechd::cluster::linkage::complete);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(bm_nn_chain)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+BENCHMARK(bm_naive)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void print_operation_counts() {
+  using spechd::text_table;
+  text_table table("Fig. 2 — operation counts, naive vs NN-chain (complete linkage)");
+  table.set_header({"n", "naive comparisons", "nn-chain comparisons", "ratio"});
+  for (const std::size_t n : {64, 128, 256, 512, 1024}) {
+    const auto m = random_matrix(n, 7);
+    const auto naive = spechd::cluster::naive_hac(m, spechd::cluster::linkage::complete);
+    const auto chain =
+        spechd::cluster::nn_chain_hac(m, spechd::cluster::linkage::complete);
+    table.add_row({text_table::num(n),
+                   text_table::num(static_cast<std::size_t>(naive.stats.comparisons)),
+                   text_table::num(static_cast<std::size_t>(chain.stats.comparisons)),
+                   text_table::num(static_cast<double>(naive.stats.comparisons) /
+                                       static_cast<double>(chain.stats.comparisons),
+                                   1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_operation_counts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 7: End-to-end runtime speedup.
+//
+// "Across five datasets, Spec-HD achieves remarkable speed-ups, ranging
+//  from 31x over GLEAMS for dataset PXD001511 to an impressive 54x for
+//  PXD000561. Against HyperSpec-HAC, the current state-of-the-art in
+//  runtime, we note a 6x speed-up."
+//
+// Prints modelled end-to-end runtime per tool per dataset and the speedup
+// of SpecHD over each, with the paper's anchor ratios for comparison.
+#include <iostream>
+
+#include "fpga/tool_models.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spechd;
+  using namespace spechd::fpga;
+  using text_table = spechd::text_table;
+
+  const spechd_hw_config hw;
+  const baseline_rates rates;
+
+  text_table runtimes("Fig. 7 — modelled end-to-end runtime (seconds)");
+  runtimes.set_header({"dataset", "SpecHD", "HyperSpec-HAC", "HyperSpec-DBSCAN", "GLEAMS",
+                       "Falcon", "msCRUSH"});
+  text_table speedups("Fig. 7 — SpecHD end-to-end speedup (x)");
+  speedups.set_header({"dataset", "vs HyperSpec-HAC", "vs HyperSpec-DBSCAN", "vs GLEAMS",
+                       "vs Falcon", "vs msCRUSH"});
+
+  for (const auto& ds : ms::paper_datasets()) {
+    const auto runs = model_all_tools(ds, hw, rates);
+    const double spechd = runs[0].time.end_to_end();
+    runtimes.add_row({std::string(ds.pride_id), text_table::num(spechd, 1),
+                      text_table::num(runs[1].time.end_to_end(), 1),
+                      text_table::num(runs[2].time.end_to_end(), 1),
+                      text_table::num(runs[3].time.end_to_end(), 1),
+                      text_table::num(runs[4].time.end_to_end(), 1),
+                      text_table::num(runs[5].time.end_to_end(), 1)});
+    speedups.add_row({std::string(ds.pride_id),
+                      text_table::num(runs[1].time.end_to_end() / spechd, 1),
+                      text_table::num(runs[2].time.end_to_end() / spechd, 1),
+                      text_table::num(runs[3].time.end_to_end() / spechd, 1),
+                      text_table::num(runs[4].time.end_to_end() / spechd, 1),
+                      text_table::num(runs[5].time.end_to_end() / spechd, 1)});
+  }
+  runtimes.print(std::cout);
+  std::cout << '\n';
+  speedups.print(std::cout);
+
+  std::cout << "\nPaper anchors: ~6x vs HyperSpec-HAC; 31x (PXD001511) to 54x\n"
+               "(PXD000561) vs GLEAMS; msCRUSH and Falcon in between. SpecHD's\n"
+               "largest dataset end-to-end should sit near the abstract's\n"
+               "\"5 minutes\" (300 s) figure.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 9: Energy efficiency (a: end-to-end, b: standalone clustering).
+//
+// "Spec-HD exhibited a 14x and 31x improvement in end-to-end energy
+//  efficiency over HyperSpec-DBSCAN and HyperSpec-HAC, respectively, with
+//  clustering-phase gains of 12x and 40x."
+#include <iostream>
+
+#include "fpga/tool_models.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spechd;
+  using namespace spechd::fpga;
+  using text_table = spechd::text_table;
+
+  const auto ds = ms::paper_datasets()[4];  // PXD000561
+  const auto runs = model_all_tools(ds, {}, {});
+
+  const double spechd_e2e = runs[0].energy.end_to_end();
+  const double spechd_cl = runs[0].energy.standalone_clustering();
+
+  text_table a("Fig. 9a — end-to-end energy (PXD000561)");
+  a.set_header({"tool", "energy (kJ, model)", "efficiency gain (model)",
+                "efficiency gain (paper)"});
+  text_table b("Fig. 9b — standalone clustering energy (PXD000561)");
+  b.set_header({"tool", "energy (kJ, model)", "efficiency gain (model)",
+                "efficiency gain (paper)"});
+
+  struct anchor {
+    const char* tool;
+    std::size_t index;
+    double paper_e2e;
+    double paper_cl;
+  };
+  const anchor anchors[] = {
+      {"SpecHD", 0, 1.0, 1.0},
+      {"HyperSpec-HAC", 1, 31.0, 40.0},
+      {"HyperSpec-DBSCAN", 2, 14.0, 12.0},
+  };
+
+  for (const auto& an : anchors) {
+    const auto& run = runs[an.index];
+    a.add_row({an.tool, text_table::num(run.energy.end_to_end() / 1e3, 2),
+               text_table::num(run.energy.end_to_end() / spechd_e2e, 1),
+               text_table::num(an.paper_e2e, 1)});
+    b.add_row({an.tool, text_table::num(run.energy.standalone_clustering() / 1e3, 2),
+               text_table::num(run.energy.standalone_clustering() / spechd_cl, 1),
+               text_table::num(an.paper_cl, 1)});
+  }
+  a.print(std::cout);
+  std::cout << '\n';
+  b.print(std::cout);
+  std::cout << "\nMeasurement analogues: Intel RAPL (CPU), nvidia-smi (GPU), Xilinx\n"
+               "XRT (FPGA); here replaced by the documented power models in\n"
+               "src/fpga/device.hpp.\n";
+  return 0;
+}

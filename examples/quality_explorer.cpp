@@ -1,0 +1,56 @@
+// quality_explorer: trace the clustered-ratio vs ICR trade-off curve for
+// the SpecHD pipeline on a labelled synthetic dataset, the analysis a user
+// performs to pick a distance threshold for their data (Fig. 10 style).
+//
+//   $ ./quality_explorer [peptides] [replicates]
+#include <iostream>
+#include <string>
+
+#include "core/spechd.hpp"
+#include "core/sweep.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spechd;
+  using text_table = spechd::text_table;
+
+  ms::synthetic_config data_config;
+  data_config.peptide_count = argc > 1 ? std::stoul(argv[1]) : 80;
+  data_config.spectra_per_peptide_mean = argc > 2 ? std::stod(argv[2]) : 7.0;
+  data_config.unlabelled_fraction = 0.1;
+  data_config.seed = 31337;
+  const auto data = ms::generate_dataset(data_config);
+  std::cout << "dataset: " << data.spectra.size() << " spectra ("
+            << data.library.size() << " peptides + noise)\n\n";
+
+  const auto sweep = core::run_sweep(
+      "SpecHD", data,
+      [](const std::vector<ms::spectrum>& spectra, double aggressiveness) {
+        core::spechd_config config;
+        config.distance_threshold = 0.25 + 0.30 * aggressiveness;
+        return core::spechd_pipeline(config).run(spectra).clustering;
+      },
+      11);
+
+  text_table table("threshold sweep (normalised Hamming cut)");
+  table.set_header({"threshold", "clustered ratio", "ICR", "completeness",
+                    "clusters"});
+  for (const auto& p : sweep.points) {
+    table.add_row({text_table::num(0.25 + 0.30 * p.aggressiveness, 3),
+                   text_table::num(p.quality.clustered_ratio, 3),
+                   text_table::num(p.quality.incorrect_ratio, 4),
+                   text_table::num(p.quality.completeness, 3),
+                   text_table::num(p.quality.cluster_count)});
+  }
+  table.print(std::cout);
+
+  for (const double budget : {0.01, 0.02, 0.05}) {
+    if (const auto* best = sweep.best_at_icr(budget)) {
+      std::cout << "\nbest threshold at ICR <= " << budget << ": "
+                << 0.25 + 0.30 * best->aggressiveness << " (clustered ratio "
+                << best->quality.clustered_ratio << ")";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

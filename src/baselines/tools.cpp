@@ -1,0 +1,565 @@
+#include "baselines/tools.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "baselines/vectorize.hpp"
+#include "cluster/dbscan.hpp"
+#include "cluster/nn_chain.hpp"
+#include "hdc/distance.hpp"
+#include "hdc/encoder.hpp"
+#include "ms/spectrum.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace spechd::baselines {
+
+namespace {
+
+/// Precursor-mass bucketing shared by every baseline (1 Da neutral-mass
+/// windows, the common default precursor tolerance regime).
+std::vector<std::vector<std::uint32_t>> precursor_buckets(
+    const std::vector<ms::spectrum>& spectra) {
+  std::map<std::int64_t, std::vector<std::uint32_t>> by_key;
+  for (std::uint32_t i = 0; i < spectra.size(); ++i) {
+    const int charge = spectra[i].precursor_charge > 0 ? spectra[i].precursor_charge : 2;
+    const double mass = (spectra[i].precursor_mz - ms::hydrogen_mass) * charge;
+    by_key[static_cast<std::int64_t>(std::floor(mass))].push_back(i);
+  }
+  std::vector<std::vector<std::uint32_t>> buckets;
+  buckets.reserve(by_key.size());
+  for (auto& [key, members] : by_key) buckets.push_back(std::move(members));
+  return buckets;
+}
+
+/// Merges per-bucket labels into a global flat clustering.
+class label_builder {
+public:
+  explicit label_builder(std::size_t n) {
+    out_.labels.assign(n, -1);
+  }
+
+  /// `local` carries one label (or -1 for noise) per member of `members`.
+  void add_bucket(const std::vector<std::uint32_t>& members,
+                  const std::vector<std::int32_t>& local, std::size_t local_clusters) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      out_.labels[members[i]] =
+          local[i] < 0 ? next_noise_label() : static_cast<std::int32_t>(offset_ + local[i]);
+    }
+    offset_ += local_clusters;
+  }
+
+  cluster::flat_clustering finish() {
+    out_.cluster_count = offset_;
+    // Noise points were assigned fresh singleton labels beyond offset_; fold
+    // them into the count so labels stay dense.
+    if (!noise_labels_.empty()) {
+      std::unordered_map<std::int32_t, std::int32_t> remap;
+      for (auto& l : out_.labels) {
+        if (l >= static_cast<std::int32_t>(offset_) || l < 0) {
+          if (l < 0) continue;
+        }
+      }
+      // Renumber noise labels (stored as negative placeholders) to dense ids.
+      for (auto& l : out_.labels) {
+        if (l <= -2) {
+          auto [it, inserted] = remap.try_emplace(l, static_cast<std::int32_t>(out_.cluster_count));
+          if (inserted) ++out_.cluster_count;
+          l = it->second;
+        }
+      }
+    }
+    return std::move(out_);
+  }
+
+private:
+  std::int32_t next_noise_label() {
+    // Temporarily store noise as unique negative ids <= -2; finish() maps
+    // them to dense singleton labels.
+    const auto label = static_cast<std::int32_t>(-2 - static_cast<std::int32_t>(noise_labels_.size()));
+    noise_labels_.push_back(label);
+    return label;
+  }
+
+  cluster::flat_clustering out_;
+  std::size_t offset_ = 0;
+  std::vector<std::int32_t> noise_labels_;
+};
+
+/// Shared preprocessing for vector-space tools.
+std::vector<sparse_vector> vectorize_all(const std::vector<ms::spectrum>& spectra) {
+  vectorize_config config;
+  std::vector<sparse_vector> out;
+  out.reserve(spectra.size());
+  for (const auto& s : spectra) out.push_back(vectorize(s, config));
+  return out;
+}
+
+/// Union-find for pair-merge tools.
+class pair_merger {
+public:
+  explicit pair_merger(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+  std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) noexcept { parent_[find(a)] = find(b); }
+
+  std::pair<std::vector<std::int32_t>, std::size_t> labels() {
+    std::vector<std::int32_t> out(parent_.size(), -1);
+    std::unordered_map<std::uint32_t, std::int32_t> remap;
+    std::int32_t next = 0;
+    for (std::uint32_t i = 0; i < parent_.size(); ++i) {
+      const auto root = find(i);
+      auto [it, inserted] = remap.try_emplace(root, next);
+      if (inserted) ++next;
+      out[i] = it->second;
+    }
+    return {std::move(out), static_cast<std::size_t>(next)};
+  }
+
+private:
+  std::vector<std::uint32_t> parent_;
+};
+
+// ---------------------------------------------------------------------------
+// HyperSpec analogue
+// ---------------------------------------------------------------------------
+
+class hyperspec_tool final : public clustering_tool {
+public:
+  explicit hyperspec_tool(bool hac) : hac_(hac) {}
+
+  std::string_view name() const noexcept override {
+    return hac_ ? "HyperSpec-HAC" : "HyperSpec-DBSCAN";
+  }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    preprocess::preprocess_config pp;
+    auto batch = preprocess::run_preprocessing(spectra, pp);
+
+    // Rebuild an index: quantised spectra reference original positions.
+    hdc::encoder_config enc_cfg;
+    hdc::id_level_encoder encoder(enc_cfg, pp.quantize.mz_bins, pp.quantize.intensity_levels);
+
+    label_builder builder(spectra.size());
+    // Normalised Hamming cut: replicate HVs sit around 0.35-0.45, unrelated
+    // pairs near 0.5, so the useful knob range is high and narrow.
+    const double threshold = 0.25 + 0.30 * aggressiveness;
+
+    for (const auto& bucket : batch.buckets) {
+      std::vector<preprocess::quantized_spectrum> members;
+      members.reserve(bucket.size());
+      for (const auto idx : bucket.members) members.push_back(batch.spectra[idx]);
+      std::vector<std::uint32_t> original;
+      original.reserve(members.size());
+      for (const auto& m : members) original.push_back(m.source_index);
+
+      const auto hvs = encoder.encode_batch(members);
+      const auto matrix = hdc::pairwise_hamming_f32(hvs);
+
+      std::vector<std::int32_t> local;
+      std::size_t local_clusters = 0;
+      if (hac_) {
+        const auto result = cluster::nn_chain_hac(matrix, cluster::linkage::complete);
+        auto flat = result.tree.cut(threshold);
+        local = std::move(flat.labels);
+        local_clusters = flat.cluster_count;
+      } else {
+        cluster::dbscan_config db;
+        db.eps = threshold;
+        db.min_pts = 2;
+        auto flat = cluster::dbscan(matrix, db);
+        local = std::move(flat.labels);
+        local_clusters = flat.cluster_count;
+      }
+      builder.add_bucket(original, local, local_clusters);
+    }
+    return builder.finish();
+  }
+
+private:
+  bool hac_;
+};
+
+// ---------------------------------------------------------------------------
+// falcon analogue
+// ---------------------------------------------------------------------------
+
+class falcon_tool final : public clustering_tool {
+public:
+  std::string_view name() const noexcept override { return "falcon"; }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    const auto vectors = vectorize_all(spectra);
+    const auto buckets = precursor_buckets(spectra);
+    const double min_cosine = 0.85 - 0.45 * aggressiveness;
+
+    label_builder builder(spectra.size());
+    for (const auto& members : buckets) {
+      pair_merger merger(members.size());
+      // LSH candidate generation: 8 tables x 8-bit signatures (recall-oriented,
+      // as falcon probes many hash tables).
+      for (std::uint32_t table = 0; table < 8; ++table) {
+        std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_sig;
+        for (std::uint32_t i = 0; i < members.size(); ++i) {
+          const auto sig = lsh_signature(vectors[members[i]], 8, table, 0xFA1C0, 0);
+          by_sig[sig].push_back(i);
+        }
+        for (const auto& [sig, group] : by_sig) {
+          for (std::size_t a = 0; a < group.size(); ++a) {
+            for (std::size_t b = a + 1; b < group.size(); ++b) {
+              if (merger.find(group[a]) == merger.find(group[b])) continue;
+              const double c =
+                  cosine(vectors[members[group[a]]], vectors[members[group[b]]]);
+              if (c >= min_cosine) merger.unite(group[a], group[b]);
+            }
+          }
+        }
+      }
+      auto [local, count] = merger.labels();
+      builder.add_bucket(members, local, count);
+    }
+    return builder.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// msCRUSH analogue
+// ---------------------------------------------------------------------------
+
+class mscrush_tool final : public clustering_tool {
+public:
+  std::string_view name() const noexcept override { return "msCRUSH"; }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    const auto vectors = vectorize_all(spectra);
+    const auto buckets = precursor_buckets(spectra);
+    const double final_threshold = 0.82 - 0.42 * aggressiveness;
+    constexpr int k_iterations = 8;
+
+    label_builder builder(spectra.size());
+    for (const auto& members : buckets) {
+      pair_merger merger(members.size());
+      for (int iter = 0; iter < k_iterations; ++iter) {
+        // Threshold anneals from strict to final across iterations.
+        const double t = final_threshold +
+                         (0.97 - final_threshold) *
+                             (1.0 - static_cast<double>(iter) / (k_iterations - 1));
+        std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_sig;
+        for (std::uint32_t i = 0; i < members.size(); ++i) {
+          const auto sig = lsh_signature(vectors[members[i]], 8,
+                                         static_cast<std::uint32_t>(iter), 0xC4054, 0);
+          by_sig[sig].push_back(i);
+        }
+        for (const auto& [sig, group] : by_sig) {
+          // Greedy: compare each member to the group's first representative.
+          for (std::size_t b = 1; b < group.size(); ++b) {
+            if (merger.find(group[0]) == merger.find(group[b])) continue;
+            const double c = cosine(vectors[members[group[0]]], vectors[members[group[b]]]);
+            if (c >= t) merger.unite(group[0], group[b]);
+          }
+        }
+      }
+      auto [local, count] = merger.labels();
+      builder.add_bucket(members, local, count);
+    }
+    return builder.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GLEAMS analogue
+// ---------------------------------------------------------------------------
+
+class gleams_tool final : public clustering_tool {
+public:
+  std::string_view name() const noexcept override { return "GLEAMS"; }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    const auto vectors = vectorize_all(spectra);
+    const auto buckets = precursor_buckets(spectra);
+    const double threshold = 0.10 + 1.00 * aggressiveness;  // euclidean in 32-d
+
+    label_builder builder(spectra.size());
+    for (const auto& members : buckets) {
+      std::vector<std::vector<float>> embedded;
+      embedded.reserve(members.size());
+      for (const auto idx : members) {
+        embedded.push_back(dense_embedding(vectors[idx], 32, 0x61EA45, 0));
+      }
+      hdc::distance_matrix_f32 matrix(members.size());
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          matrix.at(i, j) = static_cast<float>(euclidean(embedded[i], embedded[j]));
+        }
+      }
+      const auto result = cluster::nn_chain_hac(matrix, cluster::linkage::complete);
+      auto flat = result.tree.cut(threshold);
+      builder.add_bucket(members, flat.labels, flat.cluster_count);
+    }
+    return builder.finish();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MaRaCluster analogue
+// ---------------------------------------------------------------------------
+
+class maracluster_tool final : public clustering_tool {
+public:
+  std::string_view name() const noexcept override { return "MaRaCluster"; }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    const auto vectors = vectorize_all(spectra);
+
+    // Fragment rarity: document frequency of each bin across the dataset.
+    std::unordered_map<std::uint32_t, std::uint32_t> df;
+    for (const auto& v : vectors) {
+      for (const auto& [bin, w] : v.entries) ++df[bin];
+    }
+    const double n_docs = static_cast<double>(std::max<std::size_t>(1, vectors.size()));
+    auto idf = [&](std::uint32_t bin) {
+      return std::log(n_docs / static_cast<double>(df[bin]));
+    };
+
+    const auto buckets = precursor_buckets(spectra);
+    // Rarity-score threshold; higher aggressiveness accepts weaker evidence.
+    const double threshold = 0.75 - 0.55 * aggressiveness;
+
+    label_builder builder(spectra.size());
+    for (const auto& members : buckets) {
+      hdc::distance_matrix_f32 matrix(members.size());
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          matrix.at(i, j) = static_cast<float>(
+              1.0 - rarity_similarity(vectors[members[i]], vectors[members[j]], idf));
+        }
+      }
+      const auto result = cluster::nn_chain_hac(matrix, cluster::linkage::complete);
+      auto flat = result.tree.cut(threshold);
+      builder.add_bucket(members, flat.labels, flat.cluster_count);
+    }
+    return builder.finish();
+  }
+
+private:
+  template <typename IdfFn>
+  static double rarity_similarity(const sparse_vector& a, const sparse_vector& b,
+                                  IdfFn&& idf) {
+    // Rarity-weighted cosine: shared rare fragments count for more (the
+    // "fragment rarity metric" idea of MaRaCluster).
+    double dot = 0.0;
+    double norm_a = 0.0;
+    double norm_b = 0.0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.entries.size() || j < b.entries.size()) {
+      if (j >= b.entries.size() ||
+          (i < a.entries.size() && a.entries[i].first < b.entries[j].first)) {
+        const double w = a.entries[i].second * idf(a.entries[i].first);
+        norm_a += w * w;
+        ++i;
+      } else if (i >= a.entries.size() || b.entries[j].first < a.entries[i].first) {
+        const double w = b.entries[j].second * idf(b.entries[j].first);
+        norm_b += w * w;
+        ++j;
+      } else {
+        const double weight = idf(a.entries[i].first);
+        const double wa = a.entries[i].second * weight;
+        const double wb = b.entries[j].second * weight;
+        dot += wa * wb;
+        norm_a += wa * wa;
+        norm_b += wb * wb;
+        ++i;
+        ++j;
+      }
+    }
+    if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+    return dot / std::sqrt(norm_a * norm_b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MSCluster / spectra-cluster analogue
+// ---------------------------------------------------------------------------
+
+class mscluster_tool final : public clustering_tool {
+public:
+  /// `conservative` selects the spectra-cluster flavour: more cascade
+  /// rounds, stricter start, lower aggressiveness gain.
+  explicit mscluster_tool(bool conservative) : conservative_(conservative) {}
+
+  std::string_view name() const noexcept override {
+    return conservative_ ? "spectra-cluster" : "MSCluster";
+  }
+
+  cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                               double aggressiveness) const override {
+    const auto vectors = vectorize_all(spectra);
+    const auto buckets = precursor_buckets(spectra);
+    const double final_threshold = conservative_ ? 0.85 - 0.35 * aggressiveness
+                                                 : 0.80 - 0.40 * aggressiveness;
+    const int k_rounds = conservative_ ? 5 : 3;
+
+    label_builder builder(spectra.size());
+    for (const auto& members : buckets) {
+      // Round 0: greedy assignment at the strictest threshold — each
+      // spectrum joins the most similar existing centroid or founds a new
+      // cluster. Later rounds relax the threshold and merge whole clusters
+      // by centroid similarity (the MSCluster cascade).
+      std::vector<std::int32_t> local(members.size(), -1);
+      std::vector<sparse_vector> centroids;
+      std::vector<std::uint32_t> centroid_sizes;
+
+      const double t0 = conservative_ ? 0.97 : 0.95;
+      for (std::uint32_t i = 0; i < members.size(); ++i) {
+        double best = t0;
+        std::int32_t best_cluster = -1;
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+          const double sim = cosine(vectors[members[i]], centroids[c]);
+          if (sim >= best) {
+            best = sim;
+            best_cluster = static_cast<std::int32_t>(c);
+          }
+        }
+        if (best_cluster >= 0) {
+          local[i] = best_cluster;
+          auto& size = centroid_sizes[static_cast<std::size_t>(best_cluster)];
+          merge_into(centroids[static_cast<std::size_t>(best_cluster)], size,
+                     vectors[members[i]]);
+          ++size;
+        } else {
+          local[i] = static_cast<std::int32_t>(centroids.size());
+          centroids.push_back(vectors[members[i]]);
+          centroid_sizes.push_back(1);
+        }
+      }
+
+      // Rounds 1..k: merge clusters whose centroids exceed the (annealing)
+      // threshold; redirect[] maps dead clusters to their survivors.
+      std::vector<std::int32_t> redirect(centroids.size());
+      for (std::size_t c = 0; c < redirect.size(); ++c) {
+        redirect[c] = static_cast<std::int32_t>(c);
+      }
+      for (int round = 1; round < k_rounds; ++round) {
+        const double t = final_threshold +
+                         (t0 - final_threshold) *
+                             (1.0 - static_cast<double>(round) / (k_rounds - 1));
+        for (std::size_t a = 0; a < centroids.size(); ++a) {
+          if (redirect[a] != static_cast<std::int32_t>(a)) continue;  // dead
+          for (std::size_t b = a + 1; b < centroids.size(); ++b) {
+            if (redirect[b] != static_cast<std::int32_t>(b)) continue;
+            if (cosine(centroids[a], centroids[b]) >= t) {
+              // Fold b into a.
+              auto& size = centroid_sizes[a];
+              merge_into(centroids[a], size, centroids[b]);
+              size += centroid_sizes[b];
+              redirect[b] = static_cast<std::int32_t>(a);
+            }
+          }
+        }
+      }
+      // Resolve redirect chains and compact labels.
+      auto resolve = [&](std::int32_t c) {
+        while (redirect[static_cast<std::size_t>(c)] != c) {
+          c = redirect[static_cast<std::size_t>(c)];
+        }
+        return c;
+      };
+      std::unordered_map<std::int32_t, std::int32_t> compact;
+      std::int32_t next = 0;
+      for (auto& l : local) {
+        const auto root = resolve(l);
+        auto [it, inserted] = compact.try_emplace(root, next);
+        if (inserted) ++next;
+        l = it->second;
+      }
+      builder.add_bucket(members, local, static_cast<std::size_t>(next));
+    }
+    return builder.finish();
+  }
+
+private:
+  bool conservative_;
+
+  static void merge_into(sparse_vector& centroid, std::uint32_t current_size,
+                         const sparse_vector& addition) {
+    // Weighted average of unit vectors, re-normalised.
+    std::vector<std::pair<std::uint32_t, float>> merged;
+    merged.reserve(centroid.entries.size() + addition.entries.size());
+    const float wc = static_cast<float>(current_size);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < centroid.entries.size() || j < addition.entries.size()) {
+      if (j >= addition.entries.size() ||
+          (i < centroid.entries.size() &&
+           centroid.entries[i].first < addition.entries[j].first)) {
+        merged.emplace_back(centroid.entries[i].first, centroid.entries[i].second * wc);
+        ++i;
+      } else if (i >= centroid.entries.size() ||
+                 addition.entries[j].first < centroid.entries[i].first) {
+        merged.emplace_back(addition.entries[j].first, addition.entries[j].second);
+        ++j;
+      } else {
+        merged.emplace_back(centroid.entries[i].first,
+                            centroid.entries[i].second * wc + addition.entries[j].second);
+        ++i;
+        ++j;
+      }
+    }
+    double norm_sq = 0.0;
+    for (const auto& [bin, w] : merged) norm_sq += static_cast<double>(w) * w;
+    if (norm_sq > 0.0) {
+      const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+      for (auto& [bin, w] : merged) w *= inv;
+    }
+    centroid.entries = std::move(merged);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<clustering_tool> make_hyperspec(bool hac) {
+  return std::make_unique<hyperspec_tool>(hac);
+}
+std::unique_ptr<clustering_tool> make_falcon() { return std::make_unique<falcon_tool>(); }
+std::unique_ptr<clustering_tool> make_mscrush() { return std::make_unique<mscrush_tool>(); }
+std::unique_ptr<clustering_tool> make_gleams() { return std::make_unique<gleams_tool>(); }
+std::unique_ptr<clustering_tool> make_maracluster() {
+  return std::make_unique<maracluster_tool>();
+}
+std::unique_ptr<clustering_tool> make_mscluster() {
+  return std::make_unique<mscluster_tool>(false);
+}
+
+std::unique_ptr<clustering_tool> make_spectra_cluster() {
+  return std::make_unique<mscluster_tool>(true);
+}
+
+std::vector<std::unique_ptr<clustering_tool>> make_all_baselines() {
+  std::vector<std::unique_ptr<clustering_tool>> tools;
+  tools.push_back(make_hyperspec(true));
+  tools.push_back(make_hyperspec(false));
+  tools.push_back(make_falcon());
+  tools.push_back(make_mscrush());
+  tools.push_back(make_gleams());
+  tools.push_back(make_maracluster());
+  tools.push_back(make_mscluster());
+  tools.push_back(make_spectra_cluster());
+  return tools;
+}
+
+}  // namespace spechd::baselines

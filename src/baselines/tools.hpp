@@ -1,0 +1,70 @@
+// Runnable baseline clustering tools (Fig. 10's nine-tool comparison).
+//
+// Each tool follows the algorithmic skeleton of its namesake and exposes a
+// single `aggressiveness` knob in [0, 1] (0 = conservative) that the
+// quality-sweep harness tunes to trace the clustered-ratio-vs-ICR curve,
+// exactly how the paper "fine-tuned each to operate within an incorrect
+// clustering ratio ranging from 0% to 7%".
+//
+// All tools bucket by precursor mass (Eq. 1-style) first — every real MS
+// clustering tool restricts comparisons to a precursor tolerance.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/dendrogram.hpp"
+#include "ms/spectrum.hpp"
+
+namespace spechd::baselines {
+
+/// Interface implemented by every baseline.
+class clustering_tool {
+public:
+  virtual ~clustering_tool() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Clusters `spectra` (already loaded; the tool does its own
+  /// preprocessing). Returns one label per input spectrum.
+  virtual cluster::flat_clustering run(const std::vector<ms::spectrum>& spectra,
+                                       double aggressiveness) const = 0;
+};
+
+/// HyperSpec analogue: same HDC encoding as SpecHD, generic full-matrix HAC
+/// (fastcluster-style) on Hamming distances. `hac = false` selects the
+/// DBSCAN flavour (cuML analogue).
+std::unique_ptr<clustering_tool> make_hyperspec(bool hac);
+
+/// falcon analogue: sparse vectors + random-hyperplane LSH candidate
+/// generation + single-link merging of pairs above a cosine threshold.
+std::unique_ptr<clustering_tool> make_falcon();
+
+/// msCRUSH analogue: iterative LSH bucketing with in-bucket greedy
+/// consensus merging.
+std::unique_ptr<clustering_tool> make_mscrush();
+
+/// GLEAMS analogue: dense 32-d embedding + complete-linkage HAC in
+/// Euclidean space.
+std::unique_ptr<clustering_tool> make_gleams();
+
+/// MaRaCluster analogue: rarity-weighted fragment-match distance + HAC.
+std::unique_ptr<clustering_tool> make_maracluster();
+
+/// MSCluster analogue: multi-round greedy cascade clustering with a
+/// descending similarity schedule.
+std::unique_ptr<clustering_tool> make_mscluster();
+
+/// spectra-cluster analogue: the same cascade family but with more rounds,
+/// a stricter starting threshold and a probabilistic-scoring flavour
+/// (rarity-weighted cosine), mirroring the PRIDE tool's conservative
+/// defaults.
+std::unique_ptr<clustering_tool> make_spectra_cluster();
+
+/// All baselines in Fig. 10 order (without SpecHD itself): HyperSpec-HAC,
+/// HyperSpec-DBSCAN, falcon, msCRUSH, GLEAMS, MaRaCluster, MSCluster,
+/// spectra-cluster.
+std::vector<std::unique_ptr<clustering_tool>> make_all_baselines();
+
+}  // namespace spechd::baselines

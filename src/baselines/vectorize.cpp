@@ -1,0 +1,127 @@
+#include "baselines/vectorize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spechd::baselines {
+
+namespace {
+
+/// Deterministic per-(bin, dimension) pseudo-random sign/weight derived by
+/// hashing — avoids materialising a (bins x dim) projection matrix.
+inline std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline double unit_gaussian_from_hash(std::uint64_t h) noexcept {
+  // Two 32-bit halves -> Box-Muller. Adequate quality for projections.
+  const double u1 = (static_cast<double>(h >> 32) + 0.5) / 4294967296.0;
+  const double u2 = (static_cast<double>(h & 0xFFFFFFFFULL) + 0.5) / 4294967296.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+sparse_vector vectorize(const ms::spectrum& s, const vectorize_config& config) {
+  SPECHD_EXPECTS(config.bin_width > 0.0 && config.mz_max > config.mz_min);
+  sparse_vector v;
+  v.entries.reserve(s.peaks.size());
+  const auto max_bin = static_cast<std::uint32_t>(
+      (config.mz_max - config.mz_min) / config.bin_width);
+  for (const auto& p : s.peaks) {
+    if (p.mz < config.mz_min || p.mz > config.mz_max || p.intensity <= 0.0F) continue;
+    auto bin = static_cast<std::uint32_t>((p.mz - config.mz_min) / config.bin_width);
+    bin = std::min(bin, max_bin);
+    const float w = config.sqrt_intensity ? std::sqrt(p.intensity) : p.intensity;
+    if (!v.entries.empty() && v.entries.back().first == bin) {
+      v.entries.back().second += w;
+    } else {
+      v.entries.emplace_back(bin, w);
+    }
+  }
+  double norm_sq = 0.0;
+  for (const auto& [bin, w] : v.entries) norm_sq += static_cast<double>(w) * w;
+  if (norm_sq > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& [bin, w] : v.entries) w *= inv;
+  }
+  return v;
+}
+
+double cosine(const sparse_vector& a, const sparse_vector& b) noexcept {
+  double dot = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const auto ba = a.entries[i].first;
+    const auto bb = b.entries[j].first;
+    if (ba == bb) {
+      dot += static_cast<double>(a.entries[i].second) * b.entries[j].second;
+      ++i;
+      ++j;
+    } else if (ba < bb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+std::uint64_t lsh_signature(const sparse_vector& v, std::size_t bits, std::uint32_t table_id,
+                            std::uint64_t seed, std::uint32_t total_bins) {
+  SPECHD_EXPECTS(bits <= 64);
+  (void)total_bins;
+  std::uint64_t signature = 0;
+  for (std::size_t b = 0; b < bits; ++b) {
+    double dot = 0.0;
+    for (const auto& [bin, w] : v.entries) {
+      const std::uint64_t h =
+          mix(seed ^ (static_cast<std::uint64_t>(table_id) << 48) ^
+              (static_cast<std::uint64_t>(b) << 32) ^ bin);
+      dot += static_cast<double>(w) * unit_gaussian_from_hash(h);
+    }
+    if (dot >= 0.0) signature |= 1ULL << b;
+  }
+  return signature;
+}
+
+std::vector<float> dense_embedding(const sparse_vector& v, std::size_t dim,
+                                   std::uint64_t seed, std::uint32_t total_bins) {
+  (void)total_bins;
+  std::vector<float> out(dim, 0.0F);
+  for (std::size_t d = 0; d < dim; ++d) {
+    double acc = 0.0;
+    for (const auto& [bin, w] : v.entries) {
+      const std::uint64_t h = mix(seed ^ (static_cast<std::uint64_t>(d) << 32) ^ bin);
+      acc += static_cast<double>(w) * unit_gaussian_from_hash(h);
+    }
+    out[d] = static_cast<float>(acc);
+  }
+  double norm_sq = 0.0;
+  for (const auto x : out) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& x : out) x *= inv;
+  }
+  return out;
+}
+
+double euclidean(const std::vector<float>& a, const std::vector<float>& b) noexcept {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace spechd::baselines

@@ -1,0 +1,46 @@
+// Shared spectrum vectorisation helpers for the baseline tools.
+//
+// Most comparison tools (falcon, msCRUSH, GLEAMS front end) operate on a
+// sparse binned fragment vector rather than hypervectors; this header
+// provides that representation plus cosine similarity and seeded random
+// projections (LSH hyperplanes, GLEAMS-like dense embeddings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::baselines {
+
+/// Sparse binned vector: sorted (bin, weight) pairs with unit L2 norm.
+struct sparse_vector {
+  std::vector<std::pair<std::uint32_t, float>> entries;  ///< sorted by bin
+};
+
+struct vectorize_config {
+  double mz_min = 101.0;
+  double mz_max = 1905.0;
+  double bin_width = 0.5;  ///< fragment bin size (falcon default ~0.05-1)
+  bool sqrt_intensity = true;
+};
+
+sparse_vector vectorize(const ms::spectrum& s, const vectorize_config& config);
+
+/// Cosine similarity of two unit sparse vectors (merge join).
+double cosine(const sparse_vector& a, const sparse_vector& b) noexcept;
+
+/// Signed random-hyperplane LSH signature of `bits` bits.
+std::uint64_t lsh_signature(const sparse_vector& v, std::size_t bits, std::uint32_t table_id,
+                            std::uint64_t seed, std::uint32_t total_bins);
+
+/// Dense seeded Gaussian random projection to `dim` floats, unit-normalised
+/// (the GLEAMS-like embedding substitute).
+std::vector<float> dense_embedding(const sparse_vector& v, std::size_t dim,
+                                   std::uint64_t seed, std::uint32_t total_bins);
+
+/// Euclidean distance between dense embeddings.
+double euclidean(const std::vector<float>& a, const std::vector<float>& b) noexcept;
+
+}  // namespace spechd::baselines

@@ -1,0 +1,76 @@
+#include "cluster/cophenetic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd::cluster {
+
+hdc::distance_matrix_f32 cophenetic_distances(const dendrogram& tree) {
+  const std::size_t n = tree.leaves();
+  hdc::distance_matrix_f32 result(n);
+  if (n < 2) return result;
+
+  // Leaf sets per node id (leaves 0..n-1, internals n..2n-2). Merges are
+  // processed in order, so children always precede parents.
+  std::vector<std::vector<std::uint32_t>> members(n + tree.merges().size());
+  for (std::uint32_t i = 0; i < n; ++i) members[i] = {i};
+
+  for (std::size_t k = 0; k < tree.merges().size(); ++k) {
+    const auto& m = tree.merges()[k];
+    const auto& left = members[m.left];
+    const auto& right = members[m.right];
+    // Every cross pair first joins at this merge's height.
+    for (const auto a : left) {
+      for (const auto b : right) {
+        result.at(a, b) = static_cast<float>(m.distance);
+      }
+    }
+    auto& merged = members[n + k];
+    merged.reserve(left.size() + right.size());
+    merged.insert(merged.end(), left.begin(), left.end());
+    merged.insert(merged.end(), right.begin(), right.end());
+    // Children's member lists are no longer needed; free eagerly.
+    members[m.left].clear();
+    members[m.left].shrink_to_fit();
+    members[m.right].clear();
+    members[m.right].shrink_to_fit();
+  }
+  return result;
+}
+
+double cophenetic_correlation(const hdc::distance_matrix_f32& original,
+                              const dendrogram& tree) {
+  SPECHD_EXPECTS(original.size() == tree.leaves());
+  const std::size_t n = original.size();
+  if (n < 2) return 1.0;
+
+  const auto coph = cophenetic_distances(tree);
+  const auto& x = original.data();
+  const auto& y = coph.data();
+
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(x.size());
+  mean_y /= static_cast<double>(y.size());
+
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 1.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+}  // namespace spechd::cluster

@@ -1,0 +1,25 @@
+// Cophenetic distances: the height at which two leaves first join in a
+// dendrogram.
+//
+// The cophenetic correlation (Pearson correlation between original pairwise
+// distances and cophenetic distances) is the standard figure of merit for
+// how faithfully a hierarchical clustering preserves the input geometry —
+// used here to validate the q16 fixed-point path against f32 and to compare
+// linkage criteria quantitatively (extending the Fig. 6a analysis).
+#pragma once
+
+#include "cluster/dendrogram.hpp"
+#include "hdc/distance.hpp"
+
+namespace spechd::cluster {
+
+/// Condensed matrix of cophenetic distances for every leaf pair.
+/// O(n^2) time via post-order accumulation of leaf sets.
+hdc::distance_matrix_f32 cophenetic_distances(const dendrogram& tree);
+
+/// Pearson correlation between the original condensed distances and the
+/// tree's cophenetic distances. Returns 1 for degenerate (constant) inputs.
+double cophenetic_correlation(const hdc::distance_matrix_f32& original,
+                              const dendrogram& tree);
+
+}  // namespace spechd::cluster

@@ -1,0 +1,58 @@
+#include "cluster/dbscan.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace spechd::cluster {
+
+flat_clustering dbscan(const hdc::distance_matrix_f32& distances,
+                       const dbscan_config& config) {
+  const std::size_t n = distances.size();
+  flat_clustering out;
+  out.labels.assign(n, -1);
+  if (n == 0) return out;
+
+  auto neighbours = [&](std::size_t p) {
+    std::vector<std::uint32_t> result;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      if (distances.at(p, q) <= config.eps) {
+        result.push_back(static_cast<std::uint32_t>(q));
+      }
+    }
+    return result;
+  };
+
+  std::vector<bool> visited(n, false);
+  std::int32_t next_cluster = 0;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+    auto seeds = neighbours(p);
+    if (seeds.size() + 1 < config.min_pts) continue;  // not a core point
+
+    const std::int32_t cluster = next_cluster++;
+    out.labels[p] = cluster;
+
+    std::queue<std::uint32_t> frontier;
+    for (auto s : seeds) frontier.push(s);
+    while (!frontier.empty()) {
+      const std::uint32_t q = frontier.front();
+      frontier.pop();
+      if (out.labels[q] < 0) out.labels[q] = cluster;  // claim border/noise
+      if (visited[q]) continue;
+      visited[q] = true;
+      auto q_neighbours = neighbours(q);
+      if (q_neighbours.size() + 1 >= config.min_pts) {
+        for (auto s : q_neighbours) {
+          if (!visited[s] || out.labels[s] < 0) frontier.push(s);
+        }
+      }
+    }
+  }
+  out.cluster_count = static_cast<std::size_t>(next_cluster);
+  return out;
+}
+
+}  // namespace spechd::cluster

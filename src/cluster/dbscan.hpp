@@ -1,0 +1,22 @@
+// DBSCAN over a precomputed distance matrix.
+//
+// HyperSpec's fast flavour clusters hypervectors with cuML DBSCAN; we
+// implement the classic algorithm (Ester et al. 1996) on the condensed
+// Hamming matrix so the HyperSpec-DBSCAN baseline (Fig. 9/10) is runnable.
+#pragma once
+
+#include "cluster/dendrogram.hpp"
+#include "hdc/distance.hpp"
+
+namespace spechd::cluster {
+
+struct dbscan_config {
+  double eps = 0.3;         ///< neighbourhood radius (normalised Hamming)
+  std::size_t min_pts = 2;  ///< minimum neighbourhood size (incl. self)
+};
+
+/// Runs DBSCAN; noise points get label -1 and are *not* counted as a
+/// cluster in cluster_count.
+flat_clustering dbscan(const hdc::distance_matrix_f32& distances, const dbscan_config& config);
+
+}  // namespace spechd::cluster

@@ -1,0 +1,153 @@
+#include "cluster/dendrogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spechd::cluster {
+
+namespace {
+
+/// Minimal union-find with path halving.
+class union_find {
+public:
+  explicit union_find(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) noexcept { parent_[find(a)] = find(b); }
+
+private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> cluster_sizes(const flat_clustering& c) {
+  std::vector<std::size_t> sizes(c.cluster_count, 0);
+  for (const auto label : c.labels) {
+    if (label >= 0) ++sizes[static_cast<std::size_t>(label)];
+  }
+  return sizes;
+}
+
+double non_singleton_fraction(const flat_clustering& c) {
+  if (c.labels.empty()) return 0.0;
+  const auto sizes = cluster_sizes(c);
+  std::size_t clustered = 0;
+  for (const auto label : c.labels) {
+    if (label >= 0 && sizes[static_cast<std::size_t>(label)] >= 2) ++clustered;
+  }
+  return static_cast<double>(clustered) / static_cast<double>(c.labels.size());
+}
+
+dendrogram::dendrogram(std::size_t leaves, std::vector<merge_step> merges)
+    : leaves_(leaves), merges_(std::move(merges)) {
+  SPECHD_EXPECTS(merges_.size() + 1 == leaves_ || (leaves_ == 0 && merges_.empty()));
+}
+
+bool dendrogram::monotone() const noexcept {
+  for (std::size_t i = 1; i < merges_.size(); ++i) {
+    if (merges_[i].distance < merges_[i - 1].distance) return false;
+  }
+  return true;
+}
+
+flat_clustering dendrogram::cut(double threshold) const {
+  union_find uf(leaves_ + merges_.size());
+  // Track, for each internal node id, its two children; apply merges whose
+  // height is within threshold.
+  for (std::size_t k = 0; k < merges_.size(); ++k) {
+    const auto& m = merges_[k];
+    if (m.distance > threshold) break;  // merges sorted by height
+    const auto id = static_cast<std::uint32_t>(leaves_ + k);
+    uf.unite(m.left, id);
+    uf.unite(m.right, id);
+  }
+
+  flat_clustering out;
+  out.labels.assign(leaves_, -1);
+  std::vector<std::int32_t> root_label(leaves_ + merges_.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < leaves_; ++i) {
+    const auto root = uf.find(static_cast<std::uint32_t>(i));
+    if (root_label[root] < 0) root_label[root] = next++;
+    out.labels[i] = root_label[root];
+  }
+  out.cluster_count = static_cast<std::size_t>(next);
+  return out;
+}
+
+flat_clustering dendrogram::cut_k(std::size_t k) const {
+  SPECHD_EXPECTS(k >= 1);
+  if (k >= leaves_) {
+    flat_clustering all;
+    all.labels.resize(leaves_);
+    std::iota(all.labels.begin(), all.labels.end(), 0);
+    all.cluster_count = leaves_;
+    return all;
+  }
+  // Applying the first (leaves - k) merges leaves exactly k clusters.
+  const std::size_t apply = leaves_ - k;
+  union_find uf(leaves_ + merges_.size());
+  for (std::size_t m = 0; m < apply; ++m) {
+    const auto id = static_cast<std::uint32_t>(leaves_ + m);
+    uf.unite(merges_[m].left, id);
+    uf.unite(merges_[m].right, id);
+  }
+  flat_clustering out;
+  out.labels.assign(leaves_, -1);
+  std::vector<std::int32_t> root_label(leaves_ + merges_.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < leaves_; ++i) {
+    const auto root = uf.find(static_cast<std::uint32_t>(i));
+    if (root_label[root] < 0) root_label[root] = next++;
+    out.labels[i] = root_label[root];
+  }
+  out.cluster_count = static_cast<std::size_t>(next);
+  return out;
+}
+
+dendrogram build_dendrogram(std::size_t leaves, std::vector<raw_merge> raw) {
+  SPECHD_EXPECTS(raw.size() + 1 == leaves || (leaves == 0 && raw.empty()));
+  std::stable_sort(raw.begin(), raw.end(), [](const raw_merge& x, const raw_merge& y) {
+    return x.distance < y.distance;
+  });
+
+  // SciPy-style label pass: map each raw slot pair to current cluster ids.
+  union_find uf(leaves);
+  std::vector<std::uint32_t> root_id(leaves);
+  std::iota(root_id.begin(), root_id.end(), std::uint32_t{0});
+  std::vector<std::uint32_t> node_size(leaves + raw.size(), 1);
+
+  std::vector<merge_step> merges;
+  merges.reserve(raw.size());
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    const auto ra = uf.find(raw[k].a);
+    const auto rb = uf.find(raw[k].b);
+    const std::uint32_t id_a = root_id[ra];
+    const std::uint32_t id_b = root_id[rb];
+    const auto new_id = static_cast<std::uint32_t>(leaves + k);
+    merge_step step;
+    step.left = std::min(id_a, id_b);
+    step.right = std::max(id_a, id_b);
+    step.distance = raw[k].distance;
+    step.size = node_size[id_a] + node_size[id_b];
+    node_size[new_id] = step.size;
+    merges.push_back(step);
+    uf.unite(ra, rb);
+    root_id[uf.find(ra)] = new_id;
+  }
+  return dendrogram(leaves, std::move(merges));
+}
+
+}  // namespace spechd::cluster

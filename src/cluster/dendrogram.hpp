@@ -1,0 +1,71 @@
+// Dendrogram: the merge tree produced by hierarchical clustering, plus the
+// threshold cut that turns it into a flat clustering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spechd::cluster {
+
+/// One agglomeration step. Cluster ids: 0..n-1 are leaves; the merge at
+/// position k creates id n + k.
+struct merge_step {
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  double distance = 0.0;
+  std::uint32_t size = 0;  ///< members in the merged cluster
+};
+
+/// A flat clustering: labels[i] in [0, cluster_count).
+struct flat_clustering {
+  std::vector<std::int32_t> labels;
+  std::size_t cluster_count = 0;
+
+  std::size_t size() const noexcept { return labels.size(); }
+};
+
+/// Number of members per cluster.
+std::vector<std::size_t> cluster_sizes(const flat_clustering& c);
+
+/// Fraction of items living in clusters of size >= 2 (the paper's
+/// "clustered spectra ratio" numerator, computed per flat clustering).
+double non_singleton_fraction(const flat_clustering& c);
+
+class dendrogram {
+public:
+  dendrogram() = default;
+
+  /// `merges` must be sorted ascending by distance and reference ids as
+  /// described on merge_step (the standard SciPy-style Z matrix).
+  dendrogram(std::size_t leaves, std::vector<merge_step> merges);
+
+  std::size_t leaves() const noexcept { return leaves_; }
+  const std::vector<merge_step>& merges() const noexcept { return merges_; }
+
+  /// Flat clustering containing every merge with distance <= threshold.
+  flat_clustering cut(double threshold) const;
+
+  /// Flat clustering with exactly k clusters (k in [1, leaves]).
+  flat_clustering cut_k(std::size_t k) const;
+
+  /// True if merge distances are non-decreasing (no inversions) — holds for
+  /// all reducible linkages; validated in tests.
+  bool monotone() const noexcept;
+
+private:
+  std::size_t leaves_ = 0;
+  std::vector<merge_step> merges_;
+};
+
+/// Builds a dendrogram from raw (slot_a, slot_b, distance) merge records
+/// produced by NN-chain (which discovers merges out of height order for
+/// some input orders): sorts by distance, then relabels with a union-find,
+/// exactly like fastcluster/SciPy's `label` step.
+struct raw_merge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double distance = 0.0;
+};
+dendrogram build_dendrogram(std::size_t leaves, std::vector<raw_merge> raw);
+
+}  // namespace spechd::cluster

@@ -1,0 +1,44 @@
+#include "cluster/linkage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spechd::cluster {
+
+std::string_view linkage_name(linkage l) noexcept {
+  switch (l) {
+    case linkage::single: return "single";
+    case linkage::complete: return "complete";
+    case linkage::average: return "average";
+    case linkage::ward: return "ward";
+  }
+  return "?";
+}
+
+double lance_williams(linkage l, double d_ka, double d_kb, double d_ab,
+                      std::size_t size_a, std::size_t size_b, std::size_t size_k) noexcept {
+  switch (l) {
+    case linkage::single:
+      return std::min(d_ka, d_kb);
+    case linkage::complete:
+      return std::max(d_ka, d_kb);
+    case linkage::average: {
+      const double na = static_cast<double>(size_a);
+      const double nb = static_cast<double>(size_b);
+      return (na * d_ka + nb * d_kb) / (na + nb);
+    }
+    case linkage::ward: {
+      const double na = static_cast<double>(size_a);
+      const double nb = static_cast<double>(size_b);
+      const double nk = static_cast<double>(size_k);
+      const double t = na + nb + nk;
+      const double v = ((na + nk) * d_ka * d_ka + (nb + nk) * d_kb * d_kb -
+                        nk * d_ab * d_ab) /
+                       t;
+      return std::sqrt(std::max(0.0, v));
+    }
+  }
+  return d_ka;
+}
+
+}  // namespace spechd::cluster

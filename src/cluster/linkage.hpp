@@ -1,0 +1,32 @@
+// Linkage criteria and Lance–Williams distance updates.
+//
+// Sec. III-C: "Our architecture is flexible and supports various linkage
+// criteria, including Ward, single linkage, and complete linkage. In our
+// specific implementation, we have found that complete linkage provides
+// the most reliable results."
+//
+// All four supported criteria are *reducible* (Murtagh & Contreras 2011),
+// which is precisely the property that makes NN-chain produce the same
+// dendrogram as exhaustive greedy HAC.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace spechd::cluster {
+
+enum class linkage {
+  single,
+  complete,
+  average,
+  ward,
+};
+
+std::string_view linkage_name(linkage l) noexcept;
+
+/// Lance–Williams update: distance from cluster k to the merge of a and b,
+/// given the previous distances d_ka, d_kb, d_ab and the cluster sizes.
+double lance_williams(linkage l, double d_ka, double d_kb, double d_ab,
+                      std::size_t size_a, std::size_t size_b, std::size_t size_k) noexcept;
+
+}  // namespace spechd::cluster

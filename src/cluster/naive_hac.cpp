@@ -1,0 +1,102 @@
+#include "cluster/naive_hac.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/fixed_point.hpp"
+
+namespace spechd::cluster {
+
+namespace {
+
+struct store_f64 {
+  static double store(double v) noexcept { return v; }
+};
+struct store_q16 {
+  static double store(double v) noexcept { return q16::from_double(v).to_double(); }
+};
+
+constexpr std::uint32_t k_noneu() { return std::numeric_limits<std::uint32_t>::max(); }
+
+template <typename Policy, typename Matrix>
+hac_result naive_impl(const Matrix& input, linkage link) {
+  const std::size_t n = input.size();
+  hac_result result;
+  if (n <= 1) {
+    result.tree = dendrogram(n, {});
+    return result;
+  }
+
+  std::vector<double> d(n * (n - 1) / 2);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double v;
+      if constexpr (std::is_same_v<Matrix, hdc::distance_matrix_q16>) {
+        v = input.at(i, j).to_double();
+      } else {
+        v = static_cast<double>(input.at(i, j));
+      }
+      d[i * (i - 1) / 2 + j] = Policy::store(v);
+    }
+  }
+  auto dist = [&](std::uint32_t a, std::uint32_t b) -> double& {
+    return a > b ? d[static_cast<std::size_t>(a) * (a - 1) / 2 + b]
+                 : d[static_cast<std::size_t>(b) * (b - 1) / 2 + a];
+  };
+
+  std::vector<bool> active(n, true);
+  std::vector<std::uint32_t> size(n, 1);
+  std::vector<raw_merge> raw;
+  raw.reserve(n - 1);
+  hac_stats& stats = result.stats;
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Full scan for the global minimum pair — the O(n^2)-per-merge cost the
+    // NN-chain formulation avoids.
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t bi = k_noneu(), bj = k_noneu();
+    for (std::uint32_t i = 1; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (!active[j]) continue;
+        ++stats.comparisons;
+        const double v = dist(i, j);
+        if (v < best) {
+          best = v;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    raw.push_back({bi, bj, best});
+    ++stats.merges;
+    const std::uint32_t size_a = size[bi];
+    const std::uint32_t size_b = size[bj];
+    active[bi] = false;
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bj) continue;
+      const double d_ka = dist(k, bi);
+      const double d_kb = dist(k, bj);
+      dist(k, bj) =
+          Policy::store(lance_williams(link, d_ka, d_kb, best, size_a, size_b, size[k]));
+      ++stats.distance_updates;
+    }
+    size[bj] = size_a + size_b;
+  }
+
+  result.tree = build_dendrogram(n, std::move(raw));
+  return result;
+}
+
+}  // namespace
+
+hac_result naive_hac(const hdc::distance_matrix_f32& distances, linkage link) {
+  return naive_impl<store_f64>(distances, link);
+}
+
+hac_result naive_hac(const hdc::distance_matrix_q16& distances, linkage link) {
+  return naive_impl<store_q16>(distances, link);
+}
+
+}  // namespace spechd::cluster

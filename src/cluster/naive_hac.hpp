@@ -1,0 +1,16 @@
+// Naive greedy hierarchical agglomerative clustering (Fig. 2 baseline).
+//
+// The classic O(n^3) method: after every merge, rescan the whole active
+// matrix for the global minimum pair. Exists to (a) validate NN-chain
+// (identical dendrograms for reducible linkages on tie-free inputs) and
+// (b) regenerate the paper's Fig. 2 naive-vs-NN-chain comparison.
+#pragma once
+
+#include "cluster/nn_chain.hpp"
+
+namespace spechd::cluster {
+
+hac_result naive_hac(const hdc::distance_matrix_f32& distances, linkage link);
+hac_result naive_hac(const hdc::distance_matrix_q16& distances, linkage link);
+
+}  // namespace spechd::cluster

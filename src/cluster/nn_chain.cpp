@@ -1,0 +1,127 @@
+#include "cluster/nn_chain.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/fixed_point.hpp"
+
+namespace spechd::cluster {
+
+namespace {
+
+constexpr std::uint32_t k_none = std::numeric_limits<std::uint32_t>::max();
+
+/// Storage policies: how distances are rounded when written back.
+struct store_f64 {
+  static double store(double v) noexcept { return v; }
+};
+struct store_q16 {
+  static double store(double v) noexcept { return q16::from_double(v).to_double(); }
+};
+
+template <typename Policy, typename Matrix>
+hac_result nn_chain_impl(const Matrix& input, linkage link) {
+  const std::size_t n = input.size();
+  hac_result result;
+  if (n <= 1) {
+    result.tree = dendrogram(n, {});
+    return result;
+  }
+
+  // Working condensed matrix in double precision (Policy rounds stores).
+  std::vector<double> d(n * (n - 1) / 2);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double v;
+      if constexpr (std::is_same_v<Matrix, hdc::distance_matrix_q16>) {
+        v = input.at(i, j).to_double();
+      } else {
+        v = static_cast<double>(input.at(i, j));
+      }
+      d[i * (i - 1) / 2 + j] = Policy::store(v);
+    }
+  }
+  auto dist = [&](std::uint32_t a, std::uint32_t b) -> double& {
+    return a > b ? d[static_cast<std::size_t>(a) * (a - 1) / 2 + b]
+                 : d[static_cast<std::size_t>(b) * (b - 1) / 2 + a];
+  };
+
+  std::vector<bool> active(n, true);
+  std::vector<std::uint32_t> size(n, 1);
+  std::vector<std::uint32_t> chain;
+  chain.reserve(n);
+  std::vector<raw_merge> raw;
+  raw.reserve(n - 1);
+  hac_stats& stats = result.stats;
+
+  std::uint32_t lowest_active = 0;
+  while (raw.size() < n - 1) {
+    if (chain.size() < 2) {
+      chain.clear();
+      while (!active[lowest_active]) ++lowest_active;
+      chain.push_back(lowest_active);
+    }
+
+    for (;;) {
+      const std::uint32_t a = chain.back();
+      const std::uint32_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : k_none;
+
+      // Nearest active neighbour of a, preferring prev on ties (Müllner's
+      // tie-break — guarantees termination).
+      std::uint32_t c = prev;
+      double min_d = prev != k_none ? dist(a, prev) : std::numeric_limits<double>::infinity();
+      for (std::uint32_t x = 0; x < n; ++x) {
+        if (!active[x] || x == a || x == prev) continue;
+        ++stats.comparisons;
+        const double dx = dist(a, x);
+        if (dx < min_d) {
+          min_d = dx;
+          c = x;
+        }
+      }
+
+      if (c == prev && prev != k_none) {
+        // Reciprocal nearest neighbours: merge a and prev.
+        chain.pop_back();
+        chain.pop_back();
+
+        const std::uint32_t keep = prev;  // survivor slot
+        const std::uint32_t gone = a;
+        raw.push_back({gone, keep, min_d});
+        ++stats.merges;
+
+        const std::uint32_t size_a = size[gone];
+        const std::uint32_t size_b = size[keep];
+        active[gone] = false;
+        for (std::uint32_t k = 0; k < n; ++k) {
+          if (!active[k] || k == keep) continue;
+          const double d_ka = dist(k, gone);
+          const double d_kb = dist(k, keep);
+          dist(k, keep) = Policy::store(
+              lance_williams(link, d_ka, d_kb, min_d, size_a, size_b, size[k]));
+          ++stats.distance_updates;
+        }
+        size[keep] = size_a + size_b;
+        break;
+      }
+      chain.push_back(c);
+      ++stats.chain_pushes;
+    }
+  }
+
+  result.tree = build_dendrogram(n, std::move(raw));
+  return result;
+}
+
+}  // namespace
+
+hac_result nn_chain_hac(const hdc::distance_matrix_f32& distances, linkage link) {
+  return nn_chain_impl<store_f64>(distances, link);
+}
+
+hac_result nn_chain_hac(const hdc::distance_matrix_q16& distances, linkage link) {
+  return nn_chain_impl<store_q16>(distances, link);
+}
+
+}  // namespace spechd::cluster

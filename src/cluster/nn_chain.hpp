@@ -1,0 +1,48 @@
+// Nearest-Neighbor-Chain hierarchical agglomerative clustering (Sec. II-C,
+// III-C; Murtagh & Contreras 2011).
+//
+// The algorithm grows a chain of successive nearest neighbours until it
+// finds a Reciprocal Nearest Neighbor (RNN) pair, merges it, and continues
+// from the surviving chain — avoiding the naive method's full-matrix
+// minimum scan after every merge. For reducible linkages (all four we
+// support) it produces the same dendrogram as exhaustive greedy HAC in
+// O(n^2) time and O(n^2) space (the condensed matrix itself).
+//
+// Two element-type paths mirror the hardware:
+//   * f32 — reference implementation,
+//   * q16 — every stored distance is rounded to the Q0.16 grid after each
+//     Lance–Williams update, exactly as the FPGA kernel writes back to its
+//     16-bit BRAM matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/dendrogram.hpp"
+#include "cluster/linkage.hpp"
+#include "hdc/distance.hpp"
+
+namespace spechd::cluster {
+
+/// Operation counters used by the Fig. 2 comparison bench and the FPGA
+/// cycle model.
+struct hac_stats {
+  std::uint64_t comparisons = 0;       ///< candidate distance comparisons
+  std::uint64_t distance_updates = 0;  ///< Lance–Williams applications
+  std::uint64_t chain_pushes = 0;      ///< NN-chain growth steps (0 for naive)
+  std::uint64_t merges = 0;
+};
+
+struct hac_result {
+  dendrogram tree;
+  hac_stats stats;
+};
+
+/// NN-chain HAC over a float condensed matrix.
+hac_result nn_chain_hac(const hdc::distance_matrix_f32& distances, linkage link);
+
+/// NN-chain HAC over the FPGA's 16-bit fixed-point matrix; intermediate
+/// Lance–Williams arithmetic runs wide (double) and results are re-quantised
+/// to the Q0.16 grid on store, as the HLS kernel does.
+hac_result nn_chain_hac(const hdc::distance_matrix_q16& distances, linkage link);
+
+}  // namespace spechd::cluster

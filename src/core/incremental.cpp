@@ -1,0 +1,190 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hdc/distance.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace spechd::core {
+
+incremental_clusterer::incremental_clusterer(spechd_config config, assign_mode mode)
+    : config_(std::move(config)),
+      mode_(mode),
+      encoder_(config_.encoder, config_.preprocess.quantize.mz_bins,
+               config_.preprocess.quantize.intensity_levels) {}
+
+void incremental_clusterer::bootstrap(const hdc::hv_store& store) {
+  SPECHD_EXPECTS(store.dim() == config_.encoder.dim);
+  records_ = store.records();
+  buckets_.clear();
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const auto key = preprocess::bucket_index(records_[i].precursor_mz,
+                                              records_[i].precursor_charge,
+                                              config_.preprocess.bucketing);
+    buckets_[key].members.push_back(i);
+  }
+  for (auto& [key, bucket] : buckets_) {
+    recluster(bucket);
+  }
+}
+
+update_report incremental_clusterer::add_spectra(const std::vector<ms::spectrum>& spectra) {
+  update_report report;
+  auto batch = preprocess::run_preprocessing(spectra, config_.preprocess);
+  for (const auto& q : batch.spectra) {
+    hdc::hv_record record;
+    record.hv = encoder_.encode(q);
+    record.precursor_mz = q.precursor_mz;
+    record.precursor_charge = q.precursor_charge;
+    record.label = q.label;
+    record.scan = static_cast<std::uint32_t>(records_.size());
+    const auto index = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(record));
+
+    const auto key = preprocess::bucket_index(q.precursor_mz, q.precursor_charge,
+                                              config_.preprocess.bucketing);
+    auto& bucket = buckets_[key];
+    bucket.members.push_back(index);
+    assign(bucket, index, report);
+    bucket.dirty = true;
+    ++report.added;
+  }
+  std::size_t touched = 0;
+  for (const auto& [key, bucket] : buckets_) touched += bucket.dirty ? 1 : 0;
+  report.buckets_touched = touched;
+  return report;
+}
+
+void incremental_clusterer::assign(bucket_state& bucket, std::uint32_t index,
+                                   update_report& report) {
+  // The new member is the last entry; its local label is decided here.
+  const auto& hv = records_[index].hv;
+  const double threshold = config_.distance_threshold;
+
+  std::int32_t best_label = -1;
+  if (mode_ == assign_mode::bundle_representative) {
+    // O(clusters) test against bundled representatives.
+    double best = threshold;
+    for (const auto& [label, bundle] : bucket.bundles) {
+      if (bundle.empty()) continue;
+      const double d = hdc::hamming_normalized(hv, bundle.majority());
+      if (d <= best) {
+        best = d;
+        best_label = label;
+      }
+    }
+  } else {
+    // Complete-linkage test: per existing cluster, the *worst* distance to
+    // any member must stay below the cut for a join.
+    std::map<std::int32_t, double> worst;
+    for (std::size_t i = 0; i + 1 < bucket.members.size(); ++i) {
+      const auto other = bucket.members[i];
+      const auto label = bucket.local_labels[i];
+      const double d = hdc::hamming_normalized(hv, records_[other].hv);
+      auto [it, inserted] = worst.try_emplace(label, d);
+      if (!inserted) it->second = std::max(it->second, d);
+    }
+    double best_worst = threshold;
+    for (const auto& [label, w] : worst) {
+      if (w <= best_worst) {
+        best_worst = w;
+        best_label = label;
+      }
+    }
+  }
+
+  if (best_label >= 0) {
+    bucket.local_labels.push_back(best_label);
+    ++report.joined_existing;
+  } else {
+    best_label = bucket.next_local++;
+    bucket.local_labels.push_back(best_label);
+    ++report.new_clusters;
+  }
+  if (mode_ == assign_mode::bundle_representative) {
+    auto [it, inserted] =
+        bucket.bundles.try_emplace(best_label, config_.encoder.dim);
+    it->second.add(hv);
+  }
+}
+
+void incremental_clusterer::recluster(bucket_state& bucket) {
+  const std::size_t n = bucket.members.size();
+  bucket.local_labels.assign(n, 0);
+  bucket.next_local = 0;
+  if (n == 0) return;
+  if (n == 1) {
+    bucket.local_labels[0] = bucket.next_local++;
+    bucket.dirty = false;
+    bucket.bundles.clear();
+    if (mode_ == assign_mode::bundle_representative) {
+      auto [it, inserted] = bucket.bundles.try_emplace(bucket.local_labels[0],
+                                                       config_.encoder.dim);
+      it->second.add(records_[bucket.members[0]].hv);
+    }
+    return;
+  }
+
+  std::vector<hdc::hypervector> hvs;
+  hvs.reserve(n);
+  for (const auto idx : bucket.members) hvs.push_back(records_[idx].hv);
+
+  cluster::hac_result hac;
+  if (config_.use_fixed_point) {
+    hac = cluster::nn_chain_hac(hdc::pairwise_hamming_q16(hvs), config_.link);
+  } else {
+    hac = cluster::nn_chain_hac(hdc::pairwise_hamming_f32(hvs), config_.link);
+  }
+  auto flat = hac.tree.cut(config_.distance_threshold);
+  bucket.local_labels = std::move(flat.labels);
+  bucket.next_local = static_cast<std::int32_t>(flat.cluster_count);
+  bucket.dirty = false;
+
+  // Rebuild bundled representatives from the fresh labels.
+  bucket.bundles.clear();
+  if (mode_ == assign_mode::bundle_representative) {
+    for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+      auto [it, inserted] = bucket.bundles.try_emplace(bucket.local_labels[i],
+                                                       config_.encoder.dim);
+      it->second.add(records_[bucket.members[i]].hv);
+    }
+  }
+}
+
+void incremental_clusterer::rebuild_dirty_buckets() {
+  for (auto& [key, bucket] : buckets_) {
+    if (bucket.dirty) recluster(bucket);
+  }
+}
+
+cluster::flat_clustering incremental_clusterer::clustering() const {
+  cluster::flat_clustering out;
+  out.labels.assign(records_.size(), -1);
+  std::size_t offset = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+      out.labels[bucket.members[i]] =
+          static_cast<std::int32_t>(offset + static_cast<std::size_t>(bucket.local_labels[i]));
+    }
+    offset += static_cast<std::size_t>(bucket.next_local);
+  }
+  out.cluster_count = offset;
+  return out;
+}
+
+hdc::hv_store incremental_clusterer::to_store() const {
+  hdc::hv_store store(config_.encoder.dim, config_.encoder.seed);
+  for (const auto& r : records_) store.append(r);
+  return store;
+}
+
+std::size_t incremental_clusterer::cluster_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    total += static_cast<std::size_t>(bucket.next_local);
+  }
+  return total;
+}
+
+}  // namespace spechd::core

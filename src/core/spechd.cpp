@@ -1,0 +1,126 @@
+#include "core/spechd.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "hdc/distance.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace spechd::core {
+
+spechd_pipeline::spechd_pipeline(spechd_config config) : config_(std::move(config)) {}
+
+spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) const {
+  spechd_result result;
+  stopwatch watch;
+
+  // --- preprocessing --------------------------------------------------------
+  auto batch = preprocess::run_preprocessing(spectra, config_.preprocess);
+  result.phases.preprocess = watch.seconds();
+  result.encoded_spectra = batch.spectra.size();
+  result.bucket_count = batch.buckets.size();
+  log_info() << "preprocess: " << spectra.size() << " spectra -> "
+             << batch.spectra.size() << " survivors in " << batch.buckets.size()
+             << " buckets (" << batch.dropped << " dropped)";
+
+  // Compression accounting: raw peak bytes of the *input* vs HV storage.
+  std::size_t raw_bytes = 0;
+  for (const auto& s : spectra) raw_bytes += ms::raw_peak_bytes(s);
+  result.compression_factor =
+      hdc::compression_factor(raw_bytes, batch.spectra.size(), config_.encoder.dim);
+
+  // --- encoding -------------------------------------------------------------
+  watch.reset();
+  hdc::id_level_encoder encoder(config_.encoder, config_.preprocess.quantize.mz_bins,
+                                config_.preprocess.quantize.intensity_levels);
+  const auto hvs = encoder.encode_batch(batch.spectra);
+  result.phases.encode = watch.seconds();
+
+  // --- per-bucket clustering -------------------------------------------------
+  watch.reset();
+  result.clustering.labels.assign(spectra.size(), -1);
+
+  struct bucket_output {
+    std::vector<std::uint32_t> original;     ///< input indices
+    std::vector<std::int32_t> local_labels;  ///< per member
+    std::size_t local_clusters = 0;
+    std::vector<ms::spectrum> consensus;
+    cluster::hac_stats stats;
+  };
+  std::vector<bucket_output> outputs(batch.buckets.size());
+
+  thread_pool pool(config_.threads);
+  pool.parallel_for(batch.buckets.size(), [&](std::size_t b) {
+    const auto& bucket = batch.buckets[b];
+    bucket_output& out = outputs[b];
+    out.original.reserve(bucket.size());
+    for (const auto idx : bucket.members) {
+      out.original.push_back(batch.spectra[idx].source_index);
+    }
+
+    if (bucket.size() == 1) {
+      out.local_labels = {0};
+      out.local_clusters = 1;
+      out.consensus.push_back(spectra[out.original[0]]);
+      return;
+    }
+
+    std::vector<hdc::hypervector> bucket_hvs;
+    bucket_hvs.reserve(bucket.size());
+    for (const auto idx : bucket.members) bucket_hvs.push_back(hvs[idx]);
+
+    // Distance matrix: the f32 copy is always built for consensus (the
+    // "original distance matrix" of Sec. III-C); the cluster path uses the
+    // FPGA's q16 grid when configured.
+    const auto matrix_f32 = hdc::pairwise_hamming_f32(bucket_hvs);
+    cluster::hac_result hac;
+    if (config_.use_fixed_point) {
+      const auto matrix_q16 = hdc::pairwise_hamming_q16(bucket_hvs);
+      hac = cluster::nn_chain_hac(matrix_q16, config_.link);
+    } else {
+      hac = cluster::nn_chain_hac(matrix_f32, config_.link);
+    }
+    out.stats = hac.stats;
+
+    auto flat = hac.tree.cut(config_.distance_threshold);
+    out.local_clusters = flat.cluster_count;
+
+    // Consensus per local cluster on the bucket's original spectra.
+    std::vector<ms::spectrum> bucket_spectra;
+    bucket_spectra.reserve(bucket.size());
+    for (const auto idx : out.original) bucket_spectra.push_back(spectra[idx]);
+    out.consensus = cluster::consensus_spectra(flat, matrix_f32, bucket_spectra);
+    out.local_labels = std::move(flat.labels);
+  });
+  result.phases.cluster = watch.seconds();
+
+  // --- merge bucket outputs ---------------------------------------------------
+  watch.reset();
+  std::size_t offset = 0;
+  for (auto& out : outputs) {
+    for (std::size_t i = 0; i < out.original.size(); ++i) {
+      result.clustering.labels[out.original[i]] =
+          static_cast<std::int32_t>(offset + static_cast<std::size_t>(out.local_labels[i]));
+    }
+    offset += out.local_clusters;
+    result.hac_stats.comparisons += out.stats.comparisons;
+    result.hac_stats.distance_updates += out.stats.distance_updates;
+    result.hac_stats.chain_pushes += out.stats.chain_pushes;
+    result.hac_stats.merges += out.stats.merges;
+    for (auto& c : out.consensus) result.consensus.push_back(std::move(c));
+  }
+
+  // Spectra dropped by the filter keep singleton labels at the end.
+  for (auto& label : result.clustering.labels) {
+    if (label < 0) label = static_cast<std::int32_t>(offset++);
+  }
+  result.clustering.cluster_count = offset;
+  result.phases.consensus = watch.seconds();
+  log_info() << "clustered " << spectra.size() << " spectra into " << offset
+             << " clusters in " << result.phases.total() << " s";
+  return result;
+}
+
+}  // namespace spechd::core

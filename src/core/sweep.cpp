@@ -1,0 +1,43 @@
+#include "core/sweep.hpp"
+
+#include "util/error.hpp"
+
+namespace spechd::core {
+
+const sweep_point* sweep_result::best_at_icr(double icr_budget) const noexcept {
+  const sweep_point* best = nullptr;
+  for (const auto& p : points) {
+    if (p.quality.incorrect_ratio <= icr_budget) {
+      if (best == nullptr ||
+          p.quality.clustered_ratio > best->quality.clustered_ratio) {
+        best = &p;
+      }
+    }
+  }
+  return best;
+}
+
+sweep_result run_sweep(const std::string& tool_name, const ms::labelled_dataset& data,
+                       const sweep_fn& fn, std::size_t steps, double lo, double hi) {
+  SPECHD_EXPECTS(steps >= 2);
+  SPECHD_EXPECTS(hi >= lo);
+
+  std::vector<std::int32_t> truth;
+  truth.reserve(data.spectra.size());
+  for (const auto& s : data.spectra) truth.push_back(s.label);
+
+  sweep_result result;
+  result.tool = tool_name;
+  result.points.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double a = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    sweep_point point;
+    point.aggressiveness = a;
+    const auto clustering = fn(data.spectra, a);
+    point.quality = metrics::evaluate_clustering(truth, clustering);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace spechd::core

@@ -1,0 +1,43 @@
+// Quality-sweep harness (Fig. 10, Fig. 6a).
+//
+// Sweeps a tool's aggressiveness knob, evaluating clustered-spectra ratio
+// and incorrect-clustering ratio at each point — the procedure the paper
+// uses to place all nine tools on a common ICR axis ("we fine-tuned each
+// to operate within an incorrect clustering ratio ranging from 0% to 7%").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/quality.hpp"
+#include "ms/synthetic.hpp"
+
+namespace spechd::core {
+
+/// One sweep sample.
+struct sweep_point {
+  double aggressiveness = 0.0;
+  metrics::quality_report quality;
+};
+
+/// A tool under sweep: maps aggressiveness in [0, 1] to a flat clustering
+/// of the given spectra.
+using sweep_fn =
+    std::function<cluster::flat_clustering(const std::vector<ms::spectrum>&, double)>;
+
+struct sweep_result {
+  std::string tool;
+  std::vector<sweep_point> points;  ///< ordered by aggressiveness
+
+  /// Clustered-spectra ratio at the largest aggressiveness whose ICR stays
+  /// <= `icr_budget` (linear scan; the Fig. 6a / Sec. IV-E operating point).
+  const sweep_point* best_at_icr(double icr_budget) const noexcept;
+};
+
+/// Runs `fn` across `steps` aggressiveness values in [lo, hi].
+sweep_result run_sweep(const std::string& tool_name, const ms::labelled_dataset& data,
+                       const sweep_fn& fn, std::size_t steps = 9, double lo = 0.0,
+                       double hi = 1.0);
+
+}  // namespace spechd::core

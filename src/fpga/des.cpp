@@ -1,0 +1,81 @@
+#include "fpga/des.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "fpga/msas.hpp"
+
+namespace spechd::fpga {
+
+des_result simulate_dataflow(const ms::dataset_descriptor& ds,
+                             const spechd_hw_config& config) {
+  des_result r;
+
+  // Near-storage preprocessing runs before the card pipeline (its output
+  // is what streams over P2P).
+  msas_config pp;
+  pp.ssd = config.ssd;
+  pp.top_k = config.top_k;
+  const auto msas = preprocess_dataset(ds, pp);
+
+  const auto sizes = model_bucket_sizes(ds.spectra, config);
+  r.buckets = sizes.size();
+  const double avg_peaks =
+      std::min(static_cast<double>(config.top_k), ds.avg_peaks_per_spectrum);
+  const double bytes_per_spectrum = pp.output_bytes_per_spectrum();
+
+  transfer_model path =
+      config.p2p_enabled
+          ? p2p_path(config.fpga, config.ssd)
+          : host_staged_path(config.fpga.pcie_p2p_bandwidth, config.ssd, server_cpu());
+  const double stream_rate = path.bandwidth * path.efficiency;  // bytes/s
+
+  const double clock = config.fpga.clock_hz;
+  const unsigned kernels = std::max(1U, config.cluster_kernels);
+
+  // Encoder timeline and cluster-kernel free times.
+  double cumulative_bytes = 0.0;
+  double encoder_free = path.latency_s;
+  double encoder_busy = 0.0;
+  std::priority_queue<double, std::vector<double>, std::greater<>> kernel_free;
+  for (unsigned k = 0; k < kernels; ++k) kernel_free.push(0.0);
+  double cluster_busy = 0.0;
+  double makespan = 0.0;
+
+  for (const auto bucket : sizes) {
+    cumulative_bytes += static_cast<double>(bucket) * bytes_per_spectrum;
+    const double transferred = path.latency_s + cumulative_bytes / stream_rate;
+
+    const double enc_seconds = cycles_to_seconds(
+        encoder_cycles(bucket, avg_peaks, config.encoder) /
+            std::max(1U, config.encoder_kernels),
+        clock);
+    const double enc_done = std::max(encoder_free, transferred) + enc_seconds;
+    encoder_free = enc_done;
+    encoder_busy += enc_seconds;
+
+    const double job_seconds =
+        cycles_to_seconds(cluster_bucket_cycles(bucket, config.cluster), clock);
+    const double kernel_available = kernel_free.top();
+    kernel_free.pop();
+    const double start = std::max(enc_done, kernel_available);
+    const double done = start + job_seconds;
+    kernel_free.push(done);
+    cluster_busy += job_seconds;
+    makespan = std::max(makespan, done);
+  }
+
+  r.pipeline_s = makespan;
+  r.makespan_s = msas.time_s + makespan;
+  r.encoder_utilisation = makespan > 0.0 ? encoder_busy / makespan : 0.0;
+  r.cluster_utilisation =
+      makespan > 0.0 ? cluster_busy / (makespan * static_cast<double>(kernels)) : 0.0;
+
+  // Phase-additive reference over the same phases (transfer+encode+cluster).
+  const auto additive = model_spechd_run(ds, config);
+  r.additive_s = additive.time.transfer + additive.time.encode + additive.time.cluster;
+  r.overlap_saving = r.additive_s > 0.0 ? 1.0 - r.pipeline_s / r.additive_s : 0.0;
+  return r;
+}
+
+}  // namespace spechd::fpga

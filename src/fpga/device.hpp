@@ -1,0 +1,104 @@
+// Device catalogue for the performance/energy models (Sec. IV setup).
+//
+// The paper's testbed: Xilinx Alveo U280 (HBM2 8 GB, 460 GB/s), a 12-core
+// CPU server with 128 GB DDR4 and a 2 TB NVMe SSD (Intel DC P4500 for the
+// near-storage experiments), and an NVIDIA RTX 3090 (24 GB) for the GPU
+// baselines. Constants below are public datasheet numbers plus measured
+// averages reported in the literature; they are *calibration inputs*, not
+// claims — every bench prints paper-reported anchors next to model output.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace spechd::fpga {
+
+/// FPGA accelerator card.
+struct fpga_device {
+  std::string_view name;
+  double clock_hz;          ///< achieved HLS kernel clock
+  double hbm_bandwidth;     ///< bytes/s
+  double hbm_capacity;      ///< bytes
+  double pcie_p2p_bandwidth;///< bytes/s NVMe->FPGA peer-to-peer (XRT measured)
+  double power_active_w;    ///< kernel-running board power (XRT telemetry)
+  double power_idle_w;
+};
+
+constexpr fpga_device alveo_u280() {
+  return {
+      .name = "Xilinx Alveo U280",
+      .clock_hz = 300e6,
+      .hbm_bandwidth = 460e9,
+      .hbm_capacity = 8ULL * 1024 * 1024 * 1024,
+      .pcie_p2p_bandwidth = 3.2e9,  // measured P2P rate on Gen3 x16 platforms
+      .power_active_w = 45.0,
+      .power_idle_w = 25.0,
+  };
+}
+
+/// GPU baseline device.
+struct gpu_device {
+  std::string_view name;
+  double memory_bandwidth;  ///< bytes/s
+  double memory_capacity;   ///< bytes
+  double power_peak_w;      ///< board power at full occupancy
+  double power_avg_clustering_w;  ///< nvidia-smi average during cuML work
+  double pcie_bandwidth;    ///< host<->device, bytes/s
+};
+
+constexpr gpu_device rtx3090() {
+  return {
+      .name = "NVIDIA GeForce RTX 3090",
+      .memory_bandwidth = 936e9,
+      .memory_capacity = 24ULL * 1024 * 1024 * 1024,
+      .power_peak_w = 350.0,
+      .power_avg_clustering_w = 110.0,
+      .pcie_bandwidth = 12e9,
+  };
+}
+
+/// Host CPU.
+struct cpu_device {
+  std::string_view name;
+  unsigned cores;
+  double power_active_w;  ///< RAPL package power under load
+  double power_idle_w;
+  double memory_bandwidth;  ///< bytes/s
+};
+
+constexpr cpu_device server_cpu() {
+  return {
+      .name = "12-core server CPU",
+      .cores = 12,
+      .power_active_w = 120.0,
+      .power_idle_w = 35.0,
+      .memory_bandwidth = 40e9,
+  };
+}
+
+/// NVMe SSD with the in-storage MSAS accelerator (Sec. III-A, ref [14]).
+struct ssd_device {
+  std::string_view name;
+  unsigned nand_channels;
+  double channel_bandwidth;   ///< bytes/s per NAND channel
+  double external_bandwidth;  ///< bytes/s over the host interface
+  double power_active_w;      ///< SSD + MSAS logic while streaming
+  double power_idle_w;
+  double msas_bytes_per_cycle;///< accelerator datapath width
+  double msas_clock_hz;       ///< embedded accelerator clock
+};
+
+constexpr ssd_device intel_p4500_msas() {
+  return {
+      .name = "Intel SSD DC P4500 + MSAS",
+      .nand_channels = 16,
+      .channel_bandwidth = 400e6,
+      .external_bandwidth = 3.2e9,
+      .power_active_w = 9.0,
+      .power_idle_w = 5.0,
+      .msas_bytes_per_cycle = 32.0,
+      .msas_clock_hz = 400e6,
+  };
+}
+
+}  // namespace spechd::fpga

@@ -1,0 +1,56 @@
+#include "fpga/dse.hpp"
+
+#include <algorithm>
+
+#include "fpga/resources.hpp"
+
+namespace spechd::fpga {
+
+std::vector<dse_point> explore(const ms::dataset_descriptor& ds,
+                               const spechd_hw_config& base, const dse_sweep& sweep) {
+  std::vector<dse_point> points;
+  for (const auto ck : sweep.cluster_kernels) {
+    for (const auto ek : sweep.encoder_kernels) {
+      for (const auto res : sweep.resolutions) {
+        for (const auto p2p : sweep.p2p) {
+          for (const auto dim : sweep.dims) {
+            spechd_hw_config hw = base;
+            hw.cluster_kernels = ck;
+            hw.encoder_kernels = ek;
+            hw.bucket_resolution = res;
+            hw.p2p_enabled = p2p;
+            hw.encoder.dim = dim;
+            hw.cluster.dim = dim;
+
+            const auto run = model_spechd_run(ds, hw);
+            dse_point pt;
+            pt.cluster_kernels = ck;
+            pt.encoder_kernels = ek;
+            pt.bucket_resolution = res;
+            pt.p2p = p2p;
+            pt.dim = dim;
+            pt.end_to_end_s = run.time.end_to_end();
+            pt.cluster_s = run.time.cluster;
+            pt.energy_j = run.energy.end_to_end();
+            pt.fits_hbm = run.fits_hbm;
+            // Feasibility on the actual fabric: the largest modelled
+            // bucket bounds the on-chip matrix tile.
+            const auto sizes = model_bucket_sizes(ds.spectra, hw);
+            std::uint64_t largest = 0;
+            for (const auto s : sizes) largest = std::max(largest, s);
+            const auto usage = estimate_design(hw.encoder, ek, hw.cluster, ck, 34000,
+                                               64, static_cast<std::size_t>(largest));
+            pt.fabric_utilisation = worst_utilisation(usage, u280_capacity());
+            pt.fits_fabric = pt.fabric_utilisation <= 1.0;
+            points.push_back(pt);
+          }
+        }
+      }
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const dse_point& a, const dse_point& b) { return a.edp() < b.edp(); });
+  return points;
+}
+
+}  // namespace spechd::fpga

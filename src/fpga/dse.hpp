@@ -1,0 +1,46 @@
+// Design-space exploration (Sec. III-A: "Guided by design space
+// exploration, this combination yields notable advancements in both
+// hardware efficiency and energy conservation").
+//
+// Sweeps the architectural knobs — cluster-kernel count, encoder unroll,
+// bucketing resolution, P2P on/off, D_hv — and reports modelled end-to-end
+// time, energy and HBM fit for each point.
+#pragma once
+
+#include <vector>
+
+#include "fpga/dataflow.hpp"
+
+namespace spechd::fpga {
+
+struct dse_point {
+  unsigned cluster_kernels = 5;
+  unsigned encoder_kernels = 1;
+  double bucket_resolution = 0.08;
+  bool p2p = true;
+  std::uint64_t dim = 2048;
+
+  double end_to_end_s = 0.0;
+  double cluster_s = 0.0;
+  double energy_j = 0.0;
+  bool fits_hbm = true;
+  bool fits_fabric = true;          ///< resource estimate within the U280
+  double fabric_utilisation = 0.0;  ///< worst resource class, 1.0 = full
+  /// Energy-delay product, the DSE objective.
+  double edp() const noexcept { return end_to_end_s * energy_j; }
+};
+
+struct dse_sweep {
+  std::vector<unsigned> cluster_kernels = {1, 2, 3, 4, 5, 6, 8};
+  std::vector<unsigned> encoder_kernels = {1, 2};
+  std::vector<double> resolutions = {0.05, 0.08, 0.2, 0.5, 1.0};
+  std::vector<bool> p2p = {true, false};
+  std::vector<std::uint64_t> dims = {1024, 2048, 4096};
+};
+
+/// Evaluates the cross product of the sweep on one dataset; rows ordered by
+/// ascending EDP (best first).
+std::vector<dse_point> explore(const ms::dataset_descriptor& ds,
+                               const spechd_hw_config& base, const dse_sweep& sweep);
+
+}  // namespace spechd::fpga

@@ -1,0 +1,55 @@
+// HLS kernel cycle model.
+//
+// SpecHD's kernels are written in HLS with explicit pragmas: array
+// partitioning, loop unrolling and pipelining (Sec. III-B/III-C). For a
+// pipelined loop the standard cycle formula is
+//
+//   cycles = depth + (trips_ceil - 1) * II,   trips_ceil = ceil(trips/unroll)
+//
+// and sequential loops compose additively; dataflow regions compose by
+// max() (task-level parallelism). This module provides those composition
+// rules so each kernel's cost model reads like its pragma annotations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd::fpga {
+
+/// One pipelined (optionally unrolled) loop.
+struct pipelined_loop {
+  std::uint64_t trips = 0;      ///< logical iterations
+  std::uint64_t unroll = 1;     ///< UNROLL factor (>=1)
+  std::uint64_t ii = 1;         ///< initiation interval
+  std::uint64_t depth = 1;      ///< pipeline depth (fill latency)
+
+  std::uint64_t cycles() const noexcept {
+    if (trips == 0) return 0;
+    const std::uint64_t effective = (trips + unroll - 1) / unroll;
+    return depth + (effective - 1) * ii;
+  }
+};
+
+/// Cycles for a sequence of loops executed back to back.
+inline std::uint64_t sequential_cycles(const std::vector<pipelined_loop>& loops) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& l : loops) total += l.cycles();
+  return total;
+}
+
+/// Cycles for a dataflow region (concurrent tasks, bounded by the slowest).
+inline std::uint64_t dataflow_cycles(const std::vector<std::uint64_t>& task_cycles) noexcept {
+  std::uint64_t worst = 0;
+  for (const auto c : task_cycles) worst = std::max(worst, c);
+  return worst;
+}
+
+/// Seconds for `cycles` at `clock_hz`.
+inline double cycles_to_seconds(std::uint64_t cycles, double clock_hz) noexcept {
+  return clock_hz <= 0.0 ? 0.0 : static_cast<double>(cycles) / clock_hz;
+}
+
+}  // namespace spechd::fpga

@@ -1,0 +1,88 @@
+#include "fpga/kernels.hpp"
+
+namespace spechd::fpga {
+
+std::uint64_t encoder_cycles_per_spectrum(std::uint64_t peaks,
+                                          const encoder_kernel_config& config) noexcept {
+  // Bind + accumulate: peaks x (dim / bind_unroll) II=1 iterations.
+  pipelined_loop bind{
+      .trips = peaks * config.dim,
+      .unroll = config.bind_unroll,
+      .ii = 1,
+      .depth = config.pipeline_depth,
+  };
+  // Majority threshold: dim / majority_unroll iterations.
+  pipelined_loop majority{
+      .trips = config.dim,
+      .unroll = config.majority_unroll,
+      .ii = 1,
+      .depth = 8,
+  };
+  return bind.cycles() + majority.cycles() + config.per_spectrum_overhead;
+}
+
+std::uint64_t encoder_cycles(std::uint64_t spectra, double avg_peaks,
+                             const encoder_kernel_config& config) noexcept {
+  const auto per_spectrum = encoder_cycles_per_spectrum(
+      static_cast<std::uint64_t>(avg_peaks + 0.5), config);
+  return spectra * per_spectrum;
+}
+
+std::uint64_t distance_phase_cycles(std::uint64_t n,
+                                    const cluster_kernel_config& config) noexcept {
+  if (n < 2) return 0;
+  const std::uint64_t pairs = n * (n - 1) / 2;
+  // Each pair: XOR + popcount over dim bits, xor_popcount_width bits/cycle;
+  // the read of the two HVs is overlapped by the dataflow pragma.
+  pipelined_loop distance{
+      .trips = pairs * config.dim,
+      .unroll = config.xor_popcount_width,
+      .ii = 1,
+      .depth = config.pipeline_depth,
+  };
+  return distance.cycles();
+}
+
+std::uint64_t nn_chain_phase_cycles(const cluster::hac_stats& stats,
+                                    const cluster_kernel_config& config) noexcept {
+  // Min-scan comparisons stream through scan_lanes comparators at II=1;
+  // Lance–Williams updates through update_lanes ALUs.
+  pipelined_loop scans{
+      .trips = stats.comparisons,
+      .unroll = config.scan_lanes,
+      .ii = 1,
+      .depth = config.pipeline_depth,
+  };
+  pipelined_loop updates{
+      .trips = stats.distance_updates,
+      .unroll = config.update_lanes,
+      .ii = 1,
+      .depth = 16,
+  };
+  // Each merge serialises a short bookkeeping section (cluster BRAM merge,
+  // correction-factor fixups; Sec. III-C).
+  const std::uint64_t merge_overhead = stats.merges * 24;
+  return scans.cycles() + updates.cycles() + merge_overhead;
+}
+
+std::uint64_t nn_chain_phase_cycles_analytic(std::uint64_t n,
+                                             const cluster_kernel_config& config) noexcept {
+  if (n < 2) return 0;
+  // Expected NN-chain totals (Murtagh): the chain visits each cluster O(1)
+  // times amortised, each visit scanning the active set -> ~3 n^2
+  // comparisons; every merge updates the survivor row -> ~n^2/2 updates.
+  cluster::hac_stats stats;
+  stats.comparisons = 3 * n * n;
+  stats.distance_updates = n * n / 2;
+  stats.merges = n - 1;
+  return nn_chain_phase_cycles(stats, config);
+}
+
+std::uint64_t cluster_bucket_cycles(std::uint64_t n,
+                                    const cluster_kernel_config& config) noexcept {
+  if (n < 2) return config.per_bucket_overhead;
+  return distance_phase_cycles(n, config) + nn_chain_phase_cycles_analytic(n, config) +
+         config.per_bucket_overhead;
+}
+
+}  // namespace spechd::fpga

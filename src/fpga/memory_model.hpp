@@ -1,0 +1,60 @@
+// Bandwidth/latency models for the memory and interconnect hierarchy:
+// HBM on-card, PCIe peer-to-peer NVMe->FPGA, conventional host staging.
+//
+// Sec. III-A: "Enabling P2P allows for direct data exchanges between the
+// FPGA and NVMe storage, eliminating intermediary host memory interactions
+// and reducing bandwidth constraints."
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fpga/device.hpp"
+
+namespace spechd::fpga {
+
+/// Simple stream-transfer model: latency + size / effective_bandwidth.
+struct transfer_model {
+  double bandwidth = 1.0;   ///< bytes/s
+  double latency_s = 0.0;   ///< fixed setup cost
+  double efficiency = 1.0;  ///< fraction of peak achieved (0, 1]
+
+  double seconds(double bytes) const noexcept {
+    return latency_s + bytes / (bandwidth * efficiency);
+  }
+};
+
+/// P2P path: NVMe -> FPGA HBM directly.
+inline transfer_model p2p_path(const fpga_device& fpga, const ssd_device& ssd) noexcept {
+  return {.bandwidth = std::min(fpga.pcie_p2p_bandwidth, ssd.external_bandwidth),
+          .latency_s = 50e-6,
+          .efficiency = 0.92};
+}
+
+/// Conventional path: NVMe -> host DRAM -> FPGA/GPU (two hops + host copy).
+inline transfer_model host_staged_path(double device_pcie_bw, const ssd_device& ssd,
+                                       const cpu_device& host) noexcept {
+  // Effective bandwidth of a store-and-forward pipeline is the bottleneck
+  // link; the host memcpy adds another serialised stage.
+  const double bottleneck =
+      std::min({ssd.external_bandwidth, device_pcie_bw, host.memory_bandwidth / 2.0});
+  return {.bandwidth = bottleneck, .latency_s = 150e-6, .efficiency = 0.60};
+}
+
+/// HBM residency check + access time for a working set.
+struct hbm_usage {
+  double bytes = 0.0;
+  bool fits = true;
+  double read_seconds = 0.0;
+};
+
+inline hbm_usage hbm_access(const fpga_device& fpga, double bytes,
+                            double read_passes) noexcept {
+  hbm_usage u;
+  u.bytes = bytes;
+  u.fits = bytes <= fpga.hbm_capacity;
+  u.read_seconds = bytes * read_passes / fpga.hbm_bandwidth;
+  return u;
+}
+
+}  // namespace spechd::fpga

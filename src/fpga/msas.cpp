@@ -1,0 +1,48 @@
+#include "fpga/msas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "preprocess/topk.hpp"
+
+namespace spechd::fpga {
+
+msas_result preprocess_dataset(const ms::dataset_descriptor& ds, const msas_config& config) {
+  msas_result r;
+  const double bytes = ds.size_gb * 1e9;
+
+  // Streaming: NAND channels in aggregate exceed the global on-chip bus the
+  // MSAS engine sits on ("achieving peak bandwidth equivalent to external
+  // SSDs"), so the stream rate is capped by the external-equivalent
+  // bandwidth at ~95% efficiency — this is exactly the ~3.0 GB/s effective
+  // rate Table I's five rows exhibit.
+  const double nand_bw = std::min(
+      static_cast<double>(config.ssd.nand_channels) * config.ssd.channel_bandwidth * 0.85,
+      config.ssd.external_bandwidth * 0.95);
+  r.nand_stream_s = bytes / nand_bw;
+
+  // Accelerator compute: filtering is datapath streaming (bytes/cycle);
+  // the bitonic top-k adds stage-proportional work per spectrum.
+  const double stream_cycles = bytes / config.ssd.msas_bytes_per_cycle;
+  const auto sort_stats =
+      spechd::preprocess::bitonic_network_stats(static_cast<std::size_t>(
+          std::max(1.0, ds.avg_peaks_per_spectrum)));
+  // One comparator column per cycle (the network is pipelined spatially).
+  const double sort_cycles_per_spectrum = static_cast<double>(sort_stats.stages);
+  const double compute_cycles =
+      stream_cycles + sort_cycles_per_spectrum * static_cast<double>(ds.spectra);
+  r.compute_s = compute_cycles / config.ssd.msas_clock_hz;
+
+  // Streaming and compute overlap (dataflow); setup is serial.
+  r.time_s = std::max(r.nand_stream_s, r.compute_s) + config.setup_s;
+
+  // Energy: SSD active power over the run + accelerator dynamic energy.
+  r.energy_j = r.time_s * config.ssd.power_active_w +
+               static_cast<double>(ds.spectra) * config.per_spectrum_energy_nj * 1e-9;
+
+  r.output_gb = static_cast<double>(ds.spectra) *
+                config.output_bytes_per_spectrum() / 1e9;
+  return r;
+}
+
+}  // namespace spechd::fpga

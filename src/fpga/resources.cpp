@@ -1,0 +1,110 @@
+#include "fpga/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spechd::fpga {
+
+namespace {
+
+/// BRAM36 blocks needed for `bits` of storage with `width`-bit ports.
+/// Each BRAM36 provides 36 Kb; wide ports consume blocks in parallel.
+double bram_blocks(double bits, double port_width) {
+  const double by_capacity = bits / (36.0 * 1024.0);
+  const double by_width = port_width / 72.0;  // 72-bit max native port
+  return std::ceil(std::max(by_capacity, by_width));
+}
+
+}  // namespace
+
+resource_usage estimate_encoder(const encoder_kernel_config& config, std::size_t mz_bins,
+                                std::size_t levels) {
+  resource_usage u;
+  const double dim = static_cast<double>(config.dim);
+  const double unroll = static_cast<double>(config.bind_unroll);
+
+  // Item memories: mz_bins x dim ID bits + levels x dim Level bits, read
+  // `unroll` bits per cycle (partitioned across banks).
+  const double id_bits = static_cast<double>(mz_bins) * dim;
+  const double level_bits = static_cast<double>(levels) * dim;
+  // Large ID memory spills to URAM (288 Kb blocks), Level memory to BRAM.
+  u.uram += std::ceil(id_bits / (288.0 * 1024.0));
+  u.bram36 += bram_blocks(level_bits, unroll);
+
+  // Bind/accumulate datapath: `unroll` XOR gates + `unroll` 8-bit counters.
+  u.luts += unroll * (0.5 /*xor*/ + 4.0 /*counter add*/);
+  u.ffs += unroll * 8.0;
+
+  // Majority threshold: comparator per lane.
+  u.luts += static_cast<double>(config.majority_unroll) * 3.0;
+  u.ffs += static_cast<double>(config.majority_unroll) * 1.0;
+
+  // Stream framing / control.
+  u.luts += 3'000;
+  u.ffs += 4'000;
+  return u;
+}
+
+resource_usage estimate_cluster_kernel(const cluster_kernel_config& config,
+                                       std::size_t max_bucket) {
+  resource_usage u;
+  const double width = static_cast<double>(config.xor_popcount_width);
+
+  // Distance unit: XOR + popcount compressor tree over `width` bits.
+  u.luts += width * (0.5 + 0.9);
+  u.ffs += width * 1.2;
+
+  // HV tile buffer: two operand vectors of dim bits, double-buffered.
+  u.bram36 += bram_blocks(4.0 * static_cast<double>(config.dim), width);
+
+  // Condensed q16 distance tile for the largest bucket.
+  const double matrix_bits =
+      static_cast<double>(max_bucket) * (static_cast<double>(max_bucket) - 1.0) / 2.0 *
+      16.0;
+  // Spill strategy mirrors HLS: tiles above 4 Mb stream from HBM instead.
+  const double on_chip_bits = std::min(matrix_bits, 4.0 * 1024.0 * 1024.0);
+  u.uram += std::ceil(on_chip_bits / (288.0 * 1024.0));
+
+  // Min-scan comparators and Lance-Williams ALUs (fixed-point mul/add ->
+  // DSP48 each).
+  u.luts += static_cast<double>(config.scan_lanes) * 40.0;
+  u.dsps += static_cast<double>(config.update_lanes) * 2.0;
+  u.ffs += static_cast<double>(config.scan_lanes + config.update_lanes) * 64.0;
+
+  // Cluster bookkeeping BRAM (members, counts, correction factors;
+  // Sec. III-C) + control.
+  u.bram36 += 8;
+  u.luts += 9'000;
+  u.ffs += 11'000;
+  return u;
+}
+
+resource_usage estimate_design(const encoder_kernel_config& enc, unsigned encoders,
+                               const cluster_kernel_config& cl, unsigned cluster_kernels,
+                               std::size_t mz_bins, std::size_t levels,
+                               std::size_t max_bucket) {
+  resource_usage total;
+  total += estimate_encoder(enc, mz_bins, levels) * static_cast<double>(encoders);
+  total += estimate_cluster_kernel(cl, max_bucket) * static_cast<double>(cluster_kernels);
+  // Static region / XDMA shell + HBM controllers (typical U280 shell cost).
+  resource_usage shell;
+  shell.luts = 180'000;
+  shell.ffs = 230'000;
+  shell.bram36 = 250;
+  total += shell;
+  return total;
+}
+
+double worst_utilisation(const resource_usage& usage, const fabric_capacity& cap,
+                         bool routable_headroom) {
+  const double headroom = routable_headroom ? 0.70 : 1.00;
+  double worst = 0.0;
+  worst = std::max(worst, usage.luts / (cap.luts * headroom));
+  worst = std::max(worst, usage.ffs / (cap.ffs * headroom));
+  worst = std::max(worst, usage.bram36 / (cap.bram36 * headroom));
+  worst = std::max(worst, usage.uram / (cap.uram * headroom));
+  worst = std::max(worst, usage.dsps / (cap.dsps * headroom));
+  return worst;
+}
+
+}  // namespace spechd::fpga

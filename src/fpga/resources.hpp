@@ -1,0 +1,83 @@
+// FPGA resource estimation for SpecHD's kernels on the Alveo U280.
+//
+// The DSE of Sec. III-A is bounded by the card's fabric: how many encoder
+// and clustering compute units fit, and whether the distance matrices fit
+// BRAM/URAM. This module provides first-order post-synthesis estimates
+// using standard HLS resource heuristics:
+//   * XOR/popcount trees: ~1 LUT6 per 2 bits of XOR + a compressor tree of
+//     ~0.9 LUT/bit for the population count,
+//   * accumulator banks: 1 FF per counter bit, LUTs for the adders,
+//   * item memories and distance tiles: BRAM36 blocks (36 Kb each) or URAM
+//     (288 Kb) above the spill threshold.
+// Estimates are deliberately conservative (±30%); the point is relative
+// feasibility across DSE points, not sign-off accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "fpga/kernels.hpp"
+
+namespace spechd::fpga {
+
+/// Resource vector (absolute counts).
+struct resource_usage {
+  double luts = 0.0;
+  double ffs = 0.0;
+  double bram36 = 0.0;  ///< 36 Kb block RAMs
+  double uram = 0.0;    ///< 288 Kb UltraRAMs
+  double dsps = 0.0;
+
+  resource_usage& operator+=(const resource_usage& o) noexcept {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    uram += o.uram;
+    dsps += o.dsps;
+    return *this;
+  }
+  friend resource_usage operator*(resource_usage u, double k) noexcept {
+    u.luts *= k;
+    u.ffs *= k;
+    u.bram36 *= k;
+    u.uram *= k;
+    u.dsps *= k;
+    return u;
+  }
+};
+
+/// U280 fabric capacity (public datasheet).
+struct fabric_capacity {
+  double luts = 1'304'000;
+  double ffs = 2'607'000;
+  double bram36 = 2'016;
+  double uram = 960;
+  double dsps = 9'024;
+};
+
+constexpr fabric_capacity u280_capacity() { return {}; }
+
+/// Estimate for one encoder CU (ID/Level memories + bind/accumulate +
+/// majority). `mz_bins`/`levels` size the item memories.
+resource_usage estimate_encoder(const encoder_kernel_config& config, std::size_t mz_bins,
+                                std::size_t levels);
+
+/// Estimate for one clustering CU (XOR+popcount distance unit, min-scan
+/// comparators, Lance-Williams ALUs, cluster BRAM, matrix tile buffer).
+/// `max_bucket` bounds the on-chip distance-tile size (q16 entries).
+resource_usage estimate_cluster_kernel(const cluster_kernel_config& config,
+                                       std::size_t max_bucket);
+
+/// Whole-design estimate: encoders + cluster CUs + static region/shell.
+resource_usage estimate_design(const encoder_kernel_config& enc, unsigned encoders,
+                               const cluster_kernel_config& cl, unsigned cluster_kernels,
+                               std::size_t mz_bins, std::size_t levels,
+                               std::size_t max_bucket);
+
+/// Utilisation of the worst resource class in [0, inf); > 1 means the
+/// design does not fit (or exceeds the 70% routable threshold if
+/// `routable_headroom` is applied).
+double worst_utilisation(const resource_usage& usage, const fabric_capacity& cap,
+                         bool routable_headroom = true);
+
+}  // namespace spechd::fpga

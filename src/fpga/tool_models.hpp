@@ -1,0 +1,99 @@
+// Runtime/energy cost models for the comparison tools (Fig. 7, 8, 9).
+//
+// Each baseline is modelled with the phase structure its publication
+// describes, with rate constants calibrated to the paper's anchors:
+//   * HyperSpec-HAC  — CPU loading/preprocessing, GPU HDC encode,
+//     fastcluster (CPU) HAC. Anchor: 1000 s standalone clustering and ~6x
+//     end-to-end vs SpecHD on PXD000561.
+//   * HyperSpec-DBSCAN — same front end, cuML GPU DBSCAN ("threefold lower
+//     runtime than HyperSpec-HAC" clustering).
+//   * GLEAMS — CPU preprocessing, deep-network embedding (GPU inference,
+//     the dominant cost), HAC in 32-d. Anchors: 31-54x e2e, 14.3x standalone.
+//   * Falcon — CPU preprocessing, LSH vectorisation + ANN index build and
+//     query. Anchor: ~100x standalone clustering.
+//   * msCRUSH — CPU preprocessing + iterative LSH bucketing + consensus.
+//
+// The per-pair / per-spectrum constants are *documented calibration
+// inputs*; benches print the paper anchor next to every model output.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "fpga/dataflow.hpp"
+#include "fpga/device.hpp"
+#include "ms/datasets.hpp"
+
+namespace spechd::fpga {
+
+enum class tool {
+  spechd,
+  hyperspec_hac,
+  hyperspec_dbscan,
+  gleams,
+  falcon,
+  mscrush,
+};
+
+std::string_view tool_name(tool t) noexcept;
+
+/// Modelled phase times/energies for one tool on one dataset.
+struct tool_run_model {
+  tool which = tool::spechd;
+  phase_times time;
+  phase_energy energy;
+};
+
+/// Baseline calibration constants (all rates per second unless noted).
+struct baseline_rates {
+  // CPU loading + preprocessing (file parse, filter, top-k); I/O + parse
+  // bound. ~82% of conventional tools' end-to-end time (Sec. II-B, [14]).
+  double cpu_preprocess_gb_per_s = 0.165;
+  double cpu_preprocess_power_w = 120.0;  ///< parse-bound package power
+
+  // HyperSpec GPU HDC encoding.
+  double gpu_encode_spectra_per_s = 700e3;
+  double gpu_encode_power_w = 350.0;
+
+  // fastcluster-style CPU HAC over binary HVs (per candidate pair);
+  // calibrated so PXD000561 standalone clustering lands at the paper's
+  // 1000 s anchor.
+  double cpu_hac_pairs_per_s = 3.56e6;
+  double cpu_hac_power_w = 120.0;
+
+  // cuML GPU DBSCAN: 3x faster than the CPU HAC path (paper text).
+  double gpu_dbscan_speedup_vs_hac = 3.0;
+  double gpu_dbscan_power_w = 110.0;
+
+  // GLEAMS embedding inference (the dominant cost; calibrated to the
+  // 31-54x end-to-end band) + 32-d HAC (14.3x standalone anchor).
+  double gleams_embed_spectra_per_s = 1.48e3;
+  double gleams_embed_power_w = 300.0;
+  double gleams_cluster_pairs_per_s = 3.11e6;
+  double gleams_cluster_power_w = 120.0;
+
+  // Falcon ANN index build + query (per spectrum) and post-linking.
+  double falcon_index_spectra_per_s = 2.6e3;
+  double falcon_power_w = 100.0;
+
+  // msCRUSH iterative LSH (per spectrum per iteration).
+  double mscrush_spectra_per_s_per_iter = 21e3;
+  int mscrush_iterations = 100;
+  double mscrush_power_w = 110.0;
+};
+
+/// Candidate pair count shared by the pairwise-clustering models: the same
+/// bucketed workload SpecHD sees (tools bucket/partition comparably).
+double modelled_pair_count(const ms::dataset_descriptor& ds, const spechd_hw_config& hw);
+
+/// Models one tool on one dataset. SpecHD delegates to model_spechd_run.
+tool_run_model model_tool_run(tool t, const ms::dataset_descriptor& ds,
+                              const spechd_hw_config& hw, const baseline_rates& rates);
+
+/// All tools on one dataset (order: spechd, hyperspec_hac, hyperspec_dbscan,
+/// gleams, falcon, mscrush).
+std::vector<tool_run_model> model_all_tools(const ms::dataset_descriptor& ds,
+                                            const spechd_hw_config& hw,
+                                            const baseline_rates& rates);
+
+}  // namespace spechd::fpga

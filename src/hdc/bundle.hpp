@@ -1,0 +1,45 @@
+// Majority bundling of hypervectors.
+//
+// Bundling is HDC's superposition operator: the pointwise majority of a set
+// of binary HVs yields a vector similar to every input — the HDC-native
+// cluster representative. SpecHD's incremental mode uses bundled
+// representatives to test membership in O(1) Hamming comparisons instead
+// of the O(|cluster|) complete-linkage scan, trading a little accuracy for
+// update speed (the same trade HyperSpec makes for its streaming variant).
+#pragma once
+
+#include <span>
+
+#include "hdc/hypervector.hpp"
+
+namespace spechd::hdc {
+
+/// Pointwise majority of `inputs` (ties on even counts break toward the
+/// first input, keeping the operation deterministic and associative-ish
+/// for incremental updates). All inputs must share a dimension; the list
+/// must be non-empty.
+hypervector bundle_majority(std::span<const hypervector> inputs);
+
+/// Incrementally maintained bundle: keeps per-dimension counters so
+/// members can be added without re-reading the full set.
+class incremental_bundle {
+public:
+  incremental_bundle() = default;
+  explicit incremental_bundle(std::size_t dim);
+
+  std::size_t dim() const noexcept { return counts_.size(); }
+  std::size_t members() const noexcept { return members_; }
+  bool empty() const noexcept { return members_ == 0; }
+
+  void add(const hypervector& hv);
+
+  /// Current majority vector. Requires at least one member.
+  hypervector majority() const;
+
+private:
+  std::vector<std::uint32_t> counts_;
+  std::size_t members_ = 0;
+  hypervector first_;  ///< tie-break donor
+};
+
+}  // namespace spechd::hdc

@@ -1,0 +1,27 @@
+#include "hdc/distance.hpp"
+
+namespace spechd::hdc {
+
+distance_matrix_f32 pairwise_hamming_f32(const std::vector<hypervector>& hvs) {
+  distance_matrix_f32 m(hvs.size());
+  for (std::size_t i = 1; i < hvs.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = static_cast<float>(hamming_normalized(hvs[i], hvs[j]));
+    }
+  }
+  return m;
+}
+
+distance_matrix_q16 pairwise_hamming_q16(const std::vector<hypervector>& hvs) {
+  distance_matrix_q16 m(hvs.size());
+  if (hvs.empty()) return m;
+  const std::size_t dim = hvs.front().dim();
+  for (std::size_t i = 1; i < hvs.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = q16::from_ratio(hamming(hvs[i], hvs[j]), dim);
+    }
+  }
+  return m;
+}
+
+}  // namespace spechd::hdc

@@ -1,0 +1,71 @@
+#include "hdc/encoder.hpp"
+
+#include <bit>
+
+namespace spechd::hdc {
+
+id_level_encoder::id_level_encoder(const encoder_config& config, std::size_t mz_bins,
+                                   std::size_t intensity_levels)
+    : config_(config),
+      ids_(config.dim, mz_bins, config.seed),
+      levels_(config.dim, intensity_levels, config.seed),
+      tiebreak_(hypervector(config.dim)) {
+  xoshiro256ss rng(config.seed ^ 0x71EB4EA7B17EULL);
+  tiebreak_ = hypervector::random(config.dim, rng);
+}
+
+hypervector id_level_encoder::encode(const preprocess::quantized_spectrum& s) const {
+  const std::size_t dim = config_.dim;
+  // Per-dimension accumulator; peak counts are bounded by top-k (< 2^16).
+  std::vector<std::uint16_t> counts(dim, 0);
+
+  for (const auto& peak : s.peaks) {
+    const auto& id = ids_.at(peak.mz_bin);
+    const auto& level = levels_.at(peak.level);
+    const auto wi = id.words();
+    const auto wl = level.words();
+    for (std::size_t w = 0; w < wi.size(); ++w) {
+      std::uint64_t bound = wi[w] ^ wl[w];
+      // Scatter the 64 bound bits into the counters. The FPGA unrolls this
+      // fully; on CPU we iterate set bits only.
+      while (bound != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(bound));
+        ++counts[w * 64 + bit];
+        bound &= bound - 1;
+      }
+    }
+  }
+
+  hypervector out(dim);
+  const std::size_t n = s.peaks.size();
+  const std::size_t half = n / 2;
+  const bool even = (n % 2) == 0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const std::size_t c = counts[d];
+    bool bit;
+    if (even && c == half) {
+      bit = tiebreak_.test(d);  // deterministic tie-break
+    } else {
+      bit = c > half;
+    }
+    out.assign(d, bit);
+  }
+  return out;
+}
+
+std::vector<hypervector> id_level_encoder::encode_batch(
+    const std::vector<preprocess::quantized_spectrum>& spectra) const {
+  std::vector<hypervector> result;
+  result.reserve(spectra.size());
+  for (const auto& s : spectra) result.push_back(encode(s));
+  return result;
+}
+
+double compression_factor(std::size_t total_raw_peak_bytes, std::size_t spectrum_count,
+                          std::size_t dim) noexcept {
+  if (spectrum_count == 0 || dim == 0) return 0.0;
+  const double hv_bytes = static_cast<double>(spectrum_count) * (static_cast<double>(dim) / 8.0);
+  return static_cast<double>(total_raw_peak_bytes) / hv_bytes;
+}
+
+}  // namespace spechd::hdc

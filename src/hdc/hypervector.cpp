@@ -1,0 +1,40 @@
+#include "hdc/hypervector.hpp"
+
+#include <bit>
+
+namespace spechd::hdc {
+
+hypervector hypervector::random(std::size_t dim, xoshiro256ss& rng) {
+  hypervector hv(dim);
+  for (auto& w : hv.words_) w = rng();
+  return hv;
+}
+
+std::size_t hypervector::popcount() const noexcept {
+  std::size_t count = 0;
+  for (const auto w : words_) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+hypervector& hypervector::operator^=(const hypervector& other) {
+  SPECHD_EXPECTS(dim_ == other.dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::size_t hamming(const hypervector& a, const hypervector& b) {
+  SPECHD_EXPECTS(a.dim() == b.dim());
+  std::size_t count = 0;
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    count += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
+  }
+  return count;
+}
+
+double hamming_normalized(const hypervector& a, const hypervector& b) {
+  return static_cast<double>(hamming(a, b)) / static_cast<double>(a.dim());
+}
+
+}  // namespace spechd::hdc

@@ -1,0 +1,54 @@
+#include "hdc/item_memory.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace spechd::hdc {
+
+id_memory::id_memory(std::size_t dim, std::size_t count, std::uint64_t seed) : dim_(dim) {
+  SPECHD_EXPECTS(count > 0);
+  xoshiro256ss rng(seed ^ 0x1D1D1D1D1D1D1D1DULL);
+  vectors_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    vectors_.push_back(hypervector::random(dim, rng));
+  }
+}
+
+level_memory::level_memory(std::size_t dim, std::size_t levels, std::uint64_t seed)
+    : dim_(dim) {
+  SPECHD_EXPECTS(levels >= 2);
+  xoshiro256ss rng(seed ^ 0x7E7E7E7E7E7E7E7EULL);
+
+  // Random flip order over all D dimensions.
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0U);
+  for (std::size_t i = dim; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.bounded(i)]);
+  }
+
+  hypervector base = hypervector::random(dim, rng);
+  vectors_.reserve(levels);
+  flip_counts_.reserve(levels);
+
+  const double step = static_cast<double>(dim) / 2.0 / static_cast<double>(levels - 1);
+  hypervector current = base;
+  std::size_t flipped = 0;
+  for (std::size_t level = 0; level < levels; ++level) {
+    const auto target = static_cast<std::size_t>(step * static_cast<double>(level) + 0.5);
+    while (flipped < target && flipped < dim) {
+      current.flip(order[flipped]);
+      ++flipped;
+    }
+    vectors_.push_back(current);
+    flip_counts_.push_back(flipped);
+  }
+}
+
+std::size_t level_memory::expected_hamming(std::size_t a, std::size_t b) const noexcept {
+  const auto fa = flip_counts_[std::min(a, flip_counts_.size() - 1)];
+  const auto fb = flip_counts_[std::min(b, flip_counts_.size() - 1)];
+  return fa > fb ? fa - fb : fb - fa;
+}
+
+}  // namespace spechd::hdc

@@ -1,0 +1,65 @@
+// Item memories: the pre-allocated ID and Level hypervector tables.
+//
+// Sec. III-B: "Pre-allocated vectors from high-dimensional memory spaces,
+// denoted as ID[0,f] for m/z and L[0,q] for intensity, each of size D_hv".
+//
+//   * ID memory — f independent random HVs, one per quantised m/z bin.
+//     Random vectors are pairwise ~orthogonal (Hamming ~ D/2), so distinct
+//     m/z bins do not alias.
+//   * Level memory — q *correlated* HVs built by progressive bit flipping,
+//     so nearby intensity levels have small Hamming distance and the
+//     encoding degrades gracefully under intensity noise. L[0] and L[q-1]
+//     differ in exactly D/2 bits (orthogonal endpoints), the standard
+//     level-encoding construction in the HDC literature.
+//
+// Both tables are a pure function of (dim, count, seed): hardware
+// regenerates them at configuration time instead of storing them off-chip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace spechd::hdc {
+
+/// f random ID hypervectors.
+class id_memory {
+public:
+  id_memory(std::size_t dim, std::size_t count, std::uint64_t seed);
+
+  const hypervector& at(std::size_t i) const {
+    SPECHD_EXPECTS(i < vectors_.size());
+    return vectors_[i];
+  }
+  std::size_t size() const noexcept { return vectors_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+
+private:
+  std::size_t dim_;
+  std::vector<hypervector> vectors_;
+};
+
+/// q correlated Level hypervectors (progressive flips of a random base).
+class level_memory {
+public:
+  level_memory(std::size_t dim, std::size_t levels, std::uint64_t seed);
+
+  const hypervector& at(std::size_t level) const {
+    SPECHD_EXPECTS(level < vectors_.size());
+    return vectors_[level];
+  }
+  std::size_t size() const noexcept { return vectors_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Exact Hamming distance between levels a and b by construction:
+  /// |flips(a) - flips(b)| where flips(i) = round(i * D/2 / (q-1)).
+  std::size_t expected_hamming(std::size_t a, std::size_t b) const noexcept;
+
+private:
+  std::size_t dim_;
+  std::vector<hypervector> vectors_;
+  std::vector<std::size_t> flip_counts_;
+};
+
+}  // namespace spechd::hdc

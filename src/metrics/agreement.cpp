@@ -1,0 +1,90 @@
+#include "metrics/agreement.hpp"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace spechd::metrics {
+
+namespace {
+
+struct contingency {
+  // (class, cluster) -> count over identified & clustered items.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint64_t> cells;
+  std::unordered_map<std::int32_t, std::uint64_t> class_totals;
+  std::unordered_map<std::int32_t, std::uint64_t> cluster_totals;
+  std::uint64_t n = 0;
+};
+
+contingency build(const std::vector<std::int32_t>& truth,
+                  const cluster::flat_clustering& predicted) {
+  SPECHD_EXPECTS(truth.size() == predicted.labels.size());
+  contingency t;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || predicted.labels[i] < 0) continue;
+    ++t.cells[{truth[i], predicted.labels[i]}];
+    ++t.class_totals[truth[i]];
+    ++t.cluster_totals[predicted.labels[i]];
+    ++t.n;
+  }
+  return t;
+}
+
+double choose2(std::uint64_t x) {
+  return static_cast<double>(x) * (static_cast<double>(x) - 1.0) / 2.0;
+}
+
+}  // namespace
+
+double adjusted_rand_index(const std::vector<std::int32_t>& truth,
+                           const cluster::flat_clustering& predicted) {
+  const auto t = build(truth, predicted);
+  if (t.n < 2) return 1.0;
+
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : t.cells) sum_cells += choose2(count);
+  double sum_classes = 0.0;
+  for (const auto& [label, count] : t.class_totals) sum_classes += choose2(count);
+  double sum_clusters = 0.0;
+  for (const auto& [label, count] : t.cluster_totals) sum_clusters += choose2(count);
+
+  const double total_pairs = choose2(t.n);
+  const double expected = sum_classes * sum_clusters / total_pairs;
+  const double maximum = 0.5 * (sum_classes + sum_clusters);
+  if (maximum == expected) return 1.0;  // degenerate: single class & cluster
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double normalized_mutual_information(const std::vector<std::int32_t>& truth,
+                                     const cluster::flat_clustering& predicted) {
+  const auto t = build(truth, predicted);
+  if (t.n == 0) return 1.0;
+  const double n = static_cast<double>(t.n);
+
+  double h_class = 0.0;
+  for (const auto& [label, count] : t.class_totals) {
+    const double p = static_cast<double>(count) / n;
+    h_class -= p * std::log(p);
+  }
+  double h_cluster = 0.0;
+  for (const auto& [label, count] : t.cluster_totals) {
+    const double p = static_cast<double>(count) / n;
+    h_cluster -= p * std::log(p);
+  }
+
+  double mi = 0.0;
+  for (const auto& [key, count] : t.cells) {
+    const double p_joint = static_cast<double>(count) / n;
+    const double p_class = static_cast<double>(t.class_totals.at(key.first)) / n;
+    const double p_cluster = static_cast<double>(t.cluster_totals.at(key.second)) / n;
+    mi += p_joint * std::log(p_joint / (p_class * p_cluster));
+  }
+
+  const double denom = 0.5 * (h_class + h_cluster);
+  if (denom == 0.0) return 1.0;  // both partitions trivial
+  return std::max(0.0, std::min(1.0, mi / denom));
+}
+
+}  // namespace spechd::metrics

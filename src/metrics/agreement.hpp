@@ -1,0 +1,27 @@
+// Clustering agreement indices: adjusted Rand index and normalised mutual
+// information.
+//
+// Complement the paper's headline metrics for the ablation studies: ARI is
+// chance-corrected (robust when cluster counts differ wildly between
+// configurations), NMI summarises the full contingency table. Both treat
+// negative labels (unidentified / noise) as "excluded", consistent with
+// evaluate_clustering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/dendrogram.hpp"
+
+namespace spechd::metrics {
+
+/// Adjusted Rand index in [-1, 1]; 1 = identical partitions, 0 = chance.
+double adjusted_rand_index(const std::vector<std::int32_t>& truth,
+                           const cluster::flat_clustering& predicted);
+
+/// Normalised mutual information in [0, 1] (arithmetic-mean normalisation,
+/// sklearn's default).
+double normalized_mutual_information(const std::vector<std::int32_t>& truth,
+                                     const cluster::flat_clustering& predicted);
+
+}  // namespace spechd::metrics

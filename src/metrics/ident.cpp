@@ -1,0 +1,155 @@
+#include "metrics/ident.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::metrics {
+
+namespace {
+
+/// Decoy generation: shuffle the peptide's internal residues, keeping the
+/// C-terminal residue (K/R for tryptic peptides) fixed so the decoy remains
+/// mass-identical and tryptic-looking — the standard "shuffled" decoy.
+ms::peptide make_decoy(const ms::peptide& target, xoshiro256ss& rng) {
+  std::string seq = target.sequence();
+  if (seq.size() > 2) {
+    for (std::size_t i = seq.size() - 1; i > 1; --i) {
+      // Shuffle positions [0, size-2]; keep the terminal residue.
+      const std::size_t j = rng.bounded(i);
+      std::swap(seq[i - 1], seq[j]);
+    }
+  }
+  return ms::peptide(std::move(seq));
+}
+
+}  // namespace
+
+library_search::library_search(std::vector<ms::peptide> targets, const search_config& config)
+    : config_(config), targets_(std::move(targets)) {
+  xoshiro256ss rng(config.decoy_seed);
+  decoys_.reserve(targets_.size());
+  for (const auto& t : targets_) decoys_.push_back(make_decoy(t, rng));
+
+  entries_.reserve(2 * 2 * targets_.size());
+  auto add_entries = [&](const std::vector<ms::peptide>& peptides, bool decoy) {
+    for (std::uint32_t i = 0; i < peptides.size(); ++i) {
+      for (int charge : {2, 3}) {
+        entry e;
+        e.peptide_index = i;
+        e.charge = charge;
+        e.decoy = decoy;
+        e.theoretical = ms::theoretical_spectrum(peptides[i], charge);
+        e.precursor_mz = e.theoretical.precursor_mz;
+        entries_.push_back(std::move(e));
+      }
+    }
+  };
+  add_entries(targets_, false);
+  add_entries(decoys_, true);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const entry& a, const entry& b) { return a.precursor_mz < b.precursor_mz; });
+}
+
+std::optional<psm> library_search::search_one(const ms::spectrum& query,
+                                              std::uint32_t index) const {
+  if (query.empty() || query.precursor_mz <= 0.0) return std::nullopt;
+
+  // Candidates: entries within the precursor window (binary search bounds).
+  const double lo = query.precursor_mz - config_.precursor_tolerance_da;
+  const double hi = query.precursor_mz + config_.precursor_tolerance_da;
+  auto first = std::lower_bound(entries_.begin(), entries_.end(), lo,
+                                [](const entry& e, double v) { return e.precursor_mz < v; });
+  auto last = std::upper_bound(entries_.begin(), entries_.end(), hi,
+                               [](double v, const entry& e) { return v < e.precursor_mz; });
+
+  psm best;
+  best.spectrum_index = index;
+  best.score = config_.min_score;
+  bool found = false;
+  for (auto it = first; it != last; ++it) {
+    // Charge must agree when the query declares one.
+    if (query.precursor_charge > 0 && it->charge != query.precursor_charge) continue;
+    const double score = ms::binned_cosine(query, it->theoretical, config_.fragment_bin_width);
+    if (score > best.score) {
+      best.score = score;
+      best.library_index = it->peptide_index;
+      best.decoy = it->decoy;
+      best.charge = it->charge;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<psm> library_search::search_batch(const std::vector<ms::spectrum>& queries) const {
+  std::vector<psm> all;
+  all.reserve(queries.size());
+  for (std::uint32_t i = 0; i < queries.size(); ++i) {
+    if (auto match = search_one(queries[i], i)) all.push_back(*match);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const psm& a, const psm& b) { return a.score > b.score; });
+
+  // Target–decoy FDR: walk from the best score down; keep the largest
+  // prefix where decoys / targets <= fdr.
+  std::size_t targets_seen = 0;
+  std::size_t decoys_seen = 0;
+  std::size_t cutoff = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].decoy) {
+      ++decoys_seen;
+    } else {
+      ++targets_seen;
+    }
+    const double fdr_here =
+        targets_seen == 0 ? 1.0
+                          : static_cast<double>(decoys_seen) / static_cast<double>(targets_seen);
+    if (fdr_here <= config_.fdr) cutoff = i + 1;
+  }
+
+  std::vector<psm> accepted;
+  accepted.reserve(cutoff);
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    if (!all[i].decoy) accepted.push_back(all[i]);
+  }
+  return accepted;
+}
+
+std::set<std::string> library_search::unique_peptides(const std::vector<psm>& accepted,
+                                                      const library_search& engine,
+                                                      int charge) {
+  std::set<std::string> result;
+  for (const auto& match : accepted) {
+    if (match.charge != charge) continue;
+    result.insert(engine.targets()[match.library_index].sequence());
+  }
+  return result;
+}
+
+venn3 venn_overlap(const std::set<std::string>& a, const std::set<std::string>& b,
+                   const std::set<std::string>& c) {
+  venn3 v;
+  auto classify = [&](const std::string& item) {
+    const bool in_a = a.count(item) > 0;
+    const bool in_b = b.count(item) > 0;
+    const bool in_c = c.count(item) > 0;
+    if (in_a && in_b && in_c) ++v.abc;
+    else if (in_a && in_b) ++v.ab;
+    else if (in_a && in_c) ++v.ac;
+    else if (in_b && in_c) ++v.bc;
+    else if (in_a) ++v.only_a;
+    else if (in_b) ++v.only_b;
+    else if (in_c) ++v.only_c;
+  };
+  std::set<std::string> all;
+  all.insert(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  all.insert(c.begin(), c.end());
+  for (const auto& item : all) classify(item);
+  return v;
+}
+
+}  // namespace spechd::metrics

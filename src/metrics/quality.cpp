@@ -1,0 +1,168 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace spechd::metrics {
+
+namespace {
+
+double entropy(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+quality_report evaluate_clustering(const std::vector<std::int32_t>& truth,
+                                   const cluster::flat_clustering& predicted) {
+  SPECHD_EXPECTS(truth.size() == predicted.labels.size());
+  quality_report report;
+  const std::size_t n = truth.size();
+  if (n == 0) return report;
+
+  const auto sizes = cluster::cluster_sizes(predicted);
+
+  // --- clustered spectra ratio --------------------------------------------
+  std::size_t clustered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = predicted.labels[i];
+    if (c >= 0 && sizes[static_cast<std::size_t>(c)] >= 2) ++clustered;
+  }
+  report.clustered_spectra = clustered;
+  report.clustered_ratio = static_cast<double>(clustered) / static_cast<double>(n);
+  report.cluster_count = static_cast<std::size_t>(
+      std::count_if(sizes.begin(), sizes.end(), [](std::size_t s) { return s >= 2; }));
+
+  // --- contingency over identified spectra only ---------------------------
+  // cluster -> (peptide label -> count); identified members per cluster.
+  std::unordered_map<std::int32_t, std::unordered_map<std::int32_t, std::size_t>> table;
+  std::unordered_map<std::int32_t, std::size_t> class_counts;
+  std::size_t identified_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (truth[i] < 0) continue;
+    const auto c = predicted.labels[i];
+    if (c < 0) continue;
+    ++table[c][truth[i]];
+    ++class_counts[truth[i]];
+    ++identified_total;
+  }
+
+  // --- incorrect clustering ratio -----------------------------------------
+  // Over identified spectra in non-singleton clusters: members not matching
+  // their cluster's majority peptide are incorrectly clustered.
+  std::size_t clustered_identified = 0;
+  std::size_t incorrect = 0;
+  std::size_t majority_sum = 0;
+  for (const auto& [c, labels] : table) {
+    if (sizes[static_cast<std::size_t>(c)] < 2) continue;
+    std::size_t members = 0;
+    std::size_t majority = 0;
+    for (const auto& [label, count] : labels) {
+      members += count;
+      majority = std::max(majority, count);
+    }
+    clustered_identified += members;
+    majority_sum += majority;
+    incorrect += members - majority;
+  }
+  report.incorrect_ratio =
+      clustered_identified == 0
+          ? 0.0
+          : static_cast<double>(incorrect) / static_cast<double>(clustered_identified);
+  report.purity = clustered_identified == 0
+                      ? 1.0
+                      : static_cast<double>(majority_sum) /
+                            static_cast<double>(clustered_identified);
+
+  // --- completeness / homogeneity / V-measure -----------------------------
+  // Computed over all identified spectra (any cluster size), the standard
+  // definition. H(K) with K = classes, H(C) with C = clusters.
+  std::vector<std::size_t> class_sizes;
+  class_sizes.reserve(class_counts.size());
+  for (const auto& [label, count] : class_counts) class_sizes.push_back(count);
+  std::vector<std::size_t> cluster_sizes_identified;
+  cluster_sizes_identified.reserve(table.size());
+  for (const auto& [c, labels] : table) {
+    std::size_t members = 0;
+    for (const auto& [label, count] : labels) members += count;
+    cluster_sizes_identified.push_back(members);
+  }
+
+  const double h_k = entropy(class_sizes, identified_total);
+  const double h_c = entropy(cluster_sizes_identified, identified_total);
+
+  // H(K|C) = sum_c (n_c/N) * H(classes within c)
+  double h_k_given_c = 0.0;
+  double h_c_given_k = 0.0;
+  {
+    for (const auto& [c, labels] : table) {
+      std::size_t members = 0;
+      for (const auto& [label, count] : labels) members += count;
+      for (const auto& [label, count] : labels) {
+        const double p_joint =
+            static_cast<double>(count) / static_cast<double>(identified_total);
+        h_k_given_c -= p_joint * std::log(static_cast<double>(count) /
+                                          static_cast<double>(members));
+      }
+    }
+    // H(C|K): invert the table.
+    std::unordered_map<std::int32_t, std::unordered_map<std::int32_t, std::size_t>> by_class;
+    for (const auto& [c, labels] : table) {
+      for (const auto& [label, count] : labels) by_class[label][c] = count;
+    }
+    for (const auto& [label, clusters] : by_class) {
+      const auto class_total = class_counts[label];
+      for (const auto& [c, count] : clusters) {
+        const double p_joint =
+            static_cast<double>(count) / static_cast<double>(identified_total);
+        h_c_given_k -= p_joint * std::log(static_cast<double>(count) /
+                                          static_cast<double>(class_total));
+      }
+    }
+  }
+
+  // Rosenberg & Hirschberg: homogeneity penalises clusters that mix classes
+  // (H(class | cluster)); completeness penalises classes split over several
+  // clusters (H(cluster | class)).
+  report.homogeneity = h_k == 0.0 ? 1.0 : 1.0 - h_k_given_c / h_k;
+  report.completeness = h_c == 0.0 ? 1.0 : 1.0 - h_c_given_k / h_c;
+  const double hc_sum = report.completeness + report.homogeneity;
+  report.v_measure =
+      hc_sum == 0.0 ? 0.0 : 2.0 * report.completeness * report.homogeneity / hc_sum;
+
+  // --- pairwise precision / recall ----------------------------------------
+  // Over identified spectra: a "true link" joins same-peptide spectra.
+  std::uint64_t tp = 0;
+  std::uint64_t pred_pairs = 0;
+  std::uint64_t true_pairs = 0;
+  for (const auto& [c, labels] : table) {
+    std::size_t members = 0;
+    for (const auto& [label, count] : labels) {
+      members += count;
+      tp += static_cast<std::uint64_t>(count) * (count - 1) / 2;
+    }
+    pred_pairs += static_cast<std::uint64_t>(members) * (members - 1) / 2;
+  }
+  for (const auto& [label, count] : class_counts) {
+    true_pairs += static_cast<std::uint64_t>(count) * (count - 1) / 2;
+  }
+  report.pairwise_precision =
+      pred_pairs == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(pred_pairs);
+  report.pairwise_recall =
+      true_pairs == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(true_pairs);
+
+  return report;
+}
+
+}  // namespace spechd::metrics

@@ -1,0 +1,44 @@
+// Clustering quality metrics (Sec. IV-B, IV-E).
+//
+// The paper reports three headline quality numbers:
+//   * clustered spectra ratio — fraction of spectra placed in non-singleton
+//     clusters (Fig. 10 y-axis),
+//   * incorrect clustering ratio (ICR) — fraction of clustered, identified
+//     spectra whose peptide differs from their cluster's majority peptide
+//     (Fig. 10 x-axis; the falcon/HyperSpec definition),
+//   * completeness — the entropy-based V-measure component (Fig. 6a;
+//     Rosenberg & Hirschberg 2007).
+// We add homogeneity, V-measure, purity and pairwise precision/recall for
+// the extended analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/dendrogram.hpp"
+
+namespace spechd::metrics {
+
+struct quality_report {
+  double clustered_ratio = 0.0;    ///< spectra in clusters of size >= 2 / all
+  double incorrect_ratio = 0.0;    ///< ICR over clustered identified spectra
+  double completeness = 1.0;
+  double homogeneity = 1.0;
+  double v_measure = 1.0;
+  double purity = 1.0;
+  double pairwise_precision = 1.0;
+  double pairwise_recall = 0.0;
+  std::size_t cluster_count = 0;      ///< non-singleton clusters
+  std::size_t clustered_spectra = 0;  ///< members of non-singleton clusters
+};
+
+/// Evaluates a flat clustering against ground-truth labels.
+///
+/// `truth[i]` is the peptide index generating spectrum i, or ms::unlabelled
+/// (-1) for unidentified spectra — these count toward clustered_ratio but
+/// are excluded from label-based metrics, mirroring how the paper scores
+/// against MSGF+ identifications that cover only part of the data.
+quality_report evaluate_clustering(const std::vector<std::int32_t>& truth,
+                                   const cluster::flat_clustering& predicted);
+
+}  // namespace spechd::metrics

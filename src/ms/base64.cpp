@@ -1,0 +1,86 @@
+#include "ms/base64.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+constexpr std::string_view k_alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (std::size_t i = 0; i < k_alphabet.size(); ++i) {
+    t[static_cast<unsigned char>(k_alphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+constexpr auto k_reverse = make_reverse_table();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8) | data[i + 2];
+    out += k_alphabet[(v >> 18) & 0x3F];
+    out += k_alphabet[(v >> 12) & 0x3F];
+    out += k_alphabet[(v >> 6) & 0x3F];
+    out += k_alphabet[v & 0x3F];
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = std::uint32_t{data[i]} << 16;
+    out += k_alphabet[(v >> 18) & 0x3F];
+    out += k_alphabet[(v >> 12) & 0x3F];
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out += k_alphabet[(v >> 18) & 0x3F];
+    out += k_alphabet[(v >> 12) & 0x3F];
+    out += k_alphabet[(v >> 6) & 0x3F];
+    out += '=';
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  std::size_t padding = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) {
+      throw parse_error("<base64>", 0, "data after padding");
+    }
+    const std::int8_t v = k_reverse[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      throw parse_error("<base64>", 0, std::string("invalid base64 character '") + c + "'");
+    }
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) throw parse_error("<base64>", 0, "too much padding");
+  return out;
+}
+
+}  // namespace spechd::ms

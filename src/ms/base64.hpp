@@ -1,0 +1,18 @@
+// Base64 codec for mzML binary data arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spechd::ms {
+
+/// Standard (RFC 4648) base64 with '=' padding.
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Decodes base64; throws spechd::parse_error on invalid characters or bad
+/// padding. Whitespace inside the payload is tolerated (mzML pretty-prints).
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+}  // namespace spechd::ms

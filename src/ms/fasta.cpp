@@ -1,0 +1,84 @@
+#include "ms/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+std::vector<fasta_entry> read_fasta(std::istream& in, const std::string& source_name) {
+  std::vector<fasta_entry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  fasta_entry current;
+  bool active = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      if (active) entries.push_back(std::move(current));
+      current = fasta_entry{};
+      current.header = line.substr(1);
+      active = true;
+      continue;
+    }
+    if (line[0] == ';') continue;  // legacy comment lines
+    if (!active) {
+      throw parse_error(source_name, line_no, "sequence data before first '>' header");
+    }
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '*') continue;
+      current.sequence += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  if (active) entries.push_back(std::move(current));
+  return entries;
+}
+
+std::vector<fasta_entry> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open FASTA file: " + path);
+  return read_fasta(in, path);
+}
+
+void write_fasta(std::ostream& out, const std::vector<fasta_entry>& entries,
+                 std::size_t line_width) {
+  SPECHD_EXPECTS(line_width > 0);
+  for (const auto& e : entries) {
+    out << '>' << e.header << '\n';
+    for (std::size_t pos = 0; pos < e.sequence.size(); pos += line_width) {
+      out << e.sequence.substr(pos, line_width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<fasta_entry>& entries) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot create FASTA file: " + path);
+  write_fasta(out, entries);
+  if (!out) throw io_error("write failure on FASTA file: " + path);
+}
+
+std::vector<peptide> library_from_fasta(const std::vector<fasta_entry>& entries,
+                                        int missed_cleavages, std::size_t min_length,
+                                        std::size_t max_length) {
+  std::set<std::string> unique;
+  for (const auto& e : entries) {
+    for (auto& p : tryptic_digest(e.sequence, missed_cleavages, min_length, max_length)) {
+      unique.insert(p.sequence());
+    }
+  }
+  std::vector<peptide> library;
+  library.reserve(unique.size());
+  for (const auto& seq : unique) library.emplace_back(seq);
+  return library;
+}
+
+}  // namespace spechd::ms

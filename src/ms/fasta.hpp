@@ -1,0 +1,42 @@
+// FASTA protein database reader + digestion into a peptide library.
+//
+// Connects the identification path to real protein databases: the paper's
+// Venn analysis searches consensus spectra against a human-proteome
+// database; with a FASTA file this library builds the same target list via
+// tryptic digestion (and the synthetic generator can replicate spectra
+// from it instead of random peptides).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/peptide.hpp"
+
+namespace spechd::ms {
+
+/// One FASTA record.
+struct fasta_entry {
+  std::string header;    ///< text after '>', without the marker
+  std::string sequence;  ///< residue letters, whitespace stripped
+};
+
+/// Reads all records; tolerates wrapped sequence lines, Windows line
+/// endings, '*' stop codons (stripped) and blank lines. Throws parse_error
+/// if sequence data precedes the first header.
+std::vector<fasta_entry> read_fasta(std::istream& in,
+                                    const std::string& source_name = "<fasta>");
+std::vector<fasta_entry> read_fasta_file(const std::string& path);
+
+void write_fasta(std::ostream& out, const std::vector<fasta_entry>& entries,
+                 std::size_t line_width = 60);
+void write_fasta_file(const std::string& path, const std::vector<fasta_entry>& entries);
+
+/// Digests every protein and returns the deduplicated peptide library
+/// (sorted by sequence for determinism).
+std::vector<peptide> library_from_fasta(const std::vector<fasta_entry>& entries,
+                                        int missed_cleavages = 0,
+                                        std::size_t min_length = 6,
+                                        std::size_t max_length = 40);
+
+}  // namespace spechd::ms

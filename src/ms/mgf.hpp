@@ -1,0 +1,30 @@
+// Mascot Generic Format (MGF) reader/writer.
+//
+// MGF is the simplest of the formats named in Sec. II-A (mzML, mzXML, MGF,
+// MS2): text records delimited by BEGIN IONS / END IONS with KEY=VALUE
+// headers (TITLE, PEPMASS, CHARGE, RTINSECONDS, SCANS) followed by
+// whitespace-separated "mz intensity" peak lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+/// Parses every spectrum in an MGF stream. Throws spechd::parse_error on
+/// malformed records; `source_name` labels errors.
+std::vector<spectrum> read_mgf(std::istream& in, const std::string& source_name = "<mgf>");
+
+/// Parses an MGF file from disk. Throws spechd::io_error if unreadable.
+std::vector<spectrum> read_mgf_file(const std::string& path);
+
+/// Writes spectra as MGF. Peak intensities are emitted with enough
+/// precision to round-trip through read_mgf.
+void write_mgf(std::ostream& out, const std::vector<spectrum>& spectra);
+
+void write_mgf_file(const std::string& path, const std::vector<spectrum>& spectra);
+
+}  // namespace spechd::ms

@@ -1,0 +1,121 @@
+#include "ms/ms2.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+void flush_record(std::vector<spectrum>& out, spectrum& current, bool& active) {
+  if (active) {
+    sort_peaks(current);
+    out.push_back(std::move(current));
+    current = spectrum{};
+    active = false;
+  }
+}
+
+}  // namespace
+
+std::vector<spectrum> read_ms2(std::istream& in, const std::string& source_name) {
+  std::vector<spectrum> result;
+  std::string line;
+  std::size_t line_no = 0;
+  spectrum current;
+  bool active = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    switch (line[0]) {
+      case 'H':
+        continue;  // file-level header
+      case 'S': {
+        flush_record(result, current, active);
+        char tag = 0;
+        std::uint32_t first = 0;
+        std::uint32_t last = 0;
+        double mz = 0.0;
+        if (!(ls >> tag >> first >> last >> mz)) {
+          throw parse_error(source_name, line_no, "bad S line");
+        }
+        active = true;
+        current.scan = first;
+        current.precursor_mz = mz;
+        current.title = "scan=" + std::to_string(first);
+        break;
+      }
+      case 'I': {
+        if (!active) throw parse_error(source_name, line_no, "I line before S line");
+        char tag = 0;
+        std::string key;
+        double value = 0.0;
+        if (ls >> tag >> key >> value && key == "RTime") {
+          current.retention_time = value * 60.0;  // RTime is minutes
+        }
+        break;
+      }
+      case 'Z': {
+        if (!active) throw parse_error(source_name, line_no, "Z line before S line");
+        char tag = 0;
+        int charge = 0;
+        double mh = 0.0;
+        if (!(ls >> tag >> charge >> mh)) {
+          throw parse_error(source_name, line_no, "bad Z line");
+        }
+        current.precursor_charge = charge;
+        break;
+      }
+      default: {
+        if (!active) throw parse_error(source_name, line_no, "peak line before S line");
+        double mz = 0.0;
+        double intensity = 0.0;
+        if (!(ls >> mz >> intensity)) {
+          throw parse_error(source_name, line_no, "bad peak line: " + line);
+        }
+        current.peaks.push_back({mz, static_cast<float>(intensity)});
+        break;
+      }
+    }
+  }
+  flush_record(result, current, active);
+  return result;
+}
+
+std::vector<spectrum> read_ms2_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open MS2 file: " + path);
+  return read_ms2(in, path);
+}
+
+void write_ms2(std::ostream& out, const std::vector<spectrum>& spectra) {
+  out << std::setprecision(10);
+  out << "H\tCreationDate\t-\nH\tExtractor\tspechd\n";
+  for (const auto& s : spectra) {
+    out << "S\t" << s.scan << '\t' << s.scan << '\t' << s.precursor_mz << '\n';
+    if (s.retention_time > 0.0) {
+      out << "I\tRTime\t" << (s.retention_time / 60.0) << '\n';
+    }
+    if (s.precursor_charge > 0) {
+      const double mh =
+          (s.precursor_mz - proton_mass) * s.precursor_charge + proton_mass;
+      out << "Z\t" << s.precursor_charge << '\t' << mh << '\n';
+    }
+    for (const auto& p : s.peaks) out << p.mz << ' ' << p.intensity << '\n';
+  }
+}
+
+void write_ms2_file(const std::string& path, const std::vector<spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot create MS2 file: " + path);
+  write_ms2(out, spectra);
+  if (!out) throw io_error("write failure on MS2 file: " + path);
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,25 @@
+// MS2 format reader/writer.
+//
+// MS2 (McDonald et al. 2004) is the line-oriented format produced by RAWXtract:
+//   H  <header records>
+//   S  <scan-first> <scan-last> <precursor m/z>
+//   I  <key> <value>            (per-scan info, e.g. RTime)
+//   Z  <charge> <neutral M+H mass>
+//   <mz> <intensity> peak lines
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+std::vector<spectrum> read_ms2(std::istream& in, const std::string& source_name = "<ms2>");
+std::vector<spectrum> read_ms2_file(const std::string& path);
+
+void write_ms2(std::ostream& out, const std::vector<spectrum>& spectra);
+void write_ms2_file(const std::string& path, const std::vector<spectrum>& spectra);
+
+}  // namespace spechd::ms

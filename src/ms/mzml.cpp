@@ -1,0 +1,240 @@
+#include "ms/mzml.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "ms/base64.hpp"
+#include "ms/xml_scan.hpp"
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+// Binary data array decoding state.
+struct binary_array {
+  enum class role { unknown, mz, intensity };
+  role kind = role::unknown;
+  bool is_64bit = true;
+  bool compressed = false;
+  std::vector<double> values;
+};
+
+std::vector<double> decode_floats(const std::vector<std::uint8_t>& bytes, bool is_64bit,
+                                  const std::string& source) {
+  std::vector<double> out;
+  if (is_64bit) {
+    if (bytes.size() % sizeof(double) != 0) {
+      throw parse_error(source, 0, "binary array size not a multiple of 8");
+    }
+    out.resize(bytes.size() / sizeof(double));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  } else {
+    if (bytes.size() % sizeof(float) != 0) {
+      throw parse_error(source, 0, "binary array size not a multiple of 4");
+    }
+    out.reserve(bytes.size() / sizeof(float));
+    for (std::size_t i = 0; i < bytes.size(); i += sizeof(float)) {
+      float f = 0.0F;
+      std::memcpy(&f, bytes.data() + i, sizeof(float));
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<spectrum> read_mzml(std::istream& in, const std::string& source_name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  xml_scanner scanner(buffer.str(), source_name);
+
+  std::vector<spectrum> result;
+  spectrum current;
+  int ms_level = 2;
+  bool in_spectrum = false;
+  binary_array array;
+  bool in_binary_array = false;
+  std::string binary_payload;
+  bool in_binary_element = false;
+  std::vector<double> mz_values;
+  std::vector<double> intensity_values;
+
+  auto finish_spectrum = [&] {
+    if (ms_level != 2) return;
+    const std::size_t n = std::min(mz_values.size(), intensity_values.size());
+    current.peaks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      current.peaks.push_back({mz_values[i], static_cast<float>(intensity_values[i])});
+    }
+    sort_peaks(current);
+    result.push_back(std::move(current));
+  };
+
+  for (;;) {
+    xml_event ev = scanner.next();
+    if (ev.type == xml_event::kind::eof) break;
+
+    switch (ev.type) {
+      case xml_event::kind::start:
+      case xml_event::kind::empty: {
+        if (ev.name == "spectrum") {
+          current = spectrum{};
+          ms_level = 2;
+          mz_values.clear();
+          intensity_values.clear();
+          in_spectrum = true;
+          if (auto it = ev.attributes.find("id"); it != ev.attributes.end()) {
+            current.title = it->second;
+            // Conventional id form: "... scan=N".
+            if (const auto p = it->second.rfind("scan="); p != std::string::npos) {
+              current.scan = static_cast<std::uint32_t>(
+                  std::strtoul(it->second.c_str() + p + 5, nullptr, 10));
+            }
+          }
+          if (ev.type == xml_event::kind::empty) in_spectrum = false;
+        } else if (ev.name == "binaryDataArray" && in_spectrum) {
+          array = binary_array{};
+          binary_payload.clear();
+          in_binary_array = true;
+        } else if (ev.name == "binary" && in_binary_array) {
+          in_binary_element = ev.type == xml_event::kind::start;
+        } else if (ev.name == "cvParam" && in_spectrum) {
+          const auto acc = ev.attributes.find("accession");
+          if (acc == ev.attributes.end()) break;
+          const std::string& a = acc->second;
+          if (a == "MS:1000511") {  // ms level
+            ms_level = static_cast<int>(xml_attr_double(ev, "value", 2));
+          } else if (a == "MS:1000744") {  // selected ion m/z
+            current.precursor_mz = xml_attr_double(ev, "value", 0.0);
+          } else if (a == "MS:1000041") {  // charge state
+            current.precursor_charge = static_cast<int>(xml_attr_double(ev, "value", 0));
+          } else if (a == "MS:1000016") {  // scan start time
+            double rt = xml_attr_double(ev, "value", 0.0);
+            const auto unit = ev.attributes.find("unitName");
+            if (unit != ev.attributes.end() && unit->second == "minute") rt *= 60.0;
+            current.retention_time = rt;
+          } else if (in_binary_array) {
+            if (a == "MS:1000514") array.kind = binary_array::role::mz;
+            else if (a == "MS:1000515") array.kind = binary_array::role::intensity;
+            else if (a == "MS:1000523") array.is_64bit = true;
+            else if (a == "MS:1000521") array.is_64bit = false;
+            else if (a == "MS:1000574") array.compressed = true;  // zlib
+            else if (a == "MS:1000576") array.compressed = false;
+          }
+        }
+        break;
+      }
+      case xml_event::kind::end: {
+        if (ev.name == "spectrum" && in_spectrum) {
+          finish_spectrum();
+          in_spectrum = false;
+        } else if (ev.name == "binary") {
+          in_binary_element = false;
+        } else if (ev.name == "binaryDataArray" && in_binary_array) {
+          in_binary_array = false;
+          if (array.compressed) {
+            throw parse_error(source_name, 0,
+                              "zlib-compressed binary arrays are not supported");
+          }
+          if (array.kind != binary_array::role::unknown && !binary_payload.empty()) {
+            const auto bytes = base64_decode(binary_payload);
+            auto values = decode_floats(bytes, array.is_64bit, source_name);
+            if (array.kind == binary_array::role::mz) {
+              mz_values = std::move(values);
+            } else {
+              intensity_values = std::move(values);
+            }
+          }
+        }
+        break;
+      }
+      case xml_event::kind::text: {
+        if (in_binary_element) binary_payload += ev.text;
+        break;
+      }
+      case xml_event::kind::eof:
+        break;
+    }
+  }
+  return result;
+}
+
+std::vector<spectrum> read_mzml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open mzML file: " + path);
+  return read_mzml(in, path);
+}
+
+void write_mzml(std::ostream& out, const std::vector<spectrum>& spectra) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<mzML xmlns=\"http://psi.hupo.org/ms/mzml\" version=\"1.1.0\">\n"
+      << "  <run id=\"spechd\">\n"
+      << "    <spectrumList count=\"" << spectra.size() << "\">\n";
+
+  for (std::size_t idx = 0; idx < spectra.size(); ++idx) {
+    const spectrum& s = spectra[idx];
+
+    std::vector<std::uint8_t> mz_bytes(s.peaks.size() * sizeof(double));
+    std::vector<std::uint8_t> int_bytes(s.peaks.size() * sizeof(float));
+    for (std::size_t i = 0; i < s.peaks.size(); ++i) {
+      std::memcpy(mz_bytes.data() + i * sizeof(double), &s.peaks[i].mz, sizeof(double));
+      std::memcpy(int_bytes.data() + i * sizeof(float), &s.peaks[i].intensity,
+                  sizeof(float));
+    }
+
+    std::string id = s.title.empty()
+                         ? "scan=" + std::to_string(s.scan != 0 ? s.scan : idx + 1)
+                         : s.title;
+    out << "      <spectrum index=\"" << idx << "\" id=\"" << id
+        << "\" defaultArrayLength=\"" << s.peaks.size() << "\">\n"
+        << "        <cvParam accession=\"MS:1000511\" name=\"ms level\" value=\"2\"/>\n";
+    if (s.retention_time > 0.0) {
+      out << "        <cvParam accession=\"MS:1000016\" name=\"scan start time\" value=\""
+          << std::setprecision(10) << s.retention_time
+          << "\" unitName=\"second\"/>\n";
+    }
+    out << "        <precursorList count=\"1\"><precursor><selectedIonList count=\"1\">"
+        << "<selectedIon>\n"
+        << "          <cvParam accession=\"MS:1000744\" name=\"selected ion m/z\" value=\""
+        << std::setprecision(12) << s.precursor_mz << "\"/>\n";
+    if (s.precursor_charge > 0) {
+      out << "          <cvParam accession=\"MS:1000041\" name=\"charge state\" value=\""
+          << s.precursor_charge << "\"/>\n";
+    }
+    out << "        </selectedIon></selectedIonList></precursor></precursorList>\n"
+        << "        <binaryDataArrayList count=\"2\">\n"
+        << "          <binaryDataArray>\n"
+        << "            <cvParam accession=\"MS:1000523\" name=\"64-bit float\"/>\n"
+        << "            <cvParam accession=\"MS:1000576\" name=\"no compression\"/>\n"
+        << "            <cvParam accession=\"MS:1000514\" name=\"m/z array\"/>\n"
+        << "            <binary>" << base64_encode(mz_bytes) << "</binary>\n"
+        << "          </binaryDataArray>\n"
+        << "          <binaryDataArray>\n"
+        << "            <cvParam accession=\"MS:1000521\" name=\"32-bit float\"/>\n"
+        << "            <cvParam accession=\"MS:1000576\" name=\"no compression\"/>\n"
+        << "            <cvParam accession=\"MS:1000515\" name=\"intensity array\"/>\n"
+        << "            <binary>" << base64_encode(int_bytes) << "</binary>\n"
+        << "          </binaryDataArray>\n"
+        << "        </binaryDataArrayList>\n"
+        << "      </spectrum>\n";
+  }
+  out << "    </spectrumList>\n  </run>\n</mzML>\n";
+}
+
+void write_mzml_file(const std::string& path, const std::vector<spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot create mzML file: " + path);
+  write_mzml(out, spectra);
+  if (!out) throw io_error("write failure on mzML file: " + path);
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,31 @@
+// Minimal mzML (PSI-MS) reader/writer.
+//
+// mzML is the XML-based open standard named in Sec. II-A. We support the
+// subset needed for MS/MS clustering workflows:
+//   * MS2 spectra with selected-ion m/z, charge state and scan start time,
+//   * uncompressed 32-/64-bit float binary data arrays (base64),
+//   * spectrum id / index attributes.
+// Compression (zlib) and chromatograms are out of scope; the reader raises
+// parse_error when it encounters a compressed array rather than silently
+// mis-decoding it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+/// Reads all MS2-level spectra (msLevel == 2, or spectra without an msLevel
+/// annotation) from an mzML stream.
+std::vector<spectrum> read_mzml(std::istream& in, const std::string& source_name = "<mzml>");
+std::vector<spectrum> read_mzml_file(const std::string& path);
+
+/// Writes spectra as a minimal, schema-shaped mzML document with
+/// uncompressed 64-bit m/z and 32-bit intensity arrays.
+void write_mzml(std::ostream& out, const std::vector<spectrum>& spectra);
+void write_mzml_file(const std::string& path, const std::vector<spectrum>& spectra);
+
+}  // namespace spechd::ms

@@ -1,0 +1,214 @@
+#include "ms/mzxml.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "ms/base64.hpp"
+#include "ms/xml_scan.hpp"
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+/// Parses an ISO-8601 duration of the restricted "PT<seconds>S" form mzXML
+/// uses for retentionTime. Returns seconds, 0 on mismatch.
+double parse_retention_time(const std::string& v) {
+  if (v.size() < 4 || v.compare(0, 2, "PT") != 0 || v.back() != 'S') return 0.0;
+  try {
+    return std::stod(v.substr(2, v.size() - 3));
+  } catch (...) {
+    return 0.0;
+  }
+}
+
+std::uint64_t byteswap64(std::uint64_t v) {
+  return ((v & 0x00000000000000FFULL) << 56) | ((v & 0x000000000000FF00ULL) << 40) |
+         ((v & 0x0000000000FF0000ULL) << 24) | ((v & 0x00000000FF000000ULL) << 8) |
+         ((v & 0x000000FF00000000ULL) >> 8) | ((v & 0x0000FF0000000000ULL) >> 24) |
+         ((v & 0x00FF000000000000ULL) >> 40) | ((v & 0xFF00000000000000ULL) >> 56);
+}
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000FFU) << 24) | ((v & 0x0000FF00U) << 8) |
+         ((v & 0x00FF0000U) >> 8) | ((v & 0xFF000000U) >> 24);
+}
+
+/// Decodes network-order interleaved (m/z, intensity) pairs.
+std::vector<peak> decode_peaks(const std::vector<std::uint8_t>& bytes, bool is_64bit,
+                               const std::string& source) {
+  std::vector<peak> peaks;
+  if (is_64bit) {
+    if (bytes.size() % 16 != 0) {
+      throw parse_error(source, 0, "mzXML 64-bit peak block not a multiple of 16 bytes");
+    }
+    peaks.reserve(bytes.size() / 16);
+    for (std::size_t i = 0; i < bytes.size(); i += 16) {
+      std::uint64_t raw_mz = 0;
+      std::uint64_t raw_int = 0;
+      std::memcpy(&raw_mz, bytes.data() + i, 8);
+      std::memcpy(&raw_int, bytes.data() + i + 8, 8);
+      if constexpr (std::endian::native == std::endian::little) {
+        raw_mz = byteswap64(raw_mz);
+        raw_int = byteswap64(raw_int);
+      }
+      peaks.push_back({std::bit_cast<double>(raw_mz),
+                       static_cast<float>(std::bit_cast<double>(raw_int))});
+    }
+  } else {
+    if (bytes.size() % 8 != 0) {
+      throw parse_error(source, 0, "mzXML 32-bit peak block not a multiple of 8 bytes");
+    }
+    peaks.reserve(bytes.size() / 8);
+    for (std::size_t i = 0; i < bytes.size(); i += 8) {
+      std::uint32_t raw_mz = 0;
+      std::uint32_t raw_int = 0;
+      std::memcpy(&raw_mz, bytes.data() + i, 4);
+      std::memcpy(&raw_int, bytes.data() + i + 4, 4);
+      if constexpr (std::endian::native == std::endian::little) {
+        raw_mz = byteswap32(raw_mz);
+        raw_int = byteswap32(raw_int);
+      }
+      peaks.push_back({static_cast<double>(std::bit_cast<float>(raw_mz)),
+                       std::bit_cast<float>(raw_int)});
+    }
+  }
+  return peaks;
+}
+
+}  // namespace
+
+std::vector<spectrum> read_mzxml(std::istream& in, const std::string& source_name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  xml_scanner scanner(buffer.str(), source_name);
+
+  std::vector<spectrum> result;
+  spectrum current;
+  int ms_level = 0;
+  bool in_scan = false;
+  bool in_precursor = false;
+  bool in_peaks = false;
+  bool peaks_64bit = false;
+  bool peaks_compressed = false;
+  std::string payload;
+
+  for (;;) {
+    xml_event ev = scanner.next();
+    if (ev.type == xml_event::kind::eof) break;
+    switch (ev.type) {
+      case xml_event::kind::start:
+      case xml_event::kind::empty: {
+        if (ev.name == "scan") {
+          // mzXML nests scans; we flush the previous one on open as the
+          // subset we read is flat MS2 lists.
+          current = spectrum{};
+          ms_level = static_cast<int>(xml_attr_double(ev, "msLevel", 2));
+          current.scan = static_cast<std::uint32_t>(xml_attr_double(ev, "num", 0));
+          current.title = "scan=" + std::to_string(current.scan);
+          current.retention_time =
+              parse_retention_time(xml_attr(ev, "retentionTime"));
+          in_scan = ev.type == xml_event::kind::start;
+        } else if (ev.name == "precursorMz" && in_scan) {
+          current.precursor_charge =
+              static_cast<int>(xml_attr_double(ev, "precursorCharge", 0));
+          in_precursor = ev.type == xml_event::kind::start;
+          payload.clear();
+        } else if (ev.name == "peaks" && in_scan) {
+          peaks_64bit = xml_attr_double(ev, "precision", 32) == 64;
+          peaks_compressed = xml_attr(ev, "compressionType", "none") != "none";
+          const auto content = xml_attr(ev, "contentType", "m/z-int");
+          if (content != "m/z-int" && content != "pairOrder") {
+            throw parse_error(source_name, 0,
+                              "unsupported mzXML peaks contentType: " + content);
+          }
+          in_peaks = ev.type == xml_event::kind::start;
+          payload.clear();
+        }
+        break;
+      }
+      case xml_event::kind::text: {
+        if (in_precursor || in_peaks) payload += ev.text;
+        break;
+      }
+      case xml_event::kind::end: {
+        if (ev.name == "precursorMz") {
+          try {
+            current.precursor_mz = std::stod(payload);
+          } catch (...) {
+            throw parse_error(source_name, 0, "bad precursorMz value: " + payload);
+          }
+          in_precursor = false;
+        } else if (ev.name == "peaks") {
+          if (peaks_compressed) {
+            throw parse_error(source_name, 0,
+                              "compressed mzXML peak blocks are not supported");
+          }
+          current.peaks = decode_peaks(base64_decode(payload), peaks_64bit, source_name);
+          in_peaks = false;
+        } else if (ev.name == "scan") {
+          if (in_scan && ms_level == 2) {
+            sort_peaks(current);
+            result.push_back(std::move(current));
+            current = spectrum{};
+          }
+          in_scan = false;
+        }
+        break;
+      }
+      case xml_event::kind::eof:
+        break;
+    }
+  }
+  return result;
+}
+
+std::vector<spectrum> read_mzxml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open mzXML file: " + path);
+  return read_mzxml(in, path);
+}
+
+void write_mzxml(std::ostream& out, const std::vector<spectrum>& spectra) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<mzXML xmlns=\"http://sashimi.sourceforge.net/schema_revision/mzXML_3.2\">\n"
+      << " <msRun scanCount=\"" << spectra.size() << "\">\n";
+  for (const auto& s : spectra) {
+    std::vector<std::uint8_t> bytes(s.peaks.size() * 16);
+    for (std::size_t i = 0; i < s.peaks.size(); ++i) {
+      auto raw_mz = std::bit_cast<std::uint64_t>(s.peaks[i].mz);
+      auto raw_int = std::bit_cast<std::uint64_t>(static_cast<double>(s.peaks[i].intensity));
+      if constexpr (std::endian::native == std::endian::little) {
+        raw_mz = byteswap64(raw_mz);
+        raw_int = byteswap64(raw_int);
+      }
+      std::memcpy(bytes.data() + i * 16, &raw_mz, 8);
+      std::memcpy(bytes.data() + i * 16 + 8, &raw_int, 8);
+    }
+    out << "  <scan num=\"" << s.scan << "\" msLevel=\"2\" peaksCount=\""
+        << s.peaks.size() << "\"";
+    if (s.retention_time > 0.0) {
+      out << " retentionTime=\"PT" << std::setprecision(10) << s.retention_time << "S\"";
+    }
+    out << ">\n";
+    out << "   <precursorMz precursorCharge=\"" << s.precursor_charge << "\">"
+        << std::setprecision(12) << s.precursor_mz << "</precursorMz>\n";
+    out << "   <peaks precision=\"64\" byteOrder=\"network\" contentType=\"m/z-int\">"
+        << base64_encode(bytes) << "</peaks>\n";
+    out << "  </scan>\n";
+  }
+  out << " </msRun>\n</mzXML>\n";
+}
+
+void write_mzxml_file(const std::string& path, const std::vector<spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot create mzXML file: " + path);
+  write_mzxml(out, spectra);
+  if (!out) throw io_error("write failure on mzXML file: " + path);
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,30 @@
+// Minimal mzXML reader/writer.
+//
+// mzXML (the ISB precursor of mzML, still produced by legacy converters) is
+// the fourth format named in Sec. II-A. Supported subset:
+//   * <scan num=... msLevel=... peaksCount=... retentionTime="PT...S">
+//   * <precursorMz precursorCharge=...>value</precursorMz>
+//   * <peaks precision="32|64" byteOrder="network"
+//            contentType="m/z-int">base64</peaks>  (interleaved pairs,
+//     big-endian per the spec; "pairOrder" accepted as a contentType alias)
+// zlib-compressed peaks are rejected with parse_error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+/// Reads all MS2-level scans from an mzXML stream.
+std::vector<spectrum> read_mzxml(std::istream& in,
+                                 const std::string& source_name = "<mzxml>");
+std::vector<spectrum> read_mzxml_file(const std::string& path);
+
+/// Writes spectra as minimal mzXML (64-bit network-order m/z-int peaks).
+void write_mzxml(std::ostream& out, const std::vector<spectrum>& spectra);
+void write_mzxml_file(const std::string& path, const std::vector<spectrum>& spectra);
+
+}  // namespace spechd::ms

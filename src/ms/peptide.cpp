@@ -1,0 +1,155 @@
+#include "ms/peptide.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+// Monoisotopic residue masses (Da), standard values (Unimod / ProteoWizard).
+constexpr double k_invalid = -1.0;
+
+constexpr std::array<double, 26> make_residue_table() {
+  std::array<double, 26> t{};
+  for (auto& v : t) v = k_invalid;
+  t['A' - 'A'] = 71.03711381;
+  t['C' - 'A'] = 103.00918496;  // unmodified cysteine
+  t['D' - 'A'] = 115.02694302;
+  t['E' - 'A'] = 129.04259309;
+  t['F' - 'A'] = 147.06841391;
+  t['G' - 'A'] = 57.02146374;
+  t['H' - 'A'] = 137.05891186;
+  t['I' - 'A'] = 113.08406398;
+  t['K' - 'A'] = 128.09496302;
+  t['L' - 'A'] = 113.08406398;
+  t['M' - 'A'] = 131.04048509;
+  t['N' - 'A'] = 114.04292744;
+  t['P' - 'A'] = 97.05276385;
+  t['Q' - 'A'] = 128.05857751;
+  t['R' - 'A'] = 156.10111102;
+  t['S' - 'A'] = 87.03202841;
+  t['T' - 'A'] = 101.04767847;
+  t['V' - 'A'] = 99.06841391;
+  t['W' - 'A'] = 186.07931295;
+  t['Y' - 'A'] = 163.06332853;
+  return t;
+}
+
+constexpr auto k_residue_masses = make_residue_table();
+
+}  // namespace
+
+bool is_residue(char aa) noexcept {
+  return aa >= 'A' && aa <= 'Z' && k_residue_masses[aa - 'A'] != k_invalid;
+}
+
+double residue_mass(char aa) {
+  if (!is_residue(aa)) {
+    throw logic_error(std::string("not an amino acid residue: '") + aa + "'");
+  }
+  return k_residue_masses[aa - 'A'];
+}
+
+std::string_view canonical_residues() noexcept { return "ACDEFGHIKLMNPQRSTVWY"; }
+
+peptide::peptide(std::string sequence) : sequence_(std::move(sequence)) {
+  for (char c : sequence_) {
+    if (!is_residue(c)) {
+      throw logic_error(std::string("invalid residue '") + c + "' in peptide " + sequence_);
+    }
+  }
+}
+
+double peptide::neutral_mass() const {
+  double m = water_mass;
+  for (char c : sequence_) m += k_residue_masses[c - 'A'];
+  return m;
+}
+
+double peptide::precursor_mz(int charge) const {
+  SPECHD_EXPECTS(charge >= 1);
+  return (neutral_mass() + charge * proton_mass) / charge;
+}
+
+std::vector<fragment_ion> b_y_ions(const peptide& p) {
+  const std::string& seq = p.sequence();
+  std::vector<fragment_ion> ions;
+  if (seq.size() < 2) return ions;
+  ions.reserve(2 * (seq.size() - 1));
+
+  // Prefix sums of residue masses.
+  double prefix = 0.0;
+  const double total = p.neutral_mass() - water_mass;  // sum of residues
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    prefix += k_residue_masses[seq[i] - 'A'];
+    const int idx = static_cast<int>(i) + 1;
+    // b_i = prefix + proton; y_i = suffix + water + proton.
+    ions.push_back({fragment_ion::series::b, idx, prefix + proton_mass});
+    const double suffix = total - prefix;
+    ions.push_back({fragment_ion::series::y, static_cast<int>(seq.size()) - idx,
+                    suffix + water_mass + proton_mass});
+  }
+  std::sort(ions.begin(), ions.end(),
+            [](const fragment_ion& a, const fragment_ion& b) { return a.mz < b.mz; });
+  return ions;
+}
+
+spectrum theoretical_spectrum(const peptide& p, int charge) {
+  SPECHD_EXPECTS(charge >= 1);
+  spectrum s;
+  s.title = p.sequence();
+  s.precursor_charge = charge;
+  s.precursor_mz = p.precursor_mz(charge);
+
+  const auto ions = b_y_ions(p);
+  const double n = static_cast<double>(p.length());
+  s.peaks.reserve(ions.size());
+  for (const auto& ion : ions) {
+    // Simple deterministic intensity model: y ions ~2x b ions, and a
+    // triangular profile peaking mid-sequence (mirrors observed HCD trends).
+    const double frac = static_cast<double>(ion.index) / n;
+    const double positional = 1.0 - std::abs(frac - 0.5);
+    const double series_weight = ion.kind == fragment_ion::series::y ? 2.0 : 1.0;
+    s.peaks.push_back({ion.mz, static_cast<float>(100.0 * series_weight * positional)});
+  }
+  sort_peaks(s);
+  return s;
+}
+
+std::vector<peptide> tryptic_digest(std::string_view protein, int missed_cleavages,
+                                    std::size_t min_length, std::size_t max_length) {
+  SPECHD_EXPECTS(missed_cleavages >= 0);
+  // Find cleavage boundaries: after K/R not followed by P.
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i + 1 < protein.size(); ++i) {
+    const char c = protein[i];
+    if ((c == 'K' || c == 'R') && protein[i + 1] != 'P') {
+      starts.push_back(i + 1);
+    }
+  }
+  starts.push_back(protein.size());
+
+  std::vector<peptide> result;
+  const std::size_t segments = starts.size() - 1;
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    for (int mc = 0; mc <= missed_cleavages; ++mc) {
+      const std::size_t last = seg + static_cast<std::size_t>(mc);
+      if (last >= segments) break;
+      const std::size_t begin = starts[seg];
+      const std::size_t end = starts[last + 1];
+      const std::size_t len = end - begin;
+      if (len < min_length || len > max_length) continue;
+      std::string_view seq = protein.substr(begin, len);
+      // Skip peptides containing non-residue characters (e.g. X in FASTA).
+      if (std::all_of(seq.begin(), seq.end(), [](char c) { return is_residue(c); })) {
+        result.emplace_back(std::string(seq));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,79 @@
+// Peptide chemistry: residue masses, tryptic digestion, b/y fragment ions.
+//
+// The synthetic dataset generator and the simulated database search both
+// need theoretical MS/MS spectra. We implement the standard monoisotopic
+// residue masses, trypsin digestion rules (cleave after K/R except before
+// P), and singly-charged b/y fragment series — the same ion series MSGF+
+// scores for HCD/CID spectra.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+/// Monoisotopic residue mass for amino acid `aa` (one-letter code).
+/// Throws spechd::logic_error for non-residue characters.
+double residue_mass(char aa);
+
+/// True for the 20 canonical one-letter amino acid codes.
+bool is_residue(char aa) noexcept;
+
+/// The 20 canonical residues in alphabetical order ("ACDEFGHIKLMNPQRSTVWY").
+std::string_view canonical_residues() noexcept;
+
+/// A peptide sequence with convenience mass calculators.
+class peptide {
+public:
+  peptide() = default;
+
+  /// Validates that every character is a canonical residue.
+  explicit peptide(std::string sequence);
+
+  const std::string& sequence() const noexcept { return sequence_; }
+  std::size_t length() const noexcept { return sequence_.size(); }
+  bool empty() const noexcept { return sequence_.empty(); }
+
+  /// Monoisotopic neutral mass (residues + water).
+  double neutral_mass() const;
+
+  /// m/z of the [M + zH]^z+ precursor ion.
+  double precursor_mz(int charge) const;
+
+  friend bool operator==(const peptide&, const peptide&) = default;
+
+private:
+  std::string sequence_;
+};
+
+/// Theoretical fragment ion.
+struct fragment_ion {
+  enum class series : std::uint8_t { b, y };
+  series kind = series::b;
+  int index = 0;    ///< 1-based position within the series
+  double mz = 0.0;  ///< singly protonated fragment m/z
+};
+
+/// Singly-charged b- and y-ion series for `p` (the dominant HCD fragments).
+/// Returned sorted by ascending m/z.
+std::vector<fragment_ion> b_y_ions(const peptide& p);
+
+/// Renders a theoretical spectrum for (peptide, charge): b/y ions with a
+/// simple intensity model (y ions stronger than b, mid-sequence fragments
+/// stronger than termini). Deterministic.
+spectrum theoretical_spectrum(const peptide& p, int charge);
+
+/// Trypsin digestion: cleaves C-terminal to K/R except when followed by P.
+/// Emits peptides with up to `missed_cleavages` internal missed cleavage
+/// sites whose length falls in [min_length, max_length].
+std::vector<peptide> tryptic_digest(std::string_view protein,
+                                    int missed_cleavages = 0,
+                                    std::size_t min_length = 6,
+                                    std::size_t max_length = 40);
+
+}  // namespace spechd::ms

@@ -1,0 +1,64 @@
+#include "ms/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spechd::ms {
+
+float base_peak_intensity(const spectrum& s) noexcept {
+  float best = 0.0F;
+  for (const auto& p : s.peaks) best = std::max(best, p.intensity);
+  return best;
+}
+
+double total_ion_current(const spectrum& s) noexcept {
+  double sum = 0.0;
+  for (const auto& p : s.peaks) sum += p.intensity;
+  return sum;
+}
+
+void sort_peaks(spectrum& s) {
+  std::stable_sort(s.peaks.begin(), s.peaks.end(),
+                   [](const peak& a, const peak& b) { return a.mz < b.mz; });
+}
+
+bool peaks_sorted(const spectrum& s) noexcept {
+  return std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                        [](const peak& a, const peak& b) { return a.mz < b.mz; });
+}
+
+std::size_t raw_peak_bytes(const spectrum& s) noexcept {
+  // Profile formats store one float64 m/z + float32 intensity per peak.
+  return s.peaks.size() * (sizeof(double) + sizeof(float));
+}
+
+double binned_cosine(const spectrum& a, const spectrum& b, double bin_width) {
+  if (a.empty() || b.empty() || bin_width <= 0.0) return 0.0;
+
+  std::unordered_map<std::int64_t, double> bins_a;
+  bins_a.reserve(a.size());
+  double norm_a = 0.0;
+  for (const auto& p : a.peaks) {
+    const auto bin = static_cast<std::int64_t>(p.mz / bin_width);
+    bins_a[bin] += p.intensity;
+  }
+  for (const auto& [bin, v] : bins_a) norm_a += v * v;
+
+  double dot = 0.0;
+  std::unordered_map<std::int64_t, double> bins_b;
+  bins_b.reserve(b.size());
+  for (const auto& p : b.peaks) {
+    const auto bin = static_cast<std::int64_t>(p.mz / bin_width);
+    bins_b[bin] += p.intensity;
+  }
+  double norm_b = 0.0;
+  for (const auto& [bin, v] : bins_b) {
+    norm_b += v * v;
+    if (auto it = bins_a.find(bin); it != bins_a.end()) dot += v * it->second;
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace spechd::ms

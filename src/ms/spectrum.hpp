@@ -1,0 +1,78 @@
+// Core MS/MS spectrum data model.
+//
+// A spectrum is the digital product of one MS2 scan: a precursor
+// (mass-to-charge ratio + charge state) and a peak list of fragment
+// (m/z, intensity) pairs. This mirrors the content of MGF/MS2/mzML records
+// (Sec. II-A of the paper) and is the input to the preprocessing module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spechd::ms {
+
+/// Mass of a proton in Da; the paper's Eq. (1) uses 1.00794 (the standard
+/// atomic weight of hydrogen) as "the mass of the charge", so we keep both.
+inline constexpr double proton_mass = 1.007276466812;
+inline constexpr double hydrogen_mass = 1.00794;  // value used in Eq. (1)
+inline constexpr double water_mass = 18.0105646863;
+
+/// One fragment peak.
+struct peak {
+  double mz = 0.0;
+  float intensity = 0.0F;
+
+  friend constexpr bool operator==(const peak&, const peak&) = default;
+};
+
+/// Ground-truth label value for "unknown" (real data / noise spectra).
+inline constexpr std::int32_t unlabelled = -1;
+
+/// A single MS/MS spectrum.
+///
+/// Invariant maintained by the library: peaks sorted by ascending m/z
+/// (enforce with sort_peaks; parsers call it on ingest).
+struct spectrum {
+  std::string title;             ///< native id / MGF TITLE
+  std::uint32_t scan = 0;        ///< scan number where known
+  double precursor_mz = 0.0;     ///< precursor m/z in Th
+  int precursor_charge = 0;      ///< charge state (0 = unknown)
+  double retention_time = 0.0;   ///< seconds; 0 when absent
+  std::vector<peak> peaks;       ///< fragment peaks, ascending m/z
+  std::int32_t label = unlabelled;  ///< ground-truth peptide index (synthetic)
+
+  std::size_t size() const noexcept { return peaks.size(); }
+  bool empty() const noexcept { return peaks.empty(); }
+
+  /// Neutral (uncharged) precursor mass in Da; 0 if charge unknown.
+  double precursor_neutral_mass() const noexcept {
+    if (precursor_charge <= 0) return 0.0;
+    return (precursor_mz - proton_mass) * precursor_charge;
+  }
+};
+
+/// Highest-intensity peak value; 0 for an empty spectrum.
+float base_peak_intensity(const spectrum& s) noexcept;
+
+/// Total ion current (sum of intensities).
+double total_ion_current(const spectrum& s) noexcept;
+
+/// Sorts peaks ascending by m/z (stable on intensity for equal m/z).
+void sort_peaks(spectrum& s);
+
+/// True if peaks are sorted ascending by m/z.
+bool peaks_sorted(const spectrum& s) noexcept;
+
+/// Approximate in-memory footprint in bytes of the raw peak list
+/// (used by the compression-factor analysis, Fig. 6b: each peak is an
+/// (m/z, intensity) pair as stored in the profile formats).
+std::size_t raw_peak_bytes(const spectrum& s) noexcept;
+
+/// Cosine similarity between two spectra after binning fragment m/z into
+/// `bin_width`-sized bins (the classic spectral dot product used by the
+/// simulated database search and several baseline tools). Returns [0, 1].
+double binned_cosine(const spectrum& a, const spectrum& b, double bin_width);
+
+}  // namespace spechd::ms

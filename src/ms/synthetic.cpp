@@ -1,0 +1,180 @@
+#include "ms/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+// Residue frequencies approximating the human proteome (UniProt statistics),
+// scaled to integer weights for cheap sampling. Order matches
+// canonical_residues() = "ACDEFGHIKLMNPQRSTVWY".
+constexpr std::array<int, 20> k_residue_weights = {
+    70, 23, 47, 71, 36, 66, 26, 43, 57, 100, 21, 36, 63, 48, 56, 83, 53, 60, 12, 27};
+
+char sample_residue(xoshiro256ss& rng, bool terminal) {
+  if (terminal) {
+    // Tryptic peptides end in K or R (~55% K in practice).
+    return rng.bernoulli(0.55) ? 'K' : 'R';
+  }
+  int total = 0;
+  for (int w : k_residue_weights) total += w;
+  auto pick = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(total)));
+  const auto residues = canonical_residues();
+  for (std::size_t i = 0; i < residues.size(); ++i) {
+    pick -= k_residue_weights[i];
+    if (pick < 0) {
+      char c = residues[i];
+      // Avoid internal K/R (they would have been cleaved) and P after
+      // nothing — keep it simple: internal K/R are re-drawn as L/S.
+      if (c == 'K') return 'L';
+      if (c == 'R') return 'S';
+      return c;
+    }
+  }
+  return 'L';
+}
+
+std::size_t sample_poisson(xoshiro256ss& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  // Knuth's method; fine for the small means used here.
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+std::vector<peptide> random_peptide_library(const synthetic_config& config) {
+  SPECHD_EXPECTS(config.min_peptide_length >= 2);
+  SPECHD_EXPECTS(config.max_peptide_length >= config.min_peptide_length);
+  xoshiro256ss rng(config.seed ^ 0xA5A5A5A5DEADBEEFULL);
+
+  std::vector<peptide> library;
+  library.reserve(config.peptide_count);
+  while (library.size() < config.peptide_count) {
+    const std::size_t len =
+        config.min_peptide_length +
+        rng.bounded(config.max_peptide_length - config.min_peptide_length + 1);
+    std::string seq;
+    seq.reserve(len);
+    for (std::size_t i = 0; i + 1 < len; ++i) seq += sample_residue(rng, false);
+    seq += sample_residue(rng, true);
+    peptide p(seq);
+    // Keep precursors inside the acquisition window for charge 2 and the
+    // neutral mass inside the optional packing window.
+    const double mz2 = p.precursor_mz(2);
+    if (mz2 < config.mz_min || mz2 > config.mz_max) continue;
+    if (config.peptide_mass_min > 0.0 && p.neutral_mass() < config.peptide_mass_min) {
+      continue;
+    }
+    if (config.peptide_mass_max > 0.0 && p.neutral_mass() > config.peptide_mass_max) {
+      continue;
+    }
+    library.push_back(std::move(p));
+  }
+  return library;
+}
+
+spectrum noisy_replicate(const peptide& p, int charge, const synthetic_config& config,
+                         std::uint64_t replicate_seed) {
+  xoshiro256ss rng(replicate_seed);
+  spectrum base = theoretical_spectrum(p, charge);
+
+  spectrum out;
+  out.precursor_charge = charge;
+  out.precursor_mz =
+      base.precursor_mz *
+      (1.0 + rng.normal(0.0, config.precursor_mz_sigma_ppm * 1e-6));
+  out.retention_time = rng.uniform(0.0, 7200.0);
+
+  out.peaks.reserve(base.peaks.size());
+  float max_intensity = 0.0F;
+  for (const auto& pk : base.peaks) {
+    if (rng.bernoulli(config.peak_dropout)) continue;
+    const double mz =
+        pk.mz * (1.0 + rng.normal(0.0, config.fragment_mz_sigma_ppm * 1e-6));
+    if (mz < config.mz_min || mz > config.mz_max) continue;
+    const double scale = std::exp(rng.normal(0.0, config.intensity_sigma));
+    const auto intensity = static_cast<float>(pk.intensity * scale);
+    max_intensity = std::max(max_intensity, intensity);
+    out.peaks.push_back({mz, intensity});
+  }
+
+  // Additive chemical noise: uniform m/z, low intensity.
+  const std::size_t noise_count = sample_poisson(rng, config.noise_peaks_per_spectrum);
+  const float noise_cap = std::max(
+      1.0F, static_cast<float>(max_intensity * config.noise_intensity_fraction));
+  for (std::size_t i = 0; i < noise_count; ++i) {
+    out.peaks.push_back(
+        {rng.uniform(config.mz_min, config.mz_max),
+         static_cast<float>(rng.uniform(0.5, 1.0) * noise_cap)});
+  }
+  sort_peaks(out);
+  return out;
+}
+
+labelled_dataset generate_dataset(const synthetic_config& config) {
+  labelled_dataset ds;
+  ds.library = random_peptide_library(config);
+  xoshiro256ss rng(config.seed);
+
+  std::uint32_t scan = 0;
+  for (std::size_t label = 0; label < ds.library.size(); ++label) {
+    const peptide& p = ds.library[label];
+    const std::size_t replicates =
+        1 + sample_poisson(rng, std::max(0.0, config.spectra_per_peptide_mean - 1.0));
+    // One charge state per peptide class dominates in practice; draw once
+    // and let a small fraction of replicates flip (charge mis-assignment).
+    const int main_charge = rng.bernoulli(config.charge2_fraction) ? 2 : 3;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      int charge = main_charge;
+      if (rng.bernoulli(0.02)) charge = main_charge == 2 ? 3 : 2;
+      const std::uint64_t rep_seed = (config.seed * 0x9E3779B97F4A7C15ULL) ^
+                                     (static_cast<std::uint64_t>(label) << 20) ^ r;
+      spectrum s = noisy_replicate(p, charge, config, rep_seed);
+      s.label = static_cast<std::int32_t>(label);
+      s.scan = ++scan;
+      s.title = "synthetic:" + p.sequence() + "/" + std::to_string(charge) +
+                ":rep" + std::to_string(r);
+      ds.spectra.push_back(std::move(s));
+    }
+  }
+
+  // Unlabelled pure-noise spectra (decoy "junk scans").
+  const auto junk_count = static_cast<std::size_t>(
+      config.unlabelled_fraction * static_cast<double>(ds.spectra.size()));
+  for (std::size_t i = 0; i < junk_count; ++i) {
+    spectrum s;
+    s.precursor_charge = rng.bernoulli(config.charge2_fraction) ? 2 : 3;
+    s.precursor_mz = rng.uniform(config.mz_min, config.mz_max);
+    const std::size_t peaks = 20 + sample_poisson(rng, 40.0);
+    for (std::size_t k = 0; k < peaks; ++k) {
+      s.peaks.push_back({rng.uniform(config.mz_min, config.mz_max),
+                         static_cast<float>(rng.uniform(1.0, 100.0))});
+    }
+    sort_peaks(s);
+    s.label = unlabelled;
+    s.scan = ++scan;
+    s.title = "synthetic:noise:" + std::to_string(i);
+    ds.spectra.push_back(std::move(s));
+  }
+
+  // Shuffle so labels are not contiguous (clustering must not rely on order).
+  for (std::size_t i = ds.spectra.size(); i > 1; --i) {
+    const std::size_t j = rng.bounded(i);
+    std::swap(ds.spectra[i - 1], ds.spectra[j]);
+  }
+  return ds;
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,128 @@
+#include "ms/xml_scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  const auto end = s.find_last_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+xml_scanner::xml_scanner(std::string content, std::string source)
+    : content_(std::move(content)), source_(std::move(source)) {}
+
+void xml_scanner::fail(const std::string& what) const {
+  throw parse_error(source_, line_at(pos_), what);
+}
+
+std::size_t xml_scanner::line_at(std::size_t pos) const {
+  return 1 + static_cast<std::size_t>(
+                 std::count(content_.begin(),
+                            content_.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(pos, content_.size())),
+                            '\n'));
+}
+
+std::size_t xml_scanner::skip_until(std::string_view end_marker, std::size_t offset) {
+  const std::size_t found = content_.find(end_marker, pos_ + offset);
+  if (found == std::string::npos) fail("unterminated markup");
+  return found + end_marker.size();
+}
+
+xml_event xml_scanner::next() {
+  for (;;) {
+    if (pos_ >= content_.size()) return {};
+    if (content_[pos_] != '<') {
+      const std::size_t start = pos_;
+      pos_ = content_.find('<', pos_);
+      if (pos_ == std::string::npos) pos_ = content_.size();
+      std::string text = content_.substr(start, pos_ - start);
+      if (text.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+      xml_event ev;
+      ev.type = xml_event::kind::text;
+      ev.text = std::move(text);
+      return ev;
+    }
+    if (content_.compare(pos_, 2, "<?") == 0) {
+      pos_ = skip_until("?>", 2);
+      continue;
+    }
+    if (content_.compare(pos_, 4, "<!--") == 0) {
+      pos_ = skip_until("-->", 4);
+      continue;
+    }
+    if (content_.compare(pos_, 2, "</") == 0) {
+      const std::size_t close = content_.find('>', pos_);
+      if (close == std::string::npos) fail("unterminated end tag");
+      xml_event ev;
+      ev.type = xml_event::kind::end;
+      ev.name = trim(content_.substr(pos_ + 2, close - pos_ - 2));
+      pos_ = close + 1;
+      return ev;
+    }
+    return parse_start_tag();
+  }
+}
+
+xml_event xml_scanner::parse_start_tag() {
+  const std::size_t close = content_.find('>', pos_);
+  if (close == std::string::npos) fail("unterminated start tag");
+  std::string body = content_.substr(pos_ + 1, close - pos_ - 1);
+  pos_ = close + 1;
+
+  xml_event ev;
+  ev.type = xml_event::kind::start;
+  if (!body.empty() && body.back() == '/') {
+    ev.type = xml_event::kind::empty;
+    body.pop_back();
+  }
+
+  std::size_t i = 0;
+  while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+  ev.name = body.substr(0, i);
+
+  while (i < body.size()) {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    if (i >= body.size()) break;
+    const std::size_t eq = body.find('=', i);
+    if (eq == std::string::npos) break;
+    std::string key = trim(body.substr(i, eq - i));
+    std::size_t q1 = body.find_first_of("\"'", eq);
+    if (q1 == std::string::npos) fail("attribute value not quoted");
+    const char quote = body[q1];
+    const std::size_t q2 = body.find(quote, q1 + 1);
+    if (q2 == std::string::npos) fail("unterminated attribute value");
+    ev.attributes[std::move(key)] = body.substr(q1 + 1, q2 - q1 - 1);
+    i = q2 + 1;
+  }
+  return ev;
+}
+
+double xml_attr_double(const xml_event& ev, const std::string& key, double fallback) {
+  const auto it = ev.attributes.find(key);
+  if (it == ev.attributes.end()) return fallback;
+  double v = fallback;
+  auto [ptr, ec] =
+      std::from_chars(it->second.data(), it->second.data() + it->second.size(), v);
+  (void)ptr;
+  return ec == std::errc{} ? v : fallback;
+}
+
+std::string xml_attr(const xml_event& ev, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = ev.attributes.find(key);
+  return it == ev.attributes.end() ? fallback : it->second;
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,46 @@
+// Minimal forward-only XML scanner shared by the mzML and mzXML readers.
+//
+// Produces start/end/empty-element events with attributes plus captured
+// text. Handles declarations, comments and quoted attributes; namespaces
+// and entities beyond the basics are out of scope (the MS formats we parse
+// do not rely on them).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace spechd::ms {
+
+struct xml_event {
+  enum class kind { start, end, empty, text, eof };
+  kind type = kind::eof;
+  std::string name;                               ///< element name
+  std::map<std::string, std::string> attributes;  ///< start/empty only
+  std::string text;                               ///< text only
+};
+
+class xml_scanner {
+public:
+  xml_scanner(std::string content, std::string source);
+
+  /// Next event; kind::eof at end of input. Throws spechd::parse_error on
+  /// malformed markup.
+  xml_event next();
+
+private:
+  [[noreturn]] void fail(const std::string& what) const;
+  std::size_t line_at(std::size_t pos) const;
+  std::size_t skip_until(std::string_view end_marker, std::size_t offset);
+  xml_event parse_start_tag();
+
+  std::string content_;
+  std::string source_;
+  std::size_t pos_ = 0;
+};
+
+/// Attribute lookup helpers.
+double xml_attr_double(const xml_event& ev, const std::string& key, double fallback);
+std::string xml_attr(const xml_event& ev, const std::string& key,
+                     const std::string& fallback = {});
+
+}  // namespace spechd::ms

@@ -1,0 +1,48 @@
+#include "preprocess/bucket.hpp"
+
+#include <cmath>
+
+#include "ms/spectrum.hpp"
+#include "util/error.hpp"
+
+namespace spechd::preprocess {
+
+std::int64_t bucket_index(double precursor_mz, int charge,
+                          const bucket_config& config) noexcept {
+  const int c = charge > 0 ? charge : config.fallback_charge;
+  // Eq. (1); 1.00794 is the hydrogen mass constant the paper uses.
+  const double value = (precursor_mz - ms::hydrogen_mass) * c / config.resolution;
+  return static_cast<std::int64_t>(std::floor(value));
+}
+
+std::vector<bucket> bucket_spectra(const std::vector<quantized_spectrum>& spectra,
+                                   const bucket_config& config) {
+  SPECHD_EXPECTS(config.resolution > 0.0);
+  std::map<std::int64_t, bucket> by_key;
+  for (std::uint32_t i = 0; i < spectra.size(); ++i) {
+    const auto key =
+        bucket_index(spectra[i].precursor_mz, spectra[i].precursor_charge, config);
+    auto& b = by_key[key];
+    b.key = key;
+    b.members.push_back(i);
+  }
+  std::vector<bucket> result;
+  result.reserve(by_key.size());
+  for (auto& [key, b] : by_key) result.push_back(std::move(b));
+  return result;
+}
+
+bucket_stats summarize(const std::vector<bucket>& buckets) noexcept {
+  bucket_stats st;
+  st.bucket_count = buckets.size();
+  std::size_t total = 0;
+  for (const auto& b : buckets) {
+    total += b.size();
+    st.largest = std::max(st.largest, b.size());
+    if (b.size() == 1) ++st.singletons;
+  }
+  st.mean_size = buckets.empty() ? 0.0 : static_cast<double>(total) / buckets.size();
+  return st;
+}
+
+}  // namespace spechd::preprocess

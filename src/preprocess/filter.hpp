@@ -1,0 +1,33 @@
+// Spectra Filter module (Sec. III-A).
+//
+// "the Spectra Filter module stands out by efficiently filtering out peaks
+//  related to the precursor ion or with intensities less than 1% of the
+//  base peak".
+//
+// We implement both rules plus the standard acquisition-window clamp used
+// by clustering tools (falcon, HyperSpec): fragments outside
+// [mz_min, mz_max] are discarded.
+#pragma once
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::preprocess {
+
+struct filter_config {
+  double precursor_tolerance_da = 1.5;   ///< window around precursor (and its
+                                         ///< charge-reduced species) to remove
+  double min_intensity_fraction = 0.01;  ///< "less than 1% of the base peak"
+  double mz_min = 101.0;                 ///< acquisition window low edge
+  double mz_max = 1905.0;                ///< acquisition window high edge
+  std::size_t min_peaks = 5;             ///< spectra with fewer peaks after
+                                         ///< filtering are rejected as junk
+};
+
+/// Applies the filter in place; returns false if the spectrum should be
+/// dropped (too few informative peaks left).
+bool filter_spectrum(ms::spectrum& s, const filter_config& config);
+
+/// Filters a batch, dropping rejected spectra. Returns number dropped.
+std::size_t filter_spectra(std::vector<ms::spectrum>& spectra, const filter_config& config);
+
+}  // namespace spechd::preprocess

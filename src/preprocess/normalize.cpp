@@ -1,0 +1,49 @@
+#include "preprocess/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace spechd::preprocess {
+
+void normalize_spectrum(ms::spectrum& s, const normalize_config& config) {
+  switch (config.scaling) {
+    case intensity_scaling::none:
+      break;
+    case intensity_scaling::sqrt:
+      for (auto& p : s.peaks) p.intensity = std::sqrt(p.intensity);
+      break;
+    case intensity_scaling::rank: {
+      // Rank transform: the weakest peak gets 1, the strongest gets n.
+      std::vector<std::size_t> order(s.peaks.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return s.peaks[a].intensity < s.peaks[b].intensity;
+      });
+      std::vector<float> ranks(s.peaks.size());
+      for (std::size_t r = 0; r < order.size(); ++r) {
+        ranks[order[r]] = static_cast<float>(r + 1);
+      }
+      for (std::size_t i = 0; i < s.peaks.size(); ++i) s.peaks[i].intensity = ranks[i];
+      break;
+    }
+  }
+
+  if (config.unit_norm) {
+    double norm_sq = 0.0;
+    for (const auto& p : s.peaks) {
+      norm_sq += static_cast<double>(p.intensity) * p.intensity;
+    }
+    if (norm_sq > 0.0) {
+      const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+      for (auto& p : s.peaks) p.intensity *= inv;
+    }
+  }
+}
+
+void normalize_spectra(std::vector<ms::spectrum>& spectra, const normalize_config& config) {
+  for (auto& s : spectra) normalize_spectrum(s, config);
+}
+
+}  // namespace spechd::preprocess

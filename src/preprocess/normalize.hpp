@@ -1,0 +1,28 @@
+// Scale and Normalization module (Sec. III-A).
+//
+// Standard MS preprocessing: intensity scaling to compress the dynamic
+// range (sqrt or rank), then unit-norm so spectral similarity reduces to a
+// dot product. HyperSpec and falcon both default to sqrt scaling.
+#pragma once
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::preprocess {
+
+enum class intensity_scaling {
+  none,
+  sqrt,  ///< i -> sqrt(i); the SpecHD/HyperSpec default
+  rank,  ///< i -> rank within spectrum (most robust, costlier)
+};
+
+struct normalize_config {
+  intensity_scaling scaling = intensity_scaling::sqrt;
+  bool unit_norm = true;  ///< scale so the intensity L2 norm is 1
+};
+
+/// Applies scaling + normalisation in place.
+void normalize_spectrum(ms::spectrum& s, const normalize_config& config);
+
+void normalize_spectra(std::vector<ms::spectrum>& spectra, const normalize_config& config);
+
+}  // namespace spechd::preprocess

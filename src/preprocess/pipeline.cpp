@@ -1,0 +1,54 @@
+#include "preprocess/pipeline.hpp"
+
+namespace spechd::preprocess {
+
+preprocessed_batch run_preprocessing(std::vector<ms::spectrum> spectra,
+                                     const preprocess_config& config) {
+  preprocessed_batch out;
+  out.input_count = spectra.size();
+  for (const auto& s : spectra) out.total_peaks_before += s.size();
+
+  // The filter drops junk spectra entirely; survivors keep their original
+  // index via the order-preserving erase + a parallel index map.
+  std::vector<std::uint32_t> survivor_index;
+  survivor_index.reserve(spectra.size());
+  {
+    std::vector<ms::spectrum> kept;
+    kept.reserve(spectra.size());
+    for (std::uint32_t i = 0; i < spectra.size(); ++i) {
+      ms::spectrum& s = spectra[i];
+      if (filter_spectrum(s, config.filter)) {
+        survivor_index.push_back(i);
+        kept.push_back(std::move(s));
+      }
+    }
+    out.dropped = spectra.size() - kept.size();
+    spectra = std::move(kept);
+  }
+
+  for (auto& s : spectra) {
+    switch (config.peak_selector) {
+      case selector::heap_topk:
+        heap_topk(s, config.top_k);
+        break;
+      case selector::bitonic_topk:
+        bitonic_topk(s, config.top_k);
+        break;
+      case selector::window_topk:
+        window_topk(s, config.window);
+        break;
+    }
+    normalize_spectrum(s, config.normalize);
+    out.total_peaks_after += s.size();
+  }
+
+  out.spectra.reserve(spectra.size());
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    out.spectra.push_back(
+        quantize_spectrum(spectra[i], survivor_index[i], config.quantize));
+  }
+  out.buckets = bucket_spectra(out.spectra, config.bucketing);
+  return out;
+}
+
+}  // namespace spechd::preprocess

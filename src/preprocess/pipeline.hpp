@@ -1,0 +1,49 @@
+// The complete preprocessing pipeline: filter -> top-k -> normalise ->
+// quantise -> bucket, matching the Sec. III-A module chain
+// (Spectra Filter, Top-k Selector, Scale and Normalization).
+#pragma once
+
+#include <vector>
+
+#include "preprocess/bucket.hpp"
+#include "preprocess/filter.hpp"
+#include "preprocess/normalize.hpp"
+#include "preprocess/quantize.hpp"
+#include "preprocess/topk.hpp"
+#include "preprocess/window_filter.hpp"
+
+namespace spechd::preprocess {
+
+/// Peak-budget selection strategy.
+enum class selector {
+  heap_topk,     ///< global top-k via partial selection (CPU reference)
+  bitonic_topk,  ///< global top-k via the FPGA's bitonic network model
+  window_topk,   ///< per-m/z-window top-n (coverage-preserving variant)
+};
+
+struct preprocess_config {
+  filter_config filter;
+  std::size_t top_k = 50;  ///< peaks kept per spectrum (HyperSpec default)
+  selector peak_selector = selector::heap_topk;
+  window_filter_config window;  ///< used when peak_selector == window_topk
+  normalize_config normalize;
+  quantize_config quantize;
+  bucket_config bucketing;
+};
+
+/// Result of preprocessing a spectrum batch.
+struct preprocessed_batch {
+  std::vector<quantized_spectrum> spectra;  ///< survivors, quantised
+  std::vector<bucket> buckets;              ///< partition of `spectra`
+  std::size_t dropped = 0;                  ///< spectra rejected by the filter
+  std::size_t input_count = 0;
+  std::size_t total_peaks_before = 0;       ///< for compression accounting
+  std::size_t total_peaks_after = 0;
+};
+
+/// Runs the full chain. The input batch is copied (callers typically keep
+/// the raw spectra for consensus output and identification).
+preprocessed_batch run_preprocessing(std::vector<ms::spectrum> spectra,
+                                     const preprocess_config& config);
+
+}  // namespace spechd::preprocess

@@ -1,0 +1,71 @@
+#include "preprocess/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spechd::preprocess {
+
+std::uint32_t quantize_mz(double mz, const quantize_config& config) noexcept {
+  if (mz <= config.mz_min) return 0;
+  if (mz >= config.mz_max) return config.mz_bins - 1;
+  const double frac = (mz - config.mz_min) / (config.mz_max - config.mz_min);
+  auto bin = static_cast<std::uint32_t>(frac * config.mz_bins);
+  return std::min(bin, config.mz_bins - 1);
+}
+
+std::uint16_t quantize_intensity(float intensity, float max_intensity,
+                                 const quantize_config& config) noexcept {
+  if (max_intensity <= 0.0F || intensity <= 0.0F) return 0;
+  const double rel = std::min(1.0, static_cast<double>(intensity) / max_intensity);
+  auto level = static_cast<std::uint16_t>(rel * config.intensity_levels);
+  return std::min<std::uint16_t>(level, config.intensity_levels - 1);
+}
+
+quantized_spectrum quantize_spectrum(const ms::spectrum& s, std::uint32_t source_index,
+                                     const quantize_config& config) {
+  SPECHD_EXPECTS(config.mz_bins >= 2);
+  SPECHD_EXPECTS(config.intensity_levels >= 2);
+  SPECHD_EXPECTS(config.mz_max > config.mz_min);
+
+  quantized_spectrum q;
+  q.precursor_mz = s.precursor_mz;
+  q.precursor_charge = s.precursor_charge;
+  q.label = s.label;
+  q.source_index = source_index;
+  q.peaks.reserve(s.peaks.size());
+
+  const float base = ms::base_peak_intensity(s);
+  for (const auto& p : s.peaks) {
+    q.peaks.push_back({quantize_mz(p.mz, config),
+                       quantize_intensity(p.intensity, base, config)});
+  }
+
+  // Deduplicate equal m/z bins, keeping the strongest level. Peaks arrive
+  // m/z-sorted, so duplicates are adjacent.
+  if (!q.peaks.empty()) {
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < q.peaks.size(); ++i) {
+      if (q.peaks[i].mz_bin == q.peaks[out].mz_bin) {
+        q.peaks[out].level = std::max(q.peaks[out].level, q.peaks[i].level);
+      } else {
+        q.peaks[++out] = q.peaks[i];
+      }
+    }
+    q.peaks.resize(out + 1);
+  }
+  return q;
+}
+
+std::vector<quantized_spectrum> quantize_spectra(const std::vector<ms::spectrum>& spectra,
+                                                 const quantize_config& config) {
+  std::vector<quantized_spectrum> result;
+  result.reserve(spectra.size());
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    result.push_back(quantize_spectrum(spectra[i], static_cast<std::uint32_t>(i), config));
+  }
+  return result;
+}
+
+}  // namespace spechd::preprocess

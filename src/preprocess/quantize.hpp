@@ -1,0 +1,60 @@
+// Quantisation of (m/z, intensity) pairs for the ID-Level encoder.
+//
+// Sec. III-B: "both the m/z values and intensity values are quantized.
+// Pre-allocated vectors from high-dimensional memory spaces, denoted as
+// ID[0,f] for m/z and L[0,q] for intensity". This module maps a filtered,
+// normalised spectrum to the integer (bin, level) pairs the encoder binds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::preprocess {
+
+struct quantize_config {
+  double mz_min = 101.0;         ///< encoder m/z window (matches filter)
+  double mz_max = 1905.0;
+  std::uint32_t mz_bins = 34000;    ///< f: number of ID vectors (~0.05 Da bins)
+  std::uint16_t intensity_levels = 64;  ///< q: number of Level vectors
+};
+
+/// One quantised peak: ID index in [0, f), level index in [0, q).
+struct quantized_peak {
+  std::uint32_t mz_bin = 0;
+  std::uint16_t level = 0;
+
+  friend constexpr bool operator==(const quantized_peak&, const quantized_peak&) = default;
+};
+
+/// A spectrum after quantisation; carries through the metadata clustering
+/// and evaluation need (precursor, label, original index).
+struct quantized_spectrum {
+  std::vector<quantized_peak> peaks;
+  double precursor_mz = 0.0;
+  int precursor_charge = 0;
+  std::int32_t label = ms::unlabelled;
+  std::uint32_t source_index = 0;  ///< index into the original spectrum list
+
+  std::size_t size() const noexcept { return peaks.size(); }
+};
+
+/// m/z -> bin index (clamped to the window edges).
+std::uint32_t quantize_mz(double mz, const quantize_config& config) noexcept;
+
+/// intensity in [0, max_intensity] -> level index. Levels are linear in
+/// relative intensity (the hardware uses a multiplier + truncation).
+std::uint16_t quantize_intensity(float intensity, float max_intensity,
+                                 const quantize_config& config) noexcept;
+
+/// Quantises one spectrum. Peaks falling into the same (bin) keep only the
+/// strongest level (duplicate bins add no information to a binary HV and
+/// the hardware dedups via its sorted stream).
+quantized_spectrum quantize_spectrum(const ms::spectrum& s, std::uint32_t source_index,
+                                     const quantize_config& config);
+
+std::vector<quantized_spectrum> quantize_spectra(const std::vector<ms::spectrum>& spectra,
+                                                 const quantize_config& config);
+
+}  // namespace spechd::preprocess

@@ -1,0 +1,97 @@
+#include "preprocess/topk.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace spechd::preprocess {
+
+namespace {
+
+/// Restores ascending-m/z order after an intensity-based selection.
+void restore_mz_order(ms::spectrum& s) { ms::sort_peaks(s); }
+
+}  // namespace
+
+void heap_topk(ms::spectrum& s, std::size_t k) {
+  if (k == 0) {
+    s.peaks.clear();
+    return;
+  }
+  if (s.peaks.size() <= k) return;
+  std::nth_element(s.peaks.begin(), s.peaks.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   s.peaks.end(), [](const ms::peak& a, const ms::peak& b) {
+                     return a.intensity > b.intensity;
+                   });
+  s.peaks.resize(k);
+  restore_mz_order(s);
+}
+
+bitonic_stats bitonic_network_stats(std::size_t n) noexcept {
+  bitonic_stats st;
+  if (n <= 1) {
+    st.padded_n = n;
+    return st;
+  }
+  st.padded_n = std::bit_ceil(n);
+  const auto log_n = static_cast<std::size_t>(std::bit_width(st.padded_n) - 1);
+  st.stages = log_n * (log_n + 1) / 2;
+  st.comparators = st.stages * (st.padded_n / 2);
+  return st;
+}
+
+void bitonic_sort_descending(std::vector<float>& values) {
+  const std::size_t n = values.size();
+  if (n <= 1) return;
+  const std::size_t padded = std::bit_ceil(n);
+  values.resize(padded, -std::numeric_limits<float>::infinity());
+
+  // Classic iterative bitonic network. The (k, j) double loop enumerates the
+  // same compare-exchange schedule an unrolled HLS implementation pipelines.
+  for (std::size_t k = 2; k <= padded; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < padded; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner > i) {
+          const bool descending = (i & k) == 0;
+          if ((descending && values[i] < values[partner]) ||
+              (!descending && values[i] > values[partner])) {
+            std::swap(values[i], values[partner]);
+          }
+        }
+      }
+    }
+  }
+  values.resize(n);
+}
+
+void bitonic_topk(ms::spectrum& s, std::size_t k) {
+  if (k == 0) {
+    s.peaks.clear();
+    return;
+  }
+  if (s.peaks.size() <= k) return;
+
+  std::vector<float> intensities;
+  intensities.reserve(s.peaks.size());
+  for (const auto& p : s.peaks) intensities.push_back(p.intensity);
+  bitonic_sort_descending(intensities);
+  const float threshold = intensities[k - 1];
+
+  // Keep peaks strictly above threshold, then fill remaining slots with
+  // peaks equal to the threshold (deterministic: lowest m/z first, matching
+  // the stable behaviour of the hardware selector's index tie-break).
+  std::vector<ms::peak> kept;
+  kept.reserve(k);
+  for (const auto& p : s.peaks) {
+    if (p.intensity > threshold) kept.push_back(p);
+  }
+  for (const auto& p : s.peaks) {
+    if (kept.size() >= k) break;
+    if (p.intensity == threshold) kept.push_back(p);
+  }
+  s.peaks = std::move(kept);
+  restore_mz_order(s);
+}
+
+}  // namespace spechd::preprocess

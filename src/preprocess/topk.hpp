@@ -1,0 +1,42 @@
+// Top-k peak selector (Sec. III-A).
+//
+// The FPGA design uses a bitonic sorting network ("the Top-k Selector,
+// which employs a streamlined Bitonic sorting algorithm") because bitonic
+// networks have data-independent, fully pipelineable compare-exchange
+// schedules. We provide:
+//   * bitonic_sort / bitonic_topk — a faithful software model of the
+//     network (operates on power-of-two padded arrays, records the
+//     comparator schedule so the FPGA cost model can count stages), and
+//   * heap_topk — the conventional CPU implementation used as the
+//     correctness baseline and in the CPU reference pipeline.
+// Both keep the k highest-intensity peaks and restore m/z order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::preprocess {
+
+/// Keeps the k most intense peaks of `s` (all if size() <= k), re-sorted by
+/// m/z, using a binary-heap partial selection.
+void heap_topk(ms::spectrum& s, std::size_t k);
+
+/// Same result computed through the bitonic-network model.
+void bitonic_topk(ms::spectrum& s, std::size_t k);
+
+/// Sorts `values` descending with a bitonic network (power-of-two padding
+/// with -inf sentinels). Exposed for tests and the FPGA cost model.
+void bitonic_sort_descending(std::vector<float>& values);
+
+/// Comparator/stage counts for a bitonic sort of n (padded) elements; used
+/// by the FPGA cost model to derive cycle counts.
+struct bitonic_stats {
+  std::size_t padded_n = 0;     ///< next power of two >= n
+  std::size_t stages = 0;       ///< log2(n) * (log2(n)+1) / 2
+  std::size_t comparators = 0;  ///< padded_n/2 per stage
+};
+bitonic_stats bitonic_network_stats(std::size_t n) noexcept;
+
+}  // namespace spechd::preprocess

@@ -1,0 +1,73 @@
+#include "preprocess/window_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd::preprocess {
+
+namespace {
+
+/// Invokes fn(first, last) for each run of peaks sharing a window index;
+/// peaks must be m/z-sorted (library invariant).
+template <typename Fn>
+void for_each_window(const ms::spectrum& s, double window_da, Fn&& fn) {
+  std::size_t begin = 0;
+  while (begin < s.peaks.size()) {
+    const auto window =
+        static_cast<std::int64_t>(s.peaks[begin].mz / window_da);
+    std::size_t end = begin + 1;
+    while (end < s.peaks.size() &&
+           static_cast<std::int64_t>(s.peaks[end].mz / window_da) == window) {
+      ++end;
+    }
+    fn(begin, end);
+    begin = end;
+  }
+}
+
+}  // namespace
+
+void window_topk(ms::spectrum& s, const window_filter_config& config) {
+  SPECHD_EXPECTS(config.window_da > 0.0);
+  SPECHD_EXPECTS(config.peaks_per_window > 0);
+  if (!ms::peaks_sorted(s)) ms::sort_peaks(s);
+
+  std::vector<bool> keep(s.peaks.size(), false);
+  std::vector<std::size_t> order;
+  for_each_window(s, config.window_da, [&](std::size_t begin, std::size_t end) {
+    const std::size_t count = end - begin;
+    if (count <= config.peaks_per_window) {
+      for (std::size_t i = begin; i < end; ++i) keep[i] = true;
+      return;
+    }
+    order.resize(count);
+    for (std::size_t i = 0; i < count; ++i) order[i] = begin + i;
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(config.peaks_per_window - 1),
+                     order.end(), [&](std::size_t a, std::size_t b) {
+                       return s.peaks[a].intensity > s.peaks[b].intensity;
+                     });
+    for (std::size_t i = 0; i < config.peaks_per_window; ++i) keep[order[i]] = true;
+  });
+
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < s.peaks.size(); ++i) {
+    if (keep[i]) s.peaks[out++] = s.peaks[i];
+  }
+  s.peaks.resize(out);
+}
+
+std::size_t window_topk_survivors(const ms::spectrum& s,
+                                  const window_filter_config& config) {
+  SPECHD_EXPECTS(config.window_da > 0.0);
+  std::size_t survivors = 0;
+  for_each_window(s, config.window_da, [&](std::size_t begin, std::size_t end) {
+    survivors += std::min(end - begin, config.peaks_per_window);
+  });
+  return survivors;
+}
+
+}  // namespace spechd::preprocess

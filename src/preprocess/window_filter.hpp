@@ -1,0 +1,28 @@
+// Window-based peak picking.
+//
+// The global top-k selector (Sec. III-A) can starve low-m/z fragment
+// series when a few dominant peaks absorb the budget. The standard remedy
+// (used by msCRUSH and many search engines) keeps the top `peaks_per_window`
+// peaks in every `window_da`-wide m/z window instead — preserving coverage
+// across the fragment range at a similar total budget. Provided as an
+// alternative selector for the preprocessing pipeline and the ablation
+// benches.
+#pragma once
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::preprocess {
+
+struct window_filter_config {
+  double window_da = 100.0;          ///< m/z window width
+  std::size_t peaks_per_window = 6;  ///< survivors per window
+};
+
+/// Keeps the strongest `peaks_per_window` peaks in each window; m/z order
+/// is preserved.
+void window_topk(ms::spectrum& s, const window_filter_config& config);
+
+/// Number of peaks that would survive (for budget planning, no copy).
+std::size_t window_topk_survivors(const ms::spectrum& s, const window_filter_config& config);
+
+}  // namespace spechd::preprocess

@@ -1,0 +1,57 @@
+// Error types shared across the SpecHD library.
+//
+// All recoverable failures are reported as exceptions derived from
+// spechd::error so callers can catch the library root type; programming
+// errors (precondition violations) use spechd::logic_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spechd {
+
+/// Root of the SpecHD exception hierarchy.
+class error : public std::runtime_error {
+public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input file / unparsable record.
+class parse_error : public error {
+public:
+  parse_error(const std::string& file, std::size_t line, const std::string& what)
+      : error(file + ":" + std::to_string(line) + ": " + what), file_(file), line_(line) {}
+
+  const std::string& file() const noexcept { return file_; }
+  std::size_t line() const noexcept { return line_; }
+
+private:
+  std::string file_;
+  std::size_t line_;
+};
+
+/// I/O failure (missing file, short read, ...).
+class io_error : public error {
+public:
+  using error::error;
+};
+
+/// Caller violated a documented precondition.
+class logic_error : public std::logic_error {
+public:
+  explicit logic_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* func) {
+  throw logic_error(std::string("precondition violated in ") + func + ": " + cond);
+}
+}  // namespace detail
+
+/// Precondition check that throws spechd::logic_error (always on, cheap).
+#define SPECHD_EXPECTS(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) ::spechd::detail::throw_precondition(#cond, __func__);   \
+  } while (false)
+
+}  // namespace spechd

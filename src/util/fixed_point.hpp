@@ -1,0 +1,82 @@
+// 16-bit fixed-point arithmetic used by the FPGA distance-matrix model.
+//
+// The paper stores the condensed distance matrix in 16-bit fixed point to
+// halve the BRAM/HBM footprint ("the use of 16-bit fixed-point arithmetic
+// results in a significant reduction in memory footprint while maintaining
+// computational accuracy", Sec. III-C). Hamming distances on D_hv-bit
+// hypervectors normalise naturally to [0, 1], so we use an unsigned Q0.16
+// representation covering [0, 1] with step 2^-16.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace spechd {
+
+/// Unsigned Q0.16 fixed-point value in [0, 1].
+///
+/// The value 1.0 is represented saturated at 0xFFFF (error 2^-16), which is
+/// the usual HLS ap_ufixed<16,0> behaviour with AP_SAT.
+class q16 {
+public:
+  constexpr q16() noexcept = default;
+
+  /// Quantise a real in [0, 1]; values outside saturate.
+  static constexpr q16 from_double(double v) noexcept {
+    if (v <= 0.0) return q16(std::uint16_t{0});
+    if (v >= 1.0) return q16(std::uint16_t{0xFFFF});
+    return q16(static_cast<std::uint16_t>(v * 65536.0 + 0.5));
+  }
+
+  /// Exact ratio num/den with num <= den, den > 0 (the Hamming/D_hv case).
+  static constexpr q16 from_ratio(std::uint64_t num, std::uint64_t den) noexcept {
+    if (den == 0 || num >= den) return q16(std::uint16_t{0xFFFF});
+    return q16(static_cast<std::uint16_t>((num * 65536ULL + den / 2) / den));
+  }
+
+  static constexpr q16 from_raw(std::uint16_t raw) noexcept { return q16(raw); }
+  static constexpr q16 zero() noexcept { return q16(std::uint16_t{0}); }
+  static constexpr q16 max() noexcept { return q16(std::uint16_t{0xFFFF}); }
+
+  constexpr double to_double() const noexcept { return raw_ / 65536.0; }
+  constexpr std::uint16_t raw() const noexcept { return raw_; }
+
+  /// Maximum representation error of from_double over [0, 1].
+  static constexpr double epsilon() noexcept { return 1.0 / 65536.0; }
+
+  friend constexpr bool operator==(q16 a, q16 b) noexcept = default;
+  friend constexpr auto operator<=>(q16 a, q16 b) noexcept = default;
+
+  /// Saturating add (as synthesised with AP_SAT on the FPGA).
+  friend constexpr q16 operator+(q16 a, q16 b) noexcept {
+    const std::uint32_t s = std::uint32_t{a.raw_} + b.raw_;
+    return q16(static_cast<std::uint16_t>(s > 0xFFFF ? 0xFFFF : s));
+  }
+
+  /// Saturating subtract (floors at 0).
+  friend constexpr q16 operator-(q16 a, q16 b) noexcept {
+    return q16(static_cast<std::uint16_t>(a.raw_ > b.raw_ ? a.raw_ - b.raw_ : 0));
+  }
+
+  /// Fixed-point multiply with rounding.
+  friend constexpr q16 operator*(q16 a, q16 b) noexcept {
+    const std::uint32_t p = std::uint32_t{a.raw_} * b.raw_;
+    return q16(static_cast<std::uint16_t>((p + 0x8000u) >> 16));
+  }
+
+private:
+  explicit constexpr q16(std::uint16_t raw) noexcept : raw_(raw) {}
+
+  std::uint16_t raw_ = 0;
+};
+
+/// Midpoint of two q16 values (used by Lance–Williams average updates on
+/// the fixed-point path); exact to the representation.
+constexpr q16 midpoint(q16 a, q16 b) noexcept {
+  return q16::from_raw(static_cast<std::uint16_t>(
+      (std::uint32_t{a.raw()} + b.raw()) / 2));
+}
+
+}  // namespace spechd

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace spechd {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+std::mutex g_emit_mutex;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::err: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept { g_level.store(level); }
+log_level get_log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void log_emit(log_level level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(g_emit_mutex);
+  std::cerr << "[spechd:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace spechd

@@ -1,0 +1,47 @@
+// Lightweight leveled logging to stderr.
+//
+// The pipeline reports phase progress at info level; tests and benches run
+// with warnings-only by default to keep output parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spechd {
+
+enum class log_level { debug = 0, info = 1, warn = 2, err = 3, off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(log_level level) noexcept;
+log_level get_log_level() noexcept;
+
+namespace detail {
+void log_emit(log_level level, const std::string& message);
+}
+
+/// Streams a single log record; emitted on destruction.
+class log_record {
+public:
+  explicit log_record(log_level level) : level_(level) {}
+  ~log_record() { detail::log_emit(level_, stream_.str()); }
+
+  log_record(const log_record&) = delete;
+  log_record& operator=(const log_record&) = delete;
+
+  template <typename T>
+  log_record& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+private:
+  log_level level_;
+  std::ostringstream stream_;
+};
+
+inline log_record log_debug() { return log_record(log_level::debug); }
+inline log_record log_info() { return log_record(log_level::info); }
+inline log_record log_warn() { return log_record(log_level::warn); }
+inline log_record log_error() { return log_record(log_level::err); }
+
+}  // namespace spechd

@@ -1,0 +1,114 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// SpecHD requires reproducible item memories and synthetic datasets, so all
+// randomness flows through explicitly seeded generators. xoshiro256** is
+// used as the workhorse (fast, high quality, trivially seedable via
+// splitmix64), matching common practice in HDC implementations where item
+// memories are regenerated from a seed instead of stored.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spechd {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+class splitmix64 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library-wide PRNG. Satisfies UniformRandomBitGenerator
+/// so it can drive <random> distributions.
+class xoshiro256ss {
+public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed = 0x5ECD5ECD5ECD5ECDULL) noexcept {
+    splitmix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t bounded(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (bias-free).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (no cached spare: keeps the
+  /// generator state a pure function of call count).
+  double normal() noexcept {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace spechd

@@ -1,0 +1,43 @@
+// Console table / CSV emission for bench harnesses.
+//
+// Every bench prints the rows/series the paper reports; this helper renders
+// aligned console tables and optional CSV so EXPERIMENTS.md entries can be
+// regenerated mechanically.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spechd {
+
+/// Column-aligned text table with an optional title, rendered to a stream.
+class text_table {
+public:
+  explicit text_table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+
+  /// Renders with box-drawing-free ASCII alignment.
+  void print(std::ostream& os) const;
+
+  /// Emits RFC-4180-ish CSV (quotes fields containing separators).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spechd

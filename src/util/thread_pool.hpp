@@ -1,0 +1,62 @@
+// Minimal fixed-size thread pool.
+//
+// Buckets cluster independently (Sec. III-A), so the CPU reference path and
+// the FPGA dataflow simulator both need a work queue: on the CPU we execute
+// bucket jobs on worker threads; on the FPGA model the same job list is
+// assigned to kernel instances. The pool is deliberately simple — bounded,
+// exception-propagating, no work stealing — since jobs are coarse.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spechd {
+
+class thread_pool {
+public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit thread_pool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future rethrows any task exception.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using result_t = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<result_t()>>(std::forward<F>(f));
+    std::future<result_t> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from any invocation are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace spechd

@@ -1,0 +1,52 @@
+// Wall-clock timing helpers for benches and the pipeline's phase report.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spechd {
+
+/// Monotonic stopwatch.
+class stopwatch {
+public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+  std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time across start/stop pairs (phase profiling).
+class phase_timer {
+public:
+  void start() noexcept { watch_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += watch_.seconds();
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const noexcept { return total_; }
+
+private:
+  stopwatch watch_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace spechd

@@ -1,0 +1,100 @@
+#include "baselines/tools.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "metrics/quality.hpp"
+#include "ms/synthetic.hpp"
+
+namespace spechd::baselines {
+namespace {
+
+const ms::labelled_dataset& test_dataset() {
+  static const ms::labelled_dataset ds = [] {
+    ms::synthetic_config c;
+    c.peptide_count = 30;
+    c.spectra_per_peptide_mean = 6.0;
+    c.noise_peaks_per_spectrum = 8.0;
+    c.seed = 21;
+    return ms::generate_dataset(c);
+  }();
+  return ds;
+}
+
+std::vector<std::int32_t> truth_labels(const ms::labelled_dataset& ds) {
+  std::vector<std::int32_t> t;
+  t.reserve(ds.spectra.size());
+  for (const auto& s : ds.spectra) t.push_back(s.label);
+  return t;
+}
+
+TEST(Baselines, AllToolsConstructibleWithNames) {
+  const auto tools = make_all_baselines();
+  ASSERT_EQ(tools.size(), 8U);
+  std::set<std::string_view> names;
+  for (const auto& t : tools) names.insert(t->name());
+  EXPECT_EQ(names.size(), 8U);  // distinct names
+  EXPECT_TRUE(names.count("HyperSpec-HAC"));
+  EXPECT_TRUE(names.count("falcon"));
+  EXPECT_TRUE(names.count("GLEAMS"));
+  EXPECT_TRUE(names.count("MaRaCluster"));
+}
+
+TEST(Baselines, LabelVectorCoversEveryInputSpectrum) {
+  const auto& ds = test_dataset();
+  for (const auto& tool : make_all_baselines()) {
+    const auto c = tool->run(ds.spectra, 0.5);
+    ASSERT_EQ(c.labels.size(), ds.spectra.size()) << tool->name();
+    for (const auto l : c.labels) {
+      ASSERT_LT(l, static_cast<std::int32_t>(c.cluster_count)) << tool->name();
+    }
+  }
+}
+
+// Each baseline must cluster clearly better than chance on easy synthetic
+// data: at moderate aggressiveness it should form some true clusters with
+// bounded ICR.
+class BaselineQuality : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineQuality, ClustersAboveChanceWithBoundedError) {
+  const auto tools = make_all_baselines();
+  const auto& tool = tools[GetParam()];
+  const auto& ds = test_dataset();
+  const auto truth = truth_labels(ds);
+
+  const auto clustering = tool->run(ds.spectra, 0.5);
+  const auto q = metrics::evaluate_clustering(truth, clustering);
+  EXPECT_GT(q.clustered_ratio, 0.10) << tool->name();
+  EXPECT_LT(q.incorrect_ratio, 0.30) << tool->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, BaselineQuality, ::testing::Range<std::size_t>(0, 8));
+
+TEST(Baselines, AggressivenessIncreasesClusteredRatio) {
+  const auto& ds = test_dataset();
+  const auto truth = truth_labels(ds);
+  const auto hyperspec = make_hyperspec(true);
+  const auto low = metrics::evaluate_clustering(truth, hyperspec->run(ds.spectra, 0.05));
+  const auto high = metrics::evaluate_clustering(truth, hyperspec->run(ds.spectra, 0.9));
+  EXPECT_GE(high.clustered_ratio, low.clustered_ratio);
+}
+
+TEST(Baselines, DbscanFlavourDiffersFromHac) {
+  const auto& ds = test_dataset();
+  const auto hac = make_hyperspec(true)->run(ds.spectra, 0.5);
+  const auto db = make_hyperspec(false)->run(ds.spectra, 0.5);
+  // Different algorithms; cluster counts should generally differ.
+  EXPECT_NE(hac.cluster_count, db.cluster_count);
+}
+
+TEST(Baselines, EmptyInputSafe) {
+  for (const auto& tool : make_all_baselines()) {
+    const auto c = tool->run({}, 0.5);
+    EXPECT_TRUE(c.labels.empty()) << tool->name();
+  }
+}
+
+}  // namespace
+}  // namespace spechd::baselines

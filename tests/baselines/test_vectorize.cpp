@@ -1,0 +1,116 @@
+#include "baselines/vectorize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spechd::baselines {
+namespace {
+
+ms::spectrum sample() {
+  ms::spectrum s;
+  s.peaks = {{150.0, 4.0F}, {500.0, 16.0F}, {1200.0, 64.0F}};
+  return s;
+}
+
+TEST(Vectorize, UnitNorm) {
+  const auto v = vectorize(sample(), {});
+  double norm = 0.0;
+  for (const auto& [bin, w] : v.entries) norm += static_cast<double>(w) * w;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(Vectorize, BinsSortedAndDeduplicated) {
+  ms::spectrum s;
+  s.peaks = {{150.0, 1.0F}, {150.2, 1.0F}, {900.0, 1.0F}};
+  vectorize_config c;
+  c.bin_width = 0.5;
+  const auto v = vectorize(s, c);
+  EXPECT_EQ(v.entries.size(), 2U);  // first two share a 0.5-wide bin
+  EXPECT_LT(v.entries[0].first, v.entries[1].first);
+}
+
+TEST(Vectorize, OutOfWindowDropped) {
+  ms::spectrum s;
+  s.peaks = {{50.0, 1.0F}, {500.0, 1.0F}, {3000.0, 1.0F}};
+  const auto v = vectorize(s, {});
+  EXPECT_EQ(v.entries.size(), 1U);
+}
+
+TEST(Cosine, SelfSimilarityIsOne) {
+  const auto v = vectorize(sample(), {});
+  EXPECT_NEAR(cosine(v, v), 1.0, 1e-6);
+}
+
+TEST(Cosine, DisjointIsZero) {
+  ms::spectrum a;
+  a.peaks = {{150.0, 1.0F}};
+  ms::spectrum b;
+  b.peaks = {{900.0, 1.0F}};
+  EXPECT_DOUBLE_EQ(cosine(vectorize(a, {}), vectorize(b, {})), 0.0);
+}
+
+TEST(Cosine, SymmetricAndBounded) {
+  ms::spectrum a;
+  a.peaks = {{150.0, 2.0F}, {400.0, 1.0F}};
+  ms::spectrum b;
+  b.peaks = {{150.3, 3.0F}, {800.0, 1.0F}};
+  const auto va = vectorize(a, {});
+  const auto vb = vectorize(b, {});
+  EXPECT_NEAR(cosine(va, vb), cosine(vb, va), 1e-12);
+  EXPECT_GE(cosine(va, vb), 0.0);
+  EXPECT_LE(cosine(va, vb), 1.0 + 1e-12);
+}
+
+TEST(Lsh, DeterministicSignature) {
+  const auto v = vectorize(sample(), {});
+  EXPECT_EQ(lsh_signature(v, 16, 0, 42, 0), lsh_signature(v, 16, 0, 42, 0));
+}
+
+TEST(Lsh, DifferentTablesDiffer) {
+  const auto v = vectorize(sample(), {});
+  EXPECT_NE(lsh_signature(v, 16, 0, 42, 0), lsh_signature(v, 16, 1, 42, 0));
+}
+
+TEST(Lsh, IdenticalVectorsSameSignature) {
+  const auto a = vectorize(sample(), {});
+  const auto b = vectorize(sample(), {});
+  EXPECT_EQ(lsh_signature(a, 12, 0, 7, 0), lsh_signature(b, 12, 0, 7, 0));
+}
+
+TEST(Lsh, SignatureFitsRequestedBits) {
+  const auto v = vectorize(sample(), {});
+  const auto sig = lsh_signature(v, 8, 0, 7, 0);
+  EXPECT_LT(sig, 256U);
+}
+
+TEST(DenseEmbedding, UnitNormAndDeterministic) {
+  const auto v = vectorize(sample(), {});
+  const auto e1 = dense_embedding(v, 32, 9, 0);
+  const auto e2 = dense_embedding(v, 32, 9, 0);
+  ASSERT_EQ(e1.size(), 32U);
+  EXPECT_EQ(e1, e2);
+  double norm = 0.0;
+  for (const auto x : e1) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(DenseEmbedding, SimilarSpectraCloserThanDissimilar) {
+  ms::spectrum a = sample();
+  ms::spectrum b = sample();
+  b.peaks[0].mz += 0.1;  // tiny shift, same bins mostly
+  ms::spectrum c;
+  c.peaks = {{300.0, 5.0F}, {700.0, 9.0F}, {1500.0, 2.0F}};
+  const auto ea = dense_embedding(vectorize(a, {}), 32, 9, 0);
+  const auto eb = dense_embedding(vectorize(b, {}), 32, 9, 0);
+  const auto ec = dense_embedding(vectorize(c, {}), 32, 9, 0);
+  EXPECT_LT(euclidean(ea, eb), euclidean(ea, ec));
+}
+
+TEST(Euclidean, KnownValue) {
+  EXPECT_NEAR(euclidean({0.0F, 3.0F}, {4.0F, 0.0F}), 5.0, 1e-6);
+  EXPECT_DOUBLE_EQ(euclidean({1.0F}, {1.0F}), 0.0);
+}
+
+}  // namespace
+}  // namespace spechd::baselines

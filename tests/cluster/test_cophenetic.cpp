@@ -1,0 +1,128 @@
+#include "cluster/cophenetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/naive_hac.hpp"
+#include "cluster/nn_chain.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::cluster {
+namespace {
+
+hdc::distance_matrix_f32 random_matrix(std::size_t n, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  hdc::distance_matrix_f32 m(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = static_cast<float>(rng.uniform(0.01, 1.0));
+    }
+  }
+  return m;
+}
+
+TEST(Cophenetic, KnownTreeHeights) {
+  // (0,1)@0.1 -> id4; (2,3)@0.2 -> id5; (4,5)@0.5.
+  std::vector<merge_step> merges = {{0, 1, 0.1, 2}, {2, 3, 0.2, 2}, {4, 5, 0.5, 4}};
+  const dendrogram tree(4, std::move(merges));
+  const auto coph = cophenetic_distances(tree);
+  EXPECT_FLOAT_EQ(coph.at(0, 1), 0.1F);
+  EXPECT_FLOAT_EQ(coph.at(2, 3), 0.2F);
+  EXPECT_FLOAT_EQ(coph.at(0, 2), 0.5F);
+  EXPECT_FLOAT_EQ(coph.at(1, 3), 0.5F);
+}
+
+TEST(Cophenetic, SingleLinkageIsMetricLowerBound) {
+  // Single-linkage cophenetic distances never exceed the originals
+  // (the classic subdominant-ultrametric property).
+  const auto m = random_matrix(40, 3);
+  const auto tree = nn_chain_hac(m, linkage::single).tree;
+  const auto coph = cophenetic_distances(tree);
+  for (std::size_t i = 1; i < 40; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_LE(coph.at(i, j), m.at(i, j) + 1e-6) << i << "," << j;
+    }
+  }
+}
+
+TEST(Cophenetic, UltrametricTriangleInequality) {
+  // Cophenetic distances form an ultrametric: d(a,c) <= max(d(a,b), d(b,c)).
+  const auto m = random_matrix(24, 5);
+  const auto tree = nn_chain_hac(m, linkage::complete).tree;
+  const auto coph = cophenetic_distances(tree);
+  for (std::size_t a = 0; a < 24; ++a) {
+    for (std::size_t b = 0; b < 24; ++b) {
+      for (std::size_t c = 0; c < 24; ++c) {
+        if (a == b || b == c || a == c) continue;
+        EXPECT_LE(coph.at(a, c),
+                  std::max(coph.at(a, b), coph.at(b, c)) + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Cophenetic, CorrelationHighForWellSeparatedData) {
+  // Two tight groups: the dendrogram should preserve the geometry almost
+  // perfectly -> correlation near 1.
+  hdc::distance_matrix_f32 m(6);
+  for (std::size_t i = 1; i < 6; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool same = (i < 3) == (j < 3);
+      m.at(i, j) = same ? 0.1F : 0.9F;
+    }
+  }
+  m.at(1, 0) = 0.09F;  // break ties
+  m.at(4, 3) = 0.11F;
+  const auto tree = nn_chain_hac(m, linkage::average).tree;
+  EXPECT_GT(cophenetic_correlation(m, tree), 0.95);
+}
+
+TEST(Cophenetic, AverageBeatsExtremesOnRandomData) {
+  // Average linkage classically yields the best cophenetic correlation.
+  const auto m = random_matrix(64, 11);
+  const double c_avg =
+      cophenetic_correlation(m, nn_chain_hac(m, linkage::average).tree);
+  const double c_single =
+      cophenetic_correlation(m, nn_chain_hac(m, linkage::single).tree);
+  EXPECT_GT(c_avg, c_single);
+}
+
+TEST(Cophenetic, NaiveAndNnChainAgree) {
+  const auto m = random_matrix(48, 13);
+  for (const auto link : {linkage::single, linkage::complete, linkage::average}) {
+    const auto a = cophenetic_distances(nn_chain_hac(m, link).tree);
+    const auto b = cophenetic_distances(naive_hac(m, link).tree);
+    for (std::size_t i = 1; i < 48; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        ASSERT_NEAR(a.at(i, j), b.at(i, j), 1e-6) << linkage_name(link);
+      }
+    }
+  }
+}
+
+TEST(Cophenetic, Q16PathCorrelatesWithF32) {
+  const auto m = random_matrix(40, 17);
+  hdc::distance_matrix_q16 q(40);
+  for (std::size_t i = 1; i < 40; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      q.at(i, j) = q16::from_double(m.at(i, j));
+    }
+  }
+  const double c_f32 = cophenetic_correlation(m, nn_chain_hac(m, linkage::complete).tree);
+  const double c_q16 = cophenetic_correlation(m, nn_chain_hac(q, linkage::complete).tree);
+  EXPECT_NEAR(c_f32, c_q16, 0.02);  // 16-bit grid barely moves fidelity
+}
+
+TEST(Cophenetic, TrivialSizes) {
+  EXPECT_EQ(cophenetic_distances(dendrogram(1, {})).size(), 1U);
+  EXPECT_DOUBLE_EQ(cophenetic_correlation(hdc::distance_matrix_f32(1), dendrogram(1, {})),
+                   1.0);
+}
+
+TEST(Cophenetic, SizeMismatchThrows) {
+  EXPECT_THROW(cophenetic_correlation(hdc::distance_matrix_f32(3), dendrogram(2, {{0, 1, 0.1, 2}})),
+               logic_error);
+}
+
+}  // namespace
+}  // namespace spechd::cluster

@@ -1,0 +1,95 @@
+#include "cluster/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::cluster {
+namespace {
+
+// Two tight groups {0,1,2} and {3,4,5} plus an outlier 6.
+hdc::distance_matrix_f32 clustered_matrix() {
+  hdc::distance_matrix_f32 m(7);
+  for (std::size_t i = 1; i < 7; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool group_a = i < 3 && j < 3;
+      const bool group_b = i >= 3 && i < 6 && j >= 3 && j < 6;
+      m.at(i, j) = (group_a || group_b) ? 0.1F : 0.9F;
+    }
+  }
+  return m;
+}
+
+TEST(Dbscan, FindsTwoClustersAndNoise) {
+  dbscan_config c;
+  c.eps = 0.2;
+  c.min_pts = 2;
+  const auto flat = dbscan(clustered_matrix(), c);
+  EXPECT_EQ(flat.cluster_count, 2U);
+  EXPECT_EQ(flat.labels[0], flat.labels[1]);
+  EXPECT_EQ(flat.labels[1], flat.labels[2]);
+  EXPECT_EQ(flat.labels[3], flat.labels[4]);
+  EXPECT_NE(flat.labels[0], flat.labels[3]);
+  EXPECT_EQ(flat.labels[6], -1);  // outlier is noise
+}
+
+TEST(Dbscan, EpsTooSmallAllNoise) {
+  dbscan_config c;
+  c.eps = 0.05;
+  c.min_pts = 2;
+  const auto flat = dbscan(clustered_matrix(), c);
+  EXPECT_EQ(flat.cluster_count, 0U);
+  for (const auto l : flat.labels) EXPECT_EQ(l, -1);
+}
+
+TEST(Dbscan, EpsHugeOneCluster) {
+  dbscan_config c;
+  c.eps = 1.0;
+  c.min_pts = 2;
+  const auto flat = dbscan(clustered_matrix(), c);
+  EXPECT_EQ(flat.cluster_count, 1U);
+  for (const auto l : flat.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Dbscan, MinPtsGovernsCorePoints) {
+  dbscan_config c;
+  c.eps = 0.2;
+  c.min_pts = 4;  // groups of 3 no longer have core points
+  const auto flat = dbscan(clustered_matrix(), c);
+  EXPECT_EQ(flat.cluster_count, 0U);
+}
+
+TEST(Dbscan, EmptyInput) {
+  dbscan_config c;
+  const auto flat = dbscan(hdc::distance_matrix_f32(0), c);
+  EXPECT_EQ(flat.cluster_count, 0U);
+  EXPECT_TRUE(flat.labels.empty());
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+  // Points 0,1,2 tight; point 3 within eps of 2 only (border point).
+  hdc::distance_matrix_f32 m(4);
+  m.at(1, 0) = 0.1F;
+  m.at(2, 0) = 0.1F;
+  m.at(2, 1) = 0.1F;
+  m.at(3, 0) = 0.5F;
+  m.at(3, 1) = 0.5F;
+  m.at(3, 2) = 0.15F;
+  dbscan_config c;
+  c.eps = 0.2;
+  c.min_pts = 3;
+  const auto flat = dbscan(m, c);
+  EXPECT_EQ(flat.cluster_count, 1U);
+  EXPECT_EQ(flat.labels[3], flat.labels[2]);
+}
+
+TEST(Dbscan, EpsBoundaryInclusive) {
+  hdc::distance_matrix_f32 m(2);
+  m.at(1, 0) = 0.25F;  // exactly representable in both float and double
+  dbscan_config c;
+  c.eps = 0.25;
+  c.min_pts = 2;
+  const auto flat = dbscan(m, c);
+  EXPECT_EQ(flat.cluster_count, 1U);
+}
+
+}  // namespace
+}  // namespace spechd::cluster

@@ -1,0 +1,125 @@
+#include "cluster/dendrogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace spechd::cluster {
+namespace {
+
+// A 4-leaf dendrogram: (0,1)@0.1 -> id4; (2,3)@0.2 -> id5; (4,5)@0.5 -> id6.
+dendrogram sample_tree() {
+  std::vector<merge_step> merges = {
+      {0, 1, 0.1, 2},
+      {2, 3, 0.2, 2},
+      {4, 5, 0.5, 4},
+  };
+  return dendrogram(4, std::move(merges));
+}
+
+TEST(Dendrogram, CutBelowFirstMergeGivesSingletons) {
+  const auto flat = sample_tree().cut(0.05);
+  EXPECT_EQ(flat.cluster_count, 4U);
+  std::set<std::int32_t> labels(flat.labels.begin(), flat.labels.end());
+  EXPECT_EQ(labels.size(), 4U);
+}
+
+TEST(Dendrogram, CutMidHeight) {
+  const auto flat = sample_tree().cut(0.3);
+  EXPECT_EQ(flat.cluster_count, 2U);
+  EXPECT_EQ(flat.labels[0], flat.labels[1]);
+  EXPECT_EQ(flat.labels[2], flat.labels[3]);
+  EXPECT_NE(flat.labels[0], flat.labels[2]);
+}
+
+TEST(Dendrogram, CutAboveRootIsOneCluster) {
+  const auto flat = sample_tree().cut(1.0);
+  EXPECT_EQ(flat.cluster_count, 1U);
+  for (const auto l : flat.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Dendrogram, CutThresholdInclusive) {
+  const auto flat = sample_tree().cut(0.2);
+  EXPECT_EQ(flat.cluster_count, 2U);  // merge at exactly 0.2 applies
+}
+
+TEST(Dendrogram, CutKExactCounts) {
+  const auto tree = sample_tree();
+  EXPECT_EQ(tree.cut_k(1).cluster_count, 1U);
+  EXPECT_EQ(tree.cut_k(2).cluster_count, 2U);
+  EXPECT_EQ(tree.cut_k(3).cluster_count, 3U);
+  EXPECT_EQ(tree.cut_k(4).cluster_count, 4U);
+}
+
+TEST(Dendrogram, CutKAboveLeavesGivesAllSingletons) {
+  const auto flat = sample_tree().cut_k(10);
+  EXPECT_EQ(flat.cluster_count, 4U);
+}
+
+TEST(Dendrogram, CutKZeroRejected) {
+  EXPECT_THROW(sample_tree().cut_k(0), logic_error);
+}
+
+TEST(Dendrogram, MonotoneDetection) {
+  EXPECT_TRUE(sample_tree().monotone());
+  std::vector<merge_step> inverted = {{0, 1, 0.5, 2}, {2, 3, 0.2, 2}, {4, 5, 0.6, 4}};
+  EXPECT_FALSE(dendrogram(4, std::move(inverted)).monotone());
+}
+
+TEST(Dendrogram, MergeCountMustMatchLeaves) {
+  std::vector<merge_step> merges = {{0, 1, 0.1, 2}};
+  EXPECT_THROW(dendrogram(4, std::move(merges)), logic_error);
+}
+
+TEST(BuildDendrogram, SortsAndRelabels) {
+  // Raw merges out of height order, using slot ids.
+  std::vector<raw_merge> raw = {
+      {2, 3, 0.2},
+      {0, 1, 0.1},
+      {1, 3, 0.5},  // slots 1 and 3 now represent clusters {0,1} and {2,3}
+  };
+  const auto tree = build_dendrogram(4, std::move(raw));
+  ASSERT_EQ(tree.merges().size(), 3U);
+  EXPECT_TRUE(tree.monotone());
+  // First sorted merge is (0,1)@0.1 -> internal id 4.
+  EXPECT_DOUBLE_EQ(tree.merges()[0].distance, 0.1);
+  EXPECT_EQ(tree.merges()[0].left, 0U);
+  EXPECT_EQ(tree.merges()[0].right, 1U);
+  EXPECT_EQ(tree.merges()[0].size, 2U);
+  // Second is (2,3)@0.2 -> id 5.
+  EXPECT_DOUBLE_EQ(tree.merges()[1].distance, 0.2);
+  // Root joins ids 4 and 5 with size 4.
+  EXPECT_EQ(tree.merges()[2].left, 4U);
+  EXPECT_EQ(tree.merges()[2].right, 5U);
+  EXPECT_EQ(tree.merges()[2].size, 4U);
+}
+
+TEST(BuildDendrogram, SingleLeaf) {
+  const auto tree = build_dendrogram(1, {});
+  EXPECT_EQ(tree.leaves(), 1U);
+  const auto flat = tree.cut(0.5);
+  EXPECT_EQ(flat.cluster_count, 1U);
+}
+
+TEST(FlatClustering, SizesAndNonSingletonFraction) {
+  flat_clustering c;
+  c.labels = {0, 0, 1, 2, 2, 2};
+  c.cluster_count = 3;
+  const auto sizes = cluster_sizes(c);
+  EXPECT_EQ(sizes[0], 2U);
+  EXPECT_EQ(sizes[1], 1U);
+  EXPECT_EQ(sizes[2], 3U);
+  EXPECT_NEAR(non_singleton_fraction(c), 5.0 / 6.0, 1e-12);
+}
+
+TEST(FlatClustering, NoiseLabelsExcluded) {
+  flat_clustering c;
+  c.labels = {-1, -1, 0, 0};
+  c.cluster_count = 1;
+  EXPECT_NEAR(non_singleton_fraction(c), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace spechd::cluster

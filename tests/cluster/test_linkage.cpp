@@ -1,0 +1,62 @@
+#include "cluster/linkage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spechd::cluster {
+namespace {
+
+TEST(Linkage, Names) {
+  EXPECT_EQ(linkage_name(linkage::single), "single");
+  EXPECT_EQ(linkage_name(linkage::complete), "complete");
+  EXPECT_EQ(linkage_name(linkage::average), "average");
+  EXPECT_EQ(linkage_name(linkage::ward), "ward");
+}
+
+TEST(LanceWilliams, SingleIsMin) {
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::single, 0.3, 0.7, 0.1, 1, 1, 1), 0.3);
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::single, 0.9, 0.2, 0.1, 5, 3, 2), 0.2);
+}
+
+TEST(LanceWilliams, CompleteIsMax) {
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::complete, 0.3, 0.7, 0.1, 1, 1, 1), 0.7);
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::complete, 0.9, 0.2, 0.1, 5, 3, 2), 0.9);
+}
+
+TEST(LanceWilliams, AverageIsSizeWeighted) {
+  // sizes 1 and 3: (1*0.4 + 3*0.8) / 4 = 0.7.
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::average, 0.4, 0.8, 0.0, 1, 3, 1), 0.7);
+}
+
+TEST(LanceWilliams, AverageEqualSizesIsMidpoint) {
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::average, 0.2, 0.6, 0.0, 2, 2, 7), 0.4);
+}
+
+TEST(LanceWilliams, WardSingletonsReduceToEuclideanFormula) {
+  // For all-singleton clusters: d_k(ab) = sqrt((2 d_ka^2 + 2 d_kb^2 - d_ab^2)/3).
+  const double d_ka = 1.0;
+  const double d_kb = 2.0;
+  const double d_ab = 1.5;
+  const double expected =
+      std::sqrt((2 * d_ka * d_ka + 2 * d_kb * d_kb - d_ab * d_ab) / 3.0);
+  EXPECT_NEAR(lance_williams(linkage::ward, d_ka, d_kb, d_ab, 1, 1, 1), expected, 1e-12);
+}
+
+TEST(LanceWilliams, WardClampsNegativeToZero) {
+  // Degenerate inputs can drive the radicand negative; result must be 0.
+  EXPECT_DOUBLE_EQ(lance_williams(linkage::ward, 0.0, 0.0, 10.0, 1, 1, 1), 0.0);
+}
+
+TEST(LanceWilliams, MonotoneBetweenMinAndMaxForAverage) {
+  for (double d_ka = 0.1; d_ka < 1.0; d_ka += 0.2) {
+    for (double d_kb = 0.1; d_kb < 1.0; d_kb += 0.2) {
+      const double avg = lance_williams(linkage::average, d_ka, d_kb, 0.0, 3, 5, 2);
+      EXPECT_GE(avg, std::min(d_ka, d_kb) - 1e-12);
+      EXPECT_LE(avg, std::max(d_ka, d_kb) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spechd::cluster

@@ -1,0 +1,170 @@
+#include "cluster/nn_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/naive_hac.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::cluster {
+namespace {
+
+hdc::distance_matrix_f32 random_matrix(std::size_t n, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  hdc::distance_matrix_f32 m(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = static_cast<float>(rng.uniform(0.01, 1.0));
+    }
+  }
+  return m;
+}
+
+// Two well-separated groups: {0,1,2} pairwise 0.1, {3,4} pairwise 0.1,
+// cross distances 0.9.
+hdc::distance_matrix_f32 two_groups() {
+  hdc::distance_matrix_f32 m(5);
+  for (std::size_t i = 1; i < 5; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool same = (i < 3 && j < 3) || (i >= 3 && j >= 3);
+      m.at(i, j) = same ? 0.1F : 0.9F;
+    }
+  }
+  // Perturb to break ties deterministically.
+  m.at(1, 0) = 0.08F;
+  m.at(4, 3) = 0.09F;
+  return m;
+}
+
+TEST(NnChain, TrivialSizes) {
+  EXPECT_EQ(nn_chain_hac(hdc::distance_matrix_f32(0), linkage::complete).tree.leaves(), 0U);
+  EXPECT_EQ(nn_chain_hac(hdc::distance_matrix_f32(1), linkage::complete).tree.leaves(), 1U);
+  const auto two = nn_chain_hac(random_matrix(2, 1), linkage::complete);
+  EXPECT_EQ(two.tree.merges().size(), 1U);
+}
+
+TEST(NnChain, RecoversTwoGroups) {
+  const auto result = nn_chain_hac(two_groups(), linkage::complete);
+  const auto flat = result.tree.cut(0.5);
+  EXPECT_EQ(flat.cluster_count, 2U);
+  EXPECT_EQ(flat.labels[0], flat.labels[1]);
+  EXPECT_EQ(flat.labels[1], flat.labels[2]);
+  EXPECT_EQ(flat.labels[3], flat.labels[4]);
+  EXPECT_NE(flat.labels[0], flat.labels[3]);
+}
+
+TEST(NnChain, DendrogramMonotoneForReducibleLinkages) {
+  for (const auto link :
+       {linkage::single, linkage::complete, linkage::average, linkage::ward}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto result = nn_chain_hac(random_matrix(40, seed), link);
+      EXPECT_TRUE(result.tree.monotone())
+          << linkage_name(link) << " seed " << seed;
+    }
+  }
+}
+
+TEST(NnChain, StatsCounted) {
+  const auto result = nn_chain_hac(random_matrix(30, 9), linkage::complete);
+  EXPECT_EQ(result.stats.merges, 29U);
+  EXPECT_GT(result.stats.comparisons, 0U);
+  EXPECT_GT(result.stats.distance_updates, 0U);
+}
+
+TEST(NnChain, FewerComparisonsThanNaive) {
+  const auto m = random_matrix(128, 5);
+  const auto chain = nn_chain_hac(m, linkage::complete);
+  const auto naive = naive_hac(m, linkage::complete);
+  EXPECT_LT(chain.stats.comparisons, naive.stats.comparisons / 4)
+      << "NN-chain should need far fewer scans than the O(n^3) method";
+}
+
+// Property: NN-chain and naive HAC produce identical dendrograms for all
+// reducible linkages on random tie-free matrices.
+struct equiv_param {
+  linkage link;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class NnChainEquivalence : public ::testing::TestWithParam<equiv_param> {};
+
+TEST_P(NnChainEquivalence, MatchesNaiveHac) {
+  const auto [link, n, seed] = GetParam();
+  const auto m = random_matrix(n, seed);
+  const auto a = nn_chain_hac(m, link);
+  const auto b = naive_hac(m, link);
+  ASSERT_EQ(a.tree.merges().size(), b.tree.merges().size());
+  for (std::size_t k = 0; k < a.tree.merges().size(); ++k) {
+    const auto& ma = a.tree.merges()[k];
+    const auto& mb = b.tree.merges()[k];
+    EXPECT_EQ(ma.left, mb.left) << "merge " << k;
+    EXPECT_EQ(ma.right, mb.right) << "merge " << k;
+    EXPECT_NEAR(ma.distance, mb.distance, 1e-9) << "merge " << k;
+    EXPECT_EQ(ma.size, mb.size) << "merge " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkagesAndSizes, NnChainEquivalence,
+    ::testing::Values(
+        equiv_param{linkage::single, 16, 1}, equiv_param{linkage::single, 64, 2},
+        equiv_param{linkage::complete, 16, 3}, equiv_param{linkage::complete, 64, 4},
+        equiv_param{linkage::complete, 128, 5}, equiv_param{linkage::average, 32, 6},
+        equiv_param{linkage::average, 96, 7}, equiv_param{linkage::ward, 32, 8},
+        equiv_param{linkage::ward, 96, 9}));
+
+TEST(NnChainQ16, MatchesF32WithinQuantisation) {
+  // On the q16 grid the dendrogram heights differ by at most a few lsb; the
+  // tree *structure* may differ on near-ties, so compare flat clusterings
+  // at a threshold far from any pairwise distance.
+  const auto f32 = two_groups();
+  hdc::distance_matrix_q16 q(5);
+  for (std::size_t i = 1; i < 5; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      q.at(i, j) = q16::from_double(f32.at(i, j));
+    }
+  }
+  const auto a = nn_chain_hac(f32, linkage::complete).tree.cut(0.5);
+  const auto b = nn_chain_hac(q, linkage::complete).tree.cut(0.5);
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a.labels[i], b.labels[i]);
+}
+
+TEST(NnChainQ16, MonotoneDendrogram) {
+  xoshiro256ss rng(11);
+  hdc::distance_matrix_q16 q(50);
+  for (std::size_t i = 1; i < 50; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      q.at(i, j) = q16::from_double(rng.uniform(0.01, 1.0));
+    }
+  }
+  EXPECT_TRUE(nn_chain_hac(q, linkage::complete).tree.monotone());
+}
+
+TEST(NaiveHac, TwoGroupsRecovered) {
+  const auto flat = naive_hac(two_groups(), linkage::complete).tree.cut(0.5);
+  EXPECT_EQ(flat.cluster_count, 2U);
+}
+
+TEST(NaiveHac, SingleLinkChaining) {
+  // A chain 0-1-2-3 with adjacent distance 0.1 and far pairs 0.9: single
+  // linkage merges the whole chain below 0.2, complete linkage does not.
+  hdc::distance_matrix_f32 m(4);
+  for (std::size_t i = 1; i < 4; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m.at(i, j) = (i - j == 1) ? 0.1F : 0.9F;
+    }
+  }
+  // Tiny perturbations to avoid exact ties.
+  m.at(1, 0) = 0.09F;
+  m.at(3, 2) = 0.11F;
+  const auto single = naive_hac(m, linkage::single).tree.cut(0.2);
+  const auto complete = naive_hac(m, linkage::complete).tree.cut(0.2);
+  EXPECT_EQ(single.cluster_count, 1U);
+  EXPECT_GT(complete.cluster_count, 1U);
+}
+
+}  // namespace
+}  // namespace spechd::cluster

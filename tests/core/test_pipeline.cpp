@@ -1,0 +1,141 @@
+#include "core/spechd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/quality.hpp"
+#include "ms/synthetic.hpp"
+
+namespace spechd::core {
+namespace {
+
+const ms::labelled_dataset& dataset() {
+  static const ms::labelled_dataset ds = [] {
+    ms::synthetic_config c;
+    c.peptide_count = 40;
+    c.spectra_per_peptide_mean = 8.0;
+    c.seed = 99;
+    return ms::generate_dataset(c);
+  }();
+  return ds;
+}
+
+std::vector<std::int32_t> truth(const ms::labelled_dataset& ds) {
+  std::vector<std::int32_t> t;
+  t.reserve(ds.spectra.size());
+  for (const auto& s : ds.spectra) t.push_back(s.label);
+  return t;
+}
+
+TEST(Pipeline, LabelsAlignWithInput) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  EXPECT_EQ(result.clustering.labels.size(), dataset().spectra.size());
+  for (const auto l : result.clustering.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, static_cast<std::int32_t>(result.clustering.cluster_count));
+  }
+}
+
+TEST(Pipeline, RecoversSyntheticClustersWithGoodQuality) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  const auto q = metrics::evaluate_clustering(truth(dataset()), result.clustering);
+  // Synthetic replicates of the same peptide share precursor and fragments;
+  // the full pipeline must group a solid fraction with low error.
+  EXPECT_GT(q.clustered_ratio, 0.35);
+  EXPECT_LT(q.incorrect_ratio, 0.05);
+  EXPECT_GT(q.completeness, 0.6);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  spechd_pipeline pipeline({});
+  const auto a = pipeline.run(dataset().spectra);
+  const auto b = pipeline.run(dataset().spectra);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.clustering.cluster_count, b.clustering.cluster_count);
+}
+
+TEST(Pipeline, FixedPointAndFloatPathsAgreeOnQuality) {
+  spechd_config fixed;
+  fixed.use_fixed_point = true;
+  spechd_config floating;
+  floating.use_fixed_point = false;
+  const auto qa = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(fixed).run(dataset().spectra).clustering);
+  const auto qb = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(floating).run(dataset().spectra).clustering);
+  // q16 quantisation must not change quality materially (Sec. III-C claim).
+  EXPECT_NEAR(qa.clustered_ratio, qb.clustered_ratio, 0.05);
+  EXPECT_NEAR(qa.incorrect_ratio, qb.incorrect_ratio, 0.02);
+}
+
+TEST(Pipeline, CompressionFactorInPaperBand) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  // Fig. 6b reports 24-108x on real datasets; synthetic spectra have fewer
+  // peaks, so accept a wider band but demand real compression.
+  EXPECT_GT(result.compression_factor, 1.0);
+}
+
+TEST(Pipeline, ConsensusCountMatchesClusterCountOfSurvivors) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  EXPECT_GT(result.consensus.size(), 0U);
+  EXPECT_LE(result.consensus.size(), result.clustering.cluster_count);
+}
+
+TEST(Pipeline, HacStatsAccumulated) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  EXPECT_GT(result.hac_stats.merges, 0U);
+  EXPECT_GT(result.hac_stats.comparisons, 0U);
+}
+
+TEST(Pipeline, ThresholdControlsClusteredRatio) {
+  spechd_config strict;
+  strict.distance_threshold = 0.02;
+  spechd_config loose;
+  loose.distance_threshold = 0.45;
+  const auto qs = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(strict).run(dataset().spectra).clustering);
+  const auto ql = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(loose).run(dataset().spectra).clustering);
+  EXPECT_LT(qs.clustered_ratio, ql.clustered_ratio);
+}
+
+TEST(Pipeline, LinkageChoiceMatters) {
+  spechd_config complete;
+  complete.link = cluster::linkage::complete;
+  spechd_config single;
+  single.link = cluster::linkage::single;
+  const auto qc = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(complete).run(dataset().spectra).clustering);
+  const auto qsngl = metrics::evaluate_clustering(
+      truth(dataset()), spechd_pipeline(single).run(dataset().spectra).clustering);
+  // Same threshold: single linkage merges at least as aggressively.
+  EXPECT_GE(qsngl.clustered_ratio + 1e-9, qc.clustered_ratio);
+}
+
+TEST(Pipeline, EmptyInputSafe) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run({});
+  EXPECT_TRUE(result.clustering.labels.empty());
+  EXPECT_EQ(result.clustering.cluster_count, 0U);
+}
+
+TEST(Pipeline, SingleSpectrumIsSingleton) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run({dataset().spectra[0]});
+  ASSERT_EQ(result.clustering.labels.size(), 1U);
+  EXPECT_EQ(result.clustering.cluster_count, 1U);
+}
+
+TEST(Pipeline, PhaseTimersPopulated) {
+  spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  EXPECT_GE(result.phases.preprocess, 0.0);
+  EXPECT_GT(result.phases.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace spechd::core

@@ -1,0 +1,74 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spechd.hpp"
+
+namespace spechd::core {
+namespace {
+
+const ms::labelled_dataset& dataset() {
+  static const ms::labelled_dataset ds = [] {
+    ms::synthetic_config c;
+    c.peptide_count = 25;
+    c.spectra_per_peptide_mean = 6.0;
+    c.seed = 3;
+    return ms::generate_dataset(c);
+  }();
+  return ds;
+}
+
+cluster::flat_clustering run_spechd(const std::vector<ms::spectrum>& spectra,
+                                    double aggressiveness) {
+  spechd_config config;
+  config.distance_threshold = 0.25 + 0.30 * aggressiveness;
+  return spechd_pipeline(config).run(spectra).clustering;
+}
+
+TEST(Sweep, ProducesRequestedSteps) {
+  const auto result = run_sweep("SpecHD", dataset(), run_spechd, 5);
+  EXPECT_EQ(result.tool, "SpecHD");
+  ASSERT_EQ(result.points.size(), 5U);
+  EXPECT_DOUBLE_EQ(result.points.front().aggressiveness, 0.0);
+  EXPECT_DOUBLE_EQ(result.points.back().aggressiveness, 1.0);
+}
+
+TEST(Sweep, ClusteredRatioNonDecreasingForHacThresholdSweep) {
+  const auto result = run_sweep("SpecHD", dataset(), run_spechd, 5);
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GE(result.points[i].quality.clustered_ratio + 1e-9,
+              result.points[i - 1].quality.clustered_ratio);
+  }
+}
+
+TEST(Sweep, BestAtIcrRespectsBudget) {
+  const auto result = run_sweep("SpecHD", dataset(), run_spechd, 7);
+  const auto* best = result.best_at_icr(0.01);
+  ASSERT_NE(best, nullptr);
+  EXPECT_LE(best->quality.incorrect_ratio, 0.01);
+  // No point within budget has a higher clustered ratio.
+  for (const auto& p : result.points) {
+    if (p.quality.incorrect_ratio <= 0.01) {
+      EXPECT_LE(p.quality.clustered_ratio, best->quality.clustered_ratio + 1e-12);
+    }
+  }
+}
+
+TEST(Sweep, BestAtIcrNullWhenImpossible) {
+  // A sweep function that always mis-clusters everything into one blob.
+  const auto blob = [](const std::vector<ms::spectrum>& spectra, double) {
+    cluster::flat_clustering c;
+    c.labels.assign(spectra.size(), 0);
+    c.cluster_count = 1;
+    return c;
+  };
+  const auto result = run_sweep("blob", dataset(), blob, 3);
+  EXPECT_EQ(result.best_at_icr(0.0001), nullptr);
+}
+
+TEST(Sweep, InvalidStepsRejected) {
+  EXPECT_THROW(run_sweep("x", dataset(), run_spechd, 1), logic_error);
+}
+
+}  // namespace
+}  // namespace spechd::core

@@ -1,0 +1,121 @@
+#include "fpga/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(BucketModel, SizesSumToSpectrumCount) {
+  spechd_hw_config hw;
+  const std::uint64_t n = 1'000'000;
+  const auto sizes = model_bucket_sizes(n, hw);
+  const auto total = std::accumulate(sizes.begin(), sizes.end(), std::uint64_t{0});
+  EXPECT_EQ(total, n);
+  for (const auto s : sizes) EXPECT_GE(s, 1U);
+}
+
+TEST(BucketModel, FinerResolutionMoreBuckets) {
+  spechd_hw_config coarse;
+  coarse.bucket_resolution = 1.0;
+  spechd_hw_config fine;
+  fine.bucket_resolution = 0.05;
+  const auto nc = model_bucket_sizes(1'000'000, coarse).size();
+  const auto nf = model_bucket_sizes(1'000'000, fine).size();
+  EXPECT_GT(nf, nc);
+}
+
+TEST(BucketModel, Deterministic) {
+  spechd_hw_config hw;
+  EXPECT_EQ(model_bucket_sizes(100000, hw), model_bucket_sizes(100000, hw));
+}
+
+TEST(Makespan, BoundsRespected) {
+  const std::vector<std::uint64_t> jobs = {50, 30, 20, 10, 40};
+  const auto total = std::accumulate(jobs.begin(), jobs.end(), std::uint64_t{0});
+  for (unsigned k = 1; k <= 5; ++k) {
+    const auto m = schedule_makespan_cycles(jobs, k);
+    EXPECT_GE(m, 50U) << k;               // >= longest job
+    EXPECT_GE(m, total / k) << k;         // >= perfect split
+    EXPECT_LE(m, total) << k;             // <= serial execution
+  }
+}
+
+TEST(Makespan, OneKernelIsSerial) {
+  EXPECT_EQ(schedule_makespan_cycles({5, 10, 15}, 1), 30U);
+}
+
+TEST(Makespan, MoreKernelsNeverSlower) {
+  std::vector<std::uint64_t> jobs;
+  for (std::uint64_t i = 1; i <= 40; ++i) jobs.push_back(i * 7 % 100 + 1);
+  std::uint64_t prev = schedule_makespan_cycles(jobs, 1);
+  for (unsigned k = 2; k <= 8; ++k) {
+    const auto m = schedule_makespan_cycles(jobs, k);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Makespan, EmptyOrZeroKernels) {
+  EXPECT_EQ(schedule_makespan_cycles({}, 4), 0U);
+  EXPECT_EQ(schedule_makespan_cycles({10}, 0), 0U);
+}
+
+TEST(SpechdRun, PhasesAllPositiveOnPaperDataset) {
+  const auto ds = ms::paper_datasets()[4];  // PXD000561
+  const auto run = model_spechd_run(ds, {});
+  EXPECT_GT(run.time.preprocess, 0.0);
+  EXPECT_GT(run.time.transfer, 0.0);
+  EXPECT_GT(run.time.encode, 0.0);
+  EXPECT_GT(run.time.cluster, 0.0);
+  EXPECT_GT(run.time.consensus, 0.0);
+  EXPECT_GT(run.energy.end_to_end(), 0.0);
+}
+
+TEST(SpechdRun, LargestDatasetAroundFiveMinutes) {
+  // Abstract: "cluster a large-scale human proteome dataset ... in just
+  // 5 minutes". The model should land in the same regime (60-400 s).
+  const auto ds = ms::paper_datasets()[4];
+  const auto run = model_spechd_run(ds, {});
+  EXPECT_GT(run.time.end_to_end(), 60.0);
+  EXPECT_LT(run.time.end_to_end(), 400.0);
+}
+
+TEST(SpechdRun, StandaloneClusteringNearPaperAnchor) {
+  // Sec. IV-C: "Spec-HD clocked in at 80 seconds" for PXD000561.
+  const auto ds = ms::paper_datasets()[4];
+  const auto run = model_spechd_run(ds, {});
+  EXPECT_GT(run.time.standalone_clustering(), 20.0);
+  EXPECT_LT(run.time.standalone_clustering(), 240.0);
+}
+
+TEST(SpechdRun, P2pFasterThanHostStaged) {
+  const auto ds = ms::paper_datasets()[2];
+  spechd_hw_config p2p;
+  p2p.p2p_enabled = true;
+  spechd_hw_config host;
+  host.p2p_enabled = false;
+  EXPECT_LT(model_spechd_run(ds, p2p).time.transfer,
+            model_spechd_run(ds, host).time.transfer);
+}
+
+TEST(SpechdRun, MoreClusterKernelsFasterClustering) {
+  const auto ds = ms::paper_datasets()[1];
+  spechd_hw_config one;
+  one.cluster_kernels = 1;
+  spechd_hw_config five;
+  five.cluster_kernels = 5;
+  EXPECT_LT(model_spechd_run(ds, five).time.cluster,
+            model_spechd_run(ds, one).time.cluster);
+}
+
+TEST(SpechdRun, HvResidencyComputed) {
+  const auto ds = ms::paper_datasets()[0];  // 1.1M spectra
+  const auto run = model_spechd_run(ds, {});
+  EXPECT_NEAR(run.hv_bytes, 1.1e6 * 256.0, 1e6);
+  EXPECT_TRUE(run.fits_hbm);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

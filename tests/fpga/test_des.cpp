@@ -1,0 +1,70 @@
+#include "fpga/des.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(Des, PipelineNeverSlowerThanAdditive) {
+  for (const auto& ds : ms::paper_datasets()) {
+    const auto r = simulate_dataflow(ds, {});
+    EXPECT_LE(r.pipeline_s, r.additive_s * 1.02) << ds.pride_id;
+    EXPECT_GE(r.overlap_saving, -0.02) << ds.pride_id;
+  }
+}
+
+TEST(Des, PipelineAtLeastSlowestStage) {
+  const auto ds = ms::paper_datasets()[4];
+  const spechd_hw_config hw;
+  const auto run = model_spechd_run(ds, hw);
+  const auto r = simulate_dataflow(ds, hw);
+  // The overlapped pipeline cannot beat its slowest single stage.
+  const double slowest =
+      std::max({run.time.transfer, run.time.encode, run.time.cluster});
+  EXPECT_GE(r.pipeline_s, slowest * 0.98);
+}
+
+TEST(Des, UtilisationsAreFractions) {
+  const auto r = simulate_dataflow(ms::paper_datasets()[2], {});
+  EXPECT_GT(r.encoder_utilisation, 0.0);
+  EXPECT_LE(r.encoder_utilisation, 1.0);
+  EXPECT_GT(r.cluster_utilisation, 0.0);
+  EXPECT_LE(r.cluster_utilisation, 1.0);
+}
+
+TEST(Des, Deterministic) {
+  const auto a = simulate_dataflow(ms::paper_datasets()[1], {});
+  const auto b = simulate_dataflow(ms::paper_datasets()[1], {});
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Des, MoreKernelsHelpOnlyUntilEncoderBound) {
+  const auto ds = ms::paper_datasets()[4];
+  spechd_hw_config one;
+  one.cluster_kernels = 1;
+  spechd_hw_config five;
+  five.cluster_kernels = 5;
+  spechd_hw_config fifty;
+  fifty.cluster_kernels = 50;
+  const auto r1 = simulate_dataflow(ds, one);
+  const auto r5 = simulate_dataflow(ds, five);
+  const auto r50 = simulate_dataflow(ds, fifty);
+  EXPECT_LE(r5.pipeline_s, r1.pipeline_s);
+  EXPECT_LE(r50.pipeline_s, r5.pipeline_s * 1.001);
+  // Once encoder-bound, throwing kernels at it saturates.
+  EXPECT_GT(r50.pipeline_s, r5.pipeline_s * 0.2);
+}
+
+TEST(Des, MakespanIncludesPreprocessing) {
+  const auto ds = ms::paper_datasets()[0];
+  const auto r = simulate_dataflow(ds, {});
+  EXPECT_GT(r.makespan_s, r.pipeline_s);
+}
+
+TEST(Des, BucketsReported) {
+  const auto r = simulate_dataflow(ms::paper_datasets()[0], {});
+  EXPECT_GT(r.buckets, 0U);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

@@ -1,0 +1,76 @@
+#include "fpga/dse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+dse_sweep small_sweep() {
+  dse_sweep s;
+  s.cluster_kernels = {1, 5};
+  s.encoder_kernels = {1};
+  s.resolutions = {0.08, 1.0};
+  s.p2p = {true, false};
+  s.dims = {2048};
+  return s;
+}
+
+TEST(Dse, EnumeratesCrossProduct) {
+  const auto points = explore(ms::paper_datasets()[0], {}, small_sweep());
+  EXPECT_EQ(points.size(), 2U * 1U * 2U * 2U * 1U);
+}
+
+TEST(Dse, SortedByEdp) {
+  const auto points = explore(ms::paper_datasets()[0], {}, small_sweep());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].edp(), points[i].edp());
+  }
+}
+
+TEST(Dse, BestPointUsesP2p) {
+  const auto points = explore(ms::paper_datasets()[2], {}, small_sweep());
+  ASSERT_FALSE(points.empty());
+  EXPECT_TRUE(points.front().p2p);
+}
+
+TEST(Dse, FiveKernelsBeatOneOnClusterTime) {
+  const auto points = explore(ms::paper_datasets()[2], {}, small_sweep());
+  double best_one = 1e300;
+  double best_five = 1e300;
+  for (const auto& p : points) {
+    if (!p.p2p || p.bucket_resolution != 0.08) continue;
+    if (p.cluster_kernels == 1) best_one = std::min(best_one, p.cluster_s);
+    if (p.cluster_kernels == 5) best_five = std::min(best_five, p.cluster_s);
+  }
+  EXPECT_LT(best_five, best_one);
+}
+
+TEST(Dse, LargerDimCostsMoreTime) {
+  dse_sweep s;
+  s.cluster_kernels = {5};
+  s.encoder_kernels = {1};
+  s.resolutions = {0.08};
+  s.p2p = {true};
+  s.dims = {1024, 4096};
+  const auto points = explore(ms::paper_datasets()[1], {}, s);
+  ASSERT_EQ(points.size(), 2U);
+  const auto& small = points[0].dim == 1024 ? points[0] : points[1];
+  const auto& large = points[0].dim == 4096 ? points[0] : points[1];
+  EXPECT_LT(small.cluster_s, large.cluster_s);
+}
+
+TEST(Dse, HbmFitTrackedForHugeDims) {
+  dse_sweep s;
+  s.cluster_kernels = {5};
+  s.encoder_kernels = {1};
+  s.resolutions = {0.08};
+  s.p2p = {true};
+  s.dims = {2048};
+  // 21.1M spectra x 256 B = 5.4 GB -> fits 8 GB HBM.
+  const auto points = explore(ms::paper_datasets()[4], {}, s);
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_TRUE(points.front().fits_hbm);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

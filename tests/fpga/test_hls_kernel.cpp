@@ -1,0 +1,53 @@
+#include "fpga/hls_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(PipelinedLoop, StandardFormula) {
+  // cycles = depth + (trips - 1) * II for unroll = 1.
+  pipelined_loop l{.trips = 100, .unroll = 1, .ii = 1, .depth = 10};
+  EXPECT_EQ(l.cycles(), 10 + 99U);
+}
+
+TEST(PipelinedLoop, UnrollDividesTrips) {
+  pipelined_loop l{.trips = 128, .unroll = 8, .ii = 1, .depth = 4};
+  EXPECT_EQ(l.cycles(), 4 + 15U);
+}
+
+TEST(PipelinedLoop, UnrollCeilsPartialGroups) {
+  pipelined_loop l{.trips = 130, .unroll = 8, .ii = 1, .depth = 4};
+  EXPECT_EQ(l.cycles(), 4 + 16U);
+}
+
+TEST(PipelinedLoop, IiMultipliesSteadyState) {
+  pipelined_loop l{.trips = 10, .unroll = 1, .ii = 3, .depth = 5};
+  EXPECT_EQ(l.cycles(), 5 + 9U * 3U);
+}
+
+TEST(PipelinedLoop, ZeroTripsZeroCycles) {
+  pipelined_loop l{.trips = 0, .unroll = 4, .ii = 1, .depth = 100};
+  EXPECT_EQ(l.cycles(), 0U);
+}
+
+TEST(Composition, SequentialAdds) {
+  std::vector<pipelined_loop> loops = {
+      {.trips = 10, .unroll = 1, .ii = 1, .depth = 1},
+      {.trips = 20, .unroll = 1, .ii = 1, .depth = 1},
+  };
+  EXPECT_EQ(sequential_cycles(loops), 10U + 20U);
+}
+
+TEST(Composition, DataflowTakesMax) {
+  EXPECT_EQ(dataflow_cycles({100, 300, 200}), 300U);
+  EXPECT_EQ(dataflow_cycles({}), 0U);
+}
+
+TEST(CyclesToSeconds, ClockConversion) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(300'000'000, 300e6), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(100, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

@@ -1,0 +1,75 @@
+#include "fpga/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(EncoderKernel, CyclesScaleWithPeaks) {
+  encoder_kernel_config c;
+  const auto c10 = encoder_cycles_per_spectrum(10, c);
+  const auto c50 = encoder_cycles_per_spectrum(50, c);
+  EXPECT_GT(c50, c10);
+  // Bind loop dominates: roughly linear in peak count.
+  EXPECT_NEAR(static_cast<double>(c50) / c10, 4.0, 1.5);
+}
+
+TEST(EncoderKernel, UnrollSpeedsUp) {
+  encoder_kernel_config narrow;
+  narrow.bind_unroll = 64;
+  encoder_kernel_config wide;
+  wide.bind_unroll = 512;
+  EXPECT_GT(encoder_cycles_per_spectrum(50, narrow),
+            encoder_cycles_per_spectrum(50, wide));
+}
+
+TEST(EncoderKernel, BatchIsPerSpectrumTimesCount) {
+  encoder_kernel_config c;
+  const auto per = encoder_cycles_per_spectrum(50, c);
+  EXPECT_EQ(encoder_cycles(1000, 50.0, c), 1000 * per);
+}
+
+TEST(ClusterKernel, DistancePhaseQuadratic) {
+  cluster_kernel_config c;
+  const auto d100 = distance_phase_cycles(100, c);
+  const auto d200 = distance_phase_cycles(200, c);
+  // Pairs grow 4.02x, cycles should track.
+  EXPECT_NEAR(static_cast<double>(d200) / d100, 4.0, 0.3);
+}
+
+TEST(ClusterKernel, TrivialBucketsCheap) {
+  cluster_kernel_config c;
+  EXPECT_EQ(distance_phase_cycles(0, c), 0U);
+  EXPECT_EQ(distance_phase_cycles(1, c), 0U);
+  EXPECT_EQ(cluster_bucket_cycles(1, c), c.per_bucket_overhead);
+}
+
+TEST(ClusterKernel, StatsPathMatchesAnalyticShape) {
+  cluster_kernel_config c;
+  cluster::hac_stats stats;
+  const std::uint64_t n = 200;
+  stats.comparisons = 3 * n * n;
+  stats.distance_updates = n * n / 2;
+  stats.merges = n - 1;
+  EXPECT_EQ(nn_chain_phase_cycles(stats, c), nn_chain_phase_cycles_analytic(n, c));
+}
+
+TEST(ClusterKernel, MoreLanesFewerCycles) {
+  cluster_kernel_config narrow;
+  narrow.scan_lanes = 4;
+  cluster_kernel_config wide;
+  wide.scan_lanes = 32;
+  EXPECT_GT(nn_chain_phase_cycles_analytic(500, narrow),
+            nn_chain_phase_cycles_analytic(500, wide));
+}
+
+TEST(ClusterKernel, BucketCyclesComposePhases) {
+  cluster_kernel_config c;
+  const std::uint64_t n = 300;
+  EXPECT_EQ(cluster_bucket_cycles(n, c),
+            distance_phase_cycles(n, c) + nn_chain_phase_cycles_analytic(n, c) +
+                c.per_bucket_overhead);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

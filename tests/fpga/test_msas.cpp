@@ -1,0 +1,70 @@
+#include "fpga/msas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(Msas, TimeMonotoneInDatasetSize) {
+  const auto datasets = ms::paper_datasets();
+  msas_config config;
+  double prev = 0.0;
+  for (const auto& ds : datasets) {
+    const auto r = preprocess_dataset(ds, config);
+    EXPECT_GT(r.time_s, prev) << ds.pride_id;
+    prev = r.time_s;
+  }
+}
+
+TEST(Msas, EnergyMonotoneInDatasetSize) {
+  const auto datasets = ms::paper_datasets();
+  msas_config config;
+  double prev = 0.0;
+  for (const auto& ds : datasets) {
+    const auto r = preprocess_dataset(ds, config);
+    EXPECT_GT(r.energy_j, prev) << ds.pride_id;
+    prev = r.energy_j;
+  }
+}
+
+// Table I anchor check: model within 35% of every published row (the model
+// is calibrated to the ~3 GB/s effective streaming rate the table implies).
+class MsasTableOne : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MsasTableOne, TimeAndEnergyNearPaper) {
+  const auto ds = ms::paper_datasets()[GetParam()];
+  const auto r = preprocess_dataset(ds, {});
+  EXPECT_NEAR(r.time_s, ds.paper_pp_time_s, ds.paper_pp_time_s * 0.35)
+      << ds.pride_id << " time";
+  EXPECT_NEAR(r.energy_j, ds.paper_pp_energy_j, ds.paper_pp_energy_j * 0.35)
+      << ds.pride_id << " energy";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, MsasTableOne, ::testing::Range<std::size_t>(0, 5));
+
+TEST(Msas, StreamingOverlapsCompute) {
+  const auto ds = ms::paper_datasets()[0];
+  const auto r = preprocess_dataset(ds, {});
+  EXPECT_GE(r.time_s, std::max(r.nand_stream_s, r.compute_s));
+  EXPECT_LT(r.time_s, r.nand_stream_s + r.compute_s + 1.0);
+}
+
+TEST(Msas, OutputSmallerThanInput) {
+  for (const auto& ds : ms::paper_datasets()) {
+    const auto r = preprocess_dataset(ds, {});
+    EXPECT_LT(r.output_gb, ds.size_gb) << ds.pride_id;
+  }
+}
+
+TEST(Msas, TopKControlsOutputVolume) {
+  const auto ds = ms::paper_datasets()[0];
+  msas_config small;
+  small.top_k = 25;
+  msas_config large;
+  large.top_k = 100;
+  EXPECT_LT(preprocess_dataset(ds, small).output_gb,
+            preprocess_dataset(ds, large).output_gb);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

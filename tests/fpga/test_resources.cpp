@@ -1,0 +1,82 @@
+#include "fpga/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+TEST(Resources, PaperConfigurationFitsU280) {
+  // 1 encoder + 5 cluster CUs at the calibrated datapath widths must fit
+  // the card the paper used.
+  const auto usage = estimate_design(encoder_kernel_config{}, 1,
+                                     cluster_kernel_config{}, 5, 34000, 64, 2000);
+  EXPECT_LT(worst_utilisation(usage, u280_capacity()), 1.0)
+      << "LUT " << usage.luts << " FF " << usage.ffs << " BRAM " << usage.bram36
+      << " URAM " << usage.uram << " DSP " << usage.dsps;
+}
+
+TEST(Resources, UsageScalesWithKernelCount) {
+  const auto one = estimate_design({}, 1, {}, 1, 34000, 64, 2000);
+  const auto five = estimate_design({}, 1, {}, 5, 34000, 64, 2000);
+  EXPECT_GT(five.luts, one.luts);
+  EXPECT_GT(five.dsps, one.dsps);
+}
+
+TEST(Resources, WiderDatapathCostsMoreLuts) {
+  cluster_kernel_config narrow;
+  narrow.xor_popcount_width = 64;
+  cluster_kernel_config wide;
+  wide.xor_popcount_width = 512;
+  EXPECT_GT(estimate_cluster_kernel(wide, 2000).luts,
+            estimate_cluster_kernel(narrow, 2000).luts);
+}
+
+TEST(Resources, ItemMemoryScalesWithBins) {
+  const auto small = estimate_encoder({}, 1000, 64);
+  const auto large = estimate_encoder({}, 34000, 64);
+  EXPECT_GT(large.uram, small.uram);
+}
+
+TEST(Resources, MatrixTileCapped) {
+  // Huge buckets spill to HBM: on-chip URAM stops growing.
+  const auto medium = estimate_cluster_kernel({}, 2'000);
+  const auto huge = estimate_cluster_kernel({}, 200'000);
+  EXPECT_EQ(huge.uram, medium.uram);
+}
+
+TEST(Resources, ManyKernelsEventuallyDoNotFit) {
+  // Some CU count must exceed the fabric — the DSE bound is real.
+  bool found_infeasible = false;
+  for (unsigned kernels = 5; kernels <= 640; kernels *= 2) {
+    const auto usage = estimate_design({}, 1, {}, kernels, 34000, 64, 2000);
+    if (worst_utilisation(usage, u280_capacity()) > 1.0) {
+      found_infeasible = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_infeasible);
+}
+
+TEST(Resources, HeadroomTightensFit) {
+  const auto usage = estimate_design({}, 2, {}, 8, 34000, 64, 2000);
+  EXPECT_GT(worst_utilisation(usage, u280_capacity(), true),
+            worst_utilisation(usage, u280_capacity(), false));
+}
+
+TEST(Resources, AccumulateAndScaleOperators) {
+  resource_usage a;
+  a.luts = 10;
+  a.dsps = 2;
+  resource_usage b;
+  b.luts = 5;
+  b.bram36 = 3;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.luts, 15.0);
+  EXPECT_DOUBLE_EQ(a.bram36, 3.0);
+  const auto doubled = a * 2.0;
+  EXPECT_DOUBLE_EQ(doubled.luts, 30.0);
+  EXPECT_DOUBLE_EQ(doubled.dsps, 4.0);
+}
+
+}  // namespace
+}  // namespace spechd::fpga

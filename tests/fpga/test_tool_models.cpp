@@ -1,0 +1,92 @@
+#include "fpga/tool_models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::fpga {
+namespace {
+
+ms::dataset_descriptor largest() { return ms::paper_datasets()[4]; }
+
+TEST(ToolModels, NamesDistinct) {
+  EXPECT_EQ(tool_name(tool::spechd), "SpecHD");
+  EXPECT_EQ(tool_name(tool::hyperspec_hac), "HyperSpec-HAC");
+  EXPECT_EQ(tool_name(tool::gleams), "GLEAMS");
+}
+
+TEST(ToolModels, SpecHdFastestEndToEnd) {
+  const auto runs = model_all_tools(largest(), {}, {});
+  const double spechd = runs[0].time.end_to_end();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_GT(runs[i].time.end_to_end(), spechd) << tool_name(runs[i].which);
+  }
+}
+
+TEST(ToolModels, EndToEndSpeedupsInPaperRegime) {
+  // Fig. 7: 6x over HyperSpec(-HAC), 31-54x over GLEAMS; msCRUSH/Falcon in
+  // between. The model should land in the right bands (generous margins).
+  const auto runs = model_all_tools(largest(), {}, {});
+  const double spechd = runs[0].time.end_to_end();
+  const double hyperspec = runs[1].time.end_to_end() / spechd;
+  const double gleams = runs[3].time.end_to_end() / spechd;
+  EXPECT_GT(hyperspec, 3.0);
+  EXPECT_LT(hyperspec, 15.0);
+  EXPECT_GT(gleams, 20.0);
+  EXPECT_LT(gleams, 80.0);
+}
+
+TEST(ToolModels, StandaloneClusteringAnchors) {
+  // Fig. 8 anchors for PXD000561: HyperSpec ~12.3x, GLEAMS ~14.3x,
+  // Falcon ~100x vs SpecHD standalone clustering.
+  const auto runs = model_all_tools(largest(), {}, {});
+  const double spechd = runs[0].time.standalone_clustering();
+  const double hyperspec = runs[1].time.standalone_clustering() / spechd;
+  const double gleams = runs[3].time.standalone_clustering() / spechd;
+  const double falcon = runs[4].time.standalone_clustering() / spechd;
+  EXPECT_GT(hyperspec, 5.0);
+  EXPECT_LT(hyperspec, 30.0);
+  EXPECT_GT(gleams, 6.0);
+  EXPECT_LT(gleams, 35.0);
+  EXPECT_GT(falcon, 40.0);
+  EXPECT_LT(falcon, 250.0);
+}
+
+TEST(ToolModels, DbscanFlavourFasterThanHacClustering) {
+  const auto runs = model_all_tools(largest(), {}, {});
+  EXPECT_LT(runs[2].time.cluster, runs[1].time.cluster);
+}
+
+TEST(ToolModels, EnergyEfficiencyRatiosInPaperRegime) {
+  // Fig. 9: end-to-end 31x vs HyperSpec-HAC, 14x vs HyperSpec-DBSCAN;
+  // clustering-phase 40x and 12x.
+  const auto runs = model_all_tools(largest(), {}, {});
+  const double spechd_e2e = runs[0].energy.end_to_end();
+  const double spechd_cl = runs[0].energy.standalone_clustering();
+  const double hac_e2e = runs[1].energy.end_to_end() / spechd_e2e;
+  const double db_e2e = runs[2].energy.end_to_end() / spechd_e2e;
+  const double hac_cl = runs[1].energy.standalone_clustering() / spechd_cl;
+  const double db_cl = runs[2].energy.standalone_clustering() / spechd_cl;
+  EXPECT_GT(hac_e2e, 10.0);
+  EXPECT_LT(hac_e2e, 90.0);
+  EXPECT_GT(db_e2e, 5.0);
+  EXPECT_LT(db_e2e, 50.0);
+  EXPECT_GT(hac_cl, 15.0);
+  EXPECT_LT(hac_cl, 120.0);
+  EXPECT_GT(db_cl, 4.0);
+  EXPECT_LT(db_cl, 40.0);
+  EXPECT_GT(hac_cl, db_cl);  // HAC on CPU costs more energy than GPU DBSCAN
+}
+
+TEST(ToolModels, PreprocessDominatesConventionalTools) {
+  // Sec. II-B: loading/preprocessing ~82% of conventional tools' runtime.
+  const auto run = model_tool_run(tool::hyperspec_dbscan, ms::paper_datasets()[2], {}, {});
+  EXPECT_GT(run.time.preprocess / run.time.end_to_end(), 0.5);
+}
+
+TEST(ToolModels, PairCountGrowsWithDataset) {
+  spechd_hw_config hw;
+  EXPECT_LT(modelled_pair_count(ms::paper_datasets()[0], hw),
+            modelled_pair_count(ms::paper_datasets()[4], hw));
+}
+
+}  // namespace
+}  // namespace spechd::fpga

@@ -1,0 +1,129 @@
+// Property-based tests of the ID-Level encoding's geometry: the encoder is
+// only useful for clustering if Hamming distance tracks spectral overlap
+// monotonically and concentrates predictably. Also pins the encoding with
+// a golden regression value (any change to item-memory construction,
+// majority rule or tie-breaking shows up here first).
+#include <gtest/gtest.h>
+
+#include "hdc/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+using preprocess::quantized_peak;
+using preprocess::quantized_spectrum;
+
+constexpr std::size_t k_bins = 2000;
+constexpr std::size_t k_levels = 32;
+
+const id_level_encoder& encoder() {
+  static const id_level_encoder enc(encoder_config{.dim = 2048, .seed = 0xC0FFEE},
+                                    k_bins, k_levels);
+  return enc;
+}
+
+quantized_spectrum spectrum_with_peaks(std::size_t n, xoshiro256ss& rng) {
+  quantized_spectrum q;
+  q.peaks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.peaks.push_back({static_cast<std::uint32_t>(rng.bounded(k_bins)),
+                       static_cast<std::uint16_t>(rng.bounded(k_levels))});
+  }
+  return q;
+}
+
+/// Replaces `replaced` of a's peaks with fresh random peaks.
+quantized_spectrum degrade(const quantized_spectrum& a, std::size_t replaced,
+                           xoshiro256ss& rng) {
+  quantized_spectrum b = a;
+  for (std::size_t i = 0; i < replaced && i < b.peaks.size(); ++i) {
+    b.peaks[i] = {static_cast<std::uint32_t>(rng.bounded(k_bins)),
+                  static_cast<std::uint16_t>(rng.bounded(k_levels))};
+  }
+  return b;
+}
+
+// Distance grows monotonically as shared peaks are replaced.
+class EncoderMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncoderMonotonicity, DistanceTracksOverlap) {
+  xoshiro256ss rng(GetParam());
+  const auto base = spectrum_with_peaks(40, rng);
+  const auto hv_base = encoder().encode(base);
+
+  double previous = -1.0;
+  for (const std::size_t replaced : {0U, 5U, 10U, 20U, 30U, 40U}) {
+    const auto variant = degrade(base, replaced, rng);
+    const double d = hamming_normalized(hv_base, encoder().encode(variant));
+    // Allow slack of 0.02 for stochastic wiggle; the trend must hold.
+    EXPECT_GE(d, previous - 0.02) << "replaced " << replaced;
+    previous = d;
+  }
+  EXPECT_GT(previous, 0.4);  // fully-replaced ~ orthogonal
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderMonotonicity, ::testing::Range<std::uint64_t>(1, 9));
+
+// Level perturbations cost less distance than bin perturbations: the level
+// memory is correlated, the ID memory is not.
+TEST(EncoderGeometry, LevelNoiseCheaperThanBinNoise) {
+  xoshiro256ss rng(77);
+  const auto base = spectrum_with_peaks(40, rng);
+  auto level_shifted = base;
+  auto bin_shifted = base;
+  for (std::size_t i = 0; i < 20; ++i) {
+    level_shifted.peaks[i].level = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(k_levels - 1, level_shifted.peaks[i].level + 2));
+    bin_shifted.peaks[i].mz_bin =
+        static_cast<std::uint32_t>(rng.bounded(k_bins));
+  }
+  const auto hv = encoder().encode(base);
+  EXPECT_LT(hamming(hv, encoder().encode(level_shifted)),
+            hamming(hv, encoder().encode(bin_shifted)));
+}
+
+// Peak order must not matter (the accumulation is commutative).
+TEST(EncoderGeometry, PermutationInvariant) {
+  xoshiro256ss rng(88);
+  auto a = spectrum_with_peaks(30, rng);
+  auto b = a;
+  std::reverse(b.peaks.begin(), b.peaks.end());
+  EXPECT_EQ(encoder().encode(a), encoder().encode(b));
+}
+
+// Distances between unrelated spectra concentrate near 0.5 with the
+// sqrt(D) standard deviation HDC theory predicts.
+TEST(EncoderGeometry, UnrelatedDistancesConcentrate) {
+  xoshiro256ss rng(99);
+  std::vector<double> distances;
+  for (int i = 0; i < 40; ++i) {
+    const auto a = encoder().encode(spectrum_with_peaks(40, rng));
+    const auto b = encoder().encode(spectrum_with_peaks(40, rng));
+    distances.push_back(hamming_normalized(a, b));
+  }
+  double mean = 0.0;
+  for (const auto d : distances) mean += d;
+  mean /= static_cast<double>(distances.size());
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  for (const auto d : distances) EXPECT_NEAR(d, 0.5, 0.1);
+}
+
+// Golden regression: the exact popcount of a fixed encoding. If item-memory
+// generation, the majority rule, the tiebreaker, or xoshiro seeding change,
+// this value changes — bump it only with a deliberate format break.
+TEST(EncoderGolden, FixedInputPopcountPinned) {
+  quantized_spectrum q;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    q.peaks.push_back({static_cast<std::uint32_t>((i * 73) % k_bins),
+                       static_cast<std::uint16_t>((i * 7) % k_levels)});
+  }
+  const auto hv = encoder().encode(q);
+  EXPECT_EQ(hv.dim(), 2048U);
+  EXPECT_EQ(hv.popcount(), 1056U);
+  EXPECT_EQ(hv.words()[0], 2722761414289398155ULL);
+  EXPECT_EQ(hv.words()[31], 17912081010123896534ULL);
+}
+
+}  // namespace
+}  // namespace spechd::hdc

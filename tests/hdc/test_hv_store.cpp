@@ -1,0 +1,107 @@
+#include "hdc/hv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+hv_store sample_store(std::size_t records = 5) {
+  hv_store store(512, 0xC0FFEE);
+  xoshiro256ss rng(1);
+  for (std::size_t i = 0; i < records; ++i) {
+    hv_record r;
+    r.hv = hypervector::random(512, rng);
+    r.precursor_mz = 400.0 + static_cast<double>(i);
+    r.precursor_charge = 2 + static_cast<int>(i % 2);
+    r.scan = static_cast<std::uint32_t>(i + 1);
+    r.label = static_cast<std::int32_t>(i % 3);
+    store.append(std::move(r));
+  }
+  return store;
+}
+
+TEST(HvStore, RoundTripPreservesEverything) {
+  const auto store = sample_store();
+  std::stringstream io;
+  store.save(io);
+  const auto back = hv_store::load(io);
+  ASSERT_EQ(back.size(), store.size());
+  EXPECT_EQ(back.dim(), 512U);
+  EXPECT_EQ(back.encoder_seed(), 0xC0FFEEULL);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(back.at(i).hv, store.at(i).hv) << i;
+    EXPECT_DOUBLE_EQ(back.at(i).precursor_mz, store.at(i).precursor_mz);
+    EXPECT_EQ(back.at(i).precursor_charge, store.at(i).precursor_charge);
+    EXPECT_EQ(back.at(i).scan, store.at(i).scan);
+    EXPECT_EQ(back.at(i).label, store.at(i).label);
+  }
+}
+
+TEST(HvStore, FileBytesMatchesSerialisedSize) {
+  const auto store = sample_store(7);
+  std::stringstream io;
+  store.save(io);
+  EXPECT_EQ(io.str().size(), store.file_bytes());
+}
+
+TEST(HvStore, EmptyStoreRoundTrips) {
+  hv_store store(2048, 42);
+  std::stringstream io;
+  store.save(io);
+  const auto back = hv_store::load(io);
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(back.dim(), 2048U);
+}
+
+TEST(HvStore, DimensionMismatchOnAppendThrows) {
+  hv_store store(512, 1);
+  hv_record r;
+  r.hv = hypervector(1024);
+  EXPECT_THROW(store.append(std::move(r)), logic_error);
+}
+
+TEST(HvStore, BadMagicRejected) {
+  std::stringstream io;
+  io << "NOTAHVSTORE_____________________";
+  EXPECT_THROW(hv_store::load(io), parse_error);
+}
+
+TEST(HvStore, TruncatedFileRejected) {
+  const auto store = sample_store(3);
+  std::stringstream io;
+  store.save(io);
+  const std::string full = io.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  EXPECT_THROW(hv_store::load(truncated), parse_error);
+}
+
+TEST(HvStore, MissingFileThrows) {
+  EXPECT_THROW(hv_store::load_file("/nonexistent/store.sphv"), io_error);
+}
+
+TEST(HvStore, SaveLoadFile) {
+  const auto path = std::string("/tmp/spechd_test_store.sphv");
+  const auto store = sample_store(4);
+  store.save_file(path);
+  const auto back = hv_store::load_file(path);
+  EXPECT_EQ(back.size(), 4U);
+  std::remove(path.c_str());
+}
+
+TEST(HvStore, CompressionVsMgfScale) {
+  // A 2048-bit record costs 256 B + 24 B metadata; a raw 400-peak spectrum
+  // costs 4.8 KB -> the store is an order of magnitude smaller.
+  hv_store store(2048, 0);
+  hv_record r;
+  r.hv = hypervector(2048);
+  store.append(std::move(r));
+  EXPECT_LT(store.file_bytes(), 400U * 12U / 10U * 3U);
+}
+
+}  // namespace
+}  // namespace spechd::hdc

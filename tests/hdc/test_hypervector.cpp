@@ -1,0 +1,119 @@
+#include "hdc/hypervector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+TEST(Hypervector, ZeroInitialised) {
+  hypervector hv(256);
+  EXPECT_EQ(hv.dim(), 256U);
+  EXPECT_EQ(hv.popcount(), 0U);
+}
+
+TEST(Hypervector, DimensionMustBeWordAligned) {
+  EXPECT_THROW(hypervector(100), logic_error);
+  EXPECT_THROW(hypervector(0), logic_error);
+  EXPECT_NO_THROW(hypervector(2048));
+}
+
+TEST(Hypervector, SetTestResetFlip) {
+  hypervector hv(128);
+  hv.set(5);
+  hv.set(127);
+  EXPECT_TRUE(hv.test(5));
+  EXPECT_TRUE(hv.test(127));
+  EXPECT_FALSE(hv.test(6));
+  EXPECT_EQ(hv.popcount(), 2U);
+  hv.reset(5);
+  EXPECT_FALSE(hv.test(5));
+  hv.flip(6);
+  EXPECT_TRUE(hv.test(6));
+  hv.flip(6);
+  EXPECT_FALSE(hv.test(6));
+  hv.assign(7, true);
+  EXPECT_TRUE(hv.test(7));
+  hv.assign(7, false);
+  EXPECT_FALSE(hv.test(7));
+}
+
+TEST(Hypervector, RandomIsDeterministicPerRng) {
+  xoshiro256ss rng_a(1);
+  xoshiro256ss rng_b(1);
+  EXPECT_EQ(hypervector::random(512, rng_a), hypervector::random(512, rng_b));
+}
+
+TEST(Hypervector, RandomApproximatelyBalanced) {
+  xoshiro256ss rng(2);
+  const auto hv = hypervector::random(8192, rng);
+  const double density = static_cast<double>(hv.popcount()) / 8192.0;
+  EXPECT_NEAR(density, 0.5, 0.05);
+}
+
+TEST(Hypervector, XorIsInvolution) {
+  xoshiro256ss rng(3);
+  const auto a = hypervector::random(512, rng);
+  const auto b = hypervector::random(512, rng);
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST(Hypervector, XorWithSelfIsZero) {
+  xoshiro256ss rng(4);
+  const auto a = hypervector::random(512, rng);
+  EXPECT_EQ((a ^ a).popcount(), 0U);
+}
+
+TEST(Hypervector, XorDimensionMismatchThrows) {
+  hypervector a(128);
+  hypervector b(256);
+  EXPECT_THROW(a ^= b, logic_error);
+}
+
+TEST(Hamming, ZeroForIdentical) {
+  xoshiro256ss rng(5);
+  const auto a = hypervector::random(1024, rng);
+  EXPECT_EQ(hamming(a, a), 0U);
+}
+
+TEST(Hamming, CountsDifferingBits) {
+  hypervector a(64);
+  hypervector b(64);
+  b.set(0);
+  b.set(63);
+  EXPECT_EQ(hamming(a, b), 2U);
+}
+
+TEST(Hamming, RandomPairNearHalf) {
+  xoshiro256ss rng(6);
+  const auto a = hypervector::random(8192, rng);
+  const auto b = hypervector::random(8192, rng);
+  EXPECT_NEAR(hamming_normalized(a, b), 0.5, 0.05);
+}
+
+TEST(Hamming, DimensionMismatchThrows) {
+  hypervector a(64);
+  hypervector b(128);
+  EXPECT_THROW(hamming(a, b), logic_error);
+}
+
+// Metric axioms on random triples (property sweep over seeds).
+class HammingMetric : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HammingMetric, SymmetryAndTriangleInequality) {
+  xoshiro256ss rng(GetParam());
+  const auto a = hypervector::random(512, rng);
+  const auto b = hypervector::random(512, rng);
+  const auto c = hypervector::random(512, rng);
+  EXPECT_EQ(hamming(a, b), hamming(b, a));
+  EXPECT_LE(hamming(a, c), hamming(a, b) + hamming(b, c));
+  // XOR-translation invariance: d(a^x, b^x) == d(a, b).
+  const auto x = hypervector::random(512, rng);
+  EXPECT_EQ(hamming(a ^ x, b ^ x), hamming(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HammingMetric, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace spechd::hdc

@@ -1,0 +1,89 @@
+#include "hdc/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::hdc {
+namespace {
+
+TEST(IdMemory, SizeAndDim) {
+  id_memory ids(2048, 100, 1);
+  EXPECT_EQ(ids.size(), 100U);
+  EXPECT_EQ(ids.dim(), 2048U);
+  EXPECT_EQ(ids.at(0).dim(), 2048U);
+}
+
+TEST(IdMemory, DeterministicInSeed) {
+  id_memory a(512, 10, 77);
+  id_memory b(512, 10, 77);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(IdMemory, DifferentSeedsDiffer) {
+  id_memory a(512, 4, 1);
+  id_memory b(512, 4, 2);
+  EXPECT_NE(a.at(0), b.at(0));
+}
+
+TEST(IdMemory, PairwiseApproximatelyOrthogonal) {
+  id_memory ids(4096, 20, 5);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      const double d = hamming_normalized(ids.at(i), ids.at(j));
+      EXPECT_NEAR(d, 0.5, 0.08) << i << "," << j;
+    }
+  }
+}
+
+TEST(IdMemory, OutOfRangeThrows) {
+  id_memory ids(512, 3, 1);
+  EXPECT_THROW(ids.at(3), logic_error);
+}
+
+TEST(LevelMemory, EndpointsNearOrthogonal) {
+  level_memory levels(4096, 64, 9);
+  const double d = hamming_normalized(levels.at(0), levels.at(63));
+  EXPECT_NEAR(d, 0.5, 0.02);
+}
+
+TEST(LevelMemory, AdjacentLevelsClose) {
+  level_memory levels(4096, 64, 9);
+  for (std::size_t l = 0; l + 1 < 64; ++l) {
+    const auto d = hamming(levels.at(l), levels.at(l + 1));
+    EXPECT_LE(d, 4096 / 2 / 63 + 2) << l;
+  }
+}
+
+TEST(LevelMemory, HammingMonotoneInLevelGap) {
+  level_memory levels(2048, 16, 11);
+  // d(0, k) grows monotonically with k (progressive flips never revert).
+  std::size_t prev = 0;
+  for (std::size_t l = 1; l < 16; ++l) {
+    const auto d = hamming(levels.at(0), levels.at(l));
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(LevelMemory, ExpectedHammingExactByConstruction) {
+  level_memory levels(2048, 16, 12);
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(hamming(levels.at(a), levels.at(b)), levels.expected_hamming(a, b))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(LevelMemory, RequiresAtLeastTwoLevels) {
+  EXPECT_THROW(level_memory(512, 1, 1), logic_error);
+  EXPECT_NO_THROW(level_memory(512, 2, 1));
+}
+
+TEST(LevelMemory, Deterministic) {
+  level_memory a(512, 8, 42);
+  level_memory b(512, 8, 42);
+  for (std::size_t l = 0; l < 8; ++l) EXPECT_EQ(a.at(l), b.at(l));
+}
+
+}  // namespace
+}  // namespace spechd::hdc

@@ -1,0 +1,131 @@
+// Cross-module integration tests: file IO -> pipeline -> consensus ->
+// identification, exercising the same path the examples and benches use.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/spechd.hpp"
+#include "metrics/ident.hpp"
+#include "metrics/quality.hpp"
+#include "ms/mgf.hpp"
+#include "ms/mzml.hpp"
+#include "ms/synthetic.hpp"
+
+namespace spechd {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+protected:
+  static const ms::labelled_dataset& dataset() {
+    static const ms::labelled_dataset ds = [] {
+      ms::synthetic_config c;
+      c.peptide_count = 30;
+      c.spectra_per_peptide_mean = 7.0;
+      c.seed = 1234;
+      return ms::generate_dataset(c);
+    }();
+    return ds;
+  }
+
+  std::filesystem::path temp_file(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "spechd_tests";
+    std::filesystem::create_directories(dir);
+    return dir / name;
+  }
+};
+
+TEST_F(EndToEnd, MgfRoundTripThenCluster) {
+  const auto path = temp_file("roundtrip.mgf");
+  ms::write_mgf_file(path.string(), dataset().spectra);
+  const auto loaded = ms::read_mgf_file(path.string());
+  ASSERT_EQ(loaded.size(), dataset().spectra.size());
+
+  // Labels do not survive MGF (real-world condition); re-attach via order.
+  auto spectra = loaded;
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    spectra[i].label = dataset().spectra[i].label;
+  }
+
+  core::spechd_pipeline pipeline({});
+  const auto from_file = pipeline.run(spectra);
+  const auto from_memory = pipeline.run(dataset().spectra);
+  EXPECT_EQ(from_file.clustering.cluster_count, from_memory.clustering.cluster_count);
+  std::filesystem::remove(path);
+}
+
+TEST_F(EndToEnd, MzmlPathProducesSameClusterCount) {
+  const auto path = temp_file("roundtrip.mzML");
+  ms::write_mzml_file(path.string(), dataset().spectra);
+  const auto loaded = ms::read_mzml_file(path.string());
+  ASSERT_EQ(loaded.size(), dataset().spectra.size());
+
+  core::spechd_pipeline pipeline({});
+  const auto a = pipeline.run(loaded);
+  const auto b = pipeline.run(dataset().spectra);
+  EXPECT_EQ(a.clustering.cluster_count, b.clustering.cluster_count);
+  std::filesystem::remove(path);
+}
+
+TEST_F(EndToEnd, ConsensusSpectraSearchableDownstream) {
+  // The Fig. 11 path: cluster -> consensus -> library search -> peptides.
+  core::spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+
+  metrics::library_search engine(dataset().library, {});
+  const auto accepted = engine.search_batch(result.consensus);
+  EXPECT_GT(accepted.size(), dataset().library.size() / 4)
+      << "a healthy fraction of consensus spectra must identify";
+
+  std::set<std::string> identified;
+  for (const auto& psm : accepted) {
+    identified.insert(engine.targets()[psm.library_index].sequence());
+  }
+  EXPECT_GT(identified.size(), dataset().library.size() / 4);
+}
+
+TEST_F(EndToEnd, ClusteringReducesSearchLoad) {
+  // Sec. IV-E: consensus searching skips redundant spectra. The consensus
+  // set must be materially smaller than the input.
+  core::spechd_pipeline pipeline({});
+  const auto result = pipeline.run(dataset().spectra);
+  EXPECT_LT(result.consensus.size(), dataset().spectra.size());
+}
+
+TEST_F(EndToEnd, QualityStableAcrossThreadCounts) {
+  core::spechd_config one_thread;
+  one_thread.threads = 1;
+  core::spechd_config many_threads;
+  many_threads.threads = 8;
+  const auto a = core::spechd_pipeline(one_thread).run(dataset().spectra);
+  const auto b = core::spechd_pipeline(many_threads).run(dataset().spectra);
+  // Bucket-parallel execution must not change the result.
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+}
+
+TEST_F(EndToEnd, HarderDatasetStillBounded) {
+  ms::synthetic_config hard;
+  hard.peptide_count = 20;
+  hard.spectra_per_peptide_mean = 5.0;
+  hard.fragment_mz_sigma_ppm = 40.0;
+  hard.peak_dropout = 0.35;
+  hard.noise_peaks_per_spectrum = 40.0;
+  hard.unlabelled_fraction = 0.15;
+  hard.seed = 77;
+  const auto ds = ms::generate_dataset(hard);
+
+  std::vector<std::int32_t> truth;
+  for (const auto& s : ds.spectra) truth.push_back(s.label);
+
+  core::spechd_pipeline pipeline({});
+  const auto result = pipeline.run(ds.spectra);
+  const auto q = metrics::evaluate_clustering(truth, result.clustering);
+  // Noisy data clusters less, but errors must stay controlled.
+  EXPECT_LT(q.incorrect_ratio, 0.15);
+}
+
+}  // namespace
+}  // namespace spechd

@@ -1,0 +1,96 @@
+#include "metrics/agreement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spechd::metrics {
+namespace {
+
+cluster::flat_clustering clustering(std::vector<std::int32_t> labels) {
+  cluster::flat_clustering c;
+  std::int32_t max_label = -1;
+  for (const auto l : labels) max_label = std::max(max_label, l);
+  c.cluster_count = static_cast<std::size_t>(max_label + 1);
+  c.labels = std::move(labels);
+  return c;
+}
+
+TEST(Ari, PerfectMatchIsOne) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(truth, clustering({1, 1, 0, 0, 2, 2})), 1.0);
+}
+
+TEST(Ari, LabelPermutationInvariant) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(truth, clustering({0, 0, 1, 1})),
+                   adjusted_rand_index(truth, clustering({1, 1, 0, 0})));
+}
+
+TEST(Ari, RandomAssignmentNearZero) {
+  // Alternating truth vs block clustering: known small ARI.
+  const std::vector<std::int32_t> truth = {0, 1, 0, 1, 0, 1, 0, 1};
+  const double ari = adjusted_rand_index(truth, clustering({0, 0, 0, 0, 1, 1, 1, 1}));
+  EXPECT_LT(std::abs(ari), 0.35);
+}
+
+TEST(Ari, WorseThanChanceIsNegative) {
+  // Perfect anti-correlation on 4 items: splits every true pair.
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  const double ari = adjusted_rand_index(truth, clustering({0, 1, 0, 1}));
+  EXPECT_LT(ari, 0.0);
+}
+
+TEST(Ari, NoiseLabelsExcluded) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, -1};
+  const auto with_noise = clustering({0, 0, 1, 1, 2});
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(truth, with_noise), 1.0);
+}
+
+TEST(Ari, TinyInputsDefined) {
+  EXPECT_DOUBLE_EQ(adjusted_rand_index({0}, clustering({0})), 1.0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index({}, clustering({})), 1.0);
+}
+
+TEST(Nmi, PerfectMatchIsOne) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(normalized_mutual_information(truth, clustering({2, 2, 0, 0, 1, 1})), 1.0,
+              1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  const std::vector<std::int32_t> truth = {0, 1, 0, 1, 0, 1, 0, 1};
+  const double nmi =
+      normalized_mutual_information(truth, clustering({0, 0, 0, 0, 1, 1, 1, 1}));
+  EXPECT_LT(nmi, 0.1);
+}
+
+TEST(Nmi, BoundedZeroOne) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 2, 2, 1};
+  const double nmi =
+      normalized_mutual_information(truth, clustering({0, 1, 1, 0, 2, 2}));
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+TEST(Nmi, TrivialPartitionsDefined) {
+  const std::vector<std::int32_t> truth = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(truth, clustering({0, 0, 0})), 1.0);
+}
+
+TEST(Agreement, SizeMismatchThrows) {
+  EXPECT_THROW(adjusted_rand_index({0, 1}, clustering({0})), logic_error);
+  EXPECT_THROW(normalized_mutual_information({0, 1}, clustering({0})), logic_error);
+}
+
+TEST(Agreement, SplitClusterScoresBelowPerfect) {
+  const std::vector<std::int32_t> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const auto split = clustering({0, 0, 1, 1, 2, 2, 3, 3});
+  EXPECT_LT(adjusted_rand_index(truth, split), 1.0);
+  EXPECT_GT(adjusted_rand_index(truth, split), 0.0);
+  EXPECT_LT(normalized_mutual_information(truth, split), 1.0);
+  EXPECT_GT(normalized_mutual_information(truth, split), 0.5);
+}
+
+}  // namespace
+}  // namespace spechd::metrics

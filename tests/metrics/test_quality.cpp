@@ -1,0 +1,132 @@
+#include "metrics/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spechd::metrics {
+namespace {
+
+cluster::flat_clustering make_clustering(std::vector<std::int32_t> labels) {
+  cluster::flat_clustering c;
+  std::int32_t max_label = -1;
+  for (const auto l : labels) max_label = std::max(max_label, l);
+  c.cluster_count = static_cast<std::size_t>(max_label + 1);
+  c.labels = std::move(labels);
+  return c;
+}
+
+TEST(Quality, PerfectClustering) {
+  const std::vector<std::int32_t> truth = {0, 0, 0, 1, 1, 2, 2, 2};
+  const auto pred = make_clustering({0, 0, 0, 1, 1, 2, 2, 2});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.clustered_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.incorrect_ratio, 0.0);
+  EXPECT_NEAR(r.completeness, 1.0, 1e-12);
+  EXPECT_NEAR(r.homogeneity, 1.0, 1e-12);
+  EXPECT_NEAR(r.v_measure, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.purity, 1.0);
+  EXPECT_DOUBLE_EQ(r.pairwise_precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.pairwise_recall, 1.0);
+}
+
+TEST(Quality, AllSingletonsNothingClustered) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  const auto pred = make_clustering({0, 1, 2, 3});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.clustered_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(r.incorrect_ratio, 0.0);  // vacuous: nothing clustered
+  EXPECT_EQ(r.cluster_count, 0U);
+  EXPECT_DOUBLE_EQ(r.pairwise_recall, 0.0);
+  // Singleton clusters are perfectly homogeneous but incomplete.
+  EXPECT_NEAR(r.homogeneity, 1.0, 1e-12);
+  EXPECT_LT(r.completeness, 1.0);
+}
+
+TEST(Quality, EverythingInOneClusterIsComplete) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  const auto pred = make_clustering({0, 0, 0, 0});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.clustered_ratio, 1.0);
+  EXPECT_NEAR(r.completeness, 1.0, 1e-12);
+  EXPECT_LT(r.homogeneity, 1.0);
+  // Majority is 2 of 4 -> half incorrectly clustered.
+  EXPECT_DOUBLE_EQ(r.incorrect_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(r.purity, 0.5);
+}
+
+TEST(Quality, IcrCountsMinorityMembers) {
+  // Cluster 0: labels {0,0,1} -> 1 incorrect of 3.
+  const std::vector<std::int32_t> truth = {0, 0, 1, 2};
+  const auto pred = make_clustering({0, 0, 0, 1});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_NEAR(r.incorrect_ratio, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Quality, UnidentifiedSpectraExcludedFromIcr) {
+  // Second member unlabelled: cluster has 2 identified members, same label.
+  const std::vector<std::int32_t> truth = {0, -1, 0};
+  const auto pred = make_clustering({0, 0, 0});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.incorrect_ratio, 0.0);
+  // But they count for the clustered ratio.
+  EXPECT_DOUBLE_EQ(r.clustered_ratio, 1.0);
+}
+
+TEST(Quality, ClusteredRatioCountsNonSingletonsOnly) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2};
+  const auto pred = make_clustering({0, 0, 1, 1, 2});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_NEAR(r.clustered_ratio, 4.0 / 5.0, 1e-12);
+  EXPECT_EQ(r.cluster_count, 2U);
+  EXPECT_EQ(r.clustered_spectra, 4U);
+}
+
+TEST(Quality, PairwiseMetricsKnownValues) {
+  // truth pairs: {0,1} same, {2,3} same -> 2 true pairs.
+  // pred: cluster {0,1,2} -> 3 pairs, 1 correct; {3} singleton.
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  const auto pred = make_clustering({0, 0, 0, 1});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_NEAR(r.pairwise_precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.pairwise_recall, 1.0 / 2.0, 1e-12);
+}
+
+TEST(Quality, EmptyInput) {
+  const auto r = evaluate_clustering({}, make_clustering({}));
+  EXPECT_DOUBLE_EQ(r.clustered_ratio, 0.0);
+}
+
+TEST(Quality, SizeMismatchThrows) {
+  EXPECT_THROW(evaluate_clustering({0, 1}, make_clustering({0})), logic_error);
+}
+
+TEST(Quality, SingleClassSplitIsIncompleteButHomogeneous) {
+  // One true class split over two clusters: every cluster is pure
+  // (homogeneity 1) but the class is torn apart (completeness 0) — the
+  // sklearn-compatible convention.
+  const std::vector<std::int32_t> truth = {0, 0, 0};
+  const auto pred = make_clustering({0, 1, 1});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.homogeneity, 1.0);
+  EXPECT_DOUBLE_EQ(r.completeness, 0.0);
+}
+
+TEST(Quality, SingleClusterCompletenessIsOne) {
+  // Everything in one cluster: H(cluster) = 0 -> completeness defined as 1.
+  const std::vector<std::int32_t> truth = {0, 0, 1};
+  const auto pred = make_clustering({0, 0, 0});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.completeness, 1.0);
+}
+
+TEST(Quality, NoiseOnlyTruthGivesVacuousMetrics) {
+  const std::vector<std::int32_t> truth = {-1, -1, -1};
+  const auto pred = make_clustering({0, 0, 0});
+  const auto r = evaluate_clustering(truth, pred);
+  EXPECT_DOUBLE_EQ(r.incorrect_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(r.purity, 1.0);
+}
+
+}  // namespace
+}  // namespace spechd::metrics

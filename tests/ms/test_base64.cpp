@@ -1,0 +1,67 @@
+#include "ms/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4648 test vectors.
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(bytes("")), "");
+  EXPECT_EQ(base64_encode(bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeRfcVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), bytes("foobar"));
+  EXPECT_EQ(base64_decode("Zg=="), bytes("f"));
+  EXPECT_EQ(base64_decode("Zm8="), bytes("fo"));
+}
+
+TEST(Base64, RoundTripBinary) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i * 7 % 256));
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+TEST(Base64, DecodeToleratesWhitespace) {
+  EXPECT_EQ(base64_decode("Zm9v\n  YmFy"), bytes("foobar"));
+}
+
+TEST(Base64, DecodeRejectsInvalidCharacters) {
+  EXPECT_THROW(base64_decode("Zm9v!"), parse_error);
+}
+
+TEST(Base64, DecodeRejectsDataAfterPadding) {
+  EXPECT_THROW(base64_decode("Zg==Zg"), parse_error);
+}
+
+TEST(Base64, DecodeRejectsExcessPadding) {
+  EXPECT_THROW(base64_decode("Zg==="), parse_error);
+}
+
+// Round-trip property over lengths 0..16 (covers all padding cases).
+class Base64Lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(Base64Lengths, RoundTrip) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < GetParam(); ++i) data.push_back(static_cast<std::uint8_t>(255 - i));
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaddings, Base64Lengths, ::testing::Range(0, 17));
+
+}  // namespace
+}  // namespace spechd::ms

@@ -1,0 +1,91 @@
+#include "ms/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+TEST(Fasta, ParsesMultipleWrappedRecords) {
+  std::istringstream in(
+      ">sp|P1|PROT1 first protein\n"
+      "ACDEFG\n"
+      "HIKLMN\n"
+      ">sp|P2|PROT2 second\n"
+      "PQRSTVWY\n");
+  const auto entries = read_fasta(in);
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].header, "sp|P1|PROT1 first protein");
+  EXPECT_EQ(entries[0].sequence, "ACDEFGHIKLMN");
+  EXPECT_EQ(entries[1].sequence, "PQRSTVWY");
+}
+
+TEST(Fasta, HandlesCrlfStopCodonsAndCase) {
+  std::istringstream in(">p\r\nacDEfg*\r\n");
+  const auto entries = read_fasta(in);
+  ASSERT_EQ(entries.size(), 1U);
+  EXPECT_EQ(entries[0].sequence, "ACDEFG");
+}
+
+TEST(Fasta, CommentLinesSkipped) {
+  std::istringstream in(">p\n;comment\nACDE\n");
+  ASSERT_EQ(read_fasta(in).size(), 1U);
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  std::istringstream in("ACDEFG\n>p\n");
+  EXPECT_THROW(read_fasta(in), parse_error);
+}
+
+TEST(Fasta, EmptyInputEmptyOutput) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fasta, RoundTrip) {
+  std::vector<fasta_entry> entries = {
+      {"protein one", "ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYACDEF"},
+      {"protein two", "MKKR"},
+  };
+  std::stringstream io;
+  write_fasta(io, entries, 25);
+  const auto back = read_fasta(io);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_EQ(back[0].sequence, entries[0].sequence);
+  EXPECT_EQ(back[1].header, "protein two");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/proteins.fasta"), io_error);
+}
+
+TEST(FastaLibrary, DigestsAndDeduplicates) {
+  // Both proteins contain the shared peptide "AAAAGGK".
+  std::vector<fasta_entry> entries = {
+      {"p1", "AAAAGGKCCCCDDR"},
+      {"p2", "AAAAGGKEEEEFFK"},
+  };
+  const auto library = library_from_fasta(entries, 0, 6, 40);
+  std::size_t shared = 0;
+  for (const auto& p : library) shared += p.sequence() == "AAAAGGK" ? 1 : 0;
+  EXPECT_EQ(shared, 1U);  // deduplicated
+  EXPECT_GE(library.size(), 3U);
+  EXPECT_TRUE(std::is_sorted(library.begin(), library.end(),
+                             [](const peptide& a, const peptide& b) {
+                               return a.sequence() < b.sequence();
+                             }));
+}
+
+TEST(FastaLibrary, SkipsNonCanonicalPeptides) {
+  std::vector<fasta_entry> entries = {{"p", "AAAXAAGGKDDDDDDR"}};
+  const auto library = library_from_fasta(entries, 0, 6, 40);
+  for (const auto& p : library) {
+    EXPECT_EQ(p.sequence().find('X'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spechd::ms

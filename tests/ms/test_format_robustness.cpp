@@ -1,0 +1,176 @@
+// Failure injection across all file formats: every reader must reject
+// corrupted input with spechd::parse_error — never crash, hang, or return
+// silently-wrong data — and all formats must agree on the same spectra
+// (cross-format round trips).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ms/mgf.hpp"
+#include "ms/ms2.hpp"
+#include "ms/mzml.hpp"
+#include "ms/mzxml.hpp"
+#include "ms/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+std::vector<spectrum> sample_spectra() {
+  synthetic_config c;
+  c.peptide_count = 8;
+  c.spectra_per_peptide_mean = 2.0;
+  c.seed = 3;
+  return generate_dataset(c).spectra;
+}
+
+// --- cross-format agreement -----------------------------------------------
+
+void expect_equivalent(const std::vector<spectrum>& a, const std::vector<spectrum>& b,
+                       double intensity_tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].precursor_mz, b[i].precursor_mz, 1e-6) << i;
+    EXPECT_EQ(a[i].precursor_charge, b[i].precursor_charge) << i;
+    ASSERT_EQ(a[i].peaks.size(), b[i].peaks.size()) << i;
+    for (std::size_t p = 0; p < a[i].peaks.size(); ++p) {
+      EXPECT_NEAR(a[i].peaks[p].mz, b[i].peaks[p].mz, 1e-6) << i << ":" << p;
+      EXPECT_NEAR(a[i].peaks[p].intensity, b[i].peaks[p].intensity,
+                  intensity_tol * (1.0 + a[i].peaks[p].intensity))
+          << i << ":" << p;
+    }
+  }
+}
+
+TEST(CrossFormat, MgfAndMzmlAgree) {
+  const auto spectra = sample_spectra();
+  std::stringstream mgf_io;
+  write_mgf(mgf_io, spectra);
+  std::stringstream mzml_io;
+  write_mzml(mzml_io, spectra);
+  expect_equivalent(read_mgf(mgf_io), read_mzml(mzml_io), 1e-4);
+}
+
+TEST(CrossFormat, MzxmlAndMs2Agree) {
+  const auto spectra = sample_spectra();
+  std::stringstream mzxml_io;
+  write_mzxml(mzxml_io, spectra);
+  std::stringstream ms2_io;
+  write_ms2(ms2_io, spectra);
+  expect_equivalent(read_mzxml(mzxml_io), read_ms2(ms2_io), 1e-3);
+}
+
+TEST(CrossFormat, ChainedConversionStable) {
+  // mgf -> mzml -> mzxml -> ms2: peaks must survive the whole chain.
+  const auto original = sample_spectra();
+  std::stringstream s1;
+  write_mzml(s1, original);
+  const auto via_mzml = read_mzml(s1);
+  std::stringstream s2;
+  write_mzxml(s2, via_mzml);
+  const auto via_mzxml = read_mzxml(s2);
+  std::stringstream s3;
+  write_ms2(s3, via_mzxml);
+  const auto final_spectra = read_ms2(s3);
+  expect_equivalent(original, final_spectra, 1e-3);
+}
+
+// --- failure injection ------------------------------------------------------
+
+TEST(Robustness, MgfCorruptions) {
+  const char* bad_inputs[] = {
+      "BEGIN IONS\nPEPMASS=abc\n100 1\nEND IONS\n",   // unparsable pepmass
+      "BEGIN IONS\nPEPMASS=100\n100 1 extra bad\nEND IONS\nEND IONS\n",  // stray END
+      "BEGIN IONS\nPEPMASS=100\nnan_peak x\nEND IONS\n",  // bad peak line
+  };
+  for (const auto* text : bad_inputs) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_mgf(in), parse_error) << text;
+  }
+}
+
+TEST(Robustness, Ms2Corruptions) {
+  const char* bad_inputs[] = {
+      "Z\t2\t900\n",                 // Z before S
+      "I\tRTime\t1.0\n",             // I before S
+      "S\tx\ty\tz\n",                // unparsable S line
+      "S\t1\t1\t500\nbadpeak\n",     // bad peak line
+  };
+  for (const auto* text : bad_inputs) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_ms2(in), parse_error) << text;
+  }
+}
+
+TEST(Robustness, MzmlCorruptions) {
+  // Unterminated tag.
+  {
+    std::istringstream in("<mzML><run><spectrum index=\"0\" ");
+    EXPECT_THROW(read_mzml(in), parse_error);
+  }
+  // Invalid base64 payload in a binary array.
+  {
+    std::istringstream in(R"(<mzML><run id="r"><spectrumList count="1">
+<spectrum index="0" id="scan=1" defaultArrayLength="1">
+  <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  <binaryDataArrayList count="1"><binaryDataArray>
+    <cvParam accession="MS:1000523" name="64-bit float"/>
+    <cvParam accession="MS:1000514" name="m/z array"/>
+    <binary>!!!invalid!!!</binary>
+  </binaryDataArray></binaryDataArrayList>
+</spectrum></spectrumList></run></mzML>)");
+    EXPECT_THROW(read_mzml(in), parse_error);
+  }
+  // Binary array with a non-multiple-of-8 byte count.
+  {
+    std::istringstream in(R"(<mzML><run id="r"><spectrumList count="1">
+<spectrum index="0" id="scan=1" defaultArrayLength="1">
+  <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  <binaryDataArrayList count="1"><binaryDataArray>
+    <cvParam accession="MS:1000523" name="64-bit float"/>
+    <cvParam accession="MS:1000514" name="m/z array"/>
+    <binary>AAAA</binary>
+  </binaryDataArray></binaryDataArrayList>
+</spectrum></spectrumList></run></mzML>)");
+    EXPECT_THROW(read_mzml(in), parse_error);
+  }
+}
+
+TEST(Robustness, MzxmlCorruptions) {
+  // Unquoted attribute.
+  {
+    std::istringstream in("<mzXML><scan num=3></scan></mzXML>");
+    EXPECT_THROW(read_mzxml(in), parse_error);
+  }
+  // Garbage precursor value.
+  {
+    std::istringstream in(R"(<mzXML><msRun><scan num="1" msLevel="2">
+      <precursorMz precursorCharge="2">not_a_number</precursorMz>
+      <peaks precision="32" byteOrder="network" contentType="m/z-int"></peaks>
+      </scan></msRun></mzXML>)");
+    EXPECT_THROW(read_mzxml(in), parse_error);
+  }
+}
+
+TEST(Robustness, EmptyInputsAreEmptyNotErrors) {
+  std::istringstream a("");
+  EXPECT_TRUE(read_mgf(a).empty());
+  std::istringstream b("");
+  EXPECT_TRUE(read_ms2(b).empty());
+  std::istringstream c("<mzML></mzML>");
+  EXPECT_TRUE(read_mzml(c).empty());
+  std::istringstream d("<mzXML></mzXML>");
+  EXPECT_TRUE(read_mzxml(d).empty());
+}
+
+TEST(Robustness, ReadersIgnoreUnknownElements) {
+  std::istringstream in(R"(<mzXML><msRun><futureElement attr="1">text</futureElement>
+    <scan num="1" msLevel="2" peaksCount="0">
+      <precursorMz precursorCharge="2">500</precursorMz>
+      <peaks precision="64" byteOrder="network" contentType="m/z-int"></peaks>
+    </scan></msRun></mzXML>)");
+  EXPECT_EQ(read_mzxml(in).size(), 1U);
+}
+
+}  // namespace
+}  // namespace spechd::ms

@@ -1,0 +1,125 @@
+#include "ms/mgf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+TEST(Mgf, ParsesMinimalRecord) {
+  std::istringstream in(
+      "BEGIN IONS\n"
+      "TITLE=scan 1\n"
+      "PEPMASS=445.12\n"
+      "CHARGE=2+\n"
+      "100.5 10\n"
+      "200.25 20.5\n"
+      "END IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  const auto& s = spectra[0];
+  EXPECT_EQ(s.title, "scan 1");
+  EXPECT_DOUBLE_EQ(s.precursor_mz, 445.12);
+  EXPECT_EQ(s.precursor_charge, 2);
+  ASSERT_EQ(s.peaks.size(), 2U);
+  EXPECT_DOUBLE_EQ(s.peaks[0].mz, 100.5);
+  EXPECT_FLOAT_EQ(s.peaks[1].intensity, 20.5F);
+}
+
+TEST(Mgf, ParsesPepmassWithIntensity) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=445.12 1000.0\n100 1\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 445.12);
+}
+
+TEST(Mgf, ParsesRtAndScans) {
+  std::istringstream in(
+      "BEGIN IONS\nPEPMASS=445\nRTINSECONDS=123.5\nSCANS=42\n100 1\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_DOUBLE_EQ(spectra[0].retention_time, 123.5);
+  EXPECT_EQ(spectra[0].scan, 42U);
+}
+
+TEST(Mgf, SortsUnorderedPeaks) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=445\n300 3\n100 1\n200 2\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_TRUE(peaks_sorted(spectra[0]));
+}
+
+TEST(Mgf, MultipleRecordsAndComments) {
+  std::istringstream in(
+      "# comment\n"
+      "BEGIN IONS\nPEPMASS=100\n50 1\nEND IONS\n"
+      "; another comment\n"
+      "BEGIN IONS\nPEPMASS=200\n60 1\nEND IONS\n");
+  EXPECT_EQ(read_mgf(in).size(), 2U);
+}
+
+TEST(Mgf, ChargeVariants) {
+  for (const auto& [text, expected] :
+       std::vector<std::pair<std::string, int>>{{"2+", 2}, {"3", 3}, {"2-", -2},
+                                                {"2+ and 3+", 2}}) {
+    std::istringstream in("BEGIN IONS\nPEPMASS=100\nCHARGE=" + text + "\n50 1\nEND IONS\n");
+    const auto spectra = read_mgf(in);
+    ASSERT_EQ(spectra.size(), 1U);
+    EXPECT_EQ(spectra[0].precursor_charge, expected) << text;
+  }
+}
+
+TEST(Mgf, ThrowsOnNestedBegin) {
+  std::istringstream in("BEGIN IONS\nBEGIN IONS\n");
+  EXPECT_THROW(read_mgf(in), parse_error);
+}
+
+TEST(Mgf, ThrowsOnUnterminatedRecord) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=100\n50 1\n");
+  EXPECT_THROW(read_mgf(in), parse_error);
+}
+
+TEST(Mgf, ThrowsOnBadPeakLine) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=100\n50 abc\nEND IONS\n");
+  EXPECT_THROW(read_mgf(in), parse_error);
+}
+
+TEST(Mgf, ThrowsOnEndWithoutBegin) {
+  std::istringstream in("END IONS\n");
+  EXPECT_THROW(read_mgf(in), parse_error);
+}
+
+TEST(Mgf, RoundTripPreservesData) {
+  spectrum s;
+  s.title = "roundtrip";
+  s.precursor_mz = 523.7754;
+  s.precursor_charge = 2;
+  s.retention_time = 88.25;
+  s.scan = 7;
+  s.peaks = {{101.0715, 12.5F}, {228.1343, 100.0F}, {901.4561, 3.25F}};
+
+  std::stringstream io;
+  write_mgf(io, {s});
+  const auto back = read_mgf(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].title, s.title);
+  EXPECT_NEAR(back[0].precursor_mz, s.precursor_mz, 1e-6);
+  EXPECT_EQ(back[0].precursor_charge, s.precursor_charge);
+  EXPECT_NEAR(back[0].retention_time, s.retention_time, 1e-6);
+  EXPECT_EQ(back[0].scan, s.scan);
+  ASSERT_EQ(back[0].peaks.size(), s.peaks.size());
+  for (std::size_t i = 0; i < s.peaks.size(); ++i) {
+    EXPECT_NEAR(back[0].peaks[i].mz, s.peaks[i].mz, 1e-6);
+    EXPECT_NEAR(back[0].peaks[i].intensity, s.peaks[i].intensity, 1e-4);
+  }
+}
+
+TEST(Mgf, MissingFileThrowsIoError) {
+  EXPECT_THROW(read_mgf_file("/nonexistent/path/to.mgf"), io_error);
+}
+
+}  // namespace
+}  // namespace spechd::ms

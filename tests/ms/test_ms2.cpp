@@ -1,0 +1,80 @@
+#include "ms/ms2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+TEST(Ms2, ParsesHeaderScanAndPeaks) {
+  std::istringstream in(
+      "H\tCreationDate\ttoday\n"
+      "S\t12\t12\t445.5\n"
+      "I\tRTime\t1.5\n"
+      "Z\t2\t890.0\n"
+      "100.5 10\n"
+      "200.0 20\n");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_EQ(spectra[0].scan, 12U);
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 445.5);
+  EXPECT_EQ(spectra[0].precursor_charge, 2);
+  EXPECT_DOUBLE_EQ(spectra[0].retention_time, 90.0);  // 1.5 min
+  EXPECT_EQ(spectra[0].peaks.size(), 2U);
+}
+
+TEST(Ms2, MultipleScans) {
+  std::istringstream in(
+      "S\t1\t1\t400\n100 1\n"
+      "S\t2\t2\t500\n200 2\n300 3\n");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 2U);
+  EXPECT_EQ(spectra[0].peaks.size(), 1U);
+  EXPECT_EQ(spectra[1].peaks.size(), 2U);
+}
+
+TEST(Ms2, PeakBeforeScanThrows) {
+  std::istringstream in("100 1\n");
+  EXPECT_THROW(read_ms2(in), parse_error);
+}
+
+TEST(Ms2, BadScanLineThrows) {
+  std::istringstream in("S\tnot_a_number\n");
+  EXPECT_THROW(read_ms2(in), parse_error);
+}
+
+TEST(Ms2, ZLineBeforeScanThrows) {
+  std::istringstream in("Z\t2\t890\n");
+  EXPECT_THROW(read_ms2(in), parse_error);
+}
+
+TEST(Ms2, RoundTrip) {
+  spectrum s;
+  s.scan = 77;
+  s.precursor_mz = 612.301;
+  s.precursor_charge = 3;
+  s.retention_time = 360.0;
+  s.peaks = {{110.0, 4.0F}, {220.5, 8.0F}};
+
+  std::stringstream io;
+  write_ms2(io, {s});
+  const auto back = read_ms2(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].scan, 77U);
+  EXPECT_NEAR(back[0].precursor_mz, 612.301, 1e-6);
+  EXPECT_EQ(back[0].precursor_charge, 3);
+  EXPECT_NEAR(back[0].retention_time, 360.0, 1e-6);
+  ASSERT_EQ(back[0].peaks.size(), 2U);
+  EXPECT_NEAR(back[0].peaks[1].mz, 220.5, 1e-6);
+}
+
+TEST(Ms2, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_ms2(in).empty());
+}
+
+}  // namespace
+}  // namespace spechd::ms

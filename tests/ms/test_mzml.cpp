@@ -1,0 +1,117 @@
+#include "ms/mzml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+spectrum sample_spectrum() {
+  spectrum s;
+  s.title = "controllerType=0 controllerNumber=1 scan=15";
+  s.scan = 15;
+  s.precursor_mz = 733.3871;
+  s.precursor_charge = 2;
+  s.retention_time = 1800.5;
+  s.peaks = {{147.1128, 230.5F}, {245.0768, 11.0F}, {1021.5, 99.5F}};
+  return s;
+}
+
+TEST(Mzml, RoundTripSingleSpectrum) {
+  std::stringstream io;
+  write_mzml(io, {sample_spectrum()});
+  const auto back = read_mzml(io);
+  ASSERT_EQ(back.size(), 1U);
+  const auto& s = back[0];
+  EXPECT_EQ(s.scan, 15U);
+  EXPECT_NEAR(s.precursor_mz, 733.3871, 1e-9);
+  EXPECT_EQ(s.precursor_charge, 2);
+  EXPECT_NEAR(s.retention_time, 1800.5, 1e-6);
+  ASSERT_EQ(s.peaks.size(), 3U);
+  EXPECT_NEAR(s.peaks[0].mz, 147.1128, 1e-9);       // f64 array: exact
+  EXPECT_NEAR(s.peaks[0].intensity, 230.5F, 1e-3);  // f32 array
+}
+
+TEST(Mzml, RoundTripMultipleSpectra) {
+  auto a = sample_spectrum();
+  auto b = sample_spectrum();
+  b.scan = 16;
+  b.title = "scan=16";
+  b.precursor_mz = 900.0;
+  std::stringstream io;
+  write_mzml(io, {a, b});
+  const auto back = read_mzml(io);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_EQ(back[1].scan, 16U);
+  EXPECT_DOUBLE_EQ(back[1].precursor_mz, 900.0);
+}
+
+TEST(Mzml, ScanStartTimeMinutesConverted) {
+  std::istringstream in(R"(<?xml version="1.0"?>
+<mzML><run id="r"><spectrumList count="1">
+<spectrum index="0" id="scan=1" defaultArrayLength="0">
+  <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  <cvParam accession="MS:1000016" name="scan start time" value="2.5" unitName="minute"/>
+  <cvParam accession="MS:1000744" name="selected ion m/z" value="500"/>
+</spectrum></spectrumList></run></mzML>)");
+  const auto back = read_mzml(in);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_NEAR(back[0].retention_time, 150.0, 1e-9);
+}
+
+TEST(Mzml, Ms1SpectraSkipped) {
+  std::istringstream in(R"(<mzML><run id="r"><spectrumList count="2">
+<spectrum index="0" id="scan=1" defaultArrayLength="0">
+  <cvParam accession="MS:1000511" name="ms level" value="1"/>
+</spectrum>
+<spectrum index="1" id="scan=2" defaultArrayLength="0">
+  <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  <cvParam accession="MS:1000744" name="selected ion m/z" value="500"/>
+</spectrum></spectrumList></run></mzML>)");
+  const auto back = read_mzml(in);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].scan, 2U);
+}
+
+TEST(Mzml, CompressedArrayRejected) {
+  std::istringstream in(R"(<mzML><run id="r"><spectrumList count="1">
+<spectrum index="0" id="scan=1" defaultArrayLength="1">
+  <cvParam accession="MS:1000511" name="ms level" value="2"/>
+  <binaryDataArrayList count="1"><binaryDataArray>
+    <cvParam accession="MS:1000523" name="64-bit float"/>
+    <cvParam accession="MS:1000574" name="zlib compression"/>
+    <cvParam accession="MS:1000514" name="m/z array"/>
+    <binary>AAAAAAAA8D8=</binary>
+  </binaryDataArray></binaryDataArrayList>
+</spectrum></spectrumList></run></mzML>)");
+  EXPECT_THROW(read_mzml(in), parse_error);
+}
+
+TEST(Mzml, EmptySpectrumListOk) {
+  std::stringstream io;
+  write_mzml(io, {});
+  EXPECT_TRUE(read_mzml(io).empty());
+}
+
+TEST(Mzml, MissingFileThrows) {
+  EXPECT_THROW(read_mzml_file("/nonexistent/file.mzML"), io_error);
+}
+
+TEST(Mzml, EmptyPeakListSpectrumRoundTrips) {
+  spectrum s;
+  s.title = "scan=3";
+  s.scan = 3;
+  s.precursor_mz = 400.0;
+  s.precursor_charge = 2;
+  std::stringstream io;
+  write_mzml(io, {s});
+  const auto back = read_mzml(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_TRUE(back[0].peaks.empty());
+}
+
+}  // namespace
+}  // namespace spechd::ms

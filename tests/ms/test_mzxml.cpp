@@ -1,0 +1,120 @@
+#include "ms/mzxml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+spectrum sample_spectrum() {
+  spectrum s;
+  s.scan = 42;
+  s.precursor_mz = 733.3871;
+  s.precursor_charge = 2;
+  s.retention_time = 125.5;
+  s.peaks = {{147.1128, 230.5F}, {245.0768, 11.0F}, {1021.5, 99.5F}};
+  return s;
+}
+
+TEST(Mzxml, RoundTrip) {
+  std::stringstream io;
+  write_mzxml(io, {sample_spectrum()});
+  const auto back = read_mzxml(io);
+  ASSERT_EQ(back.size(), 1U);
+  const auto& s = back[0];
+  EXPECT_EQ(s.scan, 42U);
+  EXPECT_NEAR(s.precursor_mz, 733.3871, 1e-9);
+  EXPECT_EQ(s.precursor_charge, 2);
+  EXPECT_NEAR(s.retention_time, 125.5, 1e-9);
+  ASSERT_EQ(s.peaks.size(), 3U);
+  EXPECT_NEAR(s.peaks[0].mz, 147.1128, 1e-9);
+  EXPECT_NEAR(s.peaks[0].intensity, 230.5F, 1e-3);
+}
+
+TEST(Mzxml, Parses32BitNetworkOrderPeaks) {
+  // One peak (100.0, 7.0) in 32-bit network order:
+  // 100.0f = 0x42C80000, 7.0f = 0x40E00000 -> base64("\x42\xC8\x00\x00\x40\xE0\x00\x00").
+  std::istringstream in(R"(<mzXML><msRun scanCount="1">
+  <scan num="1" msLevel="2" peaksCount="1">
+   <precursorMz precursorCharge="2">500.5</precursorMz>
+   <peaks precision="32" byteOrder="network" contentType="m/z-int">QsgAAEDgAAA=</peaks>
+  </scan></msRun></mzXML>)");
+  const auto back = read_mzxml(in);
+  ASSERT_EQ(back.size(), 1U);
+  ASSERT_EQ(back[0].peaks.size(), 1U);
+  EXPECT_FLOAT_EQ(static_cast<float>(back[0].peaks[0].mz), 100.0F);
+  EXPECT_FLOAT_EQ(back[0].peaks[0].intensity, 7.0F);
+  EXPECT_DOUBLE_EQ(back[0].precursor_mz, 500.5);
+}
+
+TEST(Mzxml, SkipsMs1Scans) {
+  std::istringstream in(R"(<mzXML><msRun scanCount="2">
+  <scan num="1" msLevel="1" peaksCount="0">
+   <peaks precision="32" byteOrder="network" contentType="m/z-int"></peaks>
+  </scan>
+  <scan num="2" msLevel="2" peaksCount="0">
+   <precursorMz precursorCharge="2">500.5</precursorMz>
+   <peaks precision="32" byteOrder="network" contentType="m/z-int"></peaks>
+  </scan></msRun></mzXML>)");
+  const auto back = read_mzxml(in);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].scan, 2U);
+}
+
+TEST(Mzxml, RejectsCompressedPeaks) {
+  std::istringstream in(R"(<mzXML><msRun scanCount="1">
+  <scan num="1" msLevel="2" peaksCount="1">
+   <peaks precision="32" byteOrder="network" contentType="m/z-int"
+          compressionType="zlib">QsgAAEDgAAA=</peaks>
+  </scan></msRun></mzXML>)");
+  EXPECT_THROW(read_mzxml(in), parse_error);
+}
+
+TEST(Mzxml, RejectsUnknownContentType) {
+  std::istringstream in(R"(<mzXML><msRun scanCount="1">
+  <scan num="1" msLevel="2" peaksCount="1">
+   <peaks precision="32" byteOrder="network" contentType="int-m/z">QsgAAEDgAAA=</peaks>
+  </scan></msRun></mzXML>)");
+  EXPECT_THROW(read_mzxml(in), parse_error);
+}
+
+TEST(Mzxml, RejectsMisalignedPeakBlock) {
+  // 6 bytes is not a multiple of 8 for 32-bit pairs.
+  std::istringstream in(R"(<mzXML><msRun scanCount="1">
+  <scan num="1" msLevel="2" peaksCount="1">
+   <peaks precision="32" byteOrder="network" contentType="m/z-int">QsgAAEDg</peaks>
+  </scan></msRun></mzXML>)");
+  EXPECT_THROW(read_mzxml(in), parse_error);
+}
+
+TEST(Mzxml, RetentionTimeDurationParsed) {
+  std::stringstream io;
+  auto s = sample_spectrum();
+  s.retention_time = 61.25;
+  write_mzxml(io, {s});
+  const auto back = read_mzxml(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_NEAR(back[0].retention_time, 61.25, 1e-9);
+}
+
+TEST(Mzxml, MultipleScansRoundTrip) {
+  auto a = sample_spectrum();
+  auto b = sample_spectrum();
+  b.scan = 43;
+  b.precursor_mz = 900.25;
+  std::stringstream io;
+  write_mzxml(io, {a, b});
+  const auto back = read_mzxml(io);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_DOUBLE_EQ(back[1].precursor_mz, 900.25);
+}
+
+TEST(Mzxml, MissingFileThrows) {
+  EXPECT_THROW(read_mzxml_file("/nonexistent/file.mzXML"), io_error);
+}
+
+}  // namespace
+}  // namespace spechd::ms

@@ -1,0 +1,155 @@
+#include "ms/peptide.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spechd::ms {
+namespace {
+
+TEST(Residues, CanonicalSetHasTwenty) {
+  EXPECT_EQ(canonical_residues().size(), 20U);
+  for (const char c : canonical_residues()) EXPECT_TRUE(is_residue(c));
+}
+
+TEST(Residues, NonResiduesRejected) {
+  EXPECT_FALSE(is_residue('B'));
+  EXPECT_FALSE(is_residue('J'));
+  EXPECT_FALSE(is_residue('O'));
+  EXPECT_FALSE(is_residue('U'));
+  EXPECT_FALSE(is_residue('X'));
+  EXPECT_FALSE(is_residue('Z'));
+  EXPECT_FALSE(is_residue('a'));
+  EXPECT_THROW(residue_mass('X'), logic_error);
+}
+
+TEST(Residues, GlycineMassKnownValue) {
+  EXPECT_NEAR(residue_mass('G'), 57.02146, 1e-4);
+}
+
+TEST(Residues, LeucineIsoleucineIsobaric) {
+  EXPECT_DOUBLE_EQ(residue_mass('L'), residue_mass('I'));
+}
+
+TEST(Peptide, InvalidSequenceThrows) {
+  EXPECT_THROW(peptide("PEPTIDEX"), logic_error);
+  EXPECT_NO_THROW(peptide("PEPTIDE"));
+}
+
+TEST(Peptide, NeutralMassKnownValue) {
+  // PEPTIDE monoisotopic mass = 799.3600 Da (standard reference value).
+  peptide p("PEPTIDE");
+  EXPECT_NEAR(p.neutral_mass(), 799.3600, 1e-3);
+}
+
+TEST(Peptide, PrecursorMzChargeRelation) {
+  peptide p("PEPTIDE");
+  const double m = p.neutral_mass();
+  EXPECT_NEAR(p.precursor_mz(1), m + proton_mass, 1e-9);
+  EXPECT_NEAR(p.precursor_mz(2), (m + 2 * proton_mass) / 2, 1e-9);
+  EXPECT_THROW(p.precursor_mz(0), logic_error);
+}
+
+TEST(Fragments, CountIsTwoPerCleavageSite) {
+  peptide p("PEPTIDE");  // 7 residues -> 6 sites -> 12 ions
+  EXPECT_EQ(b_y_ions(p).size(), 12U);
+}
+
+TEST(Fragments, SortedAscendingByMz) {
+  const auto ions = b_y_ions(peptide("ELVISLIVESK"));
+  EXPECT_TRUE(std::is_sorted(ions.begin(), ions.end(),
+                             [](const auto& a, const auto& b) { return a.mz < b.mz; }));
+}
+
+TEST(Fragments, B2OfPeptideKnownValue) {
+  // b2 of "PE" = P + E + proton = 97.0528 + 129.0426 + 1.0073 = 227.1026.
+  const auto ions = b_y_ions(peptide("PEPTIDE"));
+  const auto b2 = std::find_if(ions.begin(), ions.end(), [](const fragment_ion& f) {
+    return f.kind == fragment_ion::series::b && f.index == 2;
+  });
+  ASSERT_NE(b2, ions.end());
+  EXPECT_NEAR(b2->mz, 227.1026, 1e-3);
+}
+
+TEST(Fragments, BYPairSumsToPrecursorMass) {
+  // For every i: b_i + y_(n-i) = M + 2 * proton (both singly charged).
+  peptide p("ACDEFGHIK");
+  const auto ions = b_y_ions(p);
+  const double total = p.neutral_mass() + 2 * proton_mass;
+  const int n = static_cast<int>(p.length());
+  for (const auto& ion : ions) {
+    if (ion.kind != fragment_ion::series::b) continue;
+    const auto y = std::find_if(ions.begin(), ions.end(), [&](const fragment_ion& f) {
+      return f.kind == fragment_ion::series::y && f.index == n - ion.index;
+    });
+    ASSERT_NE(y, ions.end());
+    EXPECT_NEAR(ion.mz + y->mz, total, 1e-6);
+  }
+}
+
+TEST(TheoreticalSpectrum, HasPrecursorAndSortedPeaks) {
+  const auto s = theoretical_spectrum(peptide("PEPTIDEK"), 2);
+  EXPECT_EQ(s.precursor_charge, 2);
+  EXPECT_GT(s.precursor_mz, 0.0);
+  EXPECT_TRUE(peaks_sorted(s));
+  EXPECT_EQ(s.peaks.size(), 14U);
+}
+
+TEST(TheoreticalSpectrum, YIonsStrongerThanBIons) {
+  peptide p("SAMPLEK");
+  const auto s = theoretical_spectrum(p, 2);
+  const auto ions = b_y_ions(p);
+  // Compare matched-position ions: y_i vs b_i intensities for same index.
+  double y_sum = 0.0;
+  double b_sum = 0.0;
+  for (std::size_t k = 0; k < ions.size(); ++k) {
+    if (ions[k].kind == fragment_ion::series::y) {
+      y_sum += s.peaks[k].intensity;
+    } else {
+      b_sum += s.peaks[k].intensity;
+    }
+  }
+  EXPECT_GT(y_sum, b_sum);
+}
+
+TEST(Digest, CleavesAfterKAndR) {
+  const auto peptides = tryptic_digest("AAAKBBBRCCCK", 0, 1, 40);
+  // 'B' is not a residue; only the segments of canonical residues survive.
+  ASSERT_EQ(peptides.size(), 2U);
+  EXPECT_EQ(peptides[0].sequence(), "AAAK");
+  EXPECT_EQ(peptides[1].sequence(), "CCCK");
+}
+
+TEST(Digest, NoCleavageBeforeProline) {
+  const auto peptides = tryptic_digest("AAAKPGGGR", 0, 1, 40);
+  ASSERT_EQ(peptides.size(), 1U);
+  EXPECT_EQ(peptides[0].sequence(), "AAAKPGGGR");
+}
+
+TEST(Digest, MissedCleavagesExpandSet) {
+  const auto none = tryptic_digest("AAAKCCCKDDDK", 0, 1, 40);
+  const auto one = tryptic_digest("AAAKCCCKDDDK", 1, 1, 40);
+  EXPECT_EQ(none.size(), 3U);
+  EXPECT_EQ(one.size(), 5U);  // 3 fully cleaved + 2 with one missed site
+  const auto has = [&](const char* seq) {
+    return std::any_of(one.begin(), one.end(),
+                       [&](const peptide& p) { return p.sequence() == seq; });
+  };
+  EXPECT_TRUE(has("AAAKCCCK"));
+  EXPECT_TRUE(has("CCCKDDDK"));
+}
+
+TEST(Digest, LengthWindowFilters) {
+  const auto peptides = tryptic_digest("AAAKCCCCCCCCCCK", 0, 6, 40);
+  ASSERT_EQ(peptides.size(), 1U);  // AAAK (len 4) filtered out
+  EXPECT_EQ(peptides[0].sequence(), "CCCCCCCCCCK");
+}
+
+TEST(Digest, EmptyProteinYieldsNothing) {
+  EXPECT_TRUE(tryptic_digest("", 0).empty());
+}
+
+}  // namespace
+}  // namespace spechd::ms

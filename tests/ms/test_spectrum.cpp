@@ -1,0 +1,88 @@
+#include "ms/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spechd::ms {
+namespace {
+
+spectrum make_spectrum(std::initializer_list<peak> peaks) {
+  spectrum s;
+  s.peaks = peaks;
+  return s;
+}
+
+TEST(Spectrum, BasePeakOfEmptyIsZero) {
+  spectrum s;
+  EXPECT_FLOAT_EQ(base_peak_intensity(s), 0.0F);
+}
+
+TEST(Spectrum, BasePeakFindsMaximum) {
+  const auto s = make_spectrum({{100.0, 5.0F}, {200.0, 50.0F}, {300.0, 7.0F}});
+  EXPECT_FLOAT_EQ(base_peak_intensity(s), 50.0F);
+}
+
+TEST(Spectrum, TotalIonCurrentSums) {
+  const auto s = make_spectrum({{100.0, 1.0F}, {200.0, 2.0F}, {300.0, 3.0F}});
+  EXPECT_DOUBLE_EQ(total_ion_current(s), 6.0);
+}
+
+TEST(Spectrum, SortPeaksOrdersByMz) {
+  auto s = make_spectrum({{300.0, 1.0F}, {100.0, 2.0F}, {200.0, 3.0F}});
+  EXPECT_FALSE(peaks_sorted(s));
+  sort_peaks(s);
+  EXPECT_TRUE(peaks_sorted(s));
+  EXPECT_DOUBLE_EQ(s.peaks.front().mz, 100.0);
+  EXPECT_DOUBLE_EQ(s.peaks.back().mz, 300.0);
+}
+
+TEST(Spectrum, PrecursorNeutralMass) {
+  spectrum s;
+  s.precursor_mz = 500.0;
+  s.precursor_charge = 2;
+  EXPECT_NEAR(s.precursor_neutral_mass(), (500.0 - proton_mass) * 2, 1e-9);
+}
+
+TEST(Spectrum, NeutralMassUnknownChargeIsZero) {
+  spectrum s;
+  s.precursor_mz = 500.0;
+  s.precursor_charge = 0;
+  EXPECT_DOUBLE_EQ(s.precursor_neutral_mass(), 0.0);
+}
+
+TEST(Spectrum, RawPeakBytesIsTwelvePerPeak) {
+  const auto s = make_spectrum({{1.0, 1.0F}, {2.0, 2.0F}});
+  EXPECT_EQ(raw_peak_bytes(s), 2 * 12U);
+}
+
+TEST(BinnedCosine, IdenticalSpectraScoreOne) {
+  const auto s = make_spectrum({{100.02, 10.0F}, {200.5, 20.0F}, {350.7, 5.0F}});
+  EXPECT_NEAR(binned_cosine(s, s, 0.5), 1.0, 1e-12);
+}
+
+TEST(BinnedCosine, DisjointSpectraScoreZero) {
+  const auto a = make_spectrum({{100.0, 10.0F}});
+  const auto b = make_spectrum({{900.0, 10.0F}});
+  EXPECT_DOUBLE_EQ(binned_cosine(a, b, 0.5), 0.0);
+}
+
+TEST(BinnedCosine, EmptyOrBadBinWidthIsZero) {
+  const auto a = make_spectrum({{100.0, 10.0F}});
+  const spectrum empty;
+  EXPECT_DOUBLE_EQ(binned_cosine(a, empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binned_cosine(a, a, 0.0), 0.0);
+}
+
+TEST(BinnedCosine, SymmetricInArguments) {
+  const auto a = make_spectrum({{100.0, 10.0F}, {200.0, 3.0F}});
+  const auto b = make_spectrum({{100.2, 6.0F}, {300.0, 4.0F}});
+  EXPECT_NEAR(binned_cosine(a, b, 1.0), binned_cosine(b, a, 1.0), 1e-12);
+}
+
+TEST(BinnedCosine, JitterWithinBinStillMatches) {
+  const auto a = make_spectrum({{100.00, 10.0F}});
+  const auto b = make_spectrum({{100.04, 10.0F}});  // same 0.05-wide bin region
+  EXPECT_GT(binned_cosine(a, b, 0.5), 0.99);
+}
+
+}  // namespace
+}  // namespace spechd::ms

@@ -1,0 +1,133 @@
+#include "ms/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spechd::ms {
+namespace {
+
+synthetic_config small_config() {
+  synthetic_config c;
+  c.peptide_count = 20;
+  c.spectra_per_peptide_mean = 5.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyntheticLibrary, CorrectCountAndTrypticEnds) {
+  const auto lib = random_peptide_library(small_config());
+  ASSERT_EQ(lib.size(), 20U);
+  for (const auto& p : lib) {
+    const char last = p.sequence().back();
+    EXPECT_TRUE(last == 'K' || last == 'R') << p.sequence();
+    EXPECT_GE(p.length(), small_config().min_peptide_length);
+    EXPECT_LE(p.length(), small_config().max_peptide_length);
+  }
+}
+
+TEST(SyntheticLibrary, DeterministicInSeed) {
+  const auto a = random_peptide_library(small_config());
+  const auto b = random_peptide_library(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sequence(), b[i].sequence());
+}
+
+TEST(SyntheticLibrary, DifferentSeedsDiffer) {
+  auto c2 = small_config();
+  c2.seed = 8;
+  const auto a = random_peptide_library(small_config());
+  const auto b = random_peptide_library(c2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sequence() != b[i].sequence()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SyntheticDataset, EveryLabelWithinLibrary) {
+  const auto ds = generate_dataset(small_config());
+  EXPECT_EQ(ds.library.size(), 20U);
+  EXPECT_GE(ds.spectra.size(), 20U);  // at least one replicate each
+  for (const auto& s : ds.spectra) {
+    ASSERT_GE(s.label, 0);
+    ASSERT_LT(s.label, static_cast<std::int32_t>(ds.library.size()));
+  }
+}
+
+TEST(SyntheticDataset, AllLabelsRepresented) {
+  const auto ds = generate_dataset(small_config());
+  std::set<std::int32_t> seen;
+  for (const auto& s : ds.spectra) seen.insert(s.label);
+  EXPECT_EQ(seen.size(), ds.library.size());
+}
+
+TEST(SyntheticDataset, Deterministic) {
+  const auto a = generate_dataset(small_config());
+  const auto b = generate_dataset(small_config());
+  ASSERT_EQ(a.spectra.size(), b.spectra.size());
+  for (std::size_t i = 0; i < a.spectra.size(); ++i) {
+    EXPECT_EQ(a.spectra[i].title, b.spectra[i].title);
+    EXPECT_EQ(a.spectra[i].peaks.size(), b.spectra[i].peaks.size());
+  }
+}
+
+TEST(SyntheticDataset, PeaksSortedAndInWindow) {
+  const auto config = small_config();
+  const auto ds = generate_dataset(config);
+  for (const auto& s : ds.spectra) {
+    ASSERT_TRUE(peaks_sorted(s));
+    for (const auto& p : s.peaks) {
+      ASSERT_GE(p.mz, config.mz_min);
+      ASSERT_LE(p.mz, config.mz_max);
+    }
+  }
+}
+
+TEST(SyntheticDataset, UnlabelledFractionProducesNoise) {
+  auto c = small_config();
+  c.unlabelled_fraction = 0.2;
+  const auto ds = generate_dataset(c);
+  std::size_t noise = 0;
+  for (const auto& s : ds.spectra) noise += s.label == unlabelled ? 1 : 0;
+  EXPECT_GT(noise, 0U);
+}
+
+TEST(SyntheticDataset, ScansUnique) {
+  const auto ds = generate_dataset(small_config());
+  std::set<std::uint32_t> scans;
+  for (const auto& s : ds.spectra) scans.insert(s.scan);
+  EXPECT_EQ(scans.size(), ds.spectra.size());
+}
+
+TEST(NoisyReplicate, SameSeedSameResult) {
+  const peptide p("ELVISLIVESK");
+  const auto config = small_config();
+  const auto a = noisy_replicate(p, 2, config, 123);
+  const auto b = noisy_replicate(p, 2, config, 123);
+  ASSERT_EQ(a.peaks.size(), b.peaks.size());
+  for (std::size_t i = 0; i < a.peaks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.peaks[i].mz, b.peaks[i].mz);
+  }
+}
+
+TEST(NoisyReplicate, ReplicatesOfSamePeptideSimilar) {
+  const peptide p("ELVISLIVESK");
+  auto config = small_config();
+  config.noise_peaks_per_spectrum = 5.0;
+  const auto a = noisy_replicate(p, 2, config, 1);
+  const auto b = noisy_replicate(p, 2, config, 2);
+  // Replicates share most fragment bins -> high binned cosine.
+  EXPECT_GT(binned_cosine(a, b, 1.0), 0.5);
+}
+
+TEST(NoisyReplicate, DifferentPeptidesDissimilar) {
+  auto config = small_config();
+  config.noise_peaks_per_spectrum = 5.0;
+  const auto a = noisy_replicate(peptide("ELVISLIVESK"), 2, config, 1);
+  const auto b = noisy_replicate(peptide("WHATTHEFAK"), 2, config, 1);
+  EXPECT_LT(binned_cosine(a, b, 1.0), 0.4);
+}
+
+}  // namespace
+}  // namespace spechd::ms

@@ -1,0 +1,95 @@
+#include "preprocess/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spechd::preprocess {
+namespace {
+
+ms::spectrum sample() {
+  ms::spectrum s;
+  s.peaks = {{100.0, 4.0F}, {200.0, 16.0F}, {300.0, 64.0F}};
+  return s;
+}
+
+double l2_norm(const ms::spectrum& s) {
+  double sum = 0.0;
+  for (const auto& p : s.peaks) sum += static_cast<double>(p.intensity) * p.intensity;
+  return std::sqrt(sum);
+}
+
+TEST(Normalize, SqrtScalingAppliesElementwise) {
+  auto s = sample();
+  normalize_config c;
+  c.scaling = intensity_scaling::sqrt;
+  c.unit_norm = false;
+  normalize_spectrum(s, c);
+  EXPECT_FLOAT_EQ(s.peaks[0].intensity, 2.0F);
+  EXPECT_FLOAT_EQ(s.peaks[1].intensity, 4.0F);
+  EXPECT_FLOAT_EQ(s.peaks[2].intensity, 8.0F);
+}
+
+TEST(Normalize, UnitNormGivesL2One) {
+  auto s = sample();
+  normalize_config c;
+  c.scaling = intensity_scaling::none;
+  normalize_spectrum(s, c);
+  EXPECT_NEAR(l2_norm(s), 1.0, 1e-6);
+}
+
+TEST(Normalize, RankTransformOrdersByIntensity) {
+  ms::spectrum s;
+  s.peaks = {{100.0, 50.0F}, {200.0, 10.0F}, {300.0, 90.0F}};
+  normalize_config c;
+  c.scaling = intensity_scaling::rank;
+  c.unit_norm = false;
+  normalize_spectrum(s, c);
+  EXPECT_FLOAT_EQ(s.peaks[0].intensity, 2.0F);  // middle
+  EXPECT_FLOAT_EQ(s.peaks[1].intensity, 1.0F);  // weakest
+  EXPECT_FLOAT_EQ(s.peaks[2].intensity, 3.0F);  // strongest
+}
+
+TEST(Normalize, RankPreservesMzOrder) {
+  ms::spectrum s;
+  s.peaks = {{100.0, 5.0F}, {200.0, 1.0F}};
+  normalize_config c;
+  c.scaling = intensity_scaling::rank;
+  normalize_spectrum(s, c);
+  EXPECT_TRUE(ms::peaks_sorted(s));
+}
+
+TEST(Normalize, EmptySpectrumIsSafe) {
+  ms::spectrum s;
+  normalize_config c;
+  EXPECT_NO_THROW(normalize_spectrum(s, c));
+}
+
+TEST(Normalize, AllZeroIntensitiesSafe) {
+  ms::spectrum s;
+  s.peaks = {{100.0, 0.0F}, {200.0, 0.0F}};
+  normalize_config c;
+  c.scaling = intensity_scaling::none;
+  EXPECT_NO_THROW(normalize_spectrum(s, c));
+  EXPECT_FLOAT_EQ(s.peaks[0].intensity, 0.0F);
+}
+
+TEST(Normalize, DefaultConfigSqrtPlusUnitNorm) {
+  auto s = sample();
+  normalize_config c;
+  normalize_spectrum(s, c);
+  EXPECT_NEAR(l2_norm(s), 1.0, 1e-6);
+  // sqrt compresses dynamic range: ratio of strongest to weakest shrinks
+  // from 16x to 4x.
+  EXPECT_NEAR(s.peaks[2].intensity / s.peaks[0].intensity, 4.0, 1e-4);
+}
+
+TEST(Normalize, BatchAppliesToAll) {
+  std::vector<ms::spectrum> batch = {sample(), sample()};
+  normalize_config c;
+  normalize_spectra(batch, c);
+  for (const auto& s : batch) EXPECT_NEAR(l2_norm(s), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace spechd::preprocess

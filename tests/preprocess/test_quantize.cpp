@@ -1,0 +1,105 @@
+#include "preprocess/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spechd::preprocess {
+namespace {
+
+quantize_config small_config() {
+  quantize_config c;
+  c.mz_min = 100.0;
+  c.mz_max = 1100.0;
+  c.mz_bins = 1000;  // 1 Da bins
+  c.intensity_levels = 10;
+  return c;
+}
+
+TEST(QuantizeMz, EdgesClampToValidRange) {
+  const auto c = small_config();
+  EXPECT_EQ(quantize_mz(50.0, c), 0U);
+  EXPECT_EQ(quantize_mz(100.0, c), 0U);
+  EXPECT_EQ(quantize_mz(1100.0, c), 999U);
+  EXPECT_EQ(quantize_mz(5000.0, c), 999U);
+}
+
+TEST(QuantizeMz, LinearInteriorMapping) {
+  const auto c = small_config();
+  EXPECT_EQ(quantize_mz(100.5, c), 0U);
+  EXPECT_EQ(quantize_mz(101.0, c), 1U);
+  EXPECT_EQ(quantize_mz(600.0, c), 500U);
+}
+
+TEST(QuantizeMz, MonotoneInMz) {
+  const auto c = small_config();
+  std::uint32_t prev = 0;
+  for (double mz = 100.0; mz <= 1100.0; mz += 7.3) {
+    const auto bin = quantize_mz(mz, c);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+TEST(QuantizeIntensity, ZeroAndMax) {
+  const auto c = small_config();
+  EXPECT_EQ(quantize_intensity(0.0F, 100.0F, c), 0);
+  EXPECT_EQ(quantize_intensity(100.0F, 100.0F, c), 9);
+  EXPECT_EQ(quantize_intensity(150.0F, 100.0F, c), 9);  // clamp
+}
+
+TEST(QuantizeIntensity, ZeroBaseIsSafe) {
+  const auto c = small_config();
+  EXPECT_EQ(quantize_intensity(5.0F, 0.0F, c), 0);
+}
+
+TEST(QuantizeIntensity, LinearLevels) {
+  const auto c = small_config();
+  EXPECT_EQ(quantize_intensity(25.0F, 100.0F, c), 2);
+  EXPECT_EQ(quantize_intensity(55.0F, 100.0F, c), 5);
+}
+
+TEST(QuantizeSpectrum, CarriesMetadata) {
+  ms::spectrum s;
+  s.precursor_mz = 523.5;
+  s.precursor_charge = 2;
+  s.label = 17;
+  s.peaks = {{150.0, 10.0F}, {250.0, 100.0F}};
+  const auto q = quantize_spectrum(s, 42, small_config());
+  EXPECT_DOUBLE_EQ(q.precursor_mz, 523.5);
+  EXPECT_EQ(q.precursor_charge, 2);
+  EXPECT_EQ(q.label, 17);
+  EXPECT_EQ(q.source_index, 42U);
+  EXPECT_EQ(q.size(), 2U);
+}
+
+TEST(QuantizeSpectrum, DeduplicatesSameBinKeepingStrongest) {
+  ms::spectrum s;
+  s.peaks = {{150.1, 10.0F}, {150.4, 100.0F}, {250.0, 50.0F}};  // first two same 1 Da bin
+  const auto q = quantize_spectrum(s, 0, small_config());
+  ASSERT_EQ(q.size(), 2U);
+  EXPECT_EQ(q.peaks[0].level, 9);  // strongest kept (100 = base peak)
+}
+
+TEST(QuantizeSpectrum, RejectsDegenerateConfig) {
+  ms::spectrum s;
+  quantize_config c = small_config();
+  c.mz_bins = 1;
+  EXPECT_THROW(quantize_spectrum(s, 0, c), logic_error);
+  c = small_config();
+  c.intensity_levels = 1;
+  EXPECT_THROW(quantize_spectrum(s, 0, c), logic_error);
+}
+
+TEST(QuantizeBatch, PreservesOrderAndIndices) {
+  std::vector<ms::spectrum> batch(3);
+  for (int i = 0; i < 3; ++i) {
+    batch[static_cast<std::size_t>(i)].peaks = {{200.0 + i, 10.0F}};
+  }
+  const auto qs = quantize_spectra(batch, small_config());
+  ASSERT_EQ(qs.size(), 3U);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(qs[i].source_index, i);
+}
+
+}  // namespace
+}  // namespace spechd::preprocess

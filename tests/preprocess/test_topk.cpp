@@ -1,0 +1,145 @@
+#include "preprocess/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace spechd::preprocess {
+namespace {
+
+ms::spectrum random_spectrum(std::size_t peaks, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  ms::spectrum s;
+  for (std::size_t i = 0; i < peaks; ++i) {
+    s.peaks.push_back({rng.uniform(100.0, 1900.0),
+                       static_cast<float>(rng.uniform(1.0, 1000.0))});
+  }
+  ms::sort_peaks(s);
+  return s;
+}
+
+TEST(BitonicSort, SortsDescending) {
+  std::vector<float> v = {3.0F, 1.0F, 4.0F, 1.5F, 9.0F, 2.6F, 5.0F};
+  bitonic_sort_descending(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>()));
+  EXPECT_EQ(v.size(), 7U);  // padding removed
+  EXPECT_FLOAT_EQ(v.front(), 9.0F);
+}
+
+TEST(BitonicSort, HandlesEmptyAndSingle) {
+  std::vector<float> empty;
+  bitonic_sort_descending(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<float> one = {5.0F};
+  bitonic_sort_descending(one);
+  EXPECT_EQ(one, std::vector<float>{5.0F});
+}
+
+TEST(BitonicSort, MatchesStdSortOnRandomInputs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    xoshiro256ss rng(seed);
+    std::vector<float> v;
+    const std::size_t n = 1 + rng.bounded(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    }
+    auto expected = v;
+    std::sort(expected.begin(), expected.end(), std::greater<>());
+    bitonic_sort_descending(v);
+    EXPECT_EQ(v, expected) << "seed " << seed;
+  }
+}
+
+TEST(NetworkStats, PowerOfTwoFormula) {
+  const auto st = bitonic_network_stats(1024);
+  EXPECT_EQ(st.padded_n, 1024U);
+  EXPECT_EQ(st.stages, 10U * 11U / 2U);
+  EXPECT_EQ(st.comparators, st.stages * 512U);
+}
+
+TEST(NetworkStats, PadsToNextPowerOfTwo) {
+  EXPECT_EQ(bitonic_network_stats(100).padded_n, 128U);
+  EXPECT_EQ(bitonic_network_stats(129).padded_n, 256U);
+}
+
+TEST(NetworkStats, TrivialSizes) {
+  EXPECT_EQ(bitonic_network_stats(0).stages, 0U);
+  EXPECT_EQ(bitonic_network_stats(1).stages, 0U);
+}
+
+TEST(HeapTopK, KeepsStrongestAndRestoresMzOrder) {
+  auto s = random_spectrum(100, 42);
+  auto intensities = s.peaks;
+  std::sort(intensities.begin(), intensities.end(),
+            [](const ms::peak& a, const ms::peak& b) { return a.intensity > b.intensity; });
+  const float kth = intensities[9].intensity;
+
+  heap_topk(s, 10);
+  ASSERT_EQ(s.peaks.size(), 10U);
+  EXPECT_TRUE(ms::peaks_sorted(s));
+  for (const auto& p : s.peaks) EXPECT_GE(p.intensity, kth);
+}
+
+TEST(HeapTopK, NoopWhenFewerPeaksThanK) {
+  auto s = random_spectrum(5, 1);
+  const auto before = s.peaks;
+  heap_topk(s, 50);
+  EXPECT_EQ(s.peaks, before);
+}
+
+TEST(HeapTopK, KZeroClears) {
+  auto s = random_spectrum(5, 1);
+  heap_topk(s, 0);
+  EXPECT_TRUE(s.peaks.empty());
+}
+
+// Property: bitonic and heap selections agree on the kept intensity
+// multiset for random spectra and several k.
+struct topk_param {
+  std::size_t peaks;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class TopKEquivalence : public ::testing::TestWithParam<topk_param> {};
+
+TEST_P(TopKEquivalence, BitonicMatchesHeap) {
+  const auto [peaks, k, seed] = GetParam();
+  auto a = random_spectrum(peaks, seed);
+  auto b = a;
+  heap_topk(a, k);
+  bitonic_topk(b, k);
+  ASSERT_EQ(a.peaks.size(), b.peaks.size());
+  auto ia = a.peaks;
+  auto ib = b.peaks;
+  auto by_intensity = [](const ms::peak& x, const ms::peak& y) {
+    return x.intensity < y.intensity;
+  };
+  std::sort(ia.begin(), ia.end(), by_intensity);
+  std::sort(ib.begin(), ib.end(), by_intensity);
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_FLOAT_EQ(ia[i].intensity, ib[i].intensity);
+  }
+  EXPECT_TRUE(ms::peaks_sorted(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKEquivalence,
+    ::testing::Values(topk_param{10, 5, 1}, topk_param{64, 50, 2}, topk_param{65, 50, 3},
+                      topk_param{200, 50, 4}, topk_param{1000, 150, 5},
+                      topk_param{50, 50, 6}, topk_param{51, 50, 7},
+                      topk_param{3, 2, 8}));
+
+TEST(BitonicTopK, DuplicateIntensitiesKeepExactlyK) {
+  ms::spectrum s;
+  for (int i = 0; i < 20; ++i) s.peaks.push_back({100.0 + i, 5.0F});  // all equal
+  bitonic_topk(s, 7);
+  EXPECT_EQ(s.peaks.size(), 7U);
+  // Deterministic tie-break: lowest m/z kept first.
+  EXPECT_DOUBLE_EQ(s.peaks.front().mz, 100.0);
+}
+
+}  // namespace
+}  // namespace spechd::preprocess

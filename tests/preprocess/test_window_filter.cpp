@@ -1,0 +1,128 @@
+#include "preprocess/window_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "preprocess/pipeline.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spechd::preprocess {
+namespace {
+
+ms::spectrum random_spectrum(std::size_t peaks, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  ms::spectrum s;
+  for (std::size_t i = 0; i < peaks; ++i) {
+    s.peaks.push_back({rng.uniform(100.0, 1900.0),
+                       static_cast<float>(rng.uniform(1.0, 1000.0))});
+  }
+  ms::sort_peaks(s);
+  return s;
+}
+
+TEST(WindowTopK, RespectsPerWindowBudget) {
+  auto s = random_spectrum(500, 1);
+  window_filter_config c;
+  c.window_da = 100.0;
+  c.peaks_per_window = 4;
+  window_topk(s, c);
+  std::map<std::int64_t, std::size_t> per_window;
+  for (const auto& p : s.peaks) {
+    ++per_window[static_cast<std::int64_t>(p.mz / c.window_da)];
+  }
+  for (const auto& [window, count] : per_window) {
+    EXPECT_LE(count, c.peaks_per_window) << "window " << window;
+  }
+}
+
+TEST(WindowTopK, KeepsStrongestPerWindow) {
+  ms::spectrum s;
+  s.peaks = {{110.0, 1.0F}, {120.0, 9.0F}, {130.0, 5.0F},   // window 1
+             {210.0, 2.0F}, {220.0, 8.0F}};                 // window 2
+  window_filter_config c;
+  c.window_da = 100.0;
+  c.peaks_per_window = 1;
+  window_topk(s, c);
+  ASSERT_EQ(s.peaks.size(), 2U);
+  EXPECT_FLOAT_EQ(s.peaks[0].intensity, 9.0F);
+  EXPECT_FLOAT_EQ(s.peaks[1].intensity, 8.0F);
+}
+
+TEST(WindowTopK, PreservesMzOrder) {
+  auto s = random_spectrum(300, 2);
+  window_topk(s, {});
+  EXPECT_TRUE(ms::peaks_sorted(s));
+}
+
+TEST(WindowTopK, SmallWindowsPassThrough) {
+  ms::spectrum s;
+  s.peaks = {{110.0, 1.0F}, {500.0, 2.0F}, {900.0, 3.0F}};
+  window_filter_config c;
+  c.peaks_per_window = 6;
+  window_topk(s, c);
+  EXPECT_EQ(s.peaks.size(), 3U);
+}
+
+TEST(WindowTopK, SurvivorCountMatchesExecution) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto s = random_spectrum(200 + 50 * seed, seed);
+    window_filter_config c;
+    c.window_da = 150.0;
+    c.peaks_per_window = 5;
+    const auto predicted = window_topk_survivors(s, c);
+    window_topk(s, c);
+    EXPECT_EQ(s.peaks.size(), predicted) << seed;
+  }
+}
+
+TEST(WindowTopK, DegenerateConfigRejected) {
+  ms::spectrum s;
+  window_filter_config c;
+  c.window_da = 0.0;
+  EXPECT_THROW(window_topk(s, c), logic_error);
+  c.window_da = 100.0;
+  c.peaks_per_window = 0;
+  EXPECT_THROW(window_topk(s, c), logic_error);
+}
+
+TEST(WindowTopK, BetterLowMzCoverageThanGlobalTopK) {
+  // Construct a spectrum whose high-m/z half dominates in intensity; the
+  // global selector starves the low half, the window selector does not.
+  ms::spectrum s;
+  for (int i = 0; i < 40; ++i) s.peaks.push_back({150.0 + i, 10.0F});
+  for (int i = 0; i < 40; ++i) s.peaks.push_back({1000.0 + i, 1000.0F});
+  ms::sort_peaks(s);
+
+  auto global = s;
+  heap_topk(global, 40);
+  std::size_t global_low = 0;
+  for (const auto& p : global.peaks) global_low += p.mz < 500.0 ? 1 : 0;
+
+  auto windowed = s;
+  window_filter_config c;
+  c.window_da = 100.0;
+  c.peaks_per_window = 10;
+  window_topk(windowed, c);
+  std::size_t window_low = 0;
+  for (const auto& p : windowed.peaks) window_low += p.mz < 500.0 ? 1 : 0;
+
+  EXPECT_EQ(global_low, 0U);
+  EXPECT_GT(window_low, 0U);
+}
+
+TEST(WindowTopK, PipelineIntegration) {
+  preprocess_config config;
+  config.peak_selector = selector::window_topk;
+  config.window.peaks_per_window = 5;
+  std::vector<ms::spectrum> batch = {random_spectrum(400, 9)};
+  batch[0].precursor_mz = 600.0;
+  batch[0].precursor_charge = 2;
+  const auto out = run_preprocessing(batch, config);
+  ASSERT_EQ(out.spectra.size(), 1U);
+  EXPECT_LT(out.total_peaks_after, 400U);
+}
+
+}  // namespace
+}  // namespace spechd::preprocess

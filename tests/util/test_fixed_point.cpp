@@ -1,0 +1,104 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spechd {
+namespace {
+
+TEST(Q16, ZeroAndMax) {
+  EXPECT_DOUBLE_EQ(q16::zero().to_double(), 0.0);
+  EXPECT_EQ(q16::max().raw(), 0xFFFF);
+  EXPECT_NEAR(q16::max().to_double(), 1.0, q16::epsilon());
+}
+
+TEST(Q16, FromDoubleSaturatesBelowZero) {
+  EXPECT_EQ(q16::from_double(-0.5), q16::zero());
+}
+
+TEST(Q16, FromDoubleSaturatesAboveOne) {
+  EXPECT_EQ(q16::from_double(1.5), q16::max());
+  EXPECT_EQ(q16::from_double(1.0), q16::max());
+}
+
+TEST(Q16, FromRatioExactHalf) {
+  const auto h = q16::from_ratio(1024, 2048);
+  EXPECT_DOUBLE_EQ(h.to_double(), 0.5);
+}
+
+TEST(Q16, FromRatioFullSaturates) {
+  EXPECT_EQ(q16::from_ratio(2048, 2048), q16::max());
+  EXPECT_EQ(q16::from_ratio(5, 0), q16::max());
+}
+
+TEST(Q16, OrderingMatchesDouble) {
+  const auto a = q16::from_double(0.25);
+  const auto b = q16::from_double(0.75);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, q16::from_double(0.25));
+}
+
+TEST(Q16, SaturatingAdd) {
+  const auto a = q16::from_double(0.75);
+  const auto b = q16::from_double(0.5);
+  EXPECT_EQ(a + b, q16::max());
+  EXPECT_NEAR((q16::from_double(0.25) + q16::from_double(0.5)).to_double(), 0.75,
+              2 * q16::epsilon());
+}
+
+TEST(Q16, SaturatingSubFloorsAtZero) {
+  const auto a = q16::from_double(0.25);
+  const auto b = q16::from_double(0.5);
+  EXPECT_EQ(a - b, q16::zero());
+  EXPECT_NEAR((b - a).to_double(), 0.25, 2 * q16::epsilon());
+}
+
+TEST(Q16, MultiplyRounds) {
+  const auto half = q16::from_double(0.5);
+  EXPECT_NEAR((half * half).to_double(), 0.25, 2 * q16::epsilon());
+  EXPECT_EQ((q16::zero() * half), q16::zero());
+}
+
+TEST(Q16, MidpointExact) {
+  const auto lo = q16::from_double(0.2);
+  const auto hi = q16::from_double(0.4);
+  EXPECT_NEAR(midpoint(lo, hi).to_double(), 0.3, 2 * q16::epsilon());
+  EXPECT_EQ(midpoint(lo, lo), lo);
+}
+
+// Property sweep: |from_double(v).to_double() - v| <= epsilon over a grid.
+class Q16RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(Q16RoundTrip, ErrorWithinEpsilon) {
+  const double v = GetParam();
+  const auto q = q16::from_double(v);
+  EXPECT_LE(std::abs(q.to_double() - v), q16::epsilon());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Q16RoundTrip,
+                         ::testing::Values(0.0, 1e-6, 0.1, 0.123456, 0.25, 0.333333, 0.5,
+                                           0.654321, 0.75, 0.9, 0.999, 0.999984));
+
+// Property: from_ratio is exact to within half an lsb for Hamming ratios.
+class Q16Ratio : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Q16Ratio, RatioQuantisationBound) {
+  const std::uint64_t num = GetParam();
+  constexpr std::uint64_t den = 2048;  // D_hv
+  const auto q = q16::from_ratio(num, den);
+  const double expect = static_cast<double>(num) / den;
+  if (num >= den) {
+    EXPECT_EQ(q, q16::max());
+  } else {
+    EXPECT_LE(std::abs(q.to_double() - expect), 0.5 / 65536.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HammingCounts, Q16Ratio,
+                         ::testing::Values(0U, 1U, 7U, 64U, 511U, 1024U, 1536U, 2047U,
+                                           2048U));
+
+}  // namespace
+}  // namespace spechd

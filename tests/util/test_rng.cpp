@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace spechd {
+namespace {
+
+TEST(Splitmix64, DeterministicSequence) {
+  splitmix64 a(1234);
+  splitmix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Splitmix64, DifferentSeedsDiffer) {
+  splitmix64 a(1);
+  splitmix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  xoshiro256ss a(42);
+  xoshiro256ss b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  xoshiro256ss rng(7);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  xoshiro256ss rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(10.0, 20.0);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LT(v, 20.0);
+  }
+}
+
+TEST(Xoshiro, BoundedCoversAllResidues) {
+  xoshiro256ss rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7U);
+  for (const auto v : seen) EXPECT_LT(v, 7U);
+}
+
+TEST(Xoshiro, BoundedOneAlwaysZero) {
+  xoshiro256ss rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0U);
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  xoshiro256ss rng(11);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro, NormalMomentsApproximatelyStandard) {
+  xoshiro256ss rng(12);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalScaling) {
+  xoshiro256ss rng(13);
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<xoshiro256ss>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace spechd

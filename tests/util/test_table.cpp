@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spechd {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndRowsAligned) {
+  text_table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMustMatchHeader) {
+  text_table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), logic_error);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(text_table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(text_table::num(std::size_t{42}), "42");
+  EXPECT_EQ(text_table::num(1.0, 0), "1");
+}
+
+TEST(TextTable, CsvEscapesSeparatorsAndQuotes) {
+  text_table t;
+  t.set_header({"x", "y"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainFieldsUnquoted) {
+  text_table t;
+  t.set_header({"x"});
+  t.add_row({"plain"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+TEST(TextTable, RowsCountsDataRowsOnly) {
+  text_table t;
+  t.set_header({"x"});
+  EXPECT_EQ(t.rows(), 0U);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+}  // namespace
+}  // namespace spechd

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace spechd {
+namespace {
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
+  thread_pool pool;
+  EXPECT_GE(pool.size(), 1U);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  thread_pool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  thread_pool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  thread_pool pool(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  thread_pool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForMoreJobsThanWorkers) {
+  thread_pool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerException) {
+  thread_pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("job 37 failed");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmissionsComplete) {
+  thread_pool pool(3);
+  std::vector<std::future<int>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([i] { return i * 2; }));
+  }
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * 2);
+}
+
+}  // namespace
+}  // namespace spechd

@@ -1,0 +1,314 @@
+// spechd — command-line front end to the SpecHD library.
+//
+// Subcommands:
+//   synth    generate a synthetic labelled dataset (MGF)
+//   info     summarise a spectra file (count, peaks, charges, buckets)
+//   encode   preprocess + encode spectra into a hypervector store (.sphv)
+//   cluster  cluster a spectra file or .sphv store; write consensus MGF
+//   model    print modelled FPGA runtime/energy for the paper datasets
+//
+// Formats are selected by extension: .mgf, .ms2, .mzML/.mzml, .mzXML.
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "core/spechd.hpp"
+#include "fpga/des.hpp"
+#include "fpga/tool_models.hpp"
+#include "hdc/hv_store.hpp"
+#include "metrics/quality.hpp"
+#include "ms/mgf.hpp"
+#include "ms/ms2.hpp"
+#include "ms/mzml.hpp"
+#include "ms/mzxml.hpp"
+#include "ms/synthetic.hpp"
+#include "preprocess/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spechd;
+
+/// Minimal flag parser: --key value / --flag, leaving positionals in order.
+class arg_list {
+public:
+  arg_list(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> take_option(const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        std::string value = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool take_flag(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& positionals() const noexcept { return args_; }
+
+private:
+  std::vector<std::string> args_;
+};
+
+std::string extension_of(const std::string& path) {
+  auto ext = std::filesystem::path(path).extension().string();
+  for (auto& c : ext) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return ext;
+}
+
+std::vector<ms::spectrum> read_any(const std::string& path) {
+  const auto ext = extension_of(path);
+  if (ext == ".mgf") return ms::read_mgf_file(path);
+  if (ext == ".ms2") return ms::read_ms2_file(path);
+  if (ext == ".mzml") return ms::read_mzml_file(path);
+  if (ext == ".mzxml") return ms::read_mzxml_file(path);
+  throw spechd::error("unsupported input format: " + path +
+                      " (expected .mgf/.ms2/.mzML/.mzXML)");
+}
+
+void write_any(const std::string& path, const std::vector<ms::spectrum>& spectra) {
+  const auto ext = extension_of(path);
+  if (ext == ".mgf") return ms::write_mgf_file(path, spectra);
+  if (ext == ".ms2") return ms::write_ms2_file(path, spectra);
+  if (ext == ".mzml") return ms::write_mzml_file(path, spectra);
+  if (ext == ".mzxml") return ms::write_mzxml_file(path, spectra);
+  throw spechd::error("unsupported output format: " + path);
+}
+
+cluster::linkage parse_linkage(const std::string& name) {
+  if (name == "single") return cluster::linkage::single;
+  if (name == "complete") return cluster::linkage::complete;
+  if (name == "average") return cluster::linkage::average;
+  if (name == "ward") return cluster::linkage::ward;
+  throw spechd::error("unknown linkage: " + name);
+}
+
+int usage() {
+  std::cout <<
+      "spechd — hyperdimensional mass-spectrometry clustering\n\n"
+      "usage:\n"
+      "  spechd synth -o out.mgf [--peptides N] [--replicates M] [--seed S]\n"
+      "  spechd info <spectra-file>\n"
+      "  spechd encode <spectra-file> -o store.sphv [--dim D]\n"
+      "  spechd cluster <spectra-file|store.sphv> [-o consensus.mgf]\n"
+      "                 [-t threshold] [--linkage single|complete|average|ward]\n"
+      "                 [--float] [--threads N]\n"
+      "  spechd model [--overlap]\n";
+  return 2;
+}
+
+int cmd_synth(arg_list& args) {
+  ms::synthetic_config config;
+  if (const auto v = args.take_option("--peptides")) config.peptide_count = std::stoul(*v);
+  if (const auto v = args.take_option("--replicates")) {
+    config.spectra_per_peptide_mean = std::stod(*v);
+  }
+  if (const auto v = args.take_option("--seed")) config.seed = std::stoull(*v);
+  const auto out = args.take_option("-o");
+  if (!out) {
+    std::cerr << "synth: missing -o <output>\n";
+    return 2;
+  }
+  const auto data = ms::generate_dataset(config);
+  write_any(*out, data.spectra);
+  std::cout << "wrote " << data.spectra.size() << " spectra ("
+            << data.library.size() << " peptide classes) to " << *out << "\n";
+  return 0;
+}
+
+int cmd_info(arg_list& args) {
+  if (args.positionals().empty()) {
+    std::cerr << "info: missing input file\n";
+    return 2;
+  }
+  const auto path = args.positionals().front();
+  const auto spectra = read_any(path);
+
+  std::size_t peaks = 0;
+  std::size_t raw_bytes = 0;
+  std::map<int, std::size_t> charges;
+  for (const auto& s : spectra) {
+    peaks += s.size();
+    raw_bytes += ms::raw_peak_bytes(s);
+    ++charges[s.precursor_charge];
+  }
+  const auto batch =
+      preprocess::run_preprocessing(spectra, preprocess::preprocess_config{});
+  const auto st = preprocess::summarize(batch.buckets);
+
+  text_table table("spectra file: " + path);
+  table.set_header({"property", "value"});
+  table.add_row({"spectra", text_table::num(spectra.size())});
+  table.add_row({"total peaks", text_table::num(peaks)});
+  table.add_row({"avg peaks/spectrum",
+                 text_table::num(spectra.empty() ? 0.0
+                                                 : static_cast<double>(peaks) /
+                                                       static_cast<double>(spectra.size()),
+                                 1)});
+  table.add_row({"raw peak bytes", text_table::num(raw_bytes)});
+  for (const auto& [charge, count] : charges) {
+    table.add_row({"charge " + std::to_string(charge) + "+", text_table::num(count)});
+  }
+  table.add_row({"buckets (res 1.0)", text_table::num(st.bucket_count)});
+  table.add_row({"largest bucket", text_table::num(st.largest)});
+  table.add_row({"filter-dropped", text_table::num(batch.dropped)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_encode(arg_list& args) {
+  const auto out = args.take_option("-o");
+  core::spechd_config config;
+  if (const auto v = args.take_option("--dim")) config.encoder.dim = std::stoul(*v);
+  if (args.positionals().empty() || !out) {
+    std::cerr << "encode: need <input> and -o <store.sphv>\n";
+    return 2;
+  }
+  const auto spectra = read_any(args.positionals().front());
+  const auto batch = preprocess::run_preprocessing(spectra, config.preprocess);
+  hdc::id_level_encoder encoder(config.encoder, config.preprocess.quantize.mz_bins,
+                                config.preprocess.quantize.intensity_levels);
+
+  hdc::hv_store store(config.encoder.dim, config.encoder.seed);
+  for (const auto& q : batch.spectra) {
+    hdc::hv_record record;
+    record.hv = encoder.encode(q);
+    record.precursor_mz = q.precursor_mz;
+    record.precursor_charge = q.precursor_charge;
+    record.scan = q.source_index;
+    record.label = q.label;
+    store.append(std::move(record));
+  }
+  store.save_file(*out);
+
+  std::size_t raw_bytes = 0;
+  for (const auto& s : spectra) raw_bytes += ms::raw_peak_bytes(s);
+  std::cout << "encoded " << store.size() << " spectra -> " << *out << " ("
+            << store.file_bytes() / 1024 << " KiB; raw peaks were "
+            << raw_bytes / 1024 << " KiB)\n";
+  return 0;
+}
+
+int cmd_cluster(arg_list& args) {
+  core::spechd_config config;
+  if (const auto v = args.take_option("-t")) config.distance_threshold = std::stod(*v);
+  if (const auto v = args.take_option("--linkage")) config.link = parse_linkage(*v);
+  if (const auto v = args.take_option("--threads")) config.threads = std::stoul(*v);
+  if (args.take_flag("--float")) config.use_fixed_point = false;
+  const auto out = args.take_option("-o");
+  if (args.positionals().empty()) {
+    std::cerr << "cluster: missing input\n";
+    return 2;
+  }
+  const auto& input = args.positionals().front();
+
+  if (extension_of(input) == ".sphv") {
+    // Cluster a pre-encoded store (the standalone-clustering workflow).
+    const auto store = hdc::hv_store::load_file(input);
+    config.encoder.dim = store.dim();
+    config.encoder.seed = store.encoder_seed();
+    core::incremental_clusterer clusterer(config);
+    clusterer.bootstrap(store);
+    const auto flat = clusterer.clustering();
+    std::cout << "clustered " << store.size() << " stored vectors into "
+              << clusterer.cluster_count() << " clusters\n";
+    std::vector<std::int32_t> truth;
+    truth.reserve(store.size());
+    for (const auto& r : store.records()) truth.push_back(r.label);
+    const bool any_labels =
+        std::any_of(truth.begin(), truth.end(), [](std::int32_t l) { return l >= 0; });
+    if (any_labels) {
+      const auto q = metrics::evaluate_clustering(truth, flat);
+      std::cout << "clustered ratio " << q.clustered_ratio << ", ICR "
+                << q.incorrect_ratio << ", completeness " << q.completeness << "\n";
+    }
+    return 0;
+  }
+
+  const auto spectra = read_any(input);
+  core::spechd_pipeline pipeline(config);
+  const auto result = pipeline.run(spectra);
+  std::cout << "clustered " << spectra.size() << " spectra into "
+            << result.clustering.cluster_count << " clusters ("
+            << result.consensus.size() << " consensus spectra, compression "
+            << result.compression_factor << "x)\n";
+
+  std::vector<std::int32_t> truth;
+  truth.reserve(spectra.size());
+  for (const auto& s : spectra) truth.push_back(s.label);
+  if (std::any_of(truth.begin(), truth.end(), [](std::int32_t l) { return l >= 0; })) {
+    const auto q = metrics::evaluate_clustering(truth, result.clustering);
+    std::cout << "clustered ratio " << q.clustered_ratio << ", ICR "
+              << q.incorrect_ratio << ", completeness " << q.completeness << "\n";
+  }
+  if (out) {
+    write_any(*out, result.consensus);
+    std::cout << "consensus written to " << *out << "\n";
+  }
+  return 0;
+}
+
+int cmd_model(arg_list& args) {
+  const bool overlap = args.take_flag("--overlap");
+  text_table table(overlap ? "SpecHD pipelined (DES) model" : "SpecHD phase model");
+  if (overlap) {
+    table.set_header({"dataset", "pipelined (s)", "end-to-end (s)", "encoder util"});
+    for (const auto& ds : ms::paper_datasets()) {
+      const auto r = fpga::simulate_dataflow(ds, {});
+      table.add_row({std::string(ds.pride_id), text_table::num(r.pipeline_s, 1),
+                     text_table::num(r.makespan_s, 1),
+                     text_table::num(r.encoder_utilisation * 100.0, 1) + "%"});
+    }
+  } else {
+    table.set_header({"dataset", "PP (s)", "encode (s)", "cluster (s)", "total (s)",
+                      "energy (kJ)"});
+    for (const auto& ds : ms::paper_datasets()) {
+      const auto run = fpga::model_spechd_run(ds, {});
+      table.add_row({std::string(ds.pride_id), text_table::num(run.time.preprocess, 1),
+                     text_table::num(run.time.encode, 1),
+                     text_table::num(run.time.cluster, 1),
+                     text_table::num(run.time.end_to_end(), 1),
+                     text_table::num(run.energy.end_to_end() / 1e3, 2)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  arg_list args(argc, argv, 2);
+  try {
+    if (command == "synth") return cmd_synth(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "encode") return cmd_encode(args);
+    if (command == "cluster") return cmd_cluster(args);
+    if (command == "model") return cmd_model(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
