@@ -1,0 +1,107 @@
+// Shared flag parsing for the bench executables.
+//
+// Every perf-sensitive bench takes the same knobs so the speedup of the
+// kernel layer is measurable from the command line:
+//
+//   --threads=N        worker threads (0 = hardware concurrency)
+//   --variant=NAME     kernel variant: auto | scalar | avx2 | avx512
+//   --n=N, --dim=D     problem size overrides (benches pick defaults)
+//   --json=PATH        override the BENCH_*.json output path ("" disables)
+//
+// Unrecognised flags are left alone (google-benchmark consumes its own).
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/spechd.hpp"
+#include "hdc/cpu_kernels.hpp"
+#include "ms/synthetic.hpp"
+#include "util/bench_json.hpp"
+
+namespace spechd::bench {
+
+struct bench_options {
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  hdc::kernels::variant variant = hdc::kernels::best_supported();
+  std::size_t n = 0;    ///< 0 = bench default
+  std::size_t dim = 0;  ///< 0 = bench default
+  std::string json;     ///< empty = bench default path
+
+  std::size_t resolved_threads() const {
+    return threads != 0 ? threads
+                        : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+};
+
+inline bool flag_value(const std::string& arg, const std::string& name, std::string& out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+/// Parses the shared knobs from argv and applies the kernel variant.
+inline bench_options parse_options(int argc, char** argv) {
+  bench_options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "threads", value)) {
+      opts.threads = std::stoul(value);
+    } else if (flag_value(arg, "variant", value)) {
+      opts.variant = hdc::kernels::parse_variant(value);
+    } else if (flag_value(arg, "n", value)) {
+      opts.n = std::stoul(value);
+    } else if (flag_value(arg, "dim", value)) {
+      opts.dim = std::stoul(value);
+    } else if (flag_value(arg, "json", value)) {
+      opts.json = value;
+    }
+  }
+  hdc::kernels::set_active(opts.variant);
+  std::cout << "[bench] kernel variant: " << hdc::kernels::variant_name(opts.variant)
+            << " (best supported: "
+            << hdc::kernels::variant_name(hdc::kernels::best_supported())
+            << "), threads: " << opts.resolved_threads() << "\n\n";
+  return opts;
+}
+
+/// The shared synthetic workload: one dataset shape across the perf benches
+/// so BENCH_*.json numbers stay comparable between benches and across PRs.
+inline ms::synthetic_config synthetic_workload(std::size_t peptides) {
+  ms::synthetic_config c;
+  c.peptide_count = peptides;
+  c.spectra_per_peptide_mean = 6.0;
+  c.noise_peaks_per_spectrum = 30.0;
+  c.seed = 5;
+  return c;
+}
+
+/// Pipeline config wired from the shared knobs.
+inline core::spechd_config pipeline_config(const bench_options& opts) {
+  core::spechd_config config;
+  config.threads = opts.resolved_threads();
+  config.kernel_variant = hdc::kernels::variant_name(opts.variant);
+  return config;
+}
+
+/// Emits the standard per-phase block ("phase_seconds" + spectra/sec) every
+/// pipeline bench records, so the JSON schema can't drift between benches.
+inline void emit_pipeline_phases(json_writer& json, const core::spechd_result& result,
+                                 std::size_t spectra, double total_seconds) {
+  json.begin_object("phase_seconds");
+  json.field("preprocess", result.phases.preprocess);
+  json.field("encode", result.phases.encode);
+  json.field("cluster", result.phases.cluster);
+  json.field("consensus", result.phases.consensus);
+  json.field("total", total_seconds);
+  json.end_object();
+  json.field("spectra_per_sec",
+             total_seconds > 0.0 ? static_cast<double>(spectra) / total_seconds : 0.0);
+  json.field("clusters", result.clustering.cluster_count);
+}
+
+}  // namespace spechd::bench

@@ -8,10 +8,14 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cluster/naive_hac.hpp"
 #include "cluster/nn_chain.hpp"
+#include "hdc/distance.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -68,9 +72,51 @@ void print_operation_counts() {
   table.print(std::cout);
 }
 
+// The HAC input matrix is itself an XOR+popcount product; time its
+// construction through the kernel layer so the bench shows where the
+// matrix-build cost sits relative to the clustering it feeds.
+void print_matrix_build(const spechd::bench::bench_options& opts) {
+  using spechd::text_table;
+  namespace hdc = spechd::hdc;
+
+  const std::size_t n = opts.n != 0 ? opts.n : 1024;
+  const std::size_t dim = opts.dim != 0 ? opts.dim : 2048;
+  spechd::xoshiro256ss rng(9);
+  std::vector<hdc::hypervector> hvs;
+  hvs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) hvs.push_back(hdc::hypervector::random(dim, rng));
+
+  text_table table("Distance matrix build (q16), n=" + std::to_string(n) +
+                   ", dim=" + std::to_string(dim));
+  table.set_header({"kernel", "threads", "seconds"});
+  spechd::thread_pool pool(opts.resolved_threads());
+  std::vector<hdc::kernels::variant> variants{hdc::kernels::variant::scalar};
+  if (opts.variant != hdc::kernels::variant::scalar) variants.push_back(opts.variant);
+  for (const auto v : variants) {
+    hdc::kernels::set_active(v);
+    spechd::stopwatch watch;
+    const auto serial = hdc::pairwise_hamming_q16(hvs);
+    benchmark::DoNotOptimize(serial);
+    const double serial_s = watch.seconds();
+    watch.reset();
+    const auto pooled = hdc::pairwise_hamming_q16(hvs, &pool);
+    benchmark::DoNotOptimize(pooled);
+    const double pooled_s = watch.seconds();
+    table.add_row({hdc::kernels::variant_name(v), "1", text_table::num(serial_s, 3)});
+    table.add_row({hdc::kernels::variant_name(v),
+                   text_table::num(opts.resolved_threads()),
+                   text_table::num(pooled_s, 3)});
+  }
+  hdc::kernels::set_active(opts.variant);
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opts = spechd::bench::parse_options(argc, argv);
+  print_matrix_build(opts);
   print_operation_counts();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -8,15 +8,18 @@
 // actual pipeline on synthetic data.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/spechd.hpp"
 #include "hdc/encoder.hpp"
 #include "ms/datasets.hpp"
 #include "ms/synthetic.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spechd;
   using text_table = spechd::text_table;
+
+  const auto opts = spechd::bench::parse_options(argc, argv);
 
   text_table table("Fig. 6b — compression factor per dataset (D_hv = 2048, 256 B/HV)");
   table.set_header({"PRIDE ID", "avg peaks/spectrum", "raw peak B/spectrum",
@@ -33,13 +36,8 @@ int main() {
   std::cout << "paper range: 24x - 108x\n\n";
 
   // Measured on the real pipeline.
-  ms::synthetic_config c;
-  c.peptide_count = 100;
-  c.spectra_per_peptide_mean = 6.0;
-  c.noise_peaks_per_spectrum = 30.0;
-  c.seed = 5;
-  const auto data = ms::generate_dataset(c);
-  core::spechd_pipeline pipeline({});
+  const auto data = ms::generate_dataset(spechd::bench::synthetic_workload(100));
+  core::spechd_pipeline pipeline(spechd::bench::pipeline_config(opts));
   const auto result = pipeline.run(data.spectra);
 
   text_table measured("Measured on synthetic data (full pipeline)");

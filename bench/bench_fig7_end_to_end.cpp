@@ -7,15 +7,25 @@
 //
 // Prints modelled end-to-end runtime per tool per dataset and the speedup
 // of SpecHD over each, with the paper's anchor ratios for comparison.
+// Additionally runs the *real* CPU reference pipeline on synthetic spectra
+// (knobs: --threads, --variant, --n) and writes per-phase seconds plus
+// spectra/sec to BENCH_fig7_end_to_end.json for cross-PR tracking.
 #include <iostream>
 
+#include "bench_common.hpp"
+#include "core/spechd.hpp"
 #include "fpga/tool_models.hpp"
+#include "ms/synthetic.hpp"
+#include "util/bench_json.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spechd;
   using namespace spechd::fpga;
   using text_table = spechd::text_table;
+
+  const auto opts = spechd::bench::parse_options(argc, argv);
 
   const spechd_hw_config hw;
   const baseline_rates rates;
@@ -50,6 +60,41 @@ int main() {
   std::cout << "\nPaper anchors: ~6x vs HyperSpec-HAC; 31x (PXD001511) to 54x\n"
                "(PXD000561) vs GLEAMS; msCRUSH and Falcon in between. SpecHD's\n"
                "largest dataset end-to-end should sit near the abstract's\n"
-               "\"5 minutes\" (300 s) figure.\n";
+               "\"5 minutes\" (300 s) figure.\n\n";
+
+  // --- measured CPU reference pipeline --------------------------------------
+  const auto data = ms::generate_dataset(
+      spechd::bench::synthetic_workload(opts.n != 0 ? opts.n : 500));
+  const auto config = spechd::bench::pipeline_config(opts);
+  core::spechd_pipeline pipeline(config);
+  stopwatch watch;
+  const auto result = pipeline.run(data.spectra);
+  const double total = watch.seconds();
+  const double spectra_per_sec = static_cast<double>(data.spectra.size()) / total;
+
+  text_table measured("Measured CPU reference pipeline (synthetic data)");
+  measured.set_header({"spectra", "preprocess (s)", "encode (s)", "cluster (s)",
+                       "consensus (s)", "spectra/sec"});
+  measured.add_row({text_table::num(data.spectra.size()),
+                    text_table::num(result.phases.preprocess, 3),
+                    text_table::num(result.phases.encode, 3),
+                    text_table::num(result.phases.cluster, 3),
+                    text_table::num(result.phases.consensus, 3),
+                    text_table::num(spectra_per_sec, 0)});
+  measured.print(std::cout);
+
+  json_writer json;
+  json.begin_object();
+  json.begin_object("config");
+  json.field("spectra", data.spectra.size());
+  json.field("threads", config.threads);
+  json.field("kernel_variant", config.kernel_variant);
+  json.end_object();
+  spechd::bench::emit_pipeline_phases(json, result, data.spectra.size(), total);
+  json.end_object();
+  const std::string json_path =
+      opts.json.empty() ? "BENCH_fig7_end_to_end.json" : opts.json;
+  json.write_file(json_path);
+  std::cout << "\nwrote " << json_path << '\n';
   return 0;
 }

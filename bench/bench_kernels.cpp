@@ -1,0 +1,283 @@
+// Kernel-layer microbench: quantifies what the dispatching SIMD + bit-sliced
+// kernels (src/hdc/cpu_kernels) buy over the seed's scalar hot loops, and
+// writes BENCH_kernels.json so future PRs can track the perf trajectory.
+//
+// Three sections:
+//   * pairwise Hamming — seed-style serial double loop (per-pair at() and
+//     scalar word popcount) vs the tiled kernel, per variant, single- and
+//     multi-threaded. The acceptance bar is >= 4x pairs/sec at n=2000,
+//     dim=2048 on a multi-core host (>= 1.5x single-threaded from
+//     SIMD/bit-slicing alone).
+//   * encoding — seed-style per-set-bit counter scatter vs the bit-sliced
+//     carry-save accumulator, plus batch-parallel throughput.
+//   * end-to-end — the real pipeline on synthetic spectra with per-phase
+//     seconds and spectra/sec.
+//
+// Knobs: --threads=N --variant=auto|scalar|avx2|avx512 --n=N --dim=D
+//        --json=PATH (default BENCH_kernels.json)
+#include <bit>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/spechd.hpp"
+#include "hdc/cpu_kernels.hpp"
+#include "hdc/distance.hpp"
+#include "hdc/encoder.hpp"
+#include "ms/synthetic.hpp"
+#include "util/bench_json.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+namespace k = spechd::hdc::kernels;
+using spechd::hdc::hypervector;
+
+std::vector<hypervector> random_hvs(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  spechd::xoshiro256ss rng(seed);
+  std::vector<hypervector> hvs;
+  hvs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) hvs.push_back(hypervector::random(dim, rng));
+  return hvs;
+}
+
+/// The seed's pairwise loop, verbatim: per-pair bounds-checked at() plus
+/// word-at-a-time scalar popcount. This is the baseline every kernel-layer
+/// measurement is normalised against.
+spechd::hdc::distance_matrix_f32 seed_pairwise_f32(const std::vector<hypervector>& hvs) {
+  spechd::hdc::distance_matrix_f32 m(hvs.size());
+  for (std::size_t i = 1; i < hvs.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto wa = hvs[i].words();
+      const auto wb = hvs[j].words();
+      std::size_t count = 0;
+      for (std::size_t w = 0; w < wa.size(); ++w) {
+        count += static_cast<std::size_t>(std::popcount(wa[w] ^ wb[w]));
+      }
+      m.at(i, j) = static_cast<float>(static_cast<double>(count) /
+                                      static_cast<double>(hvs[i].dim()));
+    }
+  }
+  return m;
+}
+
+/// The seed's encoder inner loop: scatter every set bound bit into a
+/// per-dimension uint16 counter, then threshold.
+hypervector seed_encode(const spechd::hdc::id_level_encoder& encoder,
+                        const spechd::preprocess::quantized_spectrum& s,
+                        const hypervector& tiebreak) {
+  const std::size_t dim = encoder.dim();
+  std::vector<std::uint16_t> counts(dim, 0);
+  for (const auto& peak : s.peaks) {
+    const auto wi = encoder.ids().at(peak.mz_bin).words();
+    const auto wl = encoder.levels().at(peak.level).words();
+    for (std::size_t w = 0; w < wi.size(); ++w) {
+      std::uint64_t bound = wi[w] ^ wl[w];
+      while (bound != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(bound));
+        ++counts[w * 64 + bit];
+        bound &= bound - 1;
+      }
+    }
+  }
+  hypervector out(dim);
+  const std::size_t n = s.peaks.size();
+  const std::size_t half = n / 2;
+  const bool even = (n % 2) == 0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const std::size_t c = counts[d];
+    out.assign(d, (even && c == half) ? tiebreak.test(d) : c > half);
+  }
+  return out;
+}
+
+struct measurement {
+  double seconds = 0.0;
+  double per_sec = 0.0;
+};
+
+template <typename F>
+measurement time_run(std::size_t items, F&& run) {
+  spechd::stopwatch watch;
+  run();
+  measurement m;
+  m.seconds = watch.seconds();
+  m.per_sec = m.seconds > 0.0 ? static_cast<double>(items) / m.seconds : 0.0;
+  return m;
+}
+
+void emit(spechd::json_writer& json, const std::string& key, const measurement& m,
+          const char* rate_name) {
+  json.begin_object(key);
+  json.field("seconds", m.seconds);
+  json.field(rate_name, m.per_sec);
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using spechd::text_table;
+  const auto opts = spechd::bench::parse_options(argc, argv);
+  const std::size_t n = opts.n != 0 ? opts.n : 2000;
+  const std::size_t dim = opts.dim != 0 ? opts.dim : 2048;
+  const std::size_t threads = opts.resolved_threads();
+  const std::string json_path = opts.json.empty() ? "BENCH_kernels.json" : opts.json;
+
+  spechd::json_writer json;
+  json.begin_object();
+  json.begin_object("host");
+  json.field("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.field("best_variant", k::variant_name(k::best_supported()));
+  json.end_object();
+  json.begin_object("config");
+  json.field("n", n);
+  json.field("dim", dim);
+  json.field("threads", threads);
+  json.end_object();
+
+  // --- pairwise Hamming ------------------------------------------------------
+  const auto hvs = random_hvs(n, dim, 42);
+  const std::size_t pairs = n * (n - 1) / 2;
+  std::map<std::string, measurement> pw;
+
+  k::set_active(k::variant::scalar);
+  pw["seed_scalar"] = time_run(pairs, [&] {
+    auto m = seed_pairwise_f32(hvs);
+    (void)m;
+  });
+  pw["tiled_scalar"] = time_run(pairs, [&] {
+    auto m = spechd::hdc::pairwise_hamming_f32(hvs);
+    (void)m;
+  });
+  for (const k::variant v : {k::variant::avx2, k::variant::avx512}) {
+    if (!k::supported(v)) continue;
+    k::set_active(v);
+    pw[std::string("tiled_") + k::variant_name(v)] = time_run(pairs, [&] {
+      auto m = spechd::hdc::pairwise_hamming_f32(hvs);
+      (void)m;
+    });
+  }
+  k::set_active(opts.variant);
+  {
+    spechd::thread_pool pool(threads);
+    pw["tiled_active_threaded"] = time_run(pairs, [&] {
+      auto m = spechd::hdc::pairwise_hamming_f32(hvs, &pool);
+      (void)m;
+    });
+  }
+
+  const double base_rate = pw["seed_scalar"].per_sec;
+  text_table pw_table("pairwise Hamming, n=" + std::to_string(n) +
+                      ", dim=" + std::to_string(dim));
+  pw_table.set_header({"path", "seconds", "pairs/sec", "speedup vs seed"});
+  json.begin_object("pairwise_hamming");
+  json.field("pairs", pairs);
+  double best_single = 0.0;
+  for (const auto& [name, m] : pw) {
+    pw_table.add_row({name, text_table::num(m.seconds, 3), text_table::num(m.per_sec, 0),
+                      text_table::num(m.per_sec / base_rate, 2)});
+    emit(json, name, m, "pairs_per_sec");
+    if (name != "seed_scalar" && name != "tiled_active_threaded") {
+      best_single = std::max(best_single, m.per_sec);
+    }
+  }
+  json.field("speedup_single_thread", best_single / base_rate);
+  json.field("speedup_total", pw["tiled_active_threaded"].per_sec / base_rate);
+  json.end_object();
+  pw_table.print(std::cout);
+  std::cout << '\n';
+
+  // --- encoding --------------------------------------------------------------
+  const spechd::hdc::encoder_config enc_config{.dim = dim, .seed = 0xC0FFEE};
+  const spechd::preprocess::quantize_config qc;
+  const spechd::hdc::id_level_encoder encoder(enc_config, qc.mz_bins, qc.intensity_levels);
+  const auto& tiebreak = encoder.tiebreak();
+
+  spechd::xoshiro256ss peak_rng(7);
+  std::vector<spechd::preprocess::quantized_spectrum> spectra(n);
+  for (auto& s : spectra) {
+    for (std::size_t p = 0; p < 50; ++p) {
+      s.peaks.push_back({static_cast<std::uint32_t>(peak_rng.bounded(qc.mz_bins)),
+                         static_cast<std::uint16_t>(peak_rng.bounded(qc.intensity_levels))});
+    }
+  }
+
+  std::map<std::string, measurement> enc;
+  k::set_active(k::variant::scalar);
+  enc["seed_scatter"] = time_run(n, [&] {
+    for (const auto& s : spectra) {
+      auto hv = seed_encode(encoder, s, tiebreak);
+      (void)hv;
+    }
+  });
+  enc["bitsliced_scalar"] = time_run(n, [&] {
+    for (const auto& s : spectra) {
+      auto hv = encoder.encode(s);
+      (void)hv;
+    }
+  });
+  k::set_active(opts.variant);
+  enc["bitsliced_active"] = time_run(n, [&] {
+    for (const auto& s : spectra) {
+      auto hv = encoder.encode(s);
+      (void)hv;
+    }
+  });
+  {
+    spechd::thread_pool pool(threads);
+    enc["bitsliced_active_threaded"] = time_run(n, [&] {
+      auto hvs_out = encoder.encode_batch(spectra, &pool);
+      (void)hvs_out;
+    });
+  }
+
+  const double enc_base = enc["seed_scatter"].per_sec;
+  text_table enc_table("ID-Level encoding, n=" + std::to_string(n) + " spectra x 50 peaks");
+  enc_table.set_header({"path", "seconds", "spectra/sec", "speedup vs seed"});
+  json.begin_object("encode");
+  json.field("spectra", n);
+  for (const auto& [name, m] : enc) {
+    enc_table.add_row({name, text_table::num(m.seconds, 3), text_table::num(m.per_sec, 0),
+                       text_table::num(m.per_sec / enc_base, 2)});
+    emit(json, name, m, "spectra_per_sec");
+  }
+  json.field("speedup_single_thread", enc["bitsliced_active"].per_sec / enc_base);
+  json.field("speedup_total", enc["bitsliced_active_threaded"].per_sec / enc_base);
+  json.end_object();
+  enc_table.print(std::cout);
+  std::cout << '\n';
+
+  // --- end-to-end pipeline ---------------------------------------------------
+  const auto data =
+      spechd::ms::generate_dataset(spechd::bench::synthetic_workload(200));
+  spechd::core::spechd_pipeline pipeline(spechd::bench::pipeline_config(opts));
+  spechd::stopwatch e2e_watch;
+  const auto result = pipeline.run(data.spectra);
+  const double e2e_seconds = e2e_watch.seconds();
+  const double spectra_per_sec = static_cast<double>(data.spectra.size()) / e2e_seconds;
+
+  text_table e2e_table("end-to-end pipeline, " + std::to_string(data.spectra.size()) +
+                       " synthetic spectra");
+  e2e_table.set_header({"phase", "seconds"});
+  e2e_table.add_row({"preprocess", text_table::num(result.phases.preprocess, 3)});
+  e2e_table.add_row({"encode", text_table::num(result.phases.encode, 3)});
+  e2e_table.add_row({"cluster", text_table::num(result.phases.cluster, 3)});
+  e2e_table.add_row({"consensus", text_table::num(result.phases.consensus, 3)});
+  e2e_table.add_row({"total (spectra/sec)", text_table::num(spectra_per_sec, 0)});
+  e2e_table.print(std::cout);
+
+  json.begin_object("end_to_end");
+  json.field("spectra", data.spectra.size());
+  spechd::bench::emit_pipeline_phases(json, result, data.spectra.size(), e2e_seconds);
+  json.end_object();
+  json.end_object();
+
+  json.write_file(json_path);
+  std::cout << "\nwrote " << json_path << '\n';
+  return 0;
+}

@@ -7,13 +7,19 @@
 // the bottleneck sits (the single encoder, per Sec. IV-C).
 #include <iostream>
 
+#include "bench_common.hpp"
+#include "core/spechd.hpp"
 #include "fpga/des.hpp"
+#include "ms/synthetic.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spechd;
   using namespace spechd::fpga;
   using text_table = spechd::text_table;
+
+  const auto opts = spechd::bench::parse_options(argc, argv);
 
   text_table table("Dataflow overlap — DES vs phase-additive model");
   table.set_header({"dataset", "additive (s)", "pipelined (s)", "saving", "encoder util",
@@ -46,5 +52,29 @@ int main() {
                  text_table::num(r.cluster_utilisation * 100.0, 1) + "%"});
   }
   enc.print(std::cout);
+
+  // CPU analogue of the same question: how much does overlapping work across
+  // pool workers buy the reference pipeline? (--threads / --variant knobs)
+  const auto data = ms::generate_dataset(
+      spechd::bench::synthetic_workload(opts.n != 0 ? opts.n : 200));
+
+  std::cout << '\n';
+  text_table cpu("CPU reference pipeline — worker overlap");
+  cpu.set_header({"threads", "total (s)", "speedup"});
+  double single = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, opts.resolved_threads()}) {
+    auto config = spechd::bench::pipeline_config(opts);
+    config.threads = threads;
+    core::spechd_pipeline pipeline(config);
+    stopwatch watch;
+    const auto result = pipeline.run(data.spectra);
+    (void)result;
+    const double total = watch.seconds();
+    if (threads == 1) single = total;
+    cpu.add_row({text_table::num(threads), text_table::num(total, 3),
+                 text_table::num(single / total, 2)});
+    if (opts.resolved_threads() == 1) break;
+  }
+  cpu.print(std::cout);
   return 0;
 }

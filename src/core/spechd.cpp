@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "hdc/cpu_kernels.hpp"
 #include "hdc/distance.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -13,6 +14,11 @@ namespace spechd::core {
 spechd_pipeline::spechd_pipeline(spechd_config config) : config_(std::move(config)) {}
 
 spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) const {
+  // Kernel dispatch is process-global; write it only when this run actually
+  // pins a different variant, so the default ("auto" = already-active best)
+  // path stays free of global side effects. See the knob's doc in spechd.hpp.
+  const auto requested = hdc::kernels::parse_variant(config_.kernel_variant);
+  if (requested != hdc::kernels::active()) hdc::kernels::set_active(requested);
   spechd_result result;
   stopwatch watch;
 
@@ -32,10 +38,14 @@ spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) con
       hdc::compression_factor(raw_bytes, batch.spectra.size(), config_.encoder.dim);
 
   // --- encoding -------------------------------------------------------------
+  // One pool serves all phases: per-spectrum encoding, bucket-level
+  // clustering, and the tile-parallel distance matrices inside each bucket
+  // (parallel_for is nested-safe; output is deterministic either way).
+  thread_pool pool(config_.threads);
   watch.reset();
   hdc::id_level_encoder encoder(config_.encoder, config_.preprocess.quantize.mz_bins,
                                 config_.preprocess.quantize.intensity_levels);
-  const auto hvs = encoder.encode_batch(batch.spectra);
+  const auto hvs = encoder.encode_batch(batch.spectra, &pool);
   result.phases.encode = watch.seconds();
 
   // --- per-bucket clustering -------------------------------------------------
@@ -51,7 +61,6 @@ spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) con
   };
   std::vector<bucket_output> outputs(batch.buckets.size());
 
-  thread_pool pool(config_.threads);
   pool.parallel_for(batch.buckets.size(), [&](std::size_t b) {
     const auto& bucket = batch.buckets[b];
     bucket_output& out = outputs[b];
@@ -74,10 +83,10 @@ spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) con
     // Distance matrix: the f32 copy is always built for consensus (the
     // "original distance matrix" of Sec. III-C); the cluster path uses the
     // FPGA's q16 grid when configured.
-    const auto matrix_f32 = hdc::pairwise_hamming_f32(bucket_hvs);
+    const auto matrix_f32 = hdc::pairwise_hamming_f32(bucket_hvs, &pool);
     cluster::hac_result hac;
     if (config_.use_fixed_point) {
-      const auto matrix_q16 = hdc::pairwise_hamming_q16(bucket_hvs);
+      const auto matrix_q16 = hdc::pairwise_hamming_q16(bucket_hvs, &pool);
       hac = cluster::nn_chain_hac(matrix_q16, config_.link);
     } else {
       hac = cluster::nn_chain_hac(matrix_f32, config_.link);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/consensus.hpp"
@@ -34,7 +35,15 @@ struct spechd_config {
   /// high; 0.42 balances clustered ratio vs ICR on HCD-like data.
   double distance_threshold = 0.42;
   bool use_fixed_point = true;       ///< q16 matrix, as on the FPGA
-  std::size_t threads = 0;           ///< bucket-level workers; 0 = hardware
+  std::size_t threads = 0;           ///< pool workers (encode + buckets + tiles);
+                                     ///< 0 = hardware concurrency
+  /// CPU kernel variant for the XOR/popcount datapaths: "auto" (best the
+  /// CPU supports), "scalar", "avx2", or "avx512". All variants produce
+  /// bit-identical results; this knob exists so benches can measure them.
+  /// Dispatch is process-global: a non-default value re-points every HDC
+  /// kernel in the process, so don't run pipelines with *different* pinned
+  /// variants concurrently (the default "auto" never writes global state).
+  std::string kernel_variant = "auto";
 };
 
 /// Wall-clock phase breakdown of a reference-pipeline run (seconds).

@@ -1,7 +1,5 @@
 #include "hdc/bundle.hpp"
 
-#include <bit>
-
 namespace spechd::hdc {
 
 hypervector bundle_majority(std::span<const hypervector> inputs) {
@@ -11,40 +9,20 @@ hypervector bundle_majority(std::span<const hypervector> inputs) {
   return bundle.majority();
 }
 
-incremental_bundle::incremental_bundle(std::size_t dim) : counts_(dim, 0) {
+incremental_bundle::incremental_bundle(std::size_t dim) : dim_(dim), acc_(dim / 64) {
   SPECHD_EXPECTS(dim > 0 && dim % 64 == 0);
 }
 
 void incremental_bundle::add(const hypervector& hv) {
-  SPECHD_EXPECTS(hv.dim() == counts_.size());
-  if (members_ == 0) first_ = hv;
-  const auto words = hv.words();
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    std::uint64_t bits = words[w];
-    while (bits != 0) {
-      const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
-      ++counts_[w * 64 + bit];
-      bits &= bits - 1;
-    }
-  }
-  ++members_;
+  SPECHD_EXPECTS(hv.dim() == dim_);
+  if (empty()) first_ = hv;
+  acc_.add(hv.words().data());
 }
 
 hypervector incremental_bundle::majority() const {
-  SPECHD_EXPECTS(members_ > 0);
-  hypervector out(counts_.size());
-  const std::size_t half = members_ / 2;
-  const bool even = (members_ % 2) == 0;
-  for (std::size_t d = 0; d < counts_.size(); ++d) {
-    const std::size_t c = counts_[d];
-    bool bit;
-    if (even && c == half) {
-      bit = first_.test(d);
-    } else {
-      bit = c > half;
-    }
-    out.assign(d, bit);
-  }
+  SPECHD_EXPECTS(!empty());
+  hypervector out(dim_);
+  acc_.majority(first_.words().data(), out.words().data());
   return out;
 }
 

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "hdc/cpu_kernels.hpp"
 #include "hdc/hypervector.hpp"
 
 namespace spechd::hdc {
@@ -21,15 +22,18 @@ namespace spechd::hdc {
 hypervector bundle_majority(std::span<const hypervector> inputs);
 
 /// Incrementally maintained bundle: keeps per-dimension counters so
-/// members can be added without re-reading the full set.
+/// members can be added without re-reading the full set. The counters are
+/// bit-sliced (hdc::kernels::bitsliced_accumulator), so add() is a word-wide
+/// carry-save ripple rather than a per-set-bit scatter; majority() output is
+/// bit-identical to the integer-counter reference.
 class incremental_bundle {
 public:
   incremental_bundle() = default;
   explicit incremental_bundle(std::size_t dim);
 
-  std::size_t dim() const noexcept { return counts_.size(); }
-  std::size_t members() const noexcept { return members_; }
-  bool empty() const noexcept { return members_ == 0; }
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t members() const noexcept { return static_cast<std::size_t>(acc_.additions()); }
+  bool empty() const noexcept { return members() == 0; }
 
   void add(const hypervector& hv);
 
@@ -37,8 +41,8 @@ public:
   hypervector majority() const;
 
 private:
-  std::vector<std::uint32_t> counts_;
-  std::size_t members_ = 0;
+  std::size_t dim_ = 0;
+  kernels::bitsliced_accumulator acc_;
   hypervector first_;  ///< tie-break donor
 };
 

@@ -1,0 +1,377 @@
+#include "hdc/cpu_kernels.hpp"
+
+#include <bit>
+#include <cstring>
+
+// SIMD variants are compiled only on x86-64 GCC/Clang builds (the target
+// attribute lets one translation unit hold AVX code without global -mavx
+// flags); every other platform keeps the portable scalar path and the
+// runtime dispatcher simply never offers the SIMD variants.
+#if defined(SPECHD_ENABLE_SIMD) && defined(__x86_64__) && defined(__GNUC__)
+#define SPECHD_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define SPECHD_X86_KERNELS 0
+#endif
+
+namespace spechd::hdc::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// scalar reference kernels
+// ---------------------------------------------------------------------------
+
+std::size_t popcount_scalar(const std::uint64_t* a, std::size_t words) noexcept {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    count += static_cast<std::size_t>(std::popcount(a[w]));
+  }
+  return count;
+}
+
+std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) noexcept {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return count;
+}
+
+void hamming_tile_scalar(const std::uint64_t* const* rows, std::size_t n_rows,
+                         const std::uint64_t* const* cols, std::size_t n_cols,
+                         std::size_t words, std::uint32_t* counts) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      counts[r * n_cols + c] =
+          static_cast<std::uint32_t>(xor_popcount_scalar(rows[r], cols[c], words));
+    }
+  }
+}
+
+// Ripple-carry add of one 0/1-per-dimension word array into the bit planes.
+// Carry density halves per plane, so the expected work is ~2 word ops per
+// input word — already far below the per-set-bit counter scatter it replaces.
+void bitsliced_add_scalar(std::uint64_t* planes, std::size_t words, std::size_t plane_count,
+                          const std::uint64_t* bits) noexcept {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t carry = bits[w];
+    for (std::size_t p = 0; p < plane_count && carry != 0; ++p) {
+      std::uint64_t& a = planes[p * words + w];
+      const std::uint64_t t = a ^ carry;
+      carry &= a;
+      a = t;
+    }
+  }
+}
+
+#if SPECHD_X86_KERNELS
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels — Mula nibble-LUT popcount with byte-lane accumulation
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i popcount_epi8_avx2(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum_epi64_avx2(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+__attribute__((target("avx2"))) std::size_t xor_popcount_avx2(const std::uint64_t* a,
+                                                              const std::uint64_t* b,
+                                                              std::size_t words) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i total = zero;
+  std::size_t w = 0;
+  while (words - w >= 4) {
+    // Byte counters saturate only past 255/8 = 31 vectors; block well below.
+    const std::size_t block_end = std::min(words, w + 4 * 31);
+    __m256i acc8 = zero;
+    for (; w + 4 <= block_end; w += 4) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+      const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+      acc8 = _mm256_add_epi8(acc8, popcount_epi8_avx2(_mm256_xor_si256(va, vb)));
+    }
+    total = _mm256_add_epi64(total, _mm256_sad_epu8(acc8, zero));
+  }
+  std::size_t count = hsum_epi64_avx2(total);
+  for (; w < words; ++w) count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_avx2(const std::uint64_t* a,
+                                                          std::size_t words) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i total = zero;
+  std::size_t w = 0;
+  while (words - w >= 4) {
+    const std::size_t block_end = std::min(words, w + 4 * 31);
+    __m256i acc8 = zero;
+    for (; w + 4 <= block_end; w += 4) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+      acc8 = _mm256_add_epi8(acc8, popcount_epi8_avx2(va));
+    }
+    total = _mm256_add_epi64(total, _mm256_sad_epu8(acc8, zero));
+  }
+  std::size_t count = hsum_epi64_avx2(total);
+  for (; w < words; ++w) count += static_cast<std::size_t>(std::popcount(a[w]));
+  return count;
+}
+
+__attribute__((target("avx2"))) void hamming_tile_avx2(const std::uint64_t* const* rows,
+                                                       std::size_t n_rows,
+                                                       const std::uint64_t* const* cols,
+                                                       std::size_t n_cols, std::size_t words,
+                                                       std::uint32_t* counts) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      counts[r * n_cols + c] =
+          static_cast<std::uint32_t>(xor_popcount_avx2(rows[r], cols[c], words));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void bitsliced_add_avx2(std::uint64_t* planes,
+                                                        std::size_t words,
+                                                        std::size_t plane_count,
+                                                        const std::uint64_t* bits) noexcept {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i carry = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + w));
+    for (std::size_t p = 0; p < plane_count; ++p) {
+      if (_mm256_testz_si256(carry, carry)) break;
+      std::uint64_t* slot = planes + p * words + w;
+      const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slot));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(slot), _mm256_xor_si256(a, carry));
+      carry = _mm256_and_si256(a, carry);
+    }
+  }
+  for (; w < words; ++w) {
+    std::uint64_t carry = bits[w];
+    for (std::size_t p = 0; p < plane_count && carry != 0; ++p) {
+      std::uint64_t& a = planes[p * words + w];
+      const std::uint64_t t = a ^ carry;
+      carry &= a;
+      a = t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels — native VPOPCNTQ (Ice Lake+)
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::size_t xor_popcount_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    const __m512i va = _mm512_loadu_si512(a + w);
+    const __m512i vb = _mm512_loadu_si512(b + w);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_xor_si512(va, vb)));
+  }
+  std::size_t count = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  return count;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::size_t popcount_avx512(
+    const std::uint64_t* a, std::size_t words) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + w)));
+  }
+  std::size_t count = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) count += static_cast<std::size_t>(std::popcount(a[w]));
+  return count;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void hamming_tile_avx512(
+    const std::uint64_t* const* rows, std::size_t n_rows, const std::uint64_t* const* cols,
+    std::size_t n_cols, std::size_t words, std::uint32_t* counts) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      counts[r * n_cols + c] =
+          static_cast<std::uint32_t>(xor_popcount_avx512(rows[r], cols[c], words));
+    }
+  }
+}
+
+#endif  // SPECHD_X86_KERNELS
+
+// ---------------------------------------------------------------------------
+// runtime dispatch
+// ---------------------------------------------------------------------------
+
+struct kernel_table {
+  std::size_t (*popcount)(const std::uint64_t*, std::size_t) noexcept;
+  std::size_t (*xor_popcount)(const std::uint64_t*, const std::uint64_t*,
+                              std::size_t) noexcept;
+  void (*hamming_tile)(const std::uint64_t* const*, std::size_t, const std::uint64_t* const*,
+                       std::size_t, std::size_t, std::uint32_t*) noexcept;
+  void (*bitsliced_add)(std::uint64_t*, std::size_t, std::size_t,
+                        const std::uint64_t*) noexcept;
+};
+
+constexpr kernel_table scalar_table{popcount_scalar, xor_popcount_scalar,
+                                    hamming_tile_scalar, bitsliced_add_scalar};
+
+kernel_table table_for(variant v) noexcept {
+#if SPECHD_X86_KERNELS
+  switch (v) {
+    case variant::avx2:
+      return {popcount_avx2, xor_popcount_avx2, hamming_tile_avx2, bitsliced_add_avx2};
+    case variant::avx512:
+      // The bit-sliced ripple is bound by carry shortening, not lane width;
+      // AVX2 add alongside the 512-bit popcount datapath measures fastest.
+      return {popcount_avx512, xor_popcount_avx512, hamming_tile_avx512, bitsliced_add_avx2};
+    case variant::scalar:
+      break;
+  }
+#else
+  (void)v;
+#endif
+  return scalar_table;
+}
+
+struct dispatch_state {
+  variant active = variant::scalar;
+  kernel_table table = scalar_table;
+};
+
+dispatch_state& state() noexcept {
+  static dispatch_state s{best_supported(), table_for(best_supported())};
+  return s;
+}
+
+}  // namespace
+
+const char* variant_name(variant v) noexcept {
+  switch (v) {
+    case variant::scalar: return "scalar";
+    case variant::avx2: return "avx2";
+    case variant::avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool supported(variant v) noexcept {
+  if (v == variant::scalar) return true;
+#if SPECHD_X86_KERNELS
+  if (v == variant::avx2) return __builtin_cpu_supports("avx2") != 0;
+  if (v == variant::avx512) {
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  }
+#endif
+  return false;
+}
+
+variant best_supported() noexcept {
+  if (supported(variant::avx512)) return variant::avx512;
+  if (supported(variant::avx2)) return variant::avx2;
+  return variant::scalar;
+}
+
+variant active() noexcept { return state().active; }
+
+void set_active(variant v) {
+  SPECHD_EXPECTS(supported(v));
+  state().active = v;
+  state().table = table_for(v);
+}
+
+variant parse_variant(const std::string& name) {
+  if (name == "auto") return best_supported();
+  for (const variant v : {variant::scalar, variant::avx2, variant::avx512}) {
+    if (name == variant_name(v)) return v;
+  }
+  throw logic_error("unknown kernel variant: " + name);
+}
+
+std::size_t popcount(const std::uint64_t* a, std::size_t words) noexcept {
+  return state().table.popcount(a, words);
+}
+
+std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) noexcept {
+  return state().table.xor_popcount(a, b, words);
+}
+
+void hamming_tile(const std::uint64_t* const* rows, std::size_t n_rows,
+                  const std::uint64_t* const* cols, std::size_t n_cols, std::size_t words,
+                  std::uint32_t* counts) noexcept {
+  state().table.hamming_tile(rows, n_rows, cols, n_cols, words, counts);
+}
+
+// ---------------------------------------------------------------------------
+// bitsliced_accumulator
+// ---------------------------------------------------------------------------
+
+void bitsliced_accumulator::reset(std::size_t words) {
+  words_ = words;
+  adds_ = 0;
+  planes_.clear();
+}
+
+void bitsliced_accumulator::ensure_planes(std::size_t planes) {
+  if (plane_count() < planes) planes_.resize(planes * words_, 0);
+}
+
+void bitsliced_accumulator::reserve_adds(std::uint64_t adds) {
+  if (adds > 0) ensure_planes(static_cast<std::size_t>(std::bit_width(adds)));
+}
+
+void bitsliced_accumulator::add(const std::uint64_t* bits) {
+  SPECHD_EXPECTS(words_ > 0);
+  ++adds_;
+  ensure_planes(static_cast<std::size_t>(std::bit_width(adds_)));
+  state().table.bitsliced_add(planes_.data(), words_, plane_count(), bits);
+}
+
+void bitsliced_accumulator::majority(const std::uint64_t* tie_bits,
+                                     std::uint64_t* out) const {
+  const std::uint64_t half = adds_ / 2;
+  const bool even = (adds_ % 2) == 0;
+  const std::size_t planes = plane_count();
+  // MSB-first bit-sliced comparison of each dimension's count against the
+  // constant `half`: gt accumulates strict greater-than, eq tracks exact
+  // equality; ties (only reachable when the add count is even) take the
+  // corresponding tie_bits bit, matching the scalar reference exactly.
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t gt = 0;
+    std::uint64_t eq = ~0ULL;
+    for (std::size_t p = planes; p-- > 0;) {
+      const std::uint64_t a = planes_[p * words_ + w];
+      const std::uint64_t h = ((half >> p) & 1ULL) ? ~0ULL : 0ULL;
+      gt |= eq & a & ~h;
+      eq &= ~(a ^ h);
+    }
+    out[w] = gt | (even ? (eq & tie_bits[w]) : 0ULL);
+  }
+}
+
+std::uint64_t bitsliced_accumulator::count_at(std::size_t dim) const {
+  SPECHD_EXPECTS(dim < words_ * 64);
+  const std::size_t w = dim / 64;
+  const std::size_t bit = dim % 64;
+  std::uint64_t count = 0;
+  for (std::size_t p = 0; p < plane_count(); ++p) {
+    count |= ((planes_[p * words_ + w] >> bit) & 1ULL) << p;
+  }
+  return count;
+}
+
+}  // namespace spechd::hdc::kernels

@@ -1,0 +1,113 @@
+// Dispatching CPU kernel layer for the binary-HDC hot loops (Sec. III-C).
+//
+// SpecHD's premise is that binary HDC reduces spectrum clustering to XOR +
+// popcount datapaths; this header is the CPU-side equivalent of the FPGA's
+// "fast unrolled XOR and efficient population count" modules. Three kernel
+// families, each with a portable std::uint64_t fallback and SIMD variants
+// selected at *runtime* (compile-time guarded so non-x86 builds work):
+//
+//   * xor_popcount / popcount — fused XOR+popcount over whole hypervectors.
+//   * hamming_tile — a cache-blocked T×T tile of the condensed Hamming
+//     matrix per call; the building block pairwise_hamming_* parallelises
+//     over block rows.
+//   * bitsliced_accumulator — a carry-save (bit-sliced) majority counter:
+//     instead of scattering every set bit of a bound word into per-bit
+//     integer counters, counts are kept as bit planes and each 64-dim word
+//     is added with a ripple-carry of word-wide AND/XOR. This is the
+//     combinational counter tree of Schmuck et al.'s dense-binary-HDC
+//     hardware optimisations, expressed in SIMD registers.
+//
+// All variants are bit-identical to the scalar reference (same tie-break
+// bits, same rounding); the equivalence tests in tests/hdc/test_cpu_kernels
+// enforce this, so quality metrics cannot move when dispatch changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd::hdc::kernels {
+
+/// Kernel implementation variants, in increasing preference order.
+enum class variant : std::uint8_t {
+  scalar = 0,  ///< portable uint64_t loops (always available)
+  avx2 = 1,    ///< 256-bit SPSHUFB nibble-LUT popcount (Mula)
+  avx512 = 2,  ///< 512-bit VPOPCNTQ (AVX-512 VPOPCNTDQ)
+};
+
+/// Human-readable variant name ("scalar", "avx2", "avx512").
+const char* variant_name(variant v) noexcept;
+
+/// True when the running CPU (and this build) can execute `v`.
+bool supported(variant v) noexcept;
+
+/// Best variant supported on the running CPU.
+variant best_supported() noexcept;
+
+/// Currently dispatched variant. Defaults to best_supported() on first use.
+variant active() noexcept;
+
+/// Forces dispatch to `v` (benches/tests compare variants; the pipeline's
+/// kernel knob routes here). Throws spechd::logic_error if unsupported.
+void set_active(variant v);
+
+/// Parses "scalar" / "avx2" / "avx512" / "auto"; throws on anything else.
+variant parse_variant(const std::string& name);
+
+/// popcount(a[0..words)) — set bits over a packed bit vector.
+std::size_t popcount(const std::uint64_t* a, std::size_t words) noexcept;
+
+/// popcount((a ^ b)[0..words)) — the Hamming-distance datapath, fused so no
+/// XOR temporary is materialised.
+std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) noexcept;
+
+/// Dense Hamming tile: counts[r * n_cols + c] = xor_popcount(rows[r],
+/// cols[c], words) for every (r, c) in the tile. Row/col pointers let the
+/// caller block a triangular condensed matrix without copying vectors.
+void hamming_tile(const std::uint64_t* const* rows, std::size_t n_rows,
+                  const std::uint64_t* const* cols, std::size_t n_cols,
+                  std::size_t words, std::uint32_t* counts) noexcept;
+
+/// Carry-save bit-sliced counter over `words` 64-bit lanes (64 dimensions
+/// per word). add() accumulates one 0/1 observation per dimension from a
+/// packed word array; majority() thresholds against the add count with the
+/// scalar reference's exact tie semantics.
+class bitsliced_accumulator {
+public:
+  bitsliced_accumulator() = default;
+  explicit bitsliced_accumulator(std::size_t words) { reset(words); }
+
+  /// Clears all counts and resizes to `words` 64-bit lanes.
+  void reset(std::size_t words);
+
+  /// Pre-allocates enough bit planes for `adds` additions (avoids plane
+  /// growth inside the per-peak loop).
+  void reserve_adds(std::uint64_t adds);
+
+  std::size_t words() const noexcept { return words_; }
+  std::size_t plane_count() const noexcept { return planes_.size() / (words_ ? words_ : 1); }
+  std::uint64_t additions() const noexcept { return adds_; }
+
+  /// Adds bit d of `bits` to dimension d's counter, for all 64*words dims.
+  void add(const std::uint64_t* bits);
+
+  /// Writes the majority vector into out[0..words): bit d = count_d > n/2,
+  /// where n = additions(); when n is even and count_d == n/2 exactly, the
+  /// bit is taken from tie_bits (the deterministic tie-break donor).
+  void majority(const std::uint64_t* tie_bits, std::uint64_t* out) const;
+
+  /// Exact per-dimension count (test/diagnostic path; O(planes)).
+  std::uint64_t count_at(std::size_t dim) const;
+
+private:
+  void ensure_planes(std::size_t planes);
+
+  std::size_t words_ = 0;
+  std::uint64_t adds_ = 0;
+  std::vector<std::uint64_t> planes_;  ///< plane-major: planes_[p * words_ + w]
+};
+
+}  // namespace spechd::hdc::kernels

@@ -1,27 +1,99 @@
 #include "hdc/distance.hpp"
 
-namespace spechd::hdc {
+#include <algorithm>
+#include <array>
 
-distance_matrix_f32 pairwise_hamming_f32(const std::vector<hypervector>& hvs) {
-  distance_matrix_f32 m(hvs.size());
-  for (std::size_t i = 1; i < hvs.size(); ++i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      m.at(i, j) = static_cast<float>(hamming_normalized(hvs[i], hvs[j]));
+#include "hdc/cpu_kernels.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+// Block edge of the tile kernel: 64 rows × 64 cols of 2048-bit vectors
+// reads ~32 KiB of operands per tile, so both tile inputs stay cache-hot
+// while the kernel revisits them 64 times each.
+constexpr std::size_t tile = 64;
+
+template <typename T, typename Convert>
+condensed_matrix<T> pairwise_impl(const std::vector<hypervector>& hvs, Convert convert,
+                                  thread_pool* pool) {
+  const std::size_t n = hvs.size();
+  condensed_matrix<T> m(n);
+  if (n < 2) return m;
+
+  // Validate dimensions once per batch — hoisted out of the O(n²) loop —
+  // and flatten word pointers so tiles address rows without indirection.
+  const std::size_t dim = hvs.front().dim();
+  const std::size_t words = hvs.front().word_count();
+  std::vector<const std::uint64_t*> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SPECHD_EXPECTS(hvs[i].dim() == dim);
+    rows[i] = hvs[i].words().data();
+  }
+
+  T* const out = m.data().data();
+  const std::size_t block_rows = (n + tile - 1) / tile;
+
+  auto run_block_row = [&](std::size_t br) {
+    const std::size_t i0 = br * tile;
+    const std::size_t i1 = std::min(n, i0 + tile);
+    std::array<std::uint32_t, tile * tile> counts;
+
+    // Full rectangular tiles: every column j < i0 pairs with every row.
+    for (std::size_t j0 = 0; j0 < i0; j0 += tile) {
+      const std::size_t j1 = std::min(i0, j0 + tile);
+      const std::size_t cols = j1 - j0;
+      kernels::hamming_tile(rows.data() + i0, i1 - i0, rows.data() + j0, cols, words,
+                            counts.data());
+      for (std::size_t i = i0; i < i1; ++i) {
+        const std::size_t base = condensed_matrix<T>::index_of(i, 0);
+        const std::uint32_t* row_counts = counts.data() + (i - i0) * cols;
+        for (std::size_t j = j0; j < j1; ++j) {
+          out[base + j] = convert(row_counts[j - j0]);
+        }
+      }
     }
+
+    // Diagonal triangle: j in [i0, i).
+    for (std::size_t i = i0 + 1; i < i1; ++i) {
+      const std::size_t base = condensed_matrix<T>::index_of(i, 0);
+      for (std::size_t j = i0; j < i; ++j) {
+        out[base + j] =
+            convert(static_cast<std::uint32_t>(kernels::xor_popcount(rows[i], rows[j], words)));
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    // One task per block row; tasks write disjoint ranges of the condensed
+    // array, so the output is deterministic for any thread count.
+    pool->parallel_for(block_rows, run_block_row, /*grain=*/1);
+  } else {
+    for (std::size_t br = 0; br < block_rows; ++br) run_block_row(br);
   }
   return m;
 }
 
-distance_matrix_q16 pairwise_hamming_q16(const std::vector<hypervector>& hvs) {
-  distance_matrix_q16 m(hvs.size());
-  if (hvs.empty()) return m;
-  const std::size_t dim = hvs.front().dim();
-  for (std::size_t i = 1; i < hvs.size(); ++i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      m.at(i, j) = q16::from_ratio(hamming(hvs[i], hvs[j]), dim);
-    }
-  }
-  return m;
+}  // namespace
+
+distance_matrix_f32 pairwise_hamming_f32(const std::vector<hypervector>& hvs,
+                                         thread_pool* pool) {
+  const double dim = hvs.empty() ? 1.0 : static_cast<double>(hvs.front().dim());
+  return pairwise_impl<float>(
+      hvs,
+      [dim](std::uint32_t count) {
+        // Matches the scalar reference exactly: divide in double, then
+        // narrow to float (hamming_normalized's rounding).
+        return static_cast<float>(static_cast<double>(count) / dim);
+      },
+      pool);
+}
+
+distance_matrix_q16 pairwise_hamming_q16(const std::vector<hypervector>& hvs,
+                                         thread_pool* pool) {
+  const std::uint64_t dim = hvs.empty() ? 1 : hvs.front().dim();
+  return pairwise_impl<q16>(
+      hvs, [dim](std::uint32_t count) { return q16::from_ratio(count, dim); }, pool);
 }
 
 }  // namespace spechd::hdc

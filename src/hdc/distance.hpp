@@ -16,6 +16,10 @@
 #include "hdc/hypervector.hpp"
 #include "util/fixed_point.hpp"
 
+namespace spechd {
+class thread_pool;
+}
+
 namespace spechd::hdc {
 
 /// Condensed pairwise distance matrix for n items.
@@ -44,8 +48,11 @@ public:
     return i > j ? data_[index_of(i, j)] : data_[index_of(j, i)];
   }
 
-  /// Raw storage (benches report bytes; serialisation uses it too).
+  /// Raw storage (benches report bytes; serialisation uses it too). The
+  /// mutable view lets the tile kernels write blocks without per-entry
+  /// bounds checks; entry (i, j), i > j lives at index_of(i, j).
   const std::vector<T>& data() const noexcept { return data_; }
+  std::vector<T>& data() noexcept { return data_; }
   std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
 
 private:
@@ -57,10 +64,17 @@ using distance_matrix_f32 = condensed_matrix<float>;
 using distance_matrix_q16 = condensed_matrix<q16>;
 
 /// Computes the full condensed matrix of normalised Hamming distances.
-distance_matrix_f32 pairwise_hamming_f32(const std::vector<hypervector>& hvs);
+///
+/// Internally tiled through the dispatched XOR+popcount kernels
+/// (hdc::kernels); when `pool` is non-null the block rows are distributed
+/// across it, one task per block row, writing disjoint output ranges — the
+/// result is bit-identical regardless of thread count or kernel variant.
+distance_matrix_f32 pairwise_hamming_f32(const std::vector<hypervector>& hvs,
+                                         spechd::thread_pool* pool = nullptr);
 
 /// Same in Q0.16 fixed point (the FPGA layout). Max per-entry quantisation
 /// error is q16::epsilon().
-distance_matrix_q16 pairwise_hamming_q16(const std::vector<hypervector>& hvs);
+distance_matrix_q16 pairwise_hamming_q16(const std::vector<hypervector>& hvs,
+                                         spechd::thread_pool* pool = nullptr);
 
 }  // namespace spechd::hdc

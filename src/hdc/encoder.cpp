@@ -1,6 +1,7 @@
 #include "hdc/encoder.hpp"
 
-#include <bit>
+#include "hdc/cpu_kernels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spechd::hdc {
 
@@ -15,49 +16,35 @@ id_level_encoder::id_level_encoder(const encoder_config& config, std::size_t mz_
 }
 
 hypervector id_level_encoder::encode(const preprocess::quantized_spectrum& s) const {
-  const std::size_t dim = config_.dim;
-  // Per-dimension accumulator; peak counts are bounded by top-k (< 2^16).
-  std::vector<std::uint16_t> counts(dim, 0);
+  const std::size_t words = config_.dim / 64;
 
+  // Bit-sliced majority accumulation: each bound word feeds 64 dimension
+  // counters at once through the carry-save ripple, replacing the per-set-bit
+  // scatter of the scalar reference. Planes are pre-reserved for the peak
+  // count so the hot loop never reallocates.
+  kernels::bitsliced_accumulator acc(words);
+  acc.reserve_adds(s.peaks.size());
+  std::vector<std::uint64_t> bound(words);
   for (const auto& peak : s.peaks) {
-    const auto& id = ids_.at(peak.mz_bin);
-    const auto& level = levels_.at(peak.level);
-    const auto wi = id.words();
-    const auto wl = level.words();
-    for (std::size_t w = 0; w < wi.size(); ++w) {
-      std::uint64_t bound = wi[w] ^ wl[w];
-      // Scatter the 64 bound bits into the counters. The FPGA unrolls this
-      // fully; on CPU we iterate set bits only.
-      while (bound != 0) {
-        const auto bit = static_cast<std::size_t>(std::countr_zero(bound));
-        ++counts[w * 64 + bit];
-        bound &= bound - 1;
-      }
-    }
+    const auto wi = ids_.at(peak.mz_bin).words();
+    const auto wl = levels_.at(peak.level).words();
+    for (std::size_t w = 0; w < words; ++w) bound[w] = wi[w] ^ wl[w];
+    acc.add(bound.data());
   }
 
-  hypervector out(dim);
-  const std::size_t n = s.peaks.size();
-  const std::size_t half = n / 2;
-  const bool even = (n % 2) == 0;
-  for (std::size_t d = 0; d < dim; ++d) {
-    const std::size_t c = counts[d];
-    bool bit;
-    if (even && c == half) {
-      bit = tiebreak_.test(d);  // deterministic tie-break
-    } else {
-      bit = c > half;
-    }
-    out.assign(d, bit);
-  }
+  hypervector out(config_.dim);
+  acc.majority(tiebreak_.words().data(), out.words().data());
   return out;
 }
 
 std::vector<hypervector> id_level_encoder::encode_batch(
-    const std::vector<preprocess::quantized_spectrum>& spectra) const {
-  std::vector<hypervector> result;
-  result.reserve(spectra.size());
-  for (const auto& s : spectra) result.push_back(encode(s));
+    const std::vector<preprocess::quantized_spectrum>& spectra, thread_pool* pool) const {
+  std::vector<hypervector> result(spectra.size());
+  if (pool != nullptr) {
+    pool->parallel_for(spectra.size(), [&](std::size_t i) { result[i] = encode(spectra[i]); });
+  } else {
+    for (std::size_t i = 0; i < spectra.size(); ++i) result[i] = encode(spectra[i]);
+  }
   return result;
 }
 

@@ -17,6 +17,10 @@
 #include "hdc/item_memory.hpp"
 #include "preprocess/quantize.hpp"
 
+namespace spechd {
+class thread_pool;
+}
+
 namespace spechd::hdc {
 
 struct encoder_config {
@@ -35,13 +39,19 @@ public:
   std::size_t dim() const noexcept { return config_.dim; }
   const id_memory& ids() const noexcept { return ids_; }
   const level_memory& levels() const noexcept { return levels_; }
+  /// Deterministic tie-break donor for even peak counts (seed-derived).
+  const hypervector& tiebreak() const noexcept { return tiebreak_; }
 
-  /// Encodes one quantised spectrum (Eq. 2).
+  /// Encodes one quantised spectrum (Eq. 2). The per-dimension accumulation
+  /// runs through the bit-sliced carry-save counter in hdc::kernels instead
+  /// of a per-set-bit scatter; results are bit-identical (same tie-break).
   hypervector encode(const preprocess::quantized_spectrum& s) const;
 
-  /// Encodes a batch; order preserved.
+  /// Encodes a batch; order preserved. When `pool` is non-null, spectra are
+  /// distributed across it (output order and bits are unchanged).
   std::vector<hypervector> encode_batch(
-      const std::vector<preprocess::quantized_spectrum>& spectra) const;
+      const std::vector<preprocess::quantized_spectrum>& spectra,
+      spechd::thread_pool* pool = nullptr) const;
 
 private:
   encoder_config config_;

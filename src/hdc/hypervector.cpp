@@ -1,6 +1,6 @@
 #include "hdc/hypervector.hpp"
 
-#include <bit>
+#include "hdc/cpu_kernels.hpp"
 
 namespace spechd::hdc {
 
@@ -11,9 +11,7 @@ hypervector hypervector::random(std::size_t dim, xoshiro256ss& rng) {
 }
 
 std::size_t hypervector::popcount() const noexcept {
-  std::size_t count = 0;
-  for (const auto w : words_) count += static_cast<std::size_t>(std::popcount(w));
-  return count;
+  return kernels::popcount(words_.data(), words_.size());
 }
 
 hypervector& hypervector::operator^=(const hypervector& other) {
@@ -24,13 +22,7 @@ hypervector& hypervector::operator^=(const hypervector& other) {
 
 std::size_t hamming(const hypervector& a, const hypervector& b) {
   SPECHD_EXPECTS(a.dim() == b.dim());
-  std::size_t count = 0;
-  const auto wa = a.words();
-  const auto wb = b.words();
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    count += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
-  }
-  return count;
+  return kernels::xor_popcount(a.words().data(), b.words().data(), a.word_count());
 }
 
 double hamming_normalized(const hypervector& a, const hypervector& b) {

@@ -1,0 +1,108 @@
+// Minimal JSON emitter for machine-readable bench output.
+//
+// Benches print human tables to stdout but also drop a BENCH_*.json next to
+// the binary so the perf trajectory can be tracked across PRs without
+// scraping text. Flat writer, no DOM: begin/end nesting with automatic
+// comma handling, numeric and string fields only — exactly what the bench
+// records need.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd {
+
+class json_writer {
+public:
+  json_writer() { out_.precision(12); }
+
+  void begin_object() { open('{'); }
+  void begin_object(const std::string& key) { open_keyed(key, '{'); }
+  void end_object() { close('}'); }
+
+  void begin_array(const std::string& key) { open_keyed(key, '['); }
+  void end_array() { close(']'); }
+
+  void field(const std::string& key, const std::string& value) {
+    prefix(key);
+    out_ << '"' << escape(value) << '"';
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    prefix(key);
+    out_ << value;
+  }
+  void field(const std::string& key, std::size_t value) {
+    prefix(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    prefix(key);
+    out_ << (value ? "true" : "false");
+  }
+
+  /// Serialised document; all nesting must be closed.
+  std::string str() const {
+    SPECHD_EXPECTS(stack_.empty());
+    return out_.str();
+  }
+
+  /// Writes the document to `path` (throws io_error on failure).
+  void write_file(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw io_error("cannot open " + path + " for writing");
+    file << str() << '\n';
+  }
+
+private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void comma() {
+    if (!stack_.empty()) {
+      if (!stack_.back()) out_ << ", ";
+      stack_.back() = false;
+    }
+  }
+
+  void prefix(const std::string& key) {
+    comma();
+    out_ << '"' << escape(key) << "\": ";
+  }
+
+  void open(char bracket) {
+    comma();
+    out_ << bracket;
+    stack_.push_back(true);
+  }
+
+  void open_keyed(const std::string& key, char bracket) {
+    prefix(key);
+    out_ << bracket;
+    stack_.push_back(true);
+  }
+
+  void close(char bracket) {
+    SPECHD_EXPECTS(!stack_.empty());
+    stack_.pop_back();
+    out_ << bracket;
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> stack_;  ///< per level: "next entry is the first"
+};
+
+}  // namespace spechd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace spechd {
 
@@ -39,34 +40,70 @@ void thread_pool::worker_loop() {
   }
 }
 
-void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                               std::size_t grain) {
   if (n == 0) return;
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  if (grain == 0) {
+    // ~8 chunks per worker balances claim overhead against tail imbalance.
+    grain = std::max<std::size_t>(1, n / (size() * 8));
+  }
 
-  const std::size_t lanes = std::min(n, size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n || failed.load(std::memory_order_relaxed)) return;
+  struct shared_state {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+  };
+  auto st = std::make_shared<shared_state>();
+  st->remaining.store(n, std::memory_order_relaxed);
+
+  // Claims chunks until the index space is exhausted. Runs in the caller
+  // *and* in helper tasks; helpers that arrive after the caller drained the
+  // range return without touching `fn` (which lives on the caller's stack).
+  auto claim_loop = [st, n, grain, &fn] {
+    for (;;) {
+      const std::size_t start = st->next.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= n) return;
+      const std::size_t end = std::min(n, start + grain);
+      if (!st->failed.load(std::memory_order_relaxed)) {
         try {
-          fn(i);
+          for (std::size_t i = start; i < end; ++i) fn(i);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+          std::lock_guard lock(st->mutex);
+          if (!st->first_error) st->first_error = std::current_exception();
+          st->failed.store(true, std::memory_order_relaxed);
         }
       }
-    }));
+      // Claimed indices count as done even when skipped after a failure, so
+      // `remaining` always reaches zero and the caller can return.
+      if (st->remaining.fetch_sub(end - start, std::memory_order_acq_rel) ==
+          end - start) {
+        std::lock_guard lock(st->mutex);
+        st->done_cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers are fire-and-forget: completion is tracked through `remaining`,
+  // not futures, so a nested call never deadlocks waiting for a queue slot.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(chunks > 0 ? chunks - 1 : 0, size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace(claim_loop);
+    }
+    cv_.notify_one();
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+
+  claim_loop();
+  {
+    std::unique_lock lock(st->mutex);
+    st->done_cv.wait(lock, [&] { return st->remaining.load(std::memory_order_acquire) == 0; });
+  }
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 }  // namespace spechd

@@ -47,7 +47,17 @@ public:
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// Exceptions from any invocation are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// Indices are claimed in contiguous chunks (not one queued task per
+  /// index), so fine-grained loops — per-spectrum encoding, per-tile
+  /// Hamming blocks — don't drown in queue/future overhead. The calling
+  /// thread participates in the claim loop, which makes nested calls from
+  /// inside a worker safe: the caller can always finish the work itself,
+  /// so completion never waits on a queue slot.
+  ///
+  /// `grain` fixes the chunk size; 0 picks one based on n and pool width.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
 
 private:
   void worker_loop();

@@ -1,0 +1,301 @@
+// Equivalence tests for the dispatching kernel layer: every SIMD variant
+// and every thread count must produce *bit-identical* results to the scalar
+// reference — same Hamming counts, same encoded vectors (including the
+// even-count tie-break), same bundle majorities — so kernel dispatch can
+// never move quality metrics.
+#include "hdc/cpu_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "hdc/bundle.hpp"
+#include "hdc/distance.hpp"
+#include "hdc/encoder.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+namespace k = kernels;
+
+/// Restores the dispatched variant on scope exit.
+class variant_guard {
+public:
+  variant_guard() : saved_(k::active()) {}
+  ~variant_guard() { k::set_active(saved_); }
+
+private:
+  k::variant saved_;
+};
+
+std::vector<k::variant> supported_variants() {
+  std::vector<k::variant> out;
+  for (const k::variant v : {k::variant::scalar, k::variant::avx2, k::variant::avx512}) {
+    if (k::supported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, xoshiro256ss& rng) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng();
+  return w;
+}
+
+std::vector<hypervector> random_hvs(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  xoshiro256ss rng(seed);
+  std::vector<hypervector> hvs;
+  hvs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) hvs.push_back(hypervector::random(dim, rng));
+  return hvs;
+}
+
+std::size_t xor_popcount_reference(const std::uint64_t* a, const std::uint64_t* b,
+                                   std::size_t words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) count += std::popcount(a[w] ^ b[w]);
+  return count;
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupported) {
+  EXPECT_TRUE(k::supported(k::variant::scalar));
+  EXPECT_TRUE(k::supported(k::best_supported()));
+}
+
+TEST(KernelDispatch, SetActiveRejectsUnsupported) {
+  variant_guard guard;
+  if (!k::supported(k::variant::avx512)) {
+    EXPECT_THROW(k::set_active(k::variant::avx512), logic_error);
+  }
+  k::set_active(k::variant::scalar);
+  EXPECT_EQ(k::active(), k::variant::scalar);
+}
+
+TEST(KernelDispatch, ParseVariantRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(k::parse_variant("scalar"), k::variant::scalar);
+  EXPECT_EQ(k::parse_variant("avx2"), k::variant::avx2);
+  EXPECT_EQ(k::parse_variant("avx512"), k::variant::avx512);
+  EXPECT_EQ(k::parse_variant("auto"), k::best_supported());
+  EXPECT_THROW(k::parse_variant("sse9000"), logic_error);
+}
+
+TEST(XorPopcount, AllVariantsMatchReferenceAcrossWordCounts) {
+  variant_guard guard;
+  xoshiro256ss rng(11);
+  // 1/32/64 words = dims {64, 2048, 4096}; 3/7/33 exercise the SIMD tails.
+  for (const std::size_t words : {1UL, 3UL, 7UL, 32UL, 33UL, 64UL}) {
+    const auto a = random_words(words, rng);
+    const auto b = random_words(words, rng);
+    const std::size_t expected = xor_popcount_reference(a.data(), b.data(), words);
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      EXPECT_EQ(k::xor_popcount(a.data(), b.data(), words), expected)
+          << k::variant_name(v) << " words=" << words;
+      EXPECT_EQ(k::popcount(a.data(), words),
+                xor_popcount_reference(a.data(), std::vector<std::uint64_t>(words, 0).data(),
+                                       words))
+          << k::variant_name(v) << " words=" << words;
+    }
+  }
+}
+
+TEST(HammingTile, AllVariantsMatchPerPairReference) {
+  variant_guard guard;
+  constexpr std::size_t words = 32;
+  constexpr std::size_t n_rows = 5;
+  constexpr std::size_t n_cols = 7;
+  xoshiro256ss rng(13);
+  std::vector<std::vector<std::uint64_t>> row_data;
+  std::vector<std::vector<std::uint64_t>> col_data;
+  std::vector<const std::uint64_t*> rows;
+  std::vector<const std::uint64_t*> cols;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    row_data.push_back(random_words(words, rng));
+    rows.push_back(row_data.back().data());
+  }
+  for (std::size_t c = 0; c < n_cols; ++c) {
+    col_data.push_back(random_words(words, rng));
+    cols.push_back(col_data.back().data());
+  }
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    std::vector<std::uint32_t> counts(n_rows * n_cols, 0);
+    k::hamming_tile(rows.data(), n_rows, cols.data(), n_cols, words, counts.data());
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      for (std::size_t c = 0; c < n_cols; ++c) {
+        EXPECT_EQ(counts[r * n_cols + c], xor_popcount_reference(rows[r], cols[c], words))
+            << k::variant_name(v) << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(BitslicedAccumulator, CountsMatchIntegerCountersForAllVariants) {
+  variant_guard guard;
+  constexpr std::size_t words = 4;
+  constexpr std::size_t dims = words * 64;
+  constexpr std::size_t adds = 137;
+  xoshiro256ss data_rng(17);
+  std::vector<std::vector<std::uint64_t>> inputs;
+  for (std::size_t i = 0; i < adds; ++i) inputs.push_back(random_words(words, data_rng));
+
+  std::vector<std::uint32_t> reference(dims, 0);
+  for (const auto& in : inputs) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      reference[d] += static_cast<std::uint32_t>((in[d / 64] >> (d % 64)) & 1ULL);
+    }
+  }
+
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    k::bitsliced_accumulator acc(words);
+    for (const auto& in : inputs) acc.add(in.data());
+    EXPECT_EQ(acc.additions(), adds);
+    for (std::size_t d = 0; d < dims; ++d) {
+      ASSERT_EQ(acc.count_at(d), reference[d]) << k::variant_name(v) << " dim=" << d;
+    }
+  }
+}
+
+TEST(BitslicedAccumulator, MajorityMatchesReferenceIncludingEvenTies) {
+  variant_guard guard;
+  constexpr std::size_t words = 2;
+  constexpr std::size_t dims = words * 64;
+  for (const std::size_t adds : {1UL, 2UL, 6UL, 7UL, 64UL}) {
+    xoshiro256ss rng(100 + adds);
+    std::vector<std::vector<std::uint64_t>> inputs;
+    for (std::size_t i = 0; i < adds; ++i) inputs.push_back(random_words(words, rng));
+    const auto tie = random_words(words, rng);
+
+    // Integer-counter reference with the scalar path's exact tie rule.
+    std::vector<std::uint32_t> counts(dims, 0);
+    for (const auto& in : inputs) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        counts[d] += static_cast<std::uint32_t>((in[d / 64] >> (d % 64)) & 1ULL);
+      }
+    }
+    const std::size_t half = adds / 2;
+    const bool even = adds % 2 == 0;
+    std::vector<std::uint64_t> expected(words, 0);
+    bool tie_hit = false;
+    for (std::size_t d = 0; d < dims; ++d) {
+      bool bit;
+      if (even && counts[d] == half) {
+        bit = ((tie[d / 64] >> (d % 64)) & 1ULL) != 0;
+        tie_hit = true;
+      } else {
+        bit = counts[d] > half;
+      }
+      if (bit) expected[d / 64] |= 1ULL << (d % 64);
+    }
+    if (even) EXPECT_TRUE(tie_hit) << "even case should exercise the tie-break";
+
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      k::bitsliced_accumulator acc(words);
+      for (const auto& in : inputs) acc.add(in.data());
+      std::vector<std::uint64_t> out(words, 0);
+      acc.majority(tie.data(), out.data());
+      EXPECT_EQ(out, expected) << k::variant_name(v) << " adds=" << adds;
+    }
+  }
+}
+
+TEST(PairwiseHamming, VariantsAndThreadCountsBitIdentical) {
+  variant_guard guard;
+  for (const std::size_t dim : {64UL, 2048UL, 4096UL}) {
+    // 150 vectors spans multiple 64-wide tiles plus a ragged edge.
+    const auto hvs = random_hvs(150, dim, dim);
+
+    k::set_active(k::variant::scalar);
+    const auto f32_ref = pairwise_hamming_f32(hvs);
+    const auto q16_ref = pairwise_hamming_q16(hvs);
+
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      for (const std::size_t threads : {0UL, 1UL, 4UL}) {
+        thread_pool pool(threads == 0 ? 1 : threads);
+        thread_pool* p = threads == 0 ? nullptr : &pool;
+        const auto f32 = pairwise_hamming_f32(hvs, p);
+        const auto q16m = pairwise_hamming_q16(hvs, p);
+        ASSERT_EQ(f32.data(), f32_ref.data())
+            << k::variant_name(v) << " dim=" << dim << " threads=" << threads;
+        ASSERT_TRUE(q16m.data() == q16_ref.data())
+            << k::variant_name(v) << " dim=" << dim << " threads=" << threads;
+      }
+    }
+  }
+}
+
+preprocess::quantized_spectrum random_quantized(std::size_t peaks, std::uint32_t mz_bins,
+                                                std::uint16_t levels, xoshiro256ss& rng) {
+  preprocess::quantized_spectrum s;
+  for (std::size_t p = 0; p < peaks; ++p) {
+    s.peaks.push_back({static_cast<std::uint32_t>(rng.bounded(mz_bins)),
+                       static_cast<std::uint16_t>(rng.bounded(levels))});
+  }
+  return s;
+}
+
+TEST(Encoder, VariantsBitIdenticalIncludingEvenPeakCountsAndEmpty) {
+  variant_guard guard;
+  const encoder_config config{.dim = 2048, .seed = 0xC0FFEE};
+  const id_level_encoder encoder(config, 512, 32);
+  xoshiro256ss rng(23);
+
+  std::vector<preprocess::quantized_spectrum> spectra;
+  // Even peak counts (tie-break reachable), odd counts, and the empty
+  // spectrum (all-ties edge case).
+  for (const std::size_t peaks : {0UL, 1UL, 2UL, 7UL, 50UL, 64UL}) {
+    spectra.push_back(random_quantized(peaks, 512, 32, rng));
+  }
+
+  k::set_active(k::variant::scalar);
+  std::vector<hypervector> reference;
+  for (const auto& s : spectra) reference.push_back(encoder.encode(s));
+
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    for (std::size_t i = 0; i < spectra.size(); ++i) {
+      EXPECT_EQ(encoder.encode(spectra[i]), reference[i])
+          << k::variant_name(v) << " spectrum " << i;
+    }
+    for (const std::size_t threads : {1UL, 4UL}) {
+      thread_pool pool(threads);
+      const auto batch = encoder.encode_batch(spectra, &pool);
+      ASSERT_EQ(batch.size(), reference.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(batch[i], reference[i])
+            << k::variant_name(v) << " threads=" << threads << " spectrum " << i;
+      }
+    }
+  }
+}
+
+TEST(Bundle, VariantsBitIdenticalIncludingEvenMemberTies) {
+  variant_guard guard;
+  for (const std::size_t members : {1UL, 2UL, 5UL, 8UL}) {
+    const auto hvs = random_hvs(members, 2048, 31 + members);
+
+    k::set_active(k::variant::scalar);
+    incremental_bundle ref_bundle(2048);
+    for (const auto& hv : hvs) ref_bundle.add(hv);
+    const auto reference = ref_bundle.majority();
+
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      incremental_bundle bundle(2048);
+      for (const auto& hv : hvs) bundle.add(hv);
+      EXPECT_EQ(bundle.members(), members);
+      EXPECT_EQ(bundle.majority(), reference)
+          << k::variant_name(v) << " members=" << members;
+      EXPECT_EQ(bundle_majority(hvs), reference) << k::variant_name(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spechd::hdc

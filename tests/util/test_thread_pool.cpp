@@ -59,6 +59,30 @@ TEST(ThreadPool, ParallelForRethrowsWorkerException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForExplicitGrainTouchesEveryIndexOnce) {
+  thread_pool pool(3);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/7);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
+  // Nested use must not deadlock even on a single-worker pool: the caller
+  // participates in the claim loop, so completion never depends on a free
+  // queue slot.
+  for (const std::size_t workers : {1UL, 4UL}) {
+    thread_pool pool(workers);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(8, [&](std::size_t outer) {
+      pool.parallel_for(100, [&](std::size_t inner) { sum += outer * 100 + inner; });
+    });
+    // sum over outer in [0,8), inner in [0,100) of outer*100 + inner:
+    // 10000 * (0+...+7) + 8 * (0+...+99) = 280000 + 39600
+    EXPECT_EQ(sum.load(), 319600U);
+  }
+}
+
 TEST(ThreadPool, ManySubmissionsComplete) {
   thread_pool pool(3);
   std::vector<std::future<int>> futures;
