@@ -1,17 +1,21 @@
 // Fig. 2: Comparison between Naive and NN-chain HAC.
 //
 // Measures wall-clock of both algorithms over growing problem sizes with
-// google-benchmark, and prints the operation-count comparison that explains
+// google-benchmark, prints the operation-count comparison that explains
 // the gap (naive rescans the whole matrix after every merge; NN-chain does
-// amortised O(n) work per merge).
+// amortised O(n) work per merge), and records merges/sec of the
+// kernel-backed flat NN-chain vs the pre-kernel condensed implementation
+// into BENCH_fig2_nnchain.json (--json=PATH overrides the output path).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "cluster/naive_hac.hpp"
 #include "cluster/nn_chain.hpp"
 #include "hdc/distance.hpp"
+#include "util/bench_json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -112,11 +116,63 @@ void print_matrix_build(const spechd::bench::bench_options& opts) {
   std::cout << '\n';
 }
 
+// Kernel-backed flat NN-chain vs the pre-kernel condensed implementation,
+// single-threaded merges/sec over growing n (best of three runs per cell),
+// recorded to JSON so the >= 3x acceptance bar at n >= 2048 is checkable
+// against the PR-1 baseline in BENCH_kernels.json.
+void print_hac_throughput(const spechd::bench::bench_options& opts) {
+  using spechd::text_table;
+  const std::string json_path =
+      opts.json.empty() ? "BENCH_fig2_nnchain.json" : opts.json;
+
+  spechd::json_writer json;
+  json.begin_object();
+  json.begin_object("hac_merges_per_sec");
+  json.field("linkage", std::string("complete"));
+
+  text_table table("NN-chain merges/sec — condensed (pre-kernel) vs flat kernel");
+  table.set_header({"n", "condensed", "flat kernel", "speedup"});
+  for (const std::size_t n : {512UL, 1024UL, 2048UL, 4096UL}) {
+    const auto m = random_matrix(n, 42);
+    auto best_of = [&](auto&& run) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 3; ++rep) {
+        spechd::stopwatch watch;
+        auto r = run();
+        benchmark::DoNotOptimize(r);
+        best = std::min(best, watch.seconds());
+      }
+      return static_cast<double>(n - 1) / best;
+    };
+    const double condensed = best_of(
+        [&] { return spechd::cluster::nn_chain_hac_condensed(m, spechd::cluster::linkage::complete); });
+    const double flat = best_of(
+        [&] { return spechd::cluster::nn_chain_hac(m, spechd::cluster::linkage::complete); });
+    table.add_row({text_table::num(n), text_table::num(condensed, 0),
+                   text_table::num(flat, 0), text_table::num(flat / condensed, 2)});
+    json.begin_object("n" + std::to_string(n));
+    json.field("condensed_merges_per_sec", condensed);
+    json.field("flat_merges_per_sec", flat);
+    json.field("speedup", flat / condensed);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  table.print(std::cout);
+  std::cout << '\n';
+
+  if (!json_path.empty()) {
+    json.write_file(json_path);
+    std::cout << "wrote " << json_path << "\n\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opts = spechd::bench::parse_options(argc, argv);
   print_matrix_build(opts);
+  print_hac_throughput(opts);
   print_operation_counts();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

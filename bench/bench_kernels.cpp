@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cluster/nn_chain.hpp"
+#include "core/incremental.hpp"
 #include "core/spechd.hpp"
 #include "hdc/cpu_kernels.hpp"
 #include "hdc/distance.hpp"
@@ -251,6 +253,108 @@ int main(int argc, char** argv) {
   json.end_object();
   enc_table.print(std::cout);
   std::cout << '\n';
+
+  // --- NN-chain HAC (merges/sec) ---------------------------------------------
+  // The kernel-backed flat-matrix NN-chain vs the pre-kernel condensed
+  // implementation, single-threaded, best of three runs. The condensed
+  // number doubles as the PR-1 baseline for cross-PR tracking.
+  {
+    const std::size_t n_hac = 2048;
+    spechd::xoshiro256ss hac_rng(42);
+    spechd::hdc::distance_matrix_f32 mf(n_hac);
+    spechd::hdc::distance_matrix_q16 mq(n_hac);
+    for (std::size_t i = 1; i < n_hac; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const double v = hac_rng.uniform(0.01, 1.0);
+        mf.at(i, j) = static_cast<float>(v);
+        mq.at(i, j) = spechd::q16::from_double(v);
+      }
+    }
+    auto best_of = [&](auto&& run) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 3; ++rep) {
+        spechd::stopwatch watch;
+        auto r = run();
+        (void)r;
+        best = std::min(best, watch.seconds());
+      }
+      measurement m;
+      m.seconds = best;
+      m.per_sec = static_cast<double>(n_hac - 1) / best;
+      return m;
+    };
+    const auto link = spechd::cluster::linkage::complete;
+    const auto condensed =
+        best_of([&] { return spechd::cluster::nn_chain_hac_condensed(mf, link); });
+    const auto flat_f32 = best_of([&] { return spechd::cluster::nn_chain_hac(mf, link); });
+    const auto flat_q16 = best_of([&] { return spechd::cluster::nn_chain_hac(mq, link); });
+
+    text_table hac_table("NN-chain HAC, n=" + std::to_string(n_hac) +
+                         " (complete linkage, single-threaded)");
+    hac_table.set_header({"path", "seconds", "merges/sec", "speedup"});
+    hac_table.add_row({"condensed (pre-kernel)", text_table::num(condensed.seconds, 3),
+                       text_table::num(condensed.per_sec, 0), "1.00"});
+    hac_table.add_row({"flat kernel f32", text_table::num(flat_f32.seconds, 3),
+                       text_table::num(flat_f32.per_sec, 0),
+                       text_table::num(flat_f32.per_sec / condensed.per_sec, 2)});
+    hac_table.add_row({"flat kernel q16", text_table::num(flat_q16.seconds, 3),
+                       text_table::num(flat_q16.per_sec, 0),
+                       text_table::num(flat_q16.per_sec / condensed.per_sec, 2)});
+    hac_table.print(std::cout);
+    std::cout << '\n';
+
+    json.begin_object("hac_nn_chain");
+    json.field("n", n_hac);
+    json.field("linkage", std::string("complete"));
+    emit(json, "condensed_f32", condensed, "merges_per_sec");
+    emit(json, "flat_f32", flat_f32, "merges_per_sec");
+    emit(json, "flat_q16", flat_q16, "merges_per_sec");
+    json.field("speedup_f32", flat_f32.per_sec / condensed.per_sec);
+    json.field("speedup_q16", flat_q16.per_sec / condensed.per_sec);
+    json.end_object();
+  }
+
+  // --- streaming ingestion (spectra/sec) -------------------------------------
+  // Sequential one-spectrum-at-a-time ingestion vs push_batch over the same
+  // spectra (encode + route + assign through the shared pool and the
+  // dispatched Hamming row kernels).
+  {
+    const auto stream_data =
+        spechd::ms::generate_dataset(spechd::bench::synthetic_workload(200));
+    const auto stream_config = spechd::bench::pipeline_config(opts);
+    measurement sequential;
+    {
+      spechd::core::incremental_clusterer inc(stream_config);
+      sequential = time_run(stream_data.spectra.size(),
+                            [&] { inc.add_spectra(stream_data.spectra); });
+    }
+    measurement batched;
+    {
+      spechd::core::incremental_clusterer inc(stream_config);
+      batched = time_run(stream_data.spectra.size(),
+                         [&] { inc.push_batch(stream_data.spectra); });
+    }
+
+    text_table stream_table("streaming ingestion, " +
+                            std::to_string(stream_data.spectra.size()) +
+                            " synthetic spectra");
+    stream_table.set_header({"path", "seconds", "spectra/sec", "speedup"});
+    stream_table.add_row({"sequential add_spectra", text_table::num(sequential.seconds, 3),
+                          text_table::num(sequential.per_sec, 0), "1.00"});
+    stream_table.add_row({"push_batch", text_table::num(batched.seconds, 3),
+                          text_table::num(batched.per_sec, 0),
+                          text_table::num(batched.per_sec / sequential.per_sec, 2)});
+    stream_table.print(std::cout);
+    std::cout << '\n';
+
+    json.begin_object("streaming");
+    json.field("spectra", stream_data.spectra.size());
+    json.field("threads", threads);
+    emit(json, "sequential", sequential, "spectra_per_sec");
+    emit(json, "push_batch", batched, "spectra_per_sec");
+    json.field("speedup", batched.per_sec / sequential.per_sec);
+    json.end_object();
+  }
 
   // --- end-to-end pipeline ---------------------------------------------------
   const auto data =

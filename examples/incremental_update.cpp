@@ -33,8 +33,10 @@ int main() {
   core::spechd_config config;
   core::incremental_clusterer clusterer(config);
 
-  // One-time encoding of the repository.
-  auto report = clusterer.add_spectra(initial);
+  // One-time encoding of the repository: push_batch preprocesses and
+  // encodes the whole batch through the shared pool and assigns buckets in
+  // parallel (identical clusters to one-at-a-time push()).
+  auto report = clusterer.push_batch(initial);
   clusterer.rebuild_dirty_buckets();
   std::cout << "bootstrap: " << report.added << " spectra -> "
             << clusterer.cluster_count() << " clusters\n";
@@ -51,7 +53,7 @@ int main() {
   core::incremental_clusterer session(config);
   session.bootstrap(hdc::hv_store::load_file(store_path));
   for (const auto* batch : {&run1, &run2}) {
-    report = session.add_spectra(*batch);
+    report = session.push_batch(*batch);
     std::cout << "update: +" << report.added << " spectra, "
               << report.joined_existing << " joined existing clusters, "
               << report.new_clusters << " new clusters, "

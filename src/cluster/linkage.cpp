@@ -1,7 +1,6 @@
 #include "cluster/linkage.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "hdc/cpu_kernels.hpp"
 
 namespace spechd::cluster {
 
@@ -15,30 +14,24 @@ std::string_view linkage_name(linkage l) noexcept {
   return "?";
 }
 
+hdc::kernels::lw_linkage to_lw_linkage(linkage l) noexcept {
+  switch (l) {
+    case linkage::single: return hdc::kernels::lw_linkage::single;
+    case linkage::complete: return hdc::kernels::lw_linkage::complete;
+    case linkage::average: return hdc::kernels::lw_linkage::average;
+    case linkage::ward: return hdc::kernels::lw_linkage::ward;
+  }
+  return hdc::kernels::lw_linkage::complete;
+}
+
 double lance_williams(linkage l, double d_ka, double d_kb, double d_ab,
                       std::size_t size_a, std::size_t size_b, std::size_t size_k) noexcept {
-  switch (l) {
-    case linkage::single:
-      return std::min(d_ka, d_kb);
-    case linkage::complete:
-      return std::max(d_ka, d_kb);
-    case linkage::average: {
-      const double na = static_cast<double>(size_a);
-      const double nb = static_cast<double>(size_b);
-      return (na * d_ka + nb * d_kb) / (na + nb);
-    }
-    case linkage::ward: {
-      const double na = static_cast<double>(size_a);
-      const double nb = static_cast<double>(size_b);
-      const double nk = static_cast<double>(size_k);
-      const double t = na + nb + nk;
-      const double v = ((na + nk) * d_ka * d_ka + (nb + nk) * d_kb * d_kb -
-                        nk * d_ab * d_ab) /
-                       t;
-      return std::sqrt(std::max(0.0, v));
-    }
-  }
-  return d_ka;
+  // The arithmetic lives in hdc::kernels so the SIMD row-update variants and
+  // this scalar reference share one operation-for-operation definition.
+  return hdc::kernels::lance_williams(to_lw_linkage(l), d_ka, d_kb, d_ab,
+                                      static_cast<double>(size_a),
+                                      static_cast<double>(size_b),
+                                      static_cast<double>(size_k));
 }
 
 }  // namespace spechd::cluster

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <string_view>
 
+#include "hdc/cpu_kernels.hpp"
+
 namespace spechd::cluster {
 
 enum class linkage {
@@ -26,7 +28,13 @@ std::string_view linkage_name(linkage l) noexcept;
 
 /// Lance–Williams update: distance from cluster k to the merge of a and b,
 /// given the previous distances d_ka, d_kb, d_ab and the cluster sizes.
+/// Delegates to hdc::kernels::lance_williams — the single arithmetic
+/// definition shared with the SIMD row-update kernels.
 double lance_williams(linkage l, double d_ka, double d_kb, double d_ab,
                       std::size_t size_a, std::size_t size_b, std::size_t size_k) noexcept;
+
+/// Maps a cluster linkage onto the kernel layer's enum (they mirror each
+/// other; hdc cannot depend on cluster/, so the kernels carry their own).
+hdc::kernels::lw_linkage to_lw_linkage(linkage l) noexcept;
 
 }  // namespace spechd::cluster

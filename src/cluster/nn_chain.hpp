@@ -6,7 +6,18 @@
 // from the surviving chain — avoiding the naive method's full-matrix
 // minimum scan after every merge. For reducible linkages (all four we
 // support) it produces the same dendrogram as exhaustive greedy HAC in
-// O(n^2) time and O(n^2) space (the condensed matrix itself).
+// O(n^2) time and O(n^2) space.
+//
+// The default implementation works on a flat row-major n×n double matrix:
+// retired columns and the diagonal are parked at +inf, so the inner
+// nearest-neighbour scan is a branch-free argmin over a contiguous row
+// (hdc::kernels::nearest_active_scan) and the post-merge Lance–Williams
+// rewrite is a masked row kernel (hdc::kernels::lance_williams_row_update),
+// both runtime-dispatched to scalar/AVX2/AVX-512 like the XOR+popcount
+// kernels. Müllner's prefer-prev tie-break and the per-store rounding
+// policy are preserved bit-for-bit; nn_chain_hac_condensed keeps the
+// pre-kernel condensed-matrix implementation alive as the reference the
+// golden suite (tests/cluster/test_nn_chain_golden.cpp) compares against.
 //
 // Two element-type paths mirror the hardware:
 //   * f32 — reference implementation,
@@ -37,12 +48,21 @@ struct hac_result {
   hac_stats stats;
 };
 
-/// NN-chain HAC over a float condensed matrix.
+/// NN-chain HAC over a float condensed matrix (kernel-backed flat-matrix
+/// implementation).
 hac_result nn_chain_hac(const hdc::distance_matrix_f32& distances, linkage link);
 
 /// NN-chain HAC over the FPGA's 16-bit fixed-point matrix; intermediate
 /// Lance–Williams arithmetic runs wide (double) and results are re-quantised
 /// to the Q0.16 grid on store, as the HLS kernel does.
 hac_result nn_chain_hac(const hdc::distance_matrix_q16& distances, linkage link);
+
+/// The pre-kernel condensed-matrix NN-chain, retained verbatim (plus the
+/// degenerate +inf-row fallback) as the bit-exact reference the golden
+/// equivalence suite and bench_fig2 compare the flat implementation
+/// against. Same dendrogram, same stats, scalar pointer-chasing inner
+/// loops.
+hac_result nn_chain_hac_condensed(const hdc::distance_matrix_f32& distances, linkage link);
+hac_result nn_chain_hac_condensed(const hdc::distance_matrix_q16& distances, linkage link);
 
 }  // namespace spechd::cluster

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "hdc/cpu_kernels.hpp"
 #include "hdc/distance.hpp"
 #include "preprocess/pipeline.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spechd::core {
 
@@ -13,6 +15,16 @@ incremental_clusterer::incremental_clusterer(spechd_config config, assign_mode m
       mode_(mode),
       encoder_(config_.encoder, config_.preprocess.quantize.mz_bins,
                config_.preprocess.quantize.intensity_levels) {}
+
+incremental_clusterer::~incremental_clusterer() = default;
+incremental_clusterer::incremental_clusterer(incremental_clusterer&&) noexcept = default;
+incremental_clusterer& incremental_clusterer::operator=(incremental_clusterer&&) noexcept =
+    default;
+
+thread_pool& incremental_clusterer::pool() {
+  if (!pool_) pool_ = std::make_unique<thread_pool>(config_.threads);
+  return *pool_;
+}
 
 void incremental_clusterer::bootstrap(const hdc::hv_store& store) {
   SPECHD_EXPECTS(store.dim() == config_.encoder.dim);
@@ -24,9 +36,15 @@ void incremental_clusterer::bootstrap(const hdc::hv_store& store) {
                                               config_.preprocess.bucketing);
     buckets_[key].members.push_back(i);
   }
-  for (auto& [key, bucket] : buckets_) {
-    recluster(bucket);
-  }
+  std::vector<bucket_state*> all;
+  all.reserve(buckets_.size());
+  for (auto& [key, bucket] : buckets_) all.push_back(&bucket);
+  thread_pool& p = pool();
+  p.parallel_for(all.size(), [&](std::size_t b) { recluster(*all[b]); }, /*grain=*/1);
+}
+
+update_report incremental_clusterer::push(const ms::spectrum& spectrum) {
+  return add_spectra({spectrum});
 }
 
 update_report incremental_clusterer::add_spectra(const std::vector<ms::spectrum>& spectra) {
@@ -56,8 +74,66 @@ update_report incremental_clusterer::add_spectra(const std::vector<ms::spectrum>
   return report;
 }
 
+update_report incremental_clusterer::push_batch(const std::vector<ms::spectrum>& spectra) {
+  update_report report;
+  auto batch = preprocess::run_preprocessing(spectra, config_.preprocess);
+  if (!batch.spectra.empty()) {
+    thread_pool& p = pool();
+    // One batch-parallel encode pass (bit-identical to per-spectrum
+    // encode), then route every record to its bucket in arrival order.
+    auto hvs = encoder_.encode_batch(batch.spectra, &p);
+    std::map<std::int64_t, std::vector<std::uint32_t>> fresh;
+    for (std::size_t i = 0; i < batch.spectra.size(); ++i) {
+      const auto& q = batch.spectra[i];
+      hdc::hv_record record;
+      record.hv = std::move(hvs[i]);
+      record.precursor_mz = q.precursor_mz;
+      record.precursor_charge = q.precursor_charge;
+      record.label = q.label;
+      record.scan = static_cast<std::uint32_t>(records_.size());
+      const auto index = static_cast<std::uint32_t>(records_.size());
+      records_.push_back(std::move(record));
+      const auto key = preprocess::bucket_index(q.precursor_mz, q.precursor_charge,
+                                                config_.preprocess.bucketing);
+      fresh[key].push_back(index);
+    }
+
+    // Buckets advance independently: parallel across buckets, arrival
+    // order within each — so the assignment each member sees is exactly
+    // what sequential push() would have shown it.
+    struct job {
+      bucket_state* bucket;
+      const std::vector<std::uint32_t>* indices;
+    };
+    std::vector<job> jobs;
+    jobs.reserve(fresh.size());
+    for (auto& [key, indices] : fresh) jobs.push_back({&buckets_[key], &indices});
+    std::vector<update_report> partial(jobs.size());
+    p.parallel_for(
+        jobs.size(),
+        [&](std::size_t b) {
+          bucket_state& bucket = *jobs[b].bucket;
+          for (const auto index : *jobs[b].indices) {
+            bucket.members.push_back(index);
+            assign(bucket, index, partial[b]);
+            bucket.dirty = true;
+          }
+        },
+        /*grain=*/1);
+    for (const auto& r : partial) {
+      report.joined_existing += r.joined_existing;
+      report.new_clusters += r.new_clusters;
+    }
+    report.added = batch.spectra.size();
+  }
+  std::size_t touched = 0;
+  for (const auto& [key, bucket] : buckets_) touched += bucket.dirty ? 1 : 0;
+  report.buckets_touched = touched;
+  return report;
+}
+
 void incremental_clusterer::assign(bucket_state& bucket, std::uint32_t index,
-                                   update_report& report) {
+                                   update_report& report) const {
   // The new member is the last entry; its local label is decided here.
   const auto& hv = records_[index].hv;
   const double threshold = config_.distance_threshold;
@@ -76,14 +152,28 @@ void incremental_clusterer::assign(bucket_state& bucket, std::uint32_t index,
     }
   } else {
     // Complete-linkage test: per existing cluster, the *worst* distance to
-    // any member must stay below the cut for a join.
+    // any member must stay below the cut for a join. The whole member row
+    // is computed with one dispatched Hamming-tile call (same kernels, and
+    // bit-identical normalisation, as the per-pair path it replaces).
     std::map<std::int32_t, double> worst;
-    for (std::size_t i = 0; i + 1 < bucket.members.size(); ++i) {
-      const auto other = bucket.members[i];
-      const auto label = bucket.local_labels[i];
-      const double d = hdc::hamming_normalized(hv, records_[other].hv);
-      auto [it, inserted] = worst.try_emplace(label, d);
-      if (!inserted) it->second = std::max(it->second, d);
+    const std::size_t existing = bucket.members.size() - 1;
+    if (existing > 0) {
+      const std::size_t words = hv.word_count();
+      const double dim = static_cast<double>(hv.dim());
+      std::vector<const std::uint64_t*> cols;
+      cols.reserve(existing);
+      for (std::size_t i = 0; i < existing; ++i) {
+        cols.push_back(records_[bucket.members[i]].hv.words().data());
+      }
+      std::vector<std::uint32_t> counts(existing);
+      const std::uint64_t* row = hv.words().data();
+      hdc::kernels::hamming_tile(&row, 1, cols.data(), existing, words, counts.data());
+      for (std::size_t i = 0; i < existing; ++i) {
+        const auto label = bucket.local_labels[i];
+        const double d = static_cast<double>(counts[i]) / dim;
+        auto [it, inserted] = worst.try_emplace(label, d);
+        if (!inserted) it->second = std::max(it->second, d);
+      }
     }
     double best_worst = threshold;
     for (const auto& [label, w] : worst) {
@@ -130,12 +220,10 @@ void incremental_clusterer::recluster(bucket_state& bucket) {
   hvs.reserve(n);
   for (const auto idx : bucket.members) hvs.push_back(records_[idx].hv);
 
-  cluster::hac_result hac;
-  if (config_.use_fixed_point) {
-    hac = cluster::nn_chain_hac(hdc::pairwise_hamming_q16(hvs), config_.link);
-  } else {
-    hac = cluster::nn_chain_hac(hdc::pairwise_hamming_f32(hvs), config_.link);
-  }
+  // Same code path as the batch pipeline's per-bucket clustering (the pool
+  // may be null when only sequential ingestion ever ran; parallel_for is
+  // nested-safe, so reclusters dispatched from the pool can share it).
+  cluster::hac_result hac = bucket_hac(hvs, config_, pool_.get());
   auto flat = hac.tree.cut(config_.distance_threshold);
   bucket.local_labels = std::move(flat.labels);
   bucket.next_local = static_cast<std::int32_t>(flat.cluster_count);
@@ -153,9 +241,14 @@ void incremental_clusterer::recluster(bucket_state& bucket) {
 }
 
 void incremental_clusterer::rebuild_dirty_buckets() {
+  std::vector<bucket_state*> dirty;
   for (auto& [key, bucket] : buckets_) {
-    if (bucket.dirty) recluster(bucket);
+    if (bucket.dirty) dirty.push_back(&bucket);
   }
+  if (dirty.empty()) return;
+  thread_pool& p = pool();
+  p.parallel_for(dirty.size(), [&](std::size_t b) { recluster(*dirty[b]); },
+                 /*grain=*/1);
 }
 
 cluster::flat_clustering incremental_clusterer::clustering() const {

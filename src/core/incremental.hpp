@@ -12,10 +12,23 @@
 // existing cluster (complete-linkage test against all members, matching
 // the batch pipeline's criterion) or founds a new cluster; buckets whose
 // membership changed re-run NN-chain locally when `rebuild` is requested.
+//
+// Two ingestion paths share one assignment semantic:
+//   * push() / add_spectra() — the sequential reference: one spectrum at a
+//     time, in arrival order.
+//   * push_batch() — the streaming fast path: the whole batch is
+//     preprocessed once, encoded through the shared thread pool, routed to
+//     buckets, and then assigned bucket-by-bucket in parallel. Members of
+//     one bucket are still assigned in arrival order and the in-bucket
+//     distance rows go through the same dispatched Hamming kernels, so the
+//     resulting clusters are identical to sequential push() of the same
+//     sequence for any thread count (tests/core/test_incremental_batch.cpp
+//     pins this).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "cluster/nn_chain.hpp"
@@ -23,6 +36,10 @@
 #include "hdc/bundle.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/hv_store.hpp"
+
+namespace spechd {
+class thread_pool;
+}
 
 namespace spechd::core {
 
@@ -48,16 +65,31 @@ class incremental_clusterer {
 public:
   explicit incremental_clusterer(spechd_config config,
                                  assign_mode mode = assign_mode::complete_linkage);
+  ~incremental_clusterer();
+  incremental_clusterer(incremental_clusterer&&) noexcept;
+  incremental_clusterer& operator=(incremental_clusterer&&) noexcept;
 
   /// Bootstraps state from an existing store (e.g. loaded from disk):
-  /// clusters every bucket with NN-chain, exactly like the batch pipeline.
+  /// clusters every bucket with NN-chain — through the same bucket_hac
+  /// path as the batch pipeline — in parallel across buckets.
   void bootstrap(const hdc::hv_store& store);
 
-  /// Ingests a new batch of raw spectra: preprocess -> encode -> assign.
+  /// Ingests one spectrum through the sequential reference path.
+  update_report push(const ms::spectrum& spectrum);
+
+  /// Ingests a new batch of raw spectra one at a time (sequential
+  /// reference path): preprocess -> encode -> assign, in arrival order.
   update_report add_spectra(const std::vector<ms::spectrum>& spectra);
 
-  /// Fully re-clusters every bucket marked dirty by add_spectra (restores
-  /// batch-pipeline-equivalent assignments at O(changed buckets) cost).
+  /// Streaming fast path: preprocesses and encodes the whole batch at
+  /// once (batch-parallel through the shared pool), then assigns per
+  /// bucket in parallel. Produces exactly the clusters sequential push()
+  /// of the same sequence would, for any thread count.
+  update_report push_batch(const std::vector<ms::spectrum>& spectra);
+
+  /// Fully re-clusters every bucket marked dirty by ingestion (restores
+  /// batch-pipeline-equivalent assignments at O(changed buckets) cost);
+  /// dirty buckets are redistributed over the shared pool.
   void rebuild_dirty_buckets();
 
   /// Current flat clustering over all ingested records, in ingestion order.
@@ -81,16 +113,23 @@ private:
 
   /// Assigns record `index` (already in `bucket`) to a cluster by the
   /// complete-linkage criterion: join the cluster whose *maximum* member
-  /// distance is smallest and below threshold.
-  void assign(bucket_state& bucket, std::uint32_t index, update_report& report);
+  /// distance is smallest and below threshold. The member-distance row is
+  /// computed with one dispatched hamming_tile call. Thread-safe for
+  /// distinct buckets (reads records_, mutates only `bucket` and `report`).
+  void assign(bucket_state& bucket, std::uint32_t index, update_report& report) const;
 
   void recluster(bucket_state& bucket);
+
+  /// Lazily-created shared pool (config_.threads workers) for push_batch,
+  /// bootstrap, and rebuild_dirty_buckets.
+  thread_pool& pool();
 
   spechd_config config_;
   assign_mode mode_;
   hdc::id_level_encoder encoder_;
   std::vector<hdc::hv_record> records_;
   std::map<std::int64_t, bucket_state> buckets_;
+  std::unique_ptr<thread_pool> pool_;
 };
 
 }  // namespace spechd::core

@@ -11,6 +11,18 @@
 
 namespace spechd::core {
 
+cluster::hac_result bucket_hac(const std::vector<hdc::hypervector>& hvs,
+                               const spechd_config& config, thread_pool* pool,
+                               const hdc::distance_matrix_f32* prebuilt_f32) {
+  if (config.use_fixed_point) {
+    return cluster::nn_chain_hac(hdc::pairwise_hamming_q16(hvs, pool), config.link);
+  }
+  if (prebuilt_f32 != nullptr) {
+    return cluster::nn_chain_hac(*prebuilt_f32, config.link);
+  }
+  return cluster::nn_chain_hac(hdc::pairwise_hamming_f32(hvs, pool), config.link);
+}
+
 spechd_pipeline::spechd_pipeline(spechd_config config) : config_(std::move(config)) {}
 
 spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) const {
@@ -81,16 +93,11 @@ spechd_result spechd_pipeline::run(const std::vector<ms::spectrum>& spectra) con
     for (const auto idx : bucket.members) bucket_hvs.push_back(hvs[idx]);
 
     // Distance matrix: the f32 copy is always built for consensus (the
-    // "original distance matrix" of Sec. III-C); the cluster path uses the
-    // FPGA's q16 grid when configured.
+    // "original distance matrix" of Sec. III-C); the cluster path goes
+    // through bucket_hac — the same code path the incremental clusterer
+    // uses — which picks the FPGA's q16 grid when configured.
     const auto matrix_f32 = hdc::pairwise_hamming_f32(bucket_hvs, &pool);
-    cluster::hac_result hac;
-    if (config_.use_fixed_point) {
-      const auto matrix_q16 = hdc::pairwise_hamming_q16(bucket_hvs, &pool);
-      hac = cluster::nn_chain_hac(matrix_q16, config_.link);
-    } else {
-      hac = cluster::nn_chain_hac(matrix_f32, config_.link);
-    }
+    cluster::hac_result hac = bucket_hac(bucket_hvs, config_, &pool, &matrix_f32);
     out.stats = hac.stats;
 
     auto flat = hac.tree.cut(config_.distance_threshold);

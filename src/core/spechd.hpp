@@ -23,6 +23,10 @@
 #include "ms/spectrum.hpp"
 #include "preprocess/pipeline.hpp"
 
+namespace spechd {
+class thread_pool;
+}
+
 namespace spechd::core {
 
 struct spechd_config {
@@ -67,6 +71,16 @@ struct spechd_result {
                                         ///< FPGA cycle model)
   measured_phases phases;
 };
+
+/// Clusters one bucket's hypervectors exactly as the batch pipeline does:
+/// kernel-tiled pairwise Hamming matrix (q16 when config.use_fixed_point,
+/// f32 otherwise) into the kernel-backed NN-chain. Shared by the batch
+/// pipeline and the incremental/streaming path so the two cannot drift.
+/// `prebuilt_f32` lets a caller that already built the float matrix (the
+/// pipeline keeps one for consensus) avoid a rebuild on the f32 path.
+cluster::hac_result bucket_hac(const std::vector<hdc::hypervector>& hvs,
+                               const spechd_config& config, thread_pool* pool,
+                               const hdc::distance_matrix_f32* prebuilt_f32 = nullptr);
 
 class spechd_pipeline {
 public:

@@ -1,7 +1,12 @@
 #include "hdc/cpu_kernels.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "util/fixed_point.hpp"
 
 // SIMD variants are compiled only on x86-64 GCC/Clang builds (the target
 // attribute lets one translation unit hold AVX code without global -mavx
@@ -46,6 +51,64 @@ void hamming_tile_scalar(const std::uint64_t* const* rows, std::size_t n_rows,
       counts[r * n_cols + c] =
           static_cast<std::uint32_t>(xor_popcount_scalar(rows[r], cols[c], words));
     }
+  }
+}
+
+row_min nearest_active_scan_scalar(const double* row, const std::uint8_t* active,
+                                   std::size_t n) noexcept {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  row_min best{0, inf};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = active[i] != 0 ? row[i] : inf;
+    if (v < best.value) {
+      best.value = v;
+      best.index = static_cast<std::uint32_t>(i);
+    }
+  }
+  return best;
+}
+
+row_min nearest_active_scan_f32_scalar(const float* row, const std::uint8_t* active,
+                                       std::size_t n) noexcept {
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  std::uint32_t index = 0;
+  float best = inf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = active[i] != 0 ? row[i] : inf;
+    if (v < best) {
+      best = v;
+      index = static_cast<std::uint32_t>(i);
+    }
+  }
+  return {index, static_cast<double>(best)};
+}
+
+// q16 store rounding over a double (see q16::from_double): used by the row
+// update so the working matrix stays on the FPGA's Q0.16 grid.
+double lw_store_q16(double v) noexcept { return q16::from_double(v).to_double(); }
+
+void lance_williams_row_update_scalar(double* keep_row, const double* gone_row,
+                                      const std::uint8_t* active, const double* sizes,
+                                      std::size_t n, const lw_update& u) noexcept {
+  const bool round = u.store == lw_store::q16;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, gone_row[k], keep_row[k], u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = round ? lw_store_q16(v) : v;
+  }
+}
+
+void lance_williams_row_update_f32_scalar(float* keep_row, const float* gone_row,
+                                          const std::uint8_t* active, const double* sizes,
+                                          std::size_t n, const lw_update& u) noexcept {
+  const bool round = u.store == lw_store::q16;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, static_cast<double>(gone_row[k]),
+                                    static_cast<double>(keep_row[k]), u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = static_cast<float>(round ? lw_store_q16(v) : v);
   }
 }
 
@@ -142,6 +205,211 @@ __attribute__((target("avx2"))) void hamming_tile_avx2(const std::uint64_t* cons
   }
 }
 
+/// 4 active bytes -> 4 all-ones/all-zeros double lanes.
+__attribute__((target("avx2"))) inline __m256d active_mask_pd_avx2(const std::uint8_t* active) {
+  std::uint32_t packed;
+  std::memcpy(&packed, active, 4);
+  const __m256i lanes = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+  return _mm256_castsi256_pd(_mm256_cmpgt_epi64(lanes, _mm256_setzero_si256()));
+}
+
+__attribute__((target("avx2"))) row_min nearest_active_scan_avx2(
+    const double* row, const std::uint8_t* active, std::size_t n) noexcept {
+  if (n < 8) return nearest_active_scan_scalar(row, active, n);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const __m256d vinf = _mm256_set1_pd(inf);
+  // Pass 1: lane-wise minimum with inactive lanes blended to +inf.
+  __m256d vmin = vinf;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_blendv_pd(vinf, _mm256_loadu_pd(row + i),
+                                       active_mask_pd_avx2(active + i));
+    vmin = _mm256_min_pd(vmin, v);
+  }
+  const __m128d lo = _mm256_castpd256_pd128(vmin);
+  const __m128d hi = _mm256_extractf128_pd(vmin, 1);
+  const __m128d m2 = _mm_min_pd(lo, hi);
+  double m = _mm_cvtsd_f64(_mm_min_sd(m2, _mm_unpackhi_pd(m2, m2)));
+  for (; i < n; ++i) {
+    const double v = active[i] != 0 ? row[i] : inf;
+    m = std::min(m, v);
+  }
+  // Pass 2: first masked lane equal to the minimum — the strict-< scalar
+  // loop keeps the lowest index among ties, and so does this scan order.
+  const __m256d vm = _mm256_set1_pd(m);
+  for (std::size_t j = 0; j + 4 <= n; j += 4) {
+    const __m256d v = _mm256_blendv_pd(vinf, _mm256_loadu_pd(row + j),
+                                       active_mask_pd_avx2(active + j));
+    const int hit = _mm256_movemask_pd(_mm256_cmp_pd(v, vm, _CMP_EQ_OQ));
+    if (hit != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(static_cast<unsigned>(hit)));
+      return {static_cast<std::uint32_t>(j + lane), m};
+    }
+  }
+  for (std::size_t j = n & ~std::size_t{3}; j < n; ++j) {
+    const double v = active[j] != 0 ? row[j] : inf;
+    if (v == m) return {static_cast<std::uint32_t>(j), m};
+  }
+  return {0, m};  // unreachable for NaN-free active lanes
+}
+
+/// q16::from_double over 4 lanes: clamp at 0, round-half-up on the Q0.16
+/// grid, saturate at 0xFFFF — every branch of the scalar matches a blend.
+__attribute__((target("avx2"))) inline __m256d q16_store_pd_avx2(__m256d v) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d scale = _mm256_set1_pd(65536.0);
+  const __m256d t = _mm256_add_pd(_mm256_mul_pd(v, scale), _mm256_set1_pd(0.5));
+  __m256d r = _mm256_mul_pd(_mm256_round_pd(t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC),
+                            _mm256_set1_pd(1.0 / 65536.0));
+  r = _mm256_blendv_pd(r, _mm256_set1_pd(65535.0 / 65536.0),
+                       _mm256_cmp_pd(t, scale, _CMP_GE_OQ));
+  return _mm256_blendv_pd(r, zero, _mm256_cmp_pd(v, zero, _CMP_LE_OQ));
+}
+
+/// lance_williams over 4 lanes, operation-for-operation (the library builds
+/// with -ffp-contract=off, so mul/add/div/sqrt below round exactly like the
+/// scalar's).
+__attribute__((target("avx2"))) inline __m256d lw_avx2(__m256d d_ka, __m256d d_kb,
+                                                       __m256d nk, const lw_update& u) {
+  switch (u.link) {
+    case lw_linkage::single:
+      return _mm256_min_pd(d_ka, d_kb);
+    case lw_linkage::complete:
+      return _mm256_max_pd(d_ka, d_kb);
+    case lw_linkage::average: {
+      const __m256d na = _mm256_set1_pd(u.size_a);
+      const __m256d nb = _mm256_set1_pd(u.size_b);
+      return _mm256_div_pd(_mm256_add_pd(_mm256_mul_pd(na, d_ka), _mm256_mul_pd(nb, d_kb)),
+                           _mm256_set1_pd(u.size_a + u.size_b));
+    }
+    case lw_linkage::ward: {
+      const __m256d na = _mm256_set1_pd(u.size_a);
+      const __m256d nb = _mm256_set1_pd(u.size_b);
+      const __m256d dab = _mm256_set1_pd(u.d_ab);
+      const __m256d t = _mm256_add_pd(_mm256_set1_pd(u.size_a + u.size_b), nk);
+      const __m256d t1 = _mm256_mul_pd(_mm256_mul_pd(_mm256_add_pd(na, nk), d_ka), d_ka);
+      const __m256d t2 = _mm256_mul_pd(_mm256_mul_pd(_mm256_add_pd(nb, nk), d_kb), d_kb);
+      const __m256d t3 = _mm256_mul_pd(_mm256_mul_pd(nk, dab), dab);
+      const __m256d v = _mm256_div_pd(_mm256_sub_pd(_mm256_add_pd(t1, t2), t3), t);
+      // std::max(0.0, v) with its exact NaN semantics: 0 < v is false for
+      // NaN, so NaN (inf - inf on degenerate rows) collapses to 0.
+      const __m256d pos = _mm256_cmp_pd(_mm256_setzero_pd(), v, _CMP_LT_OQ);
+      return _mm256_sqrt_pd(_mm256_and_pd(v, pos));
+    }
+  }
+  return d_ka;
+}
+
+__attribute__((target("avx2"))) void lance_williams_row_update_avx2(
+    double* keep_row, const double* gone_row, const std::uint8_t* active,
+    const double* sizes, std::size_t n, const lw_update& u) noexcept {
+  const bool round = u.store == lw_store::q16;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d mask = active_mask_pd_avx2(active + k);
+    if (_mm256_testz_pd(mask, mask) != 0) continue;
+    const __m256d d_kb = _mm256_loadu_pd(keep_row + k);
+    const __m256d d_ka = _mm256_loadu_pd(gone_row + k);
+    __m256d v = lw_avx2(d_ka, d_kb, _mm256_loadu_pd(sizes + k), u);
+    if (round) v = q16_store_pd_avx2(v);
+    _mm256_storeu_pd(keep_row + k, _mm256_blendv_pd(d_kb, v, mask));
+  }
+  for (; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, gone_row[k], keep_row[k], u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = round ? lw_store_q16(v) : v;
+  }
+}
+
+/// 8 active bytes -> 8 all-ones/all-zeros float lanes.
+__attribute__((target("avx2"))) inline __m256 active_mask_ps_avx2(const std::uint8_t* active) {
+  std::uint64_t packed;
+  std::memcpy(&packed, active, 8);
+  const __m256i lanes =
+      _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(static_cast<long long>(packed)));
+  return _mm256_castsi256_ps(_mm256_cmpgt_epi32(lanes, _mm256_setzero_si256()));
+}
+
+__attribute__((target("avx2"))) row_min nearest_active_scan_f32_avx2(
+    const float* row, const std::uint8_t* active, std::size_t n) noexcept {
+  if (n < 16) return nearest_active_scan_f32_scalar(row, active, n);
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  const __m256 vinf = _mm256_set1_ps(inf);
+  __m256 vmin = vinf;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_blendv_ps(vinf, _mm256_loadu_ps(row + i),
+                                      active_mask_ps_avx2(active + i));
+    vmin = _mm256_min_ps(vmin, v);
+  }
+  __m128 x = _mm_min_ps(_mm256_castps256_ps128(vmin), _mm256_extractf128_ps(vmin, 1));
+  x = _mm_min_ps(x, _mm_movehl_ps(x, x));
+  x = _mm_min_ss(x, _mm_shuffle_ps(x, x, 1));
+  float m = _mm_cvtss_f32(x);
+  for (; i < n; ++i) {
+    const float v = active[i] != 0 ? row[i] : inf;
+    m = std::min(m, v);
+  }
+  const __m256 vm = _mm256_set1_ps(m);
+  for (std::size_t j = 0; j + 8 <= n; j += 8) {
+    const __m256 v = _mm256_blendv_ps(vinf, _mm256_loadu_ps(row + j),
+                                      active_mask_ps_avx2(active + j));
+    const int hit = _mm256_movemask_ps(_mm256_cmp_ps(v, vm, _CMP_EQ_OQ));
+    if (hit != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(static_cast<unsigned>(hit)));
+      return {static_cast<std::uint32_t>(j + lane), static_cast<double>(m)};
+    }
+  }
+  for (std::size_t j = n & ~std::size_t{7}; j < n; ++j) {
+    const float v = active[j] != 0 ? row[j] : inf;
+    if (v == m) return {static_cast<std::uint32_t>(j), static_cast<double>(m)};
+  }
+  return {0, static_cast<double>(m)};  // unreachable for NaN-free active lanes
+}
+
+__attribute__((target("avx2"))) void lance_williams_row_update_f32_avx2(
+    float* keep_row, const float* gone_row, const std::uint8_t* active,
+    const double* sizes, std::size_t n, const lw_update& u) noexcept {
+  const bool minmax = u.link == lw_linkage::single || u.link == lw_linkage::complete;
+  const bool round = u.store == lw_store::q16;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256 mask = active_mask_ps_avx2(active + k);
+    if (_mm256_testz_ps(mask, mask) != 0) continue;
+    const __m256 kb = _mm256_loadu_ps(keep_row + k);
+    const __m256 ka = _mm256_loadu_ps(gone_row + k);
+    __m256 res;
+    if (minmax) {
+      // min/max only ever *select* one of the two float operands, so no
+      // widening (and no q16 re-rounding of on-grid values) is needed.
+      res = u.link == lw_linkage::single ? _mm256_min_ps(ka, kb) : _mm256_max_ps(ka, kb);
+    } else {
+      // Widen each half to double, run the exact double-lane update, and
+      // narrow the (grid-exact) results back.
+      const __m256d ka_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(ka));
+      const __m256d ka_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(ka, 1));
+      const __m256d kb_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(kb));
+      const __m256d kb_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(kb, 1));
+      __m256d r_lo = lw_avx2(ka_lo, kb_lo, _mm256_loadu_pd(sizes + k), u);
+      __m256d r_hi = lw_avx2(ka_hi, kb_hi, _mm256_loadu_pd(sizes + k + 4), u);
+      if (round) {
+        r_lo = q16_store_pd_avx2(r_lo);
+        r_hi = q16_store_pd_avx2(r_hi);
+      }
+      res = _mm256_set_m128(_mm256_cvtpd_ps(r_hi), _mm256_cvtpd_ps(r_lo));
+    }
+    _mm256_storeu_ps(keep_row + k, _mm256_blendv_ps(kb, res, mask));
+  }
+  for (; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, static_cast<double>(gone_row[k]),
+                                    static_cast<double>(keep_row[k]), u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = static_cast<float>(round ? lw_store_q16(v) : v);
+  }
+}
+
 __attribute__((target("avx2"))) void bitsliced_add_avx2(std::uint64_t* planes,
                                                         std::size_t words,
                                                         std::size_t plane_count,
@@ -209,6 +477,198 @@ __attribute__((target("avx512f,avx512vpopcntdq"))) void hamming_tile_avx512(
   }
 }
 
+/// 8 active bytes -> an 8-lane predicate mask.
+__attribute__((target("avx512f"))) inline __mmask8 active_mask_avx512(
+    const std::uint8_t* active) {
+  const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(active));
+  return _mm512_cmpneq_epi64_mask(_mm512_cvtepu8_epi64(bytes), _mm512_setzero_si512());
+}
+
+__attribute__((target("avx512f"))) row_min nearest_active_scan_avx512(
+    const double* row, const std::uint8_t* active, std::size_t n) noexcept {
+  if (n < 16) return nearest_active_scan_scalar(row, active, n);
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const __m512d vinf = _mm512_set1_pd(inf);
+  __m512d vmin = vinf;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d v =
+        _mm512_mask_loadu_pd(vinf, active_mask_avx512(active + i), row + i);
+    vmin = _mm512_min_pd(vmin, v);
+  }
+  double m = _mm512_reduce_min_pd(vmin);
+  for (; i < n; ++i) {
+    const double v = active[i] != 0 ? row[i] : inf;
+    m = std::min(m, v);
+  }
+  const __m512d vm = _mm512_set1_pd(m);
+  for (std::size_t j = 0; j + 8 <= n; j += 8) {
+    const __m512d v =
+        _mm512_mask_loadu_pd(vinf, active_mask_avx512(active + j), row + j);
+    const __mmask8 hit = _mm512_cmp_pd_mask(v, vm, _CMP_EQ_OQ);
+    if (hit != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(static_cast<unsigned>(hit)));
+      return {static_cast<std::uint32_t>(j + lane), m};
+    }
+  }
+  for (std::size_t j = n & ~std::size_t{7}; j < n; ++j) {
+    const double v = active[j] != 0 ? row[j] : inf;
+    if (v == m) return {static_cast<std::uint32_t>(j), m};
+  }
+  return {0, m};  // unreachable for NaN-free active lanes
+}
+
+/// q16::from_double over 8 lanes (see the AVX2 variant for the mapping of
+/// scalar branches to mask moves).
+__attribute__((target("avx512f"))) inline __m512d q16_store_pd_avx512(__m512d v) {
+  const __m512d scale = _mm512_set1_pd(65536.0);
+  const __m512d t = _mm512_add_pd(_mm512_mul_pd(v, scale), _mm512_set1_pd(0.5));
+  __m512d r =
+      _mm512_mul_pd(_mm512_roundscale_pd(t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC),
+                    _mm512_set1_pd(1.0 / 65536.0));
+  r = _mm512_mask_mov_pd(r, _mm512_cmp_pd_mask(t, scale, _CMP_GE_OQ),
+                         _mm512_set1_pd(65535.0 / 65536.0));
+  return _mm512_mask_mov_pd(r, _mm512_cmp_pd_mask(v, _mm512_setzero_pd(), _CMP_LE_OQ),
+                            _mm512_setzero_pd());
+}
+
+__attribute__((target("avx512f"))) inline __m512d lw_avx512(__m512d d_ka, __m512d d_kb,
+                                                            __m512d nk,
+                                                            const lw_update& u) {
+  switch (u.link) {
+    case lw_linkage::single:
+      return _mm512_min_pd(d_ka, d_kb);
+    case lw_linkage::complete:
+      return _mm512_max_pd(d_ka, d_kb);
+    case lw_linkage::average: {
+      const __m512d na = _mm512_set1_pd(u.size_a);
+      const __m512d nb = _mm512_set1_pd(u.size_b);
+      return _mm512_div_pd(_mm512_add_pd(_mm512_mul_pd(na, d_ka), _mm512_mul_pd(nb, d_kb)),
+                           _mm512_set1_pd(u.size_a + u.size_b));
+    }
+    case lw_linkage::ward: {
+      const __m512d na = _mm512_set1_pd(u.size_a);
+      const __m512d nb = _mm512_set1_pd(u.size_b);
+      const __m512d dab = _mm512_set1_pd(u.d_ab);
+      const __m512d t = _mm512_add_pd(_mm512_set1_pd(u.size_a + u.size_b), nk);
+      const __m512d t1 = _mm512_mul_pd(_mm512_mul_pd(_mm512_add_pd(na, nk), d_ka), d_ka);
+      const __m512d t2 = _mm512_mul_pd(_mm512_mul_pd(_mm512_add_pd(nb, nk), d_kb), d_kb);
+      const __m512d t3 = _mm512_mul_pd(_mm512_mul_pd(nk, dab), dab);
+      const __m512d v = _mm512_div_pd(_mm512_sub_pd(_mm512_add_pd(t1, t2), t3), t);
+      const __mmask8 pos = _mm512_cmp_pd_mask(_mm512_setzero_pd(), v, _CMP_LT_OQ);
+      return _mm512_sqrt_pd(_mm512_maskz_mov_pd(pos, v));
+    }
+  }
+  return d_ka;
+}
+
+__attribute__((target("avx512f"))) void lance_williams_row_update_avx512(
+    double* keep_row, const double* gone_row, const std::uint8_t* active,
+    const double* sizes, std::size_t n, const lw_update& u) noexcept {
+  const bool round = u.store == lw_store::q16;
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(active + k));
+    const __mmask8 mask =
+        _mm512_cmpneq_epi64_mask(_mm512_cvtepu8_epi64(bytes), _mm512_setzero_si512());
+    if (mask == 0) continue;
+    const __m512d d_kb = _mm512_loadu_pd(keep_row + k);
+    const __m512d d_ka = _mm512_loadu_pd(gone_row + k);
+    __m512d v = lw_avx512(d_ka, d_kb, _mm512_loadu_pd(sizes + k), u);
+    if (round) v = q16_store_pd_avx512(v);
+    _mm512_mask_storeu_pd(keep_row + k, mask, v);
+  }
+  for (; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, gone_row[k], keep_row[k], u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = round ? lw_store_q16(v) : v;
+  }
+}
+
+/// 16 active bytes -> a 16-lane predicate mask.
+__attribute__((target("avx512f"))) inline __mmask16 active_mask16_avx512(
+    const std::uint8_t* active) {
+  const __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(active));
+  return _mm512_cmpneq_epi32_mask(_mm512_cvtepu8_epi32(bytes), _mm512_setzero_si512());
+}
+
+__attribute__((target("avx512f"))) row_min nearest_active_scan_f32_avx512(
+    const float* row, const std::uint8_t* active, std::size_t n) noexcept {
+  if (n < 32) return nearest_active_scan_f32_scalar(row, active, n);
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  const __m512 vinf = _mm512_set1_ps(inf);
+  __m512 vmin = vinf;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_mask_loadu_ps(vinf, active_mask16_avx512(active + i), row + i);
+    vmin = _mm512_min_ps(vmin, v);
+  }
+  float m = _mm512_reduce_min_ps(vmin);
+  for (; i < n; ++i) {
+    const float v = active[i] != 0 ? row[i] : inf;
+    m = std::min(m, v);
+  }
+  const __m512 vm = _mm512_set1_ps(m);
+  for (std::size_t j = 0; j + 16 <= n; j += 16) {
+    const __m512 v = _mm512_mask_loadu_ps(vinf, active_mask16_avx512(active + j), row + j);
+    const __mmask16 hit = _mm512_cmp_ps_mask(v, vm, _CMP_EQ_OQ);
+    if (hit != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(static_cast<unsigned>(hit)));
+      return {static_cast<std::uint32_t>(j + lane), static_cast<double>(m)};
+    }
+  }
+  for (std::size_t j = n & ~std::size_t{15}; j < n; ++j) {
+    const float v = active[j] != 0 ? row[j] : inf;
+    if (v == m) return {static_cast<std::uint32_t>(j), static_cast<double>(m)};
+  }
+  return {0, static_cast<double>(m)};  // unreachable for NaN-free active lanes
+}
+
+__attribute__((target("avx512f"))) void lance_williams_row_update_f32_avx512(
+    float* keep_row, const float* gone_row, const std::uint8_t* active,
+    const double* sizes, std::size_t n, const lw_update& u) noexcept {
+  const bool round = u.store == lw_store::q16;
+  std::size_t k = 0;
+  if (u.link == lw_linkage::single || u.link == lw_linkage::complete) {
+    // min/max only ever *select* one of the two float operands, so no
+    // widening (and no q16 re-rounding of on-grid values) is needed.
+    for (; k + 16 <= n; k += 16) {
+      const __mmask16 mask = active_mask16_avx512(active + k);
+      if (mask == 0) continue;
+      const __m512 kb = _mm512_loadu_ps(keep_row + k);
+      const __m512 ka = _mm512_loadu_ps(gone_row + k);
+      const __m512 res =
+          u.link == lw_linkage::single ? _mm512_min_ps(ka, kb) : _mm512_max_ps(ka, kb);
+      _mm512_mask_storeu_ps(keep_row + k, mask, res);
+    }
+  } else {
+    // Widen 8 lanes to a 512-bit double vector, run the exact double-lane
+    // update, and narrow the (grid-exact) results back.
+    for (; k + 8 <= n; k += 8) {
+      const __mmask8 mask = active_mask_avx512(active + k);
+      if (mask == 0) continue;
+      const __m256 kb = _mm256_loadu_ps(keep_row + k);
+      const __m512d ka_d = _mm512_cvtps_pd(_mm256_loadu_ps(gone_row + k));
+      const __m512d kb_d = _mm512_cvtps_pd(kb);
+      __m512d r = lw_avx512(ka_d, kb_d, _mm512_loadu_pd(sizes + k), u);
+      if (round) r = q16_store_pd_avx512(r);
+      // Masked 256-bit stores need AVX-512VL; blend in the AVX2 domain
+      // instead so plain avx512f machines stay supported.
+      const __m256 res = _mm512_cvtpd_ps(r);
+      _mm256_storeu_ps(keep_row + k,
+                       _mm256_blendv_ps(kb, res, active_mask_ps_avx2(active + k)));
+    }
+  }
+  for (; k < n; ++k) {
+    if (active[k] == 0) continue;
+    const double v = lance_williams(u.link, static_cast<double>(gone_row[k]),
+                                    static_cast<double>(keep_row[k]), u.d_ab, u.size_a,
+                                    u.size_b, sizes[k]);
+    keep_row[k] = static_cast<float>(round ? lw_store_q16(v) : v);
+  }
+}
+
 #endif  // SPECHD_X86_KERNELS
 
 // ---------------------------------------------------------------------------
@@ -223,20 +683,40 @@ struct kernel_table {
                        std::size_t, std::size_t, std::uint32_t*) noexcept;
   void (*bitsliced_add)(std::uint64_t*, std::size_t, std::size_t,
                         const std::uint64_t*) noexcept;
+  row_min (*nearest_active_scan)(const double*, const std::uint8_t*,
+                                 std::size_t) noexcept;
+  void (*lw_row_update)(double*, const double*, const std::uint8_t*, const double*,
+                        std::size_t, const lw_update&) noexcept;
+  row_min (*nearest_active_scan_f32)(const float*, const std::uint8_t*,
+                                     std::size_t) noexcept;
+  void (*lw_row_update_f32)(float*, const float*, const std::uint8_t*, const double*,
+                            std::size_t, const lw_update&) noexcept;
 };
 
-constexpr kernel_table scalar_table{popcount_scalar, xor_popcount_scalar,
-                                    hamming_tile_scalar, bitsliced_add_scalar};
+constexpr kernel_table scalar_table{popcount_scalar,
+                                    xor_popcount_scalar,
+                                    hamming_tile_scalar,
+                                    bitsliced_add_scalar,
+                                    nearest_active_scan_scalar,
+                                    lance_williams_row_update_scalar,
+                                    nearest_active_scan_f32_scalar,
+                                    lance_williams_row_update_f32_scalar};
 
 kernel_table table_for(variant v) noexcept {
 #if SPECHD_X86_KERNELS
   switch (v) {
     case variant::avx2:
-      return {popcount_avx2, xor_popcount_avx2, hamming_tile_avx2, bitsliced_add_avx2};
+      return {popcount_avx2,           xor_popcount_avx2,
+              hamming_tile_avx2,       bitsliced_add_avx2,
+              nearest_active_scan_avx2, lance_williams_row_update_avx2,
+              nearest_active_scan_f32_avx2, lance_williams_row_update_f32_avx2};
     case variant::avx512:
       // The bit-sliced ripple is bound by carry shortening, not lane width;
       // AVX2 add alongside the 512-bit popcount datapath measures fastest.
-      return {popcount_avx512, xor_popcount_avx512, hamming_tile_avx512, bitsliced_add_avx2};
+      return {popcount_avx512,          xor_popcount_avx512,
+              hamming_tile_avx512,      bitsliced_add_avx2,
+              nearest_active_scan_avx512, lance_williams_row_update_avx512,
+              nearest_active_scan_f32_avx512, lance_williams_row_update_f32_avx512};
     case variant::scalar:
       break;
   }
@@ -314,6 +794,28 @@ void hamming_tile(const std::uint64_t* const* rows, std::size_t n_rows,
                   const std::uint64_t* const* cols, std::size_t n_cols, std::size_t words,
                   std::uint32_t* counts) noexcept {
   state().table.hamming_tile(rows, n_rows, cols, n_cols, words, counts);
+}
+
+row_min nearest_active_scan(const double* row, const std::uint8_t* active,
+                            std::size_t n) noexcept {
+  return state().table.nearest_active_scan(row, active, n);
+}
+
+row_min nearest_active_scan(const float* row, const std::uint8_t* active,
+                            std::size_t n) noexcept {
+  return state().table.nearest_active_scan_f32(row, active, n);
+}
+
+void lance_williams_row_update(double* keep_row, const double* gone_row,
+                               const std::uint8_t* active, const double* sizes,
+                               std::size_t n, const lw_update& u) noexcept {
+  state().table.lw_row_update(keep_row, gone_row, active, sizes, n, u);
+}
+
+void lance_williams_row_update(float* keep_row, const float* gone_row,
+                               const std::uint8_t* active, const double* sizes,
+                               std::size_t n, const lw_update& u) noexcept {
+  state().table.lw_row_update_f32(keep_row, gone_row, active, sizes, n, u);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,12 +16,20 @@
 //     is added with a ripple-carry of word-wide AND/XOR. This is the
 //     combinational counter tree of Schmuck et al.'s dense-binary-HDC
 //     hardware optimisations, expressed in SIMD registers.
+//   * nearest_active_scan / lance_williams_row_update — the HAC row
+//     kernels: NN-chain's nearest-neighbour scan is an argmin over a flat
+//     row of doubles (retired columns are parked at +inf so no mask load
+//     is needed on the scan), and the post-merge Lance–Williams update
+//     rewrites the survivor's row under an active-lane mask with the exact
+//     arithmetic and store rounding of the scalar reference.
 //
 // All variants are bit-identical to the scalar reference (same tie-break
 // bits, same rounding); the equivalence tests in tests/hdc/test_cpu_kernels
 // enforce this, so quality metrics cannot move when dispatch changes.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,6 +78,100 @@ std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
 void hamming_tile(const std::uint64_t* const* rows, std::size_t n_rows,
                   const std::uint64_t* const* cols, std::size_t n_cols,
                   std::size_t words, std::uint32_t* counts) noexcept;
+
+// ---------------------------------------------------------------------------
+// HAC row kernels (NN-chain over a flat n×n working matrix)
+// ---------------------------------------------------------------------------
+
+/// Result of nearest_active_scan: the row minimum and the lowest index
+/// attaining it.
+struct row_min {
+  std::uint32_t index = 0;
+  double value = 0.0;
+};
+
+/// Masked argmin over row[0..n) with the scalar reference's tie semantics:
+/// lanes with active[i] == 0 read as +inf, and among equal minima the
+/// *lowest* index wins (the strict-< ascending scan order). The NN-chain
+/// caller parks its own diagonal entry at +inf, so no self-exclusion
+/// parameter is needed. When every active lane is +inf the returned index
+/// is the lowest +inf lane (possibly inactive — the caller's degenerate
+/// fallback handles it). Requires n >= 1; active lanes must not hold NaN.
+row_min nearest_active_scan(const double* row, const std::uint8_t* active,
+                            std::size_t n) noexcept;
+
+/// Float-row overload (value is widened exactly). NN-chain stores its
+/// working matrix as float whenever every reachable value is exactly
+/// float-representable — q16-grid stores, or min/max linkages whose updates
+/// only ever *select* existing values — which halves the memory traffic of
+/// the scan-dominated inner loop without changing a single bit of output.
+row_min nearest_active_scan(const float* row, const std::uint8_t* active,
+                            std::size_t n) noexcept;
+
+/// Linkage criterion of the Lance–Williams row update. Mirrors
+/// cluster::linkage (which delegates its scalar arithmetic here so the SIMD
+/// variants and the scalar reference share one definition — the hdc layer
+/// cannot depend on cluster/).
+enum class lw_linkage : std::uint8_t { single, complete, average, ward };
+
+/// Store-rounding policy applied to every updated entry: f64 writes the
+/// double back untouched; q16 re-quantises to the Q0.16 grid first, exactly
+/// as the FPGA kernel writes back to its 16-bit BRAM matrix.
+enum class lw_store : std::uint8_t { f64, q16 };
+
+/// Canonical scalar Lance–Williams update (moved from cluster/linkage.cpp):
+/// distance from cluster k to the merge of a and b given the previous
+/// distances and cluster sizes. Every kernel variant reproduces this
+/// arithmetic operation-for-operation (the library builds with
+/// -ffp-contract=off so the compiler cannot fuse it differently). Inline:
+/// NN-chain's lazy row repair calls it per replayed merge, and inlining
+/// lets the optimiser hoist the linkage switch out of the replay loop.
+inline double lance_williams(lw_linkage l, double d_ka, double d_kb, double d_ab,
+                             double size_a, double size_b, double size_k) noexcept {
+  switch (l) {
+    case lw_linkage::single:
+      return d_kb < d_ka ? d_kb : d_ka;  // std::min(d_ka, d_kb)
+    case lw_linkage::complete:
+      return d_ka < d_kb ? d_kb : d_ka;  // std::max(d_ka, d_kb)
+    case lw_linkage::average:
+      return (size_a * d_ka + size_b * d_kb) / (size_a + size_b);
+    case lw_linkage::ward: {
+      const double t = size_a + size_b + size_k;
+      const double v = ((size_a + size_k) * d_ka * d_ka +
+                        (size_b + size_k) * d_kb * d_kb - size_k * d_ab * d_ab) /
+                       t;
+      return std::sqrt(std::max(0.0, v));
+    }
+  }
+  return d_ka;
+}
+
+/// Per-merge parameters of lance_williams_row_update.
+struct lw_update {
+  lw_linkage link = lw_linkage::complete;
+  lw_store store = lw_store::f64;
+  double size_a = 1.0;  ///< members in the retired cluster (d_ka side)
+  double size_b = 1.0;  ///< members in the surviving cluster (d_kb side)
+  double d_ab = 0.0;    ///< merge height
+};
+
+/// Post-merge row update: for every k with active[k] != 0,
+///   keep_row[k] = store(lance_williams(link, gone_row[k], keep_row[k],
+///                                      d_ab, size_a, size_b, sizes[k]))
+/// Inactive lanes are left untouched. The caller is expected to clear the
+/// survivor's own active flag around the call (its diagonal stays +inf).
+void lance_williams_row_update(double* keep_row, const double* gone_row,
+                               const std::uint8_t* active, const double* sizes,
+                               std::size_t n, const lw_update& u) noexcept;
+
+/// Float-row overload: lanes are widened to double, updated with the exact
+/// scalar arithmetic, and narrowed back. Callers must only route cases
+/// whose results are exactly float-representable here (q16 stores, or
+/// min/max linkages over float-exact rows); otherwise the narrowing would
+/// silently round and break the bit-identity guarantee.
+void lance_williams_row_update(float* keep_row, const float* gone_row,
+                               const std::uint8_t* active, const double* sizes,
+                               std::size_t n, const lw_update& u) noexcept;
 
 /// Carry-save bit-sliced counter over `words` 64-bit lanes (64 dimensions
 /// per word). add() accumulates one 0/1 observation per dimension from a

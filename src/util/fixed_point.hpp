@@ -23,11 +23,14 @@ class q16 {
 public:
   constexpr q16() noexcept = default;
 
-  /// Quantise a real in [0, 1]; values outside saturate.
+  /// Quantise a real in [0, 1]; values outside saturate. Saturation tests
+  /// the *scaled* value: v slightly below 1.0 can still round up to 65536,
+  /// which must saturate rather than overflow the uint16 conversion.
   static constexpr q16 from_double(double v) noexcept {
     if (v <= 0.0) return q16(std::uint16_t{0});
-    if (v >= 1.0) return q16(std::uint16_t{0xFFFF});
-    return q16(static_cast<std::uint16_t>(v * 65536.0 + 0.5));
+    const double scaled = v * 65536.0 + 0.5;
+    if (scaled >= 65536.0) return q16(std::uint16_t{0xFFFF});
+    return q16(static_cast<std::uint16_t>(scaled));
   }
 
   /// Exact ratio num/den with num <= den, den > 0 (the Hamming/D_hv case).

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "cluster/naive_hac.hpp"
 #include "util/rng.hpp"
@@ -141,6 +142,102 @@ TEST(NnChainQ16, MonotoneDendrogram) {
     }
   }
   EXPECT_TRUE(nn_chain_hac(q, linkage::complete).tree.monotone());
+}
+
+// --- degenerate inputs ------------------------------------------------------
+// These used to hang the chain loop or push out-of-range indices; both the
+// flat and the condensed implementation must terminate with a full, valid
+// merge sequence.
+
+void expect_valid_full_dendrogram(const hac_result& r, std::size_t n) {
+  ASSERT_EQ(r.tree.leaves(), n);
+  ASSERT_EQ(r.tree.merges().size(), n == 0 ? 0 : n - 1);
+  for (std::size_t k = 0; k < r.tree.merges().size(); ++k) {
+    const auto& m = r.tree.merges()[k];
+    EXPECT_LT(m.left, n + k) << "merge " << k;
+    EXPECT_LT(m.right, n + k) << "merge " << k;
+    EXPECT_NE(m.left, m.right) << "merge " << k;
+    EXPECT_GE(m.size, 2U) << "merge " << k;
+  }
+  EXPECT_TRUE(r.tree.monotone());
+}
+
+TEST(NnChainDegenerate, EmptyAndSingleton) {
+  for (const auto link : {linkage::single, linkage::complete, linkage::average,
+                          linkage::ward}) {
+    expect_valid_full_dendrogram(nn_chain_hac(hdc::distance_matrix_f32(0), link), 0);
+    expect_valid_full_dendrogram(nn_chain_hac(hdc::distance_matrix_f32(1), link), 1);
+    expect_valid_full_dendrogram(nn_chain_hac_condensed(hdc::distance_matrix_f32(0), link), 0);
+    expect_valid_full_dendrogram(nn_chain_hac_condensed(hdc::distance_matrix_f32(1), link), 1);
+  }
+}
+
+TEST(NnChainDegenerate, AllEqualDistances) {
+  // Every pair at the same distance: pure tie-break territory. All merges
+  // must land at exactly that height, and flat must match condensed.
+  for (const std::size_t n : {2UL, 5UL, 33UL}) {
+    hdc::distance_matrix_f32 m(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) m.at(i, j) = 0.5F;
+    }
+    for (const auto link : {linkage::single, linkage::complete, linkage::average}) {
+      const auto flat = nn_chain_hac(m, link);
+      const auto cond = nn_chain_hac_condensed(m, link);
+      expect_valid_full_dendrogram(flat, n);
+      for (const auto& step : flat.tree.merges()) EXPECT_DOUBLE_EQ(step.distance, 0.5);
+      ASSERT_EQ(flat.tree.merges().size(), cond.tree.merges().size());
+      for (std::size_t k = 0; k < flat.tree.merges().size(); ++k) {
+        EXPECT_EQ(flat.tree.merges()[k].left, cond.tree.merges()[k].left) << k;
+        EXPECT_EQ(flat.tree.merges()[k].right, cond.tree.merges()[k].right) << k;
+      }
+    }
+  }
+}
+
+TEST(NnChainDegenerate, PartialInfinityDoesNotHang) {
+  // One finite pair, everything else unreachable: the finite pair merges
+  // first, the +inf merges follow without hanging or going out of range.
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  hdc::distance_matrix_f32 m(5);
+  for (std::size_t i = 1; i < 5; ++i) {
+    for (std::size_t j = 0; j < i; ++j) m.at(i, j) = inf;
+  }
+  m.at(1, 0) = 0.2F;
+  for (const auto link : {linkage::single, linkage::complete}) {
+    const auto flat = nn_chain_hac(m, link);
+    const auto cond = nn_chain_hac_condensed(m, link);
+    expect_valid_full_dendrogram(flat, 5);
+    expect_valid_full_dendrogram(cond, 5);
+    EXPECT_DOUBLE_EQ(flat.tree.merges().front().distance, 0.2F);
+    // A cut below the first height leaves n singletons; above it, the
+    // finite pair clusters and the unreachable rest stay singletons.
+    EXPECT_EQ(flat.tree.cut(0.5).cluster_count, 4U);
+  }
+}
+
+TEST(NnChainDegenerate, AllInfinityTerminates) {
+  // Fully unreachable input: n-1 merges at +inf, valid indices, no hang.
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  for (const std::size_t n : {2UL, 3UL, 9UL}) {
+    hdc::distance_matrix_f32 m(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) m.at(i, j) = inf;
+    }
+    for (const auto link : {linkage::single, linkage::complete, linkage::ward}) {
+      const auto flat = nn_chain_hac(m, link);
+      const auto cond = nn_chain_hac_condensed(m, link);
+      expect_valid_full_dendrogram(flat, n);
+      expect_valid_full_dendrogram(cond, n);
+      if (link == linkage::ward) continue;
+      // (ward's update on +inf operands is inf - inf -> NaN, which the
+      // reference arithmetic clamps to 0 before the sqrt, so its later
+      // heights legitimately collapse; min/max linkages stay at +inf.)
+      for (const auto& step : flat.tree.merges()) {
+        EXPECT_TRUE(std::isinf(step.distance)) << linkage_name(link);
+      }
+      EXPECT_EQ(flat.tree.cut(1.0).cluster_count, n);
+    }
+  }
 }
 
 TEST(NaiveHac, TwoGroupsRecovered) {

@@ -22,6 +22,16 @@ TEST(Q16, FromDoubleSaturatesAboveOne) {
   EXPECT_EQ(q16::from_double(1.0), q16::max());
 }
 
+TEST(Q16, FromDoubleSaturatesJustBelowOne) {
+  // v < 1.0 whose scaled round-half-up lands on 65536 must saturate, not
+  // overflow the uint16 conversion (was UB before the scaled-value check).
+  EXPECT_EQ(q16::from_double(65535.5 / 65536.0), q16::max());
+  EXPECT_EQ(q16::from_double(std::nextafter(1.0, 0.0)), q16::max());
+  // Values that land on the top grid step without rounding up to 65536.
+  EXPECT_EQ(q16::from_double(65535.0 / 65536.0).raw(), 0xFFFF);
+  EXPECT_EQ(q16::from_double(65534.75 / 65536.0).raw(), 0xFFFF);
+}
+
 TEST(Q16, FromRatioExactHalf) {
   const auto h = q16::from_ratio(1024, 2048);
   EXPECT_DOUBLE_EQ(h.to_double(), 0.5);
