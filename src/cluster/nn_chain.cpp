@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hdc/cpu_kernels.hpp"
+#include "util/arena_pool.hpp"
 #include "util/error.hpp"
 #include "util/fixed_point.hpp"
 
@@ -78,13 +79,16 @@ hac_result nn_chain_flat_impl(const Matrix& input, linkage link) {
   // (a cache miss each) into a handful of in-cache row writes per scan.
   // The diagonal is parked at +inf so the masked argmin never picks self;
   // retired columns keep stale values and are masked by `active`.
-  // The matrix lives in a per-thread scratch arena: per-bucket HAC calls
-  // from the pipeline's worker pool reuse the allocation, so only the
-  // first (largest) call on a thread pays the page-fault cost of touching
-  // fresh pages.
-  thread_local std::vector<ElemT> scratch;
-  if (scratch.size() < n * n) scratch.resize(n * n);
-  ElemT* const d = scratch.data();
+  // The matrix lives in an arena checked out of the shared pool: per-bucket
+  // HAC calls from the pipeline's worker pool reuse a handful of pooled
+  // allocations instead of one thread_local arena per worker (which pinned
+  // threads × largest-bucket² bytes forever); the pool's high-water
+  // trimming releases a one-off giant bucket's arena on return. The arena
+  // hands back uninitialised scratch — every entry is written below (pass 1
+  // fills the lower triangle, pass 2 mirrors it, the diagonal is set last)
+  // before anything reads it.
+  arena_lease scratch = arena_pool::global().checkout(n * n * sizeof(ElemT));
+  ElemT* const d = scratch.as<ElemT>(n * n);
   {
     // Pass 1: convert each condensed row into its matrix row (contiguous
     // reads and writes, auto-vectorisable).

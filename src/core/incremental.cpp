@@ -6,6 +6,7 @@
 #include "hdc/cpu_kernels.hpp"
 #include "hdc/distance.hpp"
 #include "preprocess/pipeline.hpp"
+#include "util/arena_pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spechd::core {
@@ -154,20 +155,28 @@ void incremental_clusterer::assign(bucket_state& bucket, std::uint32_t index,
     // Complete-linkage test: per existing cluster, the *worst* distance to
     // any member must stay below the cut for a join. The whole member row
     // is computed with one dispatched Hamming-tile call (same kernels, and
-    // bit-identical normalisation, as the per-pair path it replaces).
+    // bit-identical normalisation, as the per-pair path it replaces). The
+    // *pointer* tile is deliberate here: packing amortises over many rows
+    // (distance.cpp's O(n²) sweep packs once for n row sweeps), but this
+    // is a single-row call that reads each member exactly once — staging
+    // members into a packed blob would cost a full extra copy pass per
+    // ingested spectrum for zero kernel-side gain. The pointer array and
+    // counts row are still carved from one pooled arena so the hot
+    // ingestion path does no per-assign heap allocation.
     std::map<std::int32_t, double> worst;
     const std::size_t existing = bucket.members.size() - 1;
     if (existing > 0) {
       const std::size_t words = hv.word_count();
       const double dim = static_cast<double>(hv.dim());
-      std::vector<const std::uint64_t*> cols;
-      cols.reserve(existing);
+      arena_lease scratch = arena_pool::global().checkout(
+          existing * (sizeof(const std::uint64_t*) + sizeof(std::uint32_t)));
+      const std::uint64_t** const cols = scratch.as<const std::uint64_t*>(existing);
       for (std::size_t i = 0; i < existing; ++i) {
-        cols.push_back(records_[bucket.members[i]].hv.words().data());
+        cols[i] = records_[bucket.members[i]].hv.words().data();
       }
-      std::vector<std::uint32_t> counts(existing);
+      auto* const counts = reinterpret_cast<std::uint32_t*>(cols + existing);
       const std::uint64_t* row = hv.words().data();
-      hdc::kernels::hamming_tile(&row, 1, cols.data(), existing, words, counts.data());
+      hdc::kernels::hamming_tile(&row, 1, cols, existing, words, counts);
       for (std::size_t i = 0; i < existing; ++i) {
         const auto label = bucket.local_labels[i];
         const double d = static_cast<double>(counts[i]) / dim;

@@ -61,8 +61,28 @@ enum class assign_mode {
   bundle_representative,
 };
 
+/// Streaming/incremental front end over per-bucket cluster state.
+///
+/// Thread-safety: an instance has single-owner semantics — do not call
+/// two methods concurrently on the same instance. Internally, push_batch /
+/// bootstrap / rebuild_dirty_buckets fan work out over a lazily created
+/// shared pool (config.threads workers); that parallelism never changes
+/// results (see the equivalence guarantee below). Distinct instances are
+/// fully independent and may run concurrently.
+///
+/// Equivalence guarantee (pinned by tests/core/test_incremental_batch.cpp):
+/// for the same spectrum sequence, push_batch() produces exactly the
+/// clusters sequential push()/add_spectra() would — any batch split, any
+/// thread count — and rebuild_dirty_buckets()/bootstrap() recluster
+/// through the same core::bucket_hac path as the batch pipeline, so a
+/// rebuilt incremental state matches a from-scratch pipeline run over the
+/// same buckets.
 class incremental_clusterer {
 public:
+  /// `config` is copied; `mode` picks the assignment criterion (see
+  /// assign_mode). The config's kernel_variant is *not* applied here —
+  /// dispatch is process-global and owned by the pipeline/bench entry
+  /// points.
   explicit incremental_clusterer(spechd_config config,
                                  assign_mode mode = assign_mode::complete_linkage);
   ~incremental_clusterer();
@@ -71,7 +91,8 @@ public:
 
   /// Bootstraps state from an existing store (e.g. loaded from disk):
   /// clusters every bucket with NN-chain — through the same bucket_hac
-  /// path as the batch pipeline — in parallel across buckets.
+  /// path as the batch pipeline — in parallel across buckets. Replaces
+  /// any previous state; store.dim() must equal config.encoder.dim.
   void bootstrap(const hdc::hv_store& store);
 
   /// Ingests one spectrum through the sequential reference path.

@@ -14,6 +14,11 @@ namespace spechd::core {
 cluster::hac_result bucket_hac(const std::vector<hdc::hypervector>& hvs,
                                const spechd_config& config, thread_pool* pool,
                                const hdc::distance_matrix_f32* prebuilt_f32) {
+  // All large scratch below — the packed-tile operand blob inside
+  // pairwise_hamming_* and the NN-chain flat working matrix — is checked
+  // out of the shared arena pool (util/arena_pool), so concurrent
+  // per-bucket calls reuse a small set of pooled allocations instead of
+  // growing one thread_local arena per worker.
   if (config.use_fixed_point) {
     return cluster::nn_chain_hac(hdc::pairwise_hamming_q16(hvs, pool), config.link);
   }

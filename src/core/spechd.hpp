@@ -29,9 +29,13 @@ class thread_pool;
 
 namespace spechd::core {
 
+/// Configuration for one pipeline (or incremental-clusterer) instance.
+/// Defaults reproduce the paper's operating point end to end; every field
+/// is safe to vary independently. The struct is plain data — copy it per
+/// pipeline; it is never mutated by a run.
 struct spechd_config {
-  preprocess::preprocess_config preprocess;
-  hdc::encoder_config encoder;
+  preprocess::preprocess_config preprocess;  ///< filter/top-k/quantise/bucket knobs
+  hdc::encoder_config encoder;               ///< D_hv (2048), item-memory seed
   cluster::linkage link = cluster::linkage::complete;  ///< paper's choice
   /// Dendrogram cut, normalised Hamming. Majority-binarised HVs of
   /// replicate spectra land around 0.35-0.45 while unrelated in-bucket
@@ -76,12 +80,23 @@ struct spechd_result {
 /// kernel-tiled pairwise Hamming matrix (q16 when config.use_fixed_point,
 /// f32 otherwise) into the kernel-backed NN-chain. Shared by the batch
 /// pipeline and the incremental/streaming path so the two cannot drift.
-/// `prebuilt_f32` lets a caller that already built the float matrix (the
-/// pipeline keeps one for consensus) avoid a rebuild on the f32 path.
+///
+/// Parameters: `hvs` must share one dimension (checked); `pool` may be
+/// null (serial tiles) or a pool this call is itself running on —
+/// parallel_for is nested-safe. `prebuilt_f32` lets a caller that already
+/// built the float matrix (the pipeline keeps one for consensus) avoid a
+/// rebuild on the f32 path; it must be the pairwise matrix of `hvs`.
+///
+/// Thread-safety: safe to call concurrently from many threads (the
+/// pipeline does, one call per bucket). All large scratch comes from the
+/// process-wide arena pool; the only shared mutable state. The result is
+/// deterministic for any thread count and kernel variant.
 cluster::hac_result bucket_hac(const std::vector<hdc::hypervector>& hvs,
                                const spechd_config& config, thread_pool* pool,
                                const hdc::distance_matrix_f32* prebuilt_f32 = nullptr);
 
+/// The batch pipeline. Construct once with a config, call run() per
+/// dataset; instances are cheap and carry no state besides the config.
 class spechd_pipeline {
 public:
   explicit spechd_pipeline(spechd_config config);
@@ -89,7 +104,14 @@ public:
   const spechd_config& config() const noexcept { return config_; }
 
   /// Runs the full pipeline. Input spectra are copied (preprocessing is
-  /// destructive); the result's label vector aligns with the input order.
+  /// destructive); the result's label vector aligns with the input order,
+  /// with dropped spectra labelled as trailing singletons.
+  ///
+  /// Thread-safety: run() creates its own thread pool (config_.threads
+  /// workers) and is safe to call from any thread, but note the
+  /// kernel_variant caveat above — two concurrent runs must not pin
+  /// *different* non-"auto" variants. Output is bit-identical for any
+  /// thread count and (per the kernel equivalence guarantee) any variant.
   spechd_result run(const std::vector<ms::spectrum>& spectra) const;
 
 private:

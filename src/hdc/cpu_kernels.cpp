@@ -54,6 +54,21 @@ void hamming_tile_scalar(const std::uint64_t* const* rows, std::size_t n_rows,
   }
 }
 
+// Packed-operand reference: identical arithmetic to hamming_tile_scalar,
+// just without the pointer chase. The SIMD packed variants must match this
+// bit for bit (trivial — Hamming counts are exact integers).
+void hamming_tile_packed_scalar(const std::uint64_t* rows, std::size_t n_rows,
+                                const std::uint64_t* cols, std::size_t n_cols,
+                                std::size_t words, std::uint32_t* counts) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::uint64_t* row = rows + r * words;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      counts[r * n_cols + c] =
+          static_cast<std::uint32_t>(xor_popcount_scalar(row, cols + c * words, words));
+    }
+  }
+}
+
 row_min nearest_active_scan_scalar(const double* row, const std::uint8_t* active,
                                    std::size_t n) noexcept {
   constexpr double inf = std::numeric_limits<double>::infinity();
@@ -201,6 +216,90 @@ __attribute__((target("avx2"))) void hamming_tile_avx2(const std::uint64_t* cons
     for (std::size_t c = 0; c < n_cols; ++c) {
       counts[r * n_cols + c] =
           static_cast<std::uint32_t>(xor_popcount_avx2(rows[r], cols[c], words));
+    }
+  }
+}
+
+/// Packed tile, AVX2: rows are processed in pairs so each column vector is
+/// loaded once per two outputs, and the per-pair popcount reduction runs
+/// through a carry-save accumulator — two XOR words are compressed with
+/// full-adder logic (sum = xor3, carry = majority) and only the weight-2
+/// carry goes through the (expensive, 2-shuffle) Mula popcount, halving
+/// shuffle-port pressure; the residual weight-1 `ones` plane is popcounted
+/// once per pair. Counts are exact, so this is bit-identical to the scalar
+/// packed reference.
+__attribute__((target("avx2"))) void hamming_tile_packed_avx2(
+    const std::uint64_t* rows, std::size_t n_rows, const std::uint64_t* cols,
+    std::size_t n_cols, std::size_t words, std::uint32_t* counts) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  const std::size_t w8 = words & ~std::size_t{7};
+  std::size_t r = 0;
+  for (; r + 2 <= n_rows; r += 2) {
+    const std::uint64_t* ra = rows + r * words;
+    const std::uint64_t* rb = ra + words;
+    std::uint32_t* out0 = counts + r * n_cols;
+    std::uint32_t* out1 = out0 + n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::uint64_t* cc = cols + c * words;
+      __m256i ones_a = zero;
+      __m256i ones_b = zero;
+      __m256i total_a = zero;  // 64-bit lanes: accumulated weight-2 carries
+      __m256i total_b = zero;
+      std::size_t w = 0;
+      while (w8 - w >= 8) {
+        // Byte counters saturate only past 255/8 = 31 vectors; block below.
+        const std::size_t block_end = std::min(w8, w + 8 * 31);
+        __m256i acc_a = zero;
+        __m256i acc_b = zero;
+        for (; w + 8 <= block_end; w += 8) {
+          const __m256i c0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cc + w));
+          const __m256i c1 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cc + w + 4));
+          {
+            const __m256i x0 = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ra + w)), c0);
+            const __m256i x1 = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ra + w + 4)), c1);
+            const __m256i u = _mm256_xor_si256(x0, x1);
+            const __m256i carry = _mm256_or_si256(_mm256_and_si256(x0, x1),
+                                                  _mm256_and_si256(u, ones_a));
+            acc_a = _mm256_add_epi8(acc_a, popcount_epi8_avx2(carry));
+            ones_a = _mm256_xor_si256(u, ones_a);
+          }
+          {
+            const __m256i x0 = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rb + w)), c0);
+            const __m256i x1 = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rb + w + 4)), c1);
+            const __m256i u = _mm256_xor_si256(x0, x1);
+            const __m256i carry = _mm256_or_si256(_mm256_and_si256(x0, x1),
+                                                  _mm256_and_si256(u, ones_b));
+            acc_b = _mm256_add_epi8(acc_b, popcount_epi8_avx2(carry));
+            ones_b = _mm256_xor_si256(u, ones_b);
+          }
+        }
+        total_a = _mm256_add_epi64(total_a, _mm256_sad_epu8(acc_a, zero));
+        total_b = _mm256_add_epi64(total_b, _mm256_sad_epu8(acc_b, zero));
+      }
+      std::size_t cnt_a =
+          2 * hsum_epi64_avx2(total_a) +
+          hsum_epi64_avx2(_mm256_sad_epu8(popcount_epi8_avx2(ones_a), zero));
+      std::size_t cnt_b =
+          2 * hsum_epi64_avx2(total_b) +
+          hsum_epi64_avx2(_mm256_sad_epu8(popcount_epi8_avx2(ones_b), zero));
+      for (; w < words; ++w) {
+        cnt_a += static_cast<std::size_t>(std::popcount(ra[w] ^ cc[w]));
+        cnt_b += static_cast<std::size_t>(std::popcount(rb[w] ^ cc[w]));
+      }
+      out0[c] = static_cast<std::uint32_t>(cnt_a);
+      out1[c] = static_cast<std::uint32_t>(cnt_b);
+    }
+  }
+  if (r < n_rows) {
+    const std::uint64_t* ra = rows + r * words;
+    std::uint32_t* out = counts + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      out[c] = static_cast<std::uint32_t>(xor_popcount_avx2(ra, cols + c * words, words));
     }
   }
 }
@@ -477,6 +576,213 @@ __attribute__((target("avx512f,avx512vpopcntdq"))) void hamming_tile_avx512(
   }
 }
 
+/// Batched horizontal reduction of four 8-lane accumulators: sums each of
+/// a/b/c/d's 64-bit lanes with one unpack/shuffle tree instead of four
+/// sequential _mm512_reduce_add_epi64 chains (which would spend ~3 shuffle
+/// ops on port 5 *per pair* — comparable to the popcounts themselves).
+/// Totals land in out[0] (a), out[1] (b), out[4] (c), out[5] (d).
+__attribute__((target("avx512f"))) inline void hsum4_epi64_avx512(
+    __m512i a, __m512i b, __m512i c, __m512i d, std::uint64_t* out) {
+  const __m512i s_ab =
+      _mm512_add_epi64(_mm512_unpacklo_epi64(a, b), _mm512_unpackhi_epi64(a, b));
+  const __m512i s_cd =
+      _mm512_add_epi64(_mm512_unpacklo_epi64(c, d), _mm512_unpackhi_epi64(c, d));
+  // 128-bit units: lo = [ab01 ab23 cd01 cd23], hi = [ab45 ab67 cd45 cd67].
+  const __m512i lo = _mm512_shuffle_i64x2(s_ab, s_cd, 0x44);
+  const __m512i hi = _mm512_shuffle_i64x2(s_ab, s_cd, 0xEE);
+  const __m512i t = _mm512_add_epi64(lo, hi);
+  // Swap adjacent 128-bit units and add: unit 0 = [a_total, b_total],
+  // unit 2 = [c_total, d_total].
+  const __m512i u = _mm512_add_epi64(t, _mm512_shuffle_i64x2(t, t, 0xB1));
+  _mm512_storeu_si512(out, u);
+}
+
+/// Packed tile, AVX-512, plain reduction: rows are processed four at a
+/// time so every column load is shared by four outputs, each XOR word goes
+/// straight through VPOPCNTQ, and the four accumulators reduce through one
+/// batched shuffle tree (hsum4) instead of four serial reduce_add chains.
+/// Fastest shape up to words ≈ 64 on VPOPCNTDQ hardware (popcounts are
+/// ~free there; see the CSA variant below for the long-vector regime).
+__attribute__((target("avx512f,avx512vpopcntdq"))) void hamming_tile_packed_avx512_plain(
+    const std::uint64_t* rows, std::size_t n_rows, const std::uint64_t* cols,
+    std::size_t n_cols, std::size_t words, std::uint32_t* counts) noexcept {
+  const std::size_t w8 = words & ~std::size_t{7};
+  alignas(64) std::uint64_t totals[8];
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const std::uint64_t* r0 = rows + r * words;
+    const std::uint64_t* r1 = r0 + words;
+    const std::uint64_t* r2 = r1 + words;
+    const std::uint64_t* r3 = r2 + words;
+    std::uint32_t* out = counts + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::uint64_t* cc = cols + c * words;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      std::size_t w = 0;
+      for (; w < w8; w += 8) {
+        const __m512i cv = _mm512_loadu_si512(cc + w);
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r0 + w), cv)));
+        acc1 = _mm512_add_epi64(
+            acc1, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r1 + w), cv)));
+        acc2 = _mm512_add_epi64(
+            acc2, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r2 + w), cv)));
+        acc3 = _mm512_add_epi64(
+            acc3, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r3 + w), cv)));
+      }
+      hsum4_epi64_avx512(acc0, acc1, acc2, acc3, totals);
+      std::size_t cnt0 = static_cast<std::size_t>(totals[0]);
+      std::size_t cnt1 = static_cast<std::size_t>(totals[1]);
+      std::size_t cnt2 = static_cast<std::size_t>(totals[4]);
+      std::size_t cnt3 = static_cast<std::size_t>(totals[5]);
+      for (; w < words; ++w) {
+        const std::uint64_t cw = cc[w];
+        cnt0 += static_cast<std::size_t>(std::popcount(r0[w] ^ cw));
+        cnt1 += static_cast<std::size_t>(std::popcount(r1[w] ^ cw));
+        cnt2 += static_cast<std::size_t>(std::popcount(r2[w] ^ cw));
+        cnt3 += static_cast<std::size_t>(std::popcount(r3[w] ^ cw));
+      }
+      out[c] = static_cast<std::uint32_t>(cnt0);
+      out[n_cols + c] = static_cast<std::uint32_t>(cnt1);
+      out[2 * n_cols + c] = static_cast<std::uint32_t>(cnt2);
+      out[3 * n_cols + c] = static_cast<std::uint32_t>(cnt3);
+    }
+  }
+  for (; r < n_rows; ++r) {
+    const std::uint64_t* ra = rows + r * words;
+    std::uint32_t* out = counts + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      out[c] = static_cast<std::uint32_t>(xor_popcount_avx512(ra, cols + c * words, words));
+    }
+  }
+}
+
+/// Packed tile, AVX-512, carry-save reduction: same four-row blocking, but
+/// each pair's popcount stream is compressed with VPTERNLOG full adders —
+/// two XOR words fold into a weight-2 carry plane (majority, imm 0xE8) and
+/// a running weight-1 `ones` plane (xor3, imm 0x96); only the carry goes
+/// through VPOPCNTQ each step, halving popcount traffic, and the ones
+/// plane is popcounted once per pair. Exact integer arithmetic — bit-
+/// identical to the plain and scalar paths by construction.
+__attribute__((target("avx512f,avx512vpopcntdq"))) void hamming_tile_packed_avx512_csa(
+    const std::uint64_t* rows, std::size_t n_rows, const std::uint64_t* cols,
+    std::size_t n_cols, std::size_t words, std::uint32_t* counts) noexcept {
+  const std::size_t w16 = words & ~std::size_t{15};
+  const std::size_t w8 = words & ~std::size_t{7};
+  alignas(64) std::uint64_t totals[8];
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const std::uint64_t* r0 = rows + r * words;
+    const std::uint64_t* r1 = r0 + words;
+    const std::uint64_t* r2 = r1 + words;
+    const std::uint64_t* r3 = r2 + words;
+    std::uint32_t* out = counts + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::uint64_t* cc = cols + c * words;
+      __m512i ones0 = _mm512_setzero_si512(), twos0 = _mm512_setzero_si512();
+      __m512i ones1 = _mm512_setzero_si512(), twos1 = _mm512_setzero_si512();
+      __m512i ones2 = _mm512_setzero_si512(), twos2 = _mm512_setzero_si512();
+      __m512i ones3 = _mm512_setzero_si512(), twos3 = _mm512_setzero_si512();
+      std::size_t w = 0;
+      for (; w < w16; w += 16) {
+        const __m512i c0 = _mm512_loadu_si512(cc + w);
+        const __m512i c1 = _mm512_loadu_si512(cc + w + 8);
+        {
+          const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(r0 + w), c0);
+          const __m512i x1 = _mm512_xor_si512(_mm512_loadu_si512(r0 + w + 8), c1);
+          const __m512i carry = _mm512_ternarylogic_epi64(ones0, x0, x1, 0xE8);
+          ones0 = _mm512_ternarylogic_epi64(ones0, x0, x1, 0x96);
+          twos0 = _mm512_add_epi64(twos0, _mm512_popcnt_epi64(carry));
+        }
+        {
+          const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(r1 + w), c0);
+          const __m512i x1 = _mm512_xor_si512(_mm512_loadu_si512(r1 + w + 8), c1);
+          const __m512i carry = _mm512_ternarylogic_epi64(ones1, x0, x1, 0xE8);
+          ones1 = _mm512_ternarylogic_epi64(ones1, x0, x1, 0x96);
+          twos1 = _mm512_add_epi64(twos1, _mm512_popcnt_epi64(carry));
+        }
+        {
+          const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(r2 + w), c0);
+          const __m512i x1 = _mm512_xor_si512(_mm512_loadu_si512(r2 + w + 8), c1);
+          const __m512i carry = _mm512_ternarylogic_epi64(ones2, x0, x1, 0xE8);
+          ones2 = _mm512_ternarylogic_epi64(ones2, x0, x1, 0x96);
+          twos2 = _mm512_add_epi64(twos2, _mm512_popcnt_epi64(carry));
+        }
+        {
+          const __m512i x0 = _mm512_xor_si512(_mm512_loadu_si512(r3 + w), c0);
+          const __m512i x1 = _mm512_xor_si512(_mm512_loadu_si512(r3 + w + 8), c1);
+          const __m512i carry = _mm512_ternarylogic_epi64(ones3, x0, x1, 0xE8);
+          ones3 = _mm512_ternarylogic_epi64(ones3, x0, x1, 0x96);
+          twos3 = _mm512_add_epi64(twos3, _mm512_popcnt_epi64(carry));
+        }
+      }
+      __m512i acc0 =
+          _mm512_add_epi64(_mm512_slli_epi64(twos0, 1), _mm512_popcnt_epi64(ones0));
+      __m512i acc1 =
+          _mm512_add_epi64(_mm512_slli_epi64(twos1, 1), _mm512_popcnt_epi64(ones1));
+      __m512i acc2 =
+          _mm512_add_epi64(_mm512_slli_epi64(twos2, 1), _mm512_popcnt_epi64(ones2));
+      __m512i acc3 =
+          _mm512_add_epi64(_mm512_slli_epi64(twos3, 1), _mm512_popcnt_epi64(ones3));
+      for (; w < w8; w += 8) {
+        const __m512i cv = _mm512_loadu_si512(cc + w);
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r0 + w), cv)));
+        acc1 = _mm512_add_epi64(
+            acc1, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r1 + w), cv)));
+        acc2 = _mm512_add_epi64(
+            acc2, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r2 + w), cv)));
+        acc3 = _mm512_add_epi64(
+            acc3, _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(r3 + w), cv)));
+      }
+      hsum4_epi64_avx512(acc0, acc1, acc2, acc3, totals);
+      std::size_t cnt0 = static_cast<std::size_t>(totals[0]);
+      std::size_t cnt1 = static_cast<std::size_t>(totals[1]);
+      std::size_t cnt2 = static_cast<std::size_t>(totals[4]);
+      std::size_t cnt3 = static_cast<std::size_t>(totals[5]);
+      for (; w < words; ++w) {
+        const std::uint64_t cw = cc[w];
+        cnt0 += static_cast<std::size_t>(std::popcount(r0[w] ^ cw));
+        cnt1 += static_cast<std::size_t>(std::popcount(r1[w] ^ cw));
+        cnt2 += static_cast<std::size_t>(std::popcount(r2[w] ^ cw));
+        cnt3 += static_cast<std::size_t>(std::popcount(r3[w] ^ cw));
+      }
+      out[c] = static_cast<std::uint32_t>(cnt0);
+      out[n_cols + c] = static_cast<std::uint32_t>(cnt1);
+      out[2 * n_cols + c] = static_cast<std::uint32_t>(cnt2);
+      out[3 * n_cols + c] = static_cast<std::uint32_t>(cnt3);
+    }
+  }
+  for (; r < n_rows; ++r) {
+    const std::uint64_t* ra = rows + r * words;
+    std::uint32_t* out = counts + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      out[c] = static_cast<std::uint32_t>(xor_popcount_avx512(ra, cols + c * words, words));
+    }
+  }
+}
+
+/// Measured crossover on the Ice Lake dev container (bench_kernels,
+/// packed_tile section): with native VPOPCNTQ the plain reduction beats the
+/// carry-save ladder up to words ≈ 64 (dim 4096) — popcounts are nearly
+/// free while the ternlog ladder adds port pressure — and the CSA pulls
+/// ahead from words ≈ 128 (dim 8192), where halving the popcount stream
+/// dominates. Both are exact, so the split is pure dispatch.
+constexpr std::size_t avx512_csa_min_words = 128;
+
+void hamming_tile_packed_avx512(const std::uint64_t* rows, std::size_t n_rows,
+                                const std::uint64_t* cols, std::size_t n_cols,
+                                std::size_t words, std::uint32_t* counts) noexcept {
+  if (words >= avx512_csa_min_words) {
+    hamming_tile_packed_avx512_csa(rows, n_rows, cols, n_cols, words, counts);
+  } else {
+    hamming_tile_packed_avx512_plain(rows, n_rows, cols, n_cols, words, counts);
+  }
+}
+
 /// 8 active bytes -> an 8-lane predicate mask.
 __attribute__((target("avx512f"))) inline __mmask8 active_mask_avx512(
     const std::uint8_t* active) {
@@ -681,6 +987,8 @@ struct kernel_table {
                               std::size_t) noexcept;
   void (*hamming_tile)(const std::uint64_t* const*, std::size_t, const std::uint64_t* const*,
                        std::size_t, std::size_t, std::uint32_t*) noexcept;
+  void (*hamming_tile_packed)(const std::uint64_t*, std::size_t, const std::uint64_t*,
+                              std::size_t, std::size_t, std::uint32_t*) noexcept;
   void (*bitsliced_add)(std::uint64_t*, std::size_t, std::size_t,
                         const std::uint64_t*) noexcept;
   row_min (*nearest_active_scan)(const double*, const std::uint8_t*,
@@ -696,6 +1004,7 @@ struct kernel_table {
 constexpr kernel_table scalar_table{popcount_scalar,
                                     xor_popcount_scalar,
                                     hamming_tile_scalar,
+                                    hamming_tile_packed_scalar,
                                     bitsliced_add_scalar,
                                     nearest_active_scan_scalar,
                                     lance_williams_row_update_scalar,
@@ -707,14 +1016,16 @@ kernel_table table_for(variant v) noexcept {
   switch (v) {
     case variant::avx2:
       return {popcount_avx2,           xor_popcount_avx2,
-              hamming_tile_avx2,       bitsliced_add_avx2,
+              hamming_tile_avx2,       hamming_tile_packed_avx2,
+              bitsliced_add_avx2,
               nearest_active_scan_avx2, lance_williams_row_update_avx2,
               nearest_active_scan_f32_avx2, lance_williams_row_update_f32_avx2};
     case variant::avx512:
       // The bit-sliced ripple is bound by carry shortening, not lane width;
       // AVX2 add alongside the 512-bit popcount datapath measures fastest.
       return {popcount_avx512,          xor_popcount_avx512,
-              hamming_tile_avx512,      bitsliced_add_avx2,
+              hamming_tile_avx512,      hamming_tile_packed_avx512,
+              bitsliced_add_avx2,
               nearest_active_scan_avx512, lance_williams_row_update_avx512,
               nearest_active_scan_f32_avx512, lance_williams_row_update_f32_avx512};
     case variant::scalar:
@@ -794,6 +1105,19 @@ void hamming_tile(const std::uint64_t* const* rows, std::size_t n_rows,
                   const std::uint64_t* const* cols, std::size_t n_cols, std::size_t words,
                   std::uint32_t* counts) noexcept {
   state().table.hamming_tile(rows, n_rows, cols, n_cols, words, counts);
+}
+
+void pack_operands(const std::uint64_t* const* srcs, std::size_t n, std::size_t words,
+                   std::uint64_t* dst) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(dst + i * words, srcs[i], words * sizeof(std::uint64_t));
+  }
+}
+
+void hamming_tile_packed(const std::uint64_t* rows, std::size_t n_rows,
+                         const std::uint64_t* cols, std::size_t n_cols, std::size_t words,
+                         std::uint32_t* counts) noexcept {
+  state().table.hamming_tile_packed(rows, n_rows, cols, n_cols, words, counts);
 }
 
 row_min nearest_active_scan(const double* row, const std::uint8_t* active,

@@ -1,0 +1,118 @@
+#include "util/arena_pool.hpp"
+
+#include <algorithm>
+
+namespace spechd {
+
+arena_lease::~arena_lease() {
+  if (pool_ != nullptr) pool_->give_back(std::move(arena_));
+}
+
+arena_lease& arena_lease::operator=(arena_lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->give_back(std::move(arena_));
+    pool_ = std::exchange(other.pool_, nullptr);
+    arena_ = std::move(other.arena_);
+  }
+  return *this;
+}
+
+arena_lease arena_pool::checkout(std::size_t bytes) {
+  arena a;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.checkouts;
+    // Best fit: the smallest free arena that already holds `bytes`.
+    auto it = std::lower_bound(free_.begin(), free_.end(), bytes,
+                               [](const arena& x, std::size_t b) { return x.capacity() < b; });
+    if (it != free_.end()) {
+      ++stats_.reuses;
+      stats_.retained_bytes -= it->capacity();
+      a = std::move(*it);
+      free_.erase(it);
+    } else if (!free_.empty()) {
+      // Nothing fits: regrow the largest free arena instead of letting a
+      // stack of too-small arenas pile up behind a fresh allocation.
+      ++stats_.allocations;
+      stats_.retained_bytes -= free_.back().capacity();
+      a = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++stats_.allocations;
+    }
+  }
+  // Allocate outside the lock; only bookkeeping contends.
+  a.grow(bytes);
+  {
+    std::lock_guard lock(mutex_);
+    stats_.in_use_bytes += a.capacity();
+    stats_.high_water_bytes =
+        std::max(stats_.high_water_bytes, stats_.in_use_bytes + stats_.retained_bytes);
+  }
+  return arena_lease(this, std::move(a));
+}
+
+void arena_pool::give_back(arena a) {
+  std::vector<arena> victims;  // destroyed (freed) outside the lock
+  {
+    std::lock_guard lock(mutex_);
+    stats_.in_use_bytes -= a.capacity();
+    stats_.retained_bytes += a.capacity();
+    auto it = std::lower_bound(
+        free_.begin(), free_.end(), a.capacity(),
+        [](const arena& x, std::size_t b) { return x.capacity() < b; });
+    free_.insert(it, std::move(a));
+    // High-water trimming: anything beyond the retain budget is released
+    // right away, largest arena first, so a spike cannot pin its footprint.
+    while (stats_.retained_bytes > retain_limit_ && !free_.empty()) {
+      ++stats_.trims;
+      stats_.trimmed_bytes += free_.back().capacity();
+      stats_.retained_bytes -= free_.back().capacity();
+      victims.push_back(std::move(free_.back()));
+      free_.pop_back();
+    }
+  }
+}
+
+std::size_t arena_pool::trim(std::size_t keep_bytes) {
+  std::vector<arena> victims;
+  std::size_t released = 0;
+  {
+    std::lock_guard lock(mutex_);
+    while (stats_.retained_bytes > keep_bytes && !free_.empty()) {
+      ++stats_.trims;
+      const std::size_t cap = free_.back().capacity();
+      stats_.trimmed_bytes += cap;
+      stats_.retained_bytes -= cap;
+      released += cap;
+      victims.push_back(std::move(free_.back()));
+      free_.pop_back();
+    }
+  }
+  return released;
+}
+
+void arena_pool::set_retain_limit(std::size_t bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    retain_limit_ = bytes;
+  }
+  trim(bytes);
+}
+
+std::size_t arena_pool::retain_limit() const {
+  std::lock_guard lock(mutex_);
+  return retain_limit_;
+}
+
+arena_pool_stats arena_pool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+arena_pool& arena_pool::global() {
+  static arena_pool pool;
+  return pool;
+}
+
+}  // namespace spechd

@@ -1,0 +1,179 @@
+// Shared scratch-arena pool (checkout/return) for the hot-path kernels.
+//
+// The NN-chain working matrix, the packed Hamming-tile operand blobs, and
+// the incremental assigner's column scratch all need large, short-lived,
+// *uninitialised* buffers. Before this pool each call site kept a
+// `thread_local` vector sized by the largest request ever seen on that
+// thread — so a deployment that clusters one huge bucket on many threads
+// retains threads × max_bucket² bytes forever (the ROADMAP's memory-bloat
+// follow-up). The pool replaces that with process-shared reuse:
+//
+//   * checkout(bytes) hands out a 64-byte-aligned arena (best-fit from the
+//     free list, else the largest free arena regrown, else a fresh
+//     allocation) wrapped in an RAII lease that returns it on destruction.
+//   * high-water trimming: returned arenas are retained for reuse only up
+//     to a byte budget (`retain_limit`); beyond it the largest free arenas
+//     are released immediately, so a one-off giant bucket cannot pin its
+//     footprint. trim() releases retained arenas down to a floor on demand.
+//   * stats hooks: checkouts / reuse hits / fresh allocations / trims and
+//     the pool's high-water bytes, snapshot under the same lock that
+//     guards the free list — bench_kernels reports them into
+//     BENCH_kernels.json so memory behaviour is tracked across PRs.
+//
+// Arenas hand back raw uninitialised storage: callers must write before
+// they read (every current call site fully overwrites its scratch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spechd {
+
+class arena_pool;
+
+/// One reusable 64-byte-aligned allocation. Movable, not copyable; contents
+/// are scratch (never preserved across grow()).
+class arena {
+public:
+  arena() = default;
+  explicit arena(std::size_t bytes) { grow(bytes); }
+  ~arena() { release(); }
+
+  arena(arena&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  arena& operator=(arena&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  std::byte* data() noexcept { return data_; }
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Ensures at least `bytes` of capacity. Discards previous contents
+  /// (scratch semantics) — no copy, just a fresh aligned allocation.
+  void grow(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    release();
+    data_ = static_cast<std::byte*>(::operator new(bytes, std::align_val_t{alignment}));
+    capacity_ = bytes;
+  }
+
+  /// Typed view of the arena's start; `count` elements must fit.
+  template <typename T>
+  T* as(std::size_t count) noexcept {
+    SPECHD_EXPECTS(count * sizeof(T) <= capacity_);
+    return reinterpret_cast<T*>(data_);
+  }
+
+  static constexpr std::size_t alignment = 64;  ///< cache line / ZMM register
+
+private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignment});
+      data_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// RAII checkout: returns the arena to its pool on destruction. Move-only.
+class arena_lease {
+public:
+  arena_lease() = default;
+  ~arena_lease();
+
+  arena_lease(arena_lease&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)), arena_(std::move(other.arena_)) {}
+  arena_lease& operator=(arena_lease&& other) noexcept;
+
+  std::byte* data() noexcept { return arena_.data(); }
+  std::size_t capacity() const noexcept { return arena_.capacity(); }
+
+  template <typename T>
+  T* as(std::size_t count) noexcept {
+    return arena_.as<T>(count);
+  }
+
+  explicit operator bool() const noexcept { return pool_ != nullptr; }
+
+private:
+  friend class arena_pool;
+  arena_lease(arena_pool* pool, arena a) : pool_(pool), arena_(std::move(a)) {}
+
+  arena_pool* pool_ = nullptr;
+  arena arena_;
+};
+
+/// Counters a stats() snapshot reports (all monotonically increasing except
+/// the *_bytes gauges).
+struct arena_pool_stats {
+  std::uint64_t checkouts = 0;      ///< total checkout() calls
+  std::uint64_t reuses = 0;         ///< served from the free list, no allocation
+  std::uint64_t allocations = 0;    ///< fresh allocations or regrows
+  std::uint64_t trims = 0;          ///< arenas released by the retain policy / trim()
+  std::size_t trimmed_bytes = 0;    ///< cumulative bytes released by trims
+  std::size_t in_use_bytes = 0;     ///< bytes currently checked out
+  std::size_t retained_bytes = 0;   ///< bytes currently parked in the free list
+  std::size_t high_water_bytes = 0; ///< peak of in_use + retained over the pool's life
+};
+
+/// Thread-safe pool of reusable arenas. See the file comment for policy.
+class arena_pool {
+public:
+  /// Default retain budget: generous enough that steady-state per-bucket
+  /// HAC scratch (tens of MiB at n≈2048 doubles) is always reused, small
+  /// enough that a one-off giant bucket's arena is dropped on return.
+  static constexpr std::size_t default_retain_limit = std::size_t{256} << 20;
+
+  explicit arena_pool(std::size_t retain_limit = default_retain_limit)
+      : retain_limit_(retain_limit) {}
+
+  /// Hands out an arena with capacity >= bytes. Best-fit from the free
+  /// list; if nothing fits, the largest free arena is regrown (so stale
+  /// small arenas don't accumulate); else a fresh arena is allocated.
+  arena_lease checkout(std::size_t bytes);
+
+  /// Releases free-list arenas (largest first) until retained bytes are
+  /// <= keep_bytes. Returns the number of bytes released. Checked-out
+  /// arenas are unaffected.
+  std::size_t trim(std::size_t keep_bytes = 0);
+
+  /// Retained-bytes budget applied on every return (see trim()); the
+  /// excess is released immediately, largest arena first.
+  void set_retain_limit(std::size_t bytes);
+  std::size_t retain_limit() const;
+
+  arena_pool_stats stats() const;
+
+  /// The process-wide pool used by the kernel call sites (NN-chain scratch,
+  /// packed-tile blobs, incremental assignment rows).
+  static arena_pool& global();
+
+private:
+  friend class arena_lease;
+  void give_back(arena a);
+  std::size_t trim_locked(std::size_t keep_bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<arena> free_;  ///< kept sorted by capacity, ascending
+  std::size_t retain_limit_;
+  arena_pool_stats stats_;
+};
+
+}  // namespace spechd

@@ -133,6 +133,97 @@ TEST(HammingTile, AllVariantsMatchPerPairReference) {
   }
 }
 
+TEST(PackOperands, CopiesEveryOperandContiguously) {
+  xoshiro256ss rng(29);
+  constexpr std::size_t n = 9;
+  constexpr std::size_t words = 5;
+  std::vector<std::vector<std::uint64_t>> data;
+  std::vector<const std::uint64_t*> ptrs;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.push_back(random_words(words, rng));
+    ptrs.push_back(data.back().data());
+  }
+  std::vector<std::uint64_t> blob(n * words, 0xDEADBEEF);
+  k::pack_operands(ptrs.data(), n, words, blob.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w < words; ++w) {
+      ASSERT_EQ(blob[i * words + w], data[i][w]) << "operand " << i << " word " << w;
+    }
+  }
+}
+
+// Randomized equivalence: the packed tile must agree with the per-pair
+// scalar reference (and hence with the pointer tile) for every supported
+// variant, across ragged shapes that exercise the 4-row blocking
+// remainders, the SIMD word tails, and — at words >= 128 — the AVX-512
+// carry-save reduction path.
+TEST(HammingTilePacked, RandomizedEquivalenceAcrossVariantsAndShapes) {
+  variant_guard guard;
+  struct shape {
+    std::size_t n_rows, n_cols, words;
+  };
+  const shape shapes[] = {
+      {1, 1, 1},   {1, 7, 3},    {2, 5, 7},    {3, 3, 8},     {4, 64, 32},
+      {5, 9, 32},  {6, 2, 31},   {7, 64, 33},  {64, 64, 32},  {8, 8, 64},
+      {4, 4, 128}, {5, 3, 129},  {9, 17, 130}, {2, 2, 136},
+  };
+  std::uint64_t seed = 1;
+  for (const auto& s : shapes) {
+    xoshiro256ss rng(1000 + seed++);
+    std::vector<std::uint64_t> rows = random_words(s.n_rows * s.words, rng);
+    std::vector<std::uint64_t> cols = random_words(s.n_cols * s.words, rng);
+
+    std::vector<std::uint32_t> expected(s.n_rows * s.n_cols);
+    for (std::size_t r = 0; r < s.n_rows; ++r) {
+      for (std::size_t c = 0; c < s.n_cols; ++c) {
+        expected[r * s.n_cols + c] = static_cast<std::uint32_t>(xor_popcount_reference(
+            rows.data() + r * s.words, cols.data() + c * s.words, s.words));
+      }
+    }
+
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      std::vector<std::uint32_t> counts(s.n_rows * s.n_cols, 0);
+      k::hamming_tile_packed(rows.data(), s.n_rows, cols.data(), s.n_cols, s.words,
+                             counts.data());
+      ASSERT_EQ(counts, expected) << k::variant_name(v) << " rows=" << s.n_rows
+                                  << " cols=" << s.n_cols << " words=" << s.words;
+    }
+  }
+}
+
+// Packed and pointer tiles must agree bit-for-bit on the same operands —
+// the contract that let distance.cpp and the incremental assigner switch
+// paths without moving any quality metric.
+TEST(HammingTilePacked, MatchesPointerTileOnRandomTrials) {
+  variant_guard guard;
+  xoshiro256ss rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_rows = 1 + rng.bounded(70);
+    const std::size_t n_cols = 1 + rng.bounded(70);
+    const std::size_t words = 1 + rng.bounded(40);
+    std::vector<std::uint64_t> blob = random_words((n_rows + n_cols) * words, rng);
+    std::vector<const std::uint64_t*> row_ptrs(n_rows);
+    std::vector<const std::uint64_t*> col_ptrs(n_cols);
+    for (std::size_t r = 0; r < n_rows; ++r) row_ptrs[r] = blob.data() + r * words;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      col_ptrs[c] = blob.data() + (n_rows + c) * words;
+    }
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      std::vector<std::uint32_t> unpacked(n_rows * n_cols, 0);
+      std::vector<std::uint32_t> packed(n_rows * n_cols, 1);
+      k::hamming_tile(row_ptrs.data(), n_rows, col_ptrs.data(), n_cols, words,
+                      unpacked.data());
+      k::hamming_tile_packed(blob.data(), n_rows, blob.data() + n_rows * words, n_cols,
+                             words, packed.data());
+      ASSERT_EQ(packed, unpacked) << k::variant_name(v) << " trial=" << trial
+                                  << " rows=" << n_rows << " cols=" << n_cols
+                                  << " words=" << words;
+    }
+  }
+}
+
 TEST(BitslicedAccumulator, CountsMatchIntegerCountersForAllVariants) {
   variant_guard guard;
   constexpr std::size_t words = 4;

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Docs checks run by the CI docs job (no third-party deps).
+
+1. Every relative markdown link in the repo's *.md files must resolve to
+   an existing file or directory (anchors are stripped; http(s)/mailto
+   links are not fetched).
+2. README.md must quote the tier-1 verify command *verbatim*. The source
+   of truth is ROADMAP.md's "Tier-1 verify:" line, so the check cannot
+   drift from what the driver actually runs.
+
+Exit status: 0 clean, 1 with one "file: message" line per finding.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", ".git", ".claude"}
+# [text](target) — stop at the first unescaped ')'; images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+def md_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+def check_links():
+    errors = []
+    for md in md_files():
+        text = md.read_text(encoding="utf-8")
+        # Ignore fenced code blocks: link syntax inside them is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (md.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+def check_readme_verify_command():
+    roadmap = (REPO / "ROADMAP.md").read_text(encoding="utf-8")
+    match = re.search(r"Tier-1 verify:\*{0,2}\s*`([^`]+)`", roadmap)
+    if not match:
+        return ["ROADMAP.md: could not find the `Tier-1 verify:` command line"]
+    tier1 = match.group(1)
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    if tier1 not in readme:
+        return [
+            "README.md: tier-1 verify command is missing or not verbatim; expected "
+            f"exactly: {tier1}"
+        ]
+    return []
+
+def main():
+    errors = check_links() + check_readme_verify_command()
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} docs finding(s).")
+        return 1
+    print("docs OK: links resolve, README verify command matches ROADMAP verbatim.")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())
