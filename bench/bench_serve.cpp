@@ -1,0 +1,281 @@
+// Serving-path bench: sustained ingest throughput, query latency
+// percentiles (idle and under concurrent ingest), snapshot round-trip
+// time, and an ingest/query thread-scaling sweep.
+//
+//   bench_serve [--threads=N] [--variant=V] [--n=SPECTRA] [--dim=D] [--json=PATH]
+//
+// Writes BENCH_serve.json (schema documented in bench/README.md). The
+// thread-scaling section doubles the shard count up to --threads (default:
+// hardware concurrency), feeding the ROADMAP's multi-core measurement item
+// — on a 1-core container the sweep degenerates to a single entry, so run
+// on a wide host for the interesting column.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spechd;
+using clock_type = std::chrono::steady_clock;
+
+struct latency_stats {
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double qps = 0.0;
+};
+
+latency_stats summarize_latencies(std::vector<double> latencies_us, double wall_seconds) {
+  latency_stats stats;
+  if (latencies_us.empty()) return stats;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  stats.p50_us = percentile_sorted(latencies_us, 0.50);
+  stats.p90_us = percentile_sorted(latencies_us, 0.90);
+  stats.p99_us = percentile_sorted(latencies_us, 0.99);
+  double sum = 0.0;
+  for (const double v : latencies_us) sum += v;
+  stats.mean_us = sum / static_cast<double>(latencies_us.size());
+  stats.qps = wall_seconds > 0.0
+                  ? static_cast<double>(latencies_us.size()) / wall_seconds
+                  : 0.0;
+  return stats;
+}
+
+serve::serve_config make_config(const bench::bench_options& opts, std::size_t shards) {
+  serve::serve_config config;
+  config.pipeline = bench::pipeline_config(opts);
+  config.pipeline.threads = 1;  // shard writers are the parallelism
+  if (opts.dim != 0) config.pipeline.encoder.dim = opts.dim;
+  config.shards = shards;
+  config.queue_capacity = 16;
+  return config;
+}
+
+double ingest_all(serve::clustering_service& service, const std::vector<ms::spectrum>& stream,
+                  std::size_t batch) {
+  const auto start = clock_type::now();
+  for (std::size_t offset = 0; offset < stream.size(); offset += batch) {
+    const auto end = std::min(offset + batch, stream.size());
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                    stream.begin() + static_cast<std::ptrdiff_t>(end)});
+  }
+  service.drain();
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// `workers` threads issue `per_worker` queries each; returns merged
+/// per-query latencies and the wall time of the whole volley.
+std::pair<std::vector<double>, double> run_queries(const serve::clustering_service& service,
+                                                   const std::vector<ms::spectrum>& stream,
+                                                   std::size_t workers,
+                                                   std::size_t per_worker) {
+  std::vector<std::vector<double>> latencies(workers);
+  const auto start = clock_type::now();
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      latencies[w].reserve(per_worker);
+      std::size_t index = w * 31;
+      for (std::size_t i = 0; i < per_worker; ++i) {
+        const auto& q = stream[index % stream.size()];
+        const auto t0 = clock_type::now();
+        const auto r = service.query(q);
+        latencies[w].push_back(
+            std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+        if (r.matched && r.distance > 1.0) std::abort();  // keep the call un-elided
+        index += 17;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = std::chrono::duration<double>(clock_type::now() - start).count();
+  std::vector<double> merged;
+  for (auto& l : latencies) merged.insert(merged.end(), l.begin(), l.end());
+  return {std::move(merged), wall};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  const std::size_t spectra_target = opts.n != 0 ? opts.n : 4000;
+  const std::size_t peptides = std::max<std::size_t>(1, spectra_target / 6);
+  const std::size_t threads = opts.resolved_threads();
+  const std::size_t batch = 64;
+
+  const auto data = ms::generate_dataset(bench::synthetic_workload(peptides));
+  const auto& stream = data.spectra;
+  std::cout << "workload: " << stream.size() << " spectra, " << data.library.size()
+            << " peptide classes\n\n";
+
+  json_writer json;
+  json.begin_object();
+  json.field("bench", "serve");
+  json.field("variant", hdc::kernels::variant_name(hdc::kernels::active()));
+  json.field("threads", threads);
+  json.begin_object("workload");
+  json.field("spectra", stream.size());
+  json.field("peptides", data.library.size());
+  json.field("dim", opts.dim != 0 ? opts.dim : core::spechd_config{}.encoder.dim);
+  json.field("ingest_batch", batch);
+  json.end_object();
+
+  // --- phase 1: sustained ingest, shards = threads -------------------------
+  serve::clustering_service service(make_config(opts, threads));
+  const double ingest_seconds = ingest_all(service, stream, batch);
+  const auto stats = service.stats();
+  const double ingest_rate =
+      ingest_seconds > 0.0 ? static_cast<double>(stream.size()) / ingest_seconds : 0.0;
+  std::cout << "ingest: " << stream.size() << " spectra in " << ingest_seconds << " s  ("
+            << ingest_rate << " spectra/s, " << stats.cluster_count << " clusters)\n";
+  json.begin_object("ingest");
+  json.field("shards", threads);
+  json.field("seconds", ingest_seconds);
+  json.field("spectra_per_sec", ingest_rate);
+  json.field("records", stats.record_count);
+  json.field("clusters", stats.cluster_count);
+  json.field("dropped", stats.dropped);
+  json.end_object();
+
+  // --- phase 2: query latency against the idle service ---------------------
+  const std::size_t query_count = std::min<std::size_t>(2000, stream.size() * 2);
+  {
+    auto [latencies, wall] =
+        run_queries(service, stream, threads, query_count / std::max<std::size_t>(1, threads));
+    const auto q = summarize_latencies(std::move(latencies), wall);
+    std::cout << "query (idle): p50 " << q.p50_us << " us, p90 " << q.p90_us
+              << " us, p99 " << q.p99_us << " us, " << q.qps << " q/s\n";
+    json.begin_object("query_idle");
+    json.field("workers", threads);
+    json.field("queries", query_count);
+    json.field("p50_us", q.p50_us);
+    json.field("p90_us", q.p90_us);
+    json.field("p99_us", q.p99_us);
+    json.field("mean_us", q.mean_us);
+    json.field("qps", q.qps);
+    json.end_object();
+  }
+
+  // --- phase 3: queries concurrent with ingest (the serving steady state) --
+  {
+    serve::clustering_service mixed(make_config(opts, threads));
+    // Preload half so queries have state to hit, then query while the
+    // second half streams in.
+    const std::size_t half = stream.size() / 2;
+    ingest_all(mixed, {stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(half)},
+               batch);
+    std::atomic<bool> ingest_done{false};
+    double mixed_ingest_seconds = 0.0;
+    std::thread producer([&] {
+      const auto start = clock_type::now();
+      for (std::size_t offset = half; offset < stream.size(); offset += batch) {
+        const auto end = std::min(offset + batch, stream.size());
+        mixed.ingest({stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                      stream.begin() + static_cast<std::ptrdiff_t>(end)});
+      }
+      mixed.drain();
+      mixed_ingest_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
+      ingest_done = true;
+    });
+    auto [latencies, wall] = run_queries(
+        mixed, stream, threads, query_count / std::max<std::size_t>(1, threads));
+    producer.join();
+    const auto q = summarize_latencies(std::move(latencies), wall);
+    const double mixed_rate = mixed_ingest_seconds > 0.0
+                                  ? static_cast<double>(stream.size() - half) /
+                                        mixed_ingest_seconds
+                                  : 0.0;
+    std::cout << "query (during ingest): p50 " << q.p50_us << " us, p99 " << q.p99_us
+              << " us, " << q.qps << " q/s; concurrent ingest " << mixed_rate
+              << " spectra/s\n";
+    json.begin_object("query_under_ingest");
+    json.field("workers", threads);
+    json.field("queries", query_count);
+    json.field("p50_us", q.p50_us);
+    json.field("p90_us", q.p90_us);
+    json.field("p99_us", q.p99_us);
+    json.field("qps", q.qps);
+    json.field("concurrent_ingest_spectra_per_sec", mixed_rate);
+    json.end_object();
+  }
+
+  // --- phase 4: snapshot round trip ----------------------------------------
+  {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bench_serve.sphsnap").string();
+    const auto save_start = clock_type::now();
+    service.snapshot_file(path);
+    const double save_seconds =
+        std::chrono::duration<double>(clock_type::now() - save_start).count();
+    const auto bytes = std::filesystem::file_size(path);
+
+    serve::clustering_service restored(make_config(opts, threads));
+    const auto load_start = clock_type::now();
+    restored.restore_file(path);
+    const double load_seconds =
+        std::chrono::duration<double>(clock_type::now() - load_start).count();
+    // The restore must be exact — a bench that silently measured a wrong
+    // restore would be worse than no bench.
+    if (serve::canonical_state(restored.export_states()) !=
+        serve::canonical_state(service.export_states())) {
+      std::cerr << "FATAL: snapshot round trip changed state\n";
+      return 1;
+    }
+    std::remove(path.c_str());
+    std::cout << "snapshot: save " << save_seconds << " s, restore " << load_seconds
+              << " s, " << bytes / 1024 << " KiB\n";
+    json.begin_object("snapshot");
+    json.field("bytes", static_cast<std::size_t>(bytes));
+    json.field("save_seconds", save_seconds);
+    json.field("restore_seconds", load_seconds);
+    json.field("round_trip_seconds", save_seconds + load_seconds);
+    json.end_object();
+  }
+
+  // --- phase 5: thread scaling (shards = query workers = t) ----------------
+  std::cout << "\nthread scaling (shards = workers = t):\n";
+  json.begin_array("thread_scaling");
+  std::vector<std::size_t> widths;
+  for (std::size_t t = 1; t < threads; t *= 2) widths.push_back(t);
+  widths.push_back(threads);  // the top width is always measured
+  for (const std::size_t t : widths) {
+    serve::clustering_service scaled(make_config(opts, t));
+    const double seconds = ingest_all(scaled, stream, batch);
+    auto [latencies, wall] =
+        run_queries(scaled, stream, t, query_count / std::max<std::size_t>(1, t));
+    const auto q = summarize_latencies(std::move(latencies), wall);
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0;
+    std::cout << "  t=" << t << ": ingest " << rate << " spectra/s, query " << q.qps
+              << " q/s (p99 " << q.p99_us << " us)\n";
+    json.begin_object();
+    json.field("threads", t);
+    json.field("ingest_spectra_per_sec", rate);
+    json.field("query_qps", q.qps);
+    json.field("query_p99_us", q.p99_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const std::string path = opts.json.empty() ? "BENCH_serve.json" : opts.json;
+  if (!path.empty()) {
+    json.write_file(path);
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return 0;
+}

@@ -275,6 +275,106 @@ cluster::flat_clustering incremental_clusterer::clustering() const {
   return out;
 }
 
+clusterer_state incremental_clusterer::export_state() const {
+  clusterer_state state;
+  state.store = to_store();
+  state.buckets.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    bucket_snapshot snap;
+    snap.key = key;
+    snap.members = bucket.members;
+    snap.local_labels = bucket.local_labels;
+    snap.next_local = bucket.next_local;
+    snap.dirty = bucket.dirty;
+    state.buckets.push_back(std::move(snap));
+  }
+  return state;
+}
+
+void incremental_clusterer::import_state(clusterer_state state) {
+  if (state.store.size() > 0 && state.store.dim() != config_.encoder.dim) {
+    throw spechd::error("clusterer_state dimension " + std::to_string(state.store.dim()) +
+                        " does not match configured dim " +
+                        std::to_string(config_.encoder.dim));
+  }
+  const std::size_t n = state.store.size();
+  // The buckets must partition [0, n): every record in exactly one bucket,
+  // labels aligned with members and consistent with next_local, and every
+  // member's bucket key must agree with this config's bucketing (otherwise
+  // future pushes would route the same precursor to a different bucket).
+  std::vector<bool> seen(n, false);
+  std::int64_t previous_key = 0;
+  bool first = true;
+  for (const auto& snap : state.buckets) {
+    if (!first && snap.key <= previous_key) {
+      throw spechd::error("clusterer_state buckets not in ascending key order");
+    }
+    first = false;
+    previous_key = snap.key;
+    if (snap.members.size() != snap.local_labels.size()) {
+      throw spechd::error("clusterer_state bucket " + std::to_string(snap.key) +
+                          ": members/labels size mismatch");
+    }
+    for (std::size_t i = 0; i < snap.members.size(); ++i) {
+      const auto idx = snap.members[i];
+      if (idx >= n || seen[idx]) {
+        throw spechd::error("clusterer_state bucket " + std::to_string(snap.key) +
+                            ": invalid or duplicate record index " + std::to_string(idx));
+      }
+      seen[idx] = true;
+      const auto label = snap.local_labels[i];
+      if (label < 0 || label >= snap.next_local) {
+        throw spechd::error("clusterer_state bucket " + std::to_string(snap.key) +
+                            ": label " + std::to_string(label) + " outside [0, " +
+                            std::to_string(snap.next_local) + ")");
+      }
+      const auto& r = state.store.at(idx);
+      const auto expected =
+          preprocess::bucket_index(r.precursor_mz, r.precursor_charge,
+                                   config_.preprocess.bucketing);
+      if (expected != snap.key) {
+        throw spechd::error("clusterer_state bucket " + std::to_string(snap.key) +
+                            ": record " + std::to_string(idx) +
+                            " buckets to key " + std::to_string(expected) +
+                            " under this config");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) {
+      throw spechd::error("clusterer_state: record " + std::to_string(i) +
+                          " is in no bucket");
+    }
+  }
+
+  records_ = state.store.records();
+  buckets_.clear();
+  for (auto& snap : state.buckets) {
+    bucket_state& bucket = buckets_[snap.key];
+    bucket.members = std::move(snap.members);
+    bucket.local_labels = std::move(snap.local_labels);
+    bucket.next_local = snap.next_local;
+    bucket.dirty = snap.dirty;
+    if (mode_ == assign_mode::bundle_representative) {
+      // Bundle counters are per-bit sums over members, so rebuilding from
+      // the records reproduces the original bundles exactly (order-free).
+      for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+        auto [it, inserted] = bucket.bundles.try_emplace(bucket.local_labels[i],
+                                                         config_.encoder.dim);
+        it->second.add(records_[bucket.members[i]].hv);
+      }
+    }
+  }
+}
+
+void incremental_clusterer::for_each_bucket(
+    const std::function<void(const bucket_ref&)>& fn) const {
+  for (const auto& [key, bucket] : buckets_) {
+    fn(bucket_ref{key, bucket.members, bucket.local_labels, bucket.next_local,
+                  bucket.dirty});
+  }
+}
+
 hdc::hv_store incremental_clusterer::to_store() const {
   hdc::hv_store store(config_.encoder.dim, config_.encoder.seed);
   for (const auto& r : records_) store.append(r);

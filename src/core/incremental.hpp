@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -42,6 +43,26 @@ class thread_pool;
 }
 
 namespace spechd::core {
+
+/// Serialisable snapshot of one bucket's cluster state (see
+/// incremental_clusterer::export_state). `members` index the exported
+/// store's records; within a bucket they are in arrival order, which is
+/// the order the assignment semantics depend on.
+struct bucket_snapshot {
+  std::int64_t key = 0;
+  std::vector<std::uint32_t> members;
+  std::vector<std::int32_t> local_labels;
+  std::int32_t next_local = 0;
+  bool dirty = false;
+};
+
+/// Complete externalised state of an incremental_clusterer: every record
+/// (store order == ingestion order) plus the per-bucket cluster state.
+/// This is what the serve layer persists into .sphsnap snapshots.
+struct clusterer_state {
+  hdc::hv_store store;
+  std::vector<bucket_snapshot> buckets;  ///< ascending bucket key
+};
 
 /// Result of one incremental update.
 struct update_report {
@@ -118,6 +139,38 @@ public:
 
   /// All ingested records as a store (for persisting back to disk).
   hdc::hv_store to_store() const;
+
+  /// Copies the complete state out — records plus per-bucket assignments —
+  /// so a caller can persist it and later import_state() into an equally
+  /// configured instance. Exported buckets are in ascending key order.
+  clusterer_state export_state() const;
+
+  /// Replaces all state with `state`, validating it first: the store's
+  /// dimension must match the config, the buckets must partition the
+  /// records exactly, every member's key must agree with the config's
+  /// bucketing, and labels must be consistent with next_local. Throws
+  /// spechd::error on any violation (the instance is unchanged then).
+  /// After a successful import, subsequent pushes behave exactly as if
+  /// this instance had ingested the original sequence itself
+  /// (bundle-representative state is rebuilt from the records).
+  void import_state(clusterer_state state);
+
+  /// Read-only view of one bucket, valid only inside for_each_bucket.
+  struct bucket_ref {
+    std::int64_t key;
+    const std::vector<std::uint32_t>& members;      ///< record indices, arrival order
+    const std::vector<std::int32_t>& local_labels;  ///< cluster id per member
+    std::int32_t cluster_count;                     ///< local cluster ids are [0, this)
+    bool dirty;
+  };
+
+  /// Visits every bucket in ascending key order. The serve layer uses this
+  /// to rebuild published query views without copying the whole state.
+  /// Single-owner semantics apply (do not ingest concurrently).
+  void for_each_bucket(const std::function<void(const bucket_ref&)>& fn) const;
+
+  /// Record `index` (indices are what bucket_ref::members hold).
+  const hdc::hv_record& record(std::size_t index) const { return records_.at(index); }
 
   std::size_t size() const noexcept { return records_.size(); }
   std::size_t cluster_count() const noexcept;

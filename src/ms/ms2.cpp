@@ -31,6 +31,10 @@ std::vector<spectrum> read_ms2(std::istream& in, const std::string& source_name)
 
   while (std::getline(in, line)) {
     ++line_no;
+    // CRLF input: getline leaves the '\r', so a blank line arrives as "\r"
+    // and every tag line carries a trailing '\r'. Strip it up front rather
+    // than letting the dispatch below misread '\r' as a peak line.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::istringstream ls(line);
     switch (line[0]) {

@@ -1,0 +1,224 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "preprocess/pipeline.hpp"
+
+namespace spechd::serve {
+
+namespace {
+
+core::spechd_config shard_pipeline_config(const serve_config& config) {
+  core::spechd_config pipeline = config.pipeline;
+  // Each shard runs its clusterer on its own writer thread; a nested
+  // hardware-wide pool per shard would oversubscribe N× for nothing.
+  if (pipeline.threads == 0) pipeline.threads = 1;
+  return pipeline;
+}
+
+}  // namespace
+
+clustering_service::clustering_service(serve_config config)
+    : config_(std::move(config)),
+      router_(config_.pipeline.preprocess.bucketing, config_.shards),
+      encoder_(config_.pipeline.encoder, config_.pipeline.preprocess.quantize.mz_bins,
+               config_.pipeline.preprocess.quantize.intensity_levels) {
+  SPECHD_EXPECTS(config_.shards >= 1);
+  SPECHD_EXPECTS(config_.queue_capacity >= 1);
+  const auto pipeline = shard_pipeline_config(config_);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<shard>(s, pipeline, config_.mode, config_.queue_capacity));
+  }
+}
+
+void clustering_service::ingest(std::vector<ms::spectrum> spectra) {
+  if (spectra.empty()) return;
+  if (shards_.size() == 1) {
+    shards_[0]->enqueue(std::move(spectra));
+    return;
+  }
+  std::vector<std::vector<ms::spectrum>> per_shard(shards_.size());
+  for (auto& s : spectra) {
+    per_shard[router_.shard_of(s)].push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!per_shard[i].empty()) shards_[i]->enqueue(std::move(per_shard[i]));
+  }
+}
+
+void clustering_service::drain() {
+  for (auto& s : shards_) s->drain();
+}
+
+query_result clustering_service::query(const ms::spectrum& spectrum) const {
+  // Same preprocessing as ingest — a spectrum the filter would drop on
+  // ingest is reported unencodable rather than queried inconsistently.
+  auto batch = preprocess::run_preprocessing({spectrum}, config_.pipeline.preprocess);
+  if (batch.spectra.empty()) return query_result{};
+  const auto& q = batch.spectra.front();
+  const auto hv = encoder_.encode(q);
+  const auto key = router_.bucket_key(q.precursor_mz, q.precursor_charge);
+  return shards_[router_.shard_of_key(key)]->query(hv, key,
+                                                   config_.pipeline.distance_threshold);
+}
+
+service_stats clustering_service::stats() const {
+  service_stats total;
+  total.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    auto stats = s->stats();
+    total.ingested += stats.ingested;
+    total.dropped += stats.dropped;
+    total.batches += stats.batches;
+    total.record_count += stats.record_count;
+    total.cluster_count += stats.cluster_count;
+    total.queue_depth += stats.queue_depth;
+    total.shards.push_back(std::move(stats));
+  }
+  return total;
+}
+
+snapshot_identity clustering_service::identity() const {
+  snapshot_identity id;
+  id.dim = static_cast<std::uint32_t>(config_.pipeline.encoder.dim);
+  id.encoder_seed = config_.pipeline.encoder.seed;
+  id.distance_threshold = config_.pipeline.distance_threshold;
+  id.bucket_resolution = config_.pipeline.preprocess.bucketing.resolution;
+  id.fallback_charge = config_.pipeline.preprocess.bucketing.fallback_charge;
+  id.assign_mode = static_cast<std::uint32_t>(config_.mode);
+  id.shard_count = static_cast<std::uint32_t>(shards_.size());
+  id.config_digest = pipeline_digest(config_.pipeline);
+  return id;
+}
+
+std::vector<core::clusterer_state> clustering_service::export_states() {
+  drain();
+  std::vector<core::clusterer_state> states(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->run_exclusive([&states, s](core::incremental_clusterer& clusterer) {
+      states[s] = clusterer.export_state();
+    }, /*republish=*/false);
+  }
+  return states;
+}
+
+void clustering_service::snapshot_file(const std::string& path) {
+  const auto states = export_states();  // drains
+  write_snapshot_file(path, identity(), states);
+}
+
+void clustering_service::restore_file(const std::string& path) {
+  auto data = read_snapshot_file(path);
+
+  auto expected = identity();
+  expected.shard_count = data.identity.shard_count;  // count may differ; rest must not
+  if (!(data.identity == expected)) {
+    throw parse_error(path, 0,
+                      "snapshot identity does not match this service's configuration "
+                      "(dim/seed/threshold/bucketing/mode)");
+  }
+
+  // When the shard count matches *and* every stored bucket already sits on
+  // the shard this router would pick, states import verbatim (preserving
+  // record order inside each shard). Otherwise whole buckets are re-routed.
+  bool verbatim = data.shards.size() == shards_.size();
+  if (verbatim) {
+    for (std::size_t s = 0; verbatim && s < data.shards.size(); ++s) {
+      for (const auto& bucket : data.shards[s].buckets) {
+        if (router_.shard_of_key(bucket.key) != s) {
+          verbatim = false;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<core::clusterer_state> per_shard(shards_.size());
+  if (verbatim) {
+    per_shard = std::move(data.shards);
+  } else {
+    // Re-partition: buckets are self-contained, so move each whole bucket
+    // (records in arrival order + labels) onto the shard this service's
+    // router picks for its key. Record indices are renumbered per target
+    // shard; per-bucket member order — the only order assignment depends
+    // on — is unchanged.
+    const auto dim = config_.pipeline.encoder.dim;
+    const auto seed = config_.pipeline.encoder.seed;
+    for (auto& state : per_shard) state.store = hdc::hv_store(dim, seed);
+    // Buckets must land in ascending key order per target shard; stored
+    // shards hold ascending keys and distinct shards hold distinct
+    // buckets, so a stable merge by key over all stored shards suffices.
+    struct bucket_source {
+      const core::clusterer_state* state;
+      const core::bucket_snapshot* bucket;
+    };
+    std::vector<bucket_source> sources;
+    for (const auto& state : data.shards) {
+      for (const auto& bucket : state.buckets) sources.push_back({&state, &bucket});
+    }
+    std::sort(sources.begin(), sources.end(),
+              [](const bucket_source& a, const bucket_source& b) {
+                return a.bucket->key < b.bucket->key;
+              });
+    for (const auto& src : sources) {
+      auto& target = per_shard[router_.shard_of_key(src.bucket->key)];
+      core::bucket_snapshot rebuilt;
+      rebuilt.key = src.bucket->key;
+      rebuilt.next_local = src.bucket->next_local;
+      rebuilt.dirty = src.bucket->dirty;
+      rebuilt.local_labels = src.bucket->local_labels;
+      rebuilt.members.reserve(src.bucket->members.size());
+      for (const auto idx : src.bucket->members) {
+        rebuilt.members.push_back(static_cast<std::uint32_t>(target.store.size()));
+        target.store.append(src.state->store.at(idx));
+      }
+      target.buckets.push_back(std::move(rebuilt));
+    }
+  }
+
+  drain();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->run_exclusive(
+        [state = std::move(per_shard[s])](core::incremental_clusterer& clusterer) mutable {
+          clusterer.import_state(std::move(state));
+        });
+  }
+}
+
+cluster::flat_clustering clustering_service::clustering() {
+  drain();
+  cluster::flat_clustering merged;
+  std::size_t label_offset = 0;
+  for (auto& s : shards_) {
+    cluster::flat_clustering local;
+    s->run_exclusive([&local](core::incremental_clusterer& clusterer) {
+      local = clusterer.clustering();
+    }, /*republish=*/false);
+    for (const auto label : local.labels) {
+      merged.labels.push_back(label < 0 ? label
+                                        : static_cast<std::int32_t>(
+                                              label_offset + static_cast<std::size_t>(label)));
+    }
+    label_offset += local.cluster_count;
+  }
+  merged.cluster_count = label_offset;
+  return merged;
+}
+
+hdc::hv_store clustering_service::to_store() {
+  drain();
+  hdc::hv_store merged(config_.pipeline.encoder.dim, config_.pipeline.encoder.seed);
+  for (auto& s : shards_) {
+    hdc::hv_store local;
+    s->run_exclusive([&local](core::incremental_clusterer& clusterer) {
+      local = clusterer.to_store();
+    }, /*republish=*/false);
+    for (const auto& r : local.records()) merged.append(r);
+  }
+  return merged;
+}
+
+}  // namespace spechd::serve

@@ -1,0 +1,125 @@
+// Sharded clustering service: the concurrent ingest/query engine.
+//
+// The ROADMAP's serving shape on CPU: live clustering state partitioned by
+// precursor-mass bucket over N shards, each shard a single-writer
+// incremental clusterer behind a bounded ingest queue, with immutable
+// RCU-published views answering queries concurrently with ingestion, and a
+// CRC-guarded snapshot/restore format so a restart resumes bit-identically.
+//
+//   ingest(batch) ─▶ shard_router ─▶ per-shard mpsc queues ─▶ writer threads
+//                                                               │
+//   query(spectrum) ◀── published shard views (lock-free) ◀── publish
+//                                                               │
+//   snapshot_file() / restore_file()  ◀──────────── .sphsnap ───┘
+//
+// Equivalence guarantee (pinned by tests/serve/test_service.cpp and
+// test_snapshot.cpp): for a single producer, every bucket's cluster state
+// equals what one sequential incremental_clusterer ingesting the same
+// stream would hold — sharding, queueing, and snapshot/restore cycles
+// never change results.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/nn_chain.hpp"
+#include "core/incremental.hpp"
+#include "hdc/encoder.hpp"
+#include "serve/shard.hpp"
+#include "serve/shard_router.hpp"
+#include "serve/snapshot.hpp"
+
+namespace spechd::serve {
+
+struct serve_config {
+  /// Pipeline knobs (threshold, preprocessing, encoder, linkage).
+  /// `pipeline.threads` sizes each shard's *internal* pool and defaults to
+  /// 1 when 0 — service parallelism comes from shards, not nested pools.
+  core::spechd_config pipeline;
+  core::assign_mode mode = core::assign_mode::complete_linkage;
+  std::size_t shards = 4;
+  /// Ingest jobs (batches) buffered per shard before producers block.
+  std::size_t queue_capacity = 16;
+};
+
+/// Aggregate + per-shard counters.
+struct service_stats {
+  std::size_t ingested = 0;
+  std::size_t dropped = 0;
+  std::size_t batches = 0;
+  std::size_t record_count = 0;
+  std::size_t cluster_count = 0;
+  std::size_t queue_depth = 0;
+  std::vector<shard_stats> shards;
+};
+
+class clustering_service {
+public:
+  /// Builds the router, encoder, and shards; writer threads start
+  /// immediately. The config is copied.
+  explicit clustering_service(serve_config config);
+
+  /// Shuts down: closes every shard queue, drains backlog, joins writers.
+  ~clustering_service() = default;
+
+  clustering_service(const clustering_service&) = delete;
+  clustering_service& operator=(const clustering_service&) = delete;
+
+  const serve_config& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Splits `spectra` by shard and enqueues one batch per shard; blocks
+  /// while a target queue is full (backpressure). Safe from multiple
+  /// producer threads, but per-bucket arrival order — and therefore the
+  /// exact-equivalence guarantee — is only defined by a single producer
+  /// (or producers feeding disjoint precursor ranges).
+  void ingest(std::vector<ms::spectrum> spectra);
+
+  /// Barrier: waits until everything enqueued before the call is applied
+  /// and published, then rethrows the first ingest error if any.
+  void drain();
+
+  /// Answers "which cluster would this spectrum join / how close is it?"
+  /// against the currently published views: preprocess + encode the
+  /// spectrum (identically to ingest), route to its bucket's shard, and
+  /// run the complete-linkage criterion over the bucket members with one
+  /// packed Hamming-tile row. Lock-free with respect to ingest; safe from
+  /// any number of threads.
+  query_result query(const ms::spectrum& spectrum) const;
+
+  service_stats stats() const;
+
+  /// Drains, then writes the complete service state to `path` (.sphsnap).
+  void snapshot_file(const std::string& path);
+
+  /// Drains, then *replaces* all state with the snapshot. The snapshot's
+  /// identity block must match this service's config (dim, seed,
+  /// threshold, bucketing, mode) — mismatch throws parse_error. The shard
+  /// count may differ: buckets are re-routed onto this service's shards.
+  void restore_file(const std::string& path);
+
+  /// This service's identity block (what snapshots of it will carry).
+  snapshot_identity identity() const;
+
+  // --- whole-state accessors (drain first; used by tests, CLI, bench) ----
+
+  /// Per-shard states, shard index order.
+  std::vector<core::clusterer_state> export_states();
+
+  /// Merged flat clustering; labels are in shard-concatenated record order
+  /// (shard 0's records, then shard 1's, ...), aligned with to_store().
+  cluster::flat_clustering clustering();
+
+  /// All records, shard-concatenated order (aligned with clustering()).
+  hdc::hv_store to_store();
+
+private:
+  serve_config config_;
+  shard_router router_;
+  hdc::id_level_encoder encoder_;
+  std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace spechd::serve

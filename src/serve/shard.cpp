@@ -1,0 +1,238 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "hdc/bundle.hpp"
+#include "hdc/cpu_kernels.hpp"
+
+namespace spechd::serve {
+
+shard::shard(std::size_t id, const core::spechd_config& config, core::assign_mode mode,
+             std::size_t queue_capacity)
+    : id_(id), mode_(mode), clusterer_(config, mode), queue_(queue_capacity) {
+  view_.store(std::make_shared<shard_view>());  // empty view: queries never see null
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+shard::~shard() {
+  queue_.close();
+  if (writer_.joinable()) writer_.join();
+}
+
+void shard::writer_loop() {
+  // Jobs are plain closures; apply_batch wraps its own errors, and
+  // run_exclusive routes errors through its promise, so nothing here
+  // should throw — but a writer that dies would deadlock drain(), so
+  // catch anything that slips through and record it.
+  while (auto job = queue_.pop()) {
+    try {
+      (*job)();
+    } catch (...) {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+bool shard::enqueue(std::vector<ms::spectrum> batch) {
+  if (batch.empty()) return true;
+  return queue_.push([this, batch = std::move(batch)]() mutable {
+    apply_batch(std::move(batch));
+  });
+}
+
+void shard::apply_batch(std::vector<ms::spectrum> batch) {
+  const std::size_t submitted = batch.size();
+  try {
+    const auto report = clusterer_.push_batch(batch);
+    ingested_.fetch_add(report.added, std::memory_order_relaxed);
+    dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
+  } catch (...) {
+    std::lock_guard lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  publish(/*all=*/false);
+}
+
+void shard::run_exclusive(const std::function<void(core::incremental_clusterer&)>& fn,
+                          bool republish) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  const bool accepted = queue_.push([this, fn, done, republish] {
+    try {
+      fn(clusterer_);
+      if (republish) publish(/*all=*/true);
+      done->set_value();
+    } catch (...) {
+      // Publish anyway: fn may have partially mutated nothing (import
+      // validates first), but republishing a consistent state is cheap
+      // and keeps views honest if it did.
+      if (republish) publish(/*all=*/true);
+      done->set_exception(std::current_exception());
+    }
+  });
+  if (!accepted) throw spechd::error("shard " + std::to_string(id_) + " is shut down");
+  future.get();
+}
+
+void shard::drain() {
+  run_exclusive([](core::incremental_clusterer&) {}, /*republish=*/false);
+  std::lock_guard lock(error_mutex_);
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void shard::publish(bool all) {
+  const auto previous = view_.load();
+  auto next = std::make_shared<shard_view>();
+  if (all) {
+    // Full republish (run_exclusive: import/recluster may have relabelled
+    // or *removed* buckets): rebuild the map from the clusterer alone so
+    // stale buckets cannot survive in query views.
+    published_shape_.clear();
+  } else {
+    next->buckets = previous->buckets;  // shared_ptr copies: O(buckets)
+  }
+
+  clusterer_.for_each_bucket([&](const core::incremental_clusterer::bucket_ref& bucket) {
+    const auto shape = std::make_pair(bucket.members.size(), bucket.cluster_count);
+    auto [it, inserted] = published_shape_.try_emplace(bucket.key, shape);
+    if (!all && !inserted && it->second == shape) return;  // untouched since last publish
+    it->second = shape;
+
+    auto fresh = std::make_shared<bucket_view>();
+    const std::size_t n = bucket.members.size();
+    fresh->member_count = n;
+    fresh->labels = bucket.local_labels;
+    fresh->cluster_count = bucket.cluster_count;
+    if (n > 0) {
+      const auto& first_hv = clusterer_.record(bucket.members[0]).hv;
+      fresh->hv_words = first_hv.word_count();
+      fresh->packed.resize(n * fresh->hv_words);
+      std::vector<const std::uint64_t*> srcs(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        srcs[i] = clusterer_.record(bucket.members[i]).hv.words().data();
+      }
+      hdc::kernels::pack_operands(srcs.data(), n, fresh->hv_words, fresh->packed.data());
+
+      if (mode_ == core::assign_mode::bundle_representative && fresh->cluster_count > 0) {
+        // Queries in bundle mode compare against the per-cluster majority
+        // representatives, exactly like assignment. Rebuilding the bundles
+        // from the members reproduces the clusterer's (per-bit counters
+        // are order-free), so the view cannot drift from ingest state.
+        const auto clusters = static_cast<std::size_t>(fresh->cluster_count);
+        std::vector<hdc::incremental_bundle> bundles(
+            clusters, hdc::incremental_bundle(first_hv.dim()));
+        for (std::size_t i = 0; i < n; ++i) {
+          bundles[static_cast<std::size_t>(bucket.local_labels[i])].add(
+              clusterer_.record(bucket.members[i]).hv);
+        }
+        fresh->rep_packed.resize(clusters * fresh->hv_words);
+        for (std::size_t c = 0; c < clusters; ++c) {
+          const auto rep = bundles[c].majority();
+          const auto words = rep.words();
+          std::copy(words.begin(), words.end(),
+                    fresh->rep_packed.begin() +
+                        static_cast<std::ptrdiff_t>(c * fresh->hv_words));
+        }
+      }
+    }
+    next->buckets[bucket.key] = std::move(fresh);
+  });
+
+  next->record_count = clusterer_.size();
+  next->cluster_count = clusterer_.cluster_count();
+  next->epoch = ++epoch_;
+  view_.store(std::move(next));
+}
+
+query_result shard::query(const hdc::hypervector& hv, std::int64_t bucket_key,
+                          double threshold) const {
+  query_result result;
+  result.encodable = true;
+  result.bucket_key = bucket_key;
+  result.shard = id_;
+
+  const auto view = view_.load();
+  result.view_epoch = view->epoch;
+  const auto it = view->buckets.find(bucket_key);
+  if (it == view->buckets.end() || it->second->member_count == 0) return result;
+  const bucket_view& bucket = *it->second;
+  SPECHD_EXPECTS(bucket.hv_words == hv.word_count());
+
+  // One packed Hamming-tile row against every member — the same kernels
+  // (and the same normalisation) the ingest assignment path uses.
+  const std::size_t n = bucket.member_count;
+  std::vector<std::uint32_t> counts(n);
+  hdc::kernels::hamming_tile_packed(hv.words().data(), 1, bucket.packed.data(), n,
+                                    bucket.hv_words, counts.data());
+
+  const double dim = static_cast<double>(hv.dim());
+  for (std::size_t i = 0; i < n; ++i) {
+    result.nearest_member =
+        std::min(result.nearest_member, static_cast<double>(counts[i]) / dim);
+  }
+
+  double best = threshold;
+  std::int32_t best_label = -1;
+  if (mode_ == core::assign_mode::bundle_representative) {
+    // Bundle mode assigns against per-cluster majority representatives;
+    // query the same way (one tiny tile over the reps). Tie semantics
+    // match assign(): ascending label order, `<=` keeps the later label.
+    const auto clusters = static_cast<std::size_t>(bucket.cluster_count);
+    std::vector<std::uint32_t> rep_counts(clusters);
+    hdc::kernels::hamming_tile_packed(hv.words().data(), 1, bucket.rep_packed.data(),
+                                      clusters, bucket.hv_words, rep_counts.data());
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const double d = static_cast<double>(rep_counts[c]) / dim;
+      if (d <= best) {
+        best = d;
+        best_label = static_cast<std::int32_t>(c);
+      }
+    }
+  } else {
+    // Complete linkage: per cluster, the *worst* member distance must
+    // pass the cut; best worst wins. Same criterion as assign().
+    std::map<std::int32_t, double> worst;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(counts[i]) / dim;
+      auto [w, inserted] = worst.try_emplace(bucket.labels[i], d);
+      if (!inserted) w->second = std::max(w->second, d);
+    }
+    for (const auto& [label, w] : worst) {
+      if (w <= best) {
+        best = w;
+        best_label = label;
+      }
+    }
+  }
+  if (best_label >= 0) {
+    result.matched = true;
+    result.local_label = best_label;
+    result.distance = best;
+    result.cluster_size = static_cast<std::size_t>(
+        std::count(bucket.labels.begin(), bucket.labels.end(), best_label));
+  }
+  return result;
+}
+
+shard_stats shard::stats() const {
+  shard_stats s;
+  s.ingested = ingested_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  const auto view = view_.load();
+  s.record_count = view->record_count;
+  s.cluster_count = view->cluster_count;
+  s.view_epoch = view->epoch;
+  return s;
+}
+
+}  // namespace spechd::serve

@@ -1,0 +1,161 @@
+// One shard of the clustering service: a single-writer ingest engine over
+// an incremental_clusterer, with RCU-published immutable query views.
+//
+// Concurrency model (the whole point of this layer):
+//
+//   producers ──push──▶ bounded mpsc_queue (backpressure)
+//                            │ one writer thread pops in order
+//                            ▼
+//                  incremental_clusterer (single owner)
+//                            │ after each batch: rebuild views of the
+//                            │ buckets the batch touched (copy-on-write)
+//                            ▼
+//                  rcu_ptr<shard_view> ◀──load── query threads (lock-free
+//                                                 reads, never block ingest)
+//
+// The writer thread is the *only* code that touches the clusterer, so the
+// clusterer's single-owner contract holds by construction and per-shard
+// ingestion order is exactly enqueue order — which is what makes the
+// sharded service bit-identical to a sequential clusterer per bucket.
+// Queries run against whatever view epoch is published; a view is a frozen
+// copy (packed member hypervectors + labels per bucket), so a query sees a
+// consistent prefix of the ingest stream, never a torn state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "util/mpsc_queue.hpp"
+#include "util/rcu_ptr.hpp"
+
+namespace spechd::serve {
+
+/// Frozen query view of one bucket: members' hypervectors packed into one
+/// contiguous blob (hamming_tile_packed's operand layout) + cluster labels.
+struct bucket_view {
+  std::size_t hv_words = 0;
+  std::size_t member_count = 0;
+  std::vector<std::uint64_t> packed;  ///< member_count * hv_words, arrival order
+  std::vector<std::int32_t> labels;   ///< local cluster label per member
+  std::int32_t cluster_count = 0;
+  /// bundle_representative mode only: the majority-bundled representative
+  /// of each local cluster, label-indexed, packed like `packed`
+  /// (cluster_count * hv_words). Empty in complete_linkage mode.
+  std::vector<std::uint64_t> rep_packed;
+};
+
+/// Frozen view of one shard. Buckets are shared_ptr so an epoch swap only
+/// copies the map and the *changed* buckets (copy-on-write).
+struct shard_view {
+  std::map<std::int64_t, std::shared_ptr<const bucket_view>> buckets;
+  std::size_t record_count = 0;
+  std::size_t cluster_count = 0;
+  std::uint64_t epoch = 0;  ///< strictly increasing per publish
+};
+
+/// Result of one query against a published view.
+struct query_result {
+  bool encodable = false;   ///< false: preprocessing dropped the spectrum
+  bool matched = false;     ///< a cluster passed the complete-linkage cut
+  std::int64_t bucket_key = 0;
+  std::size_t shard = 0;
+  std::int32_t local_label = -1;  ///< matched cluster (bucket-local id)
+  double distance = 1.0;          ///< complete-linkage distance to the match
+  double nearest_member = 1.0;    ///< min member distance in the bucket
+  std::size_t cluster_size = 0;   ///< members of the matched cluster
+  std::uint64_t view_epoch = 0;   ///< epoch the query executed against
+};
+
+/// Monotonic counters (safe to read from any thread at any time).
+struct shard_stats {
+  std::size_t ingested = 0;       ///< records accepted (post-preprocessing)
+  std::size_t dropped = 0;        ///< spectra rejected by preprocessing
+  std::size_t batches = 0;        ///< ingest jobs applied
+  std::size_t queue_depth = 0;    ///< jobs currently waiting
+  std::size_t record_count = 0;   ///< records in the published view
+  std::size_t cluster_count = 0;  ///< clusters in the published view
+  std::uint64_t view_epoch = 0;
+};
+
+class shard {
+public:
+  /// Starts the writer thread. `config.threads` sizes the clusterer's
+  /// internal pool (the service passes 1: parallelism comes from shards).
+  shard(std::size_t id, const core::spechd_config& config, core::assign_mode mode,
+        std::size_t queue_capacity);
+
+  /// Closes the queue, drains remaining jobs, joins the writer.
+  ~shard();
+
+  shard(const shard&) = delete;
+  shard& operator=(const shard&) = delete;
+
+  std::size_t id() const noexcept { return id_; }
+
+  /// Enqueues a batch for the writer; blocks while the queue is full
+  /// (backpressure). Returns false only after shutdown began.
+  bool enqueue(std::vector<ms::spectrum> batch);
+
+  /// Waits until every previously enqueued job has been applied and its
+  /// view published, then rethrows the first ingest error if any occurred.
+  void drain();
+
+  /// Runs `fn` on the writer thread after all earlier jobs (so it sees a
+  /// quiescent clusterer at a well-defined point in the stream). Blocks
+  /// until done; rethrows fn's exception. Snapshot export/import and
+  /// maintenance reclustering use this instead of external locking.
+  /// `republish` (default) rebuilds *all* bucket views afterwards — pass
+  /// false only when fn is read-only (views are already current: every
+  /// ingest job published on completion).
+  void run_exclusive(const std::function<void(core::incremental_clusterer&)>& fn,
+                     bool republish = true);
+
+  /// Current published view (never null; empty before first ingest).
+  std::shared_ptr<const shard_view> view() const { return view_.load(); }
+
+  /// Query against the published view using *the same criterion ingest
+  /// assignment uses* — so "query then ingest" agrees with the assignment
+  /// the spectrum would get. In complete_linkage mode: the cluster whose
+  /// worst member distance to `hv` is smallest, matched if it passes
+  /// `threshold`. In bundle_representative mode: the cluster whose
+  /// majority-bundled representative is nearest. Safe from any thread.
+  query_result query(const hdc::hypervector& hv, std::int64_t bucket_key,
+                     double threshold) const;
+
+  shard_stats stats() const;
+
+private:
+  void writer_loop();
+  void apply_batch(std::vector<ms::spectrum> batch);
+  /// Rebuilds and publishes views; `all` forces every bucket (labels may
+  /// have changed), otherwise only buckets whose shape grew are rebuilt.
+  void publish(bool all);
+
+  std::size_t id_;
+  core::assign_mode mode_;
+  core::incremental_clusterer clusterer_;  ///< writer-thread-owned
+  mpsc_queue<std::function<void()>> queue_;
+  rcu_ptr<shard_view> view_;
+  /// (member count, cluster count) per bucket at the last publish; lets
+  /// ingest-only publishes skip untouched buckets. Writer-thread-only.
+  std::map<std::int64_t, std::pair<std::size_t, std::int32_t>> published_shape_;
+  std::uint64_t epoch_ = 0;  ///< writer-thread-only
+
+  std::atomic<std::size_t> ingested_{0};
+  std::atomic<std::size_t> dropped_{0};
+  std::atomic<std::size_t> batches_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  std::thread writer_;  ///< last member: starts after everything above
+};
+
+}  // namespace spechd::serve

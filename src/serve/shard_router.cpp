@@ -1,0 +1,35 @@
+#include "serve/shard_router.hpp"
+
+#include "util/error.hpp"
+
+namespace spechd::serve {
+
+namespace {
+
+/// splitmix64 finaliser: a full-avalanche 64-bit mix, so consecutive bucket
+/// keys (adjacent precursor-mass windows) spread over all shards.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+shard_router::shard_router(preprocess::bucket_config bucketing, std::size_t shard_count)
+    : bucketing_(bucketing), shard_count_(shard_count) {
+  SPECHD_EXPECTS(shard_count >= 1);
+}
+
+std::int64_t shard_router::bucket_key(double precursor_mz,
+                                      int precursor_charge) const noexcept {
+  return preprocess::bucket_index(precursor_mz, precursor_charge, bucketing_);
+}
+
+std::size_t shard_router::shard_of_key(std::int64_t key) const noexcept {
+  return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(key)) %
+                                  static_cast<std::uint64_t>(shard_count_));
+}
+
+}  // namespace spechd::serve

@@ -1,0 +1,52 @@
+// Precursor-mass shard routing for the clustering service.
+//
+// SpecHD's bucketed design (Eq. 1: spectra only ever compare within one
+// precursor-m/z bucket) makes the clustering state embarrassingly
+// partitionable: a shard owns a disjoint set of buckets and never needs to
+// see another shard's spectra. The router maps a spectrum to its bucket key
+// (the exact same Eq. 1 computation the clusterer uses internally) and then
+// hashes the key onto one of N shards, so:
+//
+//   * all spectra of one bucket always land on the same shard — the
+//     invariant that makes the sharded service's clusters exactly equal to
+//     a single clusterer's (tests/serve/test_service.cpp pins this), and
+//   * adjacent buckets scatter across shards (splitmix64 finaliser), so a
+//     narrow precursor-mass range doesn't hot-spot one shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ms/spectrum.hpp"
+#include "preprocess/bucket.hpp"
+
+namespace spechd::serve {
+
+class shard_router {
+public:
+  /// Routes onto `shard_count` shards using `bucketing` for Eq. 1 keys.
+  shard_router(preprocess::bucket_config bucketing, std::size_t shard_count);
+
+  std::size_t shard_count() const noexcept { return shard_count_; }
+  const preprocess::bucket_config& bucketing() const noexcept { return bucketing_; }
+
+  /// Eq. 1 bucket key for a precursor — identical to what the clusterer
+  /// computes after preprocessing (which never mutates the precursor).
+  std::int64_t bucket_key(double precursor_mz, int precursor_charge) const noexcept;
+  std::int64_t bucket_key(const ms::spectrum& s) const noexcept {
+    return bucket_key(s.precursor_mz, s.precursor_charge);
+  }
+
+  /// The shard owning bucket `key`. Deterministic across runs/processes
+  /// (no seeding), so snapshots can be re-partitioned on restore.
+  std::size_t shard_of_key(std::int64_t key) const noexcept;
+  std::size_t shard_of(const ms::spectrum& s) const noexcept {
+    return shard_of_key(bucket_key(s));
+  }
+
+private:
+  preprocess::bucket_config bucketing_;
+  std::size_t shard_count_;
+};
+
+}  // namespace spechd::serve

@@ -1,0 +1,34 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace spechd {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto k_table = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = k_table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace spechd

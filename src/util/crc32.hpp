@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the serve layer's snapshot format to detect torn or corrupted
+// .sphsnap files before any of the payload is trusted. Table-driven,
+// byte-at-a-time — snapshot I/O is dominated by disk, not the checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spechd {
+
+/// CRC-32 of `len` bytes at `data`. `crc` chains a running checksum across
+/// multiple buffers: pass the previous return value (start with 0).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0) noexcept;
+
+}  // namespace spechd

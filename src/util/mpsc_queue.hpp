@@ -1,0 +1,120 @@
+// Bounded blocking queue with backpressure — the serve layer's ingest
+// primitive.
+//
+// Each serve::shard owns one queue: many producer threads (the service's
+// ingest front end) push batches, a single writer thread pops and applies
+// them, so ingestion order per shard is exactly enqueue order. The queue is
+// deliberately a plain mutex + two condition variables rather than a
+// lock-free ring: jobs are coarse (whole spectrum batches), the writer is
+// the throughput bottleneck anyway, and blocking push *is the feature* —
+// a full queue stalls producers instead of growing without bound.
+//
+// The implementation is safe for many consumers too (pop claims under the
+// same lock); "MPSC" names how the serve layer uses it, not a restriction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace spechd {
+
+template <typename T>
+class mpsc_queue {
+public:
+  /// A queue holding at most `capacity` items (must be >= 1).
+  explicit mpsc_queue(std::size_t capacity) : capacity_(capacity) {
+    SPECHD_EXPECTS(capacity >= 1);
+  }
+
+  mpsc_queue(const mpsc_queue&) = delete;
+  mpsc_queue& operator=(const mpsc_queue&) = delete;
+
+  /// Blocks while the queue is full (backpressure), then enqueues.
+  /// Returns false — and drops `item` — if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; returns nullopt once the queue is
+  /// closed *and* drained, so a consumer loop `while (auto j = q.pop())`
+  /// processes every item enqueued before close().
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is ready.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all waiters; already-queued items can
+  /// still be popped. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace spechd

@@ -1,0 +1,59 @@
+// RCU-style published pointer: single writer swaps in immutable snapshots,
+// many readers load them without blocking the writer (or each other).
+//
+// The serve layer publishes per-shard cluster views this way: the shard's
+// writer thread builds a fresh immutable view after applying a batch and
+// store()s it; query threads load() whatever epoch is current and keep the
+// shared_ptr alive for the duration of one query. Old epochs are reclaimed
+// automatically when the last reader drops its reference — shared_ptr *is*
+// the grace period.
+//
+// On libstdc++/libc++ with C++20 atomic<shared_ptr> the load is lock-free
+// from the caller's perspective (the implementation may use a small
+// spinlock pool internally); elsewhere we fall back to the atomic free
+// functions for shared_ptr, which have the same semantics.
+#pragma once
+
+#include <memory>
+#include <version>
+
+namespace spechd {
+
+template <typename T>
+class rcu_ptr {
+public:
+  rcu_ptr() = default;
+  explicit rcu_ptr(std::shared_ptr<const T> initial) { store(std::move(initial)); }
+
+  rcu_ptr(const rcu_ptr&) = delete;
+  rcu_ptr& operator=(const rcu_ptr&) = delete;
+
+  /// Current snapshot (may be null before the first store). Never blocks
+  /// on the writer; the returned shared_ptr keeps the epoch alive.
+  std::shared_ptr<const T> load() const noexcept {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    return slot_.load(std::memory_order_acquire);
+#else
+    return std::atomic_load_explicit(&slot_, std::memory_order_acquire);
+#endif
+  }
+
+  /// Publishes a new snapshot; readers mid-load keep the old epoch.
+  void store(std::shared_ptr<const T> next) noexcept {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    slot_.store(std::move(next), std::memory_order_release);
+#else
+    std::atomic_store_explicit(&slot_, std::shared_ptr<const T>(std::move(next)),
+                               std::memory_order_release);
+#endif
+  }
+
+private:
+#if defined(__cpp_lib_atomic_shared_ptr)
+  std::atomic<std::shared_ptr<const T>> slot_;
+#else
+  std::shared_ptr<const T> slot_;
+#endif
+};
+
+}  // namespace spechd

@@ -1,0 +1,22 @@
+// Small order-statistics helpers shared by the CLI and the benches.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace spechd {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// value with at least ceil(p * n) observations at or below it (so p=0.50
+/// over 100 samples is the 50th value, p=0.99 the 99th — not the max).
+/// `p` in [0, 1]; returns 0 for an empty sample.
+inline double percentile_sorted(const std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const double n = static_cast<double>(sorted_values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  const std::size_t index = rank > 0 ? rank - 1 : 0;
+  return sorted_values[index < sorted_values.size() ? index : sorted_values.size() - 1];
+}
+
+}  // namespace spechd

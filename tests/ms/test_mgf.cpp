@@ -121,5 +121,103 @@ TEST(Mgf, MissingFileThrowsIoError) {
   EXPECT_THROW(read_mgf_file("/nonexistent/path/to.mgf"), io_error);
 }
 
+// --- robustness: CRLF, empty spectra, missing CHARGE ------------------------
+
+namespace {
+std::string to_crlf(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (const char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Mgf, CrlfLineEndingsRoundTrip) {
+  spectrum s;
+  s.title = "windows file";
+  s.precursor_mz = 523.7754;
+  s.precursor_charge = 2;
+  s.retention_time = 88.25;
+  s.scan = 7;
+  s.peaks = {{101.0715, 12.5F}, {228.1343, 100.0F}};
+
+  std::stringstream unix_io;
+  write_mgf(unix_io, {s});
+  std::istringstream crlf_in(to_crlf(unix_io.str()));
+  const auto back = read_mgf(crlf_in);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].title, s.title);
+  EXPECT_NEAR(back[0].precursor_mz, s.precursor_mz, 1e-6);
+  EXPECT_EQ(back[0].precursor_charge, s.precursor_charge);
+  EXPECT_NEAR(back[0].retention_time, s.retention_time, 1e-6);
+  EXPECT_EQ(back[0].scan, s.scan);
+  ASSERT_EQ(back[0].peaks.size(), s.peaks.size());
+  for (std::size_t i = 0; i < s.peaks.size(); ++i) {
+    EXPECT_NEAR(back[0].peaks[i].mz, s.peaks[i].mz, 1e-6);
+  }
+}
+
+TEST(Mgf, CrlfWithBlankLinesAndComments) {
+  std::istringstream in(
+      "# comment\r\n"
+      "\r\n"
+      "BEGIN IONS\r\n"
+      "PEPMASS=445.12\r\n"
+      "CHARGE=2+\r\n"
+      "100.5 10\r\n"
+      "\r\n"
+      "END IONS\r\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 445.12);
+  EXPECT_EQ(spectra[0].precursor_charge, 2);
+  ASSERT_EQ(spectra[0].peaks.size(), 1U);
+}
+
+TEST(Mgf, EmptySpectrumRoundTrips) {
+  // A BEGIN/END block with headers but zero peaks is a valid (if useless)
+  // record and must survive a write/read cycle, not crash or vanish.
+  std::istringstream in(
+      "BEGIN IONS\nTITLE=empty\nPEPMASS=300.5\nEND IONS\n"
+      "BEGIN IONS\nPEPMASS=400\n150 5\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 2U);
+  EXPECT_TRUE(spectra[0].peaks.empty());
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 300.5);
+
+  std::stringstream io;
+  write_mgf(io, spectra);
+  const auto back = read_mgf(io);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_TRUE(back[0].peaks.empty());
+  EXPECT_DOUBLE_EQ(back[0].precursor_mz, 300.5);
+  ASSERT_EQ(back[1].peaks.size(), 1U);
+}
+
+TEST(Mgf, MissingChargeIsUnknownAndRoundTrips) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=445.12\n100 1\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_EQ(spectra[0].precursor_charge, 0);  // unknown, not guessed
+
+  // The writer must not invent a CHARGE line for unknown charge.
+  std::stringstream io;
+  write_mgf(io, spectra);
+  EXPECT_EQ(io.str().find("CHARGE"), std::string::npos);
+  const auto back = read_mgf(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].precursor_charge, 0);
+}
+
+TEST(Mgf, UnparsableChargeIsZeroNotError) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=445\nCHARGE=??\n100 1\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_EQ(spectra[0].precursor_charge, 0);
+}
+
 }  // namespace
 }  // namespace spechd::ms

@@ -76,5 +76,93 @@ TEST(Ms2, EmptyStreamYieldsNothing) {
   EXPECT_TRUE(read_ms2(in).empty());
 }
 
+// --- robustness: CRLF, empty spectra, missing Z (charge) lines --------------
+
+namespace {
+std::string to_crlf(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (const char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Ms2, CrlfLineEndingsRoundTrip) {
+  spectrum s;
+  s.scan = 77;
+  s.precursor_mz = 612.301;
+  s.precursor_charge = 3;
+  s.retention_time = 360.0;
+  s.peaks = {{110.0, 4.0F}, {220.5, 8.0F}};
+
+  std::stringstream unix_io;
+  write_ms2(unix_io, {s});
+  std::istringstream crlf_in(to_crlf(unix_io.str()));
+  const auto back = read_ms2(crlf_in);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].scan, 77U);
+  EXPECT_NEAR(back[0].precursor_mz, 612.301, 1e-6);
+  EXPECT_EQ(back[0].precursor_charge, 3);
+  EXPECT_NEAR(back[0].retention_time, 360.0, 1e-6);
+  ASSERT_EQ(back[0].peaks.size(), 2U);
+  EXPECT_NEAR(back[0].peaks[1].mz, 220.5, 1e-6);
+}
+
+TEST(Ms2, CrlfBlankLinesAreSkipped) {
+  // A CRLF file's "blank" lines arrive as "\r" after getline; they must be
+  // treated as blank, not as a one-character peak line.
+  std::istringstream in("\r\nS\t1\t1\t500\r\n\r\n100 1\r\n\r\n");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 500.0);
+  ASSERT_EQ(spectra[0].peaks.size(), 1U);
+}
+
+TEST(Ms2, EmptySpectrumRoundTrips) {
+  // An S record with no peak lines is a valid empty spectrum.
+  std::istringstream in(
+      "S\t1\t1\t400\n"
+      "S\t2\t2\t500\n100 1\n");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 2U);
+  EXPECT_TRUE(spectra[0].peaks.empty());
+  EXPECT_DOUBLE_EQ(spectra[0].precursor_mz, 400.0);
+
+  std::stringstream io;
+  write_ms2(io, spectra);
+  const auto back = read_ms2(io);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_TRUE(back[0].peaks.empty());
+  ASSERT_EQ(back[1].peaks.size(), 1U);
+}
+
+TEST(Ms2, MissingZLineIsUnknownChargeAndRoundTrips) {
+  std::istringstream in("S\t5\t5\t450.25\n100 1\n");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  EXPECT_EQ(spectra[0].precursor_charge, 0);  // unknown, not guessed
+
+  // The writer must not invent a Z line for unknown charge.
+  std::stringstream io;
+  write_ms2(io, spectra);
+  EXPECT_EQ(io.str().find("Z\t"), std::string::npos);
+  const auto back = read_ms2(io);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back[0].precursor_charge, 0);
+  EXPECT_NEAR(back[0].precursor_mz, 450.25, 1e-6);
+}
+
+TEST(Ms2, TrailingCrOnFinalUnterminatedLine) {
+  // No trailing newline at all, last line still CR-terminated.
+  std::istringstream in("S\t1\t1\t500\r\n100 1\r");
+  const auto spectra = read_ms2(in);
+  ASSERT_EQ(spectra.size(), 1U);
+  ASSERT_EQ(spectra[0].peaks.size(), 1U);
+  EXPECT_NEAR(spectra[0].peaks[0].mz, 100.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace spechd::ms

@@ -1,0 +1,261 @@
+// Clustering service: sharded ingest must equal the sequential reference
+// clusterer bucket-for-bucket; queries must be consistent with ingest and
+// safe to run concurrently with it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "ms/synthetic.hpp"
+#include "serve/service.hpp"
+
+namespace spechd::serve {
+namespace {
+
+std::vector<ms::spectrum> sample_stream(std::size_t peptides = 40, std::uint64_t seed = 11) {
+  ms::synthetic_config config;
+  config.peptide_count = peptides;
+  config.spectra_per_peptide_mean = 4.0;
+  config.noise_peaks_per_spectrum = 20.0;
+  config.seed = seed;
+  return ms::generate_dataset(config).spectra;
+}
+
+core::spechd_config small_config() {
+  core::spechd_config config;
+  config.encoder.dim = 1024;  // keep the suite fast; any dim works
+  config.threads = 1;
+  return config;
+}
+
+/// Per-bucket fingerprint: labels + cluster count + member HV words.
+struct bucket_fingerprint {
+  std::vector<std::int32_t> labels;
+  std::int32_t cluster_count = 0;
+  std::vector<std::vector<std::uint64_t>> member_words;
+
+  friend bool operator==(const bucket_fingerprint&, const bucket_fingerprint&) = default;
+};
+
+std::map<std::int64_t, bucket_fingerprint> fingerprint(
+    const std::vector<core::clusterer_state>& states) {
+  std::map<std::int64_t, bucket_fingerprint> out;
+  for (const auto& state : states) {
+    for (const auto& bucket : state.buckets) {
+      bucket_fingerprint fp;
+      fp.labels = bucket.local_labels;
+      fp.cluster_count = bucket.next_local;
+      for (const auto idx : bucket.members) {
+        const auto words = state.store.at(idx).hv.words();
+        fp.member_words.emplace_back(words.begin(), words.end());
+      }
+      const bool inserted = out.emplace(bucket.key, std::move(fp)).second;
+      EXPECT_TRUE(inserted) << "bucket " << bucket.key << " on two shards";
+    }
+  }
+  return out;
+}
+
+TEST(ClusteringService, MatchesSequentialReferencePerBucket) {
+  const auto stream = sample_stream();
+  const auto config = small_config();
+
+  core::incremental_clusterer reference(config);
+  reference.add_spectra(stream);
+  const auto expected = fingerprint({reference.export_state()});
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t shards : {1UL, 3UL}) {
+    serve_config sc;
+    sc.pipeline = config;
+    sc.shards = shards;
+    sc.queue_capacity = 4;
+    clustering_service service(sc);
+
+    // Uneven batches so batch boundaries cross buckets.
+    for (std::size_t offset = 0; offset < stream.size(); offset += 33) {
+      const auto end = std::min(offset + 33, stream.size());
+      service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                      stream.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+    service.drain();
+
+    EXPECT_EQ(fingerprint(service.export_states()), expected) << shards << " shards";
+    EXPECT_EQ(service.stats().record_count, reference.size());
+    EXPECT_EQ(service.stats().cluster_count, reference.cluster_count());
+  }
+}
+
+TEST(ClusteringService, ClusteringAndStoreAlign) {
+  const auto stream = sample_stream(20, 23);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 2;
+  clustering_service service(sc);
+  service.ingest(stream);
+  const auto flat = service.clustering();
+  const auto store = service.to_store();
+  ASSERT_EQ(flat.labels.size(), store.size());
+  for (const auto label : flat.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(static_cast<std::size_t>(label), flat.cluster_count);
+  }
+}
+
+TEST(ClusteringService, QueryFindsIngestedSpectra) {
+  const auto stream = sample_stream(24, 5);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 3;
+  clustering_service service(sc);
+  service.ingest(stream);
+  service.drain();
+
+  std::size_t encodable = 0;
+  for (const auto& s : stream) {
+    const auto r = service.query(s);
+    if (!r.encodable) continue;  // preprocessing dropped it on ingest too
+    ++encodable;
+    // The spectrum itself is a stored member, so its nearest member
+    // distance is exactly zero, whatever cluster the cut puts it in.
+    EXPECT_EQ(r.nearest_member, 0.0);
+    if (r.matched) {
+      EXPECT_LE(r.distance, sc.pipeline.distance_threshold);
+      EXPECT_GE(r.local_label, 0);
+      EXPECT_GT(r.cluster_size, 0U);
+    }
+  }
+  EXPECT_GT(encodable, 0U);
+  EXPECT_EQ(encodable, service.stats().record_count);
+}
+
+TEST(ClusteringService, BundleModeQueryUsesRepresentatives) {
+  // In bundle_representative mode, queries must apply the same criterion
+  // as assignment: distance to each cluster's majority representative.
+  const auto stream = sample_stream(24, 5);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.mode = core::assign_mode::bundle_representative;
+  sc.shards = 2;
+  clustering_service service(sc);
+  service.ingest(stream);
+  service.drain();
+
+  // "Query then ingest" agreement: pushing the queried spectrum into a
+  // clusterer holding exactly the service's state must join an existing
+  // cluster iff the query reported a match. Each probe gets a fresh
+  // clusterer (import of the same base state) so probes don't interact.
+  core::incremental_clusterer base(sc.pipeline, core::assign_mode::bundle_representative);
+  base.add_spectra(stream);
+  const auto base_state = base.export_state();
+
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    const auto& s = stream[i];
+    const auto r = service.query(s);
+    if (!r.encodable) continue;
+    core::incremental_clusterer probe(sc.pipeline,
+                                      core::assign_mode::bundle_representative);
+    probe.import_state(base_state);
+    const auto report = probe.push(s);
+    EXPECT_EQ(report.joined_existing == 1, r.matched) << "spectrum " << i;
+    if (r.matched) {
+      ++matched;
+      EXPECT_LE(r.distance, sc.pipeline.distance_threshold);
+    }
+  }
+  EXPECT_GT(matched, 0U);
+}
+
+TEST(ClusteringService, QueryAgainstEmptyServiceIsClean) {
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 2;
+  clustering_service service(sc);
+  const auto stream = sample_stream(4, 3);
+  const auto r = service.query(stream.front());
+  EXPECT_TRUE(r.encodable);
+  EXPECT_FALSE(r.matched);
+  EXPECT_EQ(r.nearest_member, 1.0);
+}
+
+TEST(ClusteringService, ConcurrentIngestAndQueryIsSafe) {
+  const auto stream = sample_stream(48, 29);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 2;
+  sc.queue_capacity = 2;  // small queue: exercise producer backpressure
+  clustering_service service(sc);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> queries{0};
+  // Two producers feed disjoint halves; two query threads hammer views the
+  // whole time. This checks safety/liveness, not golden equality (with two
+  // producers the interleaving — and thus the clustering — is unspecified).
+  std::thread producer_a([&] {
+    for (std::size_t i = 0; i < stream.size() / 2; i += 16) {
+      const auto end = std::min(i + 16, stream.size() / 2);
+      service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(i),
+                      stream.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+  });
+  std::thread producer_b([&] {
+    for (std::size_t i = stream.size() / 2; i < stream.size(); i += 16) {
+      const auto end = std::min(i + 16, stream.size());
+      service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(i),
+                      stream.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!done.load()) {
+        const auto r = service.query(stream[i % stream.size()]);
+        if (r.matched) EXPECT_LE(r.distance, sc.pipeline.distance_threshold);
+        i += 7;
+        ++queries;
+      }
+    });
+  }
+
+  producer_a.join();
+  producer_b.join();
+  service.drain();
+  done = true;
+  for (auto& r : readers) r.join();
+
+  EXPECT_GT(queries.load(), 0U);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.queue_depth, 0U);
+  EXPECT_GT(stats.record_count, 0U);
+  EXPECT_EQ(stats.ingested, stats.record_count);
+  EXPECT_EQ(stats.ingested + stats.dropped, stream.size());
+
+  // Views are published and internally consistent after the drain.
+  for (const auto& shard_stat : stats.shards) {
+    EXPECT_GT(shard_stat.view_epoch, 0U);
+  }
+}
+
+TEST(ClusteringService, StatsAggregateShards) {
+  const auto stream = sample_stream(16, 41);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 4;
+  clustering_service service(sc);
+  service.ingest(stream);
+  service.drain();
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.shards.size(), 4U);
+  std::size_t records = 0;
+  for (const auto& s : stats.shards) records += s.record_count;
+  EXPECT_EQ(records, stats.record_count);
+  EXPECT_EQ(stats.ingested + stats.dropped, stream.size());
+}
+
+}  // namespace
+}  // namespace spechd::serve

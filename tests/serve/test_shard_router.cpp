@@ -1,0 +1,82 @@
+// Shard router: bucket affinity (the sharded-service correctness
+// invariant), determinism, and reasonable load spread.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ms/synthetic.hpp"
+#include "preprocess/bucket.hpp"
+#include "serve/shard_router.hpp"
+
+namespace spechd::serve {
+namespace {
+
+TEST(ShardRouter, KeysMatchPreprocessBucketing) {
+  preprocess::bucket_config bucketing;
+  shard_router router(bucketing, 4);
+  for (const double mz : {150.0, 523.77, 1499.9}) {
+    for (const int charge : {0, 1, 2, 3}) {
+      EXPECT_EQ(router.bucket_key(mz, charge),
+                preprocess::bucket_index(mz, charge, bucketing));
+    }
+  }
+}
+
+TEST(ShardRouter, SameBucketAlwaysSameShard) {
+  // The invariant everything else rests on: a bucket key maps to exactly
+  // one shard, for any spectrum carrying it, across router instances.
+  preprocess::bucket_config bucketing;
+  shard_router a(bucketing, 5);
+  shard_router b(bucketing, 5);
+  for (std::int64_t key = -1000; key <= 5000; key += 13) {
+    const auto shard = a.shard_of_key(key);
+    EXPECT_LT(shard, 5U);
+    EXPECT_EQ(shard, b.shard_of_key(key)) << key;
+  }
+}
+
+TEST(ShardRouter, SingleShardTakesEverything) {
+  shard_router router(preprocess::bucket_config{}, 1);
+  for (std::int64_t key = 0; key < 100; ++key) EXPECT_EQ(router.shard_of_key(key), 0U);
+}
+
+TEST(ShardRouter, SpectrumRoutingUsesPrecursor) {
+  shard_router router(preprocess::bucket_config{}, 8);
+  ms::spectrum s;
+  s.precursor_mz = 640.25;
+  s.precursor_charge = 2;
+  EXPECT_EQ(router.shard_of(s), router.shard_of_key(router.bucket_key(s)));
+  // Peaks are irrelevant to routing.
+  s.peaks.push_back({200.0, 1.0F});
+  EXPECT_EQ(router.shard_of(s), router.shard_of_key(router.bucket_key(s)));
+}
+
+TEST(ShardRouter, AdjacentBucketsSpread) {
+  // Consecutive keys (a narrow precursor-mass range) must not pile onto
+  // one shard: over 256 consecutive keys and 4 shards, every shard should
+  // see a healthy share (exact split would be 64 each).
+  shard_router router(preprocess::bucket_config{}, 4);
+  std::map<std::size_t, int> load;
+  for (std::int64_t key = 700; key < 956; ++key) ++load[router.shard_of_key(key)];
+  ASSERT_EQ(load.size(), 4U);
+  for (const auto& [shard, count] : load) {
+    EXPECT_GT(count, 32) << "shard " << shard;  // > half the fair share
+    EXPECT_LT(count, 128) << "shard " << shard;  // < double the fair share
+  }
+}
+
+TEST(ShardRouter, RealDatasetCoversAllShards) {
+  ms::synthetic_config config;
+  config.peptide_count = 64;
+  config.spectra_per_peptide_mean = 2.0;
+  config.seed = 17;
+  const auto data = ms::generate_dataset(config);
+  shard_router router(preprocess::bucket_config{}, 4);
+  std::set<std::size_t> used;
+  for (const auto& s : data.spectra) used.insert(router.shard_of(s));
+  EXPECT_EQ(used.size(), 4U);
+}
+
+}  // namespace
+}  // namespace spechd::serve

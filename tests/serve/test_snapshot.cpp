@@ -1,0 +1,356 @@
+// Snapshot/restore: resuming from a mid-stream snapshot must be
+// bit-identical to a run that never stopped — across shard counts — and
+// every corruption mode must be rejected before any state is trusted.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "ms/synthetic.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace spechd::serve {
+namespace {
+
+std::vector<ms::spectrum> sample_stream() {
+  ms::synthetic_config config;
+  config.peptide_count = 32;
+  config.spectra_per_peptide_mean = 4.0;
+  config.noise_peaks_per_spectrum = 20.0;
+  config.seed = 77;
+  return ms::generate_dataset(config).spectra;
+}
+
+core::spechd_config small_config() {
+  core::spechd_config config;
+  config.encoder.dim = 1024;
+  config.threads = 1;
+  return config;
+}
+
+serve_config make_serve_config(std::size_t shards, std::size_t threads = 1) {
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.pipeline.threads = threads;
+  sc.shards = shards;
+  sc.queue_capacity = 4;
+  return sc;
+}
+
+/// Temp file that cleans up after itself.
+struct temp_path {
+  std::string path;
+  explicit temp_path(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("spechd_test_" + name + "_" + std::to_string(::getpid()))).string()) {}
+  ~temp_path() { std::remove(path.c_str()); }
+};
+
+void ingest_in_batches(clustering_service& service, const std::vector<ms::spectrum>& stream,
+                       std::size_t begin, std::size_t end, std::size_t batch = 17) {
+  for (std::size_t i = begin; i < end; i += batch) {
+    const auto stop = std::min(i + batch, end);
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(i),
+                    stream.begin() + static_cast<std::ptrdiff_t>(stop)});
+  }
+}
+
+TEST(Snapshot, RestoreResumesBitIdentical) {
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+
+  // Covers worker-thread counts {1, 4} inside the shard clusterers as well
+  // as shard counts {1, 4}: parallelism must never change the state.
+  for (const std::size_t threads : {1UL, 4UL}) {
+    for (const std::size_t shards : {1UL, 4UL}) {
+      SCOPED_TRACE(std::to_string(shards) + " shards, " + std::to_string(threads) +
+                   " threads");
+      // Uninterrupted run.
+      clustering_service uninterrupted(make_serve_config(shards, threads));
+      ingest_in_batches(uninterrupted, stream, 0, stream.size());
+      const auto golden = canonical_state(uninterrupted.export_states());
+
+      // Snapshot mid-stream, restore into a fresh service, resume.
+      temp_path snap("resume_" + std::to_string(shards) + "_" + std::to_string(threads));
+      {
+        clustering_service first_half(make_serve_config(shards, threads));
+        ingest_in_batches(first_half, stream, 0, split);
+        first_half.snapshot_file(snap.path);
+      }
+      clustering_service resumed(make_serve_config(shards, threads));
+      resumed.restore_file(snap.path);
+      ingest_in_batches(resumed, stream, split, stream.size());
+
+      EXPECT_EQ(canonical_state(resumed.export_states()), golden);
+    }
+  }
+}
+
+TEST(Snapshot, RestoreAcrossShardCounts) {
+  // A snapshot taken with 4 shards restores onto 2 (and vice versa):
+  // buckets are re-routed whole, so cluster state is unchanged. Scan
+  // counters are shard-local, so compare without them.
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+
+  clustering_service uninterrupted(make_serve_config(2));
+  ingest_in_batches(uninterrupted, stream, 0, stream.size());
+  const auto golden = canonical_state(uninterrupted.export_states(), /*include_scan=*/false);
+
+  temp_path snap("reshard");
+  {
+    clustering_service four(make_serve_config(4));
+    ingest_in_batches(four, stream, 0, split);
+    four.snapshot_file(snap.path);
+  }
+  clustering_service two(make_serve_config(2));
+  two.restore_file(snap.path);
+  ingest_in_batches(two, stream, split, stream.size());
+
+  EXPECT_EQ(canonical_state(two.export_states(), /*include_scan=*/false), golden);
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  const auto stream = sample_stream();
+  clustering_service service(make_serve_config(3));
+  service.ingest(stream);
+  const auto before = service.export_states();
+
+  temp_path snap("roundtrip");
+  service.snapshot_file(snap.path);
+  const auto data = read_snapshot_file(snap.path);
+  EXPECT_EQ(data.identity, service.identity());
+  ASSERT_EQ(data.shards.size(), 3U);
+  EXPECT_EQ(canonical_state(data.shards), canonical_state(before));
+
+  // Scan counters, labels, and metadata survive byte-for-byte.
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(data.shards[s].store.size(), before[s].store.size());
+    for (std::size_t i = 0; i < before[s].store.size(); ++i) {
+      EXPECT_EQ(data.shards[s].store.at(i).hv, before[s].store.at(i).hv);
+      EXPECT_EQ(data.shards[s].store.at(i).scan, before[s].store.at(i).scan);
+      EXPECT_EQ(data.shards[s].store.at(i).label, before[s].store.at(i).label);
+    }
+  }
+}
+
+TEST(Snapshot, IdentityPeekMatches) {
+  clustering_service service(make_serve_config(2));
+  service.ingest(sample_stream());
+  temp_path snap("peek");
+  service.snapshot_file(snap.path);
+  EXPECT_EQ(read_snapshot_identity_file(snap.path), service.identity());
+}
+
+TEST(Snapshot, CorruptionIsRejected) {
+  clustering_service service(make_serve_config(2));
+  service.ingest(sample_stream());
+  temp_path snap("corrupt");
+  service.snapshot_file(snap.path);
+
+  std::ifstream in(snap.path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string original = buffer.str();
+  ASSERT_GT(original.size(), 64U);
+
+  const auto expect_rejected = [&](std::string bytes, const char* what) {
+    std::ofstream out(snap.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    clustering_service victim(make_serve_config(2));
+    EXPECT_THROW(victim.restore_file(snap.path), parse_error) << what;
+  };
+
+  // Bad magic.
+  {
+    std::string bytes = original;
+    bytes[0] = 'X';
+    expect_rejected(bytes, "magic");
+  }
+  // Unsupported version.
+  {
+    std::string bytes = original;
+    bytes[4] = 99;
+    expect_rejected(bytes, "version");
+  }
+  // A flipped payload byte must fail the CRC.
+  {
+    std::string bytes = original;
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    expect_rejected(bytes, "payload bit flip");
+  }
+  // Truncation (mid-payload and mid-CRC).
+  expect_rejected(original.substr(0, original.size() / 2), "truncated payload");
+  expect_rejected(original.substr(0, original.size() - 2), "truncated crc");
+
+  // Config mismatch: a service with a different threshold must refuse.
+  {
+    std::ofstream out(snap.path, std::ios::binary | std::ios::trunc);
+    out.write(original.data(), static_cast<std::streamsize>(original.size()));
+    out.close();
+    auto different = make_serve_config(2);
+    different.pipeline.distance_threshold = 0.2;
+    clustering_service victim(different);
+    EXPECT_THROW(victim.restore_file(snap.path), parse_error);
+  }
+  // Preprocessing knobs aren't stored field by field but are covered by
+  // the identity's pipeline digest: a service that would *encode* future
+  // spectra differently (here: different quantisation bins) must refuse
+  // even though dim/seed/threshold/bucketing all match.
+  {
+    auto different = make_serve_config(2);
+    different.pipeline.preprocess.quantize.mz_bins = 17000;
+    clustering_service victim(different);
+    EXPECT_THROW(victim.restore_file(snap.path), parse_error);
+  }
+  {
+    auto different = make_serve_config(2);
+    different.pipeline.preprocess.top_k = 30;
+    clustering_service victim(different);
+    EXPECT_THROW(victim.restore_file(snap.path), parse_error);
+  }
+}
+
+TEST(Snapshot, BundleModeRoundTripsAndResumes) {
+  // bundle_representative state (per-cluster majority counters) is
+  // rebuilt from the records on import; resume must still be exact.
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+  auto sc = make_serve_config(2);
+  sc.mode = core::assign_mode::bundle_representative;
+
+  clustering_service uninterrupted(sc);
+  ingest_in_batches(uninterrupted, stream, 0, stream.size());
+  const auto golden = canonical_state(uninterrupted.export_states());
+
+  temp_path snap("bundle");
+  {
+    clustering_service first_half(sc);
+    ingest_in_batches(first_half, stream, 0, split);
+    first_half.snapshot_file(snap.path);
+  }
+  clustering_service resumed(sc);
+  resumed.restore_file(snap.path);
+  ingest_in_batches(resumed, stream, split, stream.size());
+  EXPECT_EQ(canonical_state(resumed.export_states()), golden);
+
+  // A complete-linkage service must refuse a bundle-mode snapshot.
+  clustering_service wrong_mode(make_serve_config(2));
+  EXPECT_THROW(wrong_mode.restore_file(snap.path), parse_error);
+}
+
+TEST(Snapshot, ImportStateValidatesPartition) {
+  // import_state is the last line of defence under restore: a state whose
+  // buckets don't partition the records must be rejected untouched.
+  const auto config = small_config();
+  core::incremental_clusterer clusterer(config);
+  clusterer.add_spectra(sample_stream());
+  auto state = clusterer.export_state();
+  ASSERT_FALSE(state.buckets.empty());
+
+  {
+    auto broken = state;
+    broken.buckets[0].local_labels[0] = broken.buckets[0].next_local;  // label OOB
+    core::incremental_clusterer fresh(config);
+    EXPECT_THROW(fresh.import_state(std::move(broken)), spechd::error);
+  }
+  {
+    auto broken = state;
+    broken.buckets[0].members.pop_back();  // orphaned record
+    broken.buckets[0].local_labels.pop_back();
+    core::incremental_clusterer fresh(config);
+    EXPECT_THROW(fresh.import_state(std::move(broken)), spechd::error);
+  }
+  {
+    auto broken = state;
+    broken.buckets[0].key += 1;  // key no longer matches the records
+    core::incremental_clusterer fresh(config);
+    EXPECT_THROW(fresh.import_state(std::move(broken)), spechd::error);
+  }
+
+  // And the intact state imports and keeps behaving identically.
+  core::incremental_clusterer fresh(config);
+  fresh.import_state(std::move(state));
+  EXPECT_EQ(fresh.size(), clusterer.size());
+  EXPECT_EQ(fresh.cluster_count(), clusterer.cluster_count());
+  const auto more = sample_stream();
+  core::update_report a = fresh.push(more.front());
+  core::update_report b = clusterer.push(more.front());
+  EXPECT_EQ(a.joined_existing, b.joined_existing);
+  EXPECT_EQ(a.new_clusters, b.new_clusters);
+}
+
+TEST(Snapshot, RestoreReplacesExistingStateAndViews) {
+  // Restoring onto a service that already holds *different* data must
+  // fully replace it — including the published query views (no stale
+  // buckets answering queries for spectra the restored state never saw).
+  ms::synthetic_config other;
+  other.peptide_count = 8;
+  other.spectra_per_peptide_mean = 3.0;
+  other.seed = 999;  // different library than sample_stream()
+  const auto other_stream = ms::generate_dataset(other).spectra;
+  const auto stream = sample_stream();
+
+  temp_path snap("replace");
+  {
+    clustering_service source(make_serve_config(2));
+    ingest_in_batches(source, stream, 0, stream.size());
+    source.snapshot_file(snap.path);
+  }
+
+  clustering_service victim(make_serve_config(2));
+  victim.ingest(other_stream);
+  victim.drain();
+  const auto before = victim.stats().record_count;
+  ASSERT_GT(before, 0U);
+
+  victim.restore_file(snap.path);
+
+  // State equals the snapshot, not the union.
+  clustering_service reference(make_serve_config(2));
+  ingest_in_batches(reference, stream, 0, stream.size());
+  EXPECT_EQ(canonical_state(victim.export_states()),
+            canonical_state(reference.export_states()));
+
+  // Published views reflect only restored buckets: every bucket key the
+  // old data occupied but the snapshot does not must now miss.
+  std::map<std::int64_t, bool> restored_keys;
+  for (const auto& state : reference.export_states()) {
+    for (const auto& bucket : state.buckets) restored_keys[bucket.key] = true;
+  }
+  serve_config sc = make_serve_config(2);
+  shard_router router(sc.pipeline.preprocess.bucketing, 2);
+  std::size_t stale_checked = 0;
+  for (const auto& s : other_stream) {
+    const auto key = router.bucket_key(s);
+    if (restored_keys.count(key)) continue;  // bucket legitimately exists
+    const auto r = victim.query(s);
+    if (!r.encodable) continue;
+    EXPECT_FALSE(r.matched) << "stale bucket " << key << " still answers";
+    EXPECT_EQ(r.nearest_member, 1.0) << "stale bucket " << key << " still has members";
+    ++stale_checked;
+  }
+  EXPECT_GT(stale_checked, 0U);
+}
+
+TEST(Snapshot, EmptyServiceRoundTrips) {
+  clustering_service service(make_serve_config(2));
+  temp_path snap("empty");
+  service.snapshot_file(snap.path);
+  clustering_service restored(make_serve_config(2));
+  restored.restore_file(snap.path);
+  EXPECT_EQ(restored.stats().record_count, 0U);
+}
+
+}  // namespace
+}  // namespace spechd::serve

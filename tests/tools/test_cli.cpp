@@ -1,0 +1,109 @@
+// Drives the actual `spechd` binary (path injected by CMake as
+// SPECHD_CLI_PATH): unknown subcommands/flags must print usage and exit
+// non-zero, and the serve subcommand's ingest → query → snapshot → restore
+// loop must work end to end from the shell, not just in-process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#ifdef SPECHD_CLI_PATH
+
+namespace {
+
+struct command_result {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr combined
+};
+
+command_result run_cli(const std::string& args) {
+  const std::string command = std::string(SPECHD_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  command_result result;
+  if (!pipe) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe)) result.output += buffer;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("spechd_cli_test_" + std::to_string(::getpid()) + "_" + name)).string();
+}
+
+TEST(Cli, NoArgumentsPrintsUsageAndFails) {
+  const auto r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails) {
+  const auto r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command: frobnicate"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  const auto r = run_cli("cluster --bogus-flag input.mgf");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--bogus-flag'"), std::string::npos);
+}
+
+TEST(Cli, StrayPositionalFails) {
+  const auto r = run_cli("model extra-arg");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unexpected argument 'extra-arg'"), std::string::npos);
+}
+
+TEST(Cli, MissingInputFileIsAnErrorNotACrash) {
+  const auto r = run_cli("info /nonexistent/file.mgf");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const auto r = run_cli("help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, ServeRequiresWork) {
+  const auto r = run_cli("serve");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("nothing to do"), std::string::npos);
+}
+
+TEST(Cli, ServeIngestQuerySnapshotRestoreRoundTrip) {
+  const std::string mgf = temp_file("data.mgf");
+  const std::string snap = temp_file("state.sphsnap");
+
+  const auto synth = run_cli("synth -o " + mgf + " --peptides 12 --seed 9");
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+
+  const auto serve = run_cli("serve --shards 2 --batch 16 --ingest " + mgf +
+                             " --query " + mgf + " --snapshot " + snap);
+  EXPECT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("ingested"), std::string::npos);
+  EXPECT_NE(serve.output.find("latency p99"), std::string::npos);
+  EXPECT_NE(serve.output.find("snapshot written"), std::string::npos);
+
+  const auto restored = run_cli("serve --restore " + snap + " --query " + mgf);
+  EXPECT_EQ(restored.exit_code, 0) << restored.output;
+  EXPECT_NE(restored.output.find("restored"), std::string::npos);
+  EXPECT_NE(restored.output.find("latency p99"), std::string::npos);
+
+  std::remove(mgf.c_str());
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+
+#else
+TEST(Cli, DISABLED_BinaryPathNotConfigured) {}
+#endif

@@ -1,0 +1,44 @@
+// CRC-32 against the standard check vectors, chaining, and sensitivity.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32.hpp"
+
+namespace spechd {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The canonical IEEE CRC-32 check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926U);
+
+  EXPECT_EQ(crc32("", 0), 0U);
+
+  const std::string abc = "abc";
+  EXPECT_EQ(crc32(abc.data(), abc.size()), 0x352441C2U);
+}
+
+TEST(Crc32, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const auto whole = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const auto first = crc32(data.data(), split);
+    const auto chained = crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const auto base = crc32(data.data(), data.size());
+  for (std::size_t byte : {std::size_t{0}, data.size() / 2, data.size() - 1}) {
+    std::string mutated = data;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x10);
+    EXPECT_NE(crc32(mutated.data(), mutated.size()), base) << "byte " << byte;
+  }
+}
+
+}  // namespace
+}  // namespace spechd

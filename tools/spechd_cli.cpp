@@ -5,9 +5,16 @@
 //   info     summarise a spectra file (count, peaks, charges, buckets)
 //   encode   preprocess + encode spectra into a hypervector store (.sphv)
 //   cluster  cluster a spectra file or .sphv store; write consensus MGF
+//   serve    run the sharded clustering service: ingest files, answer a
+//            query workload, snapshot/restore service state (.sphsnap)
 //   model    print modelled FPGA runtime/energy for the paper datasets
+//   help     print usage
 //
 // Formats are selected by extension: .mgf, .ms2, .mzML/.mzml, .mzXML.
+// Unknown subcommands, unknown flags, and stray arguments are errors
+// (usage on stderr, exit 2) — never silently ignored.
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <map>
@@ -27,6 +34,8 @@
 #include "ms/mzxml.hpp"
 #include "ms/synthetic.hpp"
 #include "preprocess/pipeline.hpp"
+#include "serve/service.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -101,8 +110,8 @@ cluster::linkage parse_linkage(const std::string& name) {
   throw spechd::error("unknown linkage: " + name);
 }
 
-int usage() {
-  std::cout <<
+void print_usage(std::ostream& out) {
+  out <<
       "spechd — hyperdimensional mass-spectrometry clustering\n\n"
       "usage:\n"
       "  spechd synth -o out.mgf [--peptides N] [--replicates M] [--seed S]\n"
@@ -111,8 +120,36 @@ int usage() {
       "  spechd cluster <spectra-file|store.sphv> [-o consensus.mgf]\n"
       "                 [-t threshold] [--linkage single|complete|average|ward]\n"
       "                 [--float] [--threads N]\n"
-      "  spechd model [--overlap]\n";
+      "  spechd serve   [--shards N] [--batch B] [--queue N] [--threads N]\n"
+      "                 [-t threshold] [--restore in.sphsnap]\n"
+      "                 [--ingest spectra-file]... [--query spectra-file]\n"
+      "                 [--snapshot out.sphsnap]\n"
+      "  spechd model [--overlap]\n"
+      "  spechd help\n";
+}
+
+int usage_error() {
+  print_usage(std::cerr);
   return 2;
+}
+
+/// Commands take the options they know first; anything left that still
+/// looks like a flag is a typo — reject it loudly instead of silently
+/// running with default settings. Extra positionals are typos too.
+int reject_leftovers(const arg_list& args, const std::string& command,
+                     std::size_t allowed_positionals) {
+  for (const auto& arg : args.positionals()) {
+    if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "spechd " << command << ": unknown option '" << arg << "'\n";
+      return usage_error();
+    }
+  }
+  if (args.positionals().size() > allowed_positionals) {
+    std::cerr << "spechd " << command << ": unexpected argument '"
+              << args.positionals()[allowed_positionals] << "'\n";
+    return usage_error();
+  }
+  return 0;
 }
 
 int cmd_synth(arg_list& args) {
@@ -123,6 +160,7 @@ int cmd_synth(arg_list& args) {
   }
   if (const auto v = args.take_option("--seed")) config.seed = std::stoull(*v);
   const auto out = args.take_option("-o");
+  if (const int rc = reject_leftovers(args, "synth", 0)) return rc;
   if (!out) {
     std::cerr << "synth: missing -o <output>\n";
     return 2;
@@ -135,6 +173,7 @@ int cmd_synth(arg_list& args) {
 }
 
 int cmd_info(arg_list& args) {
+  if (const int rc = reject_leftovers(args, "info", 1)) return rc;
   if (args.positionals().empty()) {
     std::cerr << "info: missing input file\n";
     return 2;
@@ -178,6 +217,7 @@ int cmd_encode(arg_list& args) {
   const auto out = args.take_option("-o");
   core::spechd_config config;
   if (const auto v = args.take_option("--dim")) config.encoder.dim = std::stoul(*v);
+  if (const int rc = reject_leftovers(args, "encode", 1)) return rc;
   if (args.positionals().empty() || !out) {
     std::cerr << "encode: need <input> and -o <store.sphv>\n";
     return 2;
@@ -214,6 +254,7 @@ int cmd_cluster(arg_list& args) {
   if (const auto v = args.take_option("--threads")) config.threads = std::stoul(*v);
   if (args.take_flag("--float")) config.use_fixed_point = false;
   const auto out = args.take_option("-o");
+  if (const int rc = reject_leftovers(args, "cluster", 1)) return rc;
   if (args.positionals().empty()) {
     std::cerr << "cluster: missing input\n";
     return 2;
@@ -266,8 +307,142 @@ int cmd_cluster(arg_list& args) {
   return 0;
 }
 
+int cmd_serve(arg_list& args) {
+  serve::serve_config config;
+  config.pipeline.threads = 1;  // per-shard pools; shards are the parallelism
+  std::size_t batch_size = 256;
+  if (const auto v = args.take_option("--shards")) config.shards = std::stoul(*v);
+  if (const auto v = args.take_option("--queue")) config.queue_capacity = std::stoul(*v);
+  if (const auto v = args.take_option("--batch")) batch_size = std::stoul(*v);
+  if (const auto v = args.take_option("--threads")) config.pipeline.threads = std::stoul(*v);
+  if (const auto v = args.take_option("-t")) config.pipeline.distance_threshold = std::stod(*v);
+  const auto restore = args.take_option("--restore");
+  const auto snapshot = args.take_option("--snapshot");
+  const auto query_file = args.take_option("--query");
+  std::vector<std::string> ingest_files;
+  while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
+  if (const int rc = reject_leftovers(args, "serve", 0)) return rc;
+  if (!restore && ingest_files.empty() && !query_file && !snapshot) {
+    std::cerr << "serve: nothing to do (need --restore, --ingest, --query, or --snapshot)\n";
+    return 2;
+  }
+  if (batch_size == 0) {
+    std::cerr << "serve: --batch must be >= 1\n";
+    return 2;
+  }
+
+  if (restore) {
+    // Configure from the snapshot's identity block so the restored service
+    // is exactly the one that wrote it (restore_file re-validates).
+    const auto id = serve::read_snapshot_identity_file(*restore);
+    config.pipeline.encoder.dim = id.dim;
+    config.pipeline.encoder.seed = id.encoder_seed;
+    config.pipeline.distance_threshold = id.distance_threshold;
+    config.pipeline.preprocess.bucketing.resolution = id.bucket_resolution;
+    config.pipeline.preprocess.bucketing.fallback_charge = id.fallback_charge;
+    config.mode = static_cast<core::assign_mode>(id.assign_mode);
+  }
+
+  serve::clustering_service service(config);
+  if (restore) {
+    service.restore_file(*restore);
+    const auto stats = service.stats();
+    std::cout << "restored " << stats.record_count << " records in "
+              << stats.cluster_count << " clusters from " << *restore << "\n";
+  }
+
+  using clock = std::chrono::steady_clock;
+  for (const auto& file : ingest_files) {
+    auto spectra = read_any(file);
+    const auto total = spectra.size();
+    const auto start = clock::now();
+    for (std::size_t offset = 0; offset < total; offset += batch_size) {
+      const auto end = std::min(offset + batch_size, total);
+      service.ingest({spectra.begin() + static_cast<std::ptrdiff_t>(offset),
+                      spectra.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+    service.drain();
+    const double seconds = std::chrono::duration<double>(clock::now() - start).count();
+    std::cout << "ingested " << total << " spectra from " << file << " in " << seconds
+              << " s (" << (seconds > 0 ? static_cast<double>(total) / seconds : 0.0)
+              << " spectra/s)\n";
+  }
+
+  if (query_file) {
+    const auto queries = read_any(*query_file);
+    std::size_t matched = 0;
+    std::size_t unencodable = 0;
+    double matched_distance = 0.0;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(queries.size());
+    for (const auto& q : queries) {
+      const auto start = clock::now();
+      const auto r = service.query(q);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - start).count());
+      if (!r.encodable) {
+        ++unencodable;
+      } else if (r.matched) {
+        ++matched;
+        matched_distance += r.distance;
+      }
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    text_table table("query workload: " + *query_file);
+    table.set_header({"metric", "value"});
+    table.add_row({"queries", text_table::num(queries.size())});
+    table.add_row({"matched", text_table::num(matched)});
+    table.add_row({"unmatched", text_table::num(queries.size() - matched - unencodable)});
+    table.add_row({"unencodable", text_table::num(unencodable)});
+    table.add_row({"mean matched distance",
+                   text_table::num(matched > 0 ? matched_distance / static_cast<double>(matched)
+                                               : 0.0,
+                                   4)});
+    table.add_row({"latency p50 (us)", text_table::num(percentile_sorted(latencies_us, 0.50), 1)});
+    table.add_row({"latency p90 (us)", text_table::num(percentile_sorted(latencies_us, 0.90), 1)});
+    table.add_row({"latency p99 (us)", text_table::num(percentile_sorted(latencies_us, 0.99), 1)});
+    table.print(std::cout);
+  }
+
+  if (snapshot) {
+    const auto start = clock::now();
+    service.snapshot_file(*snapshot);
+    const double seconds = std::chrono::duration<double>(clock::now() - start).count();
+    std::cout << "snapshot written to " << *snapshot << " ("
+              << std::filesystem::file_size(*snapshot) / 1024 << " KiB, " << seconds
+              << " s)\n";
+  }
+
+  const auto stats = service.stats();
+  text_table table("service state");
+  table.set_header({"shard", "records", "clusters", "batches", "view epoch"});
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const auto& sh = stats.shards[s];
+    table.add_row({text_table::num(s), text_table::num(sh.record_count),
+                   text_table::num(sh.cluster_count), text_table::num(sh.batches),
+                   text_table::num(sh.view_epoch)});
+  }
+  table.add_row({"total", text_table::num(stats.record_count),
+                 text_table::num(stats.cluster_count), text_table::num(stats.batches),
+                 ""});
+  table.print(std::cout);
+
+  // Quality vs ground truth when the ingested spectra carried labels.
+  const auto store = service.to_store();
+  std::vector<std::int32_t> truth;
+  truth.reserve(store.size());
+  for (const auto& r : store.records()) truth.push_back(r.label);
+  if (std::any_of(truth.begin(), truth.end(), [](std::int32_t l) { return l >= 0; })) {
+    const auto q = metrics::evaluate_clustering(truth, service.clustering());
+    std::cout << "clustered ratio " << q.clustered_ratio << ", ICR " << q.incorrect_ratio
+              << ", completeness " << q.completeness << "\n";
+  }
+  return 0;
+}
+
 int cmd_model(arg_list& args) {
   const bool overlap = args.take_flag("--overlap");
+  if (const int rc = reject_leftovers(args, "model", 0)) return rc;
   text_table table(overlap ? "SpecHD pipelined (DES) model" : "SpecHD phase model");
   if (overlap) {
     table.set_header({"dataset", "pipelined (s)", "end-to-end (s)", "encoder util"});
@@ -296,17 +471,22 @@ int cmd_model(arg_list& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) return usage_error();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
   arg_list args(argc, argv, 2);
   try {
     if (command == "synth") return cmd_synth(args);
     if (command == "info") return cmd_info(args);
     if (command == "encode") return cmd_encode(args);
     if (command == "cluster") return cmd_cluster(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "model") return cmd_model(args);
     std::cerr << "unknown command: " << command << "\n";
-    return usage();
+    return usage_error();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
