@@ -1,6 +1,7 @@
-// Serving-path bench: sustained ingest throughput, query latency
-// percentiles (idle and under concurrent ingest), snapshot round-trip
-// time, and an ingest/query thread-scaling sweep.
+// Serving-path bench: sustained ingest throughput (journaled and
+// unjournaled), query latency percentiles (idle and under concurrent
+// ingest), snapshot round-trip time, crash-recovery replay time, and an
+// ingest/query thread-scaling sweep.
 //
 //   bench_serve [--threads=N] [--variant=V] [--n=SPECTRA] [--dim=D] [--json=PATH]
 //
@@ -15,6 +16,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -134,9 +136,38 @@ int main(int argc, char** argv) {
   json.field("ingest_batch", batch);
   json.end_object();
 
-  // --- phase 1: sustained ingest, shards = threads -------------------------
-  serve::clustering_service service(make_config(opts, threads));
-  const double ingest_seconds = ingest_all(service, stream, batch);
+  // --- phase 1 + 1b: sustained ingest, unjournaled vs journaled ------------
+  // Best-of-k_ingest_reps with *interleaved* repetitions (unjournaled, journaled,
+  // unjournaled, ...): single-shot ingest walls swing wildly on a busy
+  // 1-core container and background load drifts over seconds, so running
+  // all of one mode first would bias the journaled/unjournaled ratio the
+  // acceptance bar (>= 0.8) is judged on.
+  constexpr int k_ingest_reps = 5;
+  const auto journal_dir =
+      (std::filesystem::temp_directory_path() / "bench_serve_journal").string();
+  auto journaled_config = make_config(opts, threads);
+  journaled_config.journal.dir = journal_dir;
+
+  std::optional<serve::clustering_service> service_storage;
+  double ingest_seconds = 0.0;
+  double journaled_seconds = 0.0;
+  std::string journaled_golden;
+  std::uintmax_t journal_bytes = 0;
+  for (int rep = 0; rep < k_ingest_reps; ++rep) {
+    service_storage.emplace(make_config(opts, threads));
+    const double plain = ingest_all(*service_storage, stream, batch);
+    ingest_seconds = rep == 0 ? plain : std::min(ingest_seconds, plain);
+
+    std::filesystem::remove_all(journal_dir);  // each rep journals from scratch
+    serve::clustering_service journaled(journaled_config);
+    const double jrnl = ingest_all(journaled, stream, batch);
+    journaled_seconds = rep == 0 ? jrnl : std::min(journaled_seconds, jrnl);
+    if (rep == k_ingest_reps - 1) {
+      journaled_golden = serve::canonical_state(journaled.export_states());
+      journal_bytes = journaled.stats().journal_bytes;
+    }
+  }
+  serve::clustering_service& service = *service_storage;
   const auto stats = service.stats();
   const double ingest_rate =
       ingest_seconds > 0.0 ? static_cast<double>(stream.size()) / ingest_seconds : 0.0;
@@ -150,6 +181,56 @@ int main(int argc, char** argv) {
   json.field("clusters", stats.cluster_count);
   json.field("dropped", stats.dropped);
   json.end_object();
+
+  // --- phase 1b report: journaled ingest + crash recovery -------------------
+  // The journaled numbers were measured interleaved above; a fresh
+  // construction on the last repetition's directory measures full journal
+  // replay. The acceptance bar for the durability tier is journaled
+  // ingest >= 0.8x the unjournaled rate.
+  {
+    const std::string& golden = journaled_golden;
+    const double journaled_rate =
+        journaled_seconds > 0.0 ? static_cast<double>(stream.size()) / journaled_seconds
+                                : 0.0;
+    const double vs_unjournaled = ingest_rate > 0.0 ? journaled_rate / ingest_rate : 0.0;
+    std::cout << "ingest (journaled): " << stream.size() << " spectra in "
+              << journaled_seconds << " s  (" << journaled_rate << " spectra/s, "
+              << vs_unjournaled << "x the unjournaled rate, " << journal_bytes / 1024
+              << " KiB journal)\n";
+    json.begin_object("ingest_journaled");
+    json.field("shards", threads);
+    json.field("seconds", journaled_seconds);
+    json.field("spectra_per_sec", journaled_rate);
+    json.field("journal_bytes", static_cast<std::size_t>(journal_bytes));
+    json.field("vs_unjournaled", vs_unjournaled);
+    json.end_object();
+
+    const auto recovery_start = clock_type::now();
+    serve::clustering_service recovered(journaled_config);
+    const double recovery_seconds =
+        std::chrono::duration<double>(clock_type::now() - recovery_start).count();
+    // A recovery bench that silently measured a wrong replay would be
+    // worse than no bench.
+    if (serve::canonical_state(recovered.export_states()) != golden) {
+      std::cerr << "FATAL: journal recovery diverged from the journaled run\n";
+      return 1;
+    }
+    const auto& report = recovered.recovery();
+    const double replay_rate = recovery_seconds > 0.0
+                                   ? static_cast<double>(report.spectra_replayed) /
+                                         recovery_seconds
+                                   : 0.0;
+    std::cout << "recovery: " << report.spectra_replayed << " spectra ("
+              << report.batches_replayed << " batches) replayed in " << recovery_seconds
+              << " s  (" << replay_rate << " spectra/s)\n";
+    json.begin_object("recovery");
+    json.field("seconds", recovery_seconds);
+    json.field("batches_replayed", report.batches_replayed);
+    json.field("spectra_replayed", report.spectra_replayed);
+    json.field("spectra_per_sec", replay_rate);
+    json.end_object();
+    std::filesystem::remove_all(journal_dir);
+  }
 
   // --- phase 2: query latency against the idle service ---------------------
   const std::size_t query_count = std::min<std::size_t>(2000, stream.size() * 2);

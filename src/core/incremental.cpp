@@ -381,6 +381,14 @@ hdc::hv_store incremental_clusterer::to_store() const {
   return store;
 }
 
+std::size_t incremental_clusterer::dirty_bucket_count() const noexcept {
+  std::size_t dirty = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    dirty += bucket.dirty ? 1 : 0;
+  }
+  return dirty;
+}
+
 std::size_t incremental_clusterer::cluster_count() const noexcept {
   std::size_t total = 0;
   for (const auto& [key, bucket] : buckets_) {

@@ -174,6 +174,15 @@ public:
 
   std::size_t size() const noexcept { return records_.size(); }
   std::size_t cluster_count() const noexcept;
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Buckets touched by ingestion since their last recluster — what a
+  /// rebuild_dirty_buckets() call would visit. The serve layer's
+  /// maintenance scheduler polls this (via the published view) to decide
+  /// whether an idle shard needs a background recluster, and its journal
+  /// replays recluster records against states whose dirty flags are
+  /// identical — so the count is part of the deterministic-replay surface.
+  std::size_t dirty_bucket_count() const noexcept;
 
 private:
   struct bucket_state {

@@ -1,0 +1,603 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace spechd::serve {
+
+namespace {
+
+constexpr char k_magic[4] = {'S', 'P', 'J', 'L'};
+constexpr std::uint32_t k_version = 1;
+/// Record frames: u32 payload_bytes + u32 crc.
+constexpr std::size_t k_frame_bytes = 2 * sizeof(std::uint32_t);
+/// Sanity bound mirroring the snapshot reader: a corrupted length field
+/// must not drive a huge allocation before the CRC would catch it. One
+/// record is one ingest batch; 1 GiB is far beyond any real batch (and
+/// must be below UINT32_MAX for the comparison to be able to fire).
+constexpr std::uint32_t k_max_record_payload = 1U << 30;
+/// The header payload is a handful of fixed-width fields; anything
+/// claiming more is corrupt, and the bound keeps a bad length field from
+/// allocating before validation.
+constexpr std::uint32_t k_max_header_payload = 4096;
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// In-memory cursor over the journal bytes; unlike the snapshot reader,
+/// running off the end mid-record is *not* an error here (torn tail), so
+/// reads report success instead of throwing.
+struct cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool read(T& v) {
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(&v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(void* out, std::size_t n) {
+    if (size - pos < n) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+/// Record serialisation writes through a raw pointer into an
+/// exactly-sized buffer — this runs on the ingest hot path (one record
+/// per applied batch, two fields per peak), where even string::append's
+/// bookkeeping per call is measurable against the
+/// >= 0.8x-of-unjournaled ingest-rate bar.
+struct wire_cursor {
+  char* p;
+
+  template <typename T>
+  void put(const T& v) {
+    std::memcpy(p, &v, sizeof(T));
+    p += sizeof(T);
+  }
+
+  void put_bytes(const void* data, std::size_t n) {
+    std::memcpy(p, data, n);
+    p += n;
+  }
+};
+
+std::size_t spectrum_wire_bytes(const ms::spectrum& s) {
+  return sizeof(std::uint32_t) + s.title.size() + sizeof(std::uint32_t) +
+         2 * sizeof(double) + 2 * sizeof(std::int32_t) + sizeof(std::uint64_t) +
+         s.peaks.size() * (sizeof(double) + sizeof(float));
+}
+
+void write_spectrum(wire_cursor& out, const ms::spectrum& s) {
+  out.put(static_cast<std::uint32_t>(s.title.size()));
+  out.put_bytes(s.title.data(), s.title.size());
+  out.put(s.scan);
+  out.put(s.precursor_mz);
+  out.put(static_cast<std::int32_t>(s.precursor_charge));
+  out.put(s.retention_time);
+  out.put(s.label);
+  out.put(static_cast<std::uint64_t>(s.peaks.size()));
+  for (const auto& p : s.peaks) {
+    out.put(p.mz);
+    out.put(p.intensity);
+  }
+}
+
+bool read_spectrum(cursor& in, ms::spectrum& s) {
+  std::uint32_t title_len = 0;
+  if (!in.read(title_len)) return false;
+  // Bound-check *before* resizing: a crafted/corrupt length must not
+  // drive a multi-GiB allocation (bad_alloc would escape the torn-tail
+  // handling entirely).
+  if (title_len > in.size - in.pos) return false;
+  s.title.resize(title_len);
+  if (!in.read_bytes(s.title.data(), title_len)) return false;
+  std::int32_t charge = 0;
+  std::uint64_t peak_count = 0;
+  if (!in.read(s.scan) || !in.read(s.precursor_mz) || !in.read(charge) ||
+      !in.read(s.retention_time) || !in.read(s.label) || !in.read(peak_count)) {
+    return false;
+  }
+  s.precursor_charge = charge;
+  if (peak_count > (in.size - in.pos) / (sizeof(double) + sizeof(float))) return false;
+  s.peaks.resize(peak_count);
+  for (auto& p : s.peaks) {
+    if (!in.read(p.mz) || !in.read(p.intensity)) return false;
+  }
+  return true;
+}
+
+void write_header(std::ostream& out, const journal_file_header& header) {
+  std::ostringstream payload_stream(std::ios::binary);
+  put(payload_stream, header.shard_index);
+  put(payload_stream, header.shard_count);
+  put(payload_stream, header.generation);
+  write_snapshot_identity(payload_stream, header.identity);
+  const std::string payload = payload_stream.str();
+
+  out.write(k_magic, 4);
+  put(out, k_version);
+  put(out, static_cast<std::uint32_t>(payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put(out, crc32(payload.data(), payload.size()));
+}
+
+/// Parses the header off `in`; throws parse_error — a journal with a bad
+/// header is unusable, unlike a torn record tail.
+journal_file_header parse_header(cursor& in, const std::string& source) {
+  char magic[4] = {};
+  if (!in.read_bytes(magic, 4) || std::memcmp(magic, k_magic, 4) != 0) {
+    throw parse_error(source, 0, "not a .sphjrnl journal (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!in.read(version)) throw parse_error(source, 0, "truncated journal header");
+  if (version != k_version) {
+    throw parse_error(source, 0, "unsupported journal version " + std::to_string(version));
+  }
+  std::uint32_t payload_bytes = 0;
+  if (!in.read(payload_bytes)) throw parse_error(source, 0, "truncated journal header");
+  if (payload_bytes > k_max_header_payload) {
+    throw parse_error(source, 0, "implausible journal header size");
+  }
+  std::string payload(payload_bytes, '\0');
+  std::uint32_t stored_crc = 0;
+  if (!in.read_bytes(payload.data(), payload_bytes) || !in.read(stored_crc)) {
+    throw parse_error(source, 0, "truncated journal header");
+  }
+  if (stored_crc != crc32(payload.data(), payload.size())) {
+    throw parse_error(source, 0, "journal header CRC mismatch (corrupted file)");
+  }
+  std::istringstream body(payload, std::ios::binary);
+  journal_file_header header;
+  body.read(reinterpret_cast<char*>(&header.shard_index), sizeof(header.shard_index));
+  body.read(reinterpret_cast<char*>(&header.shard_count), sizeof(header.shard_count));
+  body.read(reinterpret_cast<char*>(&header.generation), sizeof(header.generation));
+  if (!body) throw parse_error(source, 0, "truncated journal header payload");
+  header.identity = read_snapshot_identity(body, source);
+  return header;
+}
+
+/// Serialises one record into `frame` (a caller-owned, reused buffer —
+/// resize_and_overwrite-style: grow-only capacity, no per-record
+/// allocation). The wire size is exactly computable up front, so the
+/// payload is written straight through a cursor after an 8-byte hole for
+/// the frame header, which is patched in last.
+void frame_record(journal_record::kind type, std::uint64_t seq,
+                  const std::vector<ms::spectrum>* batch, std::string& frame) {
+  std::size_t total = k_frame_bytes + sizeof(std::uint8_t) + sizeof(std::uint64_t);
+  if (batch != nullptr) {
+    total += sizeof(std::uint64_t);
+    for (const auto& s : *batch) total += spectrum_wire_bytes(s);
+  }
+  frame.resize(total);
+  wire_cursor out{frame.data() + k_frame_bytes};
+  out.put(static_cast<std::uint8_t>(type));
+  out.put(seq);
+  if (batch != nullptr) {
+    out.put(static_cast<std::uint64_t>(batch->size()));
+    for (const auto& s : *batch) write_spectrum(out, s);
+  }
+  SPECHD_EXPECTS(out.p == frame.data() + frame.size());
+  const std::uint32_t payload_bytes =
+      static_cast<std::uint32_t>(frame.size() - k_frame_bytes);
+  const std::uint32_t crc = crc32(frame.data() + k_frame_bytes, payload_bytes);
+  std::memcpy(frame.data(), &payload_bytes, sizeof(payload_bytes));
+  std::memcpy(frame.data() + sizeof(payload_bytes), &crc, sizeof(crc));
+}
+
+/// Parses the record payload at `in` (already CRC-verified); false = the
+/// payload is internally inconsistent, which the scanner treats exactly
+/// like a CRC failure (stop, report torn).
+bool parse_record_payload(cursor in, journal_record& record) {
+  std::uint8_t type = 0;
+  if (!in.read(type) || !in.read(record.seq)) return false;
+  if (type == static_cast<std::uint8_t>(journal_record::kind::ingest_batch)) {
+    record.type = journal_record::kind::ingest_batch;
+    std::uint64_t count = 0;
+    if (!in.read(count)) return false;
+    if (count > in.size - in.pos) return false;  // each spectrum is >= 1 byte
+    record.batch.resize(count);
+    for (auto& s : record.batch) {
+      if (!read_spectrum(in, s)) return false;
+    }
+    return in.pos == in.size;
+  }
+  if (type == static_cast<std::uint8_t>(journal_record::kind::recluster)) {
+    record.type = journal_record::kind::recluster;
+    record.batch.clear();
+    return in.pos == in.size;
+  }
+  return false;  // unknown record type
+}
+
+/// Parses `name` as `<prefix><number><suffix>`; nullopt when it doesn't
+/// match exactly.
+std::optional<std::uint64_t> parse_numbered(const std::string& name,
+                                            const std::string& prefix,
+                                            const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = name.data() + prefix.size();
+  const char* last = name.data() + name.size() - suffix.size();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+void throw_errno(const std::string& what, const std::string& path) {
+  throw io_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+journal_scan read_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open journal file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  cursor c{bytes.data(), bytes.size()};
+  journal_scan scan;
+  scan.header = parse_header(c, path);
+  scan.valid_bytes = c.pos;
+
+  while (c.pos < c.size) {
+    cursor frame = c;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t stored_crc = 0;
+    if (!frame.read(payload_bytes) || !frame.read(stored_crc) ||
+        payload_bytes > k_max_record_payload ||
+        frame.size - frame.pos < payload_bytes) {
+      scan.torn = true;  // truncated frame: the tail past valid_bytes is dropped
+      break;
+    }
+    const char* payload = frame.data + frame.pos;
+    if (crc32(payload, payload_bytes) != stored_crc) {
+      scan.torn = true;
+      break;
+    }
+    journal_record record;
+    if (!parse_record_payload(cursor{payload, payload_bytes}, record)) {
+      scan.torn = true;
+      break;
+    }
+    // The writer increments seq by exactly 1 per append, so anything but
+    // contiguous numbering inside a file means lost or reordered records.
+    if (!scan.records.empty() && record.seq != scan.records.back().seq + 1) {
+      throw parse_error(path, 0,
+                        "journal records out of sequence (seq " +
+                            std::to_string(record.seq) + " after " +
+                            std::to_string(scan.records.back().seq) + ")");
+    }
+    scan.records.push_back(std::move(record));
+    c.pos = frame.pos + payload_bytes;
+    scan.valid_bytes = c.pos;
+  }
+  return scan;
+}
+
+journal_header_status probe_journal_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return journal_header_status::corrupt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  cursor c{bytes.data(), bytes.size()};
+
+  // Mirror parse_header, classifying "ran out of bytes" (a crash between
+  // file creation and the header write becoming durable — the file holds
+  // a prefix of the correct header and no records) separately from
+  // "bytes present but wrong" (real corruption, never discarded).
+  char magic[4] = {};
+  if (!c.read_bytes(magic, 4)) return journal_header_status::truncated;
+  if (std::memcmp(magic, k_magic, 4) != 0) return journal_header_status::corrupt;
+  std::uint32_t version = 0;
+  if (!c.read(version)) return journal_header_status::truncated;
+  if (version != k_version) return journal_header_status::corrupt;
+  std::uint32_t payload_bytes = 0;
+  if (!c.read(payload_bytes)) return journal_header_status::truncated;
+  if (payload_bytes > k_max_header_payload) return journal_header_status::corrupt;
+  std::string payload(payload_bytes, '\0');
+  std::uint32_t stored_crc = 0;
+  if (!c.read_bytes(payload.data(), payload_bytes) || !c.read(stored_crc)) {
+    return journal_header_status::truncated;
+  }
+  return stored_crc == crc32(payload.data(), payload.size())
+             ? journal_header_status::ok
+             : journal_header_status::corrupt;
+}
+
+journal_file_header read_journal_header_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open journal file: " + path);
+  // Headers are tiny; read a bounded prefix rather than the whole file.
+  std::string bytes(4096, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
+  cursor c{bytes.data(), bytes.size()};
+  return parse_header(c, path);
+}
+
+std::string journal_snapshot_path(const std::string& dir, std::uint64_t generation) {
+  return (std::filesystem::path(dir) /
+          ("base-" + std::to_string(generation) + ".sphsnap")).string();
+}
+
+std::string journal_shard_path(const std::string& dir, std::size_t shard,
+                               std::uint64_t generation) {
+  return (std::filesystem::path(dir) /
+          ("shard-" + std::to_string(shard) + "-" + std::to_string(generation) +
+           ".sphjrnl")).string();
+}
+
+journal_dir_state scan_journal_dir(const std::string& dir) {
+  journal_dir_state state;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (const auto gen = parse_numbered(name, "base-", ".sphsnap")) {
+      if (!state.snapshot_generation || *gen > *state.snapshot_generation) {
+        state.snapshot_generation = *gen;
+      }
+      state.snapshots.push_back(*gen);
+      state.max_generation = std::max(state.max_generation, *gen);
+      continue;
+    }
+    // shard-<s>-<gen>.sphjrnl: the shard index runs to the second '-'.
+    if (name.rfind("shard-", 0) == 0) {
+      const auto dash = name.find('-', 6);
+      if (dash == std::string::npos) continue;
+      std::uint64_t shard_idx = 0;
+      const char* first = name.data() + 6;
+      const char* last = name.data() + dash;
+      const auto [ptr, parse_ec] = std::from_chars(first, last, shard_idx);
+      if (parse_ec != std::errc{} || ptr != last) continue;
+      if (const auto gen = parse_numbered(name.substr(dash + 1), "", ".sphjrnl")) {
+        state.journals.push_back({static_cast<std::size_t>(shard_idx), *gen});
+        state.max_generation = std::max(state.max_generation, *gen);
+      }
+    }
+  }
+  return state;
+}
+
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open file for fsync", path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot fsync file", path);
+  }
+  ::close(fd);
+}
+
+void remove_stale_generations(const std::string& dir, std::uint64_t keep_from) {
+  const auto state = scan_journal_dir(dir);  // one shared filename parser
+  std::error_code ec;
+  for (const auto gen : state.snapshots) {
+    if (gen < keep_from) std::filesystem::remove(journal_snapshot_path(dir, gen), ec);
+  }
+  for (const auto& entry : state.journals) {
+    if (entry.generation < keep_from) {
+      std::filesystem::remove(journal_shard_path(dir, entry.shard, entry.generation), ec);
+    }
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot fsync directory", dir);
+  }
+  ::close(fd);
+}
+
+journal_writer::journal_writer(const journal_head& head,
+                               const journal_file_header& header,
+                               const journal_config& config)
+    : config_(config) {
+  open(head, header);
+}
+
+journal_writer::~journal_writer() { close(); }
+
+void journal_writer::open(const journal_head& head, const journal_file_header& header) {
+  if (fd_ >= 0) {  // e.g. a failed rotation re-opening over a half-opened file
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_ = head.path;
+  next_seq_ = head.next_seq;
+  unsynced_records_ = 0;
+  failed_ = false;  // a fresh/rotated file starts clean
+  last_sync_ = std::chrono::steady_clock::now();
+  generation_.store(header.generation, std::memory_order_relaxed);
+  records_.store(head.records, std::memory_order_relaxed);
+
+  if (head.exists) {
+    // Continue an existing journal: drop any torn tail first, then append.
+    std::error_code ec;
+    const auto current = std::filesystem::file_size(path_, ec);
+    if (!ec && current > head.valid_bytes) {
+      std::filesystem::resize_file(path_, head.valid_bytes, ec);
+      if (ec) throw io_error("cannot truncate torn journal tail: " + path_);
+    }
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0) throw_errno("cannot open journal", path_);
+    bytes_.store(head.valid_bytes, std::memory_order_relaxed);
+  } else {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC, 0644);
+    if (fd_ < 0) throw_errno("cannot create journal", path_);
+    std::ostringstream header_stream(std::ios::binary);
+    write_header(header_stream, header);
+    const std::string bytes = header_stream.str();
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const auto n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+      if (n < 0) throw_errno("cannot write journal header", path_);
+      written += static_cast<std::size_t>(n);
+    }
+    if (config_.fsync && ::fsync(fd_) != 0) throw_errno("cannot fsync journal", path_);
+    bytes_.store(bytes.size(), std::memory_order_relaxed);
+  }
+}
+
+void journal_writer::close() {
+  if (fd_ >= 0) {
+    if (config_.fsync && unsynced_records_ > 0) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void journal_writer::append_frame(const std::string& frame) {
+  if (failed_) {
+    throw io_error("journal " + path_ +
+                   " is poisoned by an earlier partial write; refusing to append");
+  }
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const auto n = ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      // A partial frame on disk would make every *later* record
+      // unreachable at recovery (the scanner stops at the first bad
+      // frame). Roll the file back to the last good offset; if even that
+      // fails, poison the writer so no batch is applied-but-unjournaled
+      // after the garbage.
+      const int saved = errno;
+      if (written == 0 ||
+          ::ftruncate(fd_, static_cast<off_t>(bytes_.load(std::memory_order_relaxed))) ==
+              0) {
+        errno = saved;
+        throw_errno("cannot append to journal", path_);
+      }
+      failed_ = true;
+      errno = saved;
+      throw_errno("cannot append to journal (partial frame could not be rolled back)",
+                  path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  ++next_seq_;
+  ++unsynced_records_;
+  // Group commit: a hot writer pays one fsync per `group_commit_records`
+  // appends or per `group_commit_interval` of wall time, whichever comes
+  // first — never one per batch.
+  const bool threshold = unsynced_records_ >= config_.group_commit_records;
+  const bool timed =
+      std::chrono::steady_clock::now() - last_sync_ >= config_.group_commit_interval;
+  if (threshold || timed) sync();
+}
+
+void journal_writer::append_batch(const std::vector<ms::spectrum>& batch) {
+  frame_record(journal_record::kind::ingest_batch, next_seq_, &batch, scratch_);
+  append_frame(scratch_);
+}
+
+void journal_writer::append_recluster() {
+  frame_record(journal_record::kind::recluster, next_seq_, nullptr, scratch_);
+  append_frame(scratch_);
+}
+
+void journal_writer::rollback_to(std::uint64_t bytes_before) {
+  const auto current = bytes_.load(std::memory_order_relaxed);
+  SPECHD_EXPECTS(current >= bytes_before);
+  // Nothing landed past the mark and the file is clean (a failing append
+  // already rolled its partial frame back): nothing to do.
+  if (current == bytes_before && !failed_) return;
+  if (::ftruncate(fd_, static_cast<off_t>(bytes_before)) != 0) {
+    failed_ = true;  // the orphaned bytes cannot be removed: stop appending
+    throw_errno("cannot roll back journal record", path_);
+  }
+  if (current > bytes_before) {
+    // Exactly one complete record lies past the mark (counters only
+    // advance once a frame is fully written, and the caller rolls back
+    // immediately after its single append).
+    records_.fetch_sub(1, std::memory_order_relaxed);
+    --next_seq_;
+    if (unsynced_records_ > 0) --unsynced_records_;
+  }
+  bytes_.store(bytes_before, std::memory_order_relaxed);
+  failed_ = false;
+  // Make the removal as durable as the record may already be: if the
+  // append's group commit fsynced the frame before the failure, an
+  // un-synced truncation could resurrect it after power loss.
+  if (config_.fsync && ::fsync(fd_) != 0) {
+    failed_ = true;
+    throw_errno("cannot fsync journal rollback", path_);
+  }
+}
+
+void journal_writer::sync() {
+  if (unsynced_records_ == 0) return;
+  if (config_.fsync && ::fsync(fd_) != 0) throw_errno("cannot fsync journal", path_);
+  unsynced_records_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+void journal_writer::rotate(const journal_head& head, const journal_file_header& header) {
+  sync();
+  journal_head fallback;
+  fallback.path = path_;
+  fallback.generation = generation_.load(std::memory_order_relaxed);
+  fallback.exists = true;
+  fallback.valid_bytes = bytes_.load(std::memory_order_relaxed);
+  fallback.records = records_.load(std::memory_order_relaxed);
+  const auto seq = next_seq_;
+  close();
+  try {
+    open(head, header);
+  } catch (...) {
+    // Creating the next generation failed (ENOSPC, EEXIST from a prior
+    // half-failed compaction, ...): reopen the old file and keep
+    // appending to the old generation, so the shard never journals into
+    // the void. The caller (compaction) sees the original error and
+    // retries later with a fresh generation number.
+    try {
+      auto old_header = header;
+      old_header.generation = fallback.generation;
+      fallback.next_seq = seq;
+      open(fallback, old_header);
+    } catch (...) {
+      failed_ = true;  // even the old file is gone: poison loudly
+    }
+    throw;
+  }
+  // Sequence numbers continue across generations: recovery relies on
+  // strict monotonicity to detect holes when replaying adjacent files.
+  next_seq_ = seq;
+}
+
+}  // namespace spechd::serve

@@ -1,0 +1,88 @@
+// Background maintenance for the clustering service.
+//
+// Ingestion marks buckets dirty (incremental assignment can drift from
+// the batch pipeline's HAC labels until a recluster); PR 2's
+// rebuild_dirty_buckets restores batch-equivalent assignments but nothing
+// scheduled it. This thread closes that gap: every `interval` it asks
+// each *idle* shard (empty ingest queue, dirty buckets in its published
+// view) to recluster on its own writer thread — journaling the recluster
+// as a record first, so crash recovery replays it at the exact stream
+// position it ran — and then gives the service a chance to compact the
+// journal when a shard's file has outgrown the configured thresholds.
+//
+// The scheduler owns no serve state: the service hands it two callbacks,
+// which keeps this module free of shard/service dependencies and lets
+// tests drive the same hooks deterministically
+// (clustering_service::run_maintenance_now / maybe_compact_journal).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace spechd::serve {
+
+struct maintenance_config {
+  bool enabled = false;
+  /// Poll period. Each tick is cheap when there is nothing to do (a stats
+  /// read per shard), so sub-second intervals are fine.
+  std::chrono::milliseconds interval{250};
+};
+
+class maintenance_scheduler {
+public:
+  struct hooks {
+    /// Recluster dirty buckets on every idle shard; returns how many
+    /// shards accepted a recluster job.
+    std::function<std::size_t()> run_maintenance;
+    /// Compact the journal if a threshold is exceeded; returns true when
+    /// a compaction ran.
+    std::function<bool()> maybe_compact;
+  };
+
+  /// Counters for observability (read from any thread). A non-zero
+  /// `failures` means hook invocations threw (e.g. compaction hit a full
+  /// disk); the scheduler keeps ticking and retries on its interval.
+  struct counters {
+    std::uint64_t ticks = 0;
+    std::uint64_t reclusters = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t failures = 0;
+  };
+
+  /// Starts the background thread immediately.
+  maintenance_scheduler(maintenance_config config, hooks hooks);
+
+  /// Stops and joins.
+  ~maintenance_scheduler();
+
+  maintenance_scheduler(const maintenance_scheduler&) = delete;
+  maintenance_scheduler& operator=(const maintenance_scheduler&) = delete;
+
+  /// Signals the thread to exit and joins it. Idempotent; called by the
+  /// service *before* shards shut down so no maintenance job can land in
+  /// a closing queue.
+  void stop();
+
+  counters stats() const;
+
+private:
+  void loop();
+
+  maintenance_config config_;
+  hooks hooks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> reclusters_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::thread thread_;  ///< last member: starts after everything above
+};
+
+}  // namespace spechd::serve

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "preprocess/pipeline.hpp"
@@ -29,9 +30,131 @@ clustering_service::clustering_service(serve_config config)
   const auto pipeline = shard_pipeline_config(config_);
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    shards_.push_back(
-        std::make_unique<shard>(s, pipeline, config_.mode, config_.queue_capacity));
+    shards_.push_back(std::make_unique<shard>(s, pipeline, config_.mode,
+                                              config_.queue_capacity,
+                                              config_.publish_every));
   }
+  if (journaled()) attach_journal_dir();
+  if (config_.maintenance.enabled) {
+    maintenance_scheduler::hooks hooks;
+    hooks.run_maintenance = [this] {
+      std::size_t accepted = 0;
+      for (auto& s : shards_) accepted += s->maintain(/*only_if_idle=*/true) ? 1 : 0;
+      return accepted;
+    };
+    hooks.maybe_compact = [this] { return maybe_compact_journal(); };
+    maintenance_ =
+        std::make_unique<maintenance_scheduler>(config_.maintenance, std::move(hooks));
+  }
+}
+
+void clustering_service::attach_journal_dir() {
+  const auto& dir = config_.journal.dir;
+  std::filesystem::create_directories(dir);
+  auto recovered = recover_journal_dir(dir, shard_pipeline_config(config_), config_.mode,
+                                       shards_.size(), identity());
+  if (recovered.report.recovered) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->run_exclusive(
+          [state = std::move(recovered.shards[s])](
+              core::incremental_clusterer& clusterer) mutable {
+            clusterer.import_state(std::move(state));
+          });
+    }
+  }
+  bool created = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& head = recovered.journal_heads[s];
+    generation_ = std::max(generation_, head.generation);
+    created |= !head.exists;
+    shards_[s]->attach_journal(std::make_unique<journal_writer>(
+        head, shard_journal_header(s, head.generation), config_.journal));
+  }
+  if (recovered.report.base_snapshot_generation) {
+    generation_ = std::max(generation_, *recovered.report.base_snapshot_generation);
+    // Generations below the newest snapshot are redundant; drop leftovers
+    // a crash mid-compaction may have stranded.
+    remove_stale_generations(dir, *recovered.report.base_snapshot_generation);
+  }
+  if (created && config_.journal.fsync) fsync_dir(dir);
+  recovery_ = recovered.report;
+}
+
+journal_file_header clustering_service::shard_journal_header(
+    std::size_t shard, std::uint64_t generation) const {
+  journal_file_header header;
+  header.shard_index = static_cast<std::uint32_t>(shard);
+  header.shard_count = static_cast<std::uint32_t>(shards_.size());
+  header.generation = generation;
+  header.identity = identity();
+  return header;
+}
+
+void clustering_service::compact_journal() {
+  if (!journaled()) return;
+  std::lock_guard lock(compact_mutex_);
+  compact_journal_locked();
+}
+
+void clustering_service::compact_journal_locked() {
+  // Base the new generation on the highest generation any shard actually
+  // sits at, not just the last *completed* compaction: a compaction that
+  // failed mid-rotation leaves some shards already on generation_+1, and
+  // retrying with that same number would hit their existing files
+  // (O_EXCL). A fresh number lets every shard rotate cleanly, and
+  // recovery replays the in-between generations in order regardless.
+  std::uint64_t new_gen = generation_;
+  for (const auto& s : shards_) {
+    new_gen = std::max(new_gen, s->journal_generation());
+  }
+  new_gen += 1;
+  // Rotate first, snapshot second: each shard's state is captured at its
+  // rotation point (on the writer thread), so the gen-(g+1) journal holds
+  // exactly the records the gen-(g+1) snapshot does not. A crash before
+  // the snapshot rename leaves both generations' journals on disk, and
+  // recovery replays them in order on top of the *old* snapshot — no
+  // drain or ingest pause is needed for correctness.
+  std::vector<core::clusterer_state> states(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    journal_head head;
+    head.path = journal_shard_path(config_.journal.dir, s, new_gen);
+    head.generation = new_gen;
+    states[s] = shards_[s]->export_and_rotate_journal(head,
+                                                      shard_journal_header(s, new_gen));
+  }
+  const auto final_path = journal_snapshot_path(config_.journal.dir, new_gen);
+  const auto tmp_path = final_path + ".tmp";
+  write_snapshot_file(tmp_path, identity(), states);
+  if (config_.journal.fsync) fsync_file(tmp_path);
+  std::filesystem::rename(tmp_path, final_path);
+  if (config_.journal.fsync) fsync_dir(config_.journal.dir);
+  generation_ = new_gen;
+  remove_stale_generations(config_.journal.dir, new_gen);
+}
+
+bool clustering_service::maybe_compact_journal() {
+  if (!journaled()) return false;
+  const auto& journal = config_.journal;
+  bool exceeded = false;
+  for (const auto& s : shards_) {
+    if (journal.compact_max_bytes != 0 && s->journal_bytes() > journal.compact_max_bytes) {
+      exceeded = true;
+    }
+    if (journal.compact_max_records != 0 &&
+        s->journal_records() > journal.compact_max_records) {
+      exceeded = true;
+    }
+  }
+  if (!exceeded) return false;
+  compact_journal();
+  return true;
+}
+
+std::size_t clustering_service::run_maintenance_now() {
+  std::size_t accepted = 0;
+  for (auto& s : shards_) accepted += s->maintain(/*only_if_idle=*/false) ? 1 : 0;
+  drain();  // maintenance jobs run in queue order; drain waits them out
+  return accepted;
 }
 
 void clustering_service::ingest(std::vector<ms::spectrum> spectra) {
@@ -76,6 +199,9 @@ service_stats clustering_service::stats() const {
     total.record_count += stats.record_count;
     total.cluster_count += stats.cluster_count;
     total.queue_depth += stats.queue_depth;
+    total.dirty_buckets += stats.dirty_buckets;
+    total.journal_bytes += stats.journal_bytes;
+    total.journal_records += stats.journal_records;
     total.shards.push_back(std::move(stats));
   }
   return total;
@@ -180,12 +306,21 @@ void clustering_service::restore_file(const std::string& path) {
   }
 
   drain();
+  // compact_mutex_ spans the imports *and* the rebase compaction: a
+  // threshold compaction racing in from the maintenance thread mid-loop
+  // would otherwise persist a half-restored cross-shard base snapshot.
+  std::lock_guard lock(compact_mutex_);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->run_exclusive(
         [state = std::move(per_shard[s])](core::incremental_clusterer& clusterer) mutable {
           clusterer.import_state(std::move(state));
         });
   }
+  // A journaled service must keep its directory consistent with the live
+  // state: the pre-restore journal describes state that no longer exists,
+  // so compact immediately — the restored state becomes the new base
+  // snapshot and every older generation is dropped.
+  if (journaled()) compact_journal_locked();
 }
 
 cluster::flat_clustering clustering_service::clustering() {

@@ -21,12 +21,16 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/nn_chain.hpp"
 #include "core/incremental.hpp"
 #include "hdc/encoder.hpp"
+#include "serve/journal.hpp"
+#include "serve/maintenance.hpp"
+#include "serve/recovery.hpp"
 #include "serve/shard.hpp"
 #include "serve/shard_router.hpp"
 #include "serve/snapshot.hpp"
@@ -42,6 +46,19 @@ struct serve_config {
   std::size_t shards = 4;
   /// Ingest jobs (batches) buffered per shard before producers block.
   std::size_t queue_capacity = 16;
+  /// Coalesce view republishing across N applied batches (1 = republish
+  /// after every batch, the PR-4 behaviour). Views are also republished
+  /// whenever a shard's queue runs empty and by drain(), so visibility
+  /// after a drain is always complete; between drains a backlogged
+  /// shard's view may lag up to N-1 batches.
+  std::size_t publish_every = 1;
+  /// Durability: set journal.dir to enable write-ahead journaling. The
+  /// constructor then *recovers* whatever state the directory holds
+  /// (newest snapshot + journal replay, truncating a torn tail) before
+  /// accepting ingests — see recovery() for what it found.
+  journal_config journal;
+  /// Background maintenance (idle-shard reclusters + journal compaction).
+  maintenance_config maintenance;
 };
 
 /// Aggregate + per-shard counters.
@@ -52,6 +69,9 @@ struct service_stats {
   std::size_t record_count = 0;
   std::size_t cluster_count = 0;
   std::size_t queue_depth = 0;
+  std::size_t dirty_buckets = 0;      ///< buckets awaiting a maintenance recluster
+  std::uint64_t journal_bytes = 0;    ///< summed journal sizes (0: unjournaled)
+  std::uint64_t journal_records = 0;  ///< summed journal record counts
   std::vector<shard_stats> shards;
 };
 
@@ -103,6 +123,33 @@ public:
   /// This service's identity block (what snapshots of it will carry).
   snapshot_identity identity() const;
 
+  // --- durability (journal.dir set) --------------------------------------
+
+  bool journaled() const noexcept { return !config_.journal.dir.empty(); }
+
+  /// What constructor-time recovery found/replayed (default-constructed
+  /// when unjournaled or the directory was fresh).
+  const recovery_report& recovery() const noexcept { return recovery_; }
+
+  /// Compacts the journal: each shard's state is exported and its journal
+  /// atomically rotated to the next generation (on the writer thread, so
+  /// the fresh journal holds exactly the post-export records), then one
+  /// `base-<gen>.sphsnap` with those states is written and older
+  /// generations are deleted. Concurrent ingest/queries keep running; a
+  /// crash at any point leaves a directory recovery still reads exactly.
+  /// No-op when unjournaled. Serialised against itself.
+  void compact_journal();
+
+  /// compact_journal() iff any shard's journal exceeds the configured
+  /// size/record thresholds; returns true when a compaction ran.
+  bool maybe_compact_journal();
+
+  /// Deterministic maintenance trigger (what the background scheduler
+  /// does on its own when enabled): asks every shard to recluster its
+  /// dirty buckets — journaled, on the writer thread — and waits for
+  /// completion. Returns how many shards accepted a recluster job.
+  std::size_t run_maintenance_now();
+
   // --- whole-state accessors (drain first; used by tests, CLI, bench) ----
 
   /// Per-shard states, shard index order.
@@ -116,10 +163,22 @@ public:
   hdc::hv_store to_store();
 
 private:
+  void attach_journal_dir();
+  void compact_journal_locked();  ///< body of compact_journal; needs compact_mutex_
+  journal_file_header shard_journal_header(std::size_t shard, std::uint64_t generation) const;
+
   serve_config config_;
   shard_router router_;
   hdc::id_level_encoder encoder_;
   std::vector<std::unique_ptr<shard>> shards_;
+  recovery_report recovery_;
+  /// Highest journal generation in use; compaction bumps it. Guarded by
+  /// compact_mutex_ (only compaction/restore mutate it after construction).
+  std::uint64_t generation_ = 0;
+  std::mutex compact_mutex_;
+  /// Last member: the scheduler thread must stop before shards_ tears
+  /// down (see ~clustering_service), and start after everything it uses.
+  std::unique_ptr<maintenance_scheduler> maintenance_;
 };
 
 }  // namespace spechd::serve

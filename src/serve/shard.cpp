@@ -10,10 +10,21 @@
 namespace spechd::serve {
 
 shard::shard(std::size_t id, const core::spechd_config& config, core::assign_mode mode,
-             std::size_t queue_capacity)
-    : id_(id), mode_(mode), clusterer_(config, mode), queue_(queue_capacity) {
+             std::size_t queue_capacity, std::size_t publish_every)
+    : id_(id),
+      mode_(mode),
+      publish_every_(publish_every == 0 ? 1 : publish_every),
+      clusterer_(config, mode),
+      queue_(queue_capacity) {
   view_.store(std::make_shared<shard_view>());  // empty view: queries never see null
   writer_ = std::thread([this] { writer_loop(); });
+}
+
+void shard::attach_journal(std::unique_ptr<journal_writer> journal) {
+  // Pre-ingest only (see header): the writer thread is parked in
+  // queue_.pop(), and the queue mutex orders this store before any job
+  // that could read journal_.
+  journal_ = std::move(journal);
 }
 
 shard::~shard() {
@@ -45,37 +56,109 @@ bool shard::enqueue(std::vector<ms::spectrum> batch) {
 
 void shard::apply_batch(std::vector<ms::spectrum> batch) {
   const std::size_t submitted = batch.size();
-  try {
-    const auto report = clusterer_.push_batch(batch);
-    ingested_.fetch_add(report.added, std::memory_order_relaxed);
-    dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
-  } catch (...) {
-    std::lock_guard lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+  bool journaled_ok = true;
+  const std::uint64_t journal_mark = journal_ ? journal_->bytes() : 0;
+  if (journal_) {
+    // Write-ahead: the journal record lands (fsynced per the group-commit
+    // policy) before the batch mutates any state, so recovery can never
+    // be missing an applied batch.
+    try {
+      journal_->append_batch(batch);
+    } catch (...) {
+      journaled_ok = false;
+      {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // The append may have failed *after* the frame landed (group-commit
+      // fsync error): since the batch will be dropped, the record must go
+      // too, or recovery would replay a batch this run never applied.
+      try {
+        journal_->rollback_to(journal_mark);
+      } catch (...) {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+  if (journaled_ok) {
+    try {
+      const auto report = clusterer_.push_batch(batch);
+      ingested_.fetch_add(report.added, std::memory_order_relaxed);
+      dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // The record was journaled but the batch was never applied: remove
+      // it again, or replay would resurrect a batch this service dropped
+      // (and a deterministic apply failure would brick every recovery).
+      if (journal_) {
+        try {
+          journal_->rollback_to(journal_mark);
+        } catch (...) {
+          std::lock_guard lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+    }
+  } else {
+    // An unjournaled batch must not be applied (recovery would silently
+    // miss it); it is dropped and the journal error surfaces on drain().
+    dropped_.fetch_add(submitted, std::memory_order_relaxed);
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
-  publish(/*all=*/false);
+  // Coalesced republish: rebuild views every publish_every-th batch, and
+  // always when the queue just ran dry (an idle shard's view is current).
+  ++pending_publishes_;
+  if (pending_publishes_ >= publish_every_ || queue_.size() == 0) {
+    publish(/*all=*/false);
+  }
 }
 
-void shard::run_exclusive(const std::function<void(core::incremental_clusterer&)>& fn,
-                          bool republish) {
+void shard::run_on_writer(std::function<void()> fn) {
   auto done = std::make_shared<std::promise<void>>();
   auto future = done->get_future();
-  const bool accepted = queue_.push([this, fn, done, republish] {
+  const bool accepted = queue_.push([fn = std::move(fn), done] {
     try {
-      fn(clusterer_);
-      if (republish) publish(/*all=*/true);
+      fn();
       done->set_value();
     } catch (...) {
-      // Publish anyway: fn may have partially mutated nothing (import
-      // validates first), but republishing a consistent state is cheap
-      // and keeps views honest if it did.
-      if (republish) publish(/*all=*/true);
       done->set_exception(std::current_exception());
     }
   });
   if (!accepted) throw spechd::error("shard " + std::to_string(id_) + " is shut down");
   future.get();
+}
+
+void shard::run_exclusive(const std::function<void(core::incremental_clusterer&)>& fn,
+                          bool republish) {
+  run_on_writer([this, &fn, republish] {
+    std::exception_ptr error;
+    try {
+      fn(clusterer_);
+    } catch (...) {
+      // Publish anyway: fn may have partially mutated nothing (import
+      // validates first), but republishing a consistent state is cheap
+      // and keeps views honest if it did.
+      error = std::current_exception();
+    }
+    if (republish) {
+      publish(/*all=*/true);
+    } else {
+      flush_publish();
+    }
+    if (journal_) {
+      // Exclusive sections double as durability barriers (drain, export).
+      try {
+        journal_->sync();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  });
 }
 
 void shard::drain() {
@@ -86,6 +169,33 @@ void shard::drain() {
     first_error_ = nullptr;
     std::rethrow_exception(error);
   }
+}
+
+bool shard::maintain(bool only_if_idle) {
+  if (only_if_idle) {
+    if (queue_.size() != 0) return false;
+    if (view_.load()->dirty_buckets == 0) return false;
+  }
+  auto job = [this] {
+    // Re-check on the writer thread: a drain/recluster may have raced the
+    // poll. Skipping writes no journal record, so replay stays exact.
+    if (clusterer_.dirty_bucket_count() == 0) return;
+    if (journal_) journal_->append_recluster();
+    clusterer_.rebuild_dirty_buckets();
+    publish(/*all=*/true);
+  };
+  return only_if_idle ? queue_.try_push(std::move(job)) : queue_.push(std::move(job));
+}
+
+core::clusterer_state shard::export_and_rotate_journal(const journal_head& head,
+                                                       const journal_file_header& header) {
+  SPECHD_EXPECTS(journal_ != nullptr);
+  core::clusterer_state state;
+  run_on_writer([this, &state, &head, &header] {
+    state = clusterer_.export_state();
+    journal_->rotate(head, header);
+  });
+  return state;
 }
 
 void shard::publish(bool all) {
@@ -100,7 +210,9 @@ void shard::publish(bool all) {
     next->buckets = previous->buckets;  // shared_ptr copies: O(buckets)
   }
 
+  std::size_t dirty = 0;
   clusterer_.for_each_bucket([&](const core::incremental_clusterer::bucket_ref& bucket) {
+    dirty += bucket.dirty ? 1 : 0;
     const auto shape = std::make_pair(bucket.members.size(), bucket.cluster_count);
     auto [it, inserted] = published_shape_.try_emplace(bucket.key, shape);
     if (!all && !inserted && it->second == shape) return;  // untouched since last publish
@@ -148,8 +260,14 @@ void shard::publish(bool all) {
 
   next->record_count = clusterer_.size();
   next->cluster_count = clusterer_.cluster_count();
+  next->dirty_buckets = dirty;
   next->epoch = ++epoch_;
   view_.store(std::move(next));
+  pending_publishes_ = 0;
+}
+
+void shard::flush_publish() {
+  if (pending_publishes_ > 0) publish(/*all=*/false);
 }
 
 query_result shard::query(const hdc::hypervector& hv, std::int64_t bucket_key,
@@ -231,7 +349,10 @@ shard_stats shard::stats() const {
   const auto view = view_.load();
   s.record_count = view->record_count;
   s.cluster_count = view->cluster_count;
+  s.dirty_buckets = view->dirty_buckets;
   s.view_epoch = view->epoch;
+  s.journal_bytes = journal_bytes();
+  s.journal_records = journal_records();
   return s;
 }
 

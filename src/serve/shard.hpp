@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/incremental.hpp"
+#include "serve/journal.hpp"
 #include "util/mpsc_queue.hpp"
 #include "util/rcu_ptr.hpp"
 
@@ -57,6 +58,9 @@ struct shard_view {
   std::map<std::int64_t, std::shared_ptr<const bucket_view>> buckets;
   std::size_t record_count = 0;
   std::size_t cluster_count = 0;
+  /// Buckets awaiting a recluster (ingestion marked them dirty); the
+  /// maintenance scheduler polls this to find shards worth reclustering.
+  std::size_t dirty_buckets = 0;
   std::uint64_t epoch = 0;  ///< strictly increasing per publish
 };
 
@@ -81,15 +85,22 @@ struct shard_stats {
   std::size_t queue_depth = 0;    ///< jobs currently waiting
   std::size_t record_count = 0;   ///< records in the published view
   std::size_t cluster_count = 0;  ///< clusters in the published view
+  std::size_t dirty_buckets = 0;  ///< dirty buckets in the published view
   std::uint64_t view_epoch = 0;
+  std::uint64_t journal_bytes = 0;    ///< current journal file size (0: unjournaled)
+  std::uint64_t journal_records = 0;  ///< records in the current journal file
 };
 
 class shard {
 public:
   /// Starts the writer thread. `config.threads` sizes the clusterer's
   /// internal pool (the service passes 1: parallelism comes from shards).
+  /// `publish_every` coalesces view republishing: views are rebuilt after
+  /// every `publish_every`-th applied batch *and* whenever the ingest
+  /// queue runs empty, so an idle or drained shard always publishes its
+  /// latest state while a backlogged shard skips per-tiny-batch rebuilds.
   shard(std::size_t id, const core::spechd_config& config, core::assign_mode mode,
-        std::size_t queue_capacity);
+        std::size_t queue_capacity, std::size_t publish_every = 1);
 
   /// Closes the queue, drains remaining jobs, joins the writer.
   ~shard();
@@ -104,7 +115,10 @@ public:
   bool enqueue(std::vector<ms::spectrum> batch);
 
   /// Waits until every previously enqueued job has been applied and its
-  /// view published, then rethrows the first ingest error if any occurred.
+  /// view published (coalesced republishes are flushed, so after drain()
+  /// the view reflects every applied batch) and the journal — when one is
+  /// attached — is fsynced past every applied record; then rethrows the
+  /// first ingest error if any occurred.
   void drain();
 
   /// Runs `fn` on the writer thread after all earlier jobs (so it sees a
@@ -112,10 +126,49 @@ public:
   /// until done; rethrows fn's exception. Snapshot export/import and
   /// maintenance reclustering use this instead of external locking.
   /// `republish` (default) rebuilds *all* bucket views afterwards — pass
-  /// false only when fn is read-only (views are already current: every
-  /// ingest job published on completion).
+  /// false only when fn is read-only; coalesced ingest republishes are
+  /// still flushed then, so the view is current either way.
   void run_exclusive(const std::function<void(core::incremental_clusterer&)>& fn,
                      bool republish = true);
+
+  /// Hands this shard its write-ahead journal. Must be called before any
+  /// batch is enqueued (the service attaches journals during
+  /// construction/recovery); the pointer is then stable for the shard's
+  /// lifetime — the queue's mutex publishes it to the writer thread.
+  /// Every subsequently applied batch is journaled *before* it is applied
+  /// (a batch whose journal append fails is dropped and the error
+  /// rethrown by the next drain()), and drain() additionally fsyncs the
+  /// journal, making it a durability barrier.
+  void attach_journal(std::unique_ptr<journal_writer> journal);
+
+  bool journaled() const noexcept { return journal_ != nullptr; }
+  std::uint64_t journal_bytes() const noexcept {
+    return journal_ ? journal_->bytes() : 0;
+  }
+  std::uint64_t journal_records() const noexcept {
+    return journal_ ? journal_->records() : 0;
+  }
+  std::uint64_t journal_generation() const noexcept {
+    return journal_ ? journal_->generation() : 0;
+  }
+
+  /// Maintenance recluster: runs rebuild_dirty_buckets on the writer
+  /// thread (journaled as a recluster record first, so recovery replays
+  /// it at the same stream position) and republishes all views. With
+  /// `only_if_idle` the job is skipped — returning false — unless the
+  /// ingest queue is empty and the published view shows dirty buckets
+  /// (the scheduler's cheap poll); without it the job is enqueued
+  /// unconditionally (deterministic trigger for tests/CLI). Either way
+  /// the job itself re-checks dirtiness on the writer thread and becomes
+  /// a no-op (no journal record) when nothing is dirty by then.
+  bool maintain(bool only_if_idle);
+
+  /// Compaction step: on the writer thread, exports the clusterer state
+  /// and atomically rotates the journal to `head`/`header` — so the new
+  /// journal file holds exactly the records applied after the returned
+  /// state. Precondition: a journal is attached.
+  core::clusterer_state export_and_rotate_journal(const journal_head& head,
+                                                  const journal_file_header& header);
 
   /// Current published view (never null; empty before first ingest).
   std::shared_ptr<const shard_view> view() const { return view_.load(); }
@@ -134,15 +187,24 @@ public:
 private:
   void writer_loop();
   void apply_batch(std::vector<ms::spectrum> batch);
+  /// Runs `fn` on the writer thread after all earlier jobs; blocks until
+  /// done and rethrows fn's exception (the plumbing under run_exclusive,
+  /// attach/rotate, and drain).
+  void run_on_writer(std::function<void()> fn);
   /// Rebuilds and publishes views; `all` forces every bucket (labels may
   /// have changed), otherwise only buckets whose shape grew are rebuilt.
   void publish(bool all);
+  /// Publishes now if republishing was coalesced (writer thread only).
+  void flush_publish();
 
   std::size_t id_;
   core::assign_mode mode_;
+  std::size_t publish_every_;
   core::incremental_clusterer clusterer_;  ///< writer-thread-owned
+  std::unique_ptr<journal_writer> journal_;  ///< writer-thread-owned after attach
   mpsc_queue<std::function<void()>> queue_;
   rcu_ptr<shard_view> view_;
+  std::size_t pending_publishes_ = 0;  ///< batches since last publish (writer-thread-only)
   /// (member count, cluster count) per bucket at the last publish; lets
   /// ingest-only publishes skip untouched buckets. Writer-thread-only.
   std::map<std::int64_t, std::pair<std::size_t, std::int32_t>> published_shape_;

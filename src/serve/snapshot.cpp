@@ -33,7 +33,9 @@ T get(std::istream& in, const std::string& source) {
   return v;
 }
 
-void write_identity(std::ostream& out, const snapshot_identity& id) {
+}  // namespace
+
+void write_snapshot_identity(std::ostream& out, const snapshot_identity& id) {
   put(out, id.dim);
   put(out, id.encoder_seed);
   put(out, id.distance_threshold);
@@ -44,7 +46,7 @@ void write_identity(std::ostream& out, const snapshot_identity& id) {
   put(out, id.config_digest);
 }
 
-snapshot_identity read_identity(std::istream& in, const std::string& source) {
+snapshot_identity read_snapshot_identity(std::istream& in, const std::string& source) {
   snapshot_identity id;
   id.dim = get<std::uint32_t>(in, source);
   id.encoder_seed = get<std::uint64_t>(in, source);
@@ -56,6 +58,8 @@ snapshot_identity read_identity(std::istream& in, const std::string& source) {
   id.config_digest = get<std::uint32_t>(in, source);
   return id;
 }
+
+namespace {
 
 void write_shard_state(std::ostream& out, const core::clusterer_state& state) {
   state.store.save(out);
@@ -159,7 +163,7 @@ void write_snapshot(std::ostream& out, const snapshot_identity& identity,
                     const std::vector<core::clusterer_state>& shards) {
   SPECHD_EXPECTS(identity.shard_count == shards.size());
   std::ostringstream payload_stream(std::ios::binary);
-  write_identity(payload_stream, identity);
+  write_snapshot_identity(payload_stream, identity);
   for (const auto& state : shards) write_shard_state(payload_stream, state);
   const std::string payload = payload_stream.str();
 
@@ -182,7 +186,7 @@ snapshot_data read_snapshot(std::istream& in, const std::string& source_name) {
   const std::string payload = read_verified_payload(in, source_name);
   std::istringstream body(payload, std::ios::binary);
   snapshot_data data;
-  data.identity = read_identity(body, source_name);
+  data.identity = read_snapshot_identity(body, source_name);
   data.shards.reserve(data.identity.shard_count);
   for (std::uint32_t s = 0; s < data.identity.shard_count; ++s) {
     data.shards.push_back(read_shard_state(body, source_name));
@@ -206,7 +210,7 @@ snapshot_identity read_snapshot_identity_file(const std::string& path) {
   if (!in) throw io_error("cannot open snapshot file: " + path);
   const std::string payload = read_verified_payload(in, path);
   std::istringstream body(payload, std::ios::binary);
-  return read_identity(body, path);
+  return read_snapshot_identity(body, path);
 }
 
 std::string canonical_state(const std::vector<core::clusterer_state>& shards,

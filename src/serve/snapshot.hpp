@@ -56,6 +56,12 @@ struct snapshot_identity {
   friend bool operator==(const snapshot_identity&, const snapshot_identity&) = default;
 };
 
+/// Serialises / parses the identity block alone (the journal's file header
+/// embeds the same block so a `.sphjrnl` can be validated against the
+/// service that would replay it).
+void write_snapshot_identity(std::ostream& out, const snapshot_identity& identity);
+snapshot_identity read_snapshot_identity(std::istream& in, const std::string& source);
+
 /// CRC-32 over every pipeline knob that affects encoding or assignment
 /// beyond the fields snapshot_identity stores explicitly: filter, peak
 /// selector (top-k/window), normalisation, quantisation window/bins,

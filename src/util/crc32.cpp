@@ -6,27 +6,60 @@ namespace spechd {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] is the CRC of byte b followed by k zero bytes, letting the
+/// hot loop fold 8 input bytes per iteration (~6-8x the byte loop). The
+/// polynomial, bit order, and results are identical to the original
+/// byte-wise implementation — only throughput changes. This sits on the
+/// serving layer's ingest hot path now: every journaled batch is CRC
+/// framed before it is applied.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFU] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-constexpr auto k_table = make_table();
+constexpr auto k_tables = make_tables();
 
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) noexcept {
   const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint32_t c = crc ^ 0xFFFFFFFFU;
+
+  // Fold 8 bytes per iteration. The explicit little-endian byte
+  // composition matches the reflected polynomial's bit order on any host
+  // endianness (and compiles to one 32-bit load where that is native).
+  const auto load_le32 = [](const unsigned char* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  };
+  while (len >= 8) {
+    std::uint32_t lo = load_le32(bytes) ^ c;
+    const std::uint32_t hi = load_le32(bytes + 4);
+    c = k_tables[7][lo & 0xFFU] ^ k_tables[6][(lo >> 8) & 0xFFU] ^
+        k_tables[5][(lo >> 16) & 0xFFU] ^ k_tables[4][lo >> 24] ^
+        k_tables[3][hi & 0xFFU] ^ k_tables[2][(hi >> 8) & 0xFFU] ^
+        k_tables[1][(hi >> 16) & 0xFFU] ^ k_tables[0][hi >> 24];
+    bytes += 8;
+    len -= 8;
+  }
   for (std::size_t i = 0; i < len; ++i) {
-    c = k_table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
+    c = k_tables[0][(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFU;
 }

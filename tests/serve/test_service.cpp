@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <map>
 #include <thread>
 #include <vector>
@@ -239,6 +240,87 @@ TEST(ClusteringService, ConcurrentIngestAndQueryIsSafe) {
   for (const auto& shard_stat : stats.shards) {
     EXPECT_GT(shard_stat.view_epoch, 0U);
   }
+}
+
+// Query-visibility semantics under publish coalescing, pinned:
+//  * publish_every = 1 (default): one view epoch per applied batch;
+//  * publish_every = N: while a backlog exists, views republish only
+//    every N-th batch — but a batch applied with an *empty* queue always
+//    publishes, so an idle shard's view is current;
+//  * drain() always flushes: after drain, the view reflects every
+//    applied batch regardless of N.
+TEST(ClusteringService, PublishEveryCoalescesViewRepublish) {
+  const auto stream = sample_stream(12, 7);
+  const auto config = small_config();
+  const auto batch_of = [&](std::size_t i) {
+    return std::vector<ms::spectrum>{stream.begin() + static_cast<std::ptrdiff_t>(i * 8),
+                                     stream.begin() + static_cast<std::ptrdiff_t>(i * 8 + 8)};
+  };
+
+  for (const auto& [publish_every, expected_epochs] :
+       std::vector<std::pair<std::size_t, std::uint64_t>>{{1, 3}, {3, 1}, {100, 1}}) {
+    SCOPED_TRACE("publish_every=" + std::to_string(publish_every));
+    shard sh(0, config, core::assign_mode::complete_linkage, /*queue_capacity=*/8,
+             publish_every);
+
+    // Park the writer on a blocking job so three batches pile up behind
+    // it — the coalescing decision then sees a non-empty queue
+    // deterministically (batch 1 and 2) and an empty one for batch 3.
+    std::promise<void> release;
+    std::atomic<bool> started{false};
+    auto release_future = release.get_future().share();
+    std::thread blocker([&] {
+      sh.run_exclusive(
+          [&](core::incremental_clusterer&) {
+            started = true;
+            release_future.wait();
+          },
+          /*republish=*/false);
+    });
+    while (!started) std::this_thread::yield();
+
+    for (std::size_t b = 0; b < 3; ++b) sh.enqueue(batch_of(b));
+    const auto epoch_before = sh.view()->epoch;
+    release.set_value();
+    blocker.join();
+    sh.drain();
+
+    // publish_every=1 → every batch published; 3 → exactly the third
+    // (threshold); 100 → only the queue-empty flush on the third.
+    EXPECT_EQ(sh.view()->epoch - epoch_before, expected_epochs);
+    // Whatever the cadence, after drain the view is complete.
+    EXPECT_EQ(sh.view()->record_count, sh.stats().ingested);
+    EXPECT_GT(sh.view()->record_count, 0U);
+  }
+}
+
+TEST(ClusteringService, DrainFlushesCoalescedPublishes) {
+  // Service-level guarantee: with a large publish_every, drain() still
+  // leaves views reflecting every ingested spectrum (flush on drain).
+  const auto stream = sample_stream(16, 19);
+  serve_config sc;
+  sc.pipeline = small_config();
+  sc.shards = 2;
+  sc.publish_every = 1000;
+  clustering_service service(sc);
+  for (std::size_t offset = 0; offset < stream.size(); offset += 8) {
+    const auto end = std::min(offset + 8, stream.size());
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                    stream.begin() + static_cast<std::ptrdiff_t>(end)});
+  }
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.record_count, stats.ingested);
+  EXPECT_GT(stats.record_count, 0U);
+
+  // And queries see the drained state (same count as an always-publish
+  // service would report).
+  std::size_t hits = 0;
+  for (const auto& s : stream) {
+    const auto r = service.query(s);
+    if (r.encodable) hits += r.nearest_member == 0.0 ? 1 : 0;
+  }
+  EXPECT_EQ(hits, stats.record_count);
 }
 
 TEST(ClusteringService, StatsAggregateShards) {

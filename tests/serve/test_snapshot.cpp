@@ -352,5 +352,66 @@ TEST(Snapshot, EmptyServiceRoundTrips) {
   EXPECT_EQ(restored.stats().record_count, 0U);
 }
 
+TEST(Snapshot, EmptyServiceRestoresAcrossShardCountsAndStaysUsable) {
+  // Zero buckets exercises the re-routing restore path with nothing to
+  // route; the restored service must then ingest exactly like a fresh one.
+  const auto stream = sample_stream();
+  temp_path snap("empty_reshard");
+  {
+    clustering_service empty(make_serve_config(4));
+    empty.snapshot_file(snap.path);
+  }
+  clustering_service restored(make_serve_config(2));
+  restored.restore_file(snap.path);
+  EXPECT_EQ(restored.stats().record_count, 0U);
+  ingest_in_batches(restored, stream, 0, stream.size());
+
+  clustering_service fresh(make_serve_config(2));
+  ingest_in_batches(fresh, stream, 0, stream.size());
+  EXPECT_EQ(canonical_state(restored.export_states()),
+            canonical_state(fresh.export_states()));
+}
+
+TEST(Snapshot, RestoreOntoMoreShardsThanBuckets) {
+  // A narrow dataset (one peptide class) occupies only a handful of
+  // precursor buckets; restoring onto far more shards than buckets must
+  // leave some shards empty yet reproduce the exact per-bucket state and
+  // resume bit-identically to an uninterrupted wide service.
+  ms::synthetic_config narrow;
+  narrow.peptide_count = 1;
+  narrow.spectra_per_peptide_mean = 24.0;
+  narrow.noise_peaks_per_spectrum = 20.0;
+  narrow.seed = 5;
+  const auto stream = ms::generate_dataset(narrow).spectra;
+  const std::size_t split = stream.size() / 2;
+
+  temp_path snap("fewbuckets");
+  std::size_t buckets = 0;
+  {
+    clustering_service source(make_serve_config(2));
+    ingest_in_batches(source, stream, 0, split);
+    source.snapshot_file(snap.path);
+    for (const auto& state : source.export_states()) buckets += state.buckets.size();
+    ASSERT_GT(buckets, 0U);
+  }
+  const std::size_t wide = buckets + 4;  // strictly more shards than buckets
+
+  clustering_service uninterrupted(make_serve_config(wide));
+  ingest_in_batches(uninterrupted, stream, 0, stream.size());
+  const auto golden =
+      canonical_state(uninterrupted.export_states(), /*include_scan=*/false);
+
+  clustering_service restored(make_serve_config(wide));
+  restored.restore_file(snap.path);
+  std::size_t empty_shards = 0;
+  for (const auto& shard_stat : restored.stats().shards) {
+    empty_shards += shard_stat.record_count == 0 ? 1 : 0;
+  }
+  EXPECT_GT(empty_shards, 0U) << "expected some of the " << wide
+                              << " shards to hold none of the " << buckets << " buckets";
+  ingest_in_batches(restored, stream, split, stream.size());
+  EXPECT_EQ(canonical_state(restored.export_states(), /*include_scan=*/false), golden);
+}
+
 }  // namespace
 }  // namespace spechd::serve

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #ifdef SPECHD_CLI_PATH
@@ -77,6 +78,62 @@ TEST(Cli, ServeRequiresWork) {
   const auto r = run_cli("serve");
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("nothing to do"), std::string::npos);
+}
+
+TEST(Cli, ServeRestoreMissingSnapshotFailsWithDiagnostic) {
+  const auto r = run_cli("serve --restore /nonexistent/state.sphsnap --query x.mgf");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot restore from"), std::string::npos);
+}
+
+TEST(Cli, ServeRestoreCorruptSnapshotFailsWithDiagnostic) {
+  const std::string snap = temp_file("corrupt.sphsnap");
+  std::ofstream(snap, std::ios::binary) << "this is not a snapshot";
+  const auto r = run_cli("serve --restore " + snap + " --query x.mgf");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot restore from"), std::string::npos);
+  std::remove(snap.c_str());
+}
+
+TEST(Cli, RecoverMissingDirFailsWithDiagnostic) {
+  const auto r = run_cli("recover --journal-dir /nonexistent/journal");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("no journal state found"), std::string::npos);
+}
+
+TEST(Cli, RecoverRequiresJournalDir) {
+  const auto r = run_cli("recover");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing --journal-dir"), std::string::npos);
+}
+
+TEST(Cli, JournaledServeThenRecoverRoundTrip) {
+  const std::string mgf = temp_file("jdata.mgf");
+  const std::string dir = temp_file("jdir");
+  std::filesystem::remove_all(dir);
+
+  const auto synth = run_cli("synth -o " + mgf + " --peptides 12 --seed 21");
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+
+  const auto serve =
+      run_cli("serve --shards 2 --batch 16 --journal-dir " + dir + " --ingest " + mgf);
+  EXPECT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("journal:"), std::string::npos);
+
+  const auto recover = run_cli("recover --journal-dir " + dir + " --query " + mgf);
+  EXPECT_EQ(recover.exit_code, 0) << recover.output;
+  EXPECT_NE(recover.output.find("recovered"), std::string::npos);
+  EXPECT_NE(recover.output.find("batches replayed"), std::string::npos);
+  EXPECT_NE(recover.output.find("latency p99"), std::string::npos);
+
+  // Resume without repeating the original flags: the journal identity
+  // (including the shard count) is adopted from the directory.
+  const auto resume = run_cli("serve --journal-dir " + dir + " --ingest " + mgf);
+  EXPECT_EQ(resume.exit_code, 0) << resume.output;
+  EXPECT_NE(resume.output.find("recovered"), std::string::npos);
+
+  std::remove(mgf.c_str());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, ServeIngestQuerySnapshotRestoreRoundTrip) {

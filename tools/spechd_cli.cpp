@@ -6,7 +6,11 @@
 //   encode   preprocess + encode spectra into a hypervector store (.sphv)
 //   cluster  cluster a spectra file or .sphv store; write consensus MGF
 //   serve    run the sharded clustering service: ingest files, answer a
-//            query workload, snapshot/restore service state (.sphsnap)
+//            query workload, snapshot/restore service state (.sphsnap);
+//            --journal-dir enables write-ahead journaling + crash recovery
+//   recover  rebuild service state from a journal directory (newest
+//            snapshot + journal replay, truncating a torn tail), report
+//            what was replayed, optionally re-query / export a snapshot
 //   model    print modelled FPGA runtime/energy for the paper datasets
 //   help     print usage
 //
@@ -122,7 +126,10 @@ void print_usage(std::ostream& out) {
       "                 [--float] [--threads N]\n"
       "  spechd serve   [--shards N] [--batch B] [--queue N] [--threads N]\n"
       "                 [-t threshold] [--restore in.sphsnap]\n"
+      "                 [--journal-dir DIR] [--publish-every N]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
+      "                 [--snapshot out.sphsnap]\n"
+      "  spechd recover --journal-dir DIR [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
       "  spechd model [--overlap]\n"
       "  spechd help\n";
@@ -307,15 +314,102 @@ int cmd_cluster(arg_list& args) {
   return 0;
 }
 
+/// Configures a service from a snapshot/journal identity block (the
+/// single source of truth for `serve --restore`, `serve --journal-dir`
+/// resume, and `recover` — per-flag overrides stay at the call sites).
+void apply_identity(serve::serve_config& config, const serve::snapshot_identity& id) {
+  config.pipeline.encoder.dim = id.dim;
+  config.pipeline.encoder.seed = id.encoder_seed;
+  config.pipeline.distance_threshold = id.distance_threshold;
+  config.pipeline.preprocess.bucketing.resolution = id.bucket_resolution;
+  config.pipeline.preprocess.bucketing.fallback_charge = id.fallback_charge;
+  config.mode = static_cast<core::assign_mode>(id.assign_mode);
+}
+
+/// The serve/recover query workload: per-query latency + match summary.
+void run_query_workload(serve::clustering_service& service, const std::string& query_file) {
+  using clock = std::chrono::steady_clock;
+  const auto queries = read_any(query_file);
+  std::size_t matched = 0;
+  std::size_t unencodable = 0;
+  double matched_distance = 0.0;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size());
+  for (const auto& q : queries) {
+    const auto start = clock::now();
+    const auto r = service.query(q);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - start).count());
+    if (!r.encodable) {
+      ++unencodable;
+    } else if (r.matched) {
+      ++matched;
+      matched_distance += r.distance;
+    }
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  text_table table("query workload: " + query_file);
+  table.set_header({"metric", "value"});
+  table.add_row({"queries", text_table::num(queries.size())});
+  table.add_row({"matched", text_table::num(matched)});
+  table.add_row({"unmatched", text_table::num(queries.size() - matched - unencodable)});
+  table.add_row({"unencodable", text_table::num(unencodable)});
+  table.add_row({"mean matched distance",
+                 text_table::num(matched > 0 ? matched_distance / static_cast<double>(matched)
+                                             : 0.0,
+                                 4)});
+  table.add_row({"latency p50 (us)", text_table::num(percentile_sorted(latencies_us, 0.50), 1)});
+  table.add_row({"latency p90 (us)", text_table::num(percentile_sorted(latencies_us, 0.90), 1)});
+  table.add_row({"latency p99 (us)", text_table::num(percentile_sorted(latencies_us, 0.99), 1)});
+  table.print(std::cout);
+}
+
+/// Per-shard state table plus (when ground-truth labels exist) quality.
+void print_service_state(serve::clustering_service& service) {
+  const auto stats = service.stats();
+  text_table table("service state");
+  table.set_header({"shard", "records", "clusters", "batches", "view epoch"});
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const auto& sh = stats.shards[s];
+    table.add_row({text_table::num(s), text_table::num(sh.record_count),
+                   text_table::num(sh.cluster_count), text_table::num(sh.batches),
+                   text_table::num(sh.view_epoch)});
+  }
+  table.add_row({"total", text_table::num(stats.record_count),
+                 text_table::num(stats.cluster_count), text_table::num(stats.batches),
+                 ""});
+  table.print(std::cout);
+  if (stats.journal_bytes > 0) {
+    std::cout << "journal: " << stats.journal_records << " records, "
+              << stats.journal_bytes / 1024 << " KiB across " << stats.shards.size()
+              << " shard journals\n";
+  }
+
+  // Quality vs ground truth when the ingested spectra carried labels.
+  const auto store = service.to_store();
+  std::vector<std::int32_t> truth;
+  truth.reserve(store.size());
+  for (const auto& r : store.records()) truth.push_back(r.label);
+  if (std::any_of(truth.begin(), truth.end(), [](std::int32_t l) { return l >= 0; })) {
+    const auto q = metrics::evaluate_clustering(truth, service.clustering());
+    std::cout << "clustered ratio " << q.clustered_ratio << ", ICR " << q.incorrect_ratio
+              << ", completeness " << q.completeness << "\n";
+  }
+}
+
 int cmd_serve(arg_list& args) {
   serve::serve_config config;
   config.pipeline.threads = 1;  // per-shard pools; shards are the parallelism
   std::size_t batch_size = 256;
-  if (const auto v = args.take_option("--shards")) config.shards = std::stoul(*v);
+  const auto shards_flag = args.take_option("--shards");
+  if (shards_flag) config.shards = std::stoul(*shards_flag);
   if (const auto v = args.take_option("--queue")) config.queue_capacity = std::stoul(*v);
   if (const auto v = args.take_option("--batch")) batch_size = std::stoul(*v);
   if (const auto v = args.take_option("--threads")) config.pipeline.threads = std::stoul(*v);
-  if (const auto v = args.take_option("-t")) config.pipeline.distance_threshold = std::stod(*v);
+  const auto threshold_flag = args.take_option("-t");
+  if (threshold_flag) config.pipeline.distance_threshold = std::stod(*threshold_flag);
+  if (const auto v = args.take_option("--publish-every")) config.publish_every = std::stoul(*v);
+  if (const auto v = args.take_option("--journal-dir")) config.journal.dir = *v;
   const auto restore = args.take_option("--restore");
   const auto snapshot = args.take_option("--snapshot");
   const auto query_file = args.take_option("--query");
@@ -330,22 +424,72 @@ int cmd_serve(arg_list& args) {
     std::cerr << "serve: --batch must be >= 1\n";
     return 2;
   }
+  if (config.publish_every == 0) {
+    std::cerr << "serve: --publish-every must be >= 1\n";
+    return 2;
+  }
 
   if (restore) {
     // Configure from the snapshot's identity block so the restored service
-    // is exactly the one that wrote it (restore_file re-validates).
-    const auto id = serve::read_snapshot_identity_file(*restore);
-    config.pipeline.encoder.dim = id.dim;
-    config.pipeline.encoder.seed = id.encoder_seed;
-    config.pipeline.distance_threshold = id.distance_threshold;
-    config.pipeline.preprocess.bucketing.resolution = id.bucket_resolution;
-    config.pipeline.preprocess.bucketing.fallback_charge = id.fallback_charge;
-    config.mode = static_cast<core::assign_mode>(id.assign_mode);
+    // is exactly the one that wrote it (restore_file re-validates). A
+    // missing or corrupt snapshot is an operator-facing input error:
+    // diagnose and exit 2 rather than surfacing a raw exception.
+    try {
+      apply_identity(config, serve::read_snapshot_identity_file(*restore));
+    } catch (const spechd::error& e) {
+      std::cerr << "spechd serve: cannot restore from '" << *restore
+                << "': " << e.what() << "\n";
+      return 2;
+    }
   }
 
-  serve::clustering_service service(config);
+  if (!config.journal.dir.empty() && !restore) {
+    // Resume semantics: a non-fresh journal directory pins the identity
+    // the service must run with, so adopt it rather than demanding every
+    // original flag be repeated — explicitly passed flags still win (and
+    // recovery rejects them if they contradict the journal).
+    try {
+      if (const auto id = serve::probe_journal_dir(config.journal.dir)) {
+        const double threshold = config.pipeline.distance_threshold;
+        apply_identity(config, *id);
+        if (!shards_flag) config.shards = id->shard_count;
+        if (threshold_flag) config.pipeline.distance_threshold = threshold;
+      }
+    } catch (const spechd::error& e) {
+      std::cerr << "spechd serve: cannot recover journal dir '" << config.journal.dir
+                << "': " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // Constructing a journaled service recovers the directory's state; bad
+  // journal contents are input errors too.
+  std::optional<serve::clustering_service> service_storage;
+  try {
+    service_storage.emplace(config);
+  } catch (const spechd::error& e) {
+    if (config.journal.dir.empty()) throw;
+    std::cerr << "spechd serve: cannot recover journal dir '" << config.journal.dir
+              << "': " << e.what() << "\n";
+    return 2;
+  }
+  serve::clustering_service& service = *service_storage;
+  if (service.recovery().recovered) {
+    const auto& r = service.recovery();
+    std::cout << "recovered " << service.stats().record_count << " records from "
+              << config.journal.dir << " (" << r.batches_replayed
+              << " journaled batches replayed";
+    if (r.torn_bytes > 0) std::cout << ", " << r.torn_bytes << " torn bytes dropped";
+    std::cout << ")\n";
+  }
   if (restore) {
-    service.restore_file(*restore);
+    try {
+      service.restore_file(*restore);
+    } catch (const spechd::error& e) {
+      std::cerr << "spechd serve: cannot restore from '" << *restore
+                << "': " << e.what() << "\n";
+      return 2;
+    }
     const auto stats = service.stats();
     std::cout << "restored " << stats.record_count << " records in "
               << stats.cluster_count << " clusters from " << *restore << "\n";
@@ -368,41 +512,7 @@ int cmd_serve(arg_list& args) {
               << " spectra/s)\n";
   }
 
-  if (query_file) {
-    const auto queries = read_any(*query_file);
-    std::size_t matched = 0;
-    std::size_t unencodable = 0;
-    double matched_distance = 0.0;
-    std::vector<double> latencies_us;
-    latencies_us.reserve(queries.size());
-    for (const auto& q : queries) {
-      const auto start = clock::now();
-      const auto r = service.query(q);
-      latencies_us.push_back(
-          std::chrono::duration<double, std::micro>(clock::now() - start).count());
-      if (!r.encodable) {
-        ++unencodable;
-      } else if (r.matched) {
-        ++matched;
-        matched_distance += r.distance;
-      }
-    }
-    std::sort(latencies_us.begin(), latencies_us.end());
-    text_table table("query workload: " + *query_file);
-    table.set_header({"metric", "value"});
-    table.add_row({"queries", text_table::num(queries.size())});
-    table.add_row({"matched", text_table::num(matched)});
-    table.add_row({"unmatched", text_table::num(queries.size() - matched - unencodable)});
-    table.add_row({"unencodable", text_table::num(unencodable)});
-    table.add_row({"mean matched distance",
-                   text_table::num(matched > 0 ? matched_distance / static_cast<double>(matched)
-                                               : 0.0,
-                                   4)});
-    table.add_row({"latency p50 (us)", text_table::num(percentile_sorted(latencies_us, 0.50), 1)});
-    table.add_row({"latency p90 (us)", text_table::num(percentile_sorted(latencies_us, 0.90), 1)});
-    table.add_row({"latency p99 (us)", text_table::num(percentile_sorted(latencies_us, 0.99), 1)});
-    table.print(std::cout);
-  }
+  if (query_file) run_query_workload(service, *query_file);
 
   if (snapshot) {
     const auto start = clock::now();
@@ -413,30 +523,67 @@ int cmd_serve(arg_list& args) {
               << " s)\n";
   }
 
-  const auto stats = service.stats();
-  text_table table("service state");
-  table.set_header({"shard", "records", "clusters", "batches", "view epoch"});
-  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
-    const auto& sh = stats.shards[s];
-    table.add_row({text_table::num(s), text_table::num(sh.record_count),
-                   text_table::num(sh.cluster_count), text_table::num(sh.batches),
-                   text_table::num(sh.view_epoch)});
-  }
-  table.add_row({"total", text_table::num(stats.record_count),
-                 text_table::num(stats.cluster_count), text_table::num(stats.batches),
-                 ""});
-  table.print(std::cout);
+  print_service_state(service);
+  return 0;
+}
 
-  // Quality vs ground truth when the ingested spectra carried labels.
-  const auto store = service.to_store();
-  std::vector<std::int32_t> truth;
-  truth.reserve(store.size());
-  for (const auto& r : store.records()) truth.push_back(r.label);
-  if (std::any_of(truth.begin(), truth.end(), [](std::int32_t l) { return l >= 0; })) {
-    const auto q = metrics::evaluate_clustering(truth, service.clustering());
-    std::cout << "clustered ratio " << q.clustered_ratio << ", ICR " << q.incorrect_ratio
-              << ", completeness " << q.completeness << "\n";
+int cmd_recover(arg_list& args) {
+  const auto dir = args.take_option("--journal-dir");
+  const auto snapshot = args.take_option("--snapshot");
+  const auto query_file = args.take_option("--query");
+  if (const int rc = reject_leftovers(args, "recover", 0)) return rc;
+  if (!dir) {
+    std::cerr << "recover: missing --journal-dir\n";
+    return 2;
   }
+
+  serve::serve_config config;
+  config.pipeline.threads = 1;
+  config.journal.dir = *dir;
+  std::optional<serve::clustering_service> service_storage;
+  try {
+    // Configure from the directory's own identity block (like
+    // `serve --restore`), then let the service constructor replay
+    // snapshot + journals; the shard count must match the journals'.
+    const auto id = serve::probe_journal_dir(*dir);
+    if (!id) {
+      std::cerr << "spechd recover: no journal state found in '" << *dir << "'\n";
+      return 2;
+    }
+    apply_identity(config, *id);
+    config.shards = id->shard_count;
+    service_storage.emplace(config);
+  } catch (const spechd::error& e) {
+    std::cerr << "spechd recover: cannot recover from '" << *dir << "': " << e.what()
+              << "\n";
+    return 2;
+  }
+  serve::clustering_service& service = *service_storage;
+
+  const auto& report = service.recovery();
+  const auto stats = service.stats();
+  std::cout << "recovered " << stats.record_count << " records in "
+            << stats.cluster_count << " clusters from " << *dir << " in "
+            << report.seconds << " s\n"
+            << "  base snapshot: "
+            << (report.base_snapshot_generation
+                    ? "generation " + std::to_string(*report.base_snapshot_generation)
+                    : std::string("none (replayed from empty)"))
+            << "\n  journal files: " << report.journal_files << ", batches replayed: "
+            << report.batches_replayed << " (" << report.spectra_replayed
+            << " spectra), reclusters replayed: " << report.reclusters_replayed << "\n";
+  if (report.torn_bytes > 0) {
+    std::cout << "  torn tail: " << report.torn_bytes
+              << " bytes past the last complete record dropped\n";
+  }
+
+  if (query_file) run_query_workload(service, *query_file);
+  if (snapshot) {
+    service.snapshot_file(*snapshot);
+    std::cout << "snapshot written to " << *snapshot << " ("
+              << std::filesystem::file_size(*snapshot) / 1024 << " KiB)\n";
+  }
+  print_service_state(service);
   return 0;
 }
 
@@ -484,6 +631,7 @@ int main(int argc, char** argv) {
     if (command == "encode") return cmd_encode(args);
     if (command == "cluster") return cmd_cluster(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "recover") return cmd_recover(args);
     if (command == "model") return cmd_model(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage_error();
