@@ -1,7 +1,8 @@
 // Serving-path bench: sustained ingest throughput (journaled and
 // unjournaled), query latency percentiles (idle and under concurrent
-// ingest), snapshot round-trip time, crash-recovery replay time, and an
-// ingest/query thread-scaling sweep.
+// ingest), snapshot round-trip time, crash-recovery replay time, an
+// ingest/query thread-scaling sweep, and a fault phase (journaled ingest
+// under injected fsync latency/errors via the failpoint registry).
 //
 //   bench_serve [--threads=N] [--variant=V] [--n=SPECTRA] [--dim=D] [--json=PATH]
 //
@@ -24,6 +25,8 @@
 #include "bench_common.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -351,6 +354,119 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+
+  // --- phase 6: ingest under injected fsync faults --------------------------
+  // The failure-hardening cost model: journaled+fsync'd ingest measured
+  // disarmed (baseline), under injected fsync latency (a slow disk), and
+  // under intermittent injected fsync errors (a flaky disk) where each hit
+  // degrades a shard read-only and the bench runs the operator playbook —
+  // compact to heal, retry the rejected batch. Seeds are fixed so the
+  // fault pattern is part of the bench definition, not run-to-run noise.
+  {
+    auto fault_config = make_config(opts, threads);
+    fault_config.journal.dir = journal_dir;
+    fault_config.journal.fsync = true;
+    // fsync every append: group commit would amortise the site down to a
+    // handful of hits per run, and the phase is pricing the fsync path.
+    fault_config.journal.group_commit_records = 1;
+
+    util::registry().reset();
+    std::filesystem::remove_all(journal_dir);
+    double fault_baseline_seconds = 0.0;
+    {
+      serve::clustering_service svc(fault_config);
+      fault_baseline_seconds = ingest_all(svc, stream, batch);
+    }
+
+    const char* delay_spec = "journal.fsync=delay:1@p0.5";
+    std::filesystem::remove_all(journal_dir);
+    util::registry().seed(20260808);
+    util::registry().arm_from_spec(delay_spec);
+    double delay_seconds = 0.0;
+    {
+      serve::clustering_service svc(fault_config);
+      delay_seconds = ingest_all(svc, stream, batch);
+    }
+    util::registry().reset();
+
+    const char* error_spec = "journal.fsync=error:EIO@p0.05";
+    std::filesystem::remove_all(journal_dir);
+    util::registry().seed(20260808);
+    util::registry().arm_from_spec(error_spec);
+    std::size_t rejected_batches = 0;
+    std::size_t heal_compactions = 0;
+    double error_seconds = 0.0;
+    {
+      serve::clustering_service svc(fault_config);
+      const auto start = clock_type::now();
+      for (std::size_t offset = 0; offset < stream.size(); offset += batch) {
+        const auto end = std::min(offset + batch, stream.size());
+        const std::vector<ms::spectrum> slice(
+            stream.begin() + static_cast<std::ptrdiff_t>(offset),
+            stream.begin() + static_cast<std::ptrdiff_t>(end));
+        try {
+          svc.ingest(slice);
+          continue;
+        } catch (const spechd::error&) {
+          ++rejected_batches;
+        }
+        try {
+          svc.drain();
+        } catch (const spechd::error&) {
+        }
+        try {
+          svc.compact_journal();
+          ++heal_compactions;
+        } catch (const spechd::error&) {
+        }
+        try {
+          svc.ingest(slice);  // one retry after the heal; then move on
+        } catch (const spechd::error&) {
+          ++rejected_batches;
+        }
+      }
+      try {
+        svc.drain();
+      } catch (const spechd::error&) {
+      }
+      error_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
+    }
+    // Whatever the faults did, the directory must recover cleanly disarmed.
+    util::registry().reset();
+    std::size_t records_after_recovery = 0;
+    {
+      serve::clustering_service recovered(fault_config);
+      records_after_recovery = recovered.stats().record_count;
+    }
+    std::filesystem::remove_all(journal_dir);
+
+    const auto rate = [&](double s) {
+      return s > 0.0 ? static_cast<double>(stream.size()) / s : 0.0;
+    };
+    std::cout << "\nfault ingest (journaled, fsync): baseline " << rate(fault_baseline_seconds)
+              << " spectra/s; +fsync delay " << rate(delay_seconds) << " spectra/s; "
+              << "+fsync errors " << rate(error_seconds) << " spectra/s ("
+              << rejected_batches << " rejected batches, " << heal_compactions
+              << " heal compactions, " << records_after_recovery
+              << " records recovered)\n";
+    json.begin_object("fault_ingest");
+    json.field("shards", threads);
+    json.field("baseline_seconds", fault_baseline_seconds);
+    json.field("baseline_spectra_per_sec", rate(fault_baseline_seconds));
+    json.field("fsync_delay_spec", delay_spec);
+    json.field("fsync_delay_seconds", delay_seconds);
+    json.field("fsync_delay_spectra_per_sec", rate(delay_seconds));
+    json.field("fsync_delay_vs_baseline",
+               fault_baseline_seconds > 0.0 ? fault_baseline_seconds / delay_seconds : 0.0);
+    json.field("fsync_error_spec", error_spec);
+    json.field("fsync_error_seconds", error_seconds);
+    json.field("fsync_error_spectra_per_sec", rate(error_seconds));
+    json.field("rejected_batches", rejected_batches);
+    json.field("heal_compactions", heal_compactions);
+    json.field("records_after_recovery", records_after_recovery);
+    json.end_object();
+  }
+
   json.end_object();
 
   const std::string path = opts.json.empty() ? "BENCH_serve.json" : opts.json;

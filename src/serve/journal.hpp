@@ -19,11 +19,22 @@
 //             is rejected unless the replaying service matches exactly)
 //   records, each:
 //     u32 payload_bytes, u32 CRC-32(payload)
-//     payload: type u8 (1 = ingest batch, 2 = maintenance recluster),
+//     payload: type u8 (1 = ingest batch, 2 = maintenance recluster,
+//              3 = cross-shard commit),
 //              seq u64 (per shard, strictly increasing across generations),
-//              body (batch: the raw spectra as submitted — replay re-runs
-//              the same deterministic preprocess/encode/assign pipeline;
+//              body (batch: txn_id u64 + participants u32, then the raw
+//              spectra as submitted — replay re-runs the same deterministic
+//              preprocess/encode/assign pipeline; commit: txn_id u64;
 //              recluster: empty)
+//
+// Cross-shard atomicity: a multi-shard ingest batch (serve_config
+// ::atomic_ingest) journals each shard's slice as an ingest-batch record
+// tagged with a service-wide txn_id and the participant count, then the
+// coordinating shard appends one commit record. Recovery applies the
+// transaction's records only when the commit record *and* every
+// participant's data record survived — so a torn multi-shard batch
+// recovers all-or-nothing (see serve/recovery.hpp). txn_id 0 marks plain
+// single-shard records, which commit individually as before.
 //
 // Torn tails are expected (power loss mid-append): scanning stops at the
 // first record whose frame is truncated or whose CRC fails, reports the
@@ -96,9 +107,15 @@ struct journal_file_header {
 
 /// One parsed journal record.
 struct journal_record {
-  enum class kind : std::uint8_t { ingest_batch = 1, recluster = 2 };
+  enum class kind : std::uint8_t { ingest_batch = 1, recluster = 2, commit = 3 };
   kind type = kind::ingest_batch;
   std::uint64_t seq = 0;
+  /// Cross-shard transaction id (ingest_batch and commit records); 0 on a
+  /// plain single-shard batch.
+  std::uint64_t txn_id = 0;
+  /// How many shards hold a data record for this transaction
+  /// (ingest_batch records with txn_id != 0 only).
+  std::uint32_t participants = 0;
   std::vector<ms::spectrum> batch;  ///< ingest_batch only
 };
 
@@ -205,9 +222,18 @@ public:
   /// Appends one framed record, group-committing fsyncs per the config
   /// (record-count threshold or interval since the last sync, whichever
   /// trips first). Throws io_error on write failure — the shard must
-  /// then *not* apply the batch (write-ahead contract).
-  void append_batch(const std::vector<ms::spectrum>& batch);
+  /// then *not* apply the batch (write-ahead contract). A non-zero
+  /// `txn_id` tags the record as one slice of a cross-shard transaction
+  /// with `participants` data records; recovery applies it all-or-nothing
+  /// with its commit record.
+  void append_batch(const std::vector<ms::spectrum>& batch, std::uint64_t txn_id = 0,
+                    std::uint32_t participants = 0);
   void append_recluster();
+
+  /// Appends the commit record sealing cross-shard transaction `txn_id`
+  /// (coordinator shard only, after every participant's data record is
+  /// appended).
+  void append_commit(std::uint64_t txn_id);
 
   /// fsyncs now (no-op when config.fsync is false or nothing is pending).
   void sync();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <map>
 
 #include "util/error.hpp"
 
@@ -103,13 +104,21 @@ recovered_state recover_journal_dir(const std::string& dir,
     out.report.base_snapshot_generation = base_generation;
   }
 
+  // Pass 1: scan and validate every surviving journal file, and collect
+  // cross-shard transaction evidence — which txn ids have a commit record
+  // and which shards' data records are present. A transaction replays
+  // only when its commit *and* every declared participant's data record
+  // survived; anything less means the crash interrupted the transaction,
+  // and all-or-nothing demands it vanish everywhere.
+  std::vector<std::vector<journal_scan>> shard_scans(shards);
+  std::vector<std::vector<std::uint64_t>> shard_replay(shards);
+  struct txn_evidence {
+    std::uint32_t declared_participants = 0;
+    std::uint32_t data_records = 0;  ///< distinct shards (one slice per shard)
+    bool committed = false;
+  };
+  std::map<std::uint64_t, txn_evidence> txns;
   for (std::size_t s = 0; s < shards; ++s) {
-    // Replay through a standalone clusterer: exactly the code the live
-    // shard writer runs, so the rebuilt state cannot diverge from what an
-    // uninterrupted run would hold.
-    core::incremental_clusterer clusterer(pipeline, mode);
-    if (dir_state.snapshot_generation) clusterer.import_state(std::move(base[s]));
-
     // Only generations >= the snapshot base carry records the snapshot
     // does not already contain; older files are redundant leftovers. A
     // 0-byte file (crash between creation and header write) is provably
@@ -136,9 +145,6 @@ recovered_state recover_journal_dir(const std::string& dir,
       replay.pop_back();
     }
 
-    journal_head head;
-    head.path = journal_shard_path(dir, s, base_generation);
-    head.generation = base_generation;
     std::uint64_t last_seq = 0;
     bool any_records = false;
     for (std::size_t g = 0; g < replay.size(); ++g) {
@@ -163,17 +169,68 @@ recovered_state recover_journal_dir(const std::string& dir,
                               std::to_string(last_seq + 1) + ", found " +
                               std::to_string(scan.records.front().seq) + ")");
       }
+      for (const auto& record : scan.records) {
+        last_seq = record.seq;
+        any_records = true;
+        if (record.type == journal_record::kind::commit) {
+          txns[record.txn_id].committed = true;
+          out.report.max_txn_id = std::max(out.report.max_txn_id, record.txn_id);
+        } else if (record.type == journal_record::kind::ingest_batch &&
+                   record.txn_id != 0) {
+          auto& evidence = txns[record.txn_id];
+          ++evidence.data_records;  // per-shard journals: one slice per shard
+          evidence.declared_participants =
+              std::max(evidence.declared_participants, record.participants);
+          out.report.max_txn_id = std::max(out.report.max_txn_id, record.txn_id);
+        }
+      }
+      shard_scans[s].push_back(std::move(scan));
+    }
+    shard_replay[s] = std::move(replay);
+  }
+
+  // Pass 2: rebuild each shard's state from the validated scans.
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Replay through a standalone clusterer: exactly the code the live
+    // shard writer runs, so the rebuilt state cannot diverge from what an
+    // uninterrupted run would hold.
+    core::incremental_clusterer clusterer(pipeline, mode);
+    if (dir_state.snapshot_generation) clusterer.import_state(std::move(base[s]));
+
+    journal_head head;
+    head.path = journal_shard_path(dir, s, base_generation);
+    head.generation = base_generation;
+    std::uint64_t last_seq = 0;
+    bool any_records = false;
+    const auto& replay = shard_replay[s];
+    for (std::size_t g = 0; g < replay.size(); ++g) {
+      const auto gen = replay[g];
+      const auto path = journal_shard_path(dir, s, gen);
+      auto& scan = shard_scans[s][g];
+      const bool newest = g + 1 == replay.size();
       for (auto& record : scan.records) {
         last_seq = record.seq;
         any_records = true;
         if (record.type == journal_record::kind::ingest_batch) {
+          if (record.txn_id != 0) {
+            const auto& evidence = txns.at(record.txn_id);
+            if (!evidence.committed ||
+                evidence.data_records < evidence.declared_participants) {
+              // The transaction was interrupted before its commit record
+              // (or a peer's data record) became durable: skip the slice
+              // everywhere — all-or-nothing.
+              ++out.report.txn_batches_dropped;
+              continue;
+            }
+          }
           clusterer.push_batch(record.batch);
           ++out.report.batches_replayed;
           out.report.spectra_replayed += record.batch.size();
-        } else {
+        } else if (record.type == journal_record::kind::recluster) {
           clusterer.rebuild_dirty_buckets();
           ++out.report.reclusters_replayed;
         }
+        // commit records carry no state; pass 1 consumed them.
       }
       ++out.report.journal_files;
       out.report.recovered = true;

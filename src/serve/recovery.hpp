@@ -15,7 +15,15 @@
 //   3. tolerates a torn tail on a shard's *newest* journal by stopping at
 //      the last complete record (the writer truncates there when it
 //      reopens the file). A torn record in a non-newest journal means the
-//      directory's history has a hole and is refused.
+//      directory's history has a hole and is refused;
+//   4. applies cross-shard transactions all-or-nothing: replay happens in
+//      two passes — the first collects, across every shard's surviving
+//      generations, which transaction ids have a commit record and which
+//      shards' data records are present; the second replays, skipping any
+//      txn-tagged batch whose commit record or peer data records did not
+//      survive (a torn multi-shard batch thus vanishes everywhere instead
+//      of applying on some shards only). Plain records (txn_id 0) replay
+//      unconditionally, as before.
 //
 // The result is bit-identical to the state the service held when the
 // durable prefix was written — pinned by tests/serve/test_journal.cpp at
@@ -48,6 +56,13 @@ struct recovery_report {
   std::uint64_t reclusters_replayed = 0;
   /// Bytes past the last complete record of torn journals (dropped).
   std::uint64_t torn_bytes = 0;
+  /// Cross-shard transaction data records skipped because the commit
+  /// record or a peer shard's data record did not survive (the
+  /// all-or-nothing guarantee: the whole batch vanished, nowhere applied).
+  std::uint64_t txn_batches_dropped = 0;
+  /// Highest transaction id seen anywhere in the replayed journals; the
+  /// service continues numbering past it.
+  std::uint64_t max_txn_id = 0;
   double seconds = 0.0;
 };
 

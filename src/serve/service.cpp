@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "preprocess/pipeline.hpp"
+#include "util/failpoint.hpp"
+#include "util/io.hpp"
 
 namespace spechd::serve {
 
@@ -77,6 +79,10 @@ void clustering_service::attach_journal_dir() {
     remove_stale_generations(dir, *recovered.report.base_snapshot_generation);
   }
   if (created && config_.journal.fsync) fsync_dir(dir);
+  // Transaction ids must keep increasing across restarts: a reused id
+  // could pair a new commit record with a dead transaction's surviving
+  // data records.
+  next_txn_id_ = recovered.report.max_txn_id;
   recovery_ = recovered.report;
 }
 
@@ -97,6 +103,19 @@ void clustering_service::compact_journal() {
 }
 
 void clustering_service::compact_journal_locked() {
+  // Never rotate a failed shard: its journal may end in bytes a rollback
+  // could not remove, and rotation would freeze that tail into a
+  // non-final generation — which recovery must refuse as a hole in
+  // history, bricking the directory. (Degraded shards are fine: their
+  // journal still matches their applied state exactly, and compaction is
+  // precisely what reconciles — and heals — them.)
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->health() == shard_health::failed) {
+      throw spechd::error("cannot compact journal: shard " + std::to_string(s) +
+                          " is failed (" + shards_[s]->health_message() +
+                          "); restart the service to recover from the journal");
+    }
+  }
   // Base the new generation on the highest generation any shard actually
   // sits at, not just the last *completed* compaction: a compaction that
   // failed mid-rotation leaves some shards already on generation_+1, and
@@ -124,12 +143,22 @@ void clustering_service::compact_journal_locked() {
   }
   const auto final_path = journal_snapshot_path(config_.journal.dir, new_gen);
   const auto tmp_path = final_path + ".tmp";
+  // tmp + fsync + rename + dir-fsync, all through the checked-I/O layer:
+  // a failure at any point (ENOSPC, EIO, torn rename) leaves the previous
+  // snapshot and every rotated journal generation in place, so recovery
+  // still replays the directory exactly; the compaction itself reports
+  // the error and can be retried with a fresh generation number.
+  static util::failpoint fp_rename("snapshot.rename");
   write_snapshot_file(tmp_path, identity(), states);
   if (config_.journal.fsync) fsync_file(tmp_path);
-  std::filesystem::rename(tmp_path, final_path);
+  util::rename_file(tmp_path, final_path, fp_rename);
   if (config_.journal.fsync) fsync_dir(config_.journal.dir);
   generation_ = new_gen;
   remove_stale_generations(config_.journal.dir, new_gen);
+  // The new base snapshot captures each shard's applied state, so a shard
+  // that had dropped a batch (degraded, read-only) is reconciled: journal
+  // and durable state agree again. Heal it.
+  for (auto& s : shards_) s->heal_degraded();
 }
 
 bool clustering_service::maybe_compact_journal() {
@@ -157,19 +186,82 @@ std::size_t clustering_service::run_maintenance_now() {
   return accepted;
 }
 
+void clustering_service::throw_rejected(std::size_t shard) const {
+  const auto health = shards_[shard]->health();
+  std::string why = health == shard_health::healthy
+                        ? std::string("shut down")
+                        : std::string(shard_health_name(health)) + ": " +
+                              shards_[shard]->health_message();
+  throw spechd::error("shard " + std::to_string(shard) + " rejected ingest (" + why +
+                      ")");
+}
+
 void clustering_service::ingest(std::vector<ms::spectrum> spectra) {
   if (spectra.empty()) return;
   if (shards_.size() == 1) {
-    shards_[0]->enqueue(std::move(spectra));
+    if (!shards_[0]->enqueue(std::move(spectra))) throw_rejected(0);
     return;
   }
   std::vector<std::vector<ms::spectrum>> per_shard(shards_.size());
   for (auto& s : spectra) {
     per_shard[router_.shard_of(s)].push_back(std::move(s));
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (!per_shard[i].empty()) shards_[i]->enqueue(std::move(per_shard[i]));
+  if (config_.atomic_ingest && journaled()) {
+    std::size_t participants = 0;
+    for (const auto& slice : per_shard) participants += slice.empty() ? 0 : 1;
+    if (participants > 1) {
+      ingest_atomic(std::move(per_shard));
+      return;
+    }
   }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // A false return means the shard is shutting down or read-only
+    // (degraded/failed): surface it — silently dropping an accepted batch
+    // would diverge the service from its producers with no signal.
+    if (!per_shard[i].empty() && !shards_[i]->enqueue(std::move(per_shard[i]))) {
+      throw_rejected(i);
+    }
+  }
+}
+
+void clustering_service::ingest_atomic(std::vector<std::vector<ms::spectrum>> per_shard) {
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    if (!per_shard[i].empty()) targets.push_back(i);
+  }
+  // One transaction at a time: all of this transaction's jobs enter the
+  // shard queues before any later transaction's (see txn_mutex_ docs),
+  // which is what makes the writer-thread rendezvous deadlock-free.
+  std::lock_guard txn_lock(txn_mutex_);
+  const std::uint64_t txn_id = ++next_txn_id_;
+  auto barrier = std::make_shared<txn_barrier>(targets.size());
+  std::size_t enqueued = 0;
+  std::size_t rejected_shard = 0;
+  bool rejected = false;
+  for (const auto i : targets) {
+    // The coordinator is the lowest participating shard; it appends the
+    // commit record once every participant's data record landed.
+    if (!shards_[i]->enqueue_txn(std::move(per_shard[i]), txn_id, barrier,
+                                 /*coordinator=*/enqueued == 0)) {
+      rejected = true;
+      rejected_shard = i;
+      break;
+    }
+    ++enqueued;
+  }
+  if (!rejected) return;
+  // A shard refused its slice: the jobs already queued must not wait for
+  // arrivals that will never come, and the transaction must abort (no
+  // shard may apply). Shrink the rendezvous to the jobs actually queued
+  // and mark the abort before releasing them.
+  {
+    std::lock_guard lock(barrier->mutex);
+    barrier->aborted = true;
+    barrier->participants = enqueued;
+    if (enqueued == 0) barrier->commit_done = true;
+  }
+  barrier->cv.notify_all();
+  throw_rejected(rejected_shard);
 }
 
 void clustering_service::drain() {
@@ -202,6 +294,8 @@ service_stats clustering_service::stats() const {
     total.dirty_buckets += stats.dirty_buckets;
     total.journal_bytes += stats.journal_bytes;
     total.journal_records += stats.journal_records;
+    total.degraded_shards += stats.health == shard_health::degraded ? 1 : 0;
+    total.failed_shards += stats.health == shard_health::failed ? 1 : 0;
     total.shards.push_back(std::move(stats));
   }
   return total;

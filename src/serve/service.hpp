@@ -59,6 +59,15 @@ struct serve_config {
   journal_config journal;
   /// Background maintenance (idle-shard reclusters + journal compaction).
   maintenance_config maintenance;
+  /// Cross-shard atomic ingest (journaled services only): a batch whose
+  /// spectra span multiple shards is journaled as one transaction — each
+  /// shard's slice tagged with a txn id, sealed by a commit record on the
+  /// coordinating shard — so recovery applies it all-or-nothing instead
+  /// of possibly replaying only the shards whose records survived a
+  /// crash. Costs one barrier rendezvous across the participating writer
+  /// threads per multi-shard batch (single-shard batches are unaffected),
+  /// so it is off by default.
+  bool atomic_ingest = false;
 };
 
 /// Aggregate + per-shard counters.
@@ -72,6 +81,8 @@ struct service_stats {
   std::size_t dirty_buckets = 0;      ///< buckets awaiting a maintenance recluster
   std::uint64_t journal_bytes = 0;    ///< summed journal sizes (0: unjournaled)
   std::uint64_t journal_records = 0;  ///< summed journal record counts
+  std::size_t degraded_shards = 0;  ///< read-only shards (dropped a batch)
+  std::size_t failed_shards = 0;    ///< shards whose journal may exceed applied state
   std::vector<shard_stats> shards;
 };
 
@@ -95,6 +106,14 @@ public:
   /// producer threads, but per-bucket arrival order — and therefore the
   /// exact-equivalence guarantee — is only defined by a single producer
   /// (or producers feeding disjoint precursor ranges).
+  ///
+  /// Throws spechd::error — enqueuing nothing further, applying nothing
+  /// on the rejecting shard — when a target shard rejects the batch
+  /// because it is shutting down or has left healthy (degraded shards are
+  /// read-only); the message names the shard and why. With
+  /// `config.atomic_ingest`, a batch spanning several shards is journaled
+  /// as one transaction and recovers all-or-nothing; a rejection then
+  /// aborts the whole transaction (no shard applies its slice).
   void ingest(std::vector<ms::spectrum> spectra);
 
   /// Barrier: waits until everything enqueued before the call is applied
@@ -138,6 +157,13 @@ public:
   /// generations are deleted. Concurrent ingest/queries keep running; a
   /// crash at any point leaves a directory recovery still reads exactly.
   /// No-op when unjournaled. Serialised against itself.
+  ///
+  /// Failure handling: refuses (throws spechd::error) while any shard is
+  /// `failed` — such a shard's journal may end in un-rollback-able bytes,
+  /// and rotating it would strand that garbage in a non-final generation
+  /// recovery must refuse. A completed compaction *heals* `degraded`
+  /// shards back to healthy: the fresh generation captures exactly their
+  /// applied state, so the dropped batch is fully reconciled.
   void compact_journal();
 
   /// compact_journal() iff any shard's journal exceeds the configured
@@ -167,11 +193,22 @@ private:
   void compact_journal_locked();  ///< body of compact_journal; needs compact_mutex_
   journal_file_header shard_journal_header(std::size_t shard, std::uint64_t generation) const;
 
+  /// Enqueues a multi-shard batch as one atomic transaction (atomic_ingest
+  /// path of ingest()); `per_shard` holds the non-empty slices.
+  void ingest_atomic(std::vector<std::vector<ms::spectrum>> per_shard);
+  /// Throws the canonical rejection error for `shard` (names its health).
+  [[noreturn]] void throw_rejected(std::size_t shard) const;
+
   serve_config config_;
   shard_router router_;
   hdc::id_level_encoder encoder_;
   std::vector<std::unique_ptr<shard>> shards_;
   recovery_report recovery_;
+  /// Serialises cross-shard transactions: all of one transaction's jobs
+  /// are enqueued before any of the next's, which (with FIFO shard
+  /// queues) makes the writer-thread barrier rendezvous deadlock-free.
+  std::mutex txn_mutex_;
+  std::uint64_t next_txn_id_ = 0;  ///< guarded by txn_mutex_; seeded past recovery
   /// Highest journal generation in use; compaction bumps it. Guarded by
   /// compact_mutex_ (only compaction/restore mutate it after construction).
   std::uint64_t generation_ = 0;

@@ -9,6 +9,15 @@
 
 namespace spechd::serve {
 
+const char* shard_health_name(shard_health health) noexcept {
+  switch (health) {
+    case shard_health::healthy: return "healthy";
+    case shard_health::degraded: return "degraded";
+    case shard_health::failed: return "failed";
+  }
+  return "?";
+}
+
 shard::shard(std::size_t id, const core::spechd_config& config, core::assign_mode mode,
              std::size_t queue_capacity, std::size_t publish_every)
     : id_(id),
@@ -49,9 +58,49 @@ void shard::writer_loop() {
 
 bool shard::enqueue(std::vector<ms::spectrum> batch) {
   if (batch.empty()) return true;
+  // Degraded/failed shards are read-only: reject up front instead of
+  // queueing a batch the writer would have to drop.
+  if (health() != shard_health::healthy) return false;
   return queue_.push([this, batch = std::move(batch)]() mutable {
     apply_batch(std::move(batch));
   });
+}
+
+bool shard::enqueue_txn(std::vector<ms::spectrum> batch, std::uint64_t txn_id,
+                        std::shared_ptr<txn_barrier> barrier, bool coordinator) {
+  SPECHD_EXPECTS(journal_ != nullptr);
+  SPECHD_EXPECTS(!batch.empty());
+  if (health() != shard_health::healthy) return false;
+  return queue_.push([this, batch = std::move(batch), txn_id,
+                      barrier = std::move(barrier), coordinator]() mutable {
+    apply_txn_batch(std::move(batch), txn_id, barrier, coordinator);
+  });
+}
+
+void shard::record_error(std::exception_ptr error) {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void shard::set_health(shard_health health, const std::string& why) {
+  std::lock_guard lock(error_mutex_);
+  const auto current = health_.load(std::memory_order_relaxed);
+  if (static_cast<int>(health) <= static_cast<int>(current)) return;
+  health_.store(health, std::memory_order_relaxed);
+  health_error_ = why;
+}
+
+std::string shard::health_message() const {
+  std::lock_guard lock(error_mutex_);
+  return health_error_;
+}
+
+bool shard::heal_degraded() {
+  std::lock_guard lock(error_mutex_);
+  if (health_.load(std::memory_order_relaxed) != shard_health::degraded) return false;
+  health_.store(shard_health::healthy, std::memory_order_relaxed);
+  health_error_.clear();
+  return true;
 }
 
 void shard::apply_batch(std::vector<ms::spectrum> batch) {
@@ -66,18 +115,18 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
       journal_->append_batch(batch);
     } catch (...) {
       journaled_ok = false;
-      {
-        std::lock_guard lock(error_mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
+      record_error(std::current_exception());
       // The append may have failed *after* the frame landed (group-commit
       // fsync error): since the batch will be dropped, the record must go
       // too, or recovery would replay a batch this run never applied.
       try {
         journal_->rollback_to(journal_mark);
+        set_health(shard_health::degraded, "journal append failed; batch dropped");
       } catch (...) {
-        std::lock_guard lock(error_mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
+        record_error(std::current_exception());
+        set_health(shard_health::failed,
+                   "journal rollback failed after a failed append; the journal may "
+                   "hold records this shard never applied");
       }
     }
   }
@@ -87,20 +136,22 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
       ingested_.fetch_add(report.added, std::memory_order_relaxed);
       dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
     } catch (...) {
-      {
-        std::lock_guard lock(error_mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
+      record_error(std::current_exception());
       // The record was journaled but the batch was never applied: remove
       // it again, or replay would resurrect a batch this service dropped
       // (and a deterministic apply failure would brick every recovery).
       if (journal_) {
         try {
           journal_->rollback_to(journal_mark);
+          set_health(shard_health::degraded, "batch apply failed; batch dropped");
         } catch (...) {
-          std::lock_guard lock(error_mutex_);
-          if (!first_error_) first_error_ = std::current_exception();
+          record_error(std::current_exception());
+          set_health(shard_health::failed,
+                     "journal rollback failed after a failed apply; the journal may "
+                     "hold records this shard never applied");
         }
+      } else {
+        set_health(shard_health::degraded, "batch apply failed; batch dropped");
       }
     }
   } else {
@@ -111,6 +162,124 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   // Coalesced republish: rebuild views every publish_every-th batch, and
   // always when the queue just ran dry (an idle shard's view is current).
+  ++pending_publishes_;
+  if (pending_publishes_ >= publish_every_ || queue_.size() == 0) {
+    publish(/*all=*/false);
+  }
+}
+
+void shard::apply_txn_batch(std::vector<ms::spectrum> batch, std::uint64_t txn_id,
+                            const std::shared_ptr<txn_barrier>& barrier,
+                            bool coordinator) {
+  const std::size_t submitted = batch.size();
+  const std::uint64_t journal_mark = journal_->bytes();
+  // The service may shrink `participants` concurrently when a peer's
+  // enqueue is rejected (the transaction then aborts and every data
+  // record is rolled back, so the count written here never reaches
+  // recovery) — read it under the barrier mutex all the same.
+  std::uint32_t declared_participants;
+  {
+    std::lock_guard lock(barrier->mutex);
+    declared_participants = static_cast<std::uint32_t>(barrier->participants);
+  }
+  // Phase 1: write-ahead data record, tagged with the transaction.
+  bool my_append_ok = true;
+  try {
+    journal_->append_batch(batch, txn_id, declared_participants);
+  } catch (...) {
+    my_append_ok = false;
+    record_error(std::current_exception());
+  }
+  // Rendezvous: every participant's record is on disk (or has failed)
+  // before the commit record may seal the transaction. Deadlock-freedom:
+  // the service enqueues all of a transaction's jobs atomically (under
+  // its txn mutex) before any job of a later transaction, and queues are
+  // FIFO — so the peers this wait depends on are already queued and none
+  // of the jobs ahead of them waits on this shard.
+  {
+    std::unique_lock lock(barrier->mutex);
+    if (!my_append_ok) barrier->aborted = true;
+    ++barrier->journaled;
+    if (barrier->journaled >= barrier->participants) {
+      barrier->cv.notify_all();
+    } else {
+      barrier->cv.wait(lock,
+                       [&] { return barrier->journaled >= barrier->participants; });
+    }
+  }
+  // Phase 2: the coordinator (lowest participating shard) seals the
+  // transaction with a commit record — or aborts it.
+  bool my_fault = !my_append_ok;
+  if (coordinator) {
+    bool do_commit;
+    {
+      std::lock_guard lock(barrier->mutex);
+      do_commit = !barrier->aborted;
+    }
+    if (do_commit) {
+      try {
+        journal_->append_commit(txn_id);
+      } catch (...) {
+        my_fault = true;
+        record_error(std::current_exception());
+        std::lock_guard lock(barrier->mutex);
+        barrier->aborted = true;
+      }
+    }
+    {
+      std::lock_guard lock(barrier->mutex);
+      barrier->commit_done = true;
+    }
+    barrier->cv.notify_all();
+  } else {
+    std::unique_lock lock(barrier->mutex);
+    barrier->cv.wait(lock, [&] { return barrier->commit_done; });
+  }
+  bool aborted;
+  {
+    std::lock_guard lock(barrier->mutex);
+    aborted = barrier->aborted;
+  }
+  // Phase 3: one outcome everywhere.
+  if (aborted) {
+    // All participants roll their data record back (the coordinator's
+    // rollback also removes a partially-appended commit record — its
+    // append already truncated itself, so the mark covers everything).
+    dropped_.fetch_add(submitted, std::memory_order_relaxed);
+    try {
+      journal_->rollback_to(journal_mark);
+      if (my_fault) {
+        set_health(shard_health::degraded,
+                   "cross-shard transaction aborted by this shard; batch dropped");
+      }
+      // An innocent participant stays healthy: its journal matches its
+      // applied state, and the abort is the *transaction's* clean
+      // all-or-nothing rejection, accounted in dropped counters and the
+      // faulty shard's health.
+    } catch (...) {
+      record_error(std::current_exception());
+      set_health(shard_health::failed,
+                 "cross-shard transaction rollback failed; the journal may hold "
+                 "records this shard never applied");
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Committed: apply. A post-commit apply failure cannot be rolled back —
+  // the commit record already promises the batch everywhere and peers are
+  // applying it — so the shard goes failed (journal ⊃ applied; recovery
+  // will apply the batch from the journal).
+  try {
+    const auto report = clusterer_.push_batch(batch);
+    ingested_.fetch_add(report.added, std::memory_order_relaxed);
+    dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
+  } catch (...) {
+    record_error(std::current_exception());
+    set_health(shard_health::failed,
+               "batch apply failed after its cross-shard commit; restart to recover "
+               "the committed state from the journal");
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
   ++pending_publishes_;
   if (pending_publishes_ >= publish_every_ || queue_.size() == 0) {
     publish(/*all=*/false);
@@ -353,6 +522,8 @@ shard_stats shard::stats() const {
   s.view_epoch = view->epoch;
   s.journal_bytes = journal_bytes();
   s.journal_records = journal_records();
+  s.health = health();
+  s.last_error = health_message();
   return s;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -77,6 +78,45 @@ struct query_result {
   std::uint64_t view_epoch = 0;   ///< epoch the query executed against
 };
 
+/// Failure posture of a shard. Transitions are one-way escalations during
+/// normal operation (healthy -> degraded -> failed); only a completed
+/// journal compaction heals degraded back to healthy (the fresh
+/// generation captures the applied state, so journal == applied again).
+///
+///  - healthy:  full service.
+///  - degraded: read-only. A batch was dropped (journal append or apply
+///    failed, and the write-ahead record was rolled back cleanly), so the
+///    shard stopped accepting ingest rather than silently diverging from
+///    its producers; queries and drains still work, and the journal still
+///    matches the applied state exactly.
+///  - failed:   a rollback itself failed, so the on-disk journal may hold
+///    records this shard never applied (or a cross-shard commit landed
+///    but the local apply failed). Ingest is rejected, queries still
+///    serve the last published view; recovery after restart replays the
+///    journal, which may resurrect batches the live run dropped —
+///    in-doubt, surfaced, never silent.
+enum class shard_health : std::uint8_t { healthy = 0, degraded = 1, failed = 2 };
+
+const char* shard_health_name(shard_health health) noexcept;
+
+/// Rendezvous for one cross-shard atomic ingest: every participant's
+/// writer thread appends its data record (phase 1), the coordinator
+/// appends the commit record once all landed (phase 2), then everyone
+/// applies or rolls back together (phase 3). Created per transaction by
+/// clustering_service::ingest.
+struct txn_barrier {
+  explicit txn_barrier(std::size_t n) : participants(n) {}
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// Jobs that will arrive; the service shrinks this (and sets `aborted`)
+  /// when a shard rejects its enqueue, so nobody waits on a job that was
+  /// never queued.
+  std::size_t participants;
+  std::size_t journaled = 0;  ///< phase-1 arrivals
+  bool commit_done = false;   ///< phase 2 finished (committed or aborted)
+  bool aborted = false;       ///< any append failed: roll back everywhere
+};
+
 /// Monotonic counters (safe to read from any thread at any time).
 struct shard_stats {
   std::size_t ingested = 0;       ///< records accepted (post-preprocessing)
@@ -89,6 +129,8 @@ struct shard_stats {
   std::uint64_t view_epoch = 0;
   std::uint64_t journal_bytes = 0;    ///< current journal file size (0: unjournaled)
   std::uint64_t journal_records = 0;  ///< records in the current journal file
+  shard_health health = shard_health::healthy;
+  std::string last_error;  ///< why the shard left healthy (empty when healthy)
 };
 
 class shard {
@@ -111,8 +153,35 @@ public:
   std::size_t id() const noexcept { return id_; }
 
   /// Enqueues a batch for the writer; blocks while the queue is full
-  /// (backpressure). Returns false only after shutdown began.
+  /// (backpressure). Returns false — dropping nothing, applying nothing —
+  /// once shutdown began or the shard left healthy (degraded/failed
+  /// shards are read-only; see health()). A producer blocked in the full-
+  /// queue wait is woken and receives false when the shard stops
+  /// mid-ingest. The service surfaces a false return as an error rather
+  /// than dropping the batch silently.
   bool enqueue(std::vector<ms::spectrum> batch);
+
+  /// Enqueues one slice of a cross-shard atomic batch. The job runs the
+  /// barrier protocol with the other participants' writer threads: append
+  /// data record, rendezvous, coordinator appends the commit record, then
+  /// all apply — or all roll back. Returns false (nothing enqueued) when
+  /// the shard is not healthy or is shut down; the *service* then shrinks
+  /// `barrier->participants` and aborts the transaction.
+  bool enqueue_txn(std::vector<ms::spectrum> batch, std::uint64_t txn_id,
+                   std::shared_ptr<txn_barrier> barrier, bool coordinator);
+
+  shard_health health() const noexcept {
+    return health_.load(std::memory_order_relaxed);
+  }
+
+  /// Why the shard left healthy (empty string while healthy).
+  std::string health_message() const;
+
+  /// degraded -> healthy, once the caller (journal compaction) has made
+  /// the applied state durable in a fresh generation. Returns false when
+  /// the shard was not degraded — `failed` is sticky until restart, since
+  /// the journal may describe state the live shard does not hold.
+  bool heal_degraded();
 
   /// Waits until every previously enqueued job has been applied and its
   /// view published (coalesced republishes are flushed, so after drain()
@@ -187,6 +256,12 @@ public:
 private:
   void writer_loop();
   void apply_batch(std::vector<ms::spectrum> batch);
+  void apply_txn_batch(std::vector<ms::spectrum> batch, std::uint64_t txn_id,
+                       const std::shared_ptr<txn_barrier>& barrier, bool coordinator);
+  /// Records the first error for drain() to rethrow (writer thread side).
+  void record_error(std::exception_ptr error);
+  /// Escalates health (never downgrades) and remembers why.
+  void set_health(shard_health health, const std::string& why);
   /// Runs `fn` on the writer thread after all earlier jobs; blocks until
   /// done and rethrows fn's exception (the plumbing under run_exclusive,
   /// attach/rotate, and drain).
@@ -213,9 +288,11 @@ private:
   std::atomic<std::size_t> ingested_{0};
   std::atomic<std::size_t> dropped_{0};
   std::atomic<std::size_t> batches_{0};
+  std::atomic<shard_health> health_{shard_health::healthy};
 
-  std::mutex error_mutex_;
+  mutable std::mutex error_mutex_;
   std::exception_ptr first_error_;
+  std::string health_error_;  ///< guarded by error_mutex_
 
   std::thread writer_;  ///< last member: starts after everything above
 };

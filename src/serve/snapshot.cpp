@@ -1,5 +1,8 @@
 #include "serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -9,6 +12,8 @@
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/io.hpp"
 
 namespace spechd::serve {
 
@@ -177,9 +182,24 @@ void write_snapshot(std::ostream& out, const snapshot_identity& identity,
 
 void write_snapshot_file(const std::string& path, const snapshot_identity& identity,
                          const std::vector<core::clusterer_state>& shards) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw io_error("cannot create snapshot file: " + path);
+  // Serialise fully in memory, then push through the checked-I/O layer so
+  // ENOSPC/EIO surface as typed io_failure (with failpoint coverage for
+  // the compaction tmp+rename+fsync sequence) instead of a silently-bad
+  // ofstream.
+  static util::failpoint fp_open("snapshot.open");
+  static util::failpoint fp_write("snapshot.write");
+  std::ostringstream out(std::ios::binary);
   write_snapshot(out, identity, shards);
+  const std::string bytes = out.str();
+  const int fd = util::open_fd(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644,
+                               fp_open);
+  try {
+    util::write_all(fd, bytes.data(), bytes.size(), path, fp_write);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
 }
 
 snapshot_data read_snapshot(std::istream& in, const std::string& source_name) {

@@ -1,0 +1,272 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace spechd::util {
+
+// One registered site. `armed` is the only field the disarmed fast path
+// touches; everything else is guarded by the registry mutex.
+struct failpoint_registry::site {
+  std::atomic<bool> armed{false};
+  std::string name;
+  failpoint_spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct failpoint_registry::impl {
+  mutable std::mutex mutex;
+  // node-stable: failpoint objects hold raw site pointers for life.
+  std::map<std::string, std::unique_ptr<site>> sites;
+  std::uint64_t seed = 0;
+};
+
+namespace {
+
+// splitmix64 — deterministic per-hit decision hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+int parse_errno_token(const std::string& tok) {
+  if (tok == "EIO") return EIO;
+  if (tok == "ENOSPC") return ENOSPC;
+  if (tok == "EINTR") return EINTR;
+  if (tok == "EAGAIN") return EAGAIN;
+  if (tok == "EDQUOT") return EDQUOT;
+  if (tok == "EBADF") return EBADF;
+  if (tok == "ENOENT") return ENOENT;
+  if (tok == "EACCES") return EACCES;
+  char* end = nullptr;
+  long v = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || v <= 0) {
+    throw error("failpoint: unknown errno token '" + tok + "'");
+  }
+  return static_cast<int>(v);
+}
+
+// Parses "name=action[:arg][@trigger[,trigger...]]".
+std::pair<std::string, failpoint_spec> parse_entry(const std::string& entry) {
+  auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw error("failpoint: malformed entry '" + entry + "' (want name=action)");
+  }
+  std::string name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+
+  std::string action_part = rest;
+  std::string trigger_part;
+  if (auto at = rest.find('@'); at != std::string::npos) {
+    action_part = rest.substr(0, at);
+    trigger_part = rest.substr(at + 1);
+  }
+
+  failpoint_spec spec;
+  std::string action_name = action_part;
+  std::string action_arg;
+  if (auto colon = action_part.find(':'); colon != std::string::npos) {
+    action_name = action_part.substr(0, colon);
+    action_arg = action_part.substr(colon + 1);
+  }
+  if (action_name == "error") {
+    spec.action.type = failpoint_action::kind::error;
+    spec.action.error_code = action_arg.empty() ? EIO : parse_errno_token(action_arg);
+  } else if (action_name == "short") {
+    spec.action.type = failpoint_action::kind::short_write;
+  } else if (action_name == "delay") {
+    spec.action.type = failpoint_action::kind::delay;
+    long ms = 10;
+    if (!action_arg.empty()) {
+      char* end = nullptr;
+      ms = std::strtol(action_arg.c_str(), &end, 10);
+      if (end == action_arg.c_str() || *end != '\0' || ms < 0) {
+        throw error("failpoint: bad delay '" + action_arg + "'");
+      }
+    }
+    spec.action.delay = std::chrono::milliseconds(ms);
+  } else {
+    throw error("failpoint: unknown action '" + action_name + "'");
+  }
+
+  while (!trigger_part.empty()) {
+    std::string tok;
+    if (auto comma = trigger_part.find(','); comma != std::string::npos) {
+      tok = trigger_part.substr(0, comma);
+      trigger_part = trigger_part.substr(comma + 1);
+    } else {
+      tok = trigger_part;
+      trigger_part.clear();
+    }
+    if (tok.rfind("after", 0) == 0) {
+      spec.skip = std::strtoull(tok.c_str() + 5, nullptr, 10);
+    } else if (tok.rfind("times", 0) == 0) {
+      spec.max_fires = std::strtoull(tok.c_str() + 5, nullptr, 10);
+      if (spec.max_fires == 0) throw error("failpoint: times0 in '" + tok + "'");
+    } else if (tok.size() > 1 && tok[0] == 'p') {
+      char* end = nullptr;
+      spec.probability = std::strtod(tok.c_str() + 1, &end);
+      if (end == tok.c_str() + 1 || *end != '\0' || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        throw error("failpoint: bad probability '" + tok + "'");
+      }
+    } else {
+      throw error("failpoint: unknown trigger '" + tok + "'");
+    }
+  }
+  return {std::move(name), spec};
+}
+
+}  // namespace
+
+failpoint_registry::failpoint_registry() : impl_(new impl) {
+  if (const char* seed_env = std::getenv("SPECHD_FAILPOINT_SEED")) {
+    impl_->seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  if (const char* spec_env = std::getenv("SPECHD_FAILPOINTS")) {
+    arm_from_spec(spec_env);
+  }
+}
+
+failpoint_registry& failpoint_registry::instance() {
+  static failpoint_registry* r = new failpoint_registry;  // leaky on purpose
+  return *r;
+}
+
+failpoint_registry& registry() { return failpoint_registry::instance(); }
+
+failpoint_registry::site* failpoint_registry::bind(const char* name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->sites[name];
+  if (!slot) {
+    slot = std::make_unique<site>();
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+void failpoint_registry::arm(const std::string& name, const failpoint_spec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->sites[name];
+  if (!slot) {
+    slot = std::make_unique<site>();
+    slot->name = name;
+  }
+  slot->spec = spec;
+  slot->fires = 0;  // fresh fire budget; hits keep counting up
+  slot->armed.store(true, std::memory_order_release);
+}
+
+void failpoint_registry::arm_from_spec(const std::string& entries) {
+  std::string rest = entries;
+  while (!rest.empty()) {
+    std::string entry;
+    if (auto semi = rest.find(';'); semi != std::string::npos) {
+      entry = rest.substr(0, semi);
+      rest = rest.substr(semi + 1);
+    } else {
+      entry = rest;
+      rest.clear();
+    }
+    if (entry.empty()) continue;
+    auto [name, spec] = parse_entry(entry);
+    arm(name, spec);
+  }
+}
+
+void failpoint_registry::disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->sites.find(name);
+  if (it != impl_->sites.end()) {
+    it->second->armed.store(false, std::memory_order_release);
+  }
+}
+
+void failpoint_registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, s] : impl_->sites) {
+    s->armed.store(false, std::memory_order_release);
+    s->spec = failpoint_spec{};
+    s->hits = 0;
+    s->fires = 0;
+  }
+}
+
+void failpoint_registry::seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->seed = seed;
+}
+
+std::uint64_t failpoint_registry::seed() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->seed;
+}
+
+std::vector<std::string> failpoint_registry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->sites.size());
+  for (const auto& [name, s] : impl_->sites) out.push_back(name);
+  return out;  // std::map keeps them sorted
+}
+
+bool failpoint_registry::known(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->sites.count(name) != 0;
+}
+
+failpoint_stats failpoint_registry::stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->sites.find(name);
+  if (it == impl_->sites.end()) return {};
+  return {it->second->hits, it->second->fires};
+}
+
+bool failpoint::armed() const noexcept {
+  return site_->armed.load(std::memory_order_relaxed);
+}
+
+std::optional<failpoint_action> failpoint::fire_slow() {
+  auto& reg = failpoint_registry::instance();
+  std::unique_lock<std::mutex> lock(reg.impl_->mutex);
+  if (!site_->armed.load(std::memory_order_acquire)) return std::nullopt;
+  const std::uint64_t hit = site_->hits++;
+  const failpoint_spec& spec = site_->spec;
+  if (hit < spec.skip) return std::nullopt;
+  if (spec.max_fires != 0 && site_->fires >= spec.max_fires) return std::nullopt;
+  if (spec.probability < 1.0) {
+    const std::uint64_t h = mix64(reg.impl_->seed ^ hash_name(site_->name) ^ hit);
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    if (u >= spec.probability) return std::nullopt;
+  }
+  ++site_->fires;
+  failpoint_action action = spec.action;
+  lock.unlock();
+  if (action.type == failpoint_action::kind::delay && action.delay.count() > 0) {
+    std::this_thread::sleep_for(action.delay);
+    return std::nullopt;  // delay injects latency, then the real call runs
+  }
+  return action;
+}
+
+}  // namespace spechd::util

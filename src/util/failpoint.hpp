@@ -1,0 +1,160 @@
+// Deterministic failpoint subsystem — the fault-injection surface of the
+// durability tier.
+//
+// A *failpoint* is a named site compiled into production code (journal
+// appends, snapshot renames, fsyncs, ...) where a test, the CLI, or an
+// environment variable can inject a failure without touching the code
+// under test. Sites are function-local statics:
+//
+//   static util::failpoint fp("journal.append.write");
+//   if (auto action = fp.fire()) { /* inject *action instead of the syscall */ }
+//
+// Disarmed cost is one relaxed atomic load and a predictable branch — no
+// lock, no lookup, no allocation — so the sites stay compiled into release
+// builds and the fault-torture suite exercises the exact binary that
+// serves traffic.
+//
+// Arming (programmatic, or parsed from a spec string):
+//
+//   registry().arm("journal.append.write", spec);
+//   registry().arm_from_spec("journal.append.write=error:ENOSPC@after2,times1");
+//
+// Spec grammar (`arm_from_spec`, also the SPECHD_FAILPOINTS env var and
+// the CLI `--failpoints` flag; entries separated by `;`):
+//
+//   name=action[@trigger[,trigger...]]
+//   action:  error[:ERRNO]   inject a failing call with this errno
+//                            (symbolic EIO/ENOSPC/EINTR/EAGAIN or a number;
+//                            default EIO)
+//            short           short write: the call transfers only part of
+//                            the buffer (write sites only; others ignore it)
+//            delay[:MS]      sleep MS milliseconds, then run the real call
+//                            (latency injection; default 10)
+//   trigger: afterN          skip the first N hits (default 0)
+//            timesN          fire at most N times (default unlimited)
+//            pF              fire with probability F in [0,1] (default 1),
+//                            decided by a seeded per-site hash of the hit
+//                            index — deterministic for a fixed seed and
+//                            per-site hit order, independent of threads
+//
+// Example: "journal.fsync=delay:5@p0.25;snapshot.rename=error:EIO@times1".
+//
+// Determinism: `registry().seed(s)` fixes the probabilistic decisions;
+// per-site hit counters make every trigger a pure function of (seed, site
+// name, hit index). `reset()` disarms everything and zeroes counters so
+// consecutive torture iterations start identical.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spechd::util {
+
+/// What an armed failpoint injects when it fires.
+struct failpoint_action {
+  enum class kind : std::uint8_t {
+    error,        ///< fail the call with `error_code` as errno
+    short_write,  ///< transfer only part of the buffer (write sites)
+    delay,        ///< sleep `delay`, then run the real call
+  };
+  kind type = kind::error;
+  int error_code = 5;  ///< EIO; numeric so this header stays errno.h-free
+  std::chrono::milliseconds delay{0};
+};
+
+/// When an armed failpoint fires.
+struct failpoint_spec {
+  failpoint_action action;
+  std::uint64_t skip = 0;        ///< ignore the first `skip` hits
+  std::uint64_t max_fires = 0;   ///< fire at most N times; 0 = unlimited
+  double probability = 1.0;      ///< per-hit fire probability (seeded)
+};
+
+/// Monotonic per-site counters (for assertions and CLI/bench reporting).
+struct failpoint_stats {
+  std::uint64_t hits = 0;   ///< times the site was evaluated while armed
+  std::uint64_t fires = 0;  ///< times it actually injected
+};
+
+class failpoint;
+
+/// Process-global registry of every failpoint site the running binary has
+/// touched. Sites register lazily (first execution of their static), so
+/// `names()` lists the sites a warm-up run exercised; arming a name that
+/// has not registered yet is fine — the spec waits for the site.
+class failpoint_registry {
+public:
+  /// The singleton (leaky: sites are function-local statics and may be
+  /// evaluated during static destruction).
+  static failpoint_registry& instance();
+
+  /// Arms `name` with `spec`; replaces any previous arming and resets the
+  /// site's fire budget (hit counters keep counting up).
+  void arm(const std::string& name, const failpoint_spec& spec);
+
+  /// Parses the spec grammar above; `entries` holds one or more
+  /// `;`-separated entries. Throws spechd::error on a malformed spec.
+  void arm_from_spec(const std::string& entries);
+
+  void disarm(const std::string& name);
+
+  /// Disarms every site and zeroes all hit/fire counters (fresh torture
+  /// iteration). The seed is left as set.
+  void reset();
+
+  /// Seeds the probabilistic trigger decisions. Also settable via
+  /// SPECHD_FAILPOINT_SEED before the first site registers.
+  void seed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  /// Every site name ever registered or armed, sorted.
+  std::vector<std::string> names() const;
+
+  /// True once the site has registered (its code path executed at least
+  /// once) — lets a torture test assert its warm-up covered a site.
+  bool known(const std::string& name) const;
+
+  failpoint_stats stats(const std::string& name) const;
+
+private:
+  friend class failpoint;
+  failpoint_registry();
+  struct site;
+  struct impl;
+  site* bind(const char* name);  ///< find-or-create; called by failpoint ctor
+  impl* impl_;
+};
+
+/// Shorthand for failpoint_registry::instance().
+failpoint_registry& registry();
+
+/// One named injection site. Cheap to evaluate when disarmed; intended to
+/// be a function-local static next to the call it guards.
+class failpoint {
+public:
+  explicit failpoint(const char* name)
+      : site_(failpoint_registry::instance().bind(name)) {}
+
+  /// Disarmed fast path: one relaxed load.
+  bool armed() const noexcept;
+
+  /// Counts a hit and returns the action to inject if the site fires,
+  /// nullopt otherwise. Never fires while disarmed. A firing `delay`
+  /// action sleeps here and then returns nullopt — the caller always runs
+  /// the real call after a latency injection, so call sites only need to
+  /// handle error / short_write results.
+  std::optional<failpoint_action> fire() {
+    if (!armed()) return std::nullopt;
+    return fire_slow();
+  }
+
+private:
+  std::optional<failpoint_action> fire_slow();
+  failpoint_registry::site* site_;
+};
+
+}  // namespace spechd::util

@@ -1,0 +1,266 @@
+// Randomized fault torture of the durability tier.
+//
+// Every failpoint the serving/durability code registers — and random
+// combinations of them — is armed across ingest/compact/recover cycles
+// against a journaled, atomic-ingest service. The invariant asserted after
+// every cycle is the one the subsystem promises:
+//
+//   * once faults clear, recovery ALWAYS succeeds (no directory is ever
+//     bricked by a fault the service survived);
+//   * recovery is deterministic: two recoveries of the same directory are
+//     bit-identical;
+//   * when no shard went `failed`, the recovered state equals the live
+//     state exactly (degraded drops are clean: journal == applied).
+//
+// Failures during the armed phase are expected and must be *clean*: every
+// error surfaces as a typed spechd::error (rejection, drain rethrow,
+// compaction refusal) — never corruption, never a hang (a hang fails the
+// suite via the ctest timeout).
+//
+// Seeding: the registry seed (probabilistic triggers) and the combination
+// picker both derive from SPECHD_FAILPOINT_SEED when set, so a CI smoke
+// run is reproducible with a fixed seed while local runs can explore.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ms/synthetic.hpp"
+#include "serve/journal.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace spechd::serve {
+namespace {
+
+std::vector<ms::spectrum> torture_stream() {
+  ms::synthetic_config config;
+  config.peptide_count = 12;
+  config.spectra_per_peptide_mean = 3.0;
+  config.noise_peaks_per_spectrum = 12.0;
+  config.seed = 99;
+  return ms::generate_dataset(config).spectra;
+}
+
+serve_config torture_config(const std::string& dir) {
+  serve_config sc;
+  sc.pipeline.encoder.dim = 1024;
+  sc.pipeline.threads = 1;
+  sc.shards = 2;
+  sc.queue_capacity = 4;
+  sc.journal.dir = dir;
+  sc.journal.fsync = true;  // exercise every fsync site for real
+  sc.atomic_ingest = true;  // multi-shard batches run the txn protocol
+  return sc;
+}
+
+struct temp_dir {
+  std::string path;
+  explicit temp_dir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("spechd_torture_" + name + "_" + std::to_string(::getpid()))).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~temp_dir() { std::filesystem::remove_all(path); }
+};
+
+/// The sites the durability tier owns (unit tests in this binary register
+/// `test.*` sites of their own — those are not torture targets).
+std::vector<std::string> durability_sites() {
+  std::vector<std::string> sites;
+  for (const auto& name : util::registry().names()) {
+    if (name.rfind("journal.", 0) == 0 || name.rfind("snapshot.", 0) == 0 ||
+        name.rfind("dir.", 0) == 0) {
+      sites.push_back(name);
+    }
+  }
+  return sites;
+}
+
+/// One disarmed ingest → compact → recover cycle. Registration is lazy
+/// (function-local statics), so this warm-up is what makes names()
+/// complete before the torture loops enumerate it.
+void warm_up_registry(const std::vector<ms::spectrum>& stream) {
+  util::registry().reset();
+  temp_dir dir("warmup");
+  auto sc = torture_config(dir.path);
+  {
+    clustering_service service(sc);
+    service.ingest(stream);
+    service.drain();
+    service.compact_journal();
+  }
+  clustering_service recovered(sc);  // registers the recovery read sites
+}
+
+struct cycle_outcome {
+  bool constructed = false;  ///< recovery under injection succeeded
+  bool exported = false;     ///< the live state could be read out
+  bool any_failed = false;   ///< some shard ended the phase `failed`
+  std::string live;          ///< canonical live state (when exported)
+};
+
+/// The armed phase of a cycle: drive the service against the directory
+/// with the current arming, swallowing every spechd::error the injected
+/// faults surface — each is the subsystem's *clean* failure path (ingest
+/// rejection, drain rethrow, compaction refusal/abort). Anything else
+/// (foreign exception, crash, hang) fails the suite.
+cycle_outcome run_armed_phase(const serve_config& sc,
+                              const std::vector<ms::spectrum>& stream) {
+  cycle_outcome out;
+  try {
+    clustering_service service(sc);
+    out.constructed = true;
+    const std::size_t half = stream.size() / 2;
+    for (std::size_t i = half; i < stream.size(); i += 9) {
+      const auto stop = std::min(i + 9, stream.size());
+      try {
+        service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(i),
+                        stream.begin() + static_cast<std::ptrdiff_t>(stop)});
+      } catch (const spechd::error&) {
+      }
+    }
+    try {
+      service.drain();
+    } catch (const spechd::error&) {
+    }
+    try {
+      service.compact_journal();
+    } catch (const spechd::error&) {
+    }
+    try {
+      service.drain();
+    } catch (const spechd::error&) {
+    }
+    out.any_failed = service.stats().failed_shards != 0;
+    if (!out.any_failed) {
+      try {
+        out.live = canonical_state(service.export_states());
+        out.exported = true;
+      } catch (const spechd::error&) {
+        // An armed fsync/write site can still fail the export barrier;
+        // the recovery checks below then run without a live reference.
+      }
+    }
+  } catch (const spechd::error&) {
+    // Construction (= recovery under injection) was the target. The
+    // directory must still recover once the fault clears.
+  }
+  return out;
+}
+
+/// The post-fault invariant: disarmed recovery succeeds, is bit-identical
+/// across two runs, and matches the live state when no shard failed.
+void expect_clean_recovery(const serve_config& sc, const cycle_outcome& outcome) {
+  util::registry().reset();
+  std::string first;
+  {
+    clustering_service recovered(sc);
+    first = canonical_state(recovered.export_states());
+  }
+  std::string second;
+  {
+    clustering_service recovered(sc);
+    second = canonical_state(recovered.export_states());
+  }
+  EXPECT_EQ(first, second) << "recovery is not deterministic";
+  if (outcome.exported && !outcome.any_failed) {
+    EXPECT_EQ(first, outcome.live)
+        << "recovered state diverged from the live state with no failed shard";
+  }
+}
+
+/// A full torture cycle: seed the directory disarmed, run the armed phase
+/// with `spec`, then assert the post-fault invariant.
+void run_cycle(const std::string& spec, std::uint64_t seed, int cycle,
+               const std::vector<ms::spectrum>& stream) {
+  SCOPED_TRACE("spec=" + spec + " seed=" + std::to_string(seed));
+  temp_dir dir("cycle_" + std::to_string(cycle));
+  auto sc = torture_config(dir.path);
+  util::registry().reset();
+  {
+    clustering_service service(sc);
+    service.ingest({stream.begin(),
+                    stream.begin() + static_cast<std::ptrdiff_t>(stream.size() / 2)});
+    service.drain();
+    service.compact_journal();  // a base snapshot + fresh generation to attack
+  }
+  util::registry().seed(seed);
+  util::registry().arm_from_spec(spec);
+  const auto outcome = run_armed_phase(sc, stream);
+  expect_clean_recovery(sc, outcome);
+}
+
+std::uint64_t torture_seed() {
+  if (const char* env = std::getenv("SPECHD_FAILPOINT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260808;
+}
+
+}  // namespace
+
+TEST(FaultTorture, EveryRegisteredFailpointSurvivesIngestCompactRecover) {
+  const auto stream = torture_stream();
+  warm_up_registry(stream);
+
+  // The complete injection surface of the durability tier. A new I/O site
+  // belongs in this list (and a missing one here means the warm-up no
+  // longer covers it — either way, look).
+  const char* expected[] = {
+      "dir.fsync",          "journal.append.write", "journal.fsync",
+      "journal.header.write", "journal.open",       "journal.read.open",
+      "journal.rollback.truncate", "snapshot.fsync", "snapshot.open",
+      "snapshot.rename",    "snapshot.write",
+  };
+  for (const auto* name : expected) {
+    EXPECT_TRUE(util::registry().known(name)) << "site never registered: " << name;
+  }
+  const auto sites = durability_sites();
+  ASSERT_GE(sites.size(), std::size(expected));
+
+  const char* actions[] = {"error:EIO@times1", "error:ENOSPC@p0.4", "short@times2",
+                           "delay:1@times2"};
+  const auto seed = torture_seed();
+  int cycle = 0;
+  for (const auto& site : sites) {
+    for (const auto* action : actions) {
+      run_cycle(site + "=" + action, seed + static_cast<std::uint64_t>(cycle), cycle,
+                stream);
+      ++cycle;
+    }
+  }
+}
+
+TEST(FaultTorture, RandomFailpointCombinationsStayConsistent) {
+  const auto stream = torture_stream();
+  warm_up_registry(stream);
+  const auto sites = durability_sites();
+  ASSERT_GE(sites.size(), 2U);
+
+  const char* actions[] = {"error:EIO@p0.3", "error:ENOSPC@p0.3", "short@p0.3",
+                           "delay:1@p0.3"};
+  std::mt19937_64 rng(torture_seed());
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    // 2–3 distinct sites armed at once, persistent probabilistic faults.
+    auto shuffled = sites;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    const std::size_t count = 2 + rng() % 2;
+    std::string spec;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!spec.empty()) spec += ";";
+      spec += shuffled[i] + "=" + actions[rng() % std::size(actions)];
+    }
+    run_cycle(spec, rng(), 1000 + iteration, stream);
+  }
+}
+
+}  // namespace spechd::serve

@@ -20,6 +20,7 @@
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace spechd::serve {
 namespace {
@@ -637,6 +638,273 @@ TEST(JournalCompaction, RestoreIntoJournaledServiceRebasesTheDirectory) {
   clustering_service recovered(sc);
   EXPECT_EQ(canonical_state(recovered.export_states()), restored_golden);
   std::filesystem::remove(snap);
+}
+
+// --- fault injection ---------------------------------------------------------
+
+/// Disarms every failpoint on entry and exit so a failing assertion in one
+/// test cannot leak an armed fault into the next (the registry is global).
+struct failpoint_guard {
+  failpoint_guard() { util::registry().reset(); }
+  ~failpoint_guard() { util::registry().reset(); }
+};
+
+TEST(JournalFaults, ShortWritesInAppendCompleteWithoutCorruption) {
+  // A partial write(2) return is a retry, never framing corruption: with
+  // the append site forced short repeatedly, every record still lands
+  // whole and recovery is bit-identical.
+  failpoint_guard guard;
+  const auto stream = sample_stream();
+  temp_dir dir("shortwrite");
+  auto sc = make_serve_config(2);
+  sc.journal.dir = dir.path;
+  sc.journal.fsync = false;
+  std::string live;
+  {
+    clustering_service service(sc);
+    util::registry().arm_from_spec("journal.append.write=short@times8");
+    ingest_in_batches(service, stream, 0, stream.size());
+    service.drain();
+    EXPECT_EQ(util::registry().stats("journal.append.write").fires, 8U);
+    EXPECT_EQ(service.stats().degraded_shards, 0U);
+    EXPECT_EQ(service.stats().failed_shards, 0U);
+    live = canonical_state(service.export_states());
+    util::registry().reset();
+  }
+  clustering_service recovered(sc);
+  EXPECT_TRUE(recovered.recovery().recovered);
+  EXPECT_EQ(canonical_state(recovered.export_states()), live);
+}
+
+TEST(JournalFaults, AppendErrorDegradesShardAndCompactionHeals) {
+  failpoint_guard guard;
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+  temp_dir dir("appenderr");
+  auto sc = make_serve_config(1);
+  sc.journal.dir = dir.path;
+  sc.journal.fsync = false;
+  std::string prefix;
+  std::string live;
+  {
+    clustering_service service(sc);
+    ingest_in_batches(service, stream, 0, split);
+    service.drain();
+    prefix = canonical_state(service.export_states());
+
+    // One hard append failure: the batch is dropped, the record rolled
+    // back, and the shard leaves healthy — loudly, not silently.
+    util::registry().arm_from_spec("journal.append.write=error:ENOSPC@times1");
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(split), stream.end()});
+    EXPECT_THROW(service.drain(), io_error);
+    auto stats = service.stats();
+    EXPECT_EQ(stats.degraded_shards, 1U);
+    ASSERT_EQ(stats.shards.size(), 1U);
+    EXPECT_EQ(stats.shards[0].health, shard_health::degraded);
+    EXPECT_FALSE(stats.shards[0].last_error.empty());
+    EXPECT_GT(stats.dropped, 0U);
+    // Degraded shards are read-only: further ingest is rejected with the
+    // shard's health in the message, and the live state is untouched.
+    EXPECT_THROW(
+        service.ingest({stream.begin(), stream.begin() + 1}), spechd::error);
+    EXPECT_EQ(canonical_state(service.export_states()), prefix);
+
+    // Compaction reconciles journal and applied state — and heals.
+    service.compact_journal();
+    EXPECT_EQ(service.stats().degraded_shards, 0U);
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(split), stream.end()});
+    service.drain();
+    live = canonical_state(service.export_states());
+    EXPECT_NE(live, prefix);
+  }
+  // The dropped batch never reached the journal: recovery lands exactly on
+  // the state the service actually held.
+  clustering_service recovered(sc);
+  EXPECT_EQ(canonical_state(recovered.export_states()), live);
+}
+
+TEST(JournalFaults, SnapshotPathFailuresLeaveDirectoryRecoverable) {
+  // Disk-full/EIO at every step of the compaction snapshot protocol
+  // (tmp open/write, tmp fsync, rename, directory fsync): the previous
+  // snapshot and every journal generation stay replayable, the live state
+  // is untouched, and a retry lands on a fresh generation.
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+  for (const std::string site : {"snapshot.open", "snapshot.write", "snapshot.fsync",
+                                 "snapshot.rename", "dir.fsync"}) {
+    SCOPED_TRACE(site);
+    failpoint_guard guard;
+    temp_dir dir("snapfault_" + site);
+    auto sc = make_serve_config(2);
+    sc.journal.dir = dir.path;
+    sc.journal.fsync = true;  // exercise the fsync sites for real
+    std::string live;
+    {
+      clustering_service service(sc);
+      ingest_in_batches(service, stream, 0, split);
+      service.drain();
+      service.compact_journal();  // a real base snapshot to fall back to
+      ingest_in_batches(service, stream, split, stream.size());
+      service.drain();
+      live = canonical_state(service.export_states());
+
+      util::registry().arm_from_spec(site + "=error:ENOSPC@times1");
+      EXPECT_THROW(service.compact_journal(), spechd::error);
+      EXPECT_EQ(util::registry().stats(site).fires, 1U);
+      EXPECT_EQ(canonical_state(service.export_states()), live);
+      // Injection budget spent: the retry completes.
+      service.compact_journal();
+      EXPECT_EQ(canonical_state(service.export_states()), live);
+    }
+    clustering_service recovered(sc);
+    EXPECT_TRUE(recovered.recovery().recovered);
+    EXPECT_EQ(canonical_state(recovered.export_states()), live);
+  }
+}
+
+TEST(JournalFaults, AtomicIngestAbortsWholeTransactionWhenOneShardFails) {
+  failpoint_guard guard;
+  const auto stream = sample_stream();
+  const std::size_t split = stream.size() / 2;
+  temp_dir dir("txnabort");
+  auto sc = make_serve_config(4);
+  sc.journal.dir = dir.path;
+  sc.journal.fsync = false;
+  sc.atomic_ingest = true;
+  std::string prefix;
+  {
+    clustering_service service(sc);
+    ingest_in_batches(service, stream, 0, split);
+    service.drain();
+    prefix = canonical_state(service.export_states());
+
+    // Fail exactly one participant's data-record append of the next
+    // multi-shard transaction: no shard may apply its slice.
+    util::registry().arm_from_spec("journal.append.write=error:EIO@times1");
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(split), stream.end()});
+    EXPECT_THROW(service.drain(), io_error);
+    EXPECT_EQ(canonical_state(service.export_states()), prefix);
+    auto stats = service.stats();
+    EXPECT_EQ(stats.degraded_shards, 1U);  // the faulty shard, and only it
+    EXPECT_EQ(stats.failed_shards, 0U);    // innocent participants stay healthy
+  }
+  // Every data record was rolled back: the journals hold no trace.
+  clustering_service recovered(sc);
+  EXPECT_EQ(recovered.recovery().txn_batches_dropped, 0U);
+  EXPECT_EQ(canonical_state(recovered.export_states()), prefix);
+}
+
+TEST(JournalFaults, CommittedTransactionsReplayIdentically) {
+  // The happy path of cross-shard atomicity: a journaled atomic service
+  // equals the plain reference live, and recovery replays every committed
+  // transaction to the same bytes.
+  failpoint_guard guard;
+  const auto stream = sample_stream();
+  clustering_service reference(make_serve_config(4));
+  ingest_in_batches(reference, stream, 0, stream.size());
+  const auto golden = canonical_state(reference.export_states());
+
+  temp_dir dir("txngolden");
+  auto sc = make_serve_config(4);
+  sc.journal.dir = dir.path;
+  sc.journal.fsync = false;
+  sc.atomic_ingest = true;
+  {
+    clustering_service service(sc);
+    ingest_in_batches(service, stream, 0, stream.size());
+    service.drain();
+    EXPECT_EQ(canonical_state(service.export_states()), golden);
+  }
+  clustering_service recovered(sc);
+  EXPECT_TRUE(recovered.recovery().recovered);
+  EXPECT_GT(recovered.recovery().max_txn_id, 0U);
+  EXPECT_EQ(recovered.recovery().txn_batches_dropped, 0U);
+  EXPECT_EQ(canonical_state(recovered.export_states()), golden);
+}
+
+TEST(JournalFaults, TornTransactionRecordsDropTheTransactionEverywhere) {
+  // The acceptance case: a multi-shard batch whose commit record — or one
+  // participant's data record — did not survive the crash must vanish on
+  // *every* shard at recovery, never apply on some and not others.
+  failpoint_guard guard;
+  const auto stream = sample_stream();
+  const std::size_t split = (stream.size() * 3) / 4;
+  temp_dir dir("torntxn");
+  auto sc = make_serve_config(2);
+  sc.journal.dir = dir.path;
+  sc.journal.fsync = false;
+  sc.atomic_ingest = true;
+  std::string prefix;
+  std::string full;
+  {
+    clustering_service service(sc);
+    ingest_in_batches(service, stream, 0, split);
+    service.drain();
+    prefix = canonical_state(service.export_states());
+    // One final multi-shard transaction.
+    service.ingest({stream.begin() + static_cast<std::ptrdiff_t>(split), stream.end()});
+    service.drain();
+    full = canonical_state(service.export_states());
+    ASSERT_NE(full, prefix);
+  }
+  // The layout the chops below rely on: the final transaction left its
+  // commit record last on the coordinator (shard 0) and its data record
+  // last on shard 1. (Holds whenever the final batch spans both shards,
+  // which this stream's precursor spread guarantees.)
+  {
+    const auto scan0 = read_journal_file(journal_shard_path(dir.path, 0, 0));
+    const auto scan1 = read_journal_file(journal_shard_path(dir.path, 1, 0));
+    ASSERT_FALSE(scan0.records.empty());
+    ASSERT_FALSE(scan1.records.empty());
+    ASSERT_EQ(scan0.records.back().type, journal_record::kind::commit);
+    ASSERT_EQ(scan1.records.back().type, journal_record::kind::ingest_batch);
+    ASSERT_NE(scan1.records.back().txn_id, 0U);
+  }
+  // Keep pristine copies: each variant mutates the directory (recovery
+  // itself truncates torn tails when the writers attach).
+  for (std::size_t s = 0; s < 2; ++s) {
+    const auto path = journal_shard_path(dir.path, s, 0);
+    std::filesystem::copy_file(path, path + ".keep");
+  }
+  const auto restore = [&] {
+    for (std::size_t s = 0; s < 2; ++s) {
+      const auto path = journal_shard_path(dir.path, s, 0);
+      std::filesystem::copy_file(path + ".keep", path,
+                                 std::filesystem::copy_options::overwrite_existing);
+    }
+  };
+
+  // Variant 1: tear the commit record (last record on the coordinator —
+  // the lowest participating shard). Both data records survive, but the
+  // transaction is unproven: both slices are dropped.
+  chop_tail(journal_shard_path(dir.path, 0, 0), 4);
+  {
+    clustering_service recovered(sc);
+    EXPECT_TRUE(recovered.recovery().recovered);
+    EXPECT_EQ(recovered.recovery().txn_batches_dropped, 2U);
+    EXPECT_EQ(canonical_state(recovered.export_states()), prefix);
+  }
+
+  // Variant 2: tear a *participant's* data record instead (shard 1's last
+  // record). The commit record survives on shard 0, but the evidence is
+  // incomplete — shard 0's slice must not apply either.
+  restore();
+  chop_tail(journal_shard_path(dir.path, 1, 0), 4);
+  {
+    clustering_service recovered(sc);
+    EXPECT_TRUE(recovered.recovery().recovered);
+    EXPECT_EQ(recovered.recovery().txn_batches_dropped, 1U);
+    EXPECT_EQ(canonical_state(recovered.export_states()), prefix);
+  }
+
+  // Control: with the journals intact, the transaction replays whole.
+  restore();
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::filesystem::remove(journal_shard_path(dir.path, s, 0) + ".keep");
+  }
+  clustering_service recovered(sc);
+  EXPECT_EQ(recovered.recovery().txn_batches_dropped, 0U);
+  EXPECT_EQ(canonical_state(recovered.export_states()), full);
 }
 
 // --- maintenance scheduler ---------------------------------------------------

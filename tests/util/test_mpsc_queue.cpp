@@ -71,6 +71,28 @@ TEST(MpscQueue, CloseWakesBlockedProducer) {
   producer.join();
 }
 
+TEST(MpscQueue, CloseWakesAndRejectsEveryBlockedProducer) {
+  // Shard shutdown mid-ingest: every producer parked on a full queue must
+  // wake and see the rejection (none may stay blocked, none may slip an
+  // item in past the close).
+  mpsc_queue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  constexpr int producers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      if (!q.push(1)) ++rejected;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rejected.load(), producers);
+  EXPECT_EQ(q.pop().value(), 0);  // the pre-close backlog still drains
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 TEST(MpscQueue, MultiProducerEveryItemPoppedOnce) {
   constexpr int producers = 4;
   constexpr int per_producer = 500;

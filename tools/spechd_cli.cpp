@@ -39,6 +39,7 @@
 #include "ms/synthetic.hpp"
 #include "preprocess/pipeline.hpp"
 #include "serve/service.hpp"
+#include "util/failpoint.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -126,11 +127,13 @@ void print_usage(std::ostream& out) {
       "                 [--float] [--threads N]\n"
       "  spechd serve   [--shards N] [--batch B] [--queue N] [--threads N]\n"
       "                 [-t threshold] [--restore in.sphsnap]\n"
-      "                 [--journal-dir DIR] [--publish-every N]\n"
+      "                 [--journal-dir DIR] [--publish-every N] [--atomic]\n"
+      "                 [--failpoints SPEC] [--failpoint-seed S]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
       "  spechd recover --journal-dir DIR [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
+      "                 [--failpoints SPEC] [--failpoint-seed S]\n"
       "  spechd model [--overlap]\n"
       "  spechd help\n";
 }
@@ -314,6 +317,24 @@ int cmd_cluster(arg_list& args) {
   return 0;
 }
 
+/// `--failpoints SPEC [--failpoint-seed S]`: arm fault injection before
+/// the service touches the directory (operator recovery drills; the same
+/// grammar as the SPECHD_FAILPOINTS env var, which the registry already
+/// honours — the flag takes precedence because it arms later). A bad spec
+/// is an input error: exit 2 with the parser's complaint.
+int arm_failpoint_flags(arg_list& args, const std::string& command) {
+  const auto seed = args.take_option("--failpoint-seed");
+  const auto spec = args.take_option("--failpoints");
+  try {
+    if (seed) util::registry().seed(std::stoull(*seed));
+    if (spec) util::registry().arm_from_spec(*spec);
+  } catch (const std::exception& e) {
+    std::cerr << "spechd " << command << ": bad --failpoints: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 /// Configures a service from a snapshot/journal identity block (the
 /// single source of truth for `serve --restore`, `serve --journal-dir`
 /// resume, and `recover` — per-flag overrides stay at the call sites).
@@ -368,17 +389,28 @@ void run_query_workload(serve::clustering_service& service, const std::string& q
 void print_service_state(serve::clustering_service& service) {
   const auto stats = service.stats();
   text_table table("service state");
-  table.set_header({"shard", "records", "clusters", "batches", "view epoch"});
+  table.set_header({"shard", "records", "clusters", "batches", "view epoch", "health"});
   for (std::size_t s = 0; s < stats.shards.size(); ++s) {
     const auto& sh = stats.shards[s];
     table.add_row({text_table::num(s), text_table::num(sh.record_count),
                    text_table::num(sh.cluster_count), text_table::num(sh.batches),
-                   text_table::num(sh.view_epoch)});
+                   text_table::num(sh.view_epoch), serve::shard_health_name(sh.health)});
   }
   table.add_row({"total", text_table::num(stats.record_count),
                  text_table::num(stats.cluster_count), text_table::num(stats.batches),
-                 ""});
+                 "", ""});
   table.print(std::cout);
+  if (stats.degraded_shards > 0 || stats.failed_shards > 0) {
+    std::cout << "WARNING: " << stats.degraded_shards << " degraded (read-only), "
+              << stats.failed_shards << " failed shard(s)\n";
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      const auto& sh = stats.shards[s];
+      if (sh.health != serve::shard_health::healthy) {
+        std::cout << "  shard " << s << " " << serve::shard_health_name(sh.health)
+                  << ": " << sh.last_error << "\n";
+      }
+    }
+  }
   if (stats.journal_bytes > 0) {
     std::cout << "journal: " << stats.journal_records << " records, "
               << stats.journal_bytes / 1024 << " KiB across " << stats.shards.size()
@@ -410,6 +442,8 @@ int cmd_serve(arg_list& args) {
   if (threshold_flag) config.pipeline.distance_threshold = std::stod(*threshold_flag);
   if (const auto v = args.take_option("--publish-every")) config.publish_every = std::stoul(*v);
   if (const auto v = args.take_option("--journal-dir")) config.journal.dir = *v;
+  if (args.take_flag("--atomic")) config.atomic_ingest = true;
+  if (const int rc = arm_failpoint_flags(args, "serve")) return rc;
   const auto restore = args.take_option("--restore");
   const auto snapshot = args.take_option("--snapshot");
   const auto query_file = args.take_option("--query");
@@ -480,6 +514,9 @@ int cmd_serve(arg_list& args) {
               << config.journal.dir << " (" << r.batches_replayed
               << " journaled batches replayed";
     if (r.torn_bytes > 0) std::cout << ", " << r.torn_bytes << " torn bytes dropped";
+    if (r.txn_batches_dropped > 0) {
+      std::cout << ", " << r.txn_batches_dropped << " uncommitted txn batches dropped";
+    }
     std::cout << ")\n";
   }
   if (restore) {
@@ -531,6 +568,7 @@ int cmd_recover(arg_list& args) {
   const auto dir = args.take_option("--journal-dir");
   const auto snapshot = args.take_option("--snapshot");
   const auto query_file = args.take_option("--query");
+  if (const int rc = arm_failpoint_flags(args, "recover")) return rc;
   if (const int rc = reject_leftovers(args, "recover", 0)) return rc;
   if (!dir) {
     std::cerr << "recover: missing --journal-dir\n";
@@ -575,6 +613,10 @@ int cmd_recover(arg_list& args) {
   if (report.torn_bytes > 0) {
     std::cout << "  torn tail: " << report.torn_bytes
               << " bytes past the last complete record dropped\n";
+  }
+  if (report.txn_batches_dropped > 0) {
+    std::cout << "  atomic ingest: " << report.txn_batches_dropped
+              << " batch(es) from uncommitted transactions dropped\n";
   }
 
   if (query_file) run_query_workload(service, *query_file);
