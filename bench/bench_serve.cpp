@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "util/error.hpp"
@@ -464,6 +466,176 @@ int main(int argc, char** argv) {
     json.field("rejected_batches", rejected_batches);
     json.field("heal_compactions", heal_compactions);
     json.field("records_after_recovery", records_after_recovery);
+    json.end_object();
+  }
+
+  // --- phase 7: networked serving (epoll front end + binary protocol) ------
+  // The same service behind `spechd serve --listen`: a loopback load
+  // generator measures the network tier's cost on top of the in-process
+  // numbers above. Closed loop sweeps concurrent connections (each a
+  // blocking request/response client); open loop paces one pipelined
+  // connection at a fixed arrival rate; the overload phase hammers a
+  // low-shed-threshold server and records typed shed_load responses —
+  // admission control, not unbounded queueing.
+  {
+    net::server_config net_config;
+    net_config.shed_queue_depth = 1u << 20;  // latency phases: never shed
+    net::server srv(service, net_config);
+    const std::uint16_t port = srv.port();
+
+    std::cout << "\nnet serve (loopback):\n";
+    json.begin_object("net_serve");
+    double closed_qps_single = 0.0;
+    json.begin_array("closed_loop");
+    for (const std::size_t conns : {1, 2, 4, 8}) {
+      const std::size_t per_conn =
+          std::max<std::size_t>(1, query_count / conns);
+      std::vector<std::vector<double>> latencies(conns);
+      const auto start = clock_type::now();
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < conns; ++c) {
+        workers.emplace_back([&, c] {
+          net::client cli("127.0.0.1", port);
+          latencies[c].reserve(per_conn);
+          std::size_t index = c * 131;
+          for (std::size_t i = 0; i < per_conn; ++i) {
+            const auto& q = stream[index % stream.size()];
+            const auto t0 = clock_type::now();
+            const auto r = cli.query(q);
+            latencies[c].push_back(
+                std::chrono::duration<double, std::micro>(clock_type::now() - t0)
+                    .count());
+            if (r.matched && r.distance > 1.0) std::abort();
+            index += 17;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double wall =
+          std::chrono::duration<double>(clock_type::now() - start).count();
+      std::vector<double> merged;
+      for (auto& l : latencies) merged.insert(merged.end(), l.begin(), l.end());
+      const auto q = summarize_latencies(std::move(merged), wall);
+      if (conns == 1) closed_qps_single = q.qps;
+      std::cout << "  closed loop, " << conns << " conn: " << q.qps
+                << " q/s, p50 " << q.p50_us << " us, p99 " << q.p99_us << " us\n";
+      json.begin_object();
+      json.field("connections", conns);
+      json.field("queries", per_conn * conns);
+      json.field("qps", q.qps);
+      json.field("p50_us", q.p50_us);
+      json.field("p90_us", q.p90_us);
+      json.field("p99_us", q.p99_us);
+      json.end_object();
+    }
+    json.end_array();
+
+    // Open loop: fixed arrival rate (~70% of the single-connection
+    // closed-loop throughput) on one pipelined connection, latency taken
+    // from actual send to response. A bounded in-flight window keeps the
+    // generator from degenerating into an unbounded burst if the server
+    // cannot hold the rate.
+    {
+      const double target_qps = std::max(500.0, closed_qps_single * 0.7);
+      const auto interval = std::chrono::duration<double>(1.0 / target_qps);
+      constexpr std::size_t k_window = 64;
+      net::client cli("127.0.0.1", port);
+      std::vector<clock_type::time_point> sent;
+      sent.reserve(query_count);
+      std::vector<double> latencies;
+      latencies.reserve(query_count);
+      std::size_t read_index = 0;
+      const auto start = clock_type::now();
+      auto next_send = start;
+      for (std::size_t i = 0; i < query_count; ++i) {
+        std::this_thread::sleep_until(next_send);
+        next_send += std::chrono::duration_cast<clock_type::duration>(interval);
+        cli.send_query(stream[(i * 17) % stream.size()]);
+        sent.push_back(clock_type::now());
+        while (sent.size() - read_index > k_window) {
+          (void)cli.read_query_response();
+          latencies.push_back(std::chrono::duration<double, std::micro>(
+                                  clock_type::now() - sent[read_index])
+                                  .count());
+          ++read_index;
+        }
+      }
+      while (read_index < sent.size()) {
+        (void)cli.read_query_response();
+        latencies.push_back(std::chrono::duration<double, std::micro>(
+                                clock_type::now() - sent[read_index])
+                                .count());
+        ++read_index;
+      }
+      const double wall =
+          std::chrono::duration<double>(clock_type::now() - start).count();
+      const auto q = summarize_latencies(std::move(latencies), wall);
+      std::cout << "  open loop @ " << target_qps << " q/s target: achieved "
+                << q.qps << " q/s, p50 " << q.p50_us << " us, p99 " << q.p99_us
+                << " us\n";
+      json.begin_object("open_loop");
+      json.field("target_qps", target_qps);
+      json.field("achieved_qps", q.qps);
+      json.field("queries", query_count);
+      json.field("pipeline_window", k_window);
+      json.field("p50_us", q.p50_us);
+      json.field("p90_us", q.p90_us);
+      json.field("p99_us", q.p99_us);
+      json.end_object();
+    }
+
+    // Overload: a separate front end on the same service with the shed
+    // threshold at 2 queued batches; four connections fire ingests with
+    // no pacing and no retries. The typed shed_load responses are the
+    // backpressure — in-flight work stays bounded by the shard queues.
+    {
+      net::server_config overload_config;
+      overload_config.shed_queue_depth = 2;
+      net::server overload_srv(service, overload_config);
+      constexpr std::size_t k_conns = 4;
+      constexpr std::size_t k_batches_per_conn = 50;
+      std::atomic<std::size_t> accepted{0};
+      std::atomic<std::size_t> shed{0};
+      const auto start = clock_type::now();
+      std::vector<std::thread> producers;
+      for (std::size_t c = 0; c < k_conns; ++c) {
+        producers.emplace_back([&, c] {
+          net::client cli("127.0.0.1", overload_srv.port());
+          std::size_t offset = c * 977;
+          for (std::size_t i = 0; i < k_batches_per_conn; ++i) {
+            std::vector<ms::spectrum> slice;
+            slice.reserve(batch);
+            for (std::size_t j = 0; j < batch; ++j) {
+              slice.push_back(stream[(offset + j) % stream.size()]);
+            }
+            offset += batch;
+            const auto r = cli.ingest(slice);
+            if (r.accepted) {
+              accepted.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              shed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& p : producers) p.join();
+      const double wall =
+          std::chrono::duration<double>(clock_type::now() - start).count();
+      service.drain();
+      const auto counters = overload_srv.counters();
+      std::cout << "  overload (shed threshold 2): " << accepted << " accepted, "
+                << shed << " shed of " << k_conns * k_batches_per_conn
+                << " batches in " << wall << " s\n";
+      json.begin_object("overload");
+      json.field("connections", k_conns);
+      json.field("batches_sent", k_conns * k_batches_per_conn);
+      json.field("shed_queue_depth", std::size_t{2});
+      json.field("accepted", accepted.load());
+      json.field("shed", shed.load());
+      json.field("server_shed_counter", counters.shed);
+      json.field("seconds", wall);
+      json.end_object();
+    }
     json.end_object();
   }
 

@@ -1,0 +1,52 @@
+#include "ms/spectrum_wire.hpp"
+
+#include <cstdint>
+
+namespace spechd::ms {
+
+std::size_t spectrum_wire_bytes(const spectrum& s) {
+  return sizeof(std::uint32_t) + s.title.size() + sizeof(std::uint32_t) +
+         2 * sizeof(double) + 2 * sizeof(std::int32_t) + sizeof(std::uint64_t) +
+         s.peaks.size() * (sizeof(double) + sizeof(float));
+}
+
+void write_spectrum(wire_cursor& out, const spectrum& s) {
+  out.put(static_cast<std::uint32_t>(s.title.size()));
+  out.put_bytes(s.title.data(), s.title.size());
+  out.put(s.scan);
+  out.put(s.precursor_mz);
+  out.put(static_cast<std::int32_t>(s.precursor_charge));
+  out.put(s.retention_time);
+  out.put(s.label);
+  out.put(static_cast<std::uint64_t>(s.peaks.size()));
+  for (const auto& p : s.peaks) {
+    out.put(p.mz);
+    out.put(p.intensity);
+  }
+}
+
+bool read_spectrum(byte_cursor& in, spectrum& s) {
+  std::uint32_t title_len = 0;
+  if (!in.read(title_len)) return false;
+  // Bound-check *before* resizing: a crafted/corrupt length must not
+  // drive a multi-GiB allocation (bad_alloc would escape the torn-tail /
+  // malformed-frame handling entirely).
+  if (title_len > in.size - in.pos) return false;
+  s.title.resize(title_len);
+  if (!in.read_bytes(s.title.data(), title_len)) return false;
+  std::int32_t charge = 0;
+  std::uint64_t peak_count = 0;
+  if (!in.read(s.scan) || !in.read(s.precursor_mz) || !in.read(charge) ||
+      !in.read(s.retention_time) || !in.read(s.label) || !in.read(peak_count)) {
+    return false;
+  }
+  s.precursor_charge = charge;
+  if (peak_count > (in.size - in.pos) / (sizeof(double) + sizeof(float))) return false;
+  s.peaks.resize(peak_count);
+  for (auto& p : s.peaks) {
+    if (!in.read(p.mz) || !in.read(p.intensity)) return false;
+  }
+  return true;
+}
+
+}  // namespace spechd::ms

@@ -1,0 +1,81 @@
+// Flat binary serialization of ms::spectrum — the one wire layout shared
+// by the journal (.sphjrnl ingest-batch records) and the network
+// protocol's ingest/query messages, so a batch that went over the wire is
+// byte-identical to the same batch journaled locally.
+//
+// Layout per spectrum (little-endian, see util/endian.hpp):
+//
+//   u32 title_len, title bytes
+//   i32 scan, f64 precursor_mz, i32 precursor_charge, f64 retention_time,
+//   i32 label, u64 peak_count, then per peak: f64 mz, f32 intensity
+//
+// Writers compute the exact size first (`spectrum_wire_bytes`) and write
+// through a raw-pointer cursor into a pre-sized buffer — this runs on the
+// ingest hot path (one journal record per applied batch), where even
+// string::append bookkeeping per field is measurable. Readers are
+// bounds-checked against the buffer and *report* failure instead of
+// throwing: a short read is a torn journal tail or a malformed frame, and
+// both callers classify it themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "ms/spectrum.hpp"
+
+namespace spechd::ms {
+
+/// Bounds-checked read cursor over a byte buffer. Running off the end is
+/// reported, not thrown (torn journal tails are expected; malformed
+/// network frames get a typed error response).
+struct byte_cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool read(T& v) {
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(&v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(void* out, std::size_t n) {
+    if (size - pos < n) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+/// Raw-pointer write cursor into an exactly-pre-sized buffer; the caller
+/// sizes the buffer with the `*_wire_bytes` functions first.
+struct wire_cursor {
+  char* p;
+
+  template <typename T>
+  void put(const T& v) {
+    std::memcpy(p, &v, sizeof(T));
+    p += sizeof(T);
+  }
+
+  void put_bytes(const void* data, std::size_t n) {
+    std::memcpy(p, data, n);
+    p += n;
+  }
+};
+
+/// Exact serialized size of one spectrum.
+std::size_t spectrum_wire_bytes(const spectrum& s);
+
+/// Writes `s` at the cursor (which must have `spectrum_wire_bytes(s)`
+/// remaining).
+void write_spectrum(wire_cursor& out, const spectrum& s);
+
+/// Reads one spectrum; false when the buffer ends mid-spectrum or a
+/// length field is inconsistent with the remaining bytes (corrupt/torn —
+/// never allocates based on an unvalidated length).
+bool read_spectrum(byte_cursor& in, spectrum& s);
+
+}  // namespace spechd::ms

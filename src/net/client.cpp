@@ -1,0 +1,274 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace spechd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw io_error(what + ": " + std::strerror(errno));
+}
+
+in_addr_t parse_ipv4(const std::string& host) {
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (inet_pton(AF_INET, resolved.c_str(), &addr) != 1) {
+    throw io_error("client: not an IPv4 address: '" + host + "'");
+  }
+  return addr.s_addr;
+}
+
+timeval to_timeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+client::client(const std::string& host, std::uint16_t port, client_config config)
+    : config_(config) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("client: socket");
+  try {
+    // Nonblocking connect + poll so a black-holed address honours the
+    // configured timeout instead of the kernel's (minutes-long) default.
+    const int flags = ::fcntl(fd_, F_GETFL);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = parse_ipv4(host);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, static_cast<int>(config_.timeout.count()));
+      if (rc == 0) {
+        errno = ETIMEDOUT;
+        throw_errno("client: connect to " + host + ":" + std::to_string(port));
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        errno = err;
+        throw_errno("client: connect to " + host + ":" + std::to_string(port));
+      }
+    } else if (rc < 0) {
+      throw_errno("client: connect to " + host + ":" + std::to_string(port));
+    }
+    ::fcntl(fd_, F_SETFL, flags);  // back to blocking with SO_*TIMEO below
+    const timeval tv = to_timeval(config_.timeout);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    handshake();
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+client::~client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void client::handshake() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_hello_request(frame, id);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::hello_ok, id);
+  consume_frame(response);
+}
+
+void client::ping() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_ping(frame, id);
+  send_frame(frame);
+  consume_frame(read_response(msg_type::pong, id));
+}
+
+ingest_result client::ingest(const std::vector<ms::spectrum>& batch) {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_ingest_request(frame, id, batch);
+  send_frame(frame);
+
+  const frame_view response = read_frame();
+  if (response.request_id != id) {
+    consume_frame(response);
+    throw io_error("client: response id mismatch (pipelined reads pending?)");
+  }
+  ingest_result result;
+  if (response.type == msg_type::ingest_ok) {
+    if (!parse_ingest_response(response, result.count)) {
+      consume_frame(response);
+      throw io_error("client: malformed ingest_ok body");
+    }
+    result.accepted = true;
+    consume_frame(response);
+    return result;
+  }
+  if (response.type == msg_type::error) {
+    error_code code{};
+    std::string message;
+    if (!parse_error_response(response, code, message)) {
+      consume_frame(response);
+      throw io_error("client: malformed error body");
+    }
+    consume_frame(response);
+    if (code == error_code::shed_load) {
+      // Expected admission-control outcome, not an exception: the load
+      // generator counts these per attempt.
+      result.accepted = false;
+      result.code = code;
+      result.message = std::move(message);
+      return result;
+    }
+    throw remote_error(code, message);
+  }
+  consume_frame(response);
+  throw io_error("client: unexpected response type to ingest");
+}
+
+serve::query_result client::query(const ms::spectrum& spectrum) {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_query_request(frame, id, spectrum);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::query_ok, id);
+  serve::query_result result;
+  const bool ok = parse_query_response(response, result);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed query_ok body");
+  return result;
+}
+
+wire_stats client::stats() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_stats_request(frame, id);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::stats_ok, id);
+  wire_stats stats;
+  const bool ok = parse_stats_response(response, stats);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed stats_ok body");
+  return stats;
+}
+
+void client::drain() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_drain_request(frame, id);
+  send_frame(frame);
+  consume_frame(read_response(msg_type::drain_ok, id));
+}
+
+void client::send_query(const ms::spectrum& spectrum) {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_query_request(frame, id, spectrum);
+  send_frame(frame);
+  pipelined_.push_back(id);
+}
+
+serve::query_result client::read_query_response() {
+  if (pipelined_.empty()) {
+    throw logic_error("client: read_query_response with no query in flight");
+  }
+  const std::uint64_t id = pipelined_.front();
+  pipelined_.pop_front();
+  const frame_view response = read_response(msg_type::query_ok, id);
+  serve::query_result result;
+  const bool ok = parse_query_response(response, result);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed query_ok body");
+  return result;
+}
+
+void client::send_frame(const std::string& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("client: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+frame_view client::read_frame() {
+  char buf[64 * 1024];
+  for (;;) {
+    frame_view frame;
+    const decode_status status =
+        decode_frame(inbuf_.data(), inbuf_.size(), config_.max_frame_bytes, frame);
+    switch (status) {
+      case decode_status::ok:
+        return frame;
+      case decode_status::need_more:
+        break;
+      case decode_status::bad_crc:
+        throw io_error("client: frame CRC mismatch from server");
+      case decode_status::too_large:
+        throw io_error("client: server frame exceeds max_frame_bytes");
+      case decode_status::malformed:
+        throw io_error("client: malformed frame from server");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) throw io_error("client: server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw io_error("client: timed out waiting for a response");
+      }
+      throw_errno("client: recv");
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void client::consume_frame(const frame_view& frame) {
+  inbuf_.erase(0, frame.frame_bytes);
+}
+
+frame_view client::read_response(msg_type type, std::uint64_t request_id) {
+  const frame_view response = read_frame();
+  if (response.type == msg_type::error) {
+    error_code code{};
+    std::string message;
+    if (!parse_error_response(response, code, message)) {
+      consume_frame(response);
+      throw io_error("client: malformed error body");
+    }
+    consume_frame(response);
+    throw remote_error(code, message);
+  }
+  if (response.type != type || response.request_id != request_id) {
+    consume_frame(response);
+    throw io_error(std::string("client: expected ") + msg_type_name(type) +
+                   ", got " + msg_type_name(response.type));
+  }
+  return response;
+}
+
+}  // namespace spechd::net

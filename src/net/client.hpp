@@ -1,0 +1,112 @@
+// Blocking client for the SpecHD serving protocol (net/protocol.hpp).
+//
+// One TCP connection, synchronous request/response by default: connect()
+// performs the hello handshake, then ingest/query/stats/drain each send
+// one frame and block for the matching response. For the open-loop load
+// generator there is a pipelined pair — send_query() fires without
+// waiting, read_query_response() collects in order — exploiting the
+// server's in-arrival-order processing guarantee.
+//
+// Failure posture: a typed `error` response surfaces as remote_error
+// (carrying the error_code) — except shed_load on ingest, which is an
+// expected admission-control outcome and is returned in ingest_result so
+// a load generator can count sheds without exception overhead. Transport
+// problems (peer gone, timeout, malformed server bytes) throw io_error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+#include "net/protocol.hpp"
+#include "serve/shard.hpp"
+#include "util/error.hpp"
+
+namespace spechd::net {
+
+/// The server refused a request with a typed `error` response.
+class remote_error : public spechd::error {
+public:
+  remote_error(error_code code, const std::string& message)
+      : spechd::error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+
+  error_code code() const noexcept { return code_; }
+
+private:
+  error_code code_;
+};
+
+/// Outcome of one ingest request. `accepted == false` means admission
+/// control shed the batch (code == shed_load) — retry with backoff.
+struct ingest_result {
+  bool accepted = false;
+  std::uint64_t count = 0;  ///< spectra the server enqueued
+  error_code code{};        ///< meaningful when !accepted
+  std::string message;
+};
+
+struct client_config {
+  std::chrono::milliseconds timeout{5000};  ///< connect + per-recv/send
+  std::size_t max_frame_bytes = k_default_max_frame_bytes;
+};
+
+class client {
+public:
+  /// Connects and completes the hello handshake; throws io_error on
+  /// connect/timeout failure, remote_error on a typed refusal (e.g.
+  /// bad_version).
+  client(const std::string& host, std::uint16_t port,
+         client_config config = {});
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  /// Round-trip liveness probe.
+  void ping();
+
+  /// Sends one batch; blocks for the response. Shed batches return
+  /// accepted=false rather than throwing (see ingest_result).
+  ingest_result ingest(const std::vector<ms::spectrum>& batch);
+
+  serve::query_result query(const ms::spectrum& spectrum);
+
+  wire_stats stats();
+
+  /// Server-side barrier: returns once everything this connection (and
+  /// every other producer) enqueued before the call is applied.
+  void drain();
+
+  // --- pipelined queries (open-loop load generation) ---------------------
+
+  /// Fires a query without waiting; responses arrive in send order.
+  void send_query(const ms::spectrum& spectrum);
+  /// Blocks for the next pipelined query response.
+  serve::query_result read_query_response();
+
+private:
+  /// Sends `frame` fully (MSG_NOSIGNAL); throws io_error on failure.
+  void send_frame(const std::string& frame);
+  /// Blocks until one complete frame is buffered; throws io_error on
+  /// EOF/timeout/garbage. The view points into inbuf_ — consume it (and
+  /// call consume_frame) before the next read.
+  frame_view read_frame();
+  void consume_frame(const frame_view& frame);
+  /// read_frame + expect `type` with `request_id`; a typed `error`
+  /// response throws remote_error, anything else io_error. The returned
+  /// view is still buffered — call consume_frame when done with it.
+  frame_view read_response(msg_type type, std::uint64_t request_id);
+  void handshake();
+
+  client_config config_;
+  int fd_ = -1;
+  std::string inbuf_;
+  std::uint64_t next_request_id_ = 1;
+  std::deque<std::uint64_t> pipelined_;  ///< in-flight send_query ids, send order
+};
+
+}  // namespace spechd::net

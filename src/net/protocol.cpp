@@ -1,0 +1,340 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "ms/spectrum_wire.hpp"
+#include "util/crc32.hpp"
+#include "util/endian.hpp"
+#include "util/error.hpp"
+
+namespace spechd::net {
+
+namespace {
+
+/// Frame header: u32 payload_bytes + u32 crc (the journal record idiom).
+constexpr std::size_t k_frame_bytes = 2 * sizeof(std::uint32_t);
+/// Every payload starts with type u8 + request_id u64.
+constexpr std::size_t k_payload_head = sizeof(std::uint8_t) + sizeof(std::uint64_t);
+
+/// Grows `out` by one exactly-sized frame and returns a cursor positioned
+/// past the type/request_id head; the caller writes `body_bytes` of body
+/// and then seals the frame (CRC over the payload, length patched in).
+ms::wire_cursor begin_frame(std::string& out, msg_type type, std::uint64_t request_id,
+                            std::size_t body_bytes, std::size_t& frame_start) {
+  frame_start = out.size();
+  out.resize(out.size() + k_frame_bytes + k_payload_head + body_bytes);
+  ms::wire_cursor cursor{out.data() + frame_start + k_frame_bytes};
+  cursor.put(static_cast<std::uint8_t>(type));
+  cursor.put(request_id);
+  return cursor;
+}
+
+void seal_frame(std::string& out, std::size_t frame_start, const ms::wire_cursor& end) {
+  SPECHD_EXPECTS(end.p == out.data() + out.size());
+  char* frame = out.data() + frame_start;
+  const auto payload_bytes =
+      static_cast<std::uint32_t>(out.size() - frame_start - k_frame_bytes);
+  const std::uint32_t crc = crc32(frame + k_frame_bytes, payload_bytes);
+  std::memcpy(frame, &payload_bytes, sizeof(payload_bytes));
+  std::memcpy(frame + sizeof(payload_bytes), &crc, sizeof(crc));
+}
+
+void encode_empty(std::string& out, msg_type type, std::uint64_t request_id) {
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, type, request_id, 0, start);
+  seal_frame(out, start, cursor);
+}
+
+}  // namespace
+
+bool known_msg_type(std::uint8_t type) noexcept {
+  switch (static_cast<msg_type>(type)) {
+    case msg_type::hello:
+    case msg_type::ping:
+    case msg_type::ingest:
+    case msg_type::query:
+    case msg_type::stats:
+    case msg_type::drain:
+    case msg_type::hello_ok:
+    case msg_type::pong:
+    case msg_type::ingest_ok:
+    case msg_type::query_ok:
+    case msg_type::stats_ok:
+    case msg_type::drain_ok:
+    case msg_type::error:
+      return true;
+  }
+  return false;
+}
+
+const char* msg_type_name(msg_type type) noexcept {
+  switch (type) {
+    case msg_type::hello: return "hello";
+    case msg_type::ping: return "ping";
+    case msg_type::ingest: return "ingest";
+    case msg_type::query: return "query";
+    case msg_type::stats: return "stats";
+    case msg_type::drain: return "drain";
+    case msg_type::hello_ok: return "hello_ok";
+    case msg_type::pong: return "pong";
+    case msg_type::ingest_ok: return "ingest_ok";
+    case msg_type::query_ok: return "query_ok";
+    case msg_type::stats_ok: return "stats_ok";
+    case msg_type::drain_ok: return "drain_ok";
+    case msg_type::error: return "error";
+  }
+  return "unknown";
+}
+
+const char* error_code_name(error_code code) noexcept {
+  switch (code) {
+    case error_code::shed_load: return "shed_load";
+    case error_code::malformed: return "malformed";
+    case error_code::bad_crc: return "bad_crc";
+    case error_code::too_large: return "too_large";
+    case error_code::bad_version: return "bad_version";
+    case error_code::foreign_endian: return "foreign_endian";
+    case error_code::bad_handshake: return "bad_handshake";
+    case error_code::rejected: return "rejected";
+    case error_code::server_error: return "server_error";
+  }
+  return "unknown";
+}
+
+decode_status decode_frame(const char* data, std::size_t size,
+                           std::size_t max_frame_bytes, frame_view& out) {
+  if (size < k_frame_bytes) return decode_status::need_more;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&payload_bytes, data, sizeof(payload_bytes));
+  std::memcpy(&stored_crc, data + sizeof(payload_bytes), sizeof(stored_crc));
+  // Order matters: the length field is validated *before* waiting for
+  // `payload_bytes` of input — a hostile length must neither allocate nor
+  // stall the connection in need_more forever.
+  if (payload_bytes > max_frame_bytes) return decode_status::too_large;
+  if (payload_bytes < k_payload_head) return decode_status::malformed;
+  if (size - k_frame_bytes < payload_bytes) return decode_status::need_more;
+  const char* payload = data + k_frame_bytes;
+  if (crc32(payload, payload_bytes) != stored_crc) return decode_status::bad_crc;
+  std::uint8_t type = 0;
+  std::memcpy(&type, payload, sizeof(type));
+  std::memcpy(&out.request_id, payload + sizeof(type), sizeof(out.request_id));
+  out.type = static_cast<msg_type>(type);
+  out.body = payload + k_payload_head;
+  out.body_bytes = payload_bytes - k_payload_head;
+  out.frame_bytes = k_frame_bytes + payload_bytes;
+  return decode_status::ok;
+}
+
+// --- hello -------------------------------------------------------------------
+
+void encode_hello_request(std::string& out, std::uint64_t request_id) {
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::hello, request_id,
+                            sizeof(k_hello_magic) + 2 * sizeof(std::uint32_t), start);
+  cursor.put_bytes(k_hello_magic, sizeof(k_hello_magic));
+  cursor.put(k_protocol_version);
+  cursor.put(k_endian_marker);
+  seal_frame(out, start, cursor);
+}
+
+void encode_hello_response(std::string& out, std::uint64_t request_id) {
+  std::size_t start = 0;
+  auto cursor =
+      begin_frame(out, msg_type::hello_ok, request_id, sizeof(std::uint32_t), start);
+  cursor.put(k_protocol_version);
+  seal_frame(out, start, cursor);
+}
+
+hello_status parse_hello_request(const frame_view& frame) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  char magic[4] = {};
+  std::uint32_t version = 0;
+  std::uint32_t marker = 0;
+  if (!in.read_bytes(magic, 4) || !in.read(version) || !in.read(marker) ||
+      in.pos != in.size) {
+    return hello_status::malformed;
+  }
+  if (std::memcmp(magic, k_hello_magic, 4) != 0) return hello_status::bad_magic;
+  // The marker is written in the peer's native order; byte-reversed means
+  // a big-endian peer — every numeric field it sends would be garbage, so
+  // refuse loudly at the handshake instead of with CRC noise later.
+  if (marker == util::byteswap32(k_endian_marker)) return hello_status::foreign_endian;
+  if (marker != k_endian_marker) return hello_status::malformed;
+  if (version != k_protocol_version) return hello_status::bad_version;
+  return hello_status::ok;
+}
+
+// --- ping / drain ------------------------------------------------------------
+
+void encode_ping(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::ping, request_id);
+}
+
+void encode_pong(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::pong, request_id);
+}
+
+void encode_drain_request(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::drain, request_id);
+}
+
+void encode_drain_response(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::drain_ok, request_id);
+}
+
+// --- ingest ------------------------------------------------------------------
+
+void encode_ingest_request(std::string& out, std::uint64_t request_id,
+                           const std::vector<ms::spectrum>& batch) {
+  std::size_t body = sizeof(std::uint64_t);
+  for (const auto& s : batch) body += ms::spectrum_wire_bytes(s);
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::ingest, request_id, body, start);
+  cursor.put(static_cast<std::uint64_t>(batch.size()));
+  for (const auto& s : batch) ms::write_spectrum(cursor, s);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_ingest_request(const frame_view& frame, std::vector<ms::spectrum>& batch) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  std::uint64_t count = 0;
+  if (!in.read(count)) return false;
+  if (count > in.size - in.pos) return false;  // each spectrum is >= 1 byte
+  batch.resize(count);
+  for (auto& s : batch) {
+    if (!ms::read_spectrum(in, s)) return false;
+  }
+  return in.pos == in.size;
+}
+
+void encode_ingest_response(std::string& out, std::uint64_t request_id,
+                            std::uint64_t accepted) {
+  std::size_t start = 0;
+  auto cursor =
+      begin_frame(out, msg_type::ingest_ok, request_id, sizeof(std::uint64_t), start);
+  cursor.put(accepted);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_ingest_response(const frame_view& frame, std::uint64_t& accepted) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  return in.read(accepted) && in.pos == in.size;
+}
+
+// --- query -------------------------------------------------------------------
+
+void encode_query_request(std::string& out, std::uint64_t request_id,
+                          const ms::spectrum& spectrum) {
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::query, request_id,
+                            ms::spectrum_wire_bytes(spectrum), start);
+  ms::write_spectrum(cursor, spectrum);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_query_request(const frame_view& frame, ms::spectrum& spectrum) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  return ms::read_spectrum(in, spectrum) && in.pos == in.size;
+}
+
+void encode_query_response(std::string& out, std::uint64_t request_id,
+                           const serve::query_result& result) {
+  constexpr std::size_t body = 2 * sizeof(std::uint8_t) + sizeof(std::int64_t) +
+                               sizeof(std::uint64_t) + sizeof(std::int32_t) +
+                               2 * sizeof(double) + 2 * sizeof(std::uint64_t);
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::query_ok, request_id, body, start);
+  cursor.put(static_cast<std::uint8_t>(result.encodable ? 1 : 0));
+  cursor.put(static_cast<std::uint8_t>(result.matched ? 1 : 0));
+  cursor.put(result.bucket_key);
+  cursor.put(static_cast<std::uint64_t>(result.shard));
+  cursor.put(result.local_label);
+  cursor.put(result.distance);
+  cursor.put(result.nearest_member);
+  cursor.put(static_cast<std::uint64_t>(result.cluster_size));
+  cursor.put(result.view_epoch);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_query_response(const frame_view& frame, serve::query_result& result) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  std::uint8_t encodable = 0;
+  std::uint8_t matched = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t cluster_size = 0;
+  if (!in.read(encodable) || !in.read(matched) || !in.read(result.bucket_key) ||
+      !in.read(shard) || !in.read(result.local_label) || !in.read(result.distance) ||
+      !in.read(result.nearest_member) || !in.read(cluster_size) ||
+      !in.read(result.view_epoch)) {
+    return false;
+  }
+  result.encodable = encodable != 0;
+  result.matched = matched != 0;
+  result.shard = shard;
+  result.cluster_size = cluster_size;
+  return in.pos == in.size;
+}
+
+// --- stats -------------------------------------------------------------------
+
+void encode_stats_request(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::stats, request_id);
+}
+
+void encode_stats_response(std::string& out, std::uint64_t request_id,
+                           const wire_stats& stats) {
+  std::size_t start = 0;
+  auto cursor =
+      begin_frame(out, msg_type::stats_ok, request_id, 10 * sizeof(std::uint64_t), start);
+  cursor.put(stats.ingested);
+  cursor.put(stats.dropped);
+  cursor.put(stats.batches);
+  cursor.put(stats.record_count);
+  cursor.put(stats.cluster_count);
+  cursor.put(stats.queue_depth);
+  cursor.put(stats.degraded_shards);
+  cursor.put(stats.failed_shards);
+  cursor.put(stats.requests);
+  cursor.put(stats.shed);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_stats_response(const frame_view& frame, wire_stats& stats) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  return in.read(stats.ingested) && in.read(stats.dropped) && in.read(stats.batches) &&
+         in.read(stats.record_count) && in.read(stats.cluster_count) &&
+         in.read(stats.queue_depth) && in.read(stats.degraded_shards) &&
+         in.read(stats.failed_shards) && in.read(stats.requests) &&
+         in.read(stats.shed) && in.pos == in.size;
+}
+
+// --- error -------------------------------------------------------------------
+
+void encode_error_response(std::string& out, std::uint64_t request_id,
+                           error_code code, const std::string& message) {
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::error, request_id,
+                            sizeof(std::uint16_t) + sizeof(std::uint32_t) +
+                                message.size(),
+                            start);
+  cursor.put(static_cast<std::uint16_t>(code));
+  cursor.put(static_cast<std::uint32_t>(message.size()));
+  cursor.put_bytes(message.data(), message.size());
+  seal_frame(out, start, cursor);
+}
+
+bool parse_error_response(const frame_view& frame, error_code& code,
+                          std::string& message) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  std::uint16_t raw = 0;
+  std::uint32_t len = 0;
+  if (!in.read(raw) || !in.read(len)) return false;
+  if (len > in.size - in.pos) return false;
+  message.resize(len);
+  if (!in.read_bytes(message.data(), len)) return false;
+  code = static_cast<error_code>(raw);
+  return in.pos == in.size;
+}
+
+}  // namespace spechd::net

@@ -1,11 +1,13 @@
 #include "serve/maintenance.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace spechd::serve {
 
 maintenance_scheduler::maintenance_scheduler(maintenance_config config, hooks hooks)
-    : config_(config), hooks_(std::move(hooks)) {
+    : config_(config), hooks_(std::move(hooks)),
+      heal_backoff_(config.heal_backoff_initial) {
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -41,7 +43,40 @@ void maintenance_scheduler::loop() {
     } catch (...) {
       failures_.fetch_add(1, std::memory_order_relaxed);
     }
+    maybe_heal();
     lock.lock();
+  }
+}
+
+void maintenance_scheduler::maybe_heal() {
+  // Auto-heal: a degraded shard stays read-only until a journal
+  // compaction reconciles it, but nothing used to *schedule* that
+  // compaction — producers kept getting rejections until an operator
+  // intervened. The scheduler now triggers the heal itself once the
+  // backoff window elapses: success resets the backoff (the I/O condition
+  // cleared), a throw doubles it (the condition persists — EIO, full
+  // disk, a sticky failed shard blocking compaction), capped so a long
+  // outage is still probed regularly.
+  if (!hooks_.degraded_shards || !hooks_.heal) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_heal_) return;
+  std::size_t degraded = 0;
+  try {
+    degraded = hooks_.degraded_shards();
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (degraded == 0) return;
+  heal_attempts_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    heals_.fetch_add(hooks_.heal(), std::memory_order_relaxed);
+    heal_backoff_ = config_.heal_backoff_initial;
+    next_heal_ = now;  // a fresh degradation may heal immediately
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    next_heal_ = now + heal_backoff_;
+    heal_backoff_ = std::min(heal_backoff_ * 2, config_.heal_backoff_max);
   }
 }
 
@@ -51,6 +86,8 @@ maintenance_scheduler::counters maintenance_scheduler::stats() const {
   c.reclusters = reclusters_.load(std::memory_order_relaxed);
   c.compactions = compactions_.load(std::memory_order_relaxed);
   c.failures = failures_.load(std::memory_order_relaxed);
+  c.heal_attempts = heal_attempts_.load(std::memory_order_relaxed);
+  c.heals = heals_.load(std::memory_order_relaxed);
   return c;
 }
 

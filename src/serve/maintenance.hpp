@@ -31,6 +31,14 @@ struct maintenance_config {
   /// Poll period. Each tick is cheap when there is nothing to do (a stats
   /// read per shard), so sub-second intervals are fine.
   std::chrono::milliseconds interval{250};
+  /// Auto-heal backoff: when a shard is degraded the scheduler attempts a
+  /// heal (journal compaction) itself; each *failed* attempt doubles the
+  /// wait before the next one, from `heal_backoff_initial` up to
+  /// `heal_backoff_max`, and a success resets it — so a persistent I/O
+  /// condition is probed gently while a transient one heals within one
+  /// backoff step of clearing.
+  std::chrono::milliseconds heal_backoff_initial{500};
+  std::chrono::milliseconds heal_backoff_max{30000};
 };
 
 class maintenance_scheduler {
@@ -42,6 +50,14 @@ public:
     /// Compact the journal if a threshold is exceeded; returns true when
     /// a compaction ran.
     std::function<bool()> maybe_compact;
+    /// Cheap poll: how many shards are currently degraded (read-only).
+    /// Unset (together with `heal`) disables auto-healing — e.g. for
+    /// unjournaled services, where compaction (the heal) does not exist.
+    std::function<std::size_t()> degraded_shards;
+    /// Attempt the heal (journal compaction reconciles and heals every
+    /// degraded shard); returns how many shards it healed, throws while
+    /// the underlying I/O condition persists (→ backoff doubles).
+    std::function<std::size_t()> heal;
   };
 
   /// Counters for observability (read from any thread). A non-zero
@@ -52,6 +68,8 @@ public:
     std::uint64_t reclusters = 0;
     std::uint64_t compactions = 0;
     std::uint64_t failures = 0;
+    std::uint64_t heal_attempts = 0;  ///< auto-heal tries (degraded shards seen)
+    std::uint64_t heals = 0;          ///< shards healed back to healthy
   };
 
   /// Starts the background thread immediately.
@@ -72,16 +90,25 @@ public:
 
 private:
   void loop();
+  /// One auto-heal consideration (loop thread): attempt a heal when a
+  /// shard is degraded and the backoff window has elapsed.
+  void maybe_heal();
 
   maintenance_config config_;
   hooks hooks_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+  /// Auto-heal pacing (loop-thread-only): next attempt time and the
+  /// current backoff step.
+  std::chrono::steady_clock::time_point next_heal_{};
+  std::chrono::milliseconds heal_backoff_{0};
   std::atomic<std::uint64_t> ticks_{0};
   std::atomic<std::uint64_t> reclusters_{0};
   std::atomic<std::uint64_t> compactions_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> heal_attempts_{0};
+  std::atomic<std::uint64_t> heals_{0};
   std::thread thread_;  ///< last member: starts after everything above
 };
 

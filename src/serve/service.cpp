@@ -45,9 +45,42 @@ clustering_service::clustering_service(serve_config config)
       return accepted;
     };
     hooks.maybe_compact = [this] { return maybe_compact_journal(); };
+    if (journaled()) {
+      // Auto-heal (journaled services only — compaction *is* the heal, so
+      // an unjournaled degraded shard has no automated path back): poll
+      // for degraded shards, compact when one appears, let the scheduler
+      // pace retries with exponential backoff while the I/O fault lasts.
+      hooks.degraded_shards = [this] { return count_degraded(); };
+      hooks.heal = [this] {
+        const auto before = count_degraded();
+        if (before == 0) return std::size_t{0};
+        compact_journal();  // throws while the condition persists
+        return before - count_degraded();
+      };
+    }
     maintenance_ =
         std::make_unique<maintenance_scheduler>(config_.maintenance, std::move(hooks));
   }
+}
+
+std::size_t clustering_service::count_degraded() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->health() == shard_health::degraded ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t clustering_service::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& s : shards_) depth += s->queue_depth();
+  return depth;
+}
+
+std::optional<maintenance_scheduler::counters> clustering_service::maintenance_stats()
+    const {
+  if (!maintenance_) return std::nullopt;
+  return maintenance_->stats();
 }
 
 void clustering_service::attach_journal_dir() {

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,13 @@ public:
 
   service_stats stats() const;
 
+  /// Total ingest jobs queued across shards right now — the admission-
+  /// control signal the network tier sheds on. Much cheaper than stats().
+  std::size_t queue_depth() const;
+
+  /// Background-scheduler counters (nullopt when maintenance is disabled).
+  std::optional<maintenance_scheduler::counters> maintenance_stats() const;
+
   /// Drains, then writes the complete service state to `path` (.sphsnap).
   void snapshot_file(const std::string& path);
 
@@ -191,6 +199,7 @@ public:
 private:
   void attach_journal_dir();
   void compact_journal_locked();  ///< body of compact_journal; needs compact_mutex_
+  std::size_t count_degraded() const;  ///< shards currently degraded
   journal_file_header shard_journal_header(std::size_t shard, std::uint64_t generation) const;
 
   /// Enqueues a multi-shard batch as one atomic transaction (atomic_ingest

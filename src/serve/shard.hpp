@@ -174,6 +174,10 @@ public:
     return health_.load(std::memory_order_relaxed);
   }
 
+  /// Ingest jobs currently queued (one queue-size read; the network
+  /// tier's admission control polls this on every ingest request).
+  std::size_t queue_depth() const { return queue_.size(); }
+
   /// Why the shard left healthy (empty string while healthy).
   std::string health_message() const;
 

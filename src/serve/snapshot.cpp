@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "util/crc32.hpp"
+#include "util/endian.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/io.hpp"
@@ -117,6 +118,13 @@ std::string read_verified_payload(std::istream& in, const std::string& source) {
   }
   const auto version = get<std::uint32_t>(in, source);
   if (version != k_version) {
+    // A byte-reversed version is a snapshot copied from a big-endian host:
+    // diagnose that directly rather than as a bogus huge version number.
+    if (version == util::byteswap32(k_version)) {
+      throw parse_error(source, 0,
+                        "snapshot was written by a big-endian host; spechd on-disk "
+                        "formats are little-endian and cannot be read here");
+    }
     throw parse_error(source, 0,
                       "unsupported snapshot version " + std::to_string(version));
   }

@@ -1,0 +1,33 @@
+// Byte-order contract for every SpecHD serialized format.
+//
+// The `.sphsnap` / `.sphjrnl` / `.sphv` files and the network wire frames
+// all write fixed-width integers and floats by memcpy of the host
+// representation. That is only a portable format if the host order is
+// pinned, so the encode is *defined* as little-endian and the build
+// refuses to compile anywhere else — the honest failure mode until a
+// byte-swapping reader exists. Readers use `byteswap32` to recognise a
+// file or frame written by a big-endian peer and name the real problem
+// ("foreign-endian writer") instead of surfacing it as a misleading
+// CRC/version mismatch.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace spechd::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "SpecHD serialized formats (.sphsnap/.sphjrnl/.sphv and the "
+              "net wire protocol) are defined as little-endian and this "
+              "port writes host-order bytes; building on a big-endian "
+              "target requires adding byte-swapping serialization first");
+
+/// Byte-reverses a u32 — what a fixed-width field written by a
+/// foreign-endian host reads back as. Used to turn "unsupported version
+/// 33554432" into "written by a big-endian host".
+constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000FFU) << 24) | ((v & 0x0000FF00U) << 8) |
+         ((v & 0x00FF0000U) >> 8) | ((v & 0xFF000000U) >> 24);
+}
+
+}  // namespace spechd::util

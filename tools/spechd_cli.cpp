@@ -18,12 +18,16 @@
 // Unknown subcommands, unknown flags, and stray arguments are errors
 // (usage on stderr, exit 2) — never silently ignored.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/incremental.hpp"
@@ -37,6 +41,8 @@
 #include "ms/mzml.hpp"
 #include "ms/mzxml.hpp"
 #include "ms/synthetic.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "preprocess/pipeline.hpp"
 #include "serve/service.hpp"
 #include "util/failpoint.hpp"
@@ -130,7 +136,11 @@ void print_usage(std::ostream& out) {
       "                 [--journal-dir DIR] [--publish-every N] [--atomic]\n"
       "                 [--failpoints SPEC] [--failpoint-seed S]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
-      "                 [--snapshot out.sphsnap]\n"
+      "                 [--snapshot out.sphsnap] [--listen HOST:PORT]\n"
+      "                 [--shed-depth N]\n"
+      "  spechd client  --connect HOST:PORT [--batch B] [--timeout MS]\n"
+      "                 [--ingest spectra-file]... [--query spectra-file]\n"
+      "                 [--ping] [--stats] [--drain]\n"
       "  spechd recover --journal-dir DIR [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
       "                 [--failpoints SPEC] [--failpoint-seed S]\n"
@@ -429,6 +439,14 @@ void print_service_state(serve::clustering_service& service) {
   }
 }
 
+/// The one live server, for the SIGTERM/SIGINT handler (request_stop is
+/// async-signal-safe: one eventfd write).
+std::atomic<spechd::net::server*> g_server{nullptr};
+
+extern "C" void handle_shutdown_signal(int) {
+  if (auto* s = g_server.load(std::memory_order_acquire)) s->request_stop();
+}
+
 int cmd_serve(arg_list& args) {
   serve::serve_config config;
   config.pipeline.threads = 1;  // per-shard pools; shards are the parallelism
@@ -447,11 +465,14 @@ int cmd_serve(arg_list& args) {
   const auto restore = args.take_option("--restore");
   const auto snapshot = args.take_option("--snapshot");
   const auto query_file = args.take_option("--query");
+  const auto listen = args.take_option("--listen");
+  const auto shed_depth = args.take_option("--shed-depth");
   std::vector<std::string> ingest_files;
   while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
   if (const int rc = reject_leftovers(args, "serve", 0)) return rc;
-  if (!restore && ingest_files.empty() && !query_file && !snapshot) {
-    std::cerr << "serve: nothing to do (need --restore, --ingest, --query, or --snapshot)\n";
+  if (!restore && ingest_files.empty() && !query_file && !snapshot && !listen) {
+    std::cerr << "serve: nothing to do (need --restore, --ingest, --query, "
+                 "--snapshot, or --listen)\n";
     return 2;
   }
   if (batch_size == 0) {
@@ -560,7 +581,155 @@ int cmd_serve(arg_list& args) {
               << " s)\n";
   }
 
+  if (listen) {
+    // Network front end: serve the framed binary protocol until SIGTERM/
+    // SIGINT, then drain the service (journal catches up) before the
+    // closing state report — a clean shutdown loses nothing enqueued.
+    net::server_config net_config;
+    try {
+      std::tie(net_config.host, net_config.port) = net::split_host_port(*listen);
+      if (shed_depth) net_config.shed_queue_depth = std::stoul(*shed_depth);
+      net::server server(service, net_config);
+      g_server.store(&server, std::memory_order_release);
+      std::signal(SIGTERM, handle_shutdown_signal);
+      std::signal(SIGINT, handle_shutdown_signal);
+      std::cout << "serving on " << net_config.host << ":" << server.port()
+                << " (" << config.shards << " shards)" << std::endl;
+      server.wait();
+      g_server.store(nullptr, std::memory_order_release);
+      const auto counters = server.counters();
+      std::cout << "server stopped: " << counters.accepted << " connections, "
+                << counters.requests << " requests, " << counters.shed
+                << " shed, " << counters.protocol_errors << " protocol errors\n";
+    } catch (const spechd::error& e) {
+      g_server.store(nullptr, std::memory_order_release);
+      std::cerr << "spechd serve: " << e.what() << "\n";
+      return 2;
+    }
+    service.drain();
+  }
+
   print_service_state(service);
+  return 0;
+}
+
+/// Minimal remote workload driver over the binary protocol — the
+/// operational counterpart of `serve --listen` (and what the CI loopback
+/// smoke job exercises end-to-end).
+int cmd_client(arg_list& args) {
+  const auto connect = args.take_option("--connect");
+  std::size_t batch_size = 256;
+  net::client_config client_config;
+  if (const auto v = args.take_option("--batch")) batch_size = std::stoul(*v);
+  if (const auto v = args.take_option("--timeout")) {
+    client_config.timeout = std::chrono::milliseconds(std::stoul(*v));
+  }
+  const auto query_file = args.take_option("--query");
+  const bool want_ping = args.take_flag("--ping");
+  const bool want_stats = args.take_flag("--stats");
+  const bool want_drain = args.take_flag("--drain");
+  std::vector<std::string> ingest_files;
+  while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
+  if (const int rc = reject_leftovers(args, "client", 0)) return rc;
+  if (!connect) {
+    std::cerr << "client: missing --connect HOST:PORT\n";
+    return 2;
+  }
+  if (batch_size == 0) {
+    std::cerr << "client: --batch must be >= 1\n";
+    return 2;
+  }
+
+  const auto [host, port] = net::split_host_port(*connect);
+  net::client client(host, port, client_config);
+  if (want_ping) {
+    client.ping();
+    std::cout << "pong from " << *connect << "\n";
+  }
+
+  using clock = std::chrono::steady_clock;
+  for (const auto& file : ingest_files) {
+    auto spectra = read_any(file);
+    const auto total = spectra.size();
+    std::size_t accepted = 0;
+    std::size_t shed = 0;
+    const auto start = clock::now();
+    for (std::size_t offset = 0; offset < total; offset += batch_size) {
+      const auto end = std::min(offset + batch_size, total);
+      const std::vector<ms::spectrum> batch(
+          spectra.begin() + static_cast<std::ptrdiff_t>(offset),
+          spectra.begin() + static_cast<std::ptrdiff_t>(end));
+      // Shed batches are retried after a short backoff — admission control
+      // asks the producer to slow down, not to drop data.
+      for (;;) {
+        const auto r = client.ingest(batch);
+        if (r.accepted) {
+          accepted += r.count;
+          break;
+        }
+        ++shed;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    const double seconds = std::chrono::duration<double>(clock::now() - start).count();
+    std::cout << "ingested " << accepted << " spectra from " << file << " in "
+              << seconds << " s";
+    if (shed > 0) std::cout << " (" << shed << " shed responses, retried)";
+    std::cout << "\n";
+  }
+
+  if (query_file) {
+    const auto queries = read_any(*query_file);
+    std::size_t matched = 0;
+    std::size_t unencodable = 0;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(queries.size());
+    for (const auto& q : queries) {
+      const auto start = clock::now();
+      const auto r = client.query(q);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - start).count());
+      if (!r.encodable) {
+        ++unencodable;
+      } else if (r.matched) {
+        ++matched;
+      }
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    text_table table("remote query workload: " + *query_file);
+    table.set_header({"metric", "value"});
+    table.add_row({"queries", text_table::num(queries.size())});
+    table.add_row({"matched", text_table::num(matched)});
+    table.add_row({"unmatched",
+                   text_table::num(queries.size() - matched - unencodable)});
+    table.add_row({"unencodable", text_table::num(unencodable)});
+    table.add_row({"latency p50 (us)",
+                   text_table::num(percentile_sorted(latencies_us, 0.50), 1)});
+    table.add_row({"latency p99 (us)",
+                   text_table::num(percentile_sorted(latencies_us, 0.99), 1)});
+    table.print(std::cout);
+  }
+
+  if (want_drain) {
+    client.drain();
+    std::cout << "drained\n";
+  }
+
+  if (want_stats) {
+    const auto s = client.stats();
+    text_table table("remote service stats: " + *connect);
+    table.set_header({"counter", "value"});
+    table.add_row({"records", text_table::num(s.record_count)});
+    table.add_row({"clusters", text_table::num(s.cluster_count)});
+    table.add_row({"ingested", text_table::num(s.ingested)});
+    table.add_row({"batches", text_table::num(s.batches)});
+    table.add_row({"queue depth", text_table::num(s.queue_depth)});
+    table.add_row({"degraded shards", text_table::num(s.degraded_shards)});
+    table.add_row({"failed shards", text_table::num(s.failed_shards)});
+    table.add_row({"server requests", text_table::num(s.requests)});
+    table.add_row({"server shed", text_table::num(s.shed)});
+    table.print(std::cout);
+  }
   return 0;
 }
 
@@ -660,6 +829,11 @@ int cmd_model(arg_list& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A peer disconnecting mid-write must be an EPIPE errno, not a fatal
+  // signal — both server and client send with MSG_NOSIGNAL, but third-
+  // party code (or a future write path) must not be able to kill the
+  // process either.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage_error();
   const std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
@@ -673,6 +847,7 @@ int main(int argc, char** argv) {
     if (command == "encode") return cmd_encode(args);
     if (command == "cluster") return cmd_cluster(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
     if (command == "recover") return cmd_recover(args);
     if (command == "model") return cmd_model(args);
     std::cerr << "unknown command: " << command << "\n";
