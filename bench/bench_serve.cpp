@@ -1,8 +1,10 @@
 // Serving-path bench: sustained ingest throughput (journaled and
 // unjournaled), query latency percentiles (idle and under concurrent
 // ingest), snapshot round-trip time, crash-recovery replay time, an
-// ingest/query thread-scaling sweep, and a fault phase (journaled ingest
-// under injected fsync latency/errors via the failpoint registry).
+// ingest/query thread-scaling sweep, a fault phase (journaled ingest
+// under injected fsync latency/errors via the failpoint registry), and an
+// open-modification search phase (spectral-library build rate + shifted-
+// bucket top-k query latency).
 //
 //   bench_serve [--threads=N] [--variant=V] [--n=SPECTRA] [--dim=D] [--json=PATH]
 //
@@ -25,6 +27,7 @@
 #include "bench_common.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "serve/search.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "util/error.hpp"
@@ -636,6 +639,83 @@ int main(int argc, char** argv) {
       json.field("seconds", wall);
       json.end_object();
     }
+    json.end_object();
+  }
+
+  // --- phase 8: open-modification search (library build + top-k query) ------
+  {
+    std::cout << "\n[search] spectral library build + shifted-bucket top-k\n";
+    const auto search_config = make_config(opts, 1);
+
+    const auto build_start = clock_type::now();
+    const auto library =
+        serve::spectral_library::from_spectra(stream, search_config.pipeline);
+    const double build_seconds =
+        std::chrono::duration<double>(clock_type::now() - build_start).count();
+    const double build_rate =
+        build_seconds > 0.0 ? static_cast<double>(stream.size()) / build_seconds : 0.0;
+    std::cout << "  library build: " << library.size() << " entries in "
+              << library.bucket_count() << " buckets, " << build_seconds << " s ("
+              << build_rate << " spectra/s)\n";
+
+    // Round-trip through the on-disk .sphlib so the measured query path is
+    // the exact one `serve --library` answers query_topk with.
+    const std::string lib_path =
+        (std::filesystem::temp_directory_path() /
+         ("spechd_bench_library_" + std::to_string(::getpid()) + ".sphlib"))
+            .string();
+    library.save(lib_path);
+    serve::clustering_service searcher(search_config);
+    searcher.load_library(lib_path);
+    std::remove(lib_path.c_str());
+
+    constexpr std::size_t k_top_k = 10;
+    constexpr double k_tolerance_da = 2.5;
+    const std::size_t search_queries = std::min<std::size_t>(stream.size(), 2000);
+    std::vector<double> latencies;
+    latencies.reserve(search_queries);
+    std::uint64_t candidates = 0;
+    std::uint64_t buckets_probed = 0;
+    const auto start = clock_type::now();
+    for (std::size_t i = 0; i < search_queries; ++i) {
+      const auto& q = stream[(i * 17) % stream.size()];
+      const auto t0 = clock_type::now();
+      const auto r = searcher.search(q, k_top_k, k_tolerance_da);
+      latencies.push_back(
+          std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+      candidates += r.candidates;
+      buckets_probed += r.buckets_probed;
+      if (!r.hits.empty() && r.hits.front().distance > 1.0) std::abort();
+    }
+    const double wall =
+        std::chrono::duration<double>(clock_type::now() - start).count();
+    const auto q = summarize_latencies(std::move(latencies), wall);
+    const double mean_candidates =
+        search_queries > 0 ? static_cast<double>(candidates) /
+                                 static_cast<double>(search_queries)
+                           : 0.0;
+    std::cout << "  top-" << k_top_k << " @ ±" << k_tolerance_da << " Da: "
+              << q.qps << " q/s, p50 " << q.p50_us << " us, p99 " << q.p99_us
+              << " us (" << mean_candidates << " candidates/query)\n";
+
+    json.begin_object("search");
+    json.field("library_entries", library.size());
+    json.field("library_buckets", library.bucket_count());
+    json.field("build_seconds", build_seconds);
+    json.field("build_spectra_per_sec", build_rate);
+    json.field("queries", search_queries);
+    json.field("top_k", k_top_k);
+    json.field("tolerance_da", k_tolerance_da);
+    json.field("mean_candidates_per_query", mean_candidates);
+    json.field("mean_buckets_probed",
+               search_queries > 0 ? static_cast<double>(buckets_probed) /
+                                        static_cast<double>(search_queries)
+                                  : 0.0);
+    json.field("p50_us", q.p50_us);
+    json.field("p90_us", q.p90_us);
+    json.field("p99_us", q.p99_us);
+    json.field("mean_us", q.mean_us);
+    json.field("qps", q.qps);
     json.end_object();
   }
 

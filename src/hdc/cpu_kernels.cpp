@@ -69,6 +69,51 @@ void hamming_tile_packed_scalar(const std::uint64_t* rows, std::size_t n_rows,
   }
 }
 
+// The packed comparison key of one candidate: counts are at most 64 * words
+// (a popcount), far below 2^32, so (count << 32 | index) orders exactly by
+// (count, index) — the deterministic lowest-index tie-break.
+inline std::uint64_t kselect_key(std::uint32_t count, std::uint32_t index) noexcept {
+  return (static_cast<std::uint64_t>(count) << 32) | index;
+}
+
+/// Inserts (count, index) into the sorted prefix out[0..size), bounded at
+/// `cap` entries: a candidate no better than the current worst of a full
+/// buffer is rejected, otherwise the worst is dropped and the candidate is
+/// placed by binary search + memmove. Shared by every variant — the SIMD
+/// paths only differ in how they *skip* non-qualifying candidates.
+inline void kselect_insert(select_entry* out, std::size_t& size, std::size_t cap,
+                           std::uint32_t count, std::uint32_t index) noexcept {
+  const std::uint64_t key = kselect_key(count, index);
+  if (size == cap) {
+    if (key >= kselect_key(out[size - 1].count, out[size - 1].index)) return;
+    --size;
+  }
+  std::size_t lo = 0;
+  std::size_t hi = size;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (key < kselect_key(out[mid].count, out[mid].index)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::memmove(out + lo + 1, out + lo, (size - lo) * sizeof(select_entry));
+  out[lo] = {count, index};
+  ++size;
+}
+
+std::size_t k_select_scalar(const std::uint32_t* counts, std::size_t n, std::size_t k,
+                            select_entry* out) noexcept {
+  const std::size_t cap = std::min(k, n);
+  if (cap == 0) return 0;
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    kselect_insert(out, size, cap, counts[i], static_cast<std::uint32_t>(i));
+  }
+  return size;
+}
+
 row_min nearest_active_scan_scalar(const double* row, const std::uint8_t* active,
                                    std::size_t n) noexcept {
   constexpr double inf = std::numeric_limits<double>::infinity();
@@ -302,6 +347,40 @@ __attribute__((target("avx2"))) void hamming_tile_packed_avx2(
       out[c] = static_cast<std::uint32_t>(xor_popcount_avx2(ra, cols + c * words, words));
     }
   }
+}
+
+/// k-select, AVX2: scan 8 counts per compare against the running k-th best
+/// count. `v <= thr` (unsigned, via min+cmpeq) is a *superset* of "improves
+/// the top-k" — equal-count/higher-index candidates pass the lane test but
+/// are rejected by kselect_insert's full-key compare — so skipped blocks
+/// can never drop a qualifying candidate and the output stays bit-identical
+/// to the scalar insertion order (which itself equals the sorted prefix).
+__attribute__((target("avx2"))) std::size_t k_select_avx2(const std::uint32_t* counts,
+                                                          std::size_t n, std::size_t k,
+                                                          select_entry* out) noexcept {
+  const std::size_t cap = std::min(k, n);
+  if (cap == 0) return 0;
+  std::size_t size = 0;
+  std::size_t i = 0;
+  for (; i < n && size < cap; ++i) {
+    kselect_insert(out, size, cap, counts[i], static_cast<std::uint32_t>(i));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256i thr = _mm256_set1_epi32(static_cast<int>(out[cap - 1].count));
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i));
+    const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(v, thr), v);
+    unsigned hits = static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(le)));
+    while (hits != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(hits));
+      hits &= hits - 1;
+      kselect_insert(out, size, cap, counts[i + lane],
+                     static_cast<std::uint32_t>(i + lane));
+    }
+  }
+  for (; i < n; ++i) {
+    kselect_insert(out, size, cap, counts[i], static_cast<std::uint32_t>(i));
+  }
+  return size;
 }
 
 /// 4 active bytes -> 4 all-ones/all-zeros double lanes.
@@ -783,6 +862,37 @@ void hamming_tile_packed_avx512(const std::uint64_t* rows, std::size_t n_rows,
   }
 }
 
+/// k-select, AVX-512: 16-lane unsigned compare-mask against the running
+/// k-th best count. Same superset-prune contract as the AVX2 variant (the
+/// threshold only tightens inside a block, so a stale per-block threshold
+/// still never skips a qualifying lane), same bit-identical output.
+__attribute__((target("avx512f"))) std::size_t k_select_avx512(const std::uint32_t* counts,
+                                                               std::size_t n, std::size_t k,
+                                                               select_entry* out) noexcept {
+  const std::size_t cap = std::min(k, n);
+  if (cap == 0) return 0;
+  std::size_t size = 0;
+  std::size_t i = 0;
+  for (; i < n && size < cap; ++i) {
+    kselect_insert(out, size, cap, counts[i], static_cast<std::uint32_t>(i));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m512i thr = _mm512_set1_epi32(static_cast<int>(out[cap - 1].count));
+    const __m512i v = _mm512_loadu_si512(counts + i);
+    unsigned hits = _mm512_cmple_epu32_mask(v, thr);
+    while (hits != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(hits));
+      hits &= hits - 1;
+      kselect_insert(out, size, cap, counts[i + lane],
+                     static_cast<std::uint32_t>(i + lane));
+    }
+  }
+  for (; i < n; ++i) {
+    kselect_insert(out, size, cap, counts[i], static_cast<std::uint32_t>(i));
+  }
+  return size;
+}
+
 /// 8 active bytes -> an 8-lane predicate mask.
 __attribute__((target("avx512f"))) inline __mmask8 active_mask_avx512(
     const std::uint8_t* active) {
@@ -989,6 +1099,8 @@ struct kernel_table {
                        std::size_t, std::size_t, std::uint32_t*) noexcept;
   void (*hamming_tile_packed)(const std::uint64_t*, std::size_t, const std::uint64_t*,
                               std::size_t, std::size_t, std::uint32_t*) noexcept;
+  std::size_t (*k_select)(const std::uint32_t*, std::size_t, std::size_t,
+                          select_entry*) noexcept;
   void (*bitsliced_add)(std::uint64_t*, std::size_t, std::size_t,
                         const std::uint64_t*) noexcept;
   row_min (*nearest_active_scan)(const double*, const std::uint8_t*,
@@ -1005,6 +1117,7 @@ constexpr kernel_table scalar_table{popcount_scalar,
                                     xor_popcount_scalar,
                                     hamming_tile_scalar,
                                     hamming_tile_packed_scalar,
+                                    k_select_scalar,
                                     bitsliced_add_scalar,
                                     nearest_active_scan_scalar,
                                     lance_williams_row_update_scalar,
@@ -1017,6 +1130,7 @@ kernel_table table_for(variant v) noexcept {
     case variant::avx2:
       return {popcount_avx2,           xor_popcount_avx2,
               hamming_tile_avx2,       hamming_tile_packed_avx2,
+              k_select_avx2,
               bitsliced_add_avx2,
               nearest_active_scan_avx2, lance_williams_row_update_avx2,
               nearest_active_scan_f32_avx2, lance_williams_row_update_f32_avx2};
@@ -1025,6 +1139,7 @@ kernel_table table_for(variant v) noexcept {
       // AVX2 add alongside the 512-bit popcount datapath measures fastest.
       return {popcount_avx512,          xor_popcount_avx512,
               hamming_tile_avx512,      hamming_tile_packed_avx512,
+              k_select_avx512,
               bitsliced_add_avx2,
               nearest_active_scan_avx512, lance_williams_row_update_avx512,
               nearest_active_scan_f32_avx512, lance_williams_row_update_f32_avx512};
@@ -1118,6 +1233,11 @@ void hamming_tile_packed(const std::uint64_t* rows, std::size_t n_rows,
                          const std::uint64_t* cols, std::size_t n_cols, std::size_t words,
                          std::uint32_t* counts) noexcept {
   state().table.hamming_tile_packed(rows, n_rows, cols, n_cols, words, counts);
+}
+
+std::size_t k_select(const std::uint32_t* counts, std::size_t n, std::size_t k,
+                     select_entry* out) noexcept {
+  return state().table.k_select(counts, n, k, out);
 }
 
 row_min nearest_active_scan(const double* row, const std::uint8_t* active,

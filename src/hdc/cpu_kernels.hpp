@@ -107,6 +107,33 @@ void hamming_tile_packed(const std::uint64_t* rows, std::size_t n_rows,
                          std::size_t words, std::uint32_t* counts) noexcept;
 
 // ---------------------------------------------------------------------------
+// top-k selection (OMS retrieval over per-bucket Hamming count rows)
+// ---------------------------------------------------------------------------
+
+/// One k-select hit: a Hamming count and the candidate index that produced
+/// it. Ordered by the packed (count, index) key — lower count first, lower
+/// index among equal counts — which is the deterministic tie-break every
+/// variant must reproduce.
+struct select_entry {
+  std::uint32_t count = 0;
+  std::uint32_t index = 0;
+
+  friend constexpr bool operator==(const select_entry&, const select_entry&) = default;
+};
+
+/// Writes the min(k, n) smallest entries of counts[0..n) into out, sorted
+/// ascending by (count, index). The output is a *totally ordered prefix* —
+/// fully determined by the input — so every variant is bit-identical by
+/// construction: ties between equal counts always resolve to the lowest
+/// index, exactly like a std::partial_sort over (count << 32 | index) keys.
+/// `out` must hold at least min(k, n) entries. Returns the number written.
+/// The SIMD variants prune with a vectorised compare against the current
+/// k-th best count (a superset test), so candidate rows where most counts
+/// are worse than the running top-k skip 8/16 lanes per instruction.
+std::size_t k_select(const std::uint32_t* counts, std::size_t n, std::size_t k,
+                     select_entry* out) noexcept;
+
+// ---------------------------------------------------------------------------
 // HAC row kernels (NN-chain over a flat n×n working matrix)
 // ---------------------------------------------------------------------------
 

@@ -160,6 +160,20 @@ serve::query_result client::query(const ms::spectrum& spectrum) {
   return result;
 }
 
+serve::search_result client::search(const ms::spectrum& spectrum, std::uint32_t top_k,
+                                    double tolerance_da) {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_search_request(frame, id, spectrum, top_k, tolerance_da);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::query_topk_ok, id);
+  serve::search_result result;
+  const bool ok = parse_search_response(response, result);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed query_topk_ok body");
+  return result;
+}
+
 wire_stats client::stats() {
   const std::uint64_t id = next_request_id_++;
   std::string frame;

@@ -75,6 +75,12 @@ public:
 
   serve::query_result query(const ms::spectrum& spectrum);
 
+  /// OMS search (`query --topk`): top-k spectral-library retrieval with a
+  /// precursor-mass-shift tolerance in Da. Throws remote_error with code
+  /// `rejected` when the server has no library loaded.
+  serve::search_result search(const ms::spectrum& spectrum, std::uint32_t top_k,
+                              double tolerance_da);
+
   wire_stats stats();
 
   /// Server-side barrier: returns once everything this connection (and

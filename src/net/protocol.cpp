@@ -55,6 +55,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::query:
     case msg_type::stats:
     case msg_type::drain:
+    case msg_type::query_topk:
     case msg_type::hello_ok:
     case msg_type::pong:
     case msg_type::ingest_ok:
@@ -62,6 +63,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::stats_ok:
     case msg_type::drain_ok:
     case msg_type::error:
+    case msg_type::query_topk_ok:
       return true;
   }
   return false;
@@ -75,6 +77,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::query: return "query";
     case msg_type::stats: return "stats";
     case msg_type::drain: return "drain";
+    case msg_type::query_topk: return "query_topk";
     case msg_type::hello_ok: return "hello_ok";
     case msg_type::pong: return "pong";
     case msg_type::ingest_ok: return "ingest_ok";
@@ -82,6 +85,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::stats_ok: return "stats_ok";
     case msg_type::drain_ok: return "drain_ok";
     case msg_type::error: return "error";
+    case msg_type::query_topk_ok: return "query_topk_ok";
   }
   return "unknown";
 }
@@ -273,6 +277,82 @@ bool parse_query_response(const frame_view& frame, serve::query_result& result) 
   result.matched = matched != 0;
   result.shard = shard;
   result.cluster_size = cluster_size;
+  return in.pos == in.size;
+}
+
+// --- search (query_topk) -----------------------------------------------------
+
+void encode_search_request(std::string& out, std::uint64_t request_id,
+                           const ms::spectrum& spectrum, std::uint32_t top_k,
+                           double tolerance_da) {
+  const std::size_t body =
+      sizeof(std::uint32_t) + sizeof(double) + ms::spectrum_wire_bytes(spectrum);
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::query_topk, request_id, body, start);
+  cursor.put(top_k);
+  cursor.put(tolerance_da);
+  ms::write_spectrum(cursor, spectrum);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_search_request(const frame_view& frame, ms::spectrum& spectrum,
+                          std::uint32_t& top_k, double& tolerance_da) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  return in.read(top_k) && in.read(tolerance_da) && ms::read_spectrum(in, spectrum) &&
+         in.pos == in.size;
+}
+
+void encode_search_response(std::string& out, std::uint64_t request_id,
+                            const serve::search_result& result) {
+  std::size_t body = sizeof(std::uint8_t) + 2 * sizeof(std::uint64_t) +
+                     sizeof(std::uint32_t);
+  for (const auto& hit : result.hits) {
+    body += 2 * sizeof(std::uint32_t) + 2 * sizeof(double) + sizeof(std::int64_t) +
+            sizeof(std::int32_t) + sizeof(std::uint32_t) + hit.name.size();
+  }
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::query_topk_ok, request_id, body, start);
+  cursor.put(static_cast<std::uint8_t>(result.encodable ? 1 : 0));
+  cursor.put(result.buckets_probed);
+  cursor.put(result.candidates);
+  cursor.put(static_cast<std::uint32_t>(result.hits.size()));
+  for (const auto& hit : result.hits) {
+    cursor.put(hit.id);
+    cursor.put(hit.hamming);
+    cursor.put(hit.distance);
+    cursor.put(hit.bucket_key);
+    cursor.put(hit.precursor_mz);
+    cursor.put(hit.precursor_charge);
+    cursor.put(static_cast<std::uint32_t>(hit.name.size()));
+    cursor.put_bytes(hit.name.data(), hit.name.size());
+  }
+  seal_frame(out, start, cursor);
+}
+
+bool parse_search_response(const frame_view& frame, serve::search_result& result) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  std::uint8_t encodable = 0;
+  std::uint32_t hit_count = 0;
+  if (!in.read(encodable) || !in.read(result.buckets_probed) ||
+      !in.read(result.candidates) || !in.read(hit_count)) {
+    return false;
+  }
+  result.encodable = encodable != 0;
+  // Each hit is > 1 byte; a hostile count can't drive a huge allocation.
+  if (hit_count > in.size - in.pos) return false;
+  result.hits.clear();
+  result.hits.resize(hit_count);
+  for (auto& hit : result.hits) {
+    std::uint32_t name_bytes = 0;
+    if (!in.read(hit.id) || !in.read(hit.hamming) || !in.read(hit.distance) ||
+        !in.read(hit.bucket_key) || !in.read(hit.precursor_mz) ||
+        !in.read(hit.precursor_charge) || !in.read(name_bytes)) {
+      return false;
+    }
+    if (name_bytes > in.size - in.pos) return false;
+    hit.name.resize(name_bytes);
+    if (!in.read_bytes(hit.name.data(), name_bytes)) return false;
+  }
   return in.pos == in.size;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ms/spectrum.hpp"
+#include "serve/search.hpp"
 #include "serve/shard.hpp"
 
 namespace spechd::net {
@@ -57,6 +58,7 @@ enum class msg_type : std::uint8_t {
   query = 4,
   stats = 5,
   drain = 6,
+  query_topk = 7,  ///< OMS search: spectrum + top_k + tolerance
   // responses
   hello_ok = 64,
   pong = 65,
@@ -65,6 +67,7 @@ enum class msg_type : std::uint8_t {
   stats_ok = 68,
   drain_ok = 69,
   error = 70,
+  query_topk_ok = 71,
 };
 
 bool known_msg_type(std::uint8_t type) noexcept;
@@ -140,6 +143,16 @@ void encode_query_request(std::string& out, std::uint64_t request_id,
                           const ms::spectrum& spectrum);
 void encode_query_response(std::string& out, std::uint64_t request_id,
                            const serve::query_result& result);
+/// OMS search (`query --topk` over the wire): the spectrum crosses in the
+/// journal's wire layout — exactly like ingest/query — plus the top-k and
+/// modification-mass tolerance; the response carries every search_hit
+/// field, so a networked search is field-for-field comparable to an
+/// in-process clustering_service::search (the golden tests pin equality).
+void encode_search_request(std::string& out, std::uint64_t request_id,
+                           const ms::spectrum& spectrum, std::uint32_t top_k,
+                           double tolerance_da);
+void encode_search_response(std::string& out, std::uint64_t request_id,
+                            const serve::search_result& result);
 void encode_stats_request(std::string& out, std::uint64_t request_id);
 void encode_stats_response(std::string& out, std::uint64_t request_id,
                            const wire_stats& stats);
@@ -157,6 +170,9 @@ bool parse_ingest_request(const frame_view& frame, std::vector<ms::spectrum>& ba
 bool parse_ingest_response(const frame_view& frame, std::uint64_t& accepted);
 bool parse_query_request(const frame_view& frame, ms::spectrum& spectrum);
 bool parse_query_response(const frame_view& frame, serve::query_result& result);
+bool parse_search_request(const frame_view& frame, ms::spectrum& spectrum,
+                          std::uint32_t& top_k, double& tolerance_da);
+bool parse_search_response(const frame_view& frame, serve::search_result& result);
 bool parse_stats_response(const frame_view& frame, wire_stats& stats);
 bool parse_error_response(const frame_view& frame, error_code& code,
                           std::string& message);

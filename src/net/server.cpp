@@ -371,6 +371,22 @@ void server::process_frame(int fd, connection& conn, const frame_view& frame) {
         encode_query_response(conn.outbuf, frame.request_id, service_.query(spectrum));
         return;
       }
+      case msg_type::query_topk: {
+        ms::spectrum spectrum;
+        std::uint32_t top_k = 0;
+        double tolerance_da = 0.0;
+        if (!parse_search_request(frame, spectrum, top_k, tolerance_da)) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          send_error(conn, frame.request_id, error_code::malformed,
+                     "malformed query_topk body", /*close_after=*/true);
+          return;
+        }
+        // service_.search throws spechd::error when no library is loaded —
+        // mapped to a typed `rejected` response by the catch below.
+        encode_search_response(conn.outbuf, frame.request_id,
+                               service_.search(spectrum, top_k, tolerance_da));
+        return;
+      }
       case msg_type::stats: {
         const auto stats = service_.stats();
         wire_stats wire;

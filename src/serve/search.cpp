@@ -1,0 +1,303 @@
+#include "serve/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "hdc/cpu_kernels.hpp"
+#include "hdc/encoder.hpp"
+#include "preprocess/bucket.hpp"
+#include "preprocess/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace spechd::serve {
+
+namespace {
+
+constexpr char k_magic[4] = {'S', 'P', 'L', 'B'};
+constexpr std::uint32_t k_version = 1;
+/// Entry names come from spectrum titles / peptide sequences; anything past
+/// this is a corrupted length field, not a name.
+constexpr std::uint32_t k_max_name_bytes = 1u << 20;
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in, const std::string& source) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw parse_error(source, 0, "truncated spectral library");
+  return v;
+}
+
+}  // namespace
+
+key_window shifted_key_window(double precursor_mz, int charge, double tolerance_da,
+                              const preprocess::bucket_config& config) noexcept {
+  const std::int64_t exact = preprocess::bucket_index(precursor_mz, charge, config);
+  if (tolerance_da <= 0.0) return {exact, exact};
+  // Eq. 1 buckets the (neutral-ish) mass (mz − H) × charge; an open
+  // modification shifts that mass, not the m/z, so the window is ±tolerance
+  // on the same scale the keys live on.
+  const int c = charge > 0 ? charge : config.fallback_charge;
+  const double mass = (precursor_mz - ms::hydrogen_mass) * c;
+  key_window w;
+  w.lo = static_cast<std::int64_t>(std::floor((mass - tolerance_da) / config.resolution));
+  w.hi = static_cast<std::int64_t>(std::floor((mass + tolerance_da) / config.resolution));
+  // Guard floating-point edge cases: the exact-match bucket is always in.
+  w.lo = std::min(w.lo, exact);
+  w.hi = std::max(w.hi, exact);
+  return w;
+}
+
+snapshot_identity library_identity(const core::spechd_config& config) {
+  snapshot_identity id;
+  id.dim = static_cast<std::uint32_t>(config.encoder.dim);
+  id.encoder_seed = config.encoder.seed;
+  // Clustering-only knobs stay zero: a library is valid for any service
+  // that *encodes and buckets* the same way, whatever its threshold,
+  // assignment mode, or shard count.
+  id.distance_threshold = 0.0;
+  id.bucket_resolution = config.preprocess.bucketing.resolution;
+  id.fallback_charge = config.preprocess.bucketing.fallback_charge;
+  id.assign_mode = 0;
+  id.shard_count = 0;
+  id.config_digest = pipeline_digest(config);
+  return id;
+}
+
+spectral_library spectral_library::from_spectra(const std::vector<ms::spectrum>& spectra,
+                                                const core::spechd_config& config) {
+  auto batch = preprocess::run_preprocessing(spectra, config.preprocess);
+  const hdc::id_level_encoder encoder(config.encoder,
+                                      config.preprocess.quantize.mz_bins,
+                                      config.preprocess.quantize.intensity_levels);
+  std::vector<library_entry> entries;
+  std::vector<hdc::hypervector> hvs;
+  entries.reserve(batch.spectra.size());
+  hvs.reserve(batch.spectra.size());
+  for (const auto& q : batch.spectra) {
+    library_entry e;
+    e.name = spectra[q.source_index].title;
+    e.precursor_mz = q.precursor_mz;
+    e.precursor_charge = q.precursor_charge;
+    e.bucket_key =
+        preprocess::bucket_index(q.precursor_mz, q.precursor_charge,
+                                 config.preprocess.bucketing);
+    entries.push_back(std::move(e));
+    hvs.push_back(encoder.encode(q));
+  }
+  return assemble(std::move(entries), std::move(hvs), library_identity(config),
+                  batch.dropped);
+}
+
+spectral_library spectral_library::from_peptides(const std::vector<ms::peptide>& peptides,
+                                                 const std::vector<int>& charges,
+                                                 const core::spechd_config& config) {
+  std::vector<ms::spectrum> spectra;
+  spectra.reserve(peptides.size() * charges.size());
+  for (const auto& p : peptides) {
+    for (const int z : charges) {
+      auto s = ms::theoretical_spectrum(p, z);
+      s.title = p.sequence() + "/" + std::to_string(z);
+      spectra.push_back(std::move(s));
+    }
+  }
+  return from_spectra(spectra, config);
+}
+
+spectral_library spectral_library::assemble(std::vector<library_entry> entries,
+                                            std::vector<hdc::hypervector> hvs,
+                                            const snapshot_identity& identity,
+                                            std::size_t dropped) {
+  spectral_library lib;
+  lib.identity_ = identity;
+  lib.words_ = (identity.dim + 63) / 64;
+  lib.dropped_ = dropped;
+  // Canonical gid order: (bucket key ascending, build arrival order). The
+  // stable sort over an arrival-indexed permutation makes gids — and
+  // therefore every tie-break downstream — a pure function of the input,
+  // independent of how the caller shards or threads anything.
+  std::vector<std::uint32_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&entries](std::uint32_t a, std::uint32_t b) {
+                     return entries[a].bucket_key < entries[b].bucket_key;
+                   });
+  lib.entries_.reserve(entries.size());
+  for (const auto src : order) {
+    const auto& e = entries[src];
+    if (lib.buckets_.empty() || lib.buckets_.back().key != e.bucket_key) {
+      bucket_block block;
+      block.key = e.bucket_key;
+      block.base = static_cast<std::uint32_t>(lib.entries_.size());
+      lib.buckets_.push_back(std::move(block));
+    }
+    auto& block = lib.buckets_.back();
+    const auto words = hvs[src].words();
+    block.packed.insert(block.packed.end(), words.begin(), words.end());
+    block.count += 1;
+    lib.entries_.push_back(entries[src]);
+  }
+  return lib;
+}
+
+search_result spectral_library::search(const hdc::hypervector& query, double precursor_mz,
+                                       int charge, std::size_t top_k,
+                                       double tolerance_da) const {
+  if (query.dim() != identity_.dim) {
+    throw spechd::error("query hypervector dimension " + std::to_string(query.dim()) +
+                        " does not match library dimension " +
+                        std::to_string(identity_.dim));
+  }
+  search_result result;
+  if (top_k == 0 || buckets_.empty()) return result;
+  preprocess::bucket_config bucketing;
+  bucketing.resolution = identity_.bucket_resolution;
+  bucketing.fallback_charge = identity_.fallback_charge;
+  const auto window = shifted_key_window(precursor_mz, charge, tolerance_da, bucketing);
+
+  // Walk the (ascending-key) blocks inside the window: one packed Hamming
+  // row + k-select per bucket, then merge the per-bucket winners by the
+  // global (count, gid) key. Each block keeps at most top_k survivors, so
+  // the merge set is tiny regardless of bucket sizes.
+  std::vector<std::uint64_t> merged;  // (count << 32) | gid — total order
+  std::vector<std::uint32_t> counts;
+  std::vector<hdc::kernels::select_entry> selected;
+  auto it = std::lower_bound(buckets_.begin(), buckets_.end(), window.lo,
+                             [](const bucket_block& b, std::int64_t key) {
+                               return b.key < key;
+                             });
+  for (; it != buckets_.end() && it->key <= window.hi; ++it) {
+    const auto& block = *it;
+    result.buckets_probed += 1;
+    result.candidates += block.count;
+    counts.resize(block.count);
+    hdc::kernels::hamming_tile_packed(query.words().data(), 1, block.packed.data(),
+                                      block.count, words_, counts.data());
+    selected.resize(std::min<std::size_t>(top_k, block.count));
+    const auto written = hdc::kernels::k_select(counts.data(), block.count, top_k,
+                                                selected.data());
+    for (std::size_t i = 0; i < written; ++i) {
+      const std::uint32_t gid = block.base + selected[i].index;
+      merged.push_back((static_cast<std::uint64_t>(selected[i].count) << 32) | gid);
+    }
+  }
+  const std::size_t keep = std::min(top_k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(keep),
+                    merged.end());
+  merged.resize(keep);
+  result.hits.reserve(keep);
+  for (const auto key : merged) {
+    const auto gid = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    const auto hamming = static_cast<std::uint32_t>(key >> 32);
+    const auto& e = entries_[gid];
+    search_hit hit;
+    hit.id = gid;
+    hit.hamming = hamming;
+    hit.distance = static_cast<double>(hamming) / static_cast<double>(identity_.dim);
+    hit.bucket_key = e.bucket_key;
+    hit.precursor_mz = e.precursor_mz;
+    hit.precursor_charge = e.precursor_charge;
+    hit.name = e.name;
+    result.hits.push_back(std::move(hit));
+  }
+  return result;
+}
+
+void spectral_library::save(const std::string& path) const {
+  std::ostringstream payload(std::ios::binary);
+  write_snapshot_identity(payload, identity_);
+  put(payload, static_cast<std::uint64_t>(entries_.size()));
+  put(payload, static_cast<std::uint64_t>(buckets_.size()));
+  for (const auto& block : buckets_) {
+    put(payload, block.key);
+    put(payload, block.count);
+    for (std::uint32_t i = 0; i < block.count; ++i) {
+      const auto& e = entries_[block.base + i];
+      put(payload, static_cast<std::uint32_t>(e.name.size()));
+      payload.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+      put(payload, e.precursor_mz);
+      put(payload, e.precursor_charge);
+    }
+    payload.write(reinterpret_cast<const char*>(block.packed.data()),
+                  static_cast<std::streamsize>(block.packed.size() *
+                                               sizeof(std::uint64_t)));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw io_error("cannot open library file for writing: " + path);
+  write_framed_payload(out, k_magic, k_version, payload.str());
+}
+
+spectral_library spectral_library::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open library file: " + path);
+  const std::string payload =
+      read_framed_payload(in, k_magic, k_version, "a .sphlib spectral library", path);
+  std::istringstream body(payload, std::ios::binary);
+
+  spectral_library lib;
+  lib.identity_ = read_snapshot_identity(body, path);
+  if (lib.identity_.dim == 0 || lib.identity_.dim % 64 != 0) {
+    throw parse_error(path, 0, "library dimension is not a positive multiple of 64");
+  }
+  lib.words_ = (lib.identity_.dim + 63) / 64;
+  const auto entry_count = get<std::uint64_t>(body, path);
+  const auto bucket_count = get<std::uint64_t>(body, path);
+  if (bucket_count > entry_count) {
+    throw parse_error(path, 0, "library has more buckets than entries");
+  }
+  lib.entries_.reserve(entry_count);
+  lib.buckets_.reserve(bucket_count);
+  for (std::uint64_t b = 0; b < bucket_count; ++b) {
+    bucket_block block;
+    block.key = get<std::int64_t>(body, path);
+    if (!lib.buckets_.empty() && block.key <= lib.buckets_.back().key) {
+      throw parse_error(path, 0, "library bucket keys are not strictly ascending");
+    }
+    block.base = static_cast<std::uint32_t>(lib.entries_.size());
+    block.count = get<std::uint32_t>(body, path);
+    if (block.count == 0) {
+      throw parse_error(path, 0, "library holds an empty bucket");
+    }
+    if (lib.entries_.size() + block.count > entry_count) {
+      throw parse_error(path, 0, "library bucket sizes exceed the stored entry count");
+    }
+    for (std::uint32_t i = 0; i < block.count; ++i) {
+      library_entry e;
+      const auto name_bytes = get<std::uint32_t>(body, path);
+      if (name_bytes > k_max_name_bytes) {
+        throw parse_error(path, 0, "implausible library entry name length");
+      }
+      e.name.resize(name_bytes);
+      body.read(e.name.data(), static_cast<std::streamsize>(name_bytes));
+      if (!body) throw parse_error(path, 0, "truncated spectral library");
+      e.precursor_mz = get<double>(body, path);
+      e.precursor_charge = get<std::int32_t>(body, path);
+      e.bucket_key = block.key;
+      lib.entries_.push_back(std::move(e));
+    }
+    block.packed.resize(static_cast<std::size_t>(block.count) * lib.words_);
+    body.read(reinterpret_cast<char*>(block.packed.data()),
+              static_cast<std::streamsize>(block.packed.size() * sizeof(std::uint64_t)));
+    if (!body) throw parse_error(path, 0, "truncated spectral library");
+    lib.buckets_.push_back(std::move(block));
+  }
+  if (lib.entries_.size() != entry_count) {
+    throw parse_error(path, 0, "library entry count does not match its bucket contents");
+  }
+  // The CRC already vouched for integrity; trailing bytes mean writer and
+  // reader disagree about the format — refuse, as the state snapshot does.
+  if (body.peek() != std::char_traits<char>::eof()) {
+    throw parse_error(path, 0, "library payload has trailing bytes");
+  }
+  return lib;
+}
+
+}  // namespace spechd::serve

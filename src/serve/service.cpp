@@ -313,6 +313,44 @@ query_result clustering_service::query(const ms::spectrum& spectrum) const {
                                                    config_.pipeline.distance_threshold);
 }
 
+void clustering_service::load_library(const std::string& path) {
+  auto lib = std::make_shared<const spectral_library>(spectral_library::load(path));
+  const auto expected = library_identity(config_.pipeline);
+  if (!(lib->identity() == expected)) {
+    throw parse_error(path, 0,
+                      "spectral library identity does not match this service's "
+                      "configuration (dim/seed/bucketing/preprocessing)");
+  }
+  std::lock_guard lock(library_mutex_);
+  library_ = std::move(lib);
+}
+
+bool clustering_service::has_library() const {
+  std::lock_guard lock(library_mutex_);
+  return library_ != nullptr;
+}
+
+search_result clustering_service::search(const ms::spectrum& spectrum, std::size_t top_k,
+                                         double tolerance_da) const {
+  std::shared_ptr<const spectral_library> lib;
+  {
+    std::lock_guard lock(library_mutex_);
+    lib = library_;
+  }
+  if (!lib) throw spechd::error("no spectral library loaded");
+  // Same preprocessing as ingest/query — a spectrum the filter would drop
+  // is reported unencodable rather than searched inconsistently.
+  auto batch = preprocess::run_preprocessing({spectrum}, config_.pipeline.preprocess);
+  if (batch.spectra.empty()) {
+    search_result result;
+    result.encodable = false;
+    return result;
+  }
+  const auto& q = batch.spectra.front();
+  const auto hv = encoder_.encode(q);
+  return lib->search(hv, q.precursor_mz, q.precursor_charge, top_k, tolerance_da);
+}
+
 service_stats clustering_service::stats() const {
   service_stats total;
   total.shards.reserve(shards_.size());

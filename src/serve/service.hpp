@@ -32,6 +32,7 @@
 #include "serve/journal.hpp"
 #include "serve/maintenance.hpp"
 #include "serve/recovery.hpp"
+#include "serve/search.hpp"
 #include "serve/shard.hpp"
 #include "serve/shard_router.hpp"
 #include "serve/snapshot.hpp"
@@ -129,6 +130,22 @@ public:
   /// any number of threads.
   query_result query(const ms::spectrum& spectrum) const;
 
+  /// Loads a spectral library snapshot (.sphlib) for search(). The file is
+  /// framed/CRC-validated exactly like a state snapshot, and its identity
+  /// must match this service's encoding + bucketing configuration
+  /// (library_identity(config.pipeline)) — mismatch throws parse_error.
+  /// Safe to call while serving; searches in flight keep the old library.
+  void load_library(const std::string& path);
+  bool has_library() const;
+
+  /// Open-modification search: preprocess + encode `spectrum` exactly like
+  /// query(), then shifted-bucket top-k retrieval against the loaded
+  /// library (independent of this service's cluster state and shard
+  /// count). Throws spechd::error when no library is loaded. Lock-free
+  /// with respect to ingest; safe from any number of threads.
+  search_result search(const ms::spectrum& spectrum, std::size_t top_k,
+                       double tolerance_da) const;
+
   service_stats stats() const;
 
   /// Total ingest jobs queued across shards right now — the admission-
@@ -212,6 +229,10 @@ private:
   shard_router router_;
   hdc::id_level_encoder encoder_;
   std::vector<std::unique_ptr<shard>> shards_;
+  /// Immutable once published; load_library swaps the pointer under
+  /// library_mutex_, searches copy it out and run lock-free on the copy.
+  std::shared_ptr<const spectral_library> library_;
+  mutable std::mutex library_mutex_;
   recovery_report recovery_;
   /// Serialises cross-shard transactions: all of one transaction's jobs
   /// are enqueued before any of the next's, which (with FIFO shard

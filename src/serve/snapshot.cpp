@@ -109,24 +109,42 @@ core::clusterer_state read_shard_state(std::istream& in, const std::string& sour
   return state;
 }
 
-/// Reads the framed + CRC-verified payload; the caller parses it.
+/// Reads the framed + CRC-verified .sphsnap payload; the caller parses it.
 std::string read_verified_payload(std::istream& in, const std::string& source) {
-  char magic[4] = {};
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, k_magic, 4) != 0) {
-    throw parse_error(source, 0, "not a .sphsnap snapshot (bad magic)");
+  return read_framed_payload(in, k_magic, k_version, "a .sphsnap snapshot", source);
+}
+
+}  // namespace
+
+void write_framed_payload(std::ostream& out, const char magic[4], std::uint32_t version,
+                          const std::string& payload) {
+  out.write(magic, 4);
+  put(out, version);
+  put(out, static_cast<std::uint64_t>(payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put(out, crc32(payload.data(), payload.size()));
+  if (!out) throw io_error("snapshot write failure");
+}
+
+std::string read_framed_payload(std::istream& in, const char magic[4],
+                                std::uint32_t version, const std::string& format_name,
+                                const std::string& source) {
+  char file_magic[4] = {};
+  in.read(file_magic, 4);
+  if (!in || std::memcmp(file_magic, magic, 4) != 0) {
+    throw parse_error(source, 0, "not " + format_name + " (bad magic)");
   }
-  const auto version = get<std::uint32_t>(in, source);
-  if (version != k_version) {
+  const auto file_version = get<std::uint32_t>(in, source);
+  if (file_version != version) {
     // A byte-reversed version is a snapshot copied from a big-endian host:
     // diagnose that directly rather than as a bogus huge version number.
-    if (version == util::byteswap32(k_version)) {
+    if (file_version == util::byteswap32(version)) {
       throw parse_error(source, 0,
                         "snapshot was written by a big-endian host; spechd on-disk "
                         "formats are little-endian and cannot be read here");
     }
     throw parse_error(source, 0,
-                      "unsupported snapshot version " + std::to_string(version));
+                      "unsupported snapshot version " + std::to_string(file_version));
   }
   const auto payload_bytes = get<std::uint64_t>(in, source);
   if (payload_bytes > k_max_payload) {
@@ -140,10 +158,13 @@ std::string read_verified_payload(std::istream& in, const std::string& source) {
   if (stored_crc != actual_crc) {
     throw parse_error(source, 0, "snapshot CRC mismatch (corrupted file)");
   }
+  // One frame per file: bytes after the CRC mean the file was corrupted or
+  // concatenated — refuse rather than silently ignore them.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw parse_error(source, 0, "trailing bytes after the snapshot frame");
+  }
   return payload;
 }
-
-}  // namespace
 
 std::uint32_t pipeline_digest(const core::spechd_config& config) {
   // Serialise every encode/assign-relevant knob into one buffer and CRC
@@ -178,14 +199,7 @@ void write_snapshot(std::ostream& out, const snapshot_identity& identity,
   std::ostringstream payload_stream(std::ios::binary);
   write_snapshot_identity(payload_stream, identity);
   for (const auto& state : shards) write_shard_state(payload_stream, state);
-  const std::string payload = payload_stream.str();
-
-  out.write(k_magic, 4);
-  put(out, k_version);
-  put(out, static_cast<std::uint64_t>(payload.size()));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  put(out, crc32(payload.data(), payload.size()));
-  if (!out) throw io_error("snapshot write failure");
+  write_framed_payload(out, k_magic, k_version, payload_stream.str());
 }
 
 void write_snapshot_file(const std::string& path, const snapshot_identity& identity,

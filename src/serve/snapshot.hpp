@@ -62,6 +62,20 @@ struct snapshot_identity {
 void write_snapshot_identity(std::ostream& out, const snapshot_identity& identity);
 snapshot_identity read_snapshot_identity(std::istream& in, const std::string& source);
 
+/// Shared .sphsnap-family framing: magic(4) + version u32 + payload_bytes
+/// u64 + payload + CRC-32(payload) u32. Every on-disk artifact of the
+/// serving tier (state snapshots, spectral-library snapshots) uses this one
+/// reader, so they all validate identically: bad magic, big-endian or
+/// unsupported versions, implausible lengths, truncation, and CRC
+/// mismatches each throw a typed parse_error *before* any payload field is
+/// trusted. `format_name` names the format in diagnostics ("a .sphsnap
+/// snapshot", "a .sphlib spectral library").
+void write_framed_payload(std::ostream& out, const char magic[4], std::uint32_t version,
+                          const std::string& payload);
+std::string read_framed_payload(std::istream& in, const char magic[4],
+                                std::uint32_t version, const std::string& format_name,
+                                const std::string& source);
+
 /// CRC-32 over every pipeline knob that affects encoding or assignment
 /// beyond the fields snapshot_identity stores explicitly: filter, peak
 /// selector (top-k/window), normalisation, quantisation window/bins,

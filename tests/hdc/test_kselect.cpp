@@ -1,0 +1,152 @@
+// Equivalence suite for the dispatched k-select kernel: every SIMD variant
+// must be bit-identical to a scalar std::partial_sort reference over packed
+// (count << 32 | index) keys — same hits, same order, same lowest-index
+// tie-break — across duplicate-heavy inputs, k ∈ {1, 8, bucket_size,
+// > candidate count}, and empty candidate sets. The output contract is a
+// totally ordered ascending (count, index) prefix, so any correct variant
+// is *forced* to agree bit for bit; these tests pin that the variants are
+// in fact correct.
+#include "hdc/cpu_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spechd::hdc {
+namespace {
+
+namespace k = kernels;
+
+/// Restores the dispatched variant on scope exit.
+class variant_guard {
+public:
+  variant_guard() : saved_(k::active()) {}
+  ~variant_guard() { k::set_active(saved_); }
+
+private:
+  k::variant saved_;
+};
+
+std::vector<k::variant> supported_variants() {
+  std::vector<k::variant> out;
+  for (const k::variant v : {k::variant::scalar, k::variant::avx2, k::variant::avx512}) {
+    if (k::supported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+/// The reference the satellite pins against: partial_sort over packed keys.
+std::vector<k::select_entry> partial_sort_reference(const std::vector<std::uint32_t>& counts,
+                                                    std::size_t want) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    keys.push_back((static_cast<std::uint64_t>(counts[i]) << 32) | i);
+  }
+  const std::size_t m = std::min(want, keys.size());
+  std::partial_sort(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(m), keys.end());
+  std::vector<k::select_entry> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.push_back({static_cast<std::uint32_t>(keys[i] >> 32),
+                   static_cast<std::uint32_t>(keys[i] & 0xFFFFFFFFu)});
+  }
+  return out;
+}
+
+std::vector<k::select_entry> run_k_select(const std::vector<std::uint32_t>& counts,
+                                          std::size_t want) {
+  std::vector<k::select_entry> out(std::min(want, counts.size()));
+  const std::size_t written = k::k_select(counts.data(), counts.size(), want, out.data());
+  EXPECT_EQ(written, out.size());
+  return out;
+}
+
+TEST(KSelect, EmptyCandidateSetReturnsNothingForAllVariants) {
+  variant_guard guard;
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    k::select_entry sentinel{123, 456};
+    EXPECT_EQ(k::k_select(nullptr, 0, 8, &sentinel), 0U) << k::variant_name(v);
+    EXPECT_EQ(sentinel.count, 123U) << k::variant_name(v);  // untouched
+    const std::uint32_t one = 7;
+    EXPECT_EQ(k::k_select(&one, 1, 0, &sentinel), 0U) << k::variant_name(v);
+  }
+}
+
+TEST(KSelect, KLargerThanCandidateCountReturnsFullSortedSet) {
+  variant_guard guard;
+  const std::vector<std::uint32_t> counts{9, 3, 3, 17, 0, 3};
+  const auto expected = partial_sort_reference(counts, 100);
+  ASSERT_EQ(expected.size(), counts.size());
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    EXPECT_EQ(run_k_select(counts, 100), expected) << k::variant_name(v);
+  }
+}
+
+TEST(KSelect, DuplicateCountsTieBreakToLowestIndex) {
+  variant_guard guard;
+  // All-equal counts: the top-k must be exactly the k lowest indices.
+  const std::vector<std::uint32_t> flat(37, 42);
+  for (const auto v : supported_variants()) {
+    k::set_active(v);
+    for (const std::size_t want : {1UL, 8UL, 37UL}) {
+      const auto got = run_k_select(flat, want);
+      ASSERT_EQ(got.size(), std::min(want, flat.size())) << k::variant_name(v);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].count, 42U) << k::variant_name(v);
+        EXPECT_EQ(got[i].index, i) << k::variant_name(v) << " want=" << want;
+      }
+    }
+  }
+}
+
+TEST(KSelect, RandomizedEquivalenceAcrossVariantsShapesAndTies) {
+  variant_guard guard;
+  xoshiro256ss rng(20260808);
+  // Shapes around SIMD block boundaries (8/16 lanes) plus larger buckets;
+  // value_range 4 forces heavy duplicate-count ties, value_range 2^14
+  // exercises near-unique counts.
+  const std::size_t sizes[] = {1, 2, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257, 1000};
+  for (const std::size_t n : sizes) {
+    for (const std::uint32_t value_range : {4U, 1U << 14}) {
+      std::vector<std::uint32_t> counts(n);
+      for (auto& c : counts) c = static_cast<std::uint32_t>(rng.bounded(value_range));
+      // k ∈ {1, 8, bucket_size, > candidate count} per the satellite spec.
+      for (const std::size_t want : {std::size_t{1}, std::size_t{8}, n, n + 5}) {
+        const auto expected = partial_sort_reference(counts, want);
+        for (const auto v : supported_variants()) {
+          k::set_active(v);
+          ASSERT_EQ(run_k_select(counts, want), expected)
+              << k::variant_name(v) << " n=" << n << " k=" << want
+              << " range=" << value_range;
+        }
+      }
+    }
+  }
+}
+
+TEST(KSelect, AscendingAndDescendingInputsStaySorted) {
+  variant_guard guard;
+  std::vector<std::uint32_t> asc(130);
+  std::vector<std::uint32_t> desc(130);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = static_cast<std::uint32_t>(i / 3);  // plateaus of equal counts
+    desc[i] = static_cast<std::uint32_t>((asc.size() - i) / 3);
+  }
+  for (const auto& counts : {asc, desc}) {
+    const auto expected = partial_sort_reference(counts, 10);
+    for (const auto v : supported_variants()) {
+      k::set_active(v);
+      EXPECT_EQ(run_k_select(counts, 10), expected) << k::variant_name(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spechd::hdc

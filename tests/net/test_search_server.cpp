@@ -1,0 +1,137 @@
+// Golden layer for the networked OMS path: `query --topk` answered over
+// loopback must be bit-identical, field for field, to calling
+// clustering_service::search in-process — at shard counts {1, 4}, across
+// tolerances including the degenerate zero window. Also pins the typed
+// `rejected` refusal when no library is loaded and the malformed-frame
+// handling of a truncated query_topk body.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ms/synthetic.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "serve/search.hpp"
+#include "serve/service.hpp"
+#include "util/crc32.hpp"
+
+namespace spechd::net {
+namespace {
+
+std::vector<ms::spectrum> sample_stream(std::size_t peptides = 24,
+                                        std::uint64_t seed = 77) {
+  ms::synthetic_config config;
+  config.peptide_count = peptides;
+  config.spectra_per_peptide_mean = 4.0;
+  config.noise_peaks_per_spectrum = 20.0;
+  config.seed = seed;
+  return ms::generate_dataset(config).spectra;
+}
+
+serve::serve_config make_serve_config(std::size_t shards) {
+  serve::serve_config sc;
+  sc.pipeline.encoder.dim = 1024;
+  sc.pipeline.threads = 1;
+  sc.shards = shards;
+  sc.queue_capacity = 4;
+  return sc;
+}
+
+struct temp_path {
+  std::string path;
+  explicit temp_path(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("spechd_test_" + name + "_" + std::to_string(::getpid()))).string()) {}
+  ~temp_path() { std::remove(path.c_str()); }
+};
+
+TEST(NetSearchServer, NetworkedSearchMatchesInProcessBitIdentically) {
+  const auto config = make_serve_config(1).pipeline;
+  const auto lib = serve::spectral_library::from_spectra(sample_stream(24, 77), config);
+  ASSERT_GT(lib.size(), 0U);
+  temp_path file("search_golden");
+  lib.save(file.path);
+
+  const auto queries = sample_stream(10, 55);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+
+    serve::clustering_service reference(make_serve_config(shards));
+    reference.load_library(file.path);
+
+    serve::clustering_service served(make_serve_config(shards));
+    served.load_library(file.path);
+    server srv(served, server_config{});
+    client cli("127.0.0.1", srv.port());
+
+    std::size_t with_hits = 0;
+    for (const auto& q : queries) {
+      for (const double tolerance : {0.0, 2.5}) {
+        for (const std::uint32_t top_k : {1u, 5u, 1000u}) {
+          const auto local = reference.search(q, top_k, tolerance);
+          const auto remote = cli.search(q, top_k, tolerance);
+          // search_result's defaulted operator== compares every field of
+          // every hit, so one assert pins the whole response.
+          ASSERT_EQ(remote, local)
+              << q.title << " tol=" << tolerance << " k=" << top_k;
+          with_hits += remote.hits.empty() ? 0 : 1;
+        }
+      }
+    }
+    ASSERT_GT(with_hits, 0U);
+  }
+}
+
+TEST(NetSearchServer, SearchWithoutLibraryIsTypedRejection) {
+  serve::clustering_service service(make_serve_config(2));
+  server srv(service, server_config{});
+  client cli("127.0.0.1", srv.port());
+  cli.ping();
+  try {
+    cli.search(sample_stream(4, 1).front(), 5, 1.0);
+    FAIL() << "expected remote_error";
+  } catch (const remote_error& e) {
+    EXPECT_EQ(e.code(), error_code::rejected);
+    EXPECT_NE(std::string(e.what()).find("no spectral library"), std::string::npos);
+  }
+  // The connection survives the refusal: the next request still works.
+  cli.ping();
+}
+
+TEST(NetSearchServer, SearchRequestRoundTripsThroughCodec) {
+  // Protocol-level sanity independent of any socket: encode → parse is
+  // lossless for the request, and a truncated body is rejected.
+  const auto spectrum = sample_stream(2, 9).front();
+  std::string frame;
+  encode_search_request(frame, 42, spectrum, 7, 3.25);
+
+  frame_view view;
+  ASSERT_EQ(decode_frame(frame.data(), frame.size(), k_default_max_frame_bytes, view),
+            decode_status::ok);
+  EXPECT_EQ(view.type, msg_type::query_topk);
+  EXPECT_EQ(view.request_id, 42U);
+
+  ms::spectrum decoded;
+  std::uint32_t top_k = 0;
+  double tolerance = 0.0;
+  ASSERT_TRUE(parse_search_request(view, decoded, top_k, tolerance));
+  EXPECT_EQ(top_k, 7U);
+  EXPECT_EQ(tolerance, 3.25);
+  EXPECT_EQ(decoded.title, spectrum.title);
+  EXPECT_EQ(decoded.precursor_mz, spectrum.precursor_mz);
+  EXPECT_EQ(decoded.precursor_charge, spectrum.precursor_charge);
+  ASSERT_EQ(decoded.peaks.size(), spectrum.peaks.size());
+
+  frame_view truncated = view;
+  truncated.body_bytes = truncated.body_bytes / 2;
+  EXPECT_FALSE(parse_search_request(truncated, decoded, top_k, tolerance));
+}
+
+}  // namespace
+}  // namespace spechd::net

@@ -1,7 +1,9 @@
 // Drives the actual `spechd` binary (path injected by CMake as
 // SPECHD_CLI_PATH): unknown subcommands/flags must print usage and exit
-// non-zero, and the serve subcommand's ingest → query → snapshot → restore
-// loop must work end to end from the shell, not just in-process.
+// non-zero, the serve subcommand's ingest → query → snapshot → restore
+// loop must work end to end from the shell, and the search subcommand's
+// library build/query path must diagnose operator errors (missing or
+// corrupt library, --topk 0) with exit code 2 rather than crashing.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -134,6 +136,99 @@ TEST(Cli, JournaledServeThenRecoverRoundTrip) {
 
   std::remove(mgf.c_str());
   std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SearchRequiresWork) {
+  const auto r = run_cli("search");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("nothing to do"), std::string::npos);
+}
+
+TEST(Cli, SearchTopkZeroFailsWithDiagnostic) {
+  const auto r = run_cli("search --library lib.sphlib --query x.mgf --topk 0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--topk must be >= 1"), std::string::npos);
+}
+
+TEST(Cli, ClientSearchTopkZeroFailsWithDiagnostic) {
+  // Validation runs before any connection is attempted, so the bogus
+  // address is never dialled.
+  const auto r =
+      run_cli("client --connect 127.0.0.1:1 --search x.mgf --topk 0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--topk must be >= 1"), std::string::npos);
+}
+
+TEST(Cli, SearchMissingLibraryFailsWithDiagnostic) {
+  const auto r =
+      run_cli("search --library /nonexistent/lib.sphlib --query x.mgf");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot load library"), std::string::npos);
+}
+
+TEST(Cli, SearchCorruptLibraryFailsWithDiagnostic) {
+  const std::string lib = temp_file("corrupt.sphlib");
+  std::ofstream(lib, std::ios::binary) << "this is not a spectral library";
+  const auto r = run_cli("search --library " + lib + " --query x.mgf");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot load library"), std::string::npos);
+  std::remove(lib.c_str());
+}
+
+TEST(Cli, SearchBuildNeedsExactlyOneSource) {
+  const auto none = run_cli("search --build lib.sphlib");
+  EXPECT_EQ(none.exit_code, 2);
+  EXPECT_NE(none.output.find("exactly one of --fasta or --spectra"),
+            std::string::npos);
+  const auto both =
+      run_cli("search --build lib.sphlib --fasta a.fasta --spectra b.mgf");
+  EXPECT_EQ(both.exit_code, 2);
+  EXPECT_NE(both.output.find("exactly one of --fasta or --spectra"),
+            std::string::npos);
+}
+
+TEST(Cli, SearchBuildAndQueryRoundTrip) {
+  const std::string mgf = temp_file("search_data.mgf");
+  const std::string lib = temp_file("search_lib.sphlib");
+
+  const auto synth = run_cli("synth -o " + mgf + " --peptides 12 --seed 33");
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+
+  const auto build = run_cli("search --build " + lib + " --spectra " + mgf);
+  EXPECT_EQ(build.exit_code, 0) << build.output;
+  EXPECT_NE(build.output.find("built spectral library"), std::string::npos);
+
+  // Querying the library with its own source spectra must self-match at
+  // Hamming 0 somewhere in the report.
+  const auto query = run_cli("search --library " + lib + " --query " + mgf +
+                             " --topk 3 --tolerance 1.5");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_NE(query.output.find("query 0"), std::string::npos);
+  EXPECT_NE(query.output.find("hamming=0"), std::string::npos);
+
+  std::remove(mgf.c_str());
+  std::remove(lib.c_str());
+}
+
+TEST(Cli, SearchBuildFromFastaRoundTrip) {
+  const std::string fasta = temp_file("search_db.fasta");
+  const std::string lib = temp_file("search_fasta_lib.sphlib");
+  std::ofstream(fasta)
+      << ">sp|TEST1 example protein\n"
+      << "MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQCPF\n";
+
+  const auto build = run_cli("search --build " + lib + " --fasta " + fasta +
+                             " --missed 1 --charges 2,3");
+  EXPECT_EQ(build.exit_code, 0) << build.output;
+  EXPECT_NE(build.output.find("built spectral library"), std::string::npos);
+
+  const auto empty_charges =
+      run_cli("search --build " + lib + " --fasta " + fasta + " --charges ,");
+  EXPECT_EQ(empty_charges.exit_code, 2);
+  EXPECT_NE(empty_charges.output.find("--charges needs"), std::string::npos);
+
+  std::remove(fasta.c_str());
+  std::remove(lib.c_str());
 }
 
 TEST(Cli, ServeIngestQuerySnapshotRestoreRoundTrip) {

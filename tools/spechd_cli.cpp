@@ -11,6 +11,9 @@
 //   recover  rebuild service state from a journal directory (newest
 //            snapshot + journal replay, truncating a torn tail), report
 //            what was replayed, optionally re-query / export a snapshot
+//   search   open-modification search: build an HV spectral library
+//            (.sphlib) from a FASTA database or identified spectra, then
+//            answer top-k queries with a precursor-mass-shift tolerance
 //   model    print modelled FPGA runtime/energy for the paper datasets
 //   help     print usage
 //
@@ -25,6 +28,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -36,6 +40,7 @@
 #include "fpga/tool_models.hpp"
 #include "hdc/hv_store.hpp"
 #include "metrics/quality.hpp"
+#include "ms/fasta.hpp"
 #include "ms/mgf.hpp"
 #include "ms/ms2.hpp"
 #include "ms/mzml.hpp"
@@ -44,6 +49,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "preprocess/pipeline.hpp"
+#include "serve/search.hpp"
 #include "serve/service.hpp"
 #include "util/failpoint.hpp"
 #include "util/stats.hpp"
@@ -137,10 +143,15 @@ void print_usage(std::ostream& out) {
       "                 [--failpoints SPEC] [--failpoint-seed S]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap] [--listen HOST:PORT]\n"
-      "                 [--shed-depth N]\n"
+      "                 [--shed-depth N] [--library lib.sphlib]\n"
       "  spechd client  --connect HOST:PORT [--batch B] [--timeout MS]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
+      "                 [--search spectra-file] [--topk K] [--tolerance DA]\n"
       "                 [--ping] [--stats] [--drain]\n"
+      "  spechd search  --build lib.sphlib (--fasta db.fasta [--missed N]\n"
+      "                 [--charges 2,3] | --spectra ref-file) [--dim D]\n"
+      "  spechd search  --library lib.sphlib --query spectra-file\n"
+      "                 [--topk K] [--tolerance DA]\n"
       "  spechd recover --journal-dir DIR [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
       "                 [--failpoints SPEC] [--failpoint-seed S]\n"
@@ -395,6 +406,22 @@ void run_query_workload(serve::clustering_service& service, const std::string& q
   table.print(std::cout);
 }
 
+/// Deterministic per-query search report, shared by `spechd search` and
+/// `spechd client --search` so the CI smoke job can diff in-process output
+/// against networked output byte for byte. Every field is integral or a
+/// library-entry string — nothing latency- or environment-dependent.
+void print_search_hits(std::size_t index, const serve::search_result& r) {
+  std::cout << "query " << index << (r.encodable ? "" : " unencodable")
+            << " probed=" << r.buckets_probed << " candidates=" << r.candidates
+            << " hits=" << r.hits.size() << "\n";
+  for (std::size_t h = 0; h < r.hits.size(); ++h) {
+    const auto& hit = r.hits[h];
+    std::cout << "hit " << h << " id=" << hit.id << " hamming=" << hit.hamming
+              << " bucket=" << hit.bucket_key << " charge=" << hit.precursor_charge
+              << " name=" << hit.name << "\n";
+  }
+}
+
 /// Per-shard state table plus (when ground-truth labels exist) quality.
 void print_service_state(serve::clustering_service& service) {
   const auto stats = service.stats();
@@ -467,6 +494,7 @@ int cmd_serve(arg_list& args) {
   const auto query_file = args.take_option("--query");
   const auto listen = args.take_option("--listen");
   const auto shed_depth = args.take_option("--shed-depth");
+  const auto library = args.take_option("--library");
   std::vector<std::string> ingest_files;
   while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
   if (const int rc = reject_leftovers(args, "serve", 0)) return rc;
@@ -553,6 +581,19 @@ int cmd_serve(arg_list& args) {
               << stats.cluster_count << " clusters from " << *restore << "\n";
   }
 
+  if (library) {
+    // Load before --listen so the first networked query_topk already has
+    // the library; a missing/corrupt/mismatched file is an input error.
+    try {
+      service.load_library(*library);
+    } catch (const spechd::error& e) {
+      std::cerr << "spechd serve: cannot load library '" << *library
+                << "': " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "loaded spectral library " << *library << "\n";
+  }
+
   using clock = std::chrono::steady_clock;
   for (const auto& file : ingest_files) {
     auto spectra = read_any(file);
@@ -625,6 +666,11 @@ int cmd_client(arg_list& args) {
     client_config.timeout = std::chrono::milliseconds(std::stoul(*v));
   }
   const auto query_file = args.take_option("--query");
+  const auto search_file = args.take_option("--search");
+  std::size_t top_k = 5;
+  if (const auto v = args.take_option("--topk")) top_k = std::stoul(*v);
+  double tolerance = 0.0;
+  if (const auto v = args.take_option("--tolerance")) tolerance = std::stod(*v);
   const bool want_ping = args.take_flag("--ping");
   const bool want_stats = args.take_flag("--stats");
   const bool want_drain = args.take_flag("--drain");
@@ -637,6 +683,10 @@ int cmd_client(arg_list& args) {
   }
   if (batch_size == 0) {
     std::cerr << "client: --batch must be >= 1\n";
+    return 2;
+  }
+  if (search_file && top_k == 0) {
+    std::cerr << "client: --topk must be >= 1\n";
     return 2;
   }
 
@@ -708,6 +758,16 @@ int cmd_client(arg_list& args) {
     table.add_row({"latency p99 (us)",
                    text_table::num(percentile_sorted(latencies_us, 0.99), 1)});
     table.print(std::cout);
+  }
+
+  if (search_file) {
+    // Same output lines as `spechd search` in-process — the CI smoke job
+    // diffs the two byte for byte.
+    const auto queries = read_any(*search_file);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      print_search_hits(i, client.search(queries[i],
+                                         static_cast<std::uint32_t>(top_k), tolerance));
+    }
   }
 
   if (want_drain) {
@@ -798,6 +858,99 @@ int cmd_recover(arg_list& args) {
   return 0;
 }
 
+int cmd_search(arg_list& args) {
+  core::spechd_config pipeline_config;
+  if (const auto v = args.take_option("--dim")) pipeline_config.encoder.dim = std::stoul(*v);
+  const auto build = args.take_option("--build");
+  const auto fasta = args.take_option("--fasta");
+  const auto ref_spectra = args.take_option("--spectra");
+  const auto library = args.take_option("--library");
+  const auto query_file = args.take_option("--query");
+  std::size_t top_k = 5;
+  if (const auto v = args.take_option("--topk")) top_k = std::stoul(*v);
+  double tolerance = 0.0;
+  if (const auto v = args.take_option("--tolerance")) tolerance = std::stod(*v);
+  int missed = 0;
+  if (const auto v = args.take_option("--missed")) missed = std::stoi(*v);
+  std::vector<int> charges{2, 3};
+  if (const auto v = args.take_option("--charges")) {
+    charges.clear();
+    std::stringstream list(*v);
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      if (!token.empty()) charges.push_back(std::stoi(token));
+    }
+    if (charges.empty()) {
+      std::cerr << "search: --charges needs a comma-separated charge list\n";
+      return 2;
+    }
+  }
+  if (const int rc = reject_leftovers(args, "search", 0)) return rc;
+  if (top_k == 0) {
+    std::cerr << "search: --topk must be >= 1\n";
+    return 2;
+  }
+
+  if (build) {
+    if (static_cast<bool>(fasta) == static_cast<bool>(ref_spectra)) {
+      std::cerr << "search: --build needs exactly one of --fasta or --spectra\n";
+      return 2;
+    }
+    serve::spectral_library lib;
+    if (fasta) {
+      const auto peptides =
+          ms::library_from_fasta(ms::read_fasta_file(*fasta), missed);
+      lib = serve::spectral_library::from_peptides(peptides, charges, pipeline_config);
+    } else {
+      lib = serve::spectral_library::from_spectra(read_any(*ref_spectra),
+                                                  pipeline_config);
+    }
+    lib.save(*build);
+    std::cout << "built spectral library " << *build << ": " << lib.size()
+              << " entries in " << lib.bucket_count() << " buckets ("
+              << lib.dropped() << " dropped by preprocessing)\n";
+    if (!query_file) return 0;
+  }
+
+  if (!query_file) {
+    std::cerr << "search: nothing to do (need --build, or --library with --query)\n";
+    return 2;
+  }
+  const std::string lib_path = library ? *library : (build ? *build : std::string{});
+  if (lib_path.empty()) {
+    std::cerr << "search: missing --library\n";
+    return 2;
+  }
+
+  // Search through a clustering_service — the exact code path `serve
+  // --library --listen` answers query_topk with — so in-process results
+  // are the golden reference for the networked ones. A missing or corrupt
+  // library file is an operator input error: diagnose and exit 2.
+  serve::serve_config config;
+  config.pipeline = pipeline_config;
+  config.pipeline.threads = 1;
+  config.shards = 1;
+  std::optional<serve::clustering_service> service_storage;
+  try {
+    const auto identity = serve::spectral_library::load(lib_path).identity();
+    config.pipeline.encoder.dim = identity.dim;
+    config.pipeline.encoder.seed = identity.encoder_seed;
+    config.pipeline.preprocess.bucketing.resolution = identity.bucket_resolution;
+    config.pipeline.preprocess.bucketing.fallback_charge = identity.fallback_charge;
+    service_storage.emplace(config);
+    service_storage->load_library(lib_path);
+  } catch (const spechd::error& e) {
+    std::cerr << "spechd search: cannot load library '" << lib_path << "': " << e.what()
+              << "\n";
+    return 2;
+  }
+  const auto queries = read_any(*query_file);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    print_search_hits(i, service_storage->search(queries[i], top_k, tolerance));
+  }
+  return 0;
+}
+
 int cmd_model(arg_list& args) {
   const bool overlap = args.take_flag("--overlap");
   if (const int rc = reject_leftovers(args, "model", 0)) return rc;
@@ -849,6 +1002,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "client") return cmd_client(args);
     if (command == "recover") return cmd_recover(args);
+    if (command == "search") return cmd_search(args);
     if (command == "model") return cmd_model(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage_error();
