@@ -2,9 +2,12 @@
 // unjournaled), query latency percentiles (idle and under concurrent
 // ingest), snapshot round-trip time, crash-recovery replay time, an
 // ingest/query thread-scaling sweep, a fault phase (journaled ingest
-// under injected fsync latency/errors via the failpoint registry), and an
+// under injected fsync latency/errors via the failpoint registry), an
 // open-modification search phase (spectral-library build rate + shifted-
-// bucket top-k query latency).
+// bucket top-k query latency), and an observability phase (micro cost of
+// the obs instruments + armed-vs-disarmed serving throughput; bar: armed
+// >= 0.97x disarmed). Latency percentiles come from the shared
+// obs::histogram — the same estimator `client --metrics` reports.
 //
 //   bench_serve [--threads=N] [--variant=V] [--n=SPECTRA] [--dim=D] [--json=PATH]
 //
@@ -27,6 +30,8 @@
 #include "bench_common.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/search.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
@@ -49,20 +54,41 @@ struct latency_stats {
   double qps = 0.0;
 };
 
-latency_stats summarize_latencies(std::vector<double> latencies_us, double wall_seconds) {
+/// Percentiles straight from the shared obs::histogram: worker threads
+/// record ns concurrently into per-thread shards (no sort, no merge of
+/// per-worker vectors), and the summary reads one lossless merged view —
+/// the same estimator `client --metrics` reports, bucket error ≤ 6.25%.
+latency_stats summarize_histogram(const obs::histogram& hist, double wall_seconds) {
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  std::uint64_t sum = 0;
+  hist.merge(counts, total, sum);
   latency_stats stats;
-  if (latencies_us.empty()) return stats;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  stats.p50_us = percentile_sorted(latencies_us, 0.50);
-  stats.p90_us = percentile_sorted(latencies_us, 0.90);
-  stats.p99_us = percentile_sorted(latencies_us, 0.99);
-  double sum = 0.0;
-  for (const double v : latencies_us) sum += v;
-  stats.mean_us = sum / static_cast<double>(latencies_us.size());
-  stats.qps = wall_seconds > 0.0
-                  ? static_cast<double>(latencies_us.size()) / wall_seconds
-                  : 0.0;
+  if (total == 0) return stats;
+  obs::histogram_sample sample;
+  sample.count = total;
+  sample.sum = sum;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      sample.buckets.push_back(
+          {obs::hist_bucket_lo(i), obs::hist_bucket_hi(i), counts[i]});
+    }
+  }
+  stats.p50_us = sample.percentile(0.50) / 1000.0;
+  stats.p90_us = sample.percentile(0.90) / 1000.0;
+  stats.p99_us = sample.percentile(0.99) / 1000.0;
+  stats.mean_us =
+      static_cast<double>(sum) / static_cast<double>(total) / 1000.0;
+  stats.qps =
+      wall_seconds > 0.0 ? static_cast<double>(total) / wall_seconds : 0.0;
   return stats;
+}
+
+/// Elapsed ns since `t0`, for recording into a histogram.
+std::uint64_t ns_since(clock_type::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_type::now() - t0)
+          .count());
 }
 
 serve::serve_config make_config(const bench::bench_options& opts, std::size_t shards) {
@@ -87,35 +113,29 @@ double ingest_all(serve::clustering_service& service, const std::vector<ms::spec
   return std::chrono::duration<double>(clock_type::now() - start).count();
 }
 
-/// `workers` threads issue `per_worker` queries each; returns merged
-/// per-query latencies and the wall time of the whole volley.
-std::pair<std::vector<double>, double> run_queries(const serve::clustering_service& service,
-                                                   const std::vector<ms::spectrum>& stream,
-                                                   std::size_t workers,
-                                                   std::size_t per_worker) {
-  std::vector<std::vector<double>> latencies(workers);
+/// `workers` threads issue `per_worker` queries each, recording per-query
+/// ns straight into `hist` (concurrent per-thread shards — no per-worker
+/// vectors to merge); returns the wall time of the whole volley.
+double run_queries(const serve::clustering_service& service,
+                   const std::vector<ms::spectrum>& stream, std::size_t workers,
+                   std::size_t per_worker, obs::histogram& hist) {
   const auto start = clock_type::now();
   std::vector<std::thread> threads;
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      latencies[w].reserve(per_worker);
       std::size_t index = w * 31;
       for (std::size_t i = 0; i < per_worker; ++i) {
         const auto& q = stream[index % stream.size()];
         const auto t0 = clock_type::now();
         const auto r = service.query(q);
-        latencies[w].push_back(
-            std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+        hist.record(ns_since(t0));
         if (r.matched && r.distance > 1.0) std::abort();  // keep the call un-elided
         index += 17;
       }
     });
   }
   for (auto& t : threads) t.join();
-  const double wall = std::chrono::duration<double>(clock_type::now() - start).count();
-  std::vector<double> merged;
-  for (auto& l : latencies) merged.insert(merged.end(), l.begin(), l.end());
-  return {std::move(merged), wall};
+  return std::chrono::duration<double>(clock_type::now() - start).count();
 }
 
 }  // namespace
@@ -243,9 +263,10 @@ int main(int argc, char** argv) {
   // --- phase 2: query latency against the idle service ---------------------
   const std::size_t query_count = std::min<std::size_t>(2000, stream.size() * 2);
   {
-    auto [latencies, wall] =
-        run_queries(service, stream, threads, query_count / std::max<std::size_t>(1, threads));
-    const auto q = summarize_latencies(std::move(latencies), wall);
+    obs::histogram hist;
+    const double wall = run_queries(service, stream, threads,
+                                    query_count / std::max<std::size_t>(1, threads), hist);
+    const auto q = summarize_histogram(hist, wall);
     std::cout << "query (idle): p50 " << q.p50_us << " us, p90 " << q.p90_us
               << " us, p99 " << q.p99_us << " us, " << q.qps << " q/s\n";
     json.begin_object("query_idle");
@@ -280,10 +301,11 @@ int main(int argc, char** argv) {
       mixed_ingest_seconds = std::chrono::duration<double>(clock_type::now() - start).count();
       ingest_done = true;
     });
-    auto [latencies, wall] = run_queries(
-        mixed, stream, threads, query_count / std::max<std::size_t>(1, threads));
+    obs::histogram hist;
+    const double wall = run_queries(
+        mixed, stream, threads, query_count / std::max<std::size_t>(1, threads), hist);
     producer.join();
-    const auto q = summarize_latencies(std::move(latencies), wall);
+    const auto q = summarize_histogram(hist, wall);
     const double mixed_rate = mixed_ingest_seconds > 0.0
                                   ? static_cast<double>(stream.size() - half) /
                                         mixed_ingest_seconds
@@ -344,9 +366,10 @@ int main(int argc, char** argv) {
   for (const std::size_t t : widths) {
     serve::clustering_service scaled(make_config(opts, t));
     const double seconds = ingest_all(scaled, stream, batch);
-    auto [latencies, wall] =
-        run_queries(scaled, stream, t, query_count / std::max<std::size_t>(1, t));
-    const auto q = summarize_latencies(std::move(latencies), wall);
+    obs::histogram hist;
+    const double wall =
+        run_queries(scaled, stream, t, query_count / std::max<std::size_t>(1, t), hist);
+    const auto q = summarize_histogram(hist, wall);
     const double rate =
         seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0;
     std::cout << "  t=" << t << ": ingest " << rate << " spectra/s, query " << q.qps
@@ -493,21 +516,18 @@ int main(int argc, char** argv) {
     for (const std::size_t conns : {1, 2, 4, 8}) {
       const std::size_t per_conn =
           std::max<std::size_t>(1, query_count / conns);
-      std::vector<std::vector<double>> latencies(conns);
+      obs::histogram hist;
       const auto start = clock_type::now();
       std::vector<std::thread> workers;
       for (std::size_t c = 0; c < conns; ++c) {
         workers.emplace_back([&, c] {
           net::client cli("127.0.0.1", port);
-          latencies[c].reserve(per_conn);
           std::size_t index = c * 131;
           for (std::size_t i = 0; i < per_conn; ++i) {
             const auto& q = stream[index % stream.size()];
             const auto t0 = clock_type::now();
             const auto r = cli.query(q);
-            latencies[c].push_back(
-                std::chrono::duration<double, std::micro>(clock_type::now() - t0)
-                    .count());
+            hist.record(ns_since(t0));
             if (r.matched && r.distance > 1.0) std::abort();
             index += 17;
           }
@@ -516,9 +536,7 @@ int main(int argc, char** argv) {
       for (auto& w : workers) w.join();
       const double wall =
           std::chrono::duration<double>(clock_type::now() - start).count();
-      std::vector<double> merged;
-      for (auto& l : latencies) merged.insert(merged.end(), l.begin(), l.end());
-      const auto q = summarize_latencies(std::move(merged), wall);
+      const auto q = summarize_histogram(hist, wall);
       if (conns == 1) closed_qps_single = q.qps;
       std::cout << "  closed loop, " << conns << " conn: " << q.qps
                 << " q/s, p50 " << q.p50_us << " us, p99 " << q.p99_us << " us\n";
@@ -545,8 +563,7 @@ int main(int argc, char** argv) {
       net::client cli("127.0.0.1", port);
       std::vector<clock_type::time_point> sent;
       sent.reserve(query_count);
-      std::vector<double> latencies;
-      latencies.reserve(query_count);
+      obs::histogram hist;
       std::size_t read_index = 0;
       const auto start = clock_type::now();
       auto next_send = start;
@@ -557,22 +574,18 @@ int main(int argc, char** argv) {
         sent.push_back(clock_type::now());
         while (sent.size() - read_index > k_window) {
           (void)cli.read_query_response();
-          latencies.push_back(std::chrono::duration<double, std::micro>(
-                                  clock_type::now() - sent[read_index])
-                                  .count());
+          hist.record(ns_since(sent[read_index]));
           ++read_index;
         }
       }
       while (read_index < sent.size()) {
         (void)cli.read_query_response();
-        latencies.push_back(std::chrono::duration<double, std::micro>(
-                                clock_type::now() - sent[read_index])
-                                .count());
+        hist.record(ns_since(sent[read_index]));
         ++read_index;
       }
       const double wall =
           std::chrono::duration<double>(clock_type::now() - start).count();
-      const auto q = summarize_latencies(std::move(latencies), wall);
+      const auto q = summarize_histogram(hist, wall);
       std::cout << "  open loop @ " << target_qps << " q/s target: achieved "
                 << q.qps << " q/s, p50 " << q.p50_us << " us, p99 " << q.p99_us
                 << " us\n";
@@ -672,8 +685,7 @@ int main(int argc, char** argv) {
     constexpr std::size_t k_top_k = 10;
     constexpr double k_tolerance_da = 2.5;
     const std::size_t search_queries = std::min<std::size_t>(stream.size(), 2000);
-    std::vector<double> latencies;
-    latencies.reserve(search_queries);
+    obs::histogram hist;
     std::uint64_t candidates = 0;
     std::uint64_t buckets_probed = 0;
     const auto start = clock_type::now();
@@ -681,15 +693,14 @@ int main(int argc, char** argv) {
       const auto& q = stream[(i * 17) % stream.size()];
       const auto t0 = clock_type::now();
       const auto r = searcher.search(q, k_top_k, k_tolerance_da);
-      latencies.push_back(
-          std::chrono::duration<double, std::micro>(clock_type::now() - t0).count());
+      hist.record(ns_since(t0));
       candidates += r.candidates;
       buckets_probed += r.buckets_probed;
       if (!r.hits.empty() && r.hits.front().distance > 1.0) std::abort();
     }
     const double wall =
         std::chrono::duration<double>(clock_type::now() - start).count();
-    const auto q = summarize_latencies(std::move(latencies), wall);
+    const auto q = summarize_histogram(hist, wall);
     const double mean_candidates =
         search_queries > 0 ? static_cast<double>(candidates) /
                                  static_cast<double>(search_queries)
@@ -716,6 +727,111 @@ int main(int argc, char** argv) {
     json.field("p99_us", q.p99_us);
     json.field("mean_us", q.mean_us);
     json.field("qps", q.qps);
+    json.end_object();
+  }
+
+  // --- phase 9: observability overhead --------------------------------------
+  // Prices the telemetry subsystem itself: micro cost of one counter add /
+  // histogram record / armed+disarmed trace_span, then ingest and query
+  // throughput with timing instrumentation armed vs disarmed. The
+  // acceptance bar is armed >= 0.97x disarmed — observability that taxes
+  // the hot path more than 3% is a bug, not a feature.
+  {
+    std::cout << "\n[observability] instrumentation overhead\n";
+    constexpr std::size_t k_micro_iters = 1'000'000;
+    const auto per_op_ns = [&](clock_type::time_point t0) {
+      return static_cast<double>(ns_since(t0)) / static_cast<double>(k_micro_iters);
+    };
+
+    obs::counter micro_counter;
+    auto t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) micro_counter.add(1);
+    const double counter_add_ns = per_op_ns(t0);
+    if (micro_counter.value() != k_micro_iters) std::abort();
+
+    obs::histogram micro_hist;
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) micro_hist.record(i);
+    const double histogram_record_ns = per_op_ns(t0);
+
+    obs::set_armed(true);
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) {
+      obs::trace_span span(micro_hist, obs::stage::route);
+    }
+    const double span_armed_ns = per_op_ns(t0);
+    obs::set_armed(false);
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) {
+      obs::trace_span span(micro_hist, obs::stage::route);
+    }
+    const double span_disarmed_ns = per_op_ns(t0);
+    obs::set_armed(true);
+    std::cout << "  micro: counter add " << counter_add_ns << " ns, histogram record "
+              << histogram_record_ns << " ns, span " << span_armed_ns
+              << " ns armed / " << span_disarmed_ns << " ns disarmed\n";
+
+    // Macro: the serving paths end to end, interleaved best-of-3 per mode
+    // (same anti-drift discipline as the journaled/unjournaled ratio).
+    constexpr int k_obs_reps = 3;
+    double armed_ingest_s = 0.0;
+    double disarmed_ingest_s = 0.0;
+    double armed_query_wall = 0.0;
+    double disarmed_query_wall = 0.0;
+    const std::size_t per_worker = query_count / std::max<std::size_t>(1, threads);
+    for (int rep = 0; rep < k_obs_reps; ++rep) {
+      obs::set_armed(true);
+      {
+        serve::clustering_service svc(make_config(opts, threads));
+        const double s = ingest_all(svc, stream, batch);
+        armed_ingest_s = rep == 0 ? s : std::min(armed_ingest_s, s);
+        obs::histogram qh;
+        const double w = run_queries(svc, stream, threads, per_worker, qh);
+        armed_query_wall = rep == 0 ? w : std::min(armed_query_wall, w);
+      }
+      obs::set_armed(false);
+      {
+        serve::clustering_service svc(make_config(opts, threads));
+        const double s = ingest_all(svc, stream, batch);
+        disarmed_ingest_s = rep == 0 ? s : std::min(disarmed_ingest_s, s);
+        obs::histogram qh;
+        const double w = run_queries(svc, stream, threads, per_worker, qh);
+        disarmed_query_wall = rep == 0 ? w : std::min(disarmed_query_wall, w);
+      }
+    }
+    obs::set_armed(true);
+    const auto rate = [&](double s) {
+      return s > 0.0 ? static_cast<double>(stream.size()) / s : 0.0;
+    };
+    const std::size_t queries_issued =
+        per_worker * std::max<std::size_t>(1, threads);
+    const auto qps = [&](double w) {
+      return w > 0.0 ? static_cast<double>(queries_issued) / w : 0.0;
+    };
+    const double ingest_ratio =
+        rate(disarmed_ingest_s) > 0.0 ? rate(armed_ingest_s) / rate(disarmed_ingest_s) : 0.0;
+    const double query_ratio =
+        qps(disarmed_query_wall) > 0.0 ? qps(armed_query_wall) / qps(disarmed_query_wall)
+                                       : 0.0;
+    std::cout << "  ingest: armed " << rate(armed_ingest_s) << " vs disarmed "
+              << rate(disarmed_ingest_s) << " spectra/s (" << ingest_ratio
+              << "x, bar >= 0.97)\n";
+    std::cout << "  query:  armed " << qps(armed_query_wall) << " vs disarmed "
+              << qps(disarmed_query_wall) << " q/s (" << query_ratio
+              << "x, bar >= 0.97)\n";
+
+    json.begin_object("observability");
+    json.field("micro_iters", k_micro_iters);
+    json.field("counter_add_ns", counter_add_ns);
+    json.field("histogram_record_ns", histogram_record_ns);
+    json.field("span_armed_ns", span_armed_ns);
+    json.field("span_disarmed_ns", span_disarmed_ns);
+    json.field("ingest_armed_spectra_per_sec", rate(armed_ingest_s));
+    json.field("ingest_disarmed_spectra_per_sec", rate(disarmed_ingest_s));
+    json.field("ingest_armed_vs_disarmed", ingest_ratio);
+    json.field("query_armed_qps", qps(armed_query_wall));
+    json.field("query_disarmed_qps", qps(disarmed_query_wall));
+    json.field("query_armed_vs_disarmed", query_ratio);
     json.end_object();
   }
 

@@ -187,6 +187,19 @@ wire_stats client::stats() {
   return stats;
 }
 
+wire_metrics client::metrics() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_metrics_request(frame, id);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::metrics_ok, id);
+  wire_metrics metrics;
+  const bool ok = parse_metrics_response(response, metrics);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed metrics_ok body");
+  return metrics;
+}
+
 void client::drain() {
   const std::uint64_t id = next_request_id_++;
   std::string frame;

@@ -83,6 +83,12 @@ public:
 
   wire_stats stats();
 
+  /// Full telemetry scrape: the server's metrics-registry snapshot
+  /// (counters, gauges, per-stage histograms) plus its slow-request ring.
+  /// Safe to call against a server under full load — building the
+  /// snapshot never blocks the server's recording threads.
+  wire_metrics metrics();
+
   /// Server-side barrier: returns once everything this connection (and
   /// every other producer) enqueued before the call is applied.
   void drain();

@@ -56,6 +56,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::stats:
     case msg_type::drain:
     case msg_type::query_topk:
+    case msg_type::get_metrics:
     case msg_type::hello_ok:
     case msg_type::pong:
     case msg_type::ingest_ok:
@@ -64,6 +65,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::drain_ok:
     case msg_type::error:
     case msg_type::query_topk_ok:
+    case msg_type::metrics_ok:
       return true;
   }
   return false;
@@ -78,6 +80,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::stats: return "stats";
     case msg_type::drain: return "drain";
     case msg_type::query_topk: return "query_topk";
+    case msg_type::get_metrics: return "get_metrics";
     case msg_type::hello_ok: return "hello_ok";
     case msg_type::pong: return "pong";
     case msg_type::ingest_ok: return "ingest_ok";
@@ -86,6 +89,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::drain_ok: return "drain_ok";
     case msg_type::error: return "error";
     case msg_type::query_topk_ok: return "query_topk_ok";
+    case msg_type::metrics_ok: return "metrics_ok";
   }
   return "unknown";
 }
@@ -352,6 +356,151 @@ bool parse_search_response(const frame_view& frame, serve::search_result& result
     if (name_bytes > in.size - in.pos) return false;
     hit.name.resize(name_bytes);
     if (!in.read_bytes(hit.name.data(), name_bytes)) return false;
+  }
+  return in.pos == in.size;
+}
+
+// --- metrics -----------------------------------------------------------------
+
+namespace {
+
+std::size_t str_wire_bytes(const std::string& s) {
+  return sizeof(std::uint32_t) + s.size();
+}
+
+void put_str(ms::wire_cursor& cursor, const std::string& s) {
+  cursor.put(static_cast<std::uint32_t>(s.size()));
+  cursor.put_bytes(s.data(), s.size());
+}
+
+bool read_str(ms::byte_cursor& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!in.read(len)) return false;
+  if (len > in.size - in.pos) return false;  // hostile length: never allocate past input
+  s.resize(len);
+  return in.read_bytes(s.data(), len);
+}
+
+}  // namespace
+
+void encode_metrics_request(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::get_metrics, request_id);
+}
+
+void encode_metrics_response(std::string& out, std::uint64_t request_id,
+                             const wire_metrics& metrics) {
+  const auto& snap = metrics.snapshot;
+  std::size_t body = 4 * sizeof(std::uint32_t);  // the four section counts
+  for (const auto& c : snap.counters) body += str_wire_bytes(c.name) + sizeof(std::uint64_t);
+  for (const auto& g : snap.gauges) body += str_wire_bytes(g.name) + sizeof(std::int64_t);
+  for (const auto& h : snap.histograms) {
+    body += str_wire_bytes(h.name) + str_wire_bytes(h.unit) + 2 * sizeof(std::uint64_t) +
+            sizeof(std::uint32_t) + h.buckets.size() * 3 * sizeof(std::uint64_t);
+  }
+  for (const auto& s : metrics.slow) {
+    body += str_wire_bytes(s.kind) + 2 * sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+            s.stages.size() * (sizeof(std::uint8_t) + sizeof(std::uint64_t));
+  }
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::metrics_ok, request_id, body, start);
+  cursor.put(static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& c : snap.counters) {
+    put_str(cursor, c.name);
+    cursor.put(c.value);
+  }
+  cursor.put(static_cast<std::uint32_t>(snap.gauges.size()));
+  for (const auto& g : snap.gauges) {
+    put_str(cursor, g.name);
+    cursor.put(g.value);
+  }
+  cursor.put(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& h : snap.histograms) {
+    put_str(cursor, h.name);
+    put_str(cursor, h.unit);
+    cursor.put(h.count);
+    cursor.put(h.sum);
+    cursor.put(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& b : h.buckets) {
+      cursor.put(b.lo);
+      cursor.put(b.hi);
+      cursor.put(b.count);
+    }
+  }
+  cursor.put(static_cast<std::uint32_t>(metrics.slow.size()));
+  for (const auto& s : metrics.slow) {
+    put_str(cursor, s.kind);
+    cursor.put(s.seq);
+    cursor.put(s.total_ns);
+    cursor.put(static_cast<std::uint32_t>(s.stages.size()));
+    for (const auto& st : s.stages) {
+      cursor.put(static_cast<std::uint8_t>(st.st));
+      cursor.put(st.ns);
+    }
+  }
+  seal_frame(out, start, cursor);
+}
+
+bool parse_metrics_response(const frame_view& frame, wire_metrics& metrics) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  metrics = {};
+  std::uint32_t count = 0;
+
+  if (!in.read(count)) return false;
+  if (count > (in.size - in.pos) / (sizeof(std::uint32_t) + sizeof(std::uint64_t))) {
+    return false;
+  }
+  metrics.snapshot.counters.resize(count);
+  for (auto& c : metrics.snapshot.counters) {
+    if (!read_str(in, c.name) || !in.read(c.value)) return false;
+  }
+
+  if (!in.read(count)) return false;
+  if (count > (in.size - in.pos) / (sizeof(std::uint32_t) + sizeof(std::int64_t))) {
+    return false;
+  }
+  metrics.snapshot.gauges.resize(count);
+  for (auto& g : metrics.snapshot.gauges) {
+    if (!read_str(in, g.name) || !in.read(g.value)) return false;
+  }
+
+  if (!in.read(count)) return false;
+  // Minimum histogram size: two empty strings, count, sum, bucket count.
+  constexpr std::size_t k_min_hist =
+      3 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+  if (count > (in.size - in.pos) / k_min_hist) return false;
+  metrics.snapshot.histograms.resize(count);
+  for (auto& h : metrics.snapshot.histograms) {
+    if (!read_str(in, h.name) || !read_str(in, h.unit)) return false;
+    if (!in.read(h.count) || !in.read(h.sum)) return false;
+    std::uint32_t buckets = 0;
+    if (!in.read(buckets)) return false;
+    if (buckets > (in.size - in.pos) / (3 * sizeof(std::uint64_t))) return false;
+    h.buckets.resize(buckets);
+    for (auto& b : h.buckets) {
+      if (!in.read(b.lo) || !in.read(b.hi) || !in.read(b.count)) return false;
+    }
+  }
+
+  if (!in.read(count)) return false;
+  constexpr std::size_t k_min_slow =
+      2 * sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+  if (count > (in.size - in.pos) / k_min_slow) return false;
+  metrics.slow.resize(count);
+  for (auto& s : metrics.slow) {
+    if (!read_str(in, s.kind)) return false;
+    if (!in.read(s.seq) || !in.read(s.total_ns)) return false;
+    std::uint32_t stages = 0;
+    if (!in.read(stages)) return false;
+    if (stages > (in.size - in.pos) / (sizeof(std::uint8_t) + sizeof(std::uint64_t))) {
+      return false;
+    }
+    s.stages.resize(stages);
+    for (auto& st : s.stages) {
+      std::uint8_t raw = 0;
+      if (!in.read(raw) || !in.read(st.ns)) return false;
+      if (raw > obs::k_stage_max) return false;
+      st.st = static_cast<obs::stage>(raw);
+    }
   }
   return in.pos == in.size;
 }

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "ms/spectrum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/search.hpp"
 #include "serve/shard.hpp"
 
@@ -58,7 +60,8 @@ enum class msg_type : std::uint8_t {
   query = 4,
   stats = 5,
   drain = 6,
-  query_topk = 7,  ///< OMS search: spectrum + top_k + tolerance
+  query_topk = 7,   ///< OMS search: spectrum + top_k + tolerance
+  get_metrics = 8,  ///< full telemetry snapshot (src/obs registry + slow ring)
   // responses
   hello_ok = 64,
   pong = 65,
@@ -68,6 +71,7 @@ enum class msg_type : std::uint8_t {
   drain_ok = 69,
   error = 70,
   query_topk_ok = 71,
+  metrics_ok = 72,
 };
 
 bool known_msg_type(std::uint8_t type) noexcept;
@@ -100,6 +104,14 @@ struct wire_stats {
   std::uint64_t failed_shards = 0;
   std::uint64_t requests = 0;  ///< frames the server processed
   std::uint64_t shed = 0;      ///< ingests refused by admission control
+};
+
+/// What a `get_metrics` request returns: the whole registry plus the
+/// slow-request ring (obs/metrics.hpp, obs/trace.hpp).
+struct wire_metrics {
+  obs::metrics_snapshot snapshot;
+  std::vector<obs::slow_request> slow;
+  friend bool operator==(const wire_metrics&, const wire_metrics&) = default;
 };
 
 // --- frame decode ------------------------------------------------------------
@@ -153,6 +165,14 @@ void encode_search_request(std::string& out, std::uint64_t request_id,
                            double tolerance_da);
 void encode_search_response(std::string& out, std::uint64_t request_id,
                             const serve::search_result& result);
+/// Telemetry scrape (`client --metrics` over the wire): the full metrics
+/// registry snapshot — counters, gauges, histograms with their non-empty
+/// buckets — plus the slow-request ring dump. Building the snapshot never
+/// blocks recording threads (relaxed-sum of per-thread shards), so a
+/// scrape is safe against a server under full ingest load.
+void encode_metrics_request(std::string& out, std::uint64_t request_id);
+void encode_metrics_response(std::string& out, std::uint64_t request_id,
+                             const wire_metrics& metrics);
 void encode_stats_request(std::string& out, std::uint64_t request_id);
 void encode_stats_response(std::string& out, std::uint64_t request_id,
                            const wire_stats& stats);
@@ -173,6 +193,7 @@ bool parse_query_response(const frame_view& frame, serve::query_result& result);
 bool parse_search_request(const frame_view& frame, ms::spectrum& spectrum,
                           std::uint32_t& top_k, double& tolerance_da);
 bool parse_search_response(const frame_view& frame, serve::search_result& result);
+bool parse_metrics_response(const frame_view& frame, wire_metrics& metrics);
 bool parse_stats_response(const frame_view& frame, wire_stats& stats);
 bool parse_error_response(const frame_view& frame, error_code& code,
                           std::string& message);

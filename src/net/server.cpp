@@ -13,12 +13,32 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 
 namespace spechd::net {
 
 namespace {
+
+/// Process-wide telemetry (src/obs). The server also keeps per-instance
+/// atomics for server_counters — tests assert exact per-server values, and
+/// a process may run several servers — so the registry series aggregate
+/// across instances while counters() stays instance-scoped.
+obs::counter& net_requests_total() {
+  static auto& c = obs::registry::instance().counter("spechd_net_requests_total");
+  return c;
+}
+obs::counter& net_shed_total() {
+  static auto& c = obs::registry::instance().counter("spechd_net_shed_total");
+  return c;
+}
+obs::counter& net_protocol_errors_total() {
+  static auto& c =
+      obs::registry::instance().counter("spechd_net_protocol_errors_total");
+  return c;
+}
 
 void throw_errno(const std::string& what) {
   throw io_error(what + ": " + std::strerror(errno));
@@ -297,6 +317,7 @@ void server::handle_readable(int fd, connection& conn) {
     if (status == decode_status::need_more) break;
     if (status != decode_status::ok) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      net_protocol_errors_total().add(1);
       const auto code = status == decode_status::bad_crc    ? error_code::bad_crc
                         : status == decode_status::too_large ? error_code::too_large
                                                              : error_code::malformed;
@@ -321,6 +342,7 @@ void server::handle_readable(int fd, connection& conn) {
 void server::process_frame(int fd, connection& conn, const frame_view& frame) {
   (void)fd;
   requests_.fetch_add(1, std::memory_order_relaxed);
+  net_requests_total().add(1);
   if (!conn.handshaken) {
     if (frame.type != msg_type::hello) {
       send_error(conn, frame.request_id, error_code::bad_handshake,
@@ -352,6 +374,41 @@ void server::process_frame(int fd, connection& conn, const frame_view& frame) {
     return;
   }
 
+  // Per-request tracing: traced kinds get an ambient request_trace (the
+  // stage spans the dispatch runs on *this* thread append to it), an
+  // end-to-end histogram sample, and a slow-ring offer. Stages that hop to
+  // shard writer threads record into their histograms only.
+  static auto& ingest_req_ns =
+      obs::registry::instance().histogram("spechd_net_ingest_request_ns");
+  static auto& query_req_ns =
+      obs::registry::instance().histogram("spechd_net_query_request_ns");
+  static auto& search_req_ns =
+      obs::registry::instance().histogram("spechd_net_search_request_ns");
+  const char* kind = nullptr;
+  obs::histogram* total_hist = nullptr;
+  switch (frame.type) {
+    case msg_type::ingest: kind = "ingest"; total_hist = &ingest_req_ns; break;
+    case msg_type::query: kind = "query"; total_hist = &query_req_ns; break;
+    case msg_type::query_topk: kind = "search"; total_hist = &search_req_ns; break;
+    default: break;
+  }
+  if (kind == nullptr || !obs::armed()) {
+    dispatch_frame(conn, frame);
+    return;
+  }
+  obs::request_trace trace;
+  obs::trace_scope scope(trace);
+  const auto start = std::chrono::steady_clock::now();
+  dispatch_frame(conn, frame);
+  const auto total_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  total_hist->record(total_ns);
+  obs::slow_ring::instance().offer(kind, total_ns, trace);
+}
+
+void server::dispatch_frame(connection& conn, const frame_view& frame) {
   try {
     switch (frame.type) {
       case msg_type::ping:
@@ -361,30 +418,48 @@ void server::process_frame(int fd, connection& conn, const frame_view& frame) {
         handle_ingest(conn, frame);
         return;
       case msg_type::query: {
+        static auto& parse_ns =
+            obs::registry::instance().histogram("spechd_net_parse_ns");
+        obs::trace_span parse_span(parse_ns, obs::stage::net_parse);
         ms::spectrum spectrum;
         if (!parse_query_request(frame, spectrum)) {
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          net_protocol_errors_total().add(1);
           send_error(conn, frame.request_id, error_code::malformed,
                      "malformed query body", /*close_after=*/true);
           return;
         }
+        parse_span.finish();
         encode_query_response(conn.outbuf, frame.request_id, service_.query(spectrum));
         return;
       }
       case msg_type::query_topk: {
+        static auto& parse_ns =
+            obs::registry::instance().histogram("spechd_net_parse_ns");
+        obs::trace_span parse_span(parse_ns, obs::stage::net_parse);
         ms::spectrum spectrum;
         std::uint32_t top_k = 0;
         double tolerance_da = 0.0;
         if (!parse_search_request(frame, spectrum, top_k, tolerance_da)) {
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          net_protocol_errors_total().add(1);
           send_error(conn, frame.request_id, error_code::malformed,
                      "malformed query_topk body", /*close_after=*/true);
           return;
         }
+        parse_span.finish();
         // service_.search throws spechd::error when no library is loaded —
         // mapped to a typed `rejected` response by the catch below.
         encode_search_response(conn.outbuf, frame.request_id,
                                service_.search(spectrum, top_k, tolerance_da));
+        return;
+      }
+      case msg_type::get_metrics: {
+        // Snapshot + ring dump; neither blocks recording threads.
+        wire_metrics metrics;
+        metrics.snapshot = obs::registry::instance().snapshot();
+        metrics.slow = obs::slow_ring::instance().dump();
+        encode_metrics_response(conn.outbuf, frame.request_id, metrics);
         return;
       }
       case msg_type::stats: {
@@ -409,6 +484,7 @@ void server::process_frame(int fd, connection& conn, const frame_view& frame) {
         return;
       default:
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        net_protocol_errors_total().add(1);
         send_error(conn, frame.request_id, error_code::malformed,
                    std::string("unexpected message type ") + msg_type_name(frame.type),
                    /*close_after=*/true);
@@ -430,21 +506,31 @@ void server::handle_ingest(connection& conn, const frame_view& frame) {
   // queue depth reaches the shed threshold, a further ingest would make
   // the event loop block in a full shard queue — refuse it with a typed
   // response instead, keeping in-flight work bounded and the loop live.
-  if (service_.queue_depth() >= shed_threshold_) {
+  static auto& admission_ns =
+      obs::registry::instance().histogram("spechd_ingest_admission_ns");
+  obs::trace_span admission_span(admission_ns, obs::stage::admission);
+  const bool shed = service_.queue_depth() >= shed_threshold_;
+  admission_span.finish();
+  if (shed) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    net_shed_total().add(1);
     send_error(conn, frame.request_id, error_code::shed_load,
                "service overloaded (queue depth at shed threshold " +
                    std::to_string(shed_threshold_) + "); retry with backoff",
                /*close_after=*/false);
     return;
   }
+  static auto& parse_ns = obs::registry::instance().histogram("spechd_net_parse_ns");
+  obs::trace_span parse_span(parse_ns, obs::stage::net_parse);
   std::vector<ms::spectrum> batch;
   if (!parse_ingest_request(frame, batch)) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    net_protocol_errors_total().add(1);
     send_error(conn, frame.request_id, error_code::malformed,
                "malformed ingest body", /*close_after=*/true);
     return;
   }
+  parse_span.finish();
   const auto count = static_cast<std::uint64_t>(batch.size());
   service_.ingest(std::move(batch));  // throws spechd::error on rejection
   encode_ingest_response(conn.outbuf, frame.request_id, count);

@@ -128,6 +128,9 @@ private:
   void accept_ready();
   void handle_readable(int fd, connection& conn);
   void process_frame(int fd, connection& conn, const frame_view& frame);
+  /// Post-handshake request dispatch (the body of process_frame, split out
+  /// so the per-request trace/timing wrapper stays readable).
+  void dispatch_frame(connection& conn, const frame_view& frame);
   void handle_ingest(connection& conn, const frame_view& frame);
   void send_error(connection& conn, std::uint64_t request_id, error_code code,
                   const std::string& message, bool close_after);

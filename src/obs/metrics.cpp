@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace spechd::obs {
+
+namespace {
+
+std::atomic<bool> g_armed{true};
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void set_armed(bool armed) noexcept {
+  g_armed.store(armed, std::memory_order_relaxed);
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+// --- histogram ---------------------------------------------------------------
+
+std::size_t histogram::shard_slot() noexcept {
+  // Round-robin thread→slot assignment: truly per-thread up to k_shards
+  // concurrent recorders, striped (still lock-free, occasionally sharing a
+  // cache line) beyond.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % k_shards;
+  return slot;
+}
+
+void histogram::merge(std::vector<std::uint64_t>& counts, std::uint64_t& total,
+                      std::uint64_t& sum) const noexcept {
+  counts.assign(k_hist_buckets, 0);
+  total = 0;
+  sum = 0;
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < k_hist_buckets; ++b) {
+      const auto c = s.counts[b].load(std::memory_order_relaxed);
+      counts[b] += c;
+      total += c;
+    }
+    sum += s.sum.load(std::memory_order_relaxed);
+  }
+}
+
+void histogram::reset() noexcept {
+  for (auto& s : shards_) {
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+double histogram_sample::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank over the merged bucket counts: the same definition
+  // util::percentile_sorted uses, so the equivalence tests compare
+  // like with like.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(p * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (const auto& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) {
+      return (static_cast<double>(b.lo) + static_cast<double>(b.hi)) / 2.0;
+    }
+  }
+  const auto& last = buckets.back();
+  return (static_cast<double>(last.lo) + static_cast<double>(last.hi)) / 2.0;
+}
+
+const counter_sample* metrics_snapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const histogram_sample* metrics_snapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string render_prom(const metrics_snapshot& snapshot) {
+  std::string out;
+  char buf[64];
+  auto put_u64 = [&](std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " ";
+    put_u64(c.value);
+    out += "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(g.value));
+    out += buf;
+    out += "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& b : h.buckets) {
+      cumulative += b.count;
+      out += h.name + "_bucket{le=\"";
+      put_u64(b.hi);
+      out += "\"} ";
+      put_u64(cumulative);
+      out += "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} ";
+    put_u64(h.count);
+    out += "\n";
+    out += h.name + "_sum ";
+    put_u64(h.sum);
+    out += "\n";
+    out += h.name + "_count ";
+    put_u64(h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+// --- registry ----------------------------------------------------------------
+
+registry& registry::instance() {
+  // Leaked on purpose: instrumentation sites in static destructors must
+  // still find a live registry.
+  static registry* self = new registry();
+  return *self;
+}
+
+counter& registry::counter(std::string_view name) {
+  SPECHD_EXPECTS(valid_metric_name(name));
+  std::lock_guard lock(mutex_);
+  for (auto* c : counters_) {
+    if (c->name == name) return c->instrument;
+  }
+  auto* entry = new named<class counter>{std::string(name), {}, {}};
+  counters_.push_back(entry);
+  return entry->instrument;
+}
+
+gauge& registry::gauge(std::string_view name) {
+  SPECHD_EXPECTS(valid_metric_name(name));
+  std::lock_guard lock(mutex_);
+  for (auto* g : gauges_) {
+    if (g->name == name) return g->instrument;
+  }
+  auto* entry = new named<class gauge>{std::string(name), {}, {}};
+  gauges_.push_back(entry);
+  return entry->instrument;
+}
+
+histogram& registry::histogram(std::string_view name, std::string_view unit) {
+  SPECHD_EXPECTS(valid_metric_name(name));
+  std::lock_guard lock(mutex_);
+  for (auto* h : histograms_) {
+    if (h->name == name) return h->instrument;
+  }
+  auto* entry = new named<class histogram>{std::string(name), std::string(unit), {}};
+  histograms_.push_back(entry);
+  return entry->instrument;
+}
+
+metrics_snapshot registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  metrics_snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto* c : counters_) {
+    snap.counters.push_back({c->name, c->instrument.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto* g : gauges_) {
+    snap.gauges.push_back({g->name, g->instrument.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  std::vector<std::uint64_t> counts;
+  for (const auto* h : histograms_) {
+    histogram_sample sample;
+    sample.name = h->name;
+    sample.unit = h->unit;
+    h->instrument.merge(counts, sample.count, sample.sum);
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      sample.buckets.push_back({hist_bucket_lo(b), hist_bucket_hi(b), counts[b]});
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void registry::reset_all() {
+  std::lock_guard lock(mutex_);
+  for (auto* c : counters_) c->instrument.reset();
+  for (auto* g : gauges_) g->instrument.reset();
+  for (auto* h : histograms_) h->instrument.reset();
+}
+
+}  // namespace spechd::obs

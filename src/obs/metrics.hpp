@@ -1,0 +1,258 @@
+// Process-wide lock-free metrics: counters, gauges, and log-bucketed
+// latency/size histograms, registered by name and scraped as one snapshot.
+//
+// The registry is the observability substrate every serving-tier layer
+// records into and every export surface (get_metrics wire frame,
+// `spechd client --metrics`, `serve --metrics-log`) reads from:
+//
+//   hot paths ──add/record (relaxed atomics)──▶ registry ──snapshot()──▶
+//     metrics_snapshot ──render_prom / wire encode / util::table──▶ user
+//
+// Design constraints, in order:
+//   * Hot-path cost: a counter add is ONE relaxed atomic add; a histogram
+//     record is a handful of ALU ops (bit scan) plus two relaxed adds into
+//     a per-thread shard. No locks, no allocation, no seq-cst anywhere on
+//     the record path.
+//   * Timing instrumentation (clock reads) can be disarmed process-wide
+//     (`set_armed(false)`): spans then skip the clock entirely, leaving
+//     only the counters — this is what the bench's `observability` section
+//     measures the overhead of.
+//   * Snapshots never block writers: they sum the per-thread shards with
+//     relaxed loads; a snapshot racing a record may miss that one sample
+//     (it lands in the next snapshot), but totals are never corrupted and
+//     every sample is eventually counted exactly once.
+//
+// Histogram bucketing is HDR-style: values are log2-bucketed with
+// 2^k_sub_bits linear sub-buckets per power of two, so the relative error
+// of any reported quantile is bounded by 2^-k_sub_bits (6.25%) and the
+// whole range [0, 2^47) fits in 720 buckets (~6 KB per thread shard).
+// Registration happens at static-init sites:
+//
+//   static auto& h = obs::registry::instance().histogram("spechd_x_ns", "ns");
+//   h.record(elapsed_ns);
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spechd::obs {
+
+// --- arming ------------------------------------------------------------------
+
+/// Process-wide switch for *timing* instrumentation (trace spans). Counters
+/// and explicit record() calls are unaffected — they are the always-on
+/// one-relaxed-add tier. Defaults to armed.
+void set_armed(bool armed) noexcept;
+bool armed() noexcept;
+
+// --- histogram bucketing (exposed for tests and renderers) -------------------
+
+/// Linear sub-buckets per power of two: 16 ⇒ max relative bucket width
+/// (and therefore quantile error) of 1/16.
+inline constexpr unsigned k_hist_sub_bits = 4;
+inline constexpr std::uint64_t k_hist_sub_count = 1ULL << k_hist_sub_bits;
+/// Highest power of two tracked exactly; larger values clamp into the last
+/// bucket. 2^47 ns ≈ 39 hours, 2^47 bytes = 128 TiB — beyond either is
+/// "off the chart" for this service.
+inline constexpr unsigned k_hist_max_msb = 47;
+inline constexpr std::size_t k_hist_buckets =
+    (k_hist_max_msb - k_hist_sub_bits + 1) * k_hist_sub_count + k_hist_sub_count;
+
+/// Bucket index of `v` (clamped to the last bucket for huge values).
+constexpr std::size_t hist_bucket_index(std::uint64_t v) noexcept {
+  if (v < k_hist_sub_count) return static_cast<std::size_t>(v);
+  unsigned msb = 63U - static_cast<unsigned>(std::countl_zero(v));
+  if (msb > k_hist_max_msb) {
+    msb = k_hist_max_msb;
+    v = (1ULL << (k_hist_max_msb + 1)) - 1;  // clamp into the top bucket
+  }
+  const unsigned shift = msb - k_hist_sub_bits;
+  const auto sub = static_cast<std::size_t>((v >> shift) & (k_hist_sub_count - 1));
+  return (static_cast<std::size_t>(msb - k_hist_sub_bits) + 1) * k_hist_sub_count + sub;
+}
+
+/// Inclusive lower bound of bucket `index` (inverse of hist_bucket_index).
+constexpr std::uint64_t hist_bucket_lo(std::size_t index) noexcept {
+  if (index < k_hist_sub_count) return index;
+  const std::size_t major = index / k_hist_sub_count - 1 + k_hist_sub_bits;
+  const std::uint64_t sub = index % k_hist_sub_count;
+  return (1ULL << major) + (sub << (major - k_hist_sub_bits));
+}
+
+/// Inclusive upper bound of bucket `index`.
+constexpr std::uint64_t hist_bucket_hi(std::size_t index) noexcept {
+  if (index + 1 >= k_hist_buckets) return UINT64_MAX;
+  return hist_bucket_lo(index + 1) - 1;
+}
+
+// --- instruments -------------------------------------------------------------
+
+/// Monotonic counter. Overflow wraps modulo 2^64 (callers diffing
+/// snapshots get the right delta through a wrap); reset() re-zeroes — both
+/// pinned by tests/obs.
+class counter {
+public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depths, open connections).
+class gauge {
+public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-bucketed histogram with per-thread shards. record() touches only
+/// the calling thread's shard (threads are spread round-robin over
+/// k_shards slots), so concurrent recorders never contend; snapshots merge
+/// the shards losslessly.
+class histogram {
+public:
+  static constexpr std::size_t k_shards = 8;
+
+  void record(std::uint64_t v) noexcept {
+    auto& s = shards_[shard_slot()];
+    s.counts[hist_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Merged bucket counts (size k_hist_buckets) — relaxed-sum of shards.
+  void merge(std::vector<std::uint64_t>& counts, std::uint64_t& total,
+             std::uint64_t& sum) const noexcept;
+
+  void reset() noexcept;
+
+private:
+  static std::size_t shard_slot() noexcept;
+
+  struct alignas(64) shard {
+    std::array<std::atomic<std::uint64_t>, k_hist_buckets> counts{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<shard, k_shards> shards_{};
+};
+
+// --- snapshot ----------------------------------------------------------------
+
+struct counter_sample {
+  std::string name;
+  std::uint64_t value = 0;
+  friend bool operator==(const counter_sample&, const counter_sample&) = default;
+};
+
+struct gauge_sample {
+  std::string name;
+  std::int64_t value = 0;
+  friend bool operator==(const gauge_sample&, const gauge_sample&) = default;
+};
+
+/// One non-empty histogram bucket: inclusive [lo, hi] value range.
+struct hist_bucket_sample {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const hist_bucket_sample&, const hist_bucket_sample&) = default;
+};
+
+struct histogram_sample {
+  std::string name;
+  std::string unit;  ///< "ns", "bytes", ... (display hint only)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<hist_bucket_sample> buckets;  ///< non-empty buckets, ascending lo
+
+  /// Nearest-rank quantile estimate: the midpoint of the bucket holding
+  /// the rank-p sample. The exact sample provably lies inside that
+  /// bucket, so the estimate is within one bucket width (≤ 6.25%
+  /// relative) of the true quantile — pinned by tests/obs.
+  double percentile(double p) const noexcept;
+
+  friend bool operator==(const histogram_sample&, const histogram_sample&) = default;
+};
+
+struct metrics_snapshot {
+  std::vector<counter_sample> counters;    ///< registration order
+  std::vector<gauge_sample> gauges;
+  std::vector<histogram_sample> histograms;
+
+  /// nullptr when absent (empty snapshots stay cheap to pass around).
+  const counter_sample* find_counter(std::string_view name) const noexcept;
+  const histogram_sample* find_histogram(std::string_view name) const noexcept;
+
+  friend bool operator==(const metrics_snapshot&, const metrics_snapshot&) = default;
+};
+
+/// Prometheus text exposition (text/plain version 0.0.4): one `# TYPE`
+/// comment per series, counters as `name value`, histograms as cumulative
+/// `name_bucket{le="..."}` series plus `_sum`/`_count`. Names must already
+/// match [a-zA-Z_:][a-zA-Z0-9_:]* (the registry enforces this at
+/// registration).
+std::string render_prom(const metrics_snapshot& snapshot);
+
+// --- registry ----------------------------------------------------------------
+
+/// Name-keyed instrument registry. Registration (first call per name)
+/// takes a mutex; subsequent lookups through the same static reference are
+/// free, which is why every instrumentation site caches the reference:
+///
+///   static auto& c = obs::registry::instance().counter("spechd_x_total");
+///
+/// Instruments are never deallocated (deque storage, stable addresses) —
+/// a metric outlives every object that records into it.
+class registry {
+public:
+  static registry& instance();
+
+  class counter& counter(std::string_view name);
+  class gauge& gauge(std::string_view name);
+  class histogram& histogram(std::string_view name, std::string_view unit = "ns");
+
+  /// Merged view of every registered instrument, registration order.
+  metrics_snapshot snapshot() const;
+
+  /// Zeroes every instrument (tests and bench isolation; the instruments
+  /// themselves stay registered).
+  void reset_all();
+
+private:
+  registry() = default;
+
+  template <typename T>
+  struct named {
+    std::string name;
+    std::string unit;
+    T instrument;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<named<class counter>*> counters_;      // registration order
+  std::vector<named<class gauge>*> gauges_;
+  std::vector<named<class histogram>*> histograms_;
+  // Deques would also work; pointer-vectors + new keep iteration simple
+  // while guaranteeing stable addresses. Instruments are intentionally
+  // immortal (see class comment).
+};
+
+}  // namespace spechd::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+namespace spechd::obs {
+
+namespace {
+
+thread_local request_trace* t_active_trace = nullptr;
+
+}  // namespace
+
+const char* stage_name(stage s) noexcept {
+  switch (s) {
+    case stage::net_parse: return "net_parse";
+    case stage::admission: return "admission";
+    case stage::enqueue: return "enqueue";
+    case stage::queue_wait: return "queue_wait";
+    case stage::journal_append: return "journal_append";
+    case stage::journal_fsync: return "journal_fsync";
+    case stage::shard_apply: return "shard_apply";
+    case stage::view_publish: return "view_publish";
+    case stage::route: return "route";
+    case stage::bucket_probe: return "bucket_probe";
+    case stage::select: return "select";
+    case stage::k_select: return "k_select";
+    case stage::merge: return "merge";
+  }
+  return "?";
+}
+
+request_trace* active_trace() noexcept { return t_active_trace; }
+
+trace_scope::trace_scope(request_trace& trace) noexcept
+    : previous_(t_active_trace) {
+  t_active_trace = &trace;
+}
+
+trace_scope::~trace_scope() { t_active_trace = previous_; }
+
+slow_ring& slow_ring::instance() {
+  static slow_ring* self = new slow_ring();
+  return *self;
+}
+
+void slow_ring::offer(const char* kind, std::uint64_t total_ns,
+                      const request_trace& trace) {
+  const auto seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const auto sample_every = sample_every_.load(std::memory_order_relaxed);
+  const bool sampled = sample_every != 0 && seq % sample_every == 0;
+  if (!sampled && total_ns < threshold_ns_.load(std::memory_order_relaxed)) return;
+
+  slow_request entry;
+  entry.kind = kind;
+  entry.seq = seq;
+  entry.total_ns = total_ns;
+  entry.stages.assign(trace.begin(), trace.end());
+
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < k_capacity) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % k_capacity;
+}
+
+std::vector<slow_request> slow_ring::dump() const {
+  std::lock_guard lock(mutex_);
+  std::vector<slow_request> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void slow_ring::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spechd::obs

@@ -1,0 +1,191 @@
+// Request-stage tracing: RAII spans that time one pipeline stage into a
+// registry histogram, an ambient per-request trace that collects the
+// stage breakdown, and a fixed-size slow-request ring the breakdowns of
+// outlier requests land in.
+//
+// Stage map (every instrumented span in the serving pipeline):
+//
+//   ingest:  net_parse → admission → enqueue ─(writer thread)→ queue_wait
+//            → journal_append [→ journal_fsync] → shard_apply → view_publish
+//   query:   route → bucket_probe → select
+//   search:  route → bucket_probe → k_select → merge
+//   journal: journal_append → journal_fsync (group commit)
+//
+// Threading model: a trace_scope on the request thread (the network event
+// loop) makes a request_trace ambient via a thread-local; every trace_span
+// that finishes on that thread appends its (stage, ns) to it. Stages that
+// run on shard writer threads (queue_wait, journal_*, shard_apply,
+// view_publish) record into their histograms only — the request thread has
+// already moved on, which is exactly the asynchrony the queue_wait
+// histogram exists to expose.
+//
+// Disarming (obs::set_armed(false)) turns every span into a no-op — no
+// clock reads — leaving only plain counters live; the bench's
+// `observability` section measures the armed-vs-disarmed throughput delta
+// (bar: armed ≥ 0.97× disarmed).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace spechd::obs {
+
+enum class stage : std::uint8_t {
+  net_parse = 0,
+  admission,
+  enqueue,
+  queue_wait,
+  journal_append,
+  journal_fsync,
+  shard_apply,
+  view_publish,
+  route,
+  bucket_probe,
+  select,
+  k_select,
+  merge,
+};
+
+/// Highest valid stage value (wire parsers validate against this).
+inline constexpr std::uint8_t k_stage_max = static_cast<std::uint8_t>(stage::merge);
+
+const char* stage_name(stage s) noexcept;
+
+struct stage_sample {
+  stage st{};
+  std::uint64_t ns = 0;
+  friend bool operator==(const stage_sample&, const stage_sample&) = default;
+};
+
+/// Per-request stage collection (stack-allocated by the request thread;
+/// fixed capacity, extra stages are dropped counted).
+class request_trace {
+public:
+  static constexpr std::size_t k_capacity = 12;
+
+  void add(stage st, std::uint64_t ns) noexcept {
+    if (size_ < k_capacity) {
+      stages_[size_++] = {st, ns};
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const stage_sample* begin() const noexcept { return stages_; }
+  const stage_sample* end() const noexcept { return stages_ + size_; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+private:
+  stage_sample stages_[k_capacity]{};
+  std::size_t size_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// The calling thread's ambient trace (nullptr outside a trace_scope).
+request_trace* active_trace() noexcept;
+
+/// Makes `trace` ambient for the calling thread; restores the previous
+/// ambient trace (nesting-safe) on destruction.
+class trace_scope {
+public:
+  explicit trace_scope(request_trace& trace) noexcept;
+  ~trace_scope();
+  trace_scope(const trace_scope&) = delete;
+  trace_scope& operator=(const trace_scope&) = delete;
+
+private:
+  request_trace* previous_;
+};
+
+/// Times one stage into `hist` (and the ambient trace, when one is
+/// active). Armed cost: two steady_clock reads + one histogram record;
+/// disarmed cost: one relaxed load.
+class trace_span {
+public:
+  trace_span(histogram& hist, stage st) noexcept
+      : hist_(armed() ? &hist : nullptr), stage_(st) {
+    if (hist_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~trace_span() { finish(); }
+
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+  /// Records now (idempotent); returns the elapsed ns (0 when disarmed).
+  std::uint64_t finish() noexcept {
+    if (!hist_) return 0;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    hist_->record(ns);
+    if (auto* trace = active_trace()) trace->add(stage_, ns);
+    hist_ = nullptr;
+    return ns;
+  }
+
+private:
+  histogram* hist_;
+  stage stage_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// --- slow-request ring -------------------------------------------------------
+
+/// One captured outlier: the request kind ("ingest"/"query"/...), its
+/// end-to-end time, and the stage breakdown the request thread observed.
+struct slow_request {
+  std::string kind;
+  std::uint64_t seq = 0;  ///< monotone request sequence number
+  std::uint64_t total_ns = 0;
+  std::vector<stage_sample> stages;
+  friend bool operator==(const slow_request&, const slow_request&) = default;
+};
+
+/// Fixed-size ring of slow_request entries. A request is captured when its
+/// total time crosses `threshold_ns`, or unconditionally every
+/// `sample_every`-th offer (0 = threshold only) — the sampling knob keeps
+/// a trickle of healthy-request breakdowns next to the outliers. offer()'s
+/// fast path (below threshold, not sampled) is one relaxed fetch_add and
+/// two relaxed loads; capture takes a mutex (outliers are rare by
+/// definition).
+class slow_ring {
+public:
+  static slow_ring& instance();
+
+  static constexpr std::size_t k_capacity = 128;
+
+  void configure(std::uint64_t threshold_ns, std::uint64_t sample_every) noexcept {
+    threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+    sample_every_.store(sample_every, std::memory_order_relaxed);
+  }
+  std::uint64_t threshold_ns() const noexcept {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  void offer(const char* kind, std::uint64_t total_ns, const request_trace& trace);
+
+  /// Captured entries, oldest first; newest k_capacity survive.
+  std::vector<slow_request> dump() const;
+
+  void clear();
+
+private:
+  slow_ring() = default;
+
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> threshold_ns_{10'000'000};  ///< 10 ms default
+  std::atomic<std::uint64_t> sample_every_{0};
+  mutable std::mutex mutex_;
+  std::vector<slow_request> ring_;  ///< ring_[next_] is the oldest once full
+  std::size_t next_ = 0;
+};
+
+}  // namespace spechd::obs

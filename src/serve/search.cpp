@@ -9,6 +9,8 @@
 
 #include "hdc/cpu_kernels.hpp"
 #include "hdc/encoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/bucket.hpp"
 #include "preprocess/pipeline.hpp"
 #include "util/error.hpp"
@@ -167,6 +169,13 @@ search_result spectral_library::search(const hdc::hypervector& query, double pre
   // row + k-select per bucket, then merge the per-bucket winners by the
   // global (count, gid) key. Each block keeps at most top_k survivors, so
   // the merge set is tiny regardless of bucket sizes.
+  static auto& probe_ns =
+      obs::registry::instance().histogram("spechd_search_bucket_probe_ns");
+  static auto& kselect_ns =
+      obs::registry::instance().histogram("spechd_search_k_select_ns");
+  static auto& merge_ns =
+      obs::registry::instance().histogram("spechd_search_merge_ns");
+
   std::vector<std::uint64_t> merged;  // (count << 32) | gid — total order
   std::vector<std::uint32_t> counts;
   std::vector<hdc::kernels::select_entry> selected;
@@ -178,9 +187,12 @@ search_result spectral_library::search(const hdc::hypervector& query, double pre
     const auto& block = *it;
     result.buckets_probed += 1;
     result.candidates += block.count;
+    obs::trace_span probe_span(probe_ns, obs::stage::bucket_probe);
     counts.resize(block.count);
     hdc::kernels::hamming_tile_packed(query.words().data(), 1, block.packed.data(),
                                       block.count, words_, counts.data());
+    probe_span.finish();
+    obs::trace_span kselect_span(kselect_ns, obs::stage::k_select);
     selected.resize(std::min<std::size_t>(top_k, block.count));
     const auto written = hdc::kernels::k_select(counts.data(), block.count, top_k,
                                                 selected.data());
@@ -189,6 +201,7 @@ search_result spectral_library::search(const hdc::hypervector& query, double pre
       merged.push_back((static_cast<std::uint64_t>(selected[i].count) << 32) | gid);
     }
   }
+  obs::trace_span merge_span(merge_ns, obs::stage::merge);
   const std::size_t keep = std::min(top_k, merged.size());
   std::partial_sort(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(keep),
                     merged.end());

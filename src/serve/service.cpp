@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/pipeline.hpp"
 #include "util/failpoint.hpp"
 #include "util/io.hpp"
@@ -231,6 +233,16 @@ void clustering_service::throw_rejected(std::size_t shard) const {
 
 void clustering_service::ingest(std::vector<ms::spectrum> spectra) {
   if (spectra.empty()) return;
+  static auto& records = obs::registry::instance().counter("spechd_ingest_records_total");
+  static auto& batches = obs::registry::instance().counter("spechd_ingest_batches_total");
+  static auto& enqueue_ns =
+      obs::registry::instance().histogram("spechd_ingest_enqueue_ns");
+  records.add(spectra.size());
+  batches.add(1);
+  // The enqueue span covers routing + queue admission; while a target
+  // queue is full it also covers the backpressure block, which is exactly
+  // what makes it the ingest-side wait signal.
+  obs::trace_span span(enqueue_ns, obs::stage::enqueue);
   if (shards_.size() == 1) {
     if (!shards_[0]->enqueue(std::move(spectra))) throw_rejected(0);
     return;
@@ -302,6 +314,12 @@ void clustering_service::drain() {
 }
 
 query_result clustering_service::query(const ms::spectrum& spectrum) const {
+  static auto& queries = obs::registry::instance().counter("spechd_query_requests_total");
+  static auto& route_ns = obs::registry::instance().histogram("spechd_query_route_ns");
+  queries.add(1);
+  // Route stage: preprocessing + encoding + bucket keying — everything up
+  // to handing the query to its bucket's shard.
+  obs::trace_span route_span(route_ns, obs::stage::route);
   // Same preprocessing as ingest — a spectrum the filter would drop on
   // ingest is reported unencodable rather than queried inconsistently.
   auto batch = preprocess::run_preprocessing({spectrum}, config_.pipeline.preprocess);
@@ -309,6 +327,7 @@ query_result clustering_service::query(const ms::spectrum& spectrum) const {
   const auto& q = batch.spectra.front();
   const auto hv = encoder_.encode(q);
   const auto key = router_.bucket_key(q.precursor_mz, q.precursor_charge);
+  route_span.finish();
   return shards_[router_.shard_of_key(key)]->query(hv, key,
                                                    config_.pipeline.distance_threshold);
 }
@@ -338,6 +357,11 @@ search_result clustering_service::search(const ms::spectrum& spectrum, std::size
     lib = library_;
   }
   if (!lib) throw spechd::error("no spectral library loaded");
+  static auto& searches =
+      obs::registry::instance().counter("spechd_search_requests_total");
+  static auto& route_ns = obs::registry::instance().histogram("spechd_search_route_ns");
+  searches.add(1);
+  obs::trace_span route_span(route_ns, obs::stage::route);
   // Same preprocessing as ingest/query — a spectrum the filter would drop
   // is reported unencodable rather than searched inconsistently.
   auto batch = preprocess::run_preprocessing({spectrum}, config_.pipeline.preprocess);
@@ -348,6 +372,7 @@ search_result clustering_service::search(const ms::spectrum& spectrum, std::size
   }
   const auto& q = batch.spectra.front();
   const auto hv = encoder_.encode(q);
+  route_span.finish();
   return lib->search(hv, q.precursor_mz, q.precursor_charge, top_k, tolerance_da);
 }
 

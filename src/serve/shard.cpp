@@ -6,8 +6,38 @@
 
 #include "hdc/bundle.hpp"
 #include "hdc/cpu_kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spechd::serve {
+
+namespace {
+
+/// Time-stamps an enqueue when timing is armed (epoch = disarmed marker);
+/// the paired record on the writer thread charges the gap to the
+/// queue-wait histogram — the cross-thread stage a request-thread span
+/// cannot cover.
+std::chrono::steady_clock::time_point queue_wait_start() noexcept {
+  return obs::armed() ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+}
+
+void record_queue_wait(std::chrono::steady_clock::time_point enqueued_at) noexcept {
+  if (enqueued_at == std::chrono::steady_clock::time_point{}) return;
+  static auto& wait_ns =
+      obs::registry::instance().histogram("spechd_ingest_queue_wait_ns");
+  wait_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - enqueued_at)
+          .count()));
+}
+
+obs::histogram& shard_apply_ns() {
+  static auto& h = obs::registry::instance().histogram("spechd_ingest_apply_ns");
+  return h;
+}
+
+}  // namespace
 
 const char* shard_health_name(shard_health health) noexcept {
   switch (health) {
@@ -61,7 +91,9 @@ bool shard::enqueue(std::vector<ms::spectrum> batch) {
   // Degraded/failed shards are read-only: reject up front instead of
   // queueing a batch the writer would have to drop.
   if (health() != shard_health::healthy) return false;
-  return queue_.push([this, batch = std::move(batch)]() mutable {
+  const auto enqueued_at = queue_wait_start();
+  return queue_.push([this, batch = std::move(batch), enqueued_at]() mutable {
+    record_queue_wait(enqueued_at);
     apply_batch(std::move(batch));
   });
 }
@@ -71,8 +103,11 @@ bool shard::enqueue_txn(std::vector<ms::spectrum> batch, std::uint64_t txn_id,
   SPECHD_EXPECTS(journal_ != nullptr);
   SPECHD_EXPECTS(!batch.empty());
   if (health() != shard_health::healthy) return false;
+  const auto enqueued_at = queue_wait_start();
   return queue_.push([this, batch = std::move(batch), txn_id,
-                      barrier = std::move(barrier), coordinator]() mutable {
+                      barrier = std::move(barrier), coordinator,
+                      enqueued_at]() mutable {
+    record_queue_wait(enqueued_at);
     apply_txn_batch(std::move(batch), txn_id, barrier, coordinator);
   });
 }
@@ -132,7 +167,9 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
   }
   if (journaled_ok) {
     try {
+      obs::trace_span apply_span(shard_apply_ns(), obs::stage::shard_apply);
       const auto report = clusterer_.push_batch(batch);
+      apply_span.finish();
       ingested_.fetch_add(report.added, std::memory_order_relaxed);
       dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
     } catch (...) {
@@ -270,7 +307,9 @@ void shard::apply_txn_batch(std::vector<ms::spectrum> batch, std::uint64_t txn_i
   // applying it — so the shard goes failed (journal ⊃ applied; recovery
   // will apply the batch from the journal).
   try {
+    obs::trace_span apply_span(shard_apply_ns(), obs::stage::shard_apply);
     const auto report = clusterer_.push_batch(batch);
+    apply_span.finish();
     ingested_.fetch_add(report.added, std::memory_order_relaxed);
     dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
   } catch (...) {
@@ -368,6 +407,12 @@ core::clusterer_state shard::export_and_rotate_journal(const journal_head& head,
 }
 
 void shard::publish(bool all) {
+  static auto& publish_ns =
+      obs::registry::instance().histogram("spechd_view_publish_ns");
+  static auto& publishes =
+      obs::registry::instance().counter("spechd_view_publishes_total");
+  publishes.add(1);
+  obs::trace_span span(publish_ns, obs::stage::view_publish);
   const auto previous = view_.load();
   auto next = std::make_shared<shard_view>();
   if (all) {
@@ -453,8 +498,14 @@ query_result shard::query(const hdc::hypervector& hv, std::int64_t bucket_key,
   const bucket_view& bucket = *it->second;
   SPECHD_EXPECTS(bucket.hv_words == hv.word_count());
 
+  static auto& probe_ns =
+      obs::registry::instance().histogram("spechd_query_bucket_probe_ns");
+  static auto& select_ns =
+      obs::registry::instance().histogram("spechd_query_select_ns");
+
   // One packed Hamming-tile row against every member — the same kernels
   // (and the same normalisation) the ingest assignment path uses.
+  obs::trace_span probe_span(probe_ns, obs::stage::bucket_probe);
   const std::size_t n = bucket.member_count;
   std::vector<std::uint32_t> counts(n);
   hdc::kernels::hamming_tile_packed(hv.words().data(), 1, bucket.packed.data(), n,
@@ -465,7 +516,9 @@ query_result shard::query(const hdc::hypervector& hv, std::int64_t bucket_key,
     result.nearest_member =
         std::min(result.nearest_member, static_cast<double>(counts[i]) / dim);
   }
+  probe_span.finish();
 
+  obs::trace_span select_span(select_ns, obs::stage::select);
   double best = threshold;
   std::int32_t best_label = -1;
   if (mode_ == core::assign_mode::bundle_representative) {

@@ -1,0 +1,369 @@
+// Telemetry substrate: histogram bucketing round-trips, randomized
+// percentile equivalence against the exact sorted-vector estimator
+// (within the documented bucket error bound), lossless concurrent
+// merging, counter wrap/reset semantics, registry identity, Prometheus
+// exposition grammar, and the trace-span / slow-ring behaviours.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace spechd::obs {
+namespace {
+
+/// Builds a snapshot-style sample from a raw histogram (what the registry
+/// does internally — exposed here so tests can use bare histograms
+/// without polluting the process-wide registry namespace).
+histogram_sample sample_of(const histogram& hist) {
+  std::vector<std::uint64_t> counts;
+  histogram_sample s;
+  hist.merge(counts, s.count, s.sum);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      s.buckets.push_back({hist_bucket_lo(i), hist_bucket_hi(i), counts[i]});
+    }
+  }
+  return s;
+}
+
+// --- bucketing ---------------------------------------------------------------
+
+TEST(ObsMetrics, BucketBoundsContainTheirValues) {
+  // Exhaustive over the low range, sampled over the high range: every
+  // value must land in a bucket whose [lo, hi] contains it.
+  for (std::uint64_t v = 0; v < (1ULL << 16); ++v) {
+    const auto index = hist_bucket_index(v);
+    ASSERT_LT(index, k_hist_buckets);
+    EXPECT_GE(v, hist_bucket_lo(index));
+    EXPECT_LE(v, hist_bucket_hi(index));
+  }
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 48);
+    const auto index = hist_bucket_index(v);
+    ASSERT_LT(index, k_hist_buckets);
+    EXPECT_GE(v, hist_bucket_lo(index));
+    if (index + 1 < k_hist_buckets) EXPECT_LE(v, hist_bucket_hi(index));
+  }
+}
+
+TEST(ObsMetrics, BucketsAreContiguousAndMonotone) {
+  for (std::size_t i = 0; i + 1 < k_hist_buckets; ++i) {
+    EXPECT_EQ(hist_bucket_hi(i) + 1, hist_bucket_lo(i + 1)) << "gap at bucket " << i;
+  }
+  EXPECT_EQ(hist_bucket_hi(k_hist_buckets - 1), UINT64_MAX);
+  // Huge values clamp into the top bucket instead of indexing out of range.
+  EXPECT_EQ(hist_bucket_index(UINT64_MAX), k_hist_buckets - 1);
+  EXPECT_EQ(hist_bucket_index(1ULL << 60), k_hist_buckets - 1);
+}
+
+TEST(ObsMetrics, BucketRelativeWidthIsBounded) {
+  // The quantile error bound rests on every bucket above the linear range
+  // being at most 1/16 of its lower bound wide.
+  for (std::size_t i = k_hist_sub_count; i + 1 < k_hist_buckets; ++i) {
+    const double lo = static_cast<double>(hist_bucket_lo(i));
+    const double width = static_cast<double>(hist_bucket_hi(i) - hist_bucket_lo(i) + 1);
+    EXPECT_LE(width, lo / k_hist_sub_count + 1.0) << "bucket " << i;
+  }
+}
+
+// --- percentile accuracy -----------------------------------------------------
+
+TEST(ObsMetrics, PercentilesMatchExactSortWithinBucketError) {
+  // Randomized equivalence: the histogram's nearest-rank percentile must
+  // fall in the same bucket as the exact sorted-vector nearest-rank value
+  // — that is the strongest claim the log-bucketed representation can
+  // make, and exactly the documented error bound.
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 8; ++trial) {
+    histogram hist;
+    std::vector<double> exact;
+    const std::size_t n = 1000 + static_cast<std::size_t>(rng() % 9000);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of scales, like real latencies: ns-level noise up to
+      // multi-second outliers.
+      const std::uint64_t v = rng() % (1ULL << (8 + trial * 4));
+      hist.record(v);
+      exact.push_back(static_cast<double>(v));
+    }
+    std::sort(exact.begin(), exact.end());
+    const auto sample = sample_of(hist);
+    EXPECT_EQ(sample.count, n);
+    for (const double p : {0.50, 0.90, 0.99}) {
+      const double truth = percentile_sorted(exact, p);
+      const double reported = sample.percentile(p);
+      EXPECT_EQ(hist_bucket_index(static_cast<std::uint64_t>(truth)),
+                hist_bucket_index(static_cast<std::uint64_t>(reported)))
+          << "trial " << trial << " p" << p * 100 << ": exact " << truth
+          << " vs reported " << reported;
+    }
+  }
+}
+
+TEST(ObsMetrics, EmptyHistogramReportsZeroes) {
+  const histogram hist;
+  const auto sample = sample_of(hist);
+  EXPECT_EQ(sample.count, 0u);
+  EXPECT_EQ(sample.sum, 0u);
+  EXPECT_TRUE(sample.buckets.empty());
+  EXPECT_EQ(sample.percentile(0.99), 0.0);
+}
+
+// --- concurrency -------------------------------------------------------------
+
+TEST(ObsMetrics, ConcurrentRecordsMergeLosslessly) {
+  histogram hist;
+  constexpr std::size_t k_threads = 8;
+  constexpr std::size_t k_per_thread = 100000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::size_t i = 0; i < k_per_thread; ++i) {
+        hist.record(t * 1000 + (i % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  std::uint64_t sum = 0;
+  hist.merge(counts, total, sum);
+  EXPECT_EQ(total, k_threads * k_per_thread);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t t = 0; t < k_threads; ++t) {
+    for (std::size_t i = 0; i < k_per_thread; ++i) expected_sum += t * 1000 + (i % 7);
+  }
+  EXPECT_EQ(sum, expected_sum);
+}
+
+// --- counters and gauges -----------------------------------------------------
+
+TEST(ObsMetrics, CounterWrapsModulo64AndResets) {
+  counter c;
+  c.add(UINT64_MAX);
+  const std::uint64_t before = c.value();
+  c.add(5);  // wraps
+  EXPECT_EQ(c.value(), 4u);
+  // Snapshot diffing survives the wrap: unsigned subtraction recovers the
+  // true delta.
+  EXPECT_EQ(c.value() - before, 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeHoldsSignedValues) {
+  gauge g;
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  g.add(10);
+  EXPECT_EQ(g.value(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(ObsMetrics, RegistryReturnsSameInstrumentForSameName) {
+  auto& a = registry::instance().counter("test_obs_registry_identity_total");
+  auto& b = registry::instance().counter("test_obs_registry_identity_total");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  b.add(3);
+  const auto snap = registry::instance().snapshot();
+  const auto* c = snap.find_counter("test_obs_registry_identity_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->value, 5u);  // >= : other tests in this binary never touch it
+}
+
+TEST(ObsMetrics, RegistryRejectsInvalidPromNames) {
+  EXPECT_THROW(registry::instance().counter("bad-name"), spechd::logic_error);
+  EXPECT_THROW(registry::instance().counter("1leading_digit"), spechd::logic_error);
+  EXPECT_THROW(registry::instance().counter(""), spechd::logic_error);
+  EXPECT_THROW(registry::instance().histogram("has space"), spechd::logic_error);
+}
+
+TEST(ObsMetrics, SnapshotFindMissingReturnsNull) {
+  const auto snap = registry::instance().snapshot();
+  EXPECT_EQ(snap.find_counter("test_obs_never_registered_total"), nullptr);
+  EXPECT_EQ(snap.find_histogram("test_obs_never_registered_ns"), nullptr);
+}
+
+// --- prometheus rendering ----------------------------------------------------
+
+TEST(ObsMetrics, PromRenderingFollowsExpositionGrammar) {
+  registry::instance().counter("test_obs_prom_counter_total").add(7);
+  registry::instance().gauge("test_obs_prom_gauge").set(-2);
+  auto& h = registry::instance().histogram("test_obs_prom_hist_ns", "ns");
+  h.record(10);
+  h.record(100000);
+  const std::string text = render_prom(registry::instance().snapshot());
+
+  // Every line is either a comment or `name[{le="..."}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_bucket = false;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    std::string name = series;
+    const auto brace = series.find('{');
+    if (brace != std::string::npos) {
+      name = series.substr(0, brace);
+      EXPECT_EQ(series.find("{le=\""), brace) << line;
+      EXPECT_EQ(series.back(), '}') << line;
+      saw_bucket = true;
+      if (series.find("+Inf") != std::string::npos) saw_inf = true;
+    }
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_' ||
+                name[0] == ':')
+        << line;
+    for (const char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+          << line;
+    }
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_TRUE(saw_inf);
+  // The histogram's required series are all present.
+  EXPECT_NE(text.find("test_obs_prom_hist_ns_sum "), std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_hist_ns_count "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_obs_prom_hist_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_obs_prom_counter_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_gauge -2"), std::string::npos);
+}
+
+// --- trace spans -------------------------------------------------------------
+
+TEST(ObsTrace, SpanRecordsIntoHistogramAndAmbientTrace) {
+  set_armed(true);
+  histogram hist;
+  request_trace trace;
+  {
+    trace_scope scope(trace);
+    trace_span span(hist, stage::route);
+    // Burn enough cycles that the span cannot round down to 0 ns.
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1;
+    const auto ns = span.finish();
+    EXPECT_GT(ns, 0u);
+    // finish() is idempotent: the destructor must not double-record.
+  }
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.begin()->st, stage::route);
+  EXPECT_GT(trace.begin()->ns, 0u);
+  const auto sample = sample_of(hist);
+  EXPECT_EQ(sample.count, 1u);
+}
+
+TEST(ObsTrace, DisarmedSpanIsANoop) {
+  set_armed(false);
+  histogram hist;
+  request_trace trace;
+  {
+    trace_scope scope(trace);
+    trace_span span(hist, stage::route);
+    EXPECT_EQ(span.finish(), 0u);
+  }
+  set_armed(true);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(sample_of(hist).count, 0u);
+}
+
+TEST(ObsTrace, TraceScopesNestAndRestore) {
+  EXPECT_EQ(active_trace(), nullptr);
+  request_trace outer;
+  {
+    trace_scope outer_scope(outer);
+    EXPECT_EQ(active_trace(), &outer);
+    request_trace inner;
+    {
+      trace_scope inner_scope(inner);
+      EXPECT_EQ(active_trace(), &inner);
+    }
+    EXPECT_EQ(active_trace(), &outer);
+  }
+  EXPECT_EQ(active_trace(), nullptr);
+}
+
+TEST(ObsTrace, TraceDropsPastCapacityAndCounts) {
+  request_trace trace;
+  for (std::size_t i = 0; i < request_trace::k_capacity + 3; ++i) {
+    trace.add(stage::route, i);
+  }
+  EXPECT_EQ(trace.size(), request_trace::k_capacity);
+  EXPECT_EQ(trace.dropped(), 3u);
+}
+
+// --- slow-request ring -------------------------------------------------------
+
+TEST(ObsTrace, SlowRingCapturesOverThresholdOnly) {
+  auto& ring = slow_ring::instance();
+  ring.clear();
+  ring.configure(1000, 0);  // 1 us threshold, no sampling
+  request_trace trace;
+  trace.add(stage::route, 2000);
+  ring.offer("fast", 500, trace);     // below threshold: dropped
+  ring.offer("slow", 2000, trace);    // over: captured
+  const auto dump = ring.dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].kind, "slow");
+  EXPECT_EQ(dump[0].total_ns, 2000u);
+  ASSERT_EQ(dump[0].stages.size(), 1u);
+  EXPECT_EQ(dump[0].stages[0].st, stage::route);
+  ring.clear();
+  ring.configure(10'000'000, 0);  // restore defaults
+}
+
+TEST(ObsTrace, SlowRingSamplingCapturesHealthyRequests) {
+  auto& ring = slow_ring::instance();
+  ring.clear();
+  ring.configure(UINT64_MAX, 1);  // sample every offer, threshold unreachable
+  request_trace trace;
+  for (int i = 0; i < 5; ++i) ring.offer("sampled", 10, trace);
+  EXPECT_EQ(ring.dump().size(), 5u);
+  ring.clear();
+  ring.configure(10'000'000, 0);
+}
+
+TEST(ObsTrace, SlowRingOverwritesOldestPastCapacity) {
+  auto& ring = slow_ring::instance();
+  ring.clear();
+  ring.configure(0, 0);  // capture everything
+  request_trace trace;
+  const std::size_t n = slow_ring::k_capacity + 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.offer(i < 10 ? "old" : "new", i + 1, trace);
+  }
+  const auto dump = ring.dump();
+  ASSERT_EQ(dump.size(), slow_ring::k_capacity);
+  // The 10 oldest were overwritten; survivors are in offer order.
+  for (const auto& s : dump) EXPECT_EQ(s.kind, "new");
+  for (std::size_t i = 1; i < dump.size(); ++i) {
+    EXPECT_GT(dump[i].seq, dump[i - 1].seq);
+  }
+  ring.clear();
+  ring.configure(10'000'000, 0);
+}
+
+}  // namespace
+}  // namespace spechd::obs

@@ -48,10 +48,13 @@
 #include "ms/synthetic.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/pipeline.hpp"
 #include "serve/search.hpp"
 #include "serve/service.hpp"
 #include "util/failpoint.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -144,10 +147,13 @@ void print_usage(std::ostream& out) {
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap] [--listen HOST:PORT]\n"
       "                 [--shed-depth N] [--library lib.sphlib]\n"
+      "                 [--metrics-log SECS] [--slow-threshold-us N]\n"
+      "                 [--slow-sample N]\n"
       "  spechd client  --connect HOST:PORT [--batch B] [--timeout MS]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
       "                 [--search spectra-file] [--topk K] [--tolerance DA]\n"
       "                 [--ping] [--stats] [--drain]\n"
+      "                 [--metrics [--watch SECS] [--format table|prom]]\n"
       "  spechd search  --build lib.sphlib (--fasta db.fasta [--missed N]\n"
       "                 [--charges 2,3] | --spectra ref-file) [--dim D]\n"
       "  spechd search  --library lib.sphlib --query spectra-file\n"
@@ -474,6 +480,120 @@ extern "C" void handle_shutdown_signal(int) {
   if (auto* s = g_server.load(std::memory_order_acquire)) s->request_stop();
 }
 
+// --- metrics rendering (client --metrics / serve --metrics-log) --------------
+
+/// Value of a named counter in a snapshot (0 when absent — a counter that
+/// was never bumped was never registered).
+std::uint64_t counter_or_zero(const obs::metrics_snapshot& snap, const char* name) {
+  const auto* c = snap.find_counter(name);
+  return c ? c->value : 0;
+}
+
+/// Interval histogram: `cur` minus `prev` per bucket. Bucket counts are
+/// monotone, so the difference is exactly the histogram of the samples
+/// recorded between the two scrapes — this is how --watch reports interval
+/// (not lifetime) percentiles.
+obs::histogram_sample hist_delta(const obs::histogram_sample& cur,
+                                 const obs::histogram_sample* prev) {
+  if (!prev) return cur;
+  obs::histogram_sample d;
+  d.name = cur.name;
+  d.unit = cur.unit;
+  d.count = cur.count - prev->count;
+  d.sum = cur.sum - prev->sum;
+  std::map<std::uint64_t, std::uint64_t> base;
+  for (const auto& b : prev->buckets) base[b.lo] = b.count;
+  for (const auto& b : cur.buckets) {
+    const auto it = base.find(b.lo);
+    const std::uint64_t n = b.count - (it == base.end() ? 0 : it->second);
+    if (n > 0) d.buckets.push_back({b.lo, b.hi, n});
+  }
+  return d;
+}
+
+/// Histograms are recorded in ns; render percentiles in µs (one decimal
+/// keeps sub-µs stages readable). Non-ns histograms print raw values.
+std::string hist_value(const obs::histogram_sample& h, double p) {
+  const double v = h.percentile(p);
+  if (h.unit == "ns") return text_table::num(v / 1000.0, 1);
+  return text_table::num(v, 0);
+}
+
+/// One-shot rendering of a metrics scrape: counters/gauges, per-stage
+/// histograms with p50/p90/p99, and the slow-request ring.
+void print_metrics_tables(const net::wire_metrics& m, const std::string& where) {
+  const auto& snap = m.snapshot;
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    text_table table("remote metrics: " + where);
+    table.set_header({"counter", "value"});
+    for (const auto& c : snap.counters) {
+      table.add_row({c.name, text_table::num(c.value)});
+    }
+    for (const auto& g : snap.gauges) {
+      table.add_row({g.name, std::to_string(g.value)});  // gauges are signed
+    }
+    table.print(std::cout);
+  }
+  if (!snap.histograms.empty()) {
+    text_table table("stage latencies (us)");
+    table.set_header({"histogram", "count", "p50", "p90", "p99"});
+    for (const auto& h : snap.histograms) {
+      table.add_row({h.name, text_table::num(h.count), hist_value(h, 0.50),
+                     hist_value(h, 0.90), hist_value(h, 0.99)});
+    }
+    table.print(std::cout);
+  }
+  if (!m.slow.empty()) {
+    text_table table("slow requests (newest last)");
+    table.set_header({"kind", "seq", "total (ms)", "stage breakdown"});
+    for (const auto& s : m.slow) {
+      std::ostringstream stages;
+      for (std::size_t i = 0; i < s.stages.size(); ++i) {
+        if (i > 0) stages << " ";
+        stages << obs::stage_name(s.stages[i].st) << "="
+               << text_table::num(static_cast<double>(s.stages[i].ns) / 1e6, 2);
+      }
+      table.add_row({s.kind, text_table::num(s.seq),
+                     text_table::num(static_cast<double>(s.total_ns) / 1e6, 2),
+                     stages.str()});
+    }
+    table.print(std::cout);
+  }
+  if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty()) {
+    std::cout << "no metrics registered yet (server has served no work)\n";
+  }
+}
+
+/// One --watch tick: counter deltas as rates, histogram interval
+/// percentiles from bucket diffs against the previous scrape.
+void print_metrics_interval(const net::wire_metrics& cur, const net::wire_metrics& prev,
+                            double seconds) {
+  text_table table("interval (" + text_table::num(seconds, 1) + " s)");
+  table.set_header({"metric", "delta", "per second"});
+  bool any = false;
+  for (const auto& c : cur.snapshot.counters) {
+    const auto* p = prev.snapshot.find_counter(c.name);
+    const std::uint64_t delta = c.value - (p ? p->value : 0);  // wrap-safe
+    if (delta == 0) continue;
+    any = true;
+    table.add_row({c.name, text_table::num(delta),
+                   text_table::num(static_cast<double>(delta) / seconds, 1)});
+  }
+  if (any) table.print(std::cout);
+  text_table hists("interval stage latencies (us)");
+  hists.set_header({"histogram", "count", "p50", "p90", "p99"});
+  bool any_hist = false;
+  for (const auto& h : cur.snapshot.histograms) {
+    const auto d = hist_delta(h, prev.snapshot.find_histogram(h.name));
+    if (d.count == 0) continue;
+    any_hist = true;
+    hists.add_row({d.name, text_table::num(d.count), hist_value(d, 0.50),
+                   hist_value(d, 0.90), hist_value(d, 0.99)});
+  }
+  if (any_hist) hists.print(std::cout);
+  if (!any && !any_hist) std::cout << "(idle interval: no activity)\n";
+}
+
 int cmd_serve(arg_list& args) {
   serve::serve_config config;
   config.pipeline.threads = 1;  // per-shard pools; shards are the parallelism
@@ -495,6 +615,20 @@ int cmd_serve(arg_list& args) {
   const auto listen = args.take_option("--listen");
   const auto shed_depth = args.take_option("--shed-depth");
   const auto library = args.take_option("--library");
+  std::size_t metrics_log_secs = 0;
+  if (const auto v = args.take_option("--metrics-log")) metrics_log_secs = std::stoul(*v);
+  // Slow-request ring knobs: capture threshold (default 10 ms) and the
+  // every-Nth unconditional sample that keeps healthy-request breakdowns
+  // in the ring next to the outliers.
+  std::uint64_t slow_threshold_ns = obs::slow_ring::instance().threshold_ns();
+  std::uint64_t slow_sample_every = 0;
+  if (const auto v = args.take_option("--slow-threshold-us")) {
+    slow_threshold_ns = std::stoull(*v) * 1000;
+  }
+  if (const auto v = args.take_option("--slow-sample")) {
+    slow_sample_every = std::stoull(*v);
+  }
+  obs::slow_ring::instance().configure(slow_threshold_ns, slow_sample_every);
   std::vector<std::string> ingest_files;
   while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
   if (const int rc = reject_leftovers(args, "serve", 0)) return rc;
@@ -510,6 +644,15 @@ int cmd_serve(arg_list& args) {
   if (config.publish_every == 0) {
     std::cerr << "serve: --publish-every must be >= 1\n";
     return 2;
+  }
+  if (metrics_log_secs > 0 && !listen) {
+    std::cerr << "serve: --metrics-log requires --listen\n";
+    return 2;
+  }
+  if (metrics_log_secs > 0 && get_log_level() > log_level::info) {
+    // --metrics-log is an explicit request for the periodic info line;
+    // don't let the warnings-only default threshold eat it.
+    set_log_level(log_level::info);
   }
 
   if (restore) {
@@ -636,12 +779,73 @@ int cmd_serve(arg_list& args) {
       std::signal(SIGINT, handle_shutdown_signal);
       std::cout << "serving on " << net_config.host << ":" << server.port()
                 << " (" << config.shards << " shards)" << std::endl;
+
+      // --metrics-log: one summary line per interval through util/log so
+      // operators can tail progress without a client attached. The thread
+      // wakes in short slices so shutdown never waits a full interval.
+      std::atomic<bool> metrics_log_stop{false};
+      std::thread metrics_log_thread;
+      if (metrics_log_secs > 0) {
+        metrics_log_thread = std::thread([&service, &metrics_log_stop, metrics_log_secs] {
+          std::uint64_t last_requests = 0;
+          while (!metrics_log_stop.load(std::memory_order_relaxed)) {
+            for (std::size_t slept = 0;
+                 slept < metrics_log_secs * 10 &&
+                 !metrics_log_stop.load(std::memory_order_relaxed);
+                 ++slept) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            }
+            if (metrics_log_stop.load(std::memory_order_relaxed)) break;
+            const auto snap = obs::registry::instance().snapshot();
+            const std::uint64_t requests =
+                counter_or_zero(snap, "spechd_net_requests_total");
+            log_record line = log_info();
+            line << "metrics: requests=" << requests << " (+"
+                 << (requests - last_requests) << ") shed="
+                 << counter_or_zero(snap, "spechd_net_shed_total") << " ingested="
+                 << counter_or_zero(snap, "spechd_ingest_records_total")
+                 << " queries="
+                 << counter_or_zero(snap, "spechd_query_requests_total")
+                 << " searches="
+                 << counter_or_zero(snap, "spechd_search_requests_total")
+                 << " fsyncs="
+                 << counter_or_zero(snap, "spechd_journal_fsyncs_total")
+                 << " queue_depth=" << service.queue_depth();
+            if (const auto* h = snap.find_histogram("spechd_net_ingest_request_ns")) {
+              line << " ingest_p99_us=" << h->percentile(0.99) / 1000.0;
+            }
+            if (const auto* h = snap.find_histogram("spechd_net_query_request_ns")) {
+              line << " query_p99_us=" << h->percentile(0.99) / 1000.0;
+            }
+            last_requests = requests;
+          }
+        });
+      }
+
       server.wait();
       g_server.store(nullptr, std::memory_order_release);
+      metrics_log_stop.store(true, std::memory_order_relaxed);
+      if (metrics_log_thread.joinable()) metrics_log_thread.join();
       const auto counters = server.counters();
       std::cout << "server stopped: " << counters.accepted << " connections, "
                 << counters.requests << " requests, " << counters.shed
                 << " shed, " << counters.protocol_errors << " protocol errors\n";
+      // Final observability summary — the last line an operator sees on
+      // SIGTERM answers "what did this process do with its life".
+      const auto snap = obs::registry::instance().snapshot();
+      std::uint64_t heal_attempts = 0;
+      if (const auto maint = service.maintenance_stats()) {
+        heal_attempts = maint->heal_attempts;
+      }
+      std::cout << "final metrics: " << counters.requests << " requests served, "
+                << counter_or_zero(snap, "spechd_ingest_records_total")
+                << " records ingested, "
+                << counter_or_zero(snap, "spechd_query_requests_total") << " queries, "
+                << counter_or_zero(snap, "spechd_search_requests_total")
+                << " searches, " << counters.shed << " shed, " << heal_attempts
+                << " heal attempts, "
+                << counter_or_zero(snap, "spechd_journal_fsyncs_total")
+                << " journal fsyncs\n";
     } catch (const spechd::error& e) {
       g_server.store(nullptr, std::memory_order_release);
       std::cerr << "spechd serve: " << e.what() << "\n";
@@ -674,6 +878,11 @@ int cmd_client(arg_list& args) {
   const bool want_ping = args.take_flag("--ping");
   const bool want_stats = args.take_flag("--stats");
   const bool want_drain = args.take_flag("--drain");
+  const bool want_metrics = args.take_flag("--metrics");
+  std::size_t watch_secs = 0;
+  if (const auto v = args.take_option("--watch")) watch_secs = std::stoul(*v);
+  std::string metrics_format = "table";
+  if (const auto v = args.take_option("--format")) metrics_format = *v;
   std::vector<std::string> ingest_files;
   while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
   if (const int rc = reject_leftovers(args, "client", 0)) return rc;
@@ -687,6 +896,14 @@ int cmd_client(arg_list& args) {
   }
   if (search_file && top_k == 0) {
     std::cerr << "client: --topk must be >= 1\n";
+    return 2;
+  }
+  if (metrics_format != "table" && metrics_format != "prom") {
+    std::cerr << "client: --format must be 'table' or 'prom'\n";
+    return 2;
+  }
+  if (watch_secs > 0 && !want_metrics) {
+    std::cerr << "client: --watch requires --metrics\n";
     return 2;
   }
 
@@ -789,6 +1006,37 @@ int cmd_client(arg_list& args) {
     table.add_row({"server requests", text_table::num(s.requests)});
     table.add_row({"server shed", text_table::num(s.shed)});
     table.print(std::cout);
+  }
+
+  if (want_metrics && watch_secs == 0) {
+    const auto m = client.metrics();
+    if (metrics_format == "prom") {
+      std::cout << obs::render_prom(m.snapshot);
+    } else {
+      print_metrics_tables(m, *connect);
+    }
+  }
+
+  if (want_metrics && watch_secs > 0) {
+    // Interval mode: scrape every --watch seconds and report deltas/rates
+    // (and interval percentiles from bucket diffs) until interrupted or
+    // the server goes away.
+    net::wire_metrics prev = client.metrics();
+    auto prev_at = clock::now();
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::seconds(watch_secs));
+      const auto cur = client.metrics();
+      const auto now = clock::now();
+      const double seconds = std::chrono::duration<double>(now - prev_at).count();
+      if (metrics_format == "prom") {
+        std::cout << obs::render_prom(cur.snapshot);
+      } else {
+        print_metrics_interval(cur, prev, seconds);
+      }
+      std::cout.flush();
+      prev = cur;
+      prev_at = now;
+    }
   }
   return 0;
 }
