@@ -30,8 +30,10 @@
 #include "bench_common.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/search.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
@@ -767,9 +769,42 @@ int main(int argc, char** argv) {
     }
     const double span_disarmed_ns = per_op_ns(t0);
     obs::set_armed(true);
+
+    // Flight recorder (PR 10): one structured event into the per-thread
+    // ring, armed and disarmed — this is what every serving-path
+    // instrumentation site pays.
+    obs::flight_recorder::instance().reset();
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) {
+      obs::record_event(obs::event_kind::ingest_batch, i, 0);
+    }
+    const double event_armed_ns = per_op_ns(t0);
+    if (obs::flight_recorder::instance().total_recorded() != k_micro_iters) {
+      std::abort();
+    }
+    obs::set_armed(false);
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) {
+      obs::record_event(obs::event_kind::ingest_batch, i, 0);
+    }
+    const double event_disarmed_ns = per_op_ns(t0);
+    obs::set_armed(true);
+    obs::flight_recorder::instance().reset();
+
+    // Watchdog heartbeat: one clock read + one relaxed store, what every
+    // writer-loop iteration pays once registered.
+    auto beat = obs::watchdog::instance().register_component("bench/heartbeat");
+    t0 = clock_type::now();
+    for (std::size_t i = 0; i < k_micro_iters; ++i) beat.pulse();
+    const double pulse_ns = per_op_ns(t0);
+    beat.retire();
+
     std::cout << "  micro: counter add " << counter_add_ns << " ns, histogram record "
               << histogram_record_ns << " ns, span " << span_armed_ns
               << " ns armed / " << span_disarmed_ns << " ns disarmed\n";
+    std::cout << "  micro: flight event " << event_armed_ns << " ns armed / "
+              << event_disarmed_ns << " ns disarmed, watchdog pulse " << pulse_ns
+              << " ns\n";
 
     // Macro: the serving paths end to end, interleaved best-of-3 per mode
     // (same anti-drift discipline as the journaled/unjournaled ratio).
@@ -826,6 +861,9 @@ int main(int argc, char** argv) {
     json.field("histogram_record_ns", histogram_record_ns);
     json.field("span_armed_ns", span_armed_ns);
     json.field("span_disarmed_ns", span_disarmed_ns);
+    json.field("flight_event_armed_ns", event_armed_ns);
+    json.field("flight_event_disarmed_ns", event_disarmed_ns);
+    json.field("watchdog_pulse_ns", pulse_ns);
     json.field("ingest_armed_spectra_per_sec", rate(armed_ingest_s));
     json.field("ingest_disarmed_spectra_per_sec", rate(disarmed_ingest_s));
     json.field("ingest_armed_vs_disarmed", ingest_ratio);

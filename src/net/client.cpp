@@ -200,6 +200,19 @@ wire_metrics client::metrics() {
   return metrics;
 }
 
+wire_debug_dump client::debug_dump() {
+  const std::uint64_t id = next_request_id_++;
+  std::string frame;
+  encode_debug_dump_request(frame, id);
+  send_frame(frame);
+  const frame_view response = read_response(msg_type::debug_dump_ok, id);
+  wire_debug_dump dump;
+  const bool ok = parse_debug_dump_response(response, dump);
+  consume_frame(response);
+  if (!ok) throw io_error("client: malformed debug_dump_ok body");
+  return dump;
+}
+
 void client::drain() {
   const std::uint64_t id = next_request_id_++;
   std::string frame;

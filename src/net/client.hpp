@@ -89,6 +89,11 @@ public:
   /// snapshot never blocks the server's recording threads.
   wire_metrics metrics();
 
+  /// Debug dump (`client --debug-dump`): the server's flight-recorder
+  /// event tail, per-shard status table, and any watchdog-flagged stalled
+  /// components — the live twin of a `.sphcrash` crash dump.
+  wire_debug_dump debug_dump();
+
   /// Server-side barrier: returns once everything this connection (and
   /// every other producer) enqueued before the call is applied.
   void drain();

@@ -57,6 +57,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::drain:
     case msg_type::query_topk:
     case msg_type::get_metrics:
+    case msg_type::get_debug_dump:
     case msg_type::hello_ok:
     case msg_type::pong:
     case msg_type::ingest_ok:
@@ -66,6 +67,7 @@ bool known_msg_type(std::uint8_t type) noexcept {
     case msg_type::error:
     case msg_type::query_topk_ok:
     case msg_type::metrics_ok:
+    case msg_type::debug_dump_ok:
       return true;
   }
   return false;
@@ -81,6 +83,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::drain: return "drain";
     case msg_type::query_topk: return "query_topk";
     case msg_type::get_metrics: return "get_metrics";
+    case msg_type::get_debug_dump: return "get_debug_dump";
     case msg_type::hello_ok: return "hello_ok";
     case msg_type::pong: return "pong";
     case msg_type::ingest_ok: return "ingest_ok";
@@ -90,6 +93,7 @@ const char* msg_type_name(msg_type type) noexcept {
     case msg_type::error: return "error";
     case msg_type::query_topk_ok: return "query_topk_ok";
     case msg_type::metrics_ok: return "metrics_ok";
+    case msg_type::debug_dump_ok: return "debug_dump_ok";
   }
   return "unknown";
 }
@@ -501,6 +505,97 @@ bool parse_metrics_response(const frame_view& frame, wire_metrics& metrics) {
       if (raw > obs::k_stage_max) return false;
       st.st = static_cast<obs::stage>(raw);
     }
+  }
+  return in.pos == in.size;
+}
+
+// --- debug dump --------------------------------------------------------------
+
+namespace {
+
+/// One flight event on the wire: every field except the struct's padding.
+constexpr std::size_t k_event_bytes =
+    6 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(std::uint8_t);
+/// One shard-status row on the wire.
+constexpr std::size_t k_shard_status_bytes =
+    2 * sizeof(std::uint32_t) + 4 * sizeof(std::uint64_t);
+
+}  // namespace
+
+void encode_debug_dump_request(std::string& out, std::uint64_t request_id) {
+  encode_empty(out, msg_type::get_debug_dump, request_id);
+}
+
+void encode_debug_dump_response(std::string& out, std::uint64_t request_id,
+                                const wire_debug_dump& dump) {
+  std::size_t body = sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t) +
+                     dump.events.size() * k_event_bytes +
+                     dump.shards.size() * k_shard_status_bytes;
+  for (const auto& name : dump.stalled) body += str_wire_bytes(name);
+  std::size_t start = 0;
+  auto cursor = begin_frame(out, msg_type::debug_dump_ok, request_id, body, start);
+  cursor.put(dump.total_events_recorded);
+  cursor.put(static_cast<std::uint32_t>(dump.events.size()));
+  for (const auto& e : dump.events) {
+    cursor.put(e.seq);
+    cursor.put(e.steady_ns);
+    cursor.put(e.wall_ns);
+    cursor.put(e.request_id);
+    cursor.put(e.arg0);
+    cursor.put(e.arg1);
+    cursor.put(e.thread_id);
+    cursor.put(static_cast<std::uint8_t>(e.kind));
+  }
+  cursor.put(static_cast<std::uint32_t>(dump.shards.size()));
+  for (const auto& s : dump.shards) {
+    cursor.put(s.shard);
+    cursor.put(s.health);
+    cursor.put(s.generation);
+    cursor.put(s.journal_bytes);
+    cursor.put(s.journal_records);
+    cursor.put(s.queue_depth);
+  }
+  cursor.put(static_cast<std::uint32_t>(dump.stalled.size()));
+  for (const auto& name : dump.stalled) put_str(cursor, name);
+  seal_frame(out, start, cursor);
+}
+
+bool parse_debug_dump_response(const frame_view& frame, wire_debug_dump& dump) {
+  ms::byte_cursor in{frame.body, frame.body_bytes};
+  dump = {};
+  std::uint32_t count = 0;
+
+  if (!in.read(dump.total_events_recorded)) return false;
+  if (!in.read(count)) return false;
+  if (count > (in.size - in.pos) / k_event_bytes) return false;
+  dump.events.resize(count);
+  for (auto& e : dump.events) {
+    std::uint8_t raw_kind = 0;
+    if (!in.read(e.seq) || !in.read(e.steady_ns) || !in.read(e.wall_ns) ||
+        !in.read(e.request_id) || !in.read(e.arg0) || !in.read(e.arg1) ||
+        !in.read(e.thread_id) || !in.read(raw_kind)) {
+      return false;
+    }
+    if (raw_kind == 0 || raw_kind > obs::k_event_kind_max) return false;
+    e.kind = static_cast<std::uint8_t>(raw_kind);
+  }
+
+  if (!in.read(count)) return false;
+  if (count > (in.size - in.pos) / k_shard_status_bytes) return false;
+  dump.shards.resize(count);
+  for (auto& s : dump.shards) {
+    if (!in.read(s.shard) || !in.read(s.health) || !in.read(s.generation) ||
+        !in.read(s.journal_bytes) || !in.read(s.journal_records) ||
+        !in.read(s.queue_depth)) {
+      return false;
+    }
+  }
+
+  if (!in.read(count)) return false;
+  if (count > (in.size - in.pos) / sizeof(std::uint32_t)) return false;
+  dump.stalled.resize(count);
+  for (auto& name : dump.stalled) {
+    if (!read_str(in, name)) return false;
   }
   return in.pos == in.size;
 }

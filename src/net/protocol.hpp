@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ms/spectrum.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/search.hpp"
@@ -60,8 +61,9 @@ enum class msg_type : std::uint8_t {
   query = 4,
   stats = 5,
   drain = 6,
-  query_topk = 7,   ///< OMS search: spectrum + top_k + tolerance
-  get_metrics = 8,  ///< full telemetry snapshot (src/obs registry + slow ring)
+  query_topk = 7,      ///< OMS search: spectrum + top_k + tolerance
+  get_metrics = 8,     ///< full telemetry snapshot (src/obs registry + slow ring)
+  get_debug_dump = 9,  ///< flight-recorder tail + shard status + watchdog stalls
   // responses
   hello_ok = 64,
   pong = 65,
@@ -72,6 +74,7 @@ enum class msg_type : std::uint8_t {
   error = 70,
   query_topk_ok = 71,
   metrics_ok = 72,
+  debug_dump_ok = 73,
 };
 
 bool known_msg_type(std::uint8_t type) noexcept;
@@ -112,6 +115,33 @@ struct wire_metrics {
   obs::metrics_snapshot snapshot;
   std::vector<obs::slow_request> slow;
   friend bool operator==(const wire_metrics&, const wire_metrics&) = default;
+};
+
+/// One shard's live status row in a debug dump (obs/flight.hpp's
+/// shard-status table, mirrored by shard::update_status on every state
+/// change).
+struct wire_shard_status {
+  std::uint32_t shard = 0;
+  std::uint32_t health = 0;  ///< serve::shard_health numeric value
+  std::uint64_t generation = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t queue_depth = 0;
+  friend bool operator==(const wire_shard_status&, const wire_shard_status&) = default;
+};
+
+/// What a `get_debug_dump` request returns: the flight recorder's current
+/// event tail (seq-ordered), lifetime recorded-event count (so the caller
+/// can see how much the rings have dropped), the per-shard status table,
+/// and the names of any components the watchdog currently flags as
+/// stalled. This is the live-process twin of a `.sphcrash` dump — same
+/// data, fetched over the wire instead of out of a crash file.
+struct wire_debug_dump {
+  std::uint64_t total_events_recorded = 0;
+  std::vector<obs::flight_event> events;
+  std::vector<wire_shard_status> shards;
+  std::vector<std::string> stalled;
+  friend bool operator==(const wire_debug_dump&, const wire_debug_dump&) = default;
 };
 
 // --- frame decode ------------------------------------------------------------
@@ -173,6 +203,12 @@ void encode_search_response(std::string& out, std::uint64_t request_id,
 void encode_metrics_request(std::string& out, std::uint64_t request_id);
 void encode_metrics_response(std::string& out, std::uint64_t request_id,
                              const wire_metrics& metrics);
+/// Debug dump (`client --debug-dump` over the wire): flight-recorder
+/// events, per-shard status, watchdog stalls. Snapshotting the rings
+/// never blocks recording threads; torn slots are dropped, not sent.
+void encode_debug_dump_request(std::string& out, std::uint64_t request_id);
+void encode_debug_dump_response(std::string& out, std::uint64_t request_id,
+                                const wire_debug_dump& dump);
 void encode_stats_request(std::string& out, std::uint64_t request_id);
 void encode_stats_response(std::string& out, std::uint64_t request_id,
                            const wire_stats& stats);
@@ -194,6 +230,7 @@ bool parse_search_request(const frame_view& frame, ms::spectrum& spectrum,
                           std::uint32_t& top_k, double& tolerance_da);
 bool parse_search_response(const frame_view& frame, serve::search_result& result);
 bool parse_metrics_response(const frame_view& frame, wire_metrics& metrics);
+bool parse_debug_dump_response(const frame_view& frame, wire_debug_dump& dump);
 bool parse_stats_response(const frame_view& frame, wire_stats& stats);
 bool parse_error_response(const frame_view& frame, error_code& code,
                           std::string& message);

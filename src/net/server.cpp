@@ -13,8 +13,10 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 
@@ -185,7 +187,9 @@ void server::loop() {
       std::min<std::chrono::milliseconds>(config_.stall_timeout / 4,
                                           std::chrono::milliseconds{250}));
   std::vector<epoll_event> events(64);
+  auto beat = obs::watchdog::instance().register_component("net/epoll");
   while (!stop_requested_.load(std::memory_order_relaxed)) {
+    beat.pulse();
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()),
                                static_cast<int>(tick.count()));
@@ -227,6 +231,7 @@ void server::loop() {
     }
     sweep_stalls();
   }
+  beat.retire();
   // Shutdown: best-effort flush of pending responses, then close everything.
   for (auto& [fd, conn] : connections_) {
     flush(fd, conn);
@@ -274,7 +279,9 @@ void server::accept_ready() {
     auto& conn = connections_[fd];
     conn.last_progress = std::chrono::steady_clock::now();
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    open_.fetch_add(1, std::memory_order_relaxed);
+    const auto open = open_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::record_event(obs::event_kind::conn_open, static_cast<std::uint64_t>(fd),
+                      open);
   }
 }
 
@@ -462,6 +469,31 @@ void server::dispatch_frame(connection& conn, const frame_view& frame) {
         encode_metrics_response(conn.outbuf, frame.request_id, metrics);
         return;
       }
+      case msg_type::get_debug_dump: {
+        // The live twin of a `.sphcrash` dump: flight-recorder tail,
+        // per-shard status table, and any currently stalled components.
+        wire_debug_dump dump;
+        dump.total_events_recorded = obs::flight_recorder::instance().total_recorded();
+        dump.events = obs::flight_recorder::instance().snapshot();
+        const auto shard_count = obs::status_shard_count();
+        dump.shards.reserve(shard_count);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          const auto& status = obs::status_shard(s);
+          wire_shard_status row;
+          row.shard = static_cast<std::uint32_t>(s);
+          row.health = status.health.load(std::memory_order_relaxed);
+          row.generation = status.generation.load(std::memory_order_relaxed);
+          row.journal_bytes = status.journal_bytes.load(std::memory_order_relaxed);
+          row.journal_records = status.journal_records.load(std::memory_order_relaxed);
+          row.queue_depth = status.queue_depth.load(std::memory_order_relaxed);
+          dump.shards.push_back(row);
+        }
+        for (const auto& c : obs::watchdog::instance().components()) {
+          if (c.stalled) dump.stalled.push_back(c.name);
+        }
+        encode_debug_dump_response(conn.outbuf, frame.request_id, dump);
+        return;
+      }
       case msg_type::stats: {
         const auto stats = service_.stats();
         wire_stats wire;
@@ -509,11 +541,14 @@ void server::handle_ingest(connection& conn, const frame_view& frame) {
   static auto& admission_ns =
       obs::registry::instance().histogram("spechd_ingest_admission_ns");
   obs::trace_span admission_span(admission_ns, obs::stage::admission);
-  const bool shed = service_.queue_depth() >= shed_threshold_;
+  const auto depth = service_.queue_depth();
+  const bool shed = depth >= shed_threshold_;
   admission_span.finish();
   if (shed) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     net_shed_total().add(1);
+    obs::record_event(obs::event_kind::shed_decision, depth, shed_threshold_,
+                      frame.request_id);
     send_error(conn, frame.request_id, error_code::shed_load,
                "service overloaded (queue depth at shed threshold " +
                    std::to_string(shed_threshold_) + "); retry with backoff",
@@ -591,21 +626,29 @@ void server::close_connection(int fd) {
   connections_.erase(it);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  open_.fetch_sub(1, std::memory_order_relaxed);
+  const auto open = open_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  obs::record_event(obs::event_kind::conn_close, static_cast<std::uint64_t>(fd),
+                    open);
 }
 
 void server::sweep_stalls() {
   const auto now = std::chrono::steady_clock::now();
-  std::vector<int> stalled;
+  std::vector<std::pair<int, std::uint64_t>> stalled;  // fd, idle ms
   for (const auto& [fd, conn] : connections_) {
     const bool mid_frame = !conn.inbuf.empty();       // partial frame buffered
     const bool pending = conn.out_pos < conn.outbuf.size();
     if ((mid_frame || pending) && now - conn.last_progress > config_.stall_timeout) {
-      stalled.push_back(fd);
+      const auto idle_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - conn.last_progress)
+              .count());
+      stalled.emplace_back(fd, idle_ms);
     }
   }
-  for (const int fd : stalled) {
+  for (const auto& [fd, idle_ms] : stalled) {
     stalls_closed_.fetch_add(1, std::memory_order_relaxed);
+    obs::record_event(obs::event_kind::conn_reap, static_cast<std::uint64_t>(fd),
+                      idle_ms);
     close_connection(fd);
   }
 }

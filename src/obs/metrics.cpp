@@ -59,6 +59,15 @@ void histogram::merge(std::vector<std::uint64_t>& counts, std::uint64_t& total,
   }
 }
 
+void histogram::totals(std::uint64_t& count, std::uint64_t& sum) const noexcept {
+  count = 0;
+  sum = 0;
+  for (const auto& s : shards_) {
+    for (const auto& c : s.counts) count += c.load(std::memory_order_relaxed);
+    sum += s.sum.load(std::memory_order_relaxed);
+  }
+}
+
 void histogram::reset() noexcept {
   for (auto& s : shards_) {
     for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
@@ -214,6 +223,24 @@ metrics_snapshot registry::snapshot() const {
     snap.histograms.push_back(std::move(sample));
   }
   return snap;
+}
+
+std::size_t registry::export_crash_refs(crash_ref* out, std::size_t capacity) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto* c : counters_) {
+    if (n == capacity) return n;
+    out[n++] = {c->name.c_str(), &c->instrument, nullptr, nullptr};
+  }
+  for (const auto* g : gauges_) {
+    if (n == capacity) return n;
+    out[n++] = {g->name.c_str(), nullptr, &g->instrument, nullptr};
+  }
+  for (const auto* h : histograms_) {
+    if (n == capacity) return n;
+    out[n++] = {h->name.c_str(), nullptr, nullptr, &h->instrument};
+  }
+  return n;
 }
 
 void registry::reset_all() {

@@ -142,6 +142,10 @@ public:
   void merge(std::vector<std::uint64_t>& counts, std::uint64_t& total,
              std::uint64_t& sum) const noexcept;
 
+  /// Allocation-free count/sum totals (relaxed loads only) — safe to call
+  /// from a signal handler; the crash writer uses this instead of merge().
+  void totals(std::uint64_t& count, std::uint64_t& sum) const noexcept;
+
   void reset() noexcept;
 
 private:
@@ -235,6 +239,23 @@ public:
   /// Zeroes every instrument (tests and bench isolation; the instruments
   /// themselves stay registered).
   void reset_all();
+
+  /// One immortal instrument reference for the crash writer: exactly one
+  /// of the instrument pointers is set. Names and instruments are never
+  /// deallocated, so a ref harvested once stays valid forever and its
+  /// value()/totals() reads are async-signal-safe (relaxed atomic loads).
+  struct crash_ref {
+    const char* name = nullptr;
+    const class counter* counter = nullptr;
+    const class gauge* gauge = nullptr;
+    const class histogram* histogram = nullptr;
+  };
+
+  /// Copies up to `capacity` refs (registration order: counters, gauges,
+  /// histograms) into `out` and returns how many were written. Takes the
+  /// registry mutex — call from normal context (install time / watchdog
+  /// refresh), never from the signal handler itself.
+  std::size_t export_crash_refs(crash_ref* out, std::size_t capacity) const;
 
 private:
   registry() = default;

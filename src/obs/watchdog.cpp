@@ -1,0 +1,174 @@
+#include "obs/watchdog.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace spechd::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+void watchdog::handle::pulse() noexcept {
+  if (slot_ == nullptr) return;
+  static_cast<watchdog::slot*>(slot_)->last_beat_ns.store(
+      steady_now_ns(), std::memory_order_relaxed);
+}
+
+void watchdog::handle::retire() noexcept {
+  if (slot_ == nullptr) return;
+  auto* s = static_cast<watchdog::slot*>(slot_);
+  s->stalled.store(0, std::memory_order_relaxed);
+  s->state.store(0, std::memory_order_release);
+  slot_ = nullptr;
+}
+
+watchdog& watchdog::instance() noexcept {
+  // Leaked on purpose: handles held by static-lifetime components must
+  // outlive every destructor.
+  static watchdog* self = new watchdog();
+  return *self;
+}
+
+watchdog::handle watchdog::register_component(std::string_view name) noexcept {
+  for (auto& s : slots_) {
+    std::uint8_t expected = 0;
+    if (!s.state.compare_exchange_strong(expected, 2, std::memory_order_acq_rel)) {
+      continue;  // slot taken (state 1) or mid-registration (state 2)
+    }
+    const std::size_t n = std::min(name.size(), k_name_cap);
+    std::memcpy(s.name, name.data(), n);
+    s.name[n] = '\0';
+    s.stalled.store(0, std::memory_order_relaxed);
+    s.stall_start_ns.store(0, std::memory_order_relaxed);
+    s.last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+    s.state.store(1, std::memory_order_release);  // visible to the sweeper
+    return handle(&s);
+  }
+  log_warn() << "watchdog: component table full, '" << name
+                   << "' will not be monitored";
+  return handle();
+}
+
+void watchdog::start(const config& cfg) {
+  stop();
+  {
+    std::lock_guard lock(mutex_);
+    config_ = cfg;
+    if (config_.poll.count() == 0) {
+      config_.poll = std::clamp(config_.deadline / 4,
+                                std::chrono::milliseconds(10),
+                                std::chrono::milliseconds(250));
+    }
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void watchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t watchdog::check_now() {
+  static auto& stalled_gauge =
+      registry::instance().gauge("spechd_watchdog_stalled_components");
+  static auto& stalls_total =
+      registry::instance().counter("spechd_watchdog_stalls_total");
+
+  const std::uint64_t now = steady_now_ns();
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(config_.deadline.count()) * 1'000'000ULL;
+  const std::uint64_t kill_ns =
+      static_cast<std::uint64_t>(config_.kill_after.count()) * 1'000'000ULL;
+  std::size_t stalled_now = 0;
+  for (std::size_t i = 0; i < k_max_components; ++i) {
+    auto& s = slots_[i];
+    if (s.state.load(std::memory_order_acquire) != 1) continue;
+    const std::uint64_t last = s.last_beat_ns.load(std::memory_order_relaxed);
+    const std::uint64_t silent = now > last ? now - last : 0;
+    const bool was_stalled = s.stalled.load(std::memory_order_relaxed) != 0;
+    if (silent > deadline_ns) {
+      ++stalled_now;
+      if (!was_stalled) {
+        s.stalled.store(1, std::memory_order_relaxed);
+        s.stall_start_ns.store(now, std::memory_order_relaxed);
+        stalls_total.add(1);
+        record_event(event_kind::watchdog_stall, i, silent / 1'000'000ULL);
+        log_warn() << "watchdog: component '" << s.name << "' stalled ("
+                         << silent / 1'000'000ULL << " ms silent, deadline "
+                         << config_.deadline.count() << " ms)";
+      } else if (kill_ns != 0) {
+        const std::uint64_t since_stall =
+            now - s.stall_start_ns.load(std::memory_order_relaxed);
+        if (since_stall > kill_ns) {
+          log_error() << "watchdog: component '" << s.name
+                            << "' stalled past kill-after grace ("
+                            << since_stall / 1'000'000ULL
+                            << " ms), aborting for supervised restart";
+          // Routes through the crash handler when installed: the .sphcrash
+          // dump records the stall events that led here.
+          std::abort();
+        }
+      }
+    } else if (was_stalled) {
+      s.stalled.store(0, std::memory_order_relaxed);
+      record_event(event_kind::watchdog_recover, i, silent / 1'000'000ULL);
+      log_info() << "watchdog: component '" << s.name << "' recovered";
+    }
+  }
+  stalled_.store(stalled_now, std::memory_order_relaxed);
+  stalled_gauge.set(static_cast<std::int64_t>(stalled_now));
+  return stalled_now;
+}
+
+void watchdog::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, config_.poll, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    check_now();
+    // Keep crash-dump metric coverage current (instruments registered
+    // after install_crash_handler would otherwise be missing).
+    refresh_crash_metrics();
+    lock.lock();
+  }
+}
+
+std::vector<watchdog::component_view> watchdog::components() const {
+  const std::uint64_t now = steady_now_ns();
+  std::vector<component_view> out;
+  for (const auto& s : slots_) {
+    if (s.state.load(std::memory_order_acquire) != 1) continue;
+    component_view v;
+    v.name = s.name;
+    v.stalled = s.stalled.load(std::memory_order_relaxed) != 0;
+    const std::uint64_t last = s.last_beat_ns.load(std::memory_order_relaxed);
+    v.silent_ms = now > last ? (now - last) / 1'000'000ULL : 0;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace spechd::obs

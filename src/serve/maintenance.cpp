@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
+
 namespace spechd::serve {
 
 maintenance_scheduler::maintenance_scheduler(maintenance_config config, hooks hooks)
@@ -23,11 +27,13 @@ void maintenance_scheduler::stop() {
 }
 
 void maintenance_scheduler::loop() {
+  auto beat = obs::watchdog::instance().register_component("maintenance/scheduler");
   std::unique_lock lock(mutex_);
   while (!stopping_) {
     wake_.wait_for(lock, config_.interval, [this] { return stopping_; });
     if (stopping_) break;
     lock.unlock();
+    beat.pulse();
     // The hooks run unlocked: a compaction drains shards and can take a
     // while, and stop() must stay responsive. An exception from a hook
     // (e.g. disk briefly full during compaction) is *transient* from the
@@ -36,9 +42,27 @@ void maintenance_scheduler::loop() {
     // unbounded with nothing observable recording why.
     try {
       ticks_.fetch_add(1, std::memory_order_relaxed);
-      reclusters_.fetch_add(hooks_.run_maintenance(), std::memory_order_relaxed);
-      if (hooks_.maybe_compact()) {
-        compactions_.fetch_add(1, std::memory_order_relaxed);
+      // Load-aware deferral: under sustained ingest (EWMA at or above the
+      // busy threshold) skip reclusters/compactions this tick — bounded
+      // by max_deferred_ticks so dirty buckets and journal growth still
+      // get serviced under a never-ending stream.
+      const bool busy = update_ingest_ewma();
+      const bool defer_cap_hit = config_.max_deferred_ticks != 0 &&
+                                 deferred_streak_ >= config_.max_deferred_ticks;
+      if (busy && !defer_cap_hit) {
+        ++deferred_streak_;
+        deferrals_.fetch_add(1, std::memory_order_relaxed);
+        static auto& deferrals_total = obs::registry::instance().counter(
+            "spechd_maintenance_deferrals_total");
+        deferrals_total.add(1);
+        obs::record_event(obs::event_kind::maintenance_action, /*reclusters=*/0,
+                          /*deferred=*/1);
+      } else {
+        deferred_streak_ = 0;
+        reclusters_.fetch_add(hooks_.run_maintenance(), std::memory_order_relaxed);
+        if (hooks_.maybe_compact()) {
+          compactions_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     } catch (...) {
       failures_.fetch_add(1, std::memory_order_relaxed);
@@ -46,6 +70,37 @@ void maintenance_scheduler::loop() {
     maybe_heal();
     lock.lock();
   }
+  beat.retire();
+}
+
+bool maintenance_scheduler::update_ingest_ewma() {
+  if (!hooks_.ingest_records || config_.busy_ingest_rate <= 0.0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t total = hooks_.ingest_records();
+  if (last_sample_ == std::chrono::steady_clock::time_point{}) {
+    // First sample establishes the baseline; no rate yet.
+    last_sample_ = now;
+    last_ingest_records_ = total;
+    return false;
+  }
+  const double dt = std::chrono::duration<double>(now - last_sample_).count();
+  if (dt <= 0.0) {
+    return ewma_rate_.load(std::memory_order_relaxed) >= config_.busy_ingest_rate;
+  }
+  const double rate = static_cast<double>(total - last_ingest_records_) / dt;
+  last_sample_ = now;
+  last_ingest_records_ = total;
+  const double alpha = std::clamp(config_.ingest_ewma_alpha, 0.0, 1.0);
+  const double ewma =
+      ewma_primed_
+          ? alpha * rate + (1.0 - alpha) * ewma_rate_.load(std::memory_order_relaxed)
+          : rate;
+  ewma_primed_ = true;
+  ewma_rate_.store(ewma, std::memory_order_relaxed);
+  static auto& ewma_gauge =
+      obs::registry::instance().gauge("spechd_maintenance_ingest_rate_ewma");
+  ewma_gauge.set(static_cast<std::int64_t>(ewma));
+  return ewma >= config_.busy_ingest_rate;
 }
 
 void maintenance_scheduler::maybe_heal() {
@@ -68,9 +123,11 @@ void maintenance_scheduler::maybe_heal() {
     return;
   }
   if (degraded == 0) return;
-  heal_attempts_.fetch_add(1, std::memory_order_relaxed);
+  const auto attempt = heal_attempts_.fetch_add(1, std::memory_order_relaxed) + 1;
   try {
-    heals_.fetch_add(hooks_.heal(), std::memory_order_relaxed);
+    const std::size_t healed = hooks_.heal();
+    heals_.fetch_add(healed, std::memory_order_relaxed);
+    obs::record_event(obs::event_kind::heal_action, healed, attempt);
     heal_backoff_ = config_.heal_backoff_initial;
     next_heal_ = now;  // a fresh degradation may heal immediately
   } catch (...) {
@@ -88,6 +145,7 @@ maintenance_scheduler::counters maintenance_scheduler::stats() const {
   c.failures = failures_.load(std::memory_order_relaxed);
   c.heal_attempts = heal_attempts_.load(std::memory_order_relaxed);
   c.heals = heals_.load(std::memory_order_relaxed);
+  c.deferrals = deferrals_.load(std::memory_order_relaxed);
   return c;
 }
 

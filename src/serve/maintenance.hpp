@@ -10,6 +10,13 @@
 // position it ran — and then gives the service a chance to compact the
 // journal when a shard's file has outgrown the configured thresholds.
 //
+// Idleness is load-aware (PR 10): besides each shard's queue-empty test,
+// the scheduler keeps an EWMA of the service-wide ingest rate (sampled
+// from the obs ingest counter each tick) and defers reclusters and
+// compactions while the rate stays above `busy_ingest_rate` — bounded by
+// `max_deferred_ticks` so maintenance cannot starve forever. Deferred
+// ticks are counted and emitted as flight events.
+//
 // The scheduler owns no serve state: the service hands it two callbacks,
 // which keeps this module free of shard/service dependencies and lets
 // tests drive the same hooks deterministically
@@ -39,6 +46,23 @@ struct maintenance_config {
   /// backoff step of clearing.
   std::chrono::milliseconds heal_backoff_initial{500};
   std::chrono::milliseconds heal_backoff_max{30000};
+  /// Load-aware deferral: each tick the scheduler samples the service's
+  /// cumulative ingest-record count (hooks.ingest_records) and keeps an
+  /// EWMA of the ingest rate in records/sec. While the EWMA is at or
+  /// above `busy_ingest_rate`, reclusters and compactions are deferred —
+  /// maintenance steals writer-thread time from exactly the path that is
+  /// hot, and the queue-empty test alone misses sustained many-small-batch
+  /// ingest that drains the queue between polls. 0 disables deferral
+  /// (every tick behaves as before).
+  double busy_ingest_rate = 1000.0;
+  /// EWMA smoothing factor in (0, 1]: weight of the newest rate sample.
+  /// Higher reacts faster to bursts; lower rides out gaps in a sustained
+  /// stream.
+  double ingest_ewma_alpha = 0.3;
+  /// Staleness bound: after this many consecutive deferred ticks,
+  /// maintenance runs anyway (dirty buckets and journal growth must not
+  /// wait forever behind a never-ending ingest stream). 0 = defer forever.
+  std::uint64_t max_deferred_ticks = 40;
 };
 
 class maintenance_scheduler {
@@ -58,6 +82,11 @@ public:
     /// degraded shard); returns how many shards it healed, throws while
     /// the underlying I/O condition persists (→ backoff doubles).
     std::function<std::size_t()> heal;
+    /// Cumulative ingest-record count (monotonic; the service feeds it
+    /// from the `spechd_ingest_records_total` obs counter). The scheduler
+    /// differentiates successive samples into the load EWMA. Unset
+    /// disables load-aware deferral.
+    std::function<std::uint64_t()> ingest_records;
   };
 
   /// Counters for observability (read from any thread). A non-zero
@@ -70,6 +99,7 @@ public:
     std::uint64_t failures = 0;
     std::uint64_t heal_attempts = 0;  ///< auto-heal tries (degraded shards seen)
     std::uint64_t heals = 0;          ///< shards healed back to healthy
+    std::uint64_t deferrals = 0;      ///< ticks skipped under sustained ingest
   };
 
   /// Starts the background thread immediately.
@@ -88,11 +118,20 @@ public:
 
   counters stats() const;
 
+  /// Current ingest-rate EWMA in records/sec (0 until two samples exist).
+  double ingest_rate_ewma() const noexcept {
+    return ewma_rate_.load(std::memory_order_relaxed);
+  }
+
 private:
   void loop();
   /// One auto-heal consideration (loop thread): attempt a heal when a
   /// shard is degraded and the backoff window has elapsed.
   void maybe_heal();
+  /// Samples hooks.ingest_records, folds the rate into the EWMA, and
+  /// reports whether this tick counts as "under sustained ingest"
+  /// (loop thread only).
+  bool update_ingest_ewma();
 
   maintenance_config config_;
   hooks hooks_;
@@ -103,6 +142,13 @@ private:
   /// current backoff step.
   std::chrono::steady_clock::time_point next_heal_{};
   std::chrono::milliseconds heal_backoff_{0};
+  /// Load-EWMA state (loop-thread-only except the published rate).
+  std::chrono::steady_clock::time_point last_sample_{};
+  std::uint64_t last_ingest_records_ = 0;
+  bool ewma_primed_ = false;
+  std::uint64_t deferred_streak_ = 0;
+  std::atomic<double> ewma_rate_{0.0};
+  std::atomic<std::uint64_t> deferrals_{0};
   std::atomic<std::uint64_t> ticks_{0};
   std::atomic<std::uint64_t> reclusters_{0};
   std::atomic<std::uint64_t> compactions_{0};

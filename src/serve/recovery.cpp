@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 
+#include "obs/flight.hpp"
 #include "util/error.hpp"
 
 namespace spechd::serve {
@@ -67,7 +68,8 @@ std::optional<snapshot_identity> probe_journal_dir(const std::string& dir) {
 recovered_state recover_journal_dir(const std::string& dir,
                                     const core::spechd_config& pipeline,
                                     core::assign_mode mode, std::size_t shards,
-                                    const snapshot_identity& expected_identity) {
+                                    const snapshot_identity& expected_identity,
+                                    const recovery_progress_fn& progress) {
   const auto start = std::chrono::steady_clock::now();
   recovered_state out;
   out.shards.resize(shards);
@@ -190,6 +192,7 @@ recovered_state recover_journal_dir(const std::string& dir,
   }
 
   // Pass 2: rebuild each shard's state from the validated scans.
+  std::uint64_t total_records_replayed = 0;
   for (std::size_t s = 0; s < shards; ++s) {
     // Replay through a standalone clusterer: exactly the code the live
     // shard writer runs, so the rebuilt state cannot diverge from what an
@@ -234,12 +237,31 @@ recovered_state recover_journal_dir(const std::string& dir,
       }
       ++out.report.journal_files;
       out.report.recovered = true;
+      std::uint64_t torn_bytes_here = 0;
       if (scan.torn) {
         std::error_code ec;
         const auto size = std::filesystem::file_size(path, ec);
         if (!ec && size > scan.valid_bytes) {
-          out.report.torn_bytes += size - scan.valid_bytes;
+          torn_bytes_here = size - scan.valid_bytes;
+          out.report.torn_bytes += torn_bytes_here;
         }
+      }
+      total_records_replayed += scan.records.size();
+      obs::record_event(obs::event_kind::recovery_progress, scan.records.size(), gen);
+      if (progress) {
+        recovery_progress p;
+        p.shard = s;
+        p.generation = gen;
+        p.records_replayed = scan.records.size();
+        p.total_records_replayed = total_records_replayed;
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        p.records_per_sec =
+            elapsed > 0.0 ? static_cast<double>(total_records_replayed) / elapsed : 0.0;
+        p.torn_tail = scan.torn;
+        p.torn_bytes = torn_bytes_here;
+        progress(p);
       }
       if (newest) {
         head.path = path;

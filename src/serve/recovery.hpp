@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,24 @@ struct recovered_state {
 /// directory alone, mirroring `serve --restore`.
 std::optional<snapshot_identity> probe_journal_dir(const std::string& dir);
 
+/// Replay progress, reported once per journal generation replayed (pass
+/// 2) so large-journal recoveries are observable instead of silent —
+/// `spechd recover` prints one line per callback.
+struct recovery_progress {
+  std::size_t shard = 0;
+  std::uint64_t generation = 0;
+  /// Records in this generation's journal (batches + reclusters + commits).
+  std::uint64_t records_replayed = 0;
+  /// Cumulative records across the whole recovery so far.
+  std::uint64_t total_records_replayed = 0;
+  /// Cumulative replay rate (records/sec since recovery started).
+  double records_per_sec = 0.0;
+  /// This generation ended in a torn tail; `torn_bytes` were dropped.
+  bool torn_tail = false;
+  std::uint64_t torn_bytes = 0;
+};
+using recovery_progress_fn = std::function<void(const recovery_progress&)>;
+
 /// Rebuilds the per-shard clusterer states from `dir` and computes where
 /// each shard's journal continues. `pipeline`/`mode`/`shards` must match
 /// the directory's identity block (dim, seed, threshold, bucketing, mode,
@@ -92,6 +111,7 @@ std::optional<snapshot_identity> probe_journal_dir(const std::string& dir);
 recovered_state recover_journal_dir(const std::string& dir,
                                     const core::spechd_config& pipeline,
                                     core::assign_mode mode, std::size_t shards,
-                                    const snapshot_identity& expected_identity);
+                                    const snapshot_identity& expected_identity,
+                                    const recovery_progress_fn& progress = {});
 
 }  // namespace spechd::serve

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "preprocess/pipeline.hpp"
@@ -31,6 +32,8 @@ clustering_service::clustering_service(serve_config config)
                config_.pipeline.preprocess.quantize.intensity_levels) {
   SPECHD_EXPECTS(config_.shards >= 1);
   SPECHD_EXPECTS(config_.queue_capacity >= 1);
+  // Size the crash-dump status table before any shard writes into it.
+  obs::set_status_shard_count(config_.shards);
   const auto pipeline = shard_pipeline_config(config_);
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -47,6 +50,13 @@ clustering_service::clustering_service(serve_config config)
       return accepted;
     };
     hooks.maybe_compact = [this] { return maybe_compact_journal(); };
+    // Load-aware deferral: the scheduler differentiates the service-wide
+    // ingest counter into its EWMA (see maintenance.hpp).
+    hooks.ingest_records = [] {
+      static auto& records =
+          obs::registry::instance().counter("spechd_ingest_records_total");
+      return records.value();
+    };
     if (journaled()) {
       // Auto-heal (journaled services only — compaction *is* the heal, so
       // an unjournaled degraded shard has no automated path back): poll
@@ -89,7 +99,8 @@ void clustering_service::attach_journal_dir() {
   const auto& dir = config_.journal.dir;
   std::filesystem::create_directories(dir);
   auto recovered = recover_journal_dir(dir, shard_pipeline_config(config_), config_.mode,
-                                       shards_.size(), identity());
+                                       shards_.size(), identity(),
+                                       config_.recovery_progress);
   if (recovered.report.recovered) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s]->run_exclusive(

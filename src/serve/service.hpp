@@ -70,6 +70,10 @@ struct serve_config {
   /// threads per multi-shard batch (single-shard batches are unaffected),
   /// so it is off by default.
   bool atomic_ingest = false;
+  /// Invoked once per journal generation replayed during construction-time
+  /// recovery (serve/recovery.hpp) — `spechd recover` prints one progress
+  /// line per callback. Unset: recovery is silent.
+  recovery_progress_fn recovery_progress;
 };
 
 /// Aggregate + per-shard counters.

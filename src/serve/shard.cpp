@@ -6,8 +6,10 @@
 
 #include "hdc/bundle.hpp"
 #include "hdc/cpu_kernels.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace spechd::serve {
 
@@ -72,11 +74,17 @@ shard::~shard() {
 }
 
 void shard::writer_loop() {
+  // Heartbeat once per job: the watchdog flags this writer if it wedges
+  // inside a job (or the queue machinery) past the configured deadline.
+  auto beat =
+      obs::watchdog::instance().register_component("shard-" + std::to_string(id_) +
+                                                   "/writer");
   // Jobs are plain closures; apply_batch wraps its own errors, and
   // run_exclusive routes errors through its promise, so nothing here
   // should throw — but a writer that dies would deadlock drain(), so
   // catch anything that slips through and record it.
   while (auto job = queue_.pop()) {
+    beat.pulse();
     try {
       (*job)();
     } catch (...) {
@@ -84,6 +92,19 @@ void shard::writer_loop() {
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
+  beat.retire();
+}
+
+void shard::update_status() const {
+  // Mirror into the crash-dump status table (plain relaxed atomics the
+  // fatal handler and the get_debug_dump frame read without touching this
+  // object). Shards past k_max_status_shards share the last slot.
+  auto& st = obs::status_shard(id_);
+  st.health.store(static_cast<std::uint32_t>(health()), std::memory_order_relaxed);
+  st.generation.store(journal_generation(), std::memory_order_relaxed);
+  st.journal_bytes.store(journal_bytes(), std::memory_order_relaxed);
+  st.journal_records.store(journal_records(), std::memory_order_relaxed);
+  st.queue_depth.store(queue_.size(), std::memory_order_relaxed);
 }
 
 bool shard::enqueue(std::vector<ms::spectrum> batch) {
@@ -118,11 +139,16 @@ void shard::record_error(std::exception_ptr error) {
 }
 
 void shard::set_health(shard_health health, const std::string& why) {
-  std::lock_guard lock(error_mutex_);
-  const auto current = health_.load(std::memory_order_relaxed);
-  if (static_cast<int>(health) <= static_cast<int>(current)) return;
-  health_.store(health, std::memory_order_relaxed);
-  health_error_ = why;
+  {
+    std::lock_guard lock(error_mutex_);
+    const auto current = health_.load(std::memory_order_relaxed);
+    if (static_cast<int>(health) <= static_cast<int>(current)) return;
+    health_.store(health, std::memory_order_relaxed);
+    health_error_ = why;
+  }
+  obs::record_event(obs::event_kind::health_transition,
+                    static_cast<std::uint64_t>(health), id_);
+  update_status();
 }
 
 std::string shard::health_message() const {
@@ -148,6 +174,8 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
     // be missing an applied batch.
     try {
       journal_->append_batch(batch);
+      obs::record_event(obs::event_kind::journal_append, journal_->records(),
+                        journal_->bytes());
     } catch (...) {
       journaled_ok = false;
       record_error(std::current_exception());
@@ -172,6 +200,7 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
       apply_span.finish();
       ingested_.fetch_add(report.added, std::memory_order_relaxed);
       dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
+      obs::record_event(obs::event_kind::ingest_batch, report.added, id_);
     } catch (...) {
       record_error(std::current_exception());
       // The record was journaled but the batch was never applied: remove
@@ -197,6 +226,7 @@ void shard::apply_batch(std::vector<ms::spectrum> batch) {
     dropped_.fetch_add(submitted, std::memory_order_relaxed);
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  update_status();
   // Coalesced republish: rebuild views every publish_every-th batch, and
   // always when the queue just ran dry (an idle shard's view is current).
   ++pending_publishes_;
@@ -312,6 +342,7 @@ void shard::apply_txn_batch(std::vector<ms::spectrum> batch, std::uint64_t txn_i
     apply_span.finish();
     ingested_.fetch_add(report.added, std::memory_order_relaxed);
     dropped_.fetch_add(submitted - report.added, std::memory_order_relaxed);
+    obs::record_event(obs::event_kind::ingest_batch, report.added, id_);
   } catch (...) {
     record_error(std::current_exception());
     set_health(shard_health::failed,
@@ -319,6 +350,7 @@ void shard::apply_txn_batch(std::vector<ms::spectrum> batch, std::uint64_t txn_i
                "the committed state from the journal");
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  update_status();
   ++pending_publishes_;
   if (pending_publishes_ >= publish_every_ || queue_.size() == 0) {
     publish(/*all=*/false);
@@ -390,6 +422,8 @@ bool shard::maintain(bool only_if_idle) {
     if (clusterer_.dirty_bucket_count() == 0) return;
     if (journal_) journal_->append_recluster();
     clusterer_.rebuild_dirty_buckets();
+    obs::record_event(obs::event_kind::maintenance_action, /*reclusters=*/1,
+                      /*deferred=*/0);
     publish(/*all=*/true);
   };
   return only_if_idle ? queue_.try_push(std::move(job)) : queue_.push(std::move(job));
@@ -478,6 +512,7 @@ void shard::publish(bool all) {
   next->epoch = ++epoch_;
   view_.store(std::move(next));
   pending_publishes_ = 0;
+  obs::record_event(obs::event_kind::view_publish, epoch_, id_);
 }
 
 void shard::flush_publish() {

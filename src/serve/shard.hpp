@@ -275,6 +275,9 @@ private:
   void publish(bool all);
   /// Publishes now if republishing was coalesced (writer thread only).
   void flush_publish();
+  /// Mirrors health/journal position/queue depth into the crash-dump
+  /// status table (obs::status_shard) — relaxed stores only.
+  void update_status() const;
 
   std::size_t id_;
   core::assign_mode mode_;

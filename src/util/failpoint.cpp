@@ -104,6 +104,8 @@ std::pair<std::string, failpoint_spec> parse_entry(const std::string& entry) {
       }
     }
     spec.action.delay = std::chrono::milliseconds(ms);
+  } else if (action_name == "abort") {
+    spec.action.type = failpoint_action::kind::abort_now;
   } else {
     throw error("failpoint: unknown action '" + action_name + "'");
   }
@@ -265,6 +267,11 @@ std::optional<failpoint_action> failpoint::fire_slow() {
   if (action.type == failpoint_action::kind::delay && action.delay.count() > 0) {
     std::this_thread::sleep_for(action.delay);
     return std::nullopt;  // delay injects latency, then the real call runs
+  }
+  if (action.type == failpoint_action::kind::abort_now) {
+    // Crash injection: die *at the site*, exactly like a bug would. With a
+    // crash handler installed (obs/flight.hpp) this leaves a `.sphcrash`.
+    std::abort();
   }
   return action;
 }

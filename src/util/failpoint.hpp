@@ -30,6 +30,9 @@
 //                            the buffer (write sites only; others ignore it)
 //            delay[:MS]      sleep MS milliseconds, then run the real call
 //                            (latency injection; default 10)
+//            abort           raise SIGABRT at the site (crash injection:
+//                            with a crash handler installed this produces
+//                            a `.sphcrash` dump mid-operation)
 //   trigger: afterN          skip the first N hits (default 0)
 //            timesN          fire at most N times (default unlimited)
 //            pF              fire with probability F in [0,1] (default 1),
@@ -60,6 +63,7 @@ struct failpoint_action {
     error,        ///< fail the call with `error_code` as errno
     short_write,  ///< transfer only part of the buffer (write sites)
     delay,        ///< sleep `delay`, then run the real call
+    abort_now,    ///< raise SIGABRT at the site (never returns to the caller)
   };
   kind type = kind::error;
   int error_code = 5;  ///< EIO; numeric so this header stays errno.h-free

@@ -1,0 +1,164 @@
+// Load-aware maintenance scheduling (src/serve/maintenance.*): the
+// scheduler must keep reclustering/compacting on its interval while the
+// service is idle, defer both while the ingest-rate EWMA sits at or above
+// busy_ingest_rate (counting each deferred tick), run anyway once
+// max_deferred_ticks consecutive deferrals have piled up (bounded
+// staleness), and fall back to the old always-run behaviour when the
+// ingest_records hook is absent or the busy threshold is disabled. The
+// hooks are driven synthetically — an atomic "cumulative records" feeder
+// stands in for the service — so every test observes the real scheduler
+// thread without a real service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/maintenance.hpp"
+
+namespace spechd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spins until `done(stats)` holds or `timeout` passes; returns the last
+// stats either way. Keeps the tests tight on fast machines and honest on
+// slow CI (no fixed sleeps around the assertion itself).
+template <typename Pred>
+maintenance_scheduler::counters wait_for(const maintenance_scheduler& sched,
+                                         Pred done,
+                                         std::chrono::milliseconds timeout = 3000ms) {
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto stats = sched.stats();
+    if (done(stats) || std::chrono::steady_clock::now() > give_up) return stats;
+    std::this_thread::sleep_for(2ms);
+  }
+}
+
+maintenance_config fast_config() {
+  maintenance_config config;
+  config.enabled = true;
+  config.interval = 5ms;
+  config.busy_ingest_rate = 1000.0;
+  config.ingest_ewma_alpha = 1.0;  // react to the newest sample instantly
+  config.max_deferred_ticks = 0;   // defer forever unless a test says otherwise
+  return config;
+}
+
+// A feeder whose cumulative count jumps by `step` every time the
+// scheduler samples it: with a 5 ms interval, step=1000 reads as
+// ~200k records/s — far past the busy bar; step=0 reads as idle.
+struct synthetic_service {
+  std::atomic<std::uint64_t> ingested{0};
+  std::atomic<std::uint64_t> step{0};
+  std::atomic<std::uint64_t> maintenance_runs{0};
+
+  maintenance_scheduler::hooks hooks() {
+    maintenance_scheduler::hooks h;
+    h.run_maintenance = [this] {
+      maintenance_runs.fetch_add(1, std::memory_order_relaxed);
+      return std::size_t{1};
+    };
+    h.maybe_compact = [] { return false; };
+    h.ingest_records = [this] {
+      return ingested.fetch_add(step.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    };
+    return h;
+  }
+};
+
+TEST(Maintenance, RunsOnIntervalWhileIdle) {
+  synthetic_service svc;  // step 0: the rate EWMA stays at 0
+  maintenance_scheduler sched(fast_config(), svc.hooks());
+  const auto stats =
+      wait_for(sched, [](const auto& s) { return s.reclusters >= 3; });
+  EXPECT_GE(stats.reclusters, 3u);
+  EXPECT_EQ(stats.deferrals, 0u);
+  EXPECT_DOUBLE_EQ(sched.ingest_rate_ewma(), 0.0);
+}
+
+TEST(Maintenance, DefersUnderSustainedIngest) {
+  synthetic_service svc;
+  svc.step.store(1000);  // ~200k records/s at a 5 ms interval
+  maintenance_scheduler sched(fast_config(), svc.hooks());
+
+  // The first tick establishes the EWMA baseline (and may run); once the
+  // rate is primed, every further tick defers.
+  auto stats = wait_for(sched, [](const auto& s) { return s.deferrals >= 3; });
+  EXPECT_GE(stats.deferrals, 3u);
+  EXPECT_GE(sched.ingest_rate_ewma(), 1000.0);
+
+  // Sustained load: reclusters stop dead while deferrals keep counting.
+  const auto reclusters_frozen = stats.reclusters;
+  stats = wait_for(sched, [&](const auto& s) {
+    return s.deferrals >= reclusters_frozen + 8;
+  });
+  EXPECT_EQ(stats.reclusters, reclusters_frozen);
+  EXPECT_GT(stats.deferrals, 3u);
+
+  // Load stops: the EWMA (alpha 1.0) collapses on the next sample and
+  // maintenance resumes.
+  svc.step.store(0);
+  stats = wait_for(sched, [&](const auto& s) {
+    return s.reclusters > reclusters_frozen;
+  });
+  EXPECT_GT(stats.reclusters, reclusters_frozen);
+  EXPECT_LT(sched.ingest_rate_ewma(), 1000.0);
+}
+
+TEST(Maintenance, MaxDeferredTicksBoundsStaleness) {
+  synthetic_service svc;
+  svc.step.store(1000);
+  auto config = fast_config();
+  config.max_deferred_ticks = 3;  // every 4th busy tick runs anyway
+  maintenance_scheduler sched(config, svc.hooks());
+
+  const auto stats = wait_for(
+      sched, [](const auto& s) { return s.reclusters >= 3 && s.deferrals >= 6; });
+  EXPECT_GE(stats.reclusters, 3u) << "the staleness cap never forced a run";
+  EXPECT_GE(stats.deferrals, 6u) << "the busy stream never deferred";
+  // The cap resets the streak, so deferrals accumulate in bursts of at
+  // most max_deferred_ticks between forced runs — never fewer runs than
+  // deferrals/cap would demand (with slack for the tick racing stats()).
+  EXPECT_GE(stats.reclusters + 1, stats.deferrals / (config.max_deferred_ticks + 1));
+}
+
+TEST(Maintenance, NoIngestHookDisablesDeferral) {
+  synthetic_service svc;
+  svc.step.store(1000);
+  auto hooks = svc.hooks();
+  hooks.ingest_records = nullptr;  // unjournaled/legacy wiring
+  maintenance_scheduler sched(fast_config(), hooks);
+  const auto stats =
+      wait_for(sched, [](const auto& s) { return s.reclusters >= 3; });
+  EXPECT_GE(stats.reclusters, 3u);
+  EXPECT_EQ(stats.deferrals, 0u);
+}
+
+TEST(Maintenance, ZeroBusyRateDisablesDeferral) {
+  synthetic_service svc;
+  svc.step.store(1000);
+  auto config = fast_config();
+  config.busy_ingest_rate = 0.0;
+  maintenance_scheduler sched(config, svc.hooks());
+  const auto stats =
+      wait_for(sched, [](const auto& s) { return s.reclusters >= 3; });
+  EXPECT_GE(stats.reclusters, 3u);
+  EXPECT_EQ(stats.deferrals, 0u);
+}
+
+TEST(Maintenance, StatsExposeDeferralsAndTicks) {
+  synthetic_service svc;
+  svc.step.store(1000);
+  maintenance_scheduler sched(fast_config(), svc.hooks());
+  const auto stats =
+      wait_for(sched, [](const auto& s) { return s.deferrals >= 2; });
+  EXPECT_GE(stats.ticks, stats.deferrals);  // every deferral is one tick
+  EXPECT_GE(stats.deferrals, 2u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+}  // namespace
+}  // namespace spechd::serve

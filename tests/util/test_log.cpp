@@ -1,0 +1,155 @@
+// Leveled logging (src/util/log.*): the global threshold must drop
+// records below it and pass records at or above it, emitted lines must
+// carry the `[spechd:LEVEL] message` shape with the right level name,
+// streaming into one record must compose a single line, and concurrent
+// emitters must never interleave within a line (each captured line is one
+// complete record). Tests capture std::cerr by swapping its rdbuf; the
+// global level is restored to the library default (warn) on every exit
+// path so later suites keep their quiet output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace spechd {
+namespace {
+
+// RAII: capture everything written to std::cerr, restore on destruction.
+class cerr_capture {
+public:
+  cerr_capture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~cerr_capture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+// RAII: set the threshold for one test, restore the library default.
+class level_guard {
+public:
+  explicit level_guard(log_level level) { set_log_level(level); }
+  ~level_guard() { set_log_level(log_level::warn); }
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Log, DefaultLevelIsWarn) {
+  EXPECT_EQ(get_log_level(), log_level::warn);
+}
+
+TEST(Log, ThresholdDropsRecordsBelowIt) {
+  level_guard level(log_level::warn);
+  cerr_capture captured;
+  log_debug() << "dropped-debug";
+  log_info() << "dropped-info";
+  log_warn() << "kept-warn";
+  log_error() << "kept-error";
+  const auto lines = lines_of(captured.str());
+  ASSERT_EQ(lines.size(), 2u) << captured.str();
+  EXPECT_EQ(lines[0], "[spechd:WARN] kept-warn");
+  EXPECT_EQ(lines[1], "[spechd:ERROR] kept-error");
+}
+
+TEST(Log, DebugLevelPassesEverything) {
+  level_guard level(log_level::debug);
+  cerr_capture captured;
+  log_debug() << "d";
+  log_info() << "i";
+  log_warn() << "w";
+  log_error() << "e";
+  const auto lines = lines_of(captured.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "[spechd:DEBUG] d");
+  EXPECT_EQ(lines[1], "[spechd:INFO] i");
+  EXPECT_EQ(lines[2], "[spechd:WARN] w");
+  EXPECT_EQ(lines[3], "[spechd:ERROR] e");
+}
+
+TEST(Log, OffSilencesEverything) {
+  level_guard level(log_level::off);
+  cerr_capture captured;
+  log_debug() << "x";
+  log_info() << "x";
+  log_warn() << "x";
+  log_error() << "x";
+  EXPECT_TRUE(captured.str().empty()) << captured.str();
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  level_guard level(log_level::info);
+  EXPECT_EQ(get_log_level(), log_level::info);
+  set_log_level(log_level::err);
+  EXPECT_EQ(get_log_level(), log_level::err);
+}
+
+TEST(Log, RecordStreamsComposeOneLine) {
+  level_guard level(log_level::info);
+  cerr_capture captured;
+  log_info() << "shard " << 3 << " replayed " << 1024 << " records ("
+             << 2.5 << " s)";
+  const auto lines = lines_of(captured.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[spechd:INFO] shard 3 replayed 1024 records (2.5 s)");
+}
+
+TEST(Log, RecordEmitsOnDestructionNotConstruction) {
+  level_guard level(log_level::info);
+  cerr_capture captured;
+  {
+    auto record = log_info();
+    record << "first half";
+    EXPECT_TRUE(captured.str().empty()) << "emitted before the record closed";
+    record << " second half";
+  }
+  const auto lines = lines_of(captured.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[spechd:INFO] first half second half");
+}
+
+TEST(Log, ConcurrentEmittersNeverInterleaveWithinALine) {
+  level_guard level(log_level::info);
+  cerr_capture captured;
+  constexpr int k_threads = 8;
+  constexpr int k_lines = 200;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < k_threads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < k_lines; ++i) {
+          log_info() << "thread-" << t << "-line-" << i << "-"
+                     << std::string(32, 'a' + static_cast<char>(t));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const auto lines = lines_of(captured.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(k_threads * k_lines));
+  for (const auto& line : lines) {
+    // Every line is exactly one complete record: prefix, one thread's
+    // payload, the homogeneous tail that would betray a torn write.
+    ASSERT_EQ(line.rfind("[spechd:INFO] thread-", 0), 0u) << line;
+    const char tail_char = line.back();
+    const auto tail_start = line.find_last_of('-') + 1;
+    const std::string tail = line.substr(tail_start);
+    EXPECT_EQ(tail, std::string(32, tail_char)) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '['), 1) << line;
+  }
+}
+
+}  // namespace
+}  // namespace spechd

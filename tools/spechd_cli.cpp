@@ -14,6 +14,8 @@
 //   search   open-modification search: build an HV spectral library
 //            (.sphlib) from a FASTA database or identified spectra, then
 //            answer top-k queries with a precursor-mass-shift tolerance
+//   doctor   pretty-print a `.sphcrash` crash dump (metrics snapshot,
+//            per-shard health, flight-recorder event tail) offline
 //   model    print modelled FPGA runtime/energy for the paper datasets
 //   help     print usage
 //
@@ -24,6 +26,8 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <iostream>
 #include <map>
@@ -48,8 +52,10 @@
 #include "ms/synthetic.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "preprocess/pipeline.hpp"
 #include "serve/search.hpp"
 #include "serve/service.hpp"
@@ -148,11 +154,12 @@ void print_usage(std::ostream& out) {
       "                 [--snapshot out.sphsnap] [--listen HOST:PORT]\n"
       "                 [--shed-depth N] [--library lib.sphlib]\n"
       "                 [--metrics-log SECS] [--slow-threshold-us N]\n"
-      "                 [--slow-sample N]\n"
+      "                 [--slow-sample N] [--crash-dump FILE.sphcrash]\n"
+      "                 [--watchdog-deadline-ms N] [--watchdog-kill-after-ms N]\n"
       "  spechd client  --connect HOST:PORT [--batch B] [--timeout MS]\n"
       "                 [--ingest spectra-file]... [--query spectra-file]\n"
       "                 [--search spectra-file] [--topk K] [--tolerance DA]\n"
-      "                 [--ping] [--stats] [--drain]\n"
+      "                 [--ping] [--stats] [--drain] [--debug-dump]\n"
       "                 [--metrics [--watch SECS] [--format table|prom]]\n"
       "  spechd search  --build lib.sphlib (--fasta db.fasta [--missed N]\n"
       "                 [--charges 2,3] | --spectra ref-file) [--dim D]\n"
@@ -161,6 +168,7 @@ void print_usage(std::ostream& out) {
       "  spechd recover --journal-dir DIR [--query spectra-file]\n"
       "                 [--snapshot out.sphsnap]\n"
       "                 [--failpoints SPEC] [--failpoint-seed S]\n"
+      "  spechd doctor  <dump.sphcrash>\n"
       "  spechd model [--overlap]\n"
       "  spechd help\n";
 }
@@ -594,6 +602,105 @@ void print_metrics_interval(const net::wire_metrics& cur, const net::wire_metric
   if (!any && !any_hist) std::cout << "(idle interval: no activity)\n";
 }
 
+// --- flight-recorder rendering (client --debug-dump / spechd doctor) ---------
+
+/// Event tail as a table, newest last. Used for both the live wire dump
+/// and an offline `.sphcrash` — the same events either way.
+void print_flight_events(const std::vector<obs::flight_event>& events) {
+  if (events.empty()) {
+    std::cout << "no flight events recorded\n";
+    return;
+  }
+  text_table table("flight events (" + text_table::num(events.size()) +
+                   ", newest last)");
+  table.set_header({"seq", "kind", "arg0", "arg1", "req id", "thread", "age (ms)"});
+  const auto newest_ns = events.back().steady_ns;
+  for (const auto& e : events) {
+    table.add_row(
+        {text_table::num(e.seq),
+         obs::event_kind_name(static_cast<obs::event_kind>(e.kind)),
+         text_table::num(e.arg0), text_table::num(e.arg1),
+         e.request_id != 0 ? text_table::num(e.request_id) : std::string{"-"},
+         text_table::num(static_cast<std::size_t>(e.thread_id)),
+         text_table::num(static_cast<double>(newest_ns - e.steady_ns) / 1e6, 1)});
+  }
+  table.print(std::cout);
+}
+
+void print_shard_status_row(text_table& table, std::size_t shard,
+                            std::uint32_t health, std::uint64_t generation,
+                            std::uint64_t journal_bytes, std::uint64_t journal_records,
+                            std::uint64_t queue_depth) {
+  table.add_row({text_table::num(shard),
+                 serve::shard_health_name(static_cast<serve::shard_health>(health)),
+                 text_table::num(generation), text_table::num(journal_bytes),
+                 text_table::num(journal_records), text_table::num(queue_depth)});
+}
+
+/// `spechd doctor FILE`: decode a `.sphcrash` dump offline — what was the
+/// process doing right before it died, without the process.
+int cmd_doctor(arg_list& args) {
+  if (const int rc = reject_leftovers(args, "doctor", 1)) return rc;
+  if (args.positionals().empty()) {
+    std::cerr << "doctor: missing dump file\n";
+    return 2;
+  }
+  const auto& path = args.positionals().front();
+  obs::crash_dump dump;
+  try {
+    if (!obs::read_crash_dump_file(path, dump)) {
+      std::cerr << "spechd doctor: '" << path
+                << "' is not a parseable crash dump (bad magic/version or "
+                   "truncated section)\n";
+      return 1;
+    }
+  } catch (const spechd::error& e) {
+    std::cerr << "spechd doctor: cannot read '" << path << "': " << e.what() << "\n";
+    return 2;
+  }
+
+  const auto wall_s = static_cast<std::time_t>(dump.wall_ns / 1000000000ULL);
+  char when[64] = "unknown";
+  if (const auto* tm = std::gmtime(&wall_s)) {
+    std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S UTC", tm);
+  }
+  std::cout << "crash dump " << path << " (format v" << dump.version << ")\n"
+            << "  cause: "
+            << (dump.signo != 0 ? std::string("signal ") + std::to_string(dump.signo) +
+                                      " (" + strsignal(dump.signo) + ")"
+                                : std::string("terminate/on-demand dump"))
+            << "\n  pid " << dump.pid << ", written " << when << "\n";
+
+  if (!dump.counters.empty() || !dump.gauges.empty()) {
+    text_table table("metrics at crash");
+    table.set_header({"metric", "value"});
+    for (const auto& c : dump.counters) table.add_row({c.name, text_table::num(c.value)});
+    for (const auto& g : dump.gauges) table.add_row({g.name, std::to_string(g.value)});
+    table.print(std::cout);
+  }
+  if (!dump.histograms.empty()) {
+    text_table table("histograms at crash");
+    table.set_header({"histogram", "count", "sum"});
+    for (const auto& h : dump.histograms) {
+      table.add_row({h.name, text_table::num(h.count), text_table::num(h.sum)});
+    }
+    table.print(std::cout);
+  }
+  if (!dump.shards.empty()) {
+    text_table table("shard status at crash");
+    table.set_header({"shard", "health", "generation", "journal bytes",
+                      "journal records", "queue depth"});
+    for (std::size_t s = 0; s < dump.shards.size(); ++s) {
+      const auto& sh = dump.shards[s];
+      print_shard_status_row(table, s, sh.health, sh.generation, sh.journal_bytes,
+                             sh.journal_records, sh.queue_depth);
+    }
+    table.print(std::cout);
+  }
+  print_flight_events(dump.events);
+  return 0;
+}
+
 int cmd_serve(arg_list& args) {
   serve::serve_config config;
   config.pipeline.threads = 1;  // per-shard pools; shards are the parallelism
@@ -629,6 +736,18 @@ int cmd_serve(arg_list& args) {
     slow_sample_every = std::stoull(*v);
   }
   obs::slow_ring::instance().configure(slow_threshold_ns, slow_sample_every);
+  // Crash-dump + watchdog knobs: --crash-dump pre-opens the dump file and
+  // installs the fatal handlers; the watchdog flags (and optionally kills)
+  // components silent past the deadline, producing a dump on the way out.
+  const auto crash_dump_path = args.take_option("--crash-dump");
+  std::uint64_t watchdog_deadline_ms = 0;
+  std::uint64_t watchdog_kill_after_ms = 0;
+  if (const auto v = args.take_option("--watchdog-deadline-ms")) {
+    watchdog_deadline_ms = std::stoull(*v);
+  }
+  if (const auto v = args.take_option("--watchdog-kill-after-ms")) {
+    watchdog_kill_after_ms = std::stoull(*v);
+  }
   std::vector<std::string> ingest_files;
   while (const auto v = args.take_option("--ingest")) ingest_files.push_back(*v);
   if (const int rc = reject_leftovers(args, "serve", 0)) return rc;
@@ -653,6 +772,26 @@ int cmd_serve(arg_list& args) {
     // --metrics-log is an explicit request for the periodic info line;
     // don't let the warnings-only default threshold eat it.
     set_log_level(log_level::info);
+  }
+  if (watchdog_kill_after_ms > 0 && watchdog_deadline_ms == 0) {
+    std::cerr << "serve: --watchdog-kill-after-ms requires --watchdog-deadline-ms\n";
+    return 2;
+  }
+
+  // Install crash diagnostics *before* the service exists: a crash during
+  // journal recovery should leave a dump too.
+  if (crash_dump_path) {
+    if (!obs::install_crash_handler(*crash_dump_path)) {
+      std::cerr << "spechd serve: cannot open crash dump file '" << *crash_dump_path
+                << "'\n";
+      return 2;
+    }
+  }
+  if (watchdog_deadline_ms > 0) {
+    obs::watchdog::config wd;
+    wd.deadline = std::chrono::milliseconds(watchdog_deadline_ms);
+    wd.kill_after = std::chrono::milliseconds(watchdog_kill_after_ms);
+    obs::watchdog::instance().start(wd);
   }
 
   if (restore) {
@@ -854,6 +993,11 @@ int cmd_serve(arg_list& args) {
     service.drain();
   }
 
+  // Stop the watchdog before the service's writer threads retire their
+  // heartbeat slots during destruction — a clean shutdown must not be
+  // mistaken for a stall (or killed mid-teardown by --watchdog-kill-after).
+  if (watchdog_deadline_ms > 0) obs::watchdog::instance().stop();
+
   print_service_state(service);
   return 0;
 }
@@ -879,6 +1023,7 @@ int cmd_client(arg_list& args) {
   const bool want_stats = args.take_flag("--stats");
   const bool want_drain = args.take_flag("--drain");
   const bool want_metrics = args.take_flag("--metrics");
+  const bool want_debug_dump = args.take_flag("--debug-dump");
   std::size_t watch_secs = 0;
   if (const auto v = args.take_option("--watch")) watch_secs = std::stoul(*v);
   std::string metrics_format = "table";
@@ -1008,6 +1153,29 @@ int cmd_client(arg_list& args) {
     table.print(std::cout);
   }
 
+  if (want_debug_dump) {
+    const auto dump = client.debug_dump();
+    std::cout << "debug dump from " << *connect << ": "
+              << dump.total_events_recorded << " events recorded, "
+              << dump.events.size() << " in the rings\n";
+    if (!dump.shards.empty()) {
+      text_table table("shard status");
+      table.set_header({"shard", "health", "generation", "journal bytes",
+                        "journal records", "queue depth"});
+      for (const auto& sh : dump.shards) {
+        print_shard_status_row(table, sh.shard, sh.health, sh.generation,
+                               sh.journal_bytes, sh.journal_records, sh.queue_depth);
+      }
+      table.print(std::cout);
+    }
+    if (!dump.stalled.empty()) {
+      std::cout << "WARNING: " << dump.stalled.size() << " stalled component(s):";
+      for (const auto& name : dump.stalled) std::cout << " " << name;
+      std::cout << "\n";
+    }
+    print_flight_events(dump.events);
+  }
+
   if (want_metrics && watch_secs == 0) {
     const auto m = client.metrics();
     if (metrics_format == "prom") {
@@ -1067,6 +1235,18 @@ int cmd_recover(arg_list& args) {
     }
     apply_identity(config, *id);
     config.shards = id->shard_count;
+    // One line per journal generation replayed, so a large recovery shows
+    // live progress instead of a silent pause.
+    config.recovery_progress = [](const serve::recovery_progress& p) {
+      std::cout << "  replaying shard " << p.shard << " generation " << p.generation
+                << ": " << p.records_replayed << " records ("
+                << p.total_records_replayed << " total, "
+                << text_table::num(p.records_per_sec, 0) << " records/s)";
+      if (p.torn_tail) {
+        std::cout << " [torn tail: " << p.torn_bytes << " bytes dropped]";
+      }
+      std::cout << "\n";
+    };
     service_storage.emplace(config);
   } catch (const spechd::error& e) {
     std::cerr << "spechd recover: cannot recover from '" << *dir << "': " << e.what()
@@ -1251,6 +1431,7 @@ int main(int argc, char** argv) {
     if (command == "client") return cmd_client(args);
     if (command == "recover") return cmd_recover(args);
     if (command == "search") return cmd_search(args);
+    if (command == "doctor") return cmd_doctor(args);
     if (command == "model") return cmd_model(args);
     std::cerr << "unknown command: " << command << "\n";
     return usage_error();
